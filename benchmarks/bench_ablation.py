@@ -1,0 +1,209 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four sweeps, each isolating one knob of the optimized pipeline:
+
+* **chunk size** of the fused kernel — the register/shared-memory tiling
+  analogue (Sec. 3.4.1): too small pays loop overhead, too large loses
+  cache residency and re-inflates the working set;
+* **tabulation interval** — accuracy vs table size vs evaluation speed
+  (the Sec. 3.2 trade; 0.01 is the paper's shipped choice);
+* **precision** — float64 vs mixed-single forces (Table 1's mixed rows /
+  the paper's future-work remark);
+* **padding capacity** — how the redundancy-removal win scales with the
+  reserved-over-real neighbor ratio (Sec. 3.4.2's copper-vs-water
+  asymmetry).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    CompressedDPModel,
+    DPModel,
+    KernelCounters,
+    ModelSpec,
+    precision_study,
+)
+from repro.md import NeighborSearch, copper_system
+
+from conftest import report
+
+
+def _timeit(fn, reps=3):
+    fn()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+@pytest.fixture(scope="module")
+def system():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(256,), n_types=1,
+                     d1=16, m_sub=8, fit_width=64, seed=3)
+    model = DPModel(spec)
+    coords, types, box = copper_system((5, 5, 5))
+    coords = coords + np.random.default_rng(2).normal(0, 0.05, coords.shape)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    return spec, model, nd
+
+
+def test_ablation_chunk_size(benchmark, system):
+    spec, model, nd = system
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for chunk in (64, 512, 4096, 32768, 10**7):
+        comp = CompressedDPModel.compress(model, interval=0.01, x_max=2.2,
+                                          chunk=chunk)
+        t = _timeit(lambda: comp.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr))
+        c = KernelCounters()
+        comp.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                             nd.indices, nd.indptr, counters=c)
+        rows.append([chunk, f"{t * 1e3:.1f}",
+                     f"{c.peak_buffer_bytes / 1e6:.2f}"])
+    report("ablation_chunk_size", render_table(
+        ["chunk (pairs)", "ms/eval", "peak buffer MB"], rows,
+        title=("Fused-kernel chunk sweep (Sec. 3.4.1 tiling analogue): "
+               "peak working set grows with the chunk; tiny chunks pay "
+               "Python loop overhead")))
+    peaks = [float(r[2]) for r in rows]
+    assert peaks[0] < peaks[-1]  # tiling bounds the working set
+
+
+def test_ablation_interval(benchmark, system):
+    spec, model, nd = system
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ref = model.evaluate(nd.ext_coords, nd.ext_types, nd.centers, nd.nlist)
+    rows = []
+    for interval in (0.1, 0.01, 0.001):
+        comp = CompressedDPModel.compress(model, interval=interval,
+                                          x_max=2.2)
+        res = comp.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                   nd.indices, nd.indptr)
+        err = np.abs(res.forces - ref.forces).max()
+        t = _timeit(lambda: comp.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr))
+        rows.append([interval, f"{err:.1e}",
+                     f"{comp.table_bytes / 1e6:.1f}", f"{t * 1e3:.1f}"])
+    report("ablation_interval", render_table(
+        ["interval", "max |dF|", "table MB", "ms/eval"], rows,
+        title=("Tabulation-interval ablation (Sec. 3.2): accuracy and "
+               "model size trade; evaluation time is interval-"
+               "independent (uniform-grid lookup)")))
+    errs = [float(r[1]) for r in rows]
+    assert errs[0] > errs[2]
+    times = [float(r[3]) for r in rows]
+    assert max(times) / min(times) < 1.6  # O(1) lookup regardless of size
+
+
+def test_ablation_precision(benchmark, system):
+    spec, model, nd = system
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    comp = CompressedDPModel.compress(model, interval=0.001, x_max=2.2)
+    out = precision_study(comp, nd)
+    rows = [
+        ["table bytes saved", "50%"],
+        ["energy err / atom", f"{out['energy_per_atom']:.1e} eV"],
+        ["force err (max)", f"{out['force_max']:.1e} eV/Å"],
+        ["force err (relative)", f"{out['force_rel']:.1e}"],
+    ]
+    report("ablation_precision", render_table(
+        ["quantity", "mixed-single vs double"], rows,
+        title=("Mixed-single ablation (Table 1's mixed rows; the paper "
+               "defers production mixed precision as future work due to "
+               "exactly this error floor)")))
+    assert 1e-9 < out["force_rel"] < 1e-3
+
+
+def test_ablation_padding_capacity(benchmark):
+    """Redundancy-removal win vs reserved-over-real neighbor ratio."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    coords, types, box = copper_system((5, 5, 5))
+    coords = coords + np.random.default_rng(4).normal(0, 0.05, coords.shape)
+    rows = []
+    for sel in (96, 160, 256, 384):
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(sel,), n_types=1,
+                         d1=16, m_sub=8, fit_width=64, seed=3)
+        model = DPModel(spec)
+        nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+            coords, types, box)
+        from repro.core.variants import Stage, StageLadder
+
+        ladder = StageLadder(model, interval=0.01, x_max=2.2)
+        t_pad = _timeit(ladder.descriptor_kernel(
+            Stage.FUSION, nd.ext_coords, nd.ext_types, nd.centers,
+            nd.nlist))
+        t_pk = _timeit(ladder.descriptor_kernel(
+            Stage.REDUNDANCY, nd.ext_coords, nd.ext_types, nd.centers,
+            nd.nlist))
+        fill = len(nd.indices) / nd.nlist.size
+        rows.append([sel, f"{fill * 100:.0f}%", f"{t_pad * 1e3:.1f}",
+                     f"{t_pk * 1e3:.1f}", f"{t_pad / t_pk:.2f}"])
+    report("ablation_padding", render_table(
+        ["sel", "fill", "padded ms", "packed ms", "speedup"], rows,
+        title=("Padding-capacity ablation (Sec. 3.4.2): the packed kernel's "
+               "advantage grows as the reserved capacity (copper: 512 vs "
+               "~180 real) outpaces the real neighbor count")))
+    speedups = [float(r[4]) for r in rows]
+    assert speedups[-1] > speedups[0]
+
+
+def test_ablation_descriptor_family(benchmark, system):
+    """se_a (the paper's) vs se_r (DeePMD's cheap radial descriptor):
+    the compression machinery applies to both; se_r trades accuracy
+    capacity for a much lighter contraction."""
+    from repro.core.descriptor_r import SeRModel
+
+    spec, model, nd = system
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    se_a = CompressedDPModel.compress(model, interval=0.01, x_max=2.2)
+    se_r = SeRModel(spec, compressed=True, interval=0.01, x_max=2.2)
+
+    t_a = _timeit(lambda: se_a.evaluate_packed(
+        nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr))
+    t_r = _timeit(lambda: se_r.evaluate_packed(
+        nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr))
+    rows = [
+        ["se_a (paper)", f"{t_a * 1e3:.1f}",
+         f"{8 * spec.m_sub * spec.m_out}"],
+        ["se_r (radial)", f"{t_r * 1e3:.1f}",
+         f"{2 * spec.m_out}"],
+    ]
+    report("ablation_descriptor_family", render_table(
+        ["descriptor", "ms/eval", "contraction flops/pair"], rows,
+        title=("Descriptor-family ablation: the tabulation/fusion/"
+               "redundancy machinery is descriptor-agnostic")))
+    assert t_r < t_a
+
+
+def test_ablation_comm_overlap(benchmark):
+    """What-if: perfect compute/communication overlap on the strong-
+    scaling end points (head-room neither the paper nor DeePMD-kit
+    exploits)."""
+    from repro.perf import SUMMIT, FUGAKU, strong_scaling
+    from repro.workloads import WATER as W_WATER, COPPER as W_COPPER
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for machine, w, atoms in ((SUMMIT, W_WATER, 41_472_000),
+                              (FUGAKU, W_WATER, 8_294_400),
+                              (SUMMIT, W_COPPER, 13_500_000),
+                              (FUGAKU, W_COPPER, 2_177_280)):
+        plain = strong_scaling(machine, w, atoms, [20, 4560])[-1]
+        ov = strong_scaling(machine, w, atoms, [20, 4560],
+                            overlap=True)[-1]
+        rows.append([machine.name, w.name,
+                     f"{plain.efficiency * 100:.1f}",
+                     f"{ov.efficiency * 100:.1f}",
+                     f"{ov.ns_per_day / plain.ns_per_day:.2f}x"])
+    report("ablation_comm_overlap", render_table(
+        ["machine", "system", "eff %", "eff % (overlap)", "throughput"],
+        rows, title=("Comm-overlap what-if at 4,560 nodes: the efficiency "
+                     "head-room hidden in the exposed ghost exchange")))
+    gains = [float(r[4][:-1]) for r in rows]
+    assert all(g >= 1.0 for g in gains)

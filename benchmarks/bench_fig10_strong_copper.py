@@ -1,0 +1,69 @@
+"""Fig. 10 — strong scaling of the copper system.
+
+Model curves for 13.5 M atoms (Summit) and 2.18 M atoms (Fugaku) over
+20 -> 4,560 nodes; paper end points: efficiency 35.96 % / 32.76 % and
+11.2 / 4.7 ns/day.  Includes the paper's Sec. 6.4.1 diagnostic — the
+computation-over-communication ratio approximated by local-to-ghost atom
+counts (1/15 on Fugaku vs 1/5 on Summit).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.perf import FUGAKU, SUMMIT, ghost_atoms_per_rank, strong_scaling
+from repro.workloads import COPPER
+
+from conftest import report
+
+NODES = [20, 57, 114, 285, 570, 1140, 2280, 4560]
+PAPER_END = {"Summit": (0.3596, 11.2), "Fugaku": (0.3276, 4.7)}
+ATOMS = {"Summit": 13_500_000, "Fugaku": 2_177_280}
+
+
+@pytest.mark.parametrize("machine", [SUMMIT, FUGAKU], ids=lambda m: m.name)
+def test_fig10_strong_scaling_model(machine, benchmark):
+    pts = benchmark(lambda: strong_scaling(machine, COPPER,
+                                           ATOMS[machine.name], NODES))
+    rows = [[p.nodes, f"{p.step_seconds * 1e3:.2f}",
+             f"{p.efficiency * 100:.1f}", f"{p.ns_per_day:.2f}"]
+            for p in pts]
+    eff_t, ns_t = PAPER_END[machine.name]
+    report(f"fig10_strong_copper_{machine.name}", render_table(
+        ["nodes", "ms/step", "efficiency %", "ns/day"], rows,
+        title=(f"Fig. 10 — copper strong scaling on {machine.name} "
+               f"({ATOMS[machine.name]:,} atoms); paper end point: "
+               f"{eff_t*100:.2f} % efficiency, {ns_t} ns/day")))
+    last = pts[-1]
+    assert last.efficiency == pytest.approx(eff_t, rel=0.45)
+    assert last.ns_per_day == pytest.approx(ns_t, rel=0.55)
+
+
+def test_fig10_ghost_ratio_diagnostic(benchmark):
+    """Sec. 6.4.1: each 4,560-node rank holds ~113 atoms on Fugaku against
+    ~1,735 ghosts (ratio ~1/15) vs 1,515/7,520 (~1/5) on Summit.  (The
+    paper attributes these to copper, but the atom counts match the
+    *water* strong-scaling systems — 8.29 M / 72,960 ranks = 113.7 and
+    41.47 M / 27,360 = 1,516 — so we regenerate them from water.)"""
+    from repro.workloads import WATER
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fugaku_local = 8_294_400 / (4_560 * FUGAKU.ranks_per_node)
+    fugaku_ghost = ghost_atoms_per_rank(WATER, 8_294_400,
+                                        4_560 * FUGAKU.ranks_per_node,
+                                        rhalo=COPPER.rcut)
+    summit_local = 41_472_000 / (4_560 * SUMMIT.ranks_per_node)
+    summit_ghost = ghost_atoms_per_rank(WATER, 41_472_000,
+                                        4_560 * SUMMIT.ranks_per_node,
+                                        rhalo=COPPER.rcut)
+    rows = [
+        ["Fugaku", f"{fugaku_local:.0f}", f"{fugaku_ghost:.0f}",
+         f"1/{fugaku_ghost / fugaku_local:.1f}", "113 / 1,735 = 1/15"],
+        ["Summit", f"{summit_local:.0f}", f"{summit_ghost:.0f}",
+         f"1/{summit_ghost / summit_local:.1f}", "1,515 / 7,520 = 1/5"],
+    ]
+    report("fig10_ghost_ratios", render_table(
+        ["machine", "local/rank", "ghost/rank", "comp/comm", "paper"],
+        rows, title="Sec. 6.4.1 — computation/communication volume ratio"))
+    assert fugaku_local == pytest.approx(113, rel=0.05)
+    # ghost/local ratio: Fugaku's skinny ranks are far worse than Summit's
+    assert (fugaku_ghost / fugaku_local) > 2.5 * (summit_ghost / summit_local)

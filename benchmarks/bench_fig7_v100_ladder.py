@@ -1,0 +1,89 @@
+"""Fig. 7 — step-by-step optimization speedup on a single V100.
+
+Two reproductions side by side:
+
+* the calibrated cost model's ladder at the paper's exact test sizes
+  (water 12,880 atoms / copper 6,912) — compared against the published
+  cumulative speedups 2.3/3.1/3.4/3.7 (water) and 3.7/5.9/8.4/9.7
+  (copper);
+* the *measured* wall-time ladder of the real NumPy descriptor kernels
+  at laptop scale (pytest-benchmark times each rung; the final fixture
+  prints the assembled ladder).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import Stage
+from repro.perf import V100, speedup_ladder
+from repro.workloads import COPPER, WATER
+
+from conftest import report
+
+PAPER = {
+    "water": [1.0, 2.3, 3.1, 3.4, 3.7],
+    "copper": [1.0, 3.7, 5.9, 8.4, 9.7],
+}
+
+
+def test_fig7_model_ladder(benchmark):
+    def run():
+        return {w.name: speedup_ladder(V100, w) for w in (WATER, COPPER)}
+
+    ladders = benchmark(run)
+    rows = []
+    for name, paper_vals in PAPER.items():
+        ours = [ladders[name][s] for s in Stage.ordered()]
+        for stage, p, o in zip(Stage.ordered(), paper_vals, ours):
+            rows.append([name, stage.value, f"{p:.2f}", f"{o:.2f}",
+                         f"{o / p:.2f}"])
+    report("fig7_v100_ladder_model", render_table(
+        ["system", "stage", "paper", "model", "ratio"], rows,
+        title="Fig. 7 — V100 cumulative speedup ladder (model vs paper)"))
+    for name, paper_vals in PAPER.items():
+        for stage, p in zip(Stage.ordered(), paper_vals):
+            assert abs(ladders[name][stage] / p - 1) < 0.30
+
+
+@pytest.mark.parametrize("stage", Stage.ordered(),
+                         ids=[s.name for s in Stage.ordered()])
+def test_fig7_measured_kernel(stage, benchmark, bench_cu):
+    """Wall-time of the real embedding->descriptor kernel per rung."""
+    nd = bench_cu["neighbors"]
+    run = bench_cu["ladder"].descriptor_kernel(
+        stage, nd.ext_coords, nd.ext_types, nd.centers, nd.nlist)
+    benchmark(run)
+
+
+def test_fig7_measured_ladder_summary(benchmark, bench_cu):
+    """Assemble and print the measured laptop-scale ladder directly."""
+    nd = bench_cu["neighbors"]
+    ladder = bench_cu["ladder"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = {}
+    for stage in Stage.ordered():
+        run = ladder.descriptor_kernel(stage, nd.ext_coords, nd.ext_types,
+                                       nd.centers, nd.nlist)
+        run()  # warm
+        reps = 5
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run()
+        times[stage] = (time.perf_counter() - t0) / reps
+    base = times[Stage.BASELINE]
+    rows = [[s.value, f"{times[s] * 1e3:.2f}", f"{base / times[s]:.2f}"]
+            for s in Stage.ordered()]
+    report("fig7_measured_descriptor_ladder", render_table(
+        ["stage", "ms/call", "speedup"], rows,
+        title=("Measured NumPy descriptor-kernel ladder (500-atom copper, "
+               "copper-like padding).  NB: NumPy's BLAS makes the baseline "
+               "GEMMs artificially cheap relative to table gathers, unlike "
+               "the memory-bound V100 case the cost model covers — the "
+               "fused/packed rungs still win.")))
+    # What the NumPy substrate genuinely shows: fusion avoids the padded
+    # G materialization and beats the baseline; redundancy removal beats
+    # the padded fused kernel when padding dominates.
+    assert times[Stage.FUSION] < base
+    assert times[Stage.REDUNDANCY] < times[Stage.TABULATION]

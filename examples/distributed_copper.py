@@ -1,0 +1,60 @@
+"""Distributed MD over the simulated MPI substrate.
+
+Runs the same 864-atom copper system serially and on a 2x2x2 domain
+decomposition (8 ranks, ghost exchange + reverse force communication +
+migration), verifies they agree to floating-point noise, and prints the
+communication breakdown the paper's Sec. 3.3 analysis is about.
+
+Run:  python examples/distributed_copper.py
+"""
+
+import numpy as np
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.md import DPForceField, Simulation, copper_system
+from repro.md.velocity import maxwell_boltzmann
+from repro.parallel import run_distributed_md
+from repro.units import MASS_AMU
+
+
+def main() -> None:
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=11)
+    model = CompressedDPModel.compress(DPModel(spec), interval=0.01,
+                                       x_max=2.2)
+    coords, types, box = copper_system((6, 6, 6))
+    masses = [MASS_AMU["Cu"]]
+    n_steps = 20
+    v0 = maxwell_boltzmann(np.asarray(masses)[types], 330.0, seed=3)
+
+    print(f"system: {len(coords)} Cu atoms, box {box.lengths.round(2)} Å")
+
+    sim = Simulation(coords, types, box, masses, DPForceField(model),
+                     dt_fs=1.0, sel=spec.sel, seed=3, skin=2.0)
+    sim.run(n_steps, thermo_every=10)
+    print(f"serial     : E = {sim.thermo_log[-1].total_ev:+.10f} eV, "
+          f"T = {sim.thermo_log[-1].temperature_k:.2f} K")
+
+    for dims in ((2, 1, 1), (2, 2, 2)):
+        n_ranks = int(np.prod(dims))
+        res = run_distributed_md(
+            n_ranks, dims, coords, types, box, masses, model,
+            dt_fs=1.0, n_steps=n_steps, skin=2.0, sel=spec.sel,
+            velocities=v0, thermo_every=10,
+        )
+        diff = np.abs(box.wrap(res.coords) - box.wrap(sim.coords)).max()
+        fwd_kb = res.forward_bytes / (n_steps + 1) / 1e3
+        print(f"{n_ranks:2d} ranks {str(dims):9s}: "
+              f"E = {res.thermo[-1].total_ev:+.10f} eV   "
+              f"max coord diff vs serial = {diff:.2e} Å")
+        print(f"             forward comm {fwd_kb:.1f} KB/step, "
+              f"reverse {res.reverse_bytes / (n_steps + 1) / 1e3:.1f} "
+              f"KB/step, max ghosts/rank {res.max_ghost_atoms}")
+
+    print("\nSec. 3.3's point: the same physics, but ghost volume (and so "
+          "communication) grows with the rank count — which is why the "
+          "paper launches as few, fat MPI ranks as memory allows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: Deep Potential MD on copper in a dozen lines.
+
+Builds a small FCC copper system, a (laptop-scale) Deep Potential model,
+compresses it with the paper's fifth-order tabulation, and runs the
+paper's 99-step measurement protocol, printing the thermodynamic log and
+the measured compressed-vs-baseline speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import repro
+from repro.io import format_thermo_table
+
+
+def main() -> None:
+    print("== Compressed (tabulated + fused + packed) model ==")
+    sim = repro.quick_simulation("copper", n_cells=(5, 5, 5), seed=0)
+    sim.run(99)  # the paper's protocol: 99 steps, 100 force evaluations
+    print(format_thermo_table(sim.thermo_log))
+    drift = sim.thermo_log[-1].total_ev - sim.thermo_log[0].total_ev
+    print(f"\natoms: {len(sim.coords)}   force evaluations: "
+          f"{sim.stats.n_force_evals}   energy drift: {drift:+.2e} eV")
+    print(f"throughput: {sim.ns_per_day():.3f} ns/day "
+          f"({sim.stats.wall_seconds / sim.stats.n_steps * 1e3:.1f} ms/step)")
+
+    print("\n== Baseline (uncompressed) model, same system ==")
+    t0 = time.perf_counter()
+    base = repro.quick_simulation("copper", n_cells=(5, 5, 5), seed=0,
+                                  compressed=False)
+    base.run(20, thermo_every=10)
+    base_ms = (time.perf_counter() - t0) / 21 * 1e3
+    comp_ms = sim.stats.wall_seconds / sim.stats.n_steps * 1e3
+    print(f"baseline: {base_ms:.1f} ms/step  vs  compressed: "
+          f"{comp_ms:.1f} ms/step  ->  {base_ms / comp_ms:.1f}x")
+    print("(paper, V100 copper: 9.7x — NumPy's fast BLAS flatters the "
+          "baseline at\n laptop scale; benchmarks/ carries the calibrated "
+          "V100/A64FX comparison)")
+
+
+if __name__ == "__main__":
+    main()

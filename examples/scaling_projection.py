@@ -1,0 +1,81 @@
+"""Machine-scale projections from the calibrated performance model.
+
+Prints the paper's headline numbers as the model regenerates them:
+single-device time-to-solution (Table 2), strong scaling to 4,560 nodes
+(Figs. 9/10), weak scaling to the full machines (Fig. 11, including the
+17-billion-atom Fugaku projection), and the memory-capacity gains
+(Secs. 6.1.2/6.2.4).
+
+Run:  python examples/scaling_projection.py
+"""
+
+from repro.analysis import render_table
+from repro.core import Stage
+from repro.parallel.scheme import A64FX_SCHEMES
+from repro.perf import (
+    A64FX,
+    FUGAKU,
+    SUMMIT,
+    V100,
+    MemoryModel,
+    max_atoms_node_scheme,
+    strong_scaling,
+    table2_rows,
+    tts_us_per_step_per_atom,
+    weak_scaling,
+)
+from repro.workloads import COPPER, WATER
+
+
+def main() -> None:
+    print(render_table(
+        ["machine", "system", "TtS us/step/atom", "xPeak", "xPower"],
+        [[r.machine, r.system, f"{r.tts_us:.2f}", f"{r.tts_x_peak:.1f}",
+          f"{r.tts_x_power:.0f}"] for r in table2_rows([WATER, COPPER])],
+        title="Table 2 — single-device time-to-solution (model)"))
+
+    print()
+    rows = []
+    for machine, w, atoms in ((SUMMIT, WATER, 41_472_000),
+                              (FUGAKU, WATER, 8_294_400),
+                              (SUMMIT, COPPER, 13_500_000),
+                              (FUGAKU, COPPER, 2_177_280)):
+        p = strong_scaling(machine, w, atoms, [20, 570, 4560])[-1]
+        rows.append([machine.name, w.name, f"{atoms:,}",
+                     f"{p.efficiency * 100:.1f}", f"{p.ns_per_day:.2f}"])
+    print(render_table(
+        ["machine", "system", "atoms", "eff@4560 %", "ns/day"], rows,
+        title="Figs. 9/10 — strong scaling to 4,560 nodes (model)"))
+
+    print()
+    rows = []
+    for machine, per_task in ((SUMMIT, 122_779), (FUGAKU, 6_804)):
+        p = weak_scaling(machine, COPPER, per_task, [machine.n_nodes])[-1]
+        rows.append([machine.name, f"{p.atoms / 1e9:.1f}",
+                     f"{p.step_seconds / p.atoms:.2e}", f"{p.pflops:.0f}"])
+    print(render_table(
+        ["machine", "copper atoms [B]", "TtS s/step/atom", "PFLOPS"], rows,
+        title=("Fig. 11 — weak scaling to the full machines "
+               "(paper: 3.4 B @ 1.1e-10 Summit, 17.3 B @ 4.1e-11 Fugaku)")))
+
+    print()
+    rows = []
+    for w in (WATER, COPPER):
+        mm = MemoryModel(w, V100)
+        rows.append(["V100 " + w.name, f"{mm.capacity_gain():.1f}x",
+                     f"{mm.g_matrix_share() * 100:.0f}%"])
+    print(render_table(
+        ["device/system", "capacity gain", "G share of baseline"], rows,
+        title="Sec. 6.1.2 — single-GPU capacity gains (paper: 6x / 26x)"))
+
+    print()
+    rows = [[str(s), f"{max_atoms_node_scheme(WATER, A64FX, s):,}"]
+            for s in A64FX_SCHEMES]
+    print(render_table(
+        ["scheme", "max water atoms / A64FX node"], rows,
+        title=("Sec. 6.2.4 — MPI x OpenMP node capacity "
+               "(paper: 110,592 flat -> 165,888 at 16x3)")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""NVT sampling and structural analysis of DP copper.
+
+The applications the paper's introduction motivates (mechanical
+properties of metals, batteries, ...) consume *structure* from large MD
+runs.  This example runs Langevin-NVT dynamics of copper under the
+compressed Deep Potential model, streams the trajectory to extended-XYZ,
+and computes the radial distribution function — recovering the FCC
+signature (first shell at a/sqrt(2) ≈ 2.57 Å, coordination 12).
+
+Run:  python examples/structure_analysis.py
+"""
+
+import numpy as np
+
+from repro import quick_simulation
+from repro.analysis import coordination_number, radial_distribution, render_series
+from repro.io import XYZTrajectoryWriter, read_xyz
+from repro.md import COPPER_LATTICE_CONSTANT, Langevin
+
+
+def main() -> None:
+    sim = quick_simulation("copper", n_cells=(4, 4, 4), seed=6)
+    sim.thermostat = Langevin(330.0, friction_per_ps=5.0, seed=7)
+    n = len(sim.coords)
+    print(f"copper: {n} atoms, Langevin NVT at 330 K")
+
+    frames = []
+    with XYZTrajectoryWriter("copper_nvt.xyz", ["Cu"] * n) as writer:
+        for block in range(5):
+            sim.run(20, thermo_every=0)
+            writer.write(sim.coords, sim.box, step=sim.step,
+                         energy=sim.energy)
+            frames.append(sim.coords.copy())
+            t = sim.current_thermo()
+            print(f"  step {sim.step:4d}: T = {t.temperature_k:6.1f} K, "
+                  f"P = {t.pressure_bar:8.1f} bar")
+
+    # time-averaged g(r) over the sampled frames
+    r_max = sim.box.min_length() / 2 * 0.99
+    gs = []
+    for c in frames:
+        r, g = radial_distribution(c, sim.box, r_max=r_max, n_bins=160)
+        gs.append(g)
+    g_mean = np.mean(gs, axis=0)
+
+    a = COPPER_LATTICE_CONSTANT
+    first = r[np.argmax(g_mean)]
+    rho = n / sim.box.volume
+    cn = coordination_number(r, g_mean, rho, r_cut=first + 0.35)
+    peaks = r[np.argsort(g_mean)[-8:]]
+    print(f"\nfirst RDF peak at {first:.3f} Å "
+          f"(FCC nearest neighbor a/sqrt2 = {a / np.sqrt(2):.3f} Å)")
+    print(f"coordination number to first shell: {cn:.1f} (FCC: 12)")
+    print(render_series("g(r) around the peak",
+                        [f"{x:.2f}" for x in r[58:70:2]],
+                        g_mean[58:70:2]))
+    print(f"\ntrajectory: copper_nvt.xyz "
+          f"({len(read_xyz('copper_nvt.xyz'))} frames)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Self-diffusion of DP water from mean-squared displacement.
+
+A production-style observable pipeline on the two-species model:
+Langevin-NVT water, trajectory collected in memory, positions unwrapped
+across periodic boundaries, MSD accumulated, and the Einstein-relation
+diffusion coefficient extracted.  (The synthetic model's D has no
+physical meaning — the pipeline and its invariants do.)
+
+Run:  python examples/water_diffusion.py
+"""
+
+import numpy as np
+
+from repro import quick_simulation
+from repro.analysis import (
+    ascii_curve,
+    diffusion_coefficient,
+    mean_squared_displacement,
+)
+from repro.md import Langevin
+
+
+def main() -> None:
+    sim = quick_simulation("water", reps=(1, 1, 1), seed=3)
+    sim.thermostat = Langevin(330.0, friction_per_ps=2.0, seed=4)
+    n = len(sim.coords)
+    print(f"water: {n} atoms, Langevin NVT at 330 K, "
+          f"dt = {sim.dt_fs} fs")
+
+    frames = [sim.coords.copy()]
+    times = [0.0]
+    for _ in range(30):
+        sim.run(10, thermo_every=0)
+        frames.append(sim.coords.copy())
+        times.append(sim.time_ps)
+    frames = np.asarray(frames)
+    times = np.asarray(times)
+
+    msd = mean_squared_displacement(frames, box=sim.box)
+    print("\n" + ascii_curve(times[1:], msd[1:], width=50, height=10,
+                             label="MSD(t) [Å²]"))
+
+    d = diffusion_coefficient(times, msd, fit_from=times[len(times) // 3])
+    print(f"\nD = {d:.4f} Å²/ps = {d * 1e-4:.2e} cm²/s "
+          f"(experimental water at 330 K: ~3.2e-5 cm²/s; the synthetic "
+          f"PES is not expected to match)")
+    print(f"MSD at t = {times[-1]:.3f} ps: {msd[-1]:.3f} Å²")
+
+
+if __name__ == "__main__":
+    main()

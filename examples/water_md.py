@@ -1,0 +1,47 @@
+"""Water MD with the two-type Deep Potential pipeline.
+
+Replicates the paper's water workload at laptop scale: the 192-atom
+liquid cell replicated 2x2x2 (1,536 atoms, O/H types, 0.5 fs timestep,
+330 K), run under the compressed model with thermo streamed to a log
+file — the per-species pipeline (per-type embedding tables, per-type
+fitting nets) exercised end to end.
+
+Run:  python examples/water_md.py [n_steps]   (99 = the paper protocol;
+      the default 40 keeps the demo around a minute)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import quick_simulation
+from repro.io import ThermoWriter
+from repro.units import MASS_AMU
+
+
+def main(n_steps: int = 40) -> None:
+    sim = quick_simulation("water", reps=(2, 2, 2), seed=1)
+    n = len(sim.coords)
+    n_o = int(np.sum(sim.types == 0))
+    print(f"water: {n} atoms ({n_o} O + {n - n_o} H), "
+          f"box {sim.box.lengths.round(2)} Å, dt = "
+          f"{sim.integrator.dt * 1e3:.2f} fs")
+    print(f"model: rcut {sim.forcefield.rcut} Å, "
+          f"sel {sim.forcefield.model.spec.sel}")
+
+    with ThermoWriter("water_thermo.log", echo=True) as writer:
+        for t in sim.run(n_steps, thermo_every=10):
+            pass
+        for state in sim.thermo_log:
+            writer.write(state)
+
+    e = [t.total_ev for t in sim.thermo_log]
+    print(f"\nenergy drift over {n_steps} steps: "
+          f"{(e[-1] - e[0]) / n:+.2e} eV/atom")
+    print(f"mean temperature: "
+          f"{np.mean([t.temperature_k for t in sim.thermo_log]):.1f} K")
+    print("thermo written to water_thermo.log")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

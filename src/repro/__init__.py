@@ -1,0 +1,128 @@
+"""repro — reproduction of "Extending the limit of molecular dynamics
+with ab initio accuracy to 10 billion atoms" (PPoPP 2022).
+
+The package reproduces the paper's full system in Python:
+
+* :mod:`repro.core` — the Deep Potential model, its fifth-order
+  tabulation, fused kernels, redundancy removal, and the optimization-
+  stage ladder (the paper's contribution);
+* :mod:`repro.md` — the LAMMPS-like MD substrate (PBC, cell-list
+  neighbor search, velocity-Verlet, thermodynamics);
+* :mod:`repro.parallel` — simulated MPI, domain decomposition, ghost
+  exchange, MPI+OpenMP schemes, and a distributed MD engine that matches
+  the serial one bit-for-bit;
+* :mod:`repro.perf` — calibrated machine/cost/memory/scaling models that
+  regenerate the paper's Summit/Fugaku results (see DESIGN.md §3 for the
+  substitution rationale);
+* :mod:`repro.workloads` — the water and copper systems;
+* :mod:`repro.baselines`, :mod:`repro.io`, :mod:`repro.analysis` —
+  comparison pipelines, serialization, metrics.
+
+Quickstart::
+
+    from repro import quick_simulation
+    sim = quick_simulation("copper", n_cells=(3, 3, 3))
+    sim.run(99)
+    print(sim.thermo_log[-1])
+"""
+
+from . import units
+from .core import (
+    CompressedDPModel,
+    DPModel,
+    EmbeddingTable,
+    ModelSpec,
+    Stage,
+    StageLadder,
+    TanhTable,
+)
+from .md import Box, DPForceField, LennardJones, NeighborSearch, Simulation
+from .workloads import COPPER, WATER, build_copper, build_water
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "COPPER",
+    "CompressedDPModel",
+    "DPForceField",
+    "DPModel",
+    "EmbeddingTable",
+    "LennardJones",
+    "ModelSpec",
+    "NeighborSearch",
+    "Simulation",
+    "Stage",
+    "StageLadder",
+    "TanhTable",
+    "WATER",
+    "build_copper",
+    "build_water",
+    "quick_simulation",
+    "units",
+    "__version__",
+]
+
+
+def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
+                     reps=(2, 2, 2), compressed: bool = True,
+                     interval: float = 0.01, seed: int = 0,
+                     **model_kwargs) -> Simulation:
+    """One-call MD setup on a paper workload at laptop scale.
+
+    Builds the configuration, a (downsized) Deep Potential model, and —
+    by default — its compressed form, wired into a serial
+    :class:`Simulation` with the paper's protocol defaults.
+
+    Parameters
+    ----------
+    system:
+        ``"copper"`` or ``"water"``.
+    n_cells / reps:
+        System size (FCC cells for copper, 192-atom cell replications
+        for water).
+    compressed:
+        Use the tabulated + fused model (the paper's optimized code)
+        instead of the baseline.
+    model_kwargs:
+        Overrides for :meth:`repro.workloads.Workload.model_spec`, e.g.
+        ``d1=8, fit_width=32`` to shrink the nets.
+    """
+    if system == "copper":
+        workload = COPPER
+        coords, types, box = build_copper(n_cells)
+    elif system == "water":
+        workload = WATER
+        coords, types, box = build_water(reps)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+
+    model_kwargs.setdefault("d1", 8)
+    model_kwargs.setdefault("m_sub", 4)
+    model_kwargs.setdefault("fit_width", 48)
+
+    # Laptop-scale cutoff: small boxes cannot host the paper's cutoff
+    # plus skin, so shrink it while keeping the dataflow identical.
+    rcut, rcut_smth = workload.rcut, workload.rcut_smth
+    if box.min_length() < 2.0 * (rcut + 2.0):
+        rcut = min(4.5, box.min_length() / 2.0 - 1.0)
+        rcut_smth = min(3.5, rcut - 1.0)
+    model_kwargs.setdefault("sel", workload.sel_for_engine(rcut=rcut))
+    spec = workload.model_spec(**model_kwargs)
+    spec = ModelSpec(
+        rcut=rcut, rcut_smth=rcut_smth, sel=spec.sel,
+        n_types=spec.n_types, d1=spec.d1, m_sub=spec.m_sub,
+        fit_width=spec.fit_width,
+    )
+
+    model = DPModel(spec)
+    if compressed:
+        model = CompressedDPModel.compress(model, interval=interval)
+    return Simulation(
+        coords, types, box,
+        masses=workload.masses,
+        forcefield=DPForceField(model),
+        dt_fs=workload.dt_fs,
+        sel=spec.sel,
+        seed=seed,
+    )

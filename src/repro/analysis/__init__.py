@@ -1,0 +1,21 @@
+"""Accuracy metrics (Fig. 2) and report rendering."""
+
+from .msd import diffusion_coefficient, mean_squared_displacement, unwrap_frames
+from .rdf import coordination_number, radial_distribution
+from .reporting import ascii_curve, compare_row, render_series, render_table
+from .rmse import rmse_energy_per_atom, rmse_force_component, tabulation_accuracy
+
+__all__ = [
+    "ascii_curve",
+    "compare_row",
+    "coordination_number",
+    "diffusion_coefficient",
+    "mean_squared_displacement",
+    "radial_distribution",
+    "unwrap_frames",
+    "render_series",
+    "render_table",
+    "rmse_energy_per_atom",
+    "rmse_force_component",
+    "tabulation_accuracy",
+]

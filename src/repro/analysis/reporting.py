@@ -1,0 +1,65 @@
+"""Text renderers used by the benchmark harness to print paper-style
+tables and series (every bench regenerates its table/figure as text and
+EXPERIMENTS.md records the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_series", "compare_row", "ascii_curve"]
+
+
+def render_table(headers, rows, title: str | None = None) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(c) for c in col) for col in cols]
+    out = []
+    if title:
+        out.append(title)
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    out.append(line)
+    out.append("-" * len(line))
+    for row in rows:
+        out.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(name: str, xs, ys, fmt: str = "{:.3g}") -> str:
+    """One figure series as ``name: x->y`` pairs."""
+    pairs = ", ".join(f"{x}->{fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def ascii_curve(xs, ys, width: int = 60, height: int = 12,
+                label: str = "", log_x: bool = False) -> str:
+    """A terminal scatter/line plot — the benches sketch the paper's
+    figure shapes (scaling curves, ladders) directly in text."""
+    import math
+
+    xs = [math.log10(x) if log_x else float(x) for x in xs]
+    ys = [float(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for r, row in enumerate(grid):
+        y_val = y_hi - r * y_span / (height - 1)
+        lines.append(f"{y_val:10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11s} {min(xs):.3g} ... {max(xs):.3g}"
+                 + (" (log10 x)" if log_x else ""))
+    return "\n".join(lines)
+
+
+def compare_row(label: str, paper, ours, fmt: str = "{:.3g}") -> str:
+    """A 'paper vs ours' line with the deviation factor."""
+    ratio = ours / paper if paper else float("inf")
+    return (f"{label:42s} paper {fmt.format(paper):>10s}   "
+            f"ours {fmt.format(ours):>10s}   x{ratio:.2f}")

@@ -1,0 +1,55 @@
+"""Accuracy metrics exactly as defined in Sec. 3.2 (Fig. 2).
+
+``RMSE_E`` is the per-atom energy RMSE over ``m`` configurations of ``N``
+atoms (note the paper's ``1/N`` prefactor *outside* the square root);
+``RMSE_F`` is the per-component force RMSE over all ``3 m N`` components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse_energy_per_atom", "rmse_force_component", "tabulation_accuracy"]
+
+
+def rmse_energy_per_atom(e_tab, e_orig, n_atoms: int) -> float:
+    """``RMSE_E = (1/N) sqrt(mean_i (E_i^tab - E_i^orig)^2)``.
+
+    ``e_tab``/``e_orig`` are total energies per configuration, shape
+    ``(m,)``.
+    """
+    e_tab = np.asarray(e_tab, dtype=np.float64)
+    e_orig = np.asarray(e_orig, dtype=np.float64)
+    return float(np.sqrt(np.mean((e_tab - e_orig) ** 2)) / n_atoms)
+
+
+def rmse_force_component(f_tab, f_orig) -> float:
+    """``RMSE_F = sqrt( (1/3mN) sum (F^tab - F^orig)^2 )``.
+
+    Inputs have shape ``(m, N, 3)`` (or anything broadcast-compatible).
+    """
+    d = np.asarray(f_tab, dtype=np.float64) - np.asarray(f_orig, dtype=np.float64)
+    return float(np.sqrt(np.mean(d * d)))
+
+
+def tabulation_accuracy(baseline_eval, tabulated_eval, configs) -> tuple:
+    """Run both evaluators over configurations and return
+    ``(RMSE_E, RMSE_F)``.
+
+    ``baseline_eval`` / ``tabulated_eval`` map a configuration to
+    ``(energy, forces)``; ``configs`` is an iterable of configurations.
+    """
+    e_b, e_t, f_b, f_t = [], [], [], []
+    n_atoms = None
+    for cfg in configs:
+        eb, fb = baseline_eval(cfg)
+        et, ft = tabulated_eval(cfg)
+        e_b.append(eb)
+        e_t.append(et)
+        f_b.append(fb)
+        f_t.append(ft)
+        n_atoms = len(fb)
+    return (
+        rmse_energy_per_atom(e_t, e_b, n_atoms),
+        rmse_force_component(np.stack(f_t), np.stack(f_b)),
+    )

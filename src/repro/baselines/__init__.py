@@ -1,0 +1,11 @@
+"""Baselines: the 2020 state-of-the-art pipeline and Table 1 literature data."""
+
+from .pipeline import BaselinePipeline
+from .reference import TABLE1_LITERATURE, TABLE1_THIS_WORK, Table1Row
+
+__all__ = [
+    "BaselinePipeline",
+    "TABLE1_LITERATURE",
+    "TABLE1_THIS_WORK",
+    "Table1Row",
+]

@@ -1,0 +1,64 @@
+"""The baseline (state-of-the-art-2020) pipeline as a packaged object.
+
+Bundles the uncompressed :class:`DPModel` with the padded neighbor
+layout and flat-MPI launch assumptions — the comparison point every
+experiment in the paper measures against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import DPModel
+from ..md.neighbor import NeighborSearch
+from ..md.simulation import DPForceField, Simulation
+from ..workloads.registry import Workload
+
+__all__ = ["BaselinePipeline"]
+
+
+class BaselinePipeline:
+    """End-to-end baseline: padded lists, uncompressed nets.
+
+    Parameters
+    ----------
+    workload:
+        Paper workload descriptor.
+    model_kwargs:
+        Overrides forwarded to :meth:`Workload.model_spec` — the tests
+        shrink ``d1``/``fit_width``/``sel`` to laptop scale without
+        changing the dataflow.
+    """
+
+    def __init__(self, workload: Workload, **model_kwargs):
+        self.workload = workload
+        self.spec = workload.model_spec(**model_kwargs)
+        self.model = DPModel(self.spec)
+
+    def forcefield(self) -> DPForceField:
+        return DPForceField(self.model)
+
+    def search(self, skin: float = 2.0) -> NeighborSearch:
+        return NeighborSearch(self.spec.rcut, skin=skin, sel=self.spec.sel)
+
+    def simulation(self, coords, types, box, *, dt_fs=None, seed=0,
+                   skin: float = 2.0, **kwargs) -> Simulation:
+        """A ready-to-run serial MD simulation with paper defaults."""
+        return Simulation(
+            coords, types, box,
+            masses=self.workload.masses,
+            forcefield=self.forcefield(),
+            dt_fs=dt_fs if dt_fs is not None else self.workload.dt_fs,
+            sel=self.spec.sel,
+            skin=skin,
+            seed=seed,
+            **kwargs,
+        )
+
+    def evaluate(self, coords, types, box, skin: float = 2.0):
+        """One-shot energy/forces/virial on a configuration."""
+        nd = self.search(skin).build(np.asarray(coords), types, box)
+        res = self.model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                  nd.nlist)
+        forces = nd.fold_forces(res.forces)
+        return res.energy, forces, res.virial

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Subcommands mirror how a user actually drives the system::
+
+    python -m repro.cli run --system copper --cells 4 4 4 --steps 99
+    python -m repro.cli compress --interval 0.01 --out model.npz
+    python -m repro.cli project --experiment strong --machine Summit
+    python -m repro.cli info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Extending the limit of MD with ab "
+                     "initio accuracy to 10 billion atoms' (PPoPP 2022)"),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an MD simulation")
+    run.add_argument("--system", choices=["copper", "water"],
+                     default="copper")
+    run.add_argument("--cells", type=int, nargs=3, default=[3, 3, 3],
+                     help="FCC cells (copper) or 192-atom replications "
+                          "(water)")
+    run.add_argument("--steps", type=int, default=99)
+    run.add_argument("--baseline", action="store_true",
+                     help="use the uncompressed model")
+    run.add_argument("--interval", type=float, default=0.01,
+                     help="tabulation interval")
+    run.add_argument("--temperature", type=float, default=330.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--xyz", type=str, default=None,
+                     help="write the trajectory to this extended-XYZ file")
+    run.add_argument("--thermo-every", type=int, default=50)
+
+    comp = sub.add_parser("compress",
+                          help="build and save a compressed model")
+    comp.add_argument("--system", choices=["copper", "water"],
+                      default="copper")
+    comp.add_argument("--interval", type=float, default=0.01)
+    comp.add_argument("--d1", type=int, default=16)
+    comp.add_argument("--out", type=str, required=True)
+
+    proj = sub.add_parser("project",
+                          help="machine-scale projections (perf model)")
+    proj.add_argument("--experiment",
+                      choices=["strong", "weak", "ladder", "table2",
+                               "capacity", "validate"],
+                      default="table2")
+    proj.add_argument("--machine", choices=["Summit", "Fugaku"],
+                      default="Summit")
+    proj.add_argument("--system", choices=["copper", "water"],
+                      default="copper")
+
+    sub.add_parser("info", help="print package and paper summary")
+    return p
+
+
+def _cmd_run(args) -> int:
+    import repro
+    from repro.io import format_thermo_table
+
+    sim = repro.quick_simulation(
+        args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
+        compressed=not args.baseline, interval=args.interval,
+        seed=args.seed,
+    )
+    writer = None
+    if args.xyz:
+        from repro.io.trajectory import XYZTrajectoryWriter
+
+        names = (["Cu"] if args.system == "copper" else ["O", "H"])
+        symbols = [names[t] for t in sim.types]
+        writer = XYZTrajectoryWriter(args.xyz, symbols)
+        writer.write(sim.coords, sim.box, 0, sim.energy)
+    print(f"{args.system}: {len(sim.coords)} atoms, "
+          f"{'baseline' if args.baseline else 'compressed'} model")
+    sim.run(args.steps, thermo_every=args.thermo_every)
+    if writer is not None:
+        writer.write(sim.coords, sim.box, sim.step, sim.energy)
+        writer.close()
+        print(f"trajectory written to {args.xyz}")
+    print(format_thermo_table(sim.thermo_log))
+    print(f"throughput: {sim.ns_per_day():.3f} ns/day")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.core import CompressedDPModel, DPModel
+    from repro.io import save_compressed
+    from repro.workloads import COPPER, WATER
+
+    w = COPPER if args.system == "copper" else WATER
+    spec = w.model_spec(d1=args.d1, m_sub=max(2, args.d1 // 2),
+                        fit_width=4 * args.d1)
+    model = DPModel(spec)
+    comp = CompressedDPModel.compress(model, interval=args.interval)
+    save_compressed(args.out, comp)
+    print(f"compressed {args.system} model (d1={args.d1}, interval "
+          f"{args.interval}) -> {args.out} "
+          f"({comp.table_bytes / 1e6:.1f} MB of tables)")
+    return 0
+
+
+def _cmd_project(args) -> int:
+    from repro.analysis import render_table
+    from repro.core import Stage
+    from repro.perf import (
+        FUGAKU,
+        SUMMIT,
+        MemoryModel,
+        V100,
+        speedup_ladder,
+        strong_scaling,
+        table2_rows,
+        weak_scaling,
+    )
+    from repro.workloads import COPPER, WATER
+
+    machine = SUMMIT if args.machine == "Summit" else FUGAKU
+    w = COPPER if args.system == "copper" else WATER
+
+    if args.experiment == "strong":
+        sizes = {"copper": {"Summit": 13_500_000, "Fugaku": 2_177_280},
+                 "water": {"Summit": 41_472_000, "Fugaku": 8_294_400}}
+        pts = strong_scaling(machine, w, sizes[w.name][machine.name],
+                             [20, 57, 114, 285, 570, 1140, 2280, 4560])
+        print(render_table(
+            ["nodes", "ms/step", "eff %", "ns/day"],
+            [[p.nodes, f"{p.step_seconds * 1e3:.2f}",
+              f"{p.efficiency * 100:.1f}", f"{p.ns_per_day:.2f}"]
+             for p in pts],
+            title=f"strong scaling, {w.name} on {machine.name}"))
+    elif args.experiment == "weak":
+        per_task = 122_779 if machine.name == "Summit" else 6_804
+        pts = weak_scaling(machine, w, per_task,
+                           [machine.n_nodes // 256, machine.n_nodes // 16,
+                            machine.n_nodes])
+        print(render_table(
+            ["nodes", "atoms", "s/step", "PFLOPS"],
+            [[p.nodes, f"{p.atoms:.3g}", f"{p.step_seconds:.3f}",
+              f"{p.pflops:.1f}"] for p in pts],
+            title=f"weak scaling, {w.name} on {machine.name}"))
+    elif args.experiment == "ladder":
+        lad = speedup_ladder(machine.device, w)
+        print(render_table(
+            ["stage", "cumulative speedup"],
+            [[s.value, f"{lad[s]:.2f}"] for s in Stage.ordered()],
+            title=f"optimization ladder, {w.name} on {machine.device.name}"))
+    elif args.experiment == "table2":
+        print(render_table(
+            ["machine", "system", "TtS us", "xPeak", "xPower"],
+            [[r.machine, r.system, f"{r.tts_us:.2f}",
+              f"{r.tts_x_peak:.1f}", f"{r.tts_x_power:.0f}"]
+             for r in table2_rows([WATER, COPPER])],
+            title="Table 2 — normalized single-device comparison"))
+    elif args.experiment == "capacity":
+        mm = MemoryModel(w, V100)
+        print(f"V100 {w.name}: capacity gain {mm.capacity_gain():.1f}x, "
+              f"baseline G share {mm.g_matrix_share() * 100:.0f}%")
+    elif args.experiment == "validate":
+        from repro.perf.validate import main as validate_main
+
+        return validate_main()
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — PPoPP'22 DeePMD-kit reproduction")
+    print(__doc__)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "run": _cmd_run,
+        "compress": _cmd_compress,
+        "project": _cmd_project,
+        "info": _cmd_info,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the Deep Potential model, its
+fifth-order tabulation, fused kernels, and the optimization-stage ladder.
+"""
+
+from .activation import TanhTable, tanh
+from .committee import DeviationRecord, ModelCommittee
+from .compressed import CompressedDPModel, pack_nlist
+from .descriptor import descriptor_dim
+from .descriptor_r import SeRModel
+from .embedding import EmbeddingNet
+from .fitting import FittingNet
+from .fused import KernelCounters
+from .model import DPModel, EvalResult, ModelSpec
+from .precision import precision_study, to_single_precision
+from .table_layout import SoAEmbeddingTable
+from .training import EnergyTrainer
+from .tabulation import DEFAULT_INTERVAL, EmbeddingTable
+from .variants import Stage, StageLadder
+
+__all__ = [
+    "CompressedDPModel",
+    "DeviationRecord",
+    "DEFAULT_INTERVAL",
+    "DPModel",
+    "EmbeddingNet",
+    "EmbeddingTable",
+    "EnergyTrainer",
+    "EvalResult",
+    "FittingNet",
+    "KernelCounters",
+    "ModelCommittee",
+    "ModelSpec",
+    "SeRModel",
+    "SoAEmbeddingTable",
+    "Stage",
+    "StageLadder",
+    "TanhTable",
+    "pack_nlist",
+    "precision_study",
+    "to_single_precision",
+    "descriptor_dim",
+    "tanh",
+]

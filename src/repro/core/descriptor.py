@@ -1,0 +1,103 @@
+"""The symmetry-preserving descriptor ``D = (G<)^T R̃ R̃^T G`` (Eq. 2).
+
+With ``T = R̃^T G / N_m`` (a tiny ``4 x M`` matrix per atom) the
+descriptor is ``D = (T<)^T T`` where ``T<`` keeps the first ``M<``
+columns.  ``T`` is exactly the quantity the paper's fused kernel
+accumulates as a sum of per-neighbor outer products (Fig. 4 (c)) — the
+embedding matrix ``G`` never has to exist for the optimized path; this
+module provides the mathematical core shared by both paths plus the
+reverse-mode pass the force computation needs.
+
+Rotational invariance: a rotation ``Q`` maps ``R̃ -> R̃ diag(1, Q)`` so
+``T -> diag(1, Q)ᵀ T`` appears on *both* sides of ``(T<)^T T`` and cancels;
+permutations of the neighbor list reorder the rows summed over; and
+translations never enter (only displacements do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "contract_t",
+    "descriptor_from_t",
+    "descriptor_forward",
+    "descriptor_backward",
+    "dt_from_ddescr",
+    "descriptor_dim",
+]
+
+
+def descriptor_dim(m_out: int, m_sub: int) -> int:
+    """Flattened descriptor length ``M< * M`` (fitting-net input width)."""
+    return m_sub * m_out
+
+
+def contract_t(descrpt: np.ndarray, g: np.ndarray, n_m_norm: int) -> np.ndarray:
+    """``T = R̃^T G / N_m`` for a batch — shape ``(n, 4, M)``.
+
+    ``n_m_norm`` is the *model* neighbor capacity, used as a fixed
+    normalization so that padded and packed evaluations agree bitwise.
+    """
+    return np.einsum("nja,njm->nam", descrpt, g) / float(n_m_norm)
+
+
+def descriptor_from_t(t: np.ndarray, m_sub: int) -> np.ndarray:
+    """``D = (T<)^T T`` flattened to ``(n, M< * M)``."""
+    d = np.einsum("nas,nam->nsm", t[:, :, :m_sub], t)
+    n, _, m_out = t.shape
+    return d.reshape(n, m_sub * m_out)
+
+
+def descriptor_forward(descrpt: np.ndarray, g: np.ndarray, m_sub: int,
+                       n_m_norm: int):
+    """Full forward pass; returns ``(D, T)`` with ``T`` cached for backward."""
+    t = contract_t(descrpt, g, n_m_norm)
+    return descriptor_from_t(t, m_sub), t
+
+
+def dt_from_ddescr(d_descr: np.ndarray, t: np.ndarray, m_sub: int) -> np.ndarray:
+    """``dE/dD -> dE/dT`` — the part of the backward pass shared with the
+    fused (compressed) path, which never owns ``G``.
+
+    With ``D_sm = sum_a T_{a s} T_{a m}`` (``s < M<``):
+
+    * ``dT_{a m} += sum_s dD_{s m} T_{a s}``   (all columns)
+    * ``dT_{a s} += sum_m dD_{s m} T_{a m}``   (first ``M<`` columns)
+    """
+    n, _, m_out = t.shape
+    dd = d_descr.reshape(n, m_sub, m_out)
+    dt = np.einsum("nsm,nas->nam", dd, t[:, :, :m_sub])
+    dt[:, :, :m_sub] += np.einsum("nsm,nam->nas", dd, t)
+    return dt
+
+
+def descriptor_backward(
+    d_descr: np.ndarray,
+    t: np.ndarray,
+    descrpt: np.ndarray,
+    g: np.ndarray,
+    m_sub: int,
+    n_m_norm: int,
+):
+    """Reverse-mode through the descriptor.
+
+    Parameters
+    ----------
+    d_descr:
+        ``dE/dD`` flattened, shape ``(n, M< * M)``.
+    t, descrpt, g:
+        Forward-pass values (``T`` from :func:`descriptor_forward`).
+
+    Returns
+    -------
+    d_r:
+        ``dE/dR̃`` — shape ``(n, N_m, 4)``.
+    d_g:
+        ``dE/dG`` — shape ``(n, N_m, M)``.
+    """
+    dt = dt_from_ddescr(d_descr, t, m_sub)
+    inv = 1.0 / float(n_m_norm)
+    d_r = np.einsum("nam,njm->nja", dt, g) * inv
+    d_g = np.einsum("nam,nja->njm", dt, descrpt) * inv
+    return d_r, d_g

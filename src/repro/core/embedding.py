@@ -1,0 +1,98 @@
+"""The embedding net (Eqs. 3-5) and its scalar-input derivatives.
+
+The embedding net maps each component of ``s(r_ij)`` to one row of the
+embedding matrix ``G_i`` — a function ``g : R -> R^M``.  The paper's
+networks use ``d1 = 32`` with two width-doubling shortcut layers, so
+``M = 4 d1 = 128`` (Fig. 1 (c) and (e)).
+
+Because the input is a *scalar*, first and second derivatives of the whole
+net can be propagated cheaply in forward mode; the tabulation of Sec. 3.2
+needs ``g``, ``g'`` and ``g''`` at the interval nodes to fit its
+fifth-order (Hermite-quintic) polynomials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import MLP, DenseLayer, ResidualDenseLayer
+
+__all__ = ["EmbeddingNet"]
+
+
+class EmbeddingNet(MLP):
+    """Three-layer embedding net with width pattern ``d1 -> 2 d1 -> 4 d1``.
+
+    Parameters
+    ----------
+    d1:
+        Width of the first fully-connected layer (32 in the paper); the
+        output width is ``M = 4 d1``.
+    rng:
+        Seeded generator for the synthetic weights.
+    scale:
+        Weight scale; kept below 1 so the synthetic potential-energy
+        surface is smooth and MD with it stays well-behaved.
+    """
+
+    def __init__(self, d1: int = 32, rng: np.random.Generator | None = None,
+                 scale: float = 0.8):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if d1 < 1:
+            raise ValueError("d1 must be positive")
+        layers = [
+            DenseLayer(1, d1, rng, scale),
+            ResidualDenseLayer(d1, 2 * d1, rng, scale),
+            ResidualDenseLayer(2 * d1, 4 * d1, rng, scale),
+        ]
+        super().__init__(layers)
+        self.d1 = d1
+        self.M = 4 * d1
+
+    def evaluate(self, s: np.ndarray) -> np.ndarray:
+        """Map a flat array of ``s`` values to rows of ``G`` — shape ``(n, M)``."""
+        s = np.asarray(s, dtype=np.float64).reshape(-1, 1)
+        return self(s)
+
+    def evaluate_with_derivatives(self, s: np.ndarray):
+        """Forward-mode evaluation returning ``(g, g', g'')``.
+
+        Each output has shape ``(n, M)``.  Derivatives are with respect to
+        the scalar input, propagated exactly (no finite differences):
+        for ``t = tanh(z)`` with ``z = x W + b``,
+
+        * ``y'  = (1 - t^2) (x' W)  [+ shortcut']``
+        * ``y'' = (1 - t^2) (x'' W) - 2 t (1 - t^2) (x' W)^2 [+ shortcut'']``
+        """
+        s = np.asarray(s, dtype=np.float64).reshape(-1, 1)
+        x = s
+        x1 = np.ones_like(s)
+        x2 = np.zeros_like(s)
+        for layer in self.layers:
+            z1 = x1 @ layer.W
+            z2 = x2 @ layer.W
+            t = np.tanh(x @ layer.W + layer.b)
+            dt = 1.0 - t * t
+            y = t
+            y1 = dt * z1
+            y2 = dt * z2 - 2.0 * t * dt * z1 * z1
+            if isinstance(layer, ResidualDenseLayer):
+                if layer.doubling:
+                    y = np.concatenate([x, x], axis=1) + y
+                    y1 = np.concatenate([x1, x1], axis=1) + y1
+                    y2 = np.concatenate([x2, x2], axis=1) + y2
+                else:
+                    y, y1, y2 = x + y, x1 + y1, x2 + y2
+            x, x1, x2 = y, y1, y2
+        return x, x1, x2
+
+    def flops_per_input(self) -> int:
+        """FLOPs to push one scalar through the net, matching Sec. 2.2.
+
+        The paper counts the three-layer net as
+        ``d1 + 10 d1^2`` FLOPs per element of ``s``
+        (``2*(1*d1) ~ d1`` for the first layer and the two doubling GEMMs
+        at ``2*d1*2d1 + 2*2d1*4d1 = 20 d1^2``, halved to multiply-adds).
+        """
+        return self.d1 + 10 * self.d1 * self.d1

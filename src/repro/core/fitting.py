@@ -1,0 +1,91 @@
+"""The fitting net mapping descriptors to atomic energies (Fig. 1 (d)).
+
+A standard fully-connected network whose hidden layers share one width
+(240 in the paper) with identity shortcut connections between the input
+and output of every hidden layer except the first (whose input is the
+``M< * M``-wide descriptor and therefore cannot be short-circuited), and
+a final affine head producing the scalar ``E_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import MLP, DenseLayer, LinearLayer, ResidualDenseLayer
+
+__all__ = ["FittingNet"]
+
+
+class FittingNet(MLP):
+    """Three-hidden-layer fitting network ``N : R^{M< M} -> R``.
+
+    Parameters
+    ----------
+    n_in:
+        Descriptor width ``M< * M`` (2048 for the paper's ``M<=16, M=128``).
+    width:
+        Hidden width (240 in the paper).
+    n_hidden:
+        Number of hidden layers (3 in the paper).
+    out_scale:
+        Scale of the output head; small values keep the synthetic PES
+        gentle enough for stable MD.
+    """
+
+    def __init__(self, n_in: int, width: int = 240, n_hidden: int = 3,
+                 rng: np.random.Generator | None = None,
+                 scale: float = 0.8, out_scale: float = 0.05):
+        if rng is None:
+            rng = np.random.default_rng(1)
+        if n_hidden < 1:
+            raise ValueError("fitting net needs at least one hidden layer")
+        layers = [DenseLayer(n_in, width, rng, scale)]
+        for _ in range(n_hidden - 1):
+            layers.append(ResidualDenseLayer(width, width, rng, scale))
+        layers.append(LinearLayer(width, 1, rng, out_scale))
+        super().__init__(layers)
+        self.width = width
+        self.n_hidden = n_hidden
+        # Descriptor standardization (DeePMD's davg/dstd): identity until
+        # calibrated from data (set_input_stats / EnergyTrainer).
+        self.input_shift = np.zeros(n_in)
+        self.input_scale = np.ones(n_in)
+
+    def set_input_stats(self, mean: np.ndarray, std: np.ndarray,
+                        eps: float = 1e-8) -> None:
+        """Standardize descriptors as ``(D - mean) / max(std, eps)``.
+
+        Trained DeePMD models carry such statistics; without them the
+        descriptor's tiny relative variance makes the fitting net learn
+        only the mean energy.
+        """
+        self.input_shift = np.asarray(mean, dtype=np.float64).copy()
+        self.input_scale = 1.0 / np.maximum(np.asarray(std, np.float64), eps)
+
+    def _normalize(self, descr: np.ndarray) -> np.ndarray:
+        return (descr - self.input_shift) * self.input_scale
+
+    def energies(self, descr: np.ndarray) -> np.ndarray:
+        """Atomic energies ``E_i`` — shape ``(n,)``."""
+        return self(self._normalize(descr))[:, 0]
+
+    def energies_with_cache(self, descr: np.ndarray):
+        y, caches = self.forward(self._normalize(descr))
+        return y[:, 0], caches
+
+    def input_gradient(self, caches, n: int) -> np.ndarray:
+        """``d(sum_i E_i)/d descriptor`` via reverse mode — shape ``(n, n_in)``."""
+        dy = np.ones((n, 1))
+        return self.backward(dy, caches) * self.input_scale
+
+    def backward_input(self, dy: np.ndarray, caches) -> np.ndarray:
+        """Reverse mode with an arbitrary output seed, returning the
+        gradient w.r.t. the *raw* (unnormalized) descriptor."""
+        return self.backward(dy, caches) * self.input_scale
+
+    def flops_per_atom(self) -> int:
+        """Multiply-add FLOP count (x2) through the fitting net for one atom."""
+        total = 0
+        for layer in self.layers:
+            total += 2 * layer.W.size
+        return total

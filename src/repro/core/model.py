@@ -1,0 +1,262 @@
+"""The baseline Deep Potential model (Sec. 2) — full forward and backward.
+
+This is the reproduction of the *uncompressed* DeePMD-kit inference path
+(the paper's baseline [20]): per-neighbor-type embedding nets evaluated on
+padded neighbor lists, the full embedding matrix ``G`` materialized, GEMM
+descriptor construction, per-center-type fitting nets, and reverse-mode
+force/virial production through the customized operators.
+
+Shapes use the paper's symbols: ``n`` local atoms, ``N_m = sum(sel)``
+padded neighbor capacity, ``M = 4 d1`` embedding width, ``M<`` the
+sub-matrix width, descriptor width ``M< * M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .descriptor import descriptor_backward, descriptor_forward
+from .embedding import EmbeddingNet
+from .fitting import FittingNet
+from .network import init_rng
+from .ops import prod_env_mat_a, prod_force_se_a, prod_virial_se_a
+
+__all__ = ["ModelSpec", "EvalResult", "DPModel"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Hyper-parameters of a Deep Potential model.
+
+    ``sel`` is the per-neighbor-type capacity (DeePMD's ``sel``); the
+    padded neighbor width is ``N_m = sum(sel)``.  The paper's systems use
+    ``N_m = 138`` (water, two types) and 500→512 (copper, one type),
+    embedding ``32x64x128`` (``d1 = 32``), ``M< = 16``, fitting
+    ``240x240x240``.
+    """
+
+    rcut: float
+    rcut_smth: float
+    sel: tuple
+    n_types: int = 1
+    d1: int = 32
+    m_sub: int = 16
+    fit_width: int = 240
+    fit_hidden: int = 3
+    seed: int = 2022
+
+    def __post_init__(self):
+        if len(self.sel) != self.n_types:
+            raise ValueError("sel must have one capacity per atom type")
+        if self.rcut_smth >= self.rcut:
+            raise ValueError("rcut_smth must be below rcut")
+        if self.m_sub > 4 * self.d1:
+            raise ValueError("M< cannot exceed M = 4*d1")
+
+    @property
+    def n_m(self) -> int:
+        """Padded neighbor capacity ``N_m``."""
+        return int(sum(self.sel))
+
+    @property
+    def m_out(self) -> int:
+        """Embedding output width ``M = 4 d1``."""
+        return 4 * self.d1
+
+    @property
+    def descriptor_width(self) -> int:
+        return self.m_sub * self.m_out
+
+
+@dataclass
+class EvalResult:
+    """Output of one model evaluation."""
+
+    energy: float
+    atomic_energies: np.ndarray
+    forces: np.ndarray
+    virial: np.ndarray
+    extras: dict = field(default_factory=dict)
+
+
+class DPModel:
+    """Baseline (uncompressed) Deep Potential model.
+
+    Parameters are synthetic but deterministic (seeded); see DESIGN.md for
+    why this preserves every studied property of the paper.
+    """
+
+    def __init__(self, spec: ModelSpec):
+        self.spec = spec
+        rng = init_rng(spec.seed)
+        self.embeddings = [
+            EmbeddingNet(spec.d1, rng) for _ in range(spec.n_types)
+        ]
+        self.fittings = [
+            FittingNet(spec.descriptor_width, spec.fit_width,
+                       spec.fit_hidden, rng)
+            for _ in range(spec.n_types)
+        ]
+        #: Per-type energy bias (trained models carry one; ours is zero
+        #: by default and settable for calibration).
+        self.energy_bias = np.zeros(spec.n_types)
+
+    # ------------------------------------------------------------------ util
+    @property
+    def n_parameters(self) -> int:
+        return sum(n.n_params for n in self.embeddings) + sum(
+            n.n_params for n in self.fittings
+        )
+
+    def neighbor_types(self, atom_types: np.ndarray, nlist: np.ndarray) -> np.ndarray:
+        """Per-slot neighbor types; padded slots get type 0 (inert)."""
+        safe = np.where(nlist >= 0, nlist, 0)
+        ntypes = np.asarray(atom_types)[safe]
+        return np.where(nlist >= 0, ntypes, 0)
+
+    # -------------------------------------------------------------- pipeline
+    def _embed_forward(self, s_flat: np.ndarray, pair_types: np.ndarray):
+        """Evaluate per-type embedding nets over all (padded) pairs.
+
+        Returns ``G`` rows ``(n_pairs, M)`` plus the per-type caches the
+        backward pass replays.
+        """
+        g = np.empty((s_flat.size, self.spec.m_out))
+        caches = []
+        for t, net in enumerate(self.embeddings):
+            mask = pair_types == t
+            idx = np.nonzero(mask)[0]
+            if idx.size == 0:
+                caches.append((idx, None))
+                continue
+            out, cache = net.forward(s_flat[idx].reshape(-1, 1))
+            g[idx] = out
+            caches.append((idx, cache))
+        return g, caches
+
+    def _embed_backward(self, d_g: np.ndarray, caches) -> np.ndarray:
+        """Reverse through the embedding nets: ``dE/dG -> dE/ds`` per pair."""
+        ds = np.zeros(d_g.shape[0])
+        for net, (idx, cache) in zip(self.embeddings, caches):
+            if cache is None:
+                continue
+            net.zero_grad()
+            ds[idx] = net.backward(d_g[idx], cache)[:, 0]
+        return ds
+
+    def _fit(self, descr: np.ndarray, center_types: np.ndarray):
+        """Per-center-type fitting nets: energies + descriptor gradient."""
+        n = descr.shape[0]
+        energies = np.empty(n)
+        d_descr = np.empty_like(descr)
+        for t, net in enumerate(self.fittings):
+            idx = np.nonzero(center_types == t)[0]
+            if idx.size == 0:
+                continue
+            e, caches = net.energies_with_cache(descr[idx])
+            energies[idx] = e + self.energy_bias[t]
+            net.zero_grad()
+            d_descr[idx] = net.input_gradient(caches, idx.size)
+        return energies, d_descr
+
+    # -------------------------------------------------------------- evaluate
+    def evaluate(
+        self,
+        coords: np.ndarray,
+        atom_types: np.ndarray,
+        centers: np.ndarray,
+        nlist: np.ndarray,
+        counters=None,
+        timer=None,
+    ) -> EvalResult:
+        """Energy, forces and virial from padded neighbor lists.
+
+        Parameters
+        ----------
+        coords:
+            ``(n_total, 3)`` positions including ghost images.
+        atom_types:
+            ``(n_total,)`` type index per coordinate row.
+        centers:
+            ``(n,)`` indices of the atoms whose energy is evaluated.
+        nlist:
+            ``(n, N_m)`` padded neighbor lists (``-1`` pads).
+        counters:
+            Optional :class:`repro.core.fused.KernelCounters` to record the
+            baseline's FLOPs and its ``G`` footprint.
+        timer:
+            Optional :class:`repro.perf.profiler.SectionTimer` to attribute
+            wall time to pipeline sections (Sec. 2.2's profile).
+        """
+        from contextlib import nullcontext
+
+        sec = timer.section if timer is not None else (
+            lambda _name: nullcontext())
+        spec = self.spec
+        atom_types = np.asarray(atom_types)
+        n = len(centers)
+        n_total = coords.shape[0]
+        width = nlist.shape[1]  # padded capacity (>= observed neighbors)
+
+        with sec("env_mat"):
+            descrpt, deriv, rij = prod_env_mat_a(
+                coords, centers, nlist, spec.rcut_smth, spec.rcut
+            )
+        s_flat = descrpt[..., 0].reshape(-1)
+        pair_types = self.neighbor_types(atom_types, nlist).reshape(-1)
+
+        with sec("embedding_net"):
+            g_flat, emb_caches = self._embed_forward(s_flat, pair_types)
+        g = g_flat.reshape(n, width, spec.m_out)
+        if counters is not None:
+            # The baseline's defining cost: G is materialized (several
+            # copies exist in practice; we count this one's footprint).
+            counters.observe_buffer(g.nbytes)
+            counters.flops += (spec.d1 + 10 * spec.d1 * spec.d1) * s_flat.size
+            counters.processed_pairs += s_flat.size
+
+        with sec("descriptor"):
+            descr, t_cache = descriptor_forward(descrpt, g, spec.m_sub,
+                                                spec.n_m)
+        if counters is not None:
+            counters.flops += 2 * 4 * spec.m_out * s_flat.size
+            counters.flops += 2 * 4 * spec.m_sub * spec.m_out * n
+
+        center_types = atom_types[np.asarray(centers)]
+        with sec("fitting_net"):
+            energies, d_descr = self._fit(descr, center_types)
+        if counters is not None:
+            counters.flops += 2 * self.fittings[0].flops_per_atom() * n
+
+        with sec("descriptor"):
+            d_r, d_g = descriptor_backward(
+                d_descr, t_cache, descrpt, g, spec.m_sub, spec.n_m
+            )
+        with sec("embedding_net"):
+            ds = self._embed_backward(d_g.reshape(-1, spec.m_out),
+                                      emb_caches)
+        net_deriv = d_r
+        net_deriv[..., 0] += ds.reshape(n, width)
+
+        with sec("force_virial"):
+            forces = prod_force_se_a(net_deriv, deriv, centers, nlist,
+                                     n_total)
+            virial = prod_virial_se_a(net_deriv, deriv, rij)
+        return EvalResult(
+            energy=float(energies.sum()),
+            atomic_energies=energies,
+            forces=forces,
+            virial=virial,
+        )
+
+    # ------------------------------------------------------------- analytics
+    def embedding_flops_per_atom(self) -> int:
+        """Paper Sec. 2.2: ``N_m d1 + 10 N_m d1^2`` FLOPs per atom."""
+        d1, n_m = self.spec.d1, self.spec.n_m
+        return n_m * d1 + 10 * n_m * d1 * d1
+
+    def g_bytes_per_atom(self, itemsize: int = 8) -> int:
+        """Footprint of one copy of ``G_i`` per atom: ``N_m * M * 8`` bytes."""
+        return self.spec.n_m * self.spec.m_out * itemsize

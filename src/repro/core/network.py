@@ -1,0 +1,187 @@
+"""Dense network building blocks with hand-written forward/backward passes.
+
+DeePMD-kit builds its nets from TensorFlow primitives; this reproduction
+implements the same three layer types directly in NumPy:
+
+* :class:`LinearLayer` — affine output layer (fitting-net head),
+* :class:`DenseLayer` — ``tanh(x W + b)`` (first embedding layer, Eq. 4),
+* :class:`ResidualDenseLayer` — shortcut + ``tanh(x W + b)`` where the
+  shortcut is the identity when the width is preserved (fitting net) or
+  ``(x, x)`` duplication when the width doubles (embedding net, Eq. 5).
+
+Each layer exposes ``forward(x)`` returning ``(y, cache)`` and
+``backward(dy, cache)`` returning ``dx`` (and stashing parameter
+gradients on the layer, which the optional trainer consumes).  Batched
+inputs are 2-D ``(batch, features)`` float64 arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .activation import dtanh
+
+__all__ = [
+    "LinearLayer",
+    "DenseLayer",
+    "ResidualDenseLayer",
+    "MLP",
+    "init_rng",
+]
+
+
+def init_rng(seed: int) -> np.random.Generator:
+    """Deterministic generator used for all synthetic model weights."""
+    return np.random.default_rng(seed)
+
+
+class LinearLayer:
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator, scale: float = 1.0):
+        std = scale / np.sqrt(n_in)
+        self.W = rng.normal(0.0, std, size=(n_in, n_out))
+        self.b = rng.normal(0.0, 0.01 * scale, size=(n_out,))
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+
+    @property
+    def n_in(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def n_out(self) -> int:
+        return self.W.shape[1]
+
+    def forward(self, x: np.ndarray):
+        return x @ self.W + self.b, x
+
+    def backward(self, dy: np.ndarray, cache) -> np.ndarray:
+        x = cache
+        self.dW += x.T @ dy
+        self.db += dy.sum(axis=0)
+        return dy @ self.W.T
+
+    def parameters(self):
+        return [(self.W, self.dW), (self.b, self.db)]
+
+    @property
+    def n_params(self) -> int:
+        return self.W.size + self.b.size
+
+
+class DenseLayer(LinearLayer):
+    """Fully-connected layer with tanh activation (Eq. 4)."""
+
+    def __init__(self, n_in, n_out, rng, scale: float = 1.0,
+                 activation: Callable[[np.ndarray], np.ndarray] | None = None):
+        super().__init__(n_in, n_out, rng, scale)
+        # The activation may be swapped for a TanhTable (Sec. 3.5.3); the
+        # backward pass always uses the analytic derivative in terms of the
+        # forward value, which is what makes the table a drop-in.
+        self._act = activation if activation is not None else np.tanh
+
+    def forward(self, x: np.ndarray):
+        t = self._act(x @ self.W + self.b)
+        return t, (x, t)
+
+    def backward(self, dy: np.ndarray, cache) -> np.ndarray:
+        x, t = cache
+        dz = dy * dtanh(t)
+        self.dW += x.T @ dz
+        self.db += dz.sum(axis=0)
+        return dz @ self.W.T
+
+    def set_activation(self, act: Callable[[np.ndarray], np.ndarray]) -> None:
+        self._act = act
+
+
+class ResidualDenseLayer(DenseLayer):
+    """Dense tanh layer with a shortcut connection (Eq. 5).
+
+    * ``n_out == n_in`` — identity shortcut: ``y = x + tanh(x W + b)``.
+    * ``n_out == 2 n_in`` — duplication shortcut: ``y = (x, x) + tanh(...)``,
+      the width-doubling form used inside the embedding net.
+    """
+
+    def __init__(self, n_in, n_out, rng, scale: float = 1.0,
+                 activation: Callable[[np.ndarray], np.ndarray] | None = None):
+        if n_out not in (n_in, 2 * n_in):
+            raise ValueError(
+                f"shortcut requires n_out == n_in or 2*n_in, got {n_in}->{n_out}"
+            )
+        super().__init__(n_in, n_out, rng, scale, activation)
+        self.doubling = n_out == 2 * n_in
+
+    def forward(self, x: np.ndarray):
+        t = self._act(x @ self.W + self.b)
+        if self.doubling:
+            y = np.concatenate([x, x], axis=1) + t
+        else:
+            y = x + t
+        return y, (x, t)
+
+    def backward(self, dy: np.ndarray, cache) -> np.ndarray:
+        x, t = cache
+        dz = dy * dtanh(t)
+        self.dW += x.T @ dz
+        self.db += dz.sum(axis=0)
+        dx = dz @ self.W.T
+        if self.doubling:
+            n = x.shape[1]
+            dx += dy[:, :n] + dy[:, n:]
+        else:
+            dx += dy
+        return dx
+
+
+class MLP:
+    """A stack of layers with combined forward/backward helpers."""
+
+    def __init__(self, layers: Sequence):
+        self.layers = list(layers)
+
+    @property
+    def n_in(self) -> int:
+        return self.layers[0].n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.layers[-1].n_out
+
+    def forward(self, x: np.ndarray):
+        caches = []
+        for layer in self.layers:
+            x, cache = layer.forward(x)
+            caches.append(cache)
+        return x, caches
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y, _ = self.forward(x)
+        return y
+
+    def backward(self, dy: np.ndarray, caches) -> np.ndarray:
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            dy = layer.backward(dy, cache)
+        return dy
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.dW[...] = 0.0
+            layer.db[...] = 0.0
+
+    def parameters(self):
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    @property
+    def n_params(self) -> int:
+        return sum(layer.n_params for layer in self.layers)
+
+    def set_activation(self, act) -> None:
+        """Swap the activation (e.g. for a TanhTable) on every tanh layer."""
+        for layer in self.layers:
+            if isinstance(layer, DenseLayer):
+                layer.set_activation(act)

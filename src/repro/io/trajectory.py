@@ -1,0 +1,91 @@
+"""Extended-XYZ trajectory I/O.
+
+Minimal, dependency-free writer/reader for trajectories (positions +
+box + species per frame) in the extended-XYZ dialect most MD tooling
+reads (`Lattice="..." Properties=species:S:1:pos:R:3`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.box import Box
+
+__all__ = ["write_xyz_frame", "XYZTrajectoryWriter", "read_xyz"]
+
+
+def write_xyz_frame(fh, coords: np.ndarray, symbols, box: Box,
+                    comment: str = "") -> None:
+    """Append one extended-XYZ frame to an open text file."""
+    n = len(coords)
+    lx, ly, lz = box.lengths
+    lattice = f'{lx:.8f} 0.0 0.0 0.0 {ly:.8f} 0.0 0.0 0.0 {lz:.8f}'
+    fh.write(f"{n}\n")
+    fh.write(
+        f'Lattice="{lattice}" Properties=species:S:1:pos:R:3 {comment}\n'
+    )
+    for sym, (x, y, z) in zip(symbols, coords):
+        fh.write(f"{sym} {x:.8f} {y:.8f} {z:.8f}\n")
+
+
+class XYZTrajectoryWriter:
+    """Streams simulation frames to an extended-XYZ file.
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    symbols:
+        Per-atom chemical symbols (or a per-type list applied via the
+        simulation's types).
+    """
+
+    def __init__(self, path: str, symbols):
+        self.path = path
+        self.symbols = list(symbols)
+        self._fh = open(path, "w")
+        self.frames_written = 0
+
+    def write(self, coords: np.ndarray, box: Box, step: int = 0,
+              energy: float | None = None) -> None:
+        comment = f"step={step}"
+        if energy is not None:
+            comment += f" energy={energy:.10f}"
+        write_xyz_frame(self._fh, coords, self.symbols, box, comment)
+        self._fh.flush()
+        self.frames_written += 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_xyz(path: str):
+    """Read all frames: list of ``(coords, symbols, box)`` tuples."""
+    frames = []
+    with open(path) as fh:
+        while True:
+            header = fh.readline()
+            if not header.strip():
+                break
+            n = int(header)
+            meta = fh.readline()
+            box = None
+            if 'Lattice="' in meta:
+                cell = meta.split('Lattice="')[1].split('"')[0].split()
+                vals = [float(v) for v in cell]
+                box = Box([vals[0], vals[4], vals[8]])
+            coords = np.empty((n, 3))
+            symbols = []
+            for i in range(n):
+                parts = fh.readline().split()
+                symbols.append(parts[0])
+                coords[i] = [float(p) for p in parts[1:4]]
+            frames.append((coords, symbols, box))
+    return frames

@@ -1,0 +1,51 @@
+"""Mini-LAMMPS substrate: PBC box, lattices, O(N) neighbor search,
+velocity-Verlet dynamics, thermodynamics — the MD engine the Deep
+Potential model plugs into (the paper runs DeePMD-kit under LAMMPS).
+"""
+
+from .barostat import BerendsenBarostat
+from .box import Box
+from .integrator import VelocityVerlet
+from .lattice import (
+    COPPER_LATTICE_CONSTANT,
+    SILICON_LATTICE_CONSTANT,
+    copper_system,
+    diamond_lattice,
+    fcc_lattice,
+    silicon_system,
+    water_cell_192,
+    water_system,
+)
+from .neighbor import NeighborData, NeighborSearch, brute_force_pairs, build_ghosts
+from .pair_lj import LennardJones
+from .simulation import PAPER_PROTOCOL_STEPS, DPForceField, Simulation
+from .thermo import ThermoState, compute_thermo
+from .thermostat import Berendsen, Langevin
+from .velocity import maxwell_boltzmann
+
+__all__ = [
+    "Berendsen",
+    "BerendsenBarostat",
+    "Box",
+    "COPPER_LATTICE_CONSTANT",
+    "DPForceField",
+    "Langevin",
+    "LennardJones",
+    "NeighborData",
+    "NeighborSearch",
+    "PAPER_PROTOCOL_STEPS",
+    "Simulation",
+    "ThermoState",
+    "VelocityVerlet",
+    "brute_force_pairs",
+    "build_ghosts",
+    "compute_thermo",
+    "SILICON_LATTICE_CONSTANT",
+    "copper_system",
+    "diamond_lattice",
+    "fcc_lattice",
+    "silicon_system",
+    "maxwell_boltzmann",
+    "water_cell_192",
+    "water_system",
+]

@@ -1,0 +1,69 @@
+"""Periodic orthorhombic simulation box.
+
+The paper's workloads are orthorhombic (replicated water cells and a
+perfect FCC copper lattice), so the box is axis-aligned with lengths
+``(Lx, Ly, Lz)`` and full periodic boundary conditions, like LAMMPS'
+``boundary p p p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+class Box:
+    """Axis-aligned periodic box with lengths ``lengths`` (Å)."""
+
+    def __init__(self, lengths):
+        lengths = np.asarray(lengths, dtype=np.float64).reshape(3)
+        if np.any(lengths <= 0):
+            raise ValueError("box lengths must be positive")
+        self.lengths = lengths
+
+    def __repr__(self) -> str:
+        lx, ly, lz = self.lengths
+        return f"Box({lx:.4f} x {ly:.4f} x {lz:.4f})"
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.lengths))
+
+    def wrap(self, coords: np.ndarray) -> np.ndarray:
+        """Map positions into the primary cell ``[0, L)`` per axis."""
+        return np.mod(coords, self.lengths)
+
+    def minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        """Nearest-image convention for displacement vectors."""
+        return dr - self.lengths * np.round(dr / self.lengths)
+
+    def distance(self, r1: np.ndarray, r2: np.ndarray) -> np.ndarray:
+        """Minimum-image distances between matching rows of two arrays."""
+        dr = self.minimum_image(np.asarray(r2) - np.asarray(r1))
+        return np.linalg.norm(dr, axis=-1)
+
+    def replicate(self, coords: np.ndarray, types: np.ndarray, reps) -> tuple:
+        """Tile the box contents ``reps = (nx, ny, nz)`` times.
+
+        Returns ``(coords, types, box)`` for the enlarged system — how the
+        paper constructs its scaled systems from a 192-atom water cell.
+        """
+        reps = np.asarray(reps, dtype=np.intp).reshape(3)
+        if np.any(reps < 1):
+            raise ValueError("replication counts must be >= 1")
+        shifts = np.array(
+            [
+                (i, j, k)
+                for i in range(reps[0])
+                for j in range(reps[1])
+                for k in range(reps[2])
+            ],
+            dtype=np.float64,
+        ) * self.lengths
+        new_coords = (coords[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+        new_types = np.tile(types, len(shifts))
+        return new_coords, new_types, Box(self.lengths * reps)
+
+    def min_length(self) -> float:
+        return float(self.lengths.min())

@@ -1,0 +1,39 @@
+"""Velocity-Verlet time integration (the paper's Sec. 4 protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import FS_PER_PS, MVV_TO_EV
+
+__all__ = ["VelocityVerlet"]
+
+
+class VelocityVerlet:
+    """Symplectic velocity-Verlet stepper.
+
+    Works in MD units (Å, ps, eV, amu): accelerations are
+    ``F[eV/Å] / (m[amu] * MVV_TO_EV)`` in Å/ps².
+
+    The stepper is split into ``first_half`` / ``second_half`` so the
+    driver can interleave the force evaluation (and, in the distributed
+    engine, the ghost communication) between them — the same structure
+    LAMMPS uses.
+    """
+
+    def __init__(self, masses: np.ndarray, dt_fs: float):
+        if dt_fs <= 0:
+            raise ValueError("timestep must be positive")
+        self.masses = np.asarray(masses, dtype=np.float64)
+        self.dt = dt_fs / FS_PER_PS  # ps
+        self._inv_m = 1.0 / (self.masses * MVV_TO_EV)
+
+    def first_half(self, coords, velocities, forces):
+        """Half-kick + drift; returns updated ``(coords, velocities)``."""
+        velocities = velocities + 0.5 * self.dt * forces * self._inv_m[:, None]
+        coords = coords + self.dt * velocities
+        return coords, velocities
+
+    def second_half(self, velocities, forces):
+        """Second half-kick with the freshly computed forces."""
+        return velocities + 0.5 * self.dt * forces * self._inv_m[:, None]

@@ -1,0 +1,76 @@
+"""Truncated-and-shifted Lennard-Jones pair potential.
+
+Not part of the paper's model — a cheap, analytically-simple control
+force field used to validate the MD substrate (integrator, neighbor
+lists, domain decomposition) independently of the Deep Potential stack,
+and as the interaction in throw-away examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .neighbor import NeighborData
+
+__all__ = ["LennardJones"]
+
+
+class LennardJones:
+    """Single-species truncated, energy-shifted LJ: ``4ε[(σ/r)^12-(σ/r)^6]``.
+
+    Implements the same force-field protocol as the DP adapters:
+    ``compute(neighbors) -> (energy, local_forces, virial)``.
+    """
+
+    def __init__(self, epsilon: float = 0.4, sigma: float = 2.3,
+                 rcut: float = 6.0):
+        if rcut <= 0:
+            raise ValueError("rcut must be positive")
+        self.epsilon = float(epsilon)
+        self.sigma = float(sigma)
+        self.rcut = float(rcut)
+        sr6 = (self.sigma / self.rcut) ** 6
+        self._shift = 4.0 * self.epsilon * (sr6 * sr6 - sr6)
+
+    def pair_energy(self, r: np.ndarray) -> np.ndarray:
+        sr6 = (self.sigma / r) ** 6
+        e = 4.0 * self.epsilon * (sr6 * sr6 - sr6) - self._shift
+        return np.where(r < self.rcut, e, 0.0)
+
+    def pair_force_over_r(self, r: np.ndarray) -> np.ndarray:
+        """``-dE/dr / r`` — multiply by the displacement for the vector force."""
+        sr6 = (self.sigma / r) ** 6
+        f = 24.0 * self.epsilon * (2.0 * sr6 * sr6 - sr6) / (r * r)
+        return np.where(r < self.rcut, f, 0.0)
+
+    def compute(self, neighbors: NeighborData):
+        """Energy/forces/virial from a packed neighbor structure.
+
+        Each directed pair appears once per central atom; the half factor
+        on the energy/virial compensates the double counting.
+        """
+        counts = neighbors.counts
+        pair_center = np.repeat(neighbors.centers, counts)
+        rij = (neighbors.ext_coords[neighbors.indices]
+               - neighbors.ext_coords[pair_center])
+        r = np.linalg.norm(rij, axis=1)
+        r = np.maximum(r, 1e-12)
+
+        energy = 0.5 * float(self.pair_energy(r).sum())
+        # Every physical pair appears twice (once per central atom), so a
+        # half weight makes force and energy gradients of the same sum.
+        fij = 0.5 * self.pair_force_over_r(r)[:, None] * rij
+
+        n_total = len(neighbors.ext_coords)
+        forces_ext = np.zeros((n_total, 3))
+        for ax in range(3):
+            forces_ext[:, ax] += np.bincount(
+                neighbors.indices, weights=fij[:, ax], minlength=n_total
+            )
+            forces_ext[:, ax] -= np.bincount(
+                pair_center, weights=fij[:, ax], minlength=n_total
+            )
+        forces = neighbors.fold_forces(forces_ext)
+        # fij already carries the half weight, so this is the unique-pair sum.
+        virial = np.einsum("px,py->xy", fij, rij)
+        return energy, forces, virial

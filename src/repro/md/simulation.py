@@ -1,0 +1,191 @@
+"""The serial MD driver and the force-field adapters.
+
+Implements the paper's measurement protocol (Sec. 4): velocity-Verlet,
+99 MD steps (forces and energy evaluated 100 times), neighbor list with a
+2 Å buffer rebuilt every 50 steps, thermodynamic data collected every 50
+steps, initial velocities drawn at 330 K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .box import Box
+from .integrator import VelocityVerlet
+from .neighbor import DEFAULT_SKIN, NeighborData, NeighborSearch
+from .thermo import ThermoState, compute_thermo
+from .velocity import maxwell_boltzmann
+
+__all__ = ["DPForceField", "Simulation", "PAPER_PROTOCOL_STEPS"]
+
+#: MD steps in the paper's benchmark protocol (energy/forces hit 100x).
+PAPER_PROTOCOL_STEPS = 99
+
+#: The paper rebuilds the neighbor list every 50 steps.
+PAPER_REBUILD_EVERY = 50
+
+
+class DPForceField:
+    """Adapter running a (baseline or compressed) DP model inside MD.
+
+    Chooses the packed path automatically when the model provides it —
+    :class:`~repro.core.compressed.CompressedDPModel` — and the padded
+    path for the baseline :class:`~repro.core.model.DPModel`.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.rcut = model.spec.rcut
+
+    def compute(self, neighbors: NeighborData):
+        if hasattr(self.model, "evaluate_packed"):
+            result = self.model.evaluate_packed(
+                neighbors.ext_coords,
+                neighbors.ext_types,
+                neighbors.centers,
+                neighbors.indices,
+                neighbors.indptr,
+            )
+        else:
+            result = self.model.evaluate(
+                neighbors.ext_coords,
+                neighbors.ext_types,
+                neighbors.centers,
+                neighbors.nlist,
+            )
+        forces = neighbors.fold_forces(result.forces)
+        return result.energy, forces, result.virial
+
+
+@dataclass
+class StepStats:
+    """Bookkeeping the scaling analysis consumes."""
+
+    n_steps: int = 0
+    n_force_evals: int = 0
+    n_neighbor_builds: int = 0
+    wall_seconds: float = 0.0
+
+
+class Simulation:
+    """Serial NVE molecular dynamics with the paper's protocol defaults.
+
+    Parameters
+    ----------
+    coords, types, box:
+        Initial configuration (types index into ``masses``).
+    masses:
+        Per-type masses (amu).
+    forcefield:
+        Any object with ``compute(neighbors) -> (energy, forces, virial)``
+        and an ``rcut`` attribute.
+    dt_fs:
+        Timestep (paper: 0.5 fs water, 1.0 fs copper).
+    sel:
+        Optional per-type padded capacities forwarded to the neighbor
+        search (required by the baseline model's padded layout).
+    """
+
+    def __init__(self, coords, types, box: Box, masses, forcefield,
+                 dt_fs: float, temperature: float = 330.0,
+                 skin: float = DEFAULT_SKIN, sel=None,
+                 rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
+                 thermostat=None):
+        self.box = box
+        self.coords = box.wrap(np.asarray(coords, dtype=np.float64))
+        self.types = np.asarray(types, dtype=np.intp)
+        per_type = np.asarray(masses, dtype=np.float64)
+        self.masses = per_type[self.types]
+        self.forcefield = forcefield
+        self.search = NeighborSearch(forcefield.rcut, skin=skin, sel=sel)
+        self.integrator = VelocityVerlet(self.masses, dt_fs)
+        self.velocities = maxwell_boltzmann(self.masses, temperature, seed)
+        #: Optional NVT thermostat (``apply(v, m, dt_fs) -> v``), applied
+        #: after each full velocity-Verlet step; None = NVE (the paper's
+        #: benchmark protocol).
+        self.thermostat = thermostat
+        self.dt_fs = float(dt_fs)
+        self.rebuild_every = int(rebuild_every)
+        self.step = 0
+        self.stats = StepStats()
+        self.thermo_log: list[ThermoState] = []
+
+        self._neighbors = self._rebuild()
+        self.energy, self.forces, self.virial = self._evaluate()
+        self.stats.n_force_evals += 1
+
+    # ------------------------------------------------------------------ core
+    def _rebuild(self) -> NeighborData:
+        self.coords = self.box.wrap(self.coords)
+        self.stats.n_neighbor_builds += 1
+        return self.search.build(self.coords, self.types, self.box)
+
+    def _evaluate(self):
+        return self.forcefield.compute(self._neighbors)
+
+    def _refresh_neighbor_coords(self):
+        """Propagate moved positions into the extended array without a
+        rebuild (LAMMPS 'forward communication' between rebuilds)."""
+        self._neighbors.refresh_coords(self.coords)
+
+    def run(self, n_steps: int = PAPER_PROTOCOL_STEPS,
+            thermo_every: int = PAPER_REBUILD_EVERY) -> list[ThermoState]:
+        """Advance ``n_steps``; returns the thermo samples collected."""
+        import time as _time
+
+        start = _time.perf_counter()
+        self._record_thermo(thermo_every, force=True)
+        for _ in range(n_steps):
+            self.coords, self.velocities = self.integrator.first_half(
+                self.coords, self.velocities, self.forces
+            )
+            self.step += 1
+            if (self.step % self.rebuild_every == 0
+                    or self._neighbors.needs_rebuild(self.coords,
+                                                     self.search.skin)):
+                self._neighbors = self._rebuild()
+            else:
+                self._refresh_neighbor_coords()
+            self.energy, self.forces, self.virial = self._evaluate()
+            self.stats.n_force_evals += 1
+            self.velocities = self.integrator.second_half(
+                self.velocities, self.forces
+            )
+            if self.thermostat is not None:
+                self.velocities = self.thermostat.apply(
+                    self.velocities, self.masses, self.dt_fs
+                )
+            self._record_thermo(thermo_every)
+            self.stats.n_steps += 1
+        self.stats.wall_seconds += _time.perf_counter() - start
+        return self.thermo_log
+
+    # --------------------------------------------------------------- thermo
+    @property
+    def time_ps(self) -> float:
+        return self.step * self.integrator.dt
+
+    def _record_thermo(self, every: int, force: bool = False) -> None:
+        if force or (every and self.step % every == 0):
+            self.thermo_log.append(
+                compute_thermo(
+                    self.step, self.time_ps, self.masses, self.velocities,
+                    self.energy, self.virial, self.box.volume,
+                )
+            )
+
+    def current_thermo(self) -> ThermoState:
+        return compute_thermo(
+            self.step, self.time_ps, self.masses, self.velocities,
+            self.energy, self.virial, self.box.volume,
+        )
+
+    # ------------------------------------------------------------ throughput
+    def ns_per_day(self) -> float:
+        """Simulated nanoseconds per wall-clock day at the measured rate."""
+        if self.stats.wall_seconds <= 0 or self.stats.n_steps == 0:
+            return 0.0
+        sim_ns = self.stats.n_steps * self.integrator.dt * 1e-3
+        return sim_ns / self.stats.wall_seconds * 86400.0

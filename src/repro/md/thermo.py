@@ -1,0 +1,57 @@
+"""Thermodynamic accounting (Sec. 4: KE/PE/temperature/pressure every 50 steps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import EV_A3_TO_BAR, kinetic_energy_ev, temperature_kelvin
+
+__all__ = ["ThermoState", "compute_thermo"]
+
+
+@dataclass(frozen=True)
+class ThermoState:
+    """One thermodynamic sample."""
+
+    step: int
+    time_ps: float
+    potential_ev: float
+    kinetic_ev: float
+    temperature_k: float
+    pressure_bar: float
+
+    @property
+    def total_ev(self) -> float:
+        return self.potential_ev + self.kinetic_ev
+
+    def as_row(self) -> str:
+        return (
+            f"{self.step:8d} {self.time_ps:10.4f} {self.potential_ev:16.8f} "
+            f"{self.kinetic_ev:14.8f} {self.temperature_k:10.3f} "
+            f"{self.pressure_bar:12.3f}"
+        )
+
+
+def compute_thermo(step: int, time_ps: float, masses: np.ndarray,
+                   velocities: np.ndarray, potential_ev: float,
+                   virial: np.ndarray, volume_a3: float) -> ThermoState:
+    """Assemble a :class:`ThermoState` from the current phase-space point.
+
+    Pressure uses the virial route
+    ``P = (2 KE + tr W) / (3 V)`` with ``W = sum r ⊗ f`` (eV), converted
+    to bar.
+    """
+    n = len(masses)
+    ke = kinetic_energy_ev(masses, velocities)
+    temp = temperature_kelvin(ke, n, n_constraints=3)
+    pressure = (2.0 * ke + float(np.trace(virial))) / (3.0 * volume_a3)
+    return ThermoState(
+        step=step,
+        time_ps=time_ps,
+        potential_ev=potential_ev,
+        kinetic_ev=ke,
+        temperature_k=temp,
+        pressure_bar=pressure * EV_A3_TO_BAR,
+    )

@@ -1,0 +1,84 @@
+"""Thermostats for NVT sampling.
+
+The paper's benchmark protocol is NVE (velocities drawn once at 330 K),
+but production MLMD campaigns — the applications the paper motivates —
+run NVT.  Two standard thermostats:
+
+* :class:`Berendsen` — weak-coupling velocity rescaling; fast
+  equilibration, not canonical.
+* :class:`Langevin` — stochastic friction + noise; canonical sampling,
+  applied as a post-step impulse (the BAOAB 'O' block).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import BOLTZMANN_EV_K, MVV_TO_EV, kinetic_energy_ev, temperature_kelvin
+
+__all__ = ["Berendsen", "Langevin"]
+
+
+class Berendsen:
+    """Berendsen weak-coupling thermostat.
+
+    Velocities are scaled by ``sqrt(1 + dt/tau (T0/T - 1))`` each step.
+
+    Parameters
+    ----------
+    temperature:
+        Target temperature (K).
+    tau_fs:
+        Coupling time constant (fs); larger = gentler.
+    """
+
+    def __init__(self, temperature: float, tau_fs: float = 100.0):
+        if temperature <= 0 or tau_fs <= 0:
+            raise ValueError("temperature and tau must be positive")
+        self.temperature = float(temperature)
+        self.tau_fs = float(tau_fs)
+
+    def apply(self, velocities: np.ndarray, masses: np.ndarray,
+              dt_fs: float, rng=None) -> np.ndarray:
+        ke = kinetic_energy_ev(masses, velocities)
+        t_now = temperature_kelvin(ke, len(masses), n_constraints=3)
+        if t_now <= 0:
+            return velocities
+        lam2 = 1.0 + (dt_fs / self.tau_fs) * (self.temperature / t_now - 1.0)
+        return velocities * np.sqrt(max(lam2, 0.0))
+
+
+class Langevin:
+    """Langevin (O-block) thermostat: exact OU velocity update.
+
+    ``v <- c1 v + c2 xi`` with ``c1 = exp(-gamma dt)`` and
+    ``c2 = sqrt((1 - c1^2) kB T / m)`` — preserves the Maxwell-Boltzmann
+    distribution exactly for any timestep.
+
+    Parameters
+    ----------
+    temperature:
+        Target temperature (K).
+    friction_per_ps:
+        Collision frequency gamma (1/ps).
+    seed:
+        Noise stream seed (deterministic trajectories for testing).
+    """
+
+    def __init__(self, temperature: float, friction_per_ps: float = 1.0,
+                 seed: int = 0):
+        if temperature <= 0 or friction_per_ps <= 0:
+            raise ValueError("temperature and friction must be positive")
+        self.temperature = float(temperature)
+        self.gamma = float(friction_per_ps)
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, velocities: np.ndarray, masses: np.ndarray,
+              dt_fs: float, rng=None) -> np.ndarray:
+        rng = rng if rng is not None else self.rng
+        dt_ps = dt_fs * 1e-3
+        c1 = np.exp(-self.gamma * dt_ps)
+        sigma2 = (1.0 - c1 * c1) * BOLTZMANN_EV_K * self.temperature / (
+            masses * MVV_TO_EV)
+        noise = rng.normal(size=velocities.shape) * np.sqrt(sigma2)[:, None]
+        return c1 * velocities + noise

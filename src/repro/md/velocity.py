@@ -1,0 +1,42 @@
+"""Velocity initialization (Sec. 4: random velocities at 330 K)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import BOLTZMANN_EV_K, MVV_TO_EV, kinetic_energy_ev, temperature_kelvin
+
+__all__ = ["maxwell_boltzmann", "remove_com_drift", "rescale_to_temperature"]
+
+
+def remove_com_drift(velocities: np.ndarray, masses: np.ndarray) -> np.ndarray:
+    """Subtract the centre-of-mass velocity (LAMMPS ``velocity ... mom yes``)."""
+    p = (masses[:, None] * velocities).sum(axis=0)
+    return velocities - p / masses.sum()
+
+
+def rescale_to_temperature(velocities: np.ndarray, masses: np.ndarray,
+                           temperature: float) -> np.ndarray:
+    """Scale velocities so the instantaneous temperature is exact."""
+    n = len(masses)
+    ke = kinetic_energy_ev(masses, velocities)
+    t_now = temperature_kelvin(ke, n, n_constraints=3)
+    if t_now <= 0:
+        return velocities
+    return velocities * np.sqrt(temperature / t_now)
+
+
+def maxwell_boltzmann(masses: np.ndarray, temperature: float,
+                      seed: int = 0) -> np.ndarray:
+    """Maxwell-Boltzmann velocities (Å/ps) at the given temperature.
+
+    Per-component standard deviation ``sqrt(kB T / m)`` in MD units; the
+    centre-of-mass drift is removed and the result rescaled so the
+    instantaneous temperature matches exactly.
+    """
+    masses = np.asarray(masses, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    sigma = np.sqrt(BOLTZMANN_EV_K * temperature / (masses * MVV_TO_EV))
+    v = rng.normal(size=(len(masses), 3)) * sigma[:, None]
+    v = remove_com_drift(v, masses)
+    return rescale_to_temperature(v, masses, temperature)

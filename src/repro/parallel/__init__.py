@@ -1,0 +1,53 @@
+"""Simulated-MPI substrate: communicator, domain decomposition, ghost
+exchange, parallel schemes, and the distributed MD engine.
+"""
+
+from .comm import CommStats, SimComm, SimWorld
+from .decomposition import best_grid, factorizations, ghost_fraction
+from .distributed import DistributedMDResult, run_distributed_md
+from .domain import HALO_DIRECTIONS, DomainGrid
+from .loadbalance import imbalance, partition_imbalance, rcb_partition
+from .ghost import (
+    GhostRegion,
+    exchange_ghosts,
+    migrate_atoms,
+    refresh_ghosts,
+    return_ghost_forces,
+)
+from .scheme import (
+    A64FX_SCHEMES,
+    FLAT_MPI_A64FX,
+    HYBRID_4X12,
+    HYBRID_16X3,
+    SUMMIT_6GPU,
+    ParallelScheme,
+    split_subregion,
+)
+
+__all__ = [
+    "A64FX_SCHEMES",
+    "CommStats",
+    "DistributedMDResult",
+    "DomainGrid",
+    "FLAT_MPI_A64FX",
+    "GhostRegion",
+    "HALO_DIRECTIONS",
+    "HYBRID_16X3",
+    "HYBRID_4X12",
+    "ParallelScheme",
+    "SUMMIT_6GPU",
+    "SimComm",
+    "SimWorld",
+    "best_grid",
+    "exchange_ghosts",
+    "factorizations",
+    "ghost_fraction",
+    "imbalance",
+    "migrate_atoms",
+    "partition_imbalance",
+    "rcb_partition",
+    "refresh_ghosts",
+    "return_ghost_forces",
+    "run_distributed_md",
+    "split_subregion",
+]

@@ -1,0 +1,213 @@
+"""In-process simulated MPI (substitution for mpi4py — see DESIGN.md §3).
+
+:class:`SimWorld` runs an SPMD function on ``n`` Python threads, one per
+rank, each holding a :class:`SimComm` handle with an mpi4py-flavoured API
+subset (``send/recv/sendrecv``, ``barrier``, ``bcast``, ``gather``,
+``allgather``, ``allreduce``, ``alltoall``).  Every message is metered
+(bytes, message count, per-tag volume) so the communication analytics
+that feed the scaling model come from the *actual* distributed algorithm
+rather than a formula.
+
+Correctness over speed: the communicator exists to validate the
+distributed MD algorithm bit-for-bit against the serial engine and to
+measure ghost-exchange volumes; it is not a performance vehicle itself.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimWorld", "SimComm", "CommStats"]
+
+#: Sentinel source rank used to poison mailboxes when the world aborts.
+_ABORT_RANK = -1
+
+
+def _payload_bytes(obj) -> int:
+    """Approximate wire size of a message."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_bytes(o) for o in obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic accounting."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    by_tag: dict = field(default_factory=dict)
+
+    def record_send(self, nbytes: int, tag: int) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
+
+    def record_recv(self, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        self.messages_received += 1
+
+
+class SimComm:
+    """One rank's communicator handle."""
+
+    def __init__(self, world: "SimWorld", rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.stats = CommStats()
+
+    # --------------------------------------------------------- point-to-point
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self.size):
+            raise ValueError(f"bad destination rank {dest}")
+        self.stats.record_send(_payload_bytes(obj), tag)
+        self._world.mailbox[dest].put((self.rank, tag, obj))
+
+    def recv(self, source: int, tag: int = 0):
+        """Receive the next message matching ``(source, tag)``.
+
+        Out-of-order arrivals (other sources/tags) are buffered, so any
+        deterministic exchange pattern completes regardless of thread
+        scheduling.
+        """
+        key = (source, tag)
+        buf = self._world.pending[self.rank]
+        while True:
+            if buf.get(key):
+                obj = buf[key].pop(0)
+                self.stats.record_recv(_payload_bytes(obj))
+                return obj
+            src, t, obj = self._world.mailbox[self.rank].get(
+                timeout=self._world.timeout
+            )
+            if src == _ABORT_RANK:
+                raise RuntimeError("world aborted: another rank failed")
+            buf.setdefault((src, t), []).append(obj)
+
+    def sendrecv(self, obj, dest: int, source: int, tag: int = 0):
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # ------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        self._world.barrier.wait(timeout=self._world.timeout)
+
+    def bcast(self, obj, root: int = 0):
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj, root: int = 0):
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-2)
+            return out
+        self.send(obj, root, tag=-2)
+        return None
+
+    def allgather(self, obj) -> list:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, value, op=None):
+        """Reduce with ``op`` (default: sum, elementwise for arrays)."""
+        parts = self.allgather(value)
+        if op is not None:
+            acc = parts[0]
+            for p in parts[1:]:
+                acc = op(acc, p)
+            return acc
+        if isinstance(value, np.ndarray):
+            return np.sum(np.stack(parts), axis=0)
+        return sum(parts)
+
+    def alltoall(self, objs: list) -> list:
+        """Personalized all-to-all: ``objs[d]`` goes to rank ``d``."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs one payload per rank")
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send(objs[dst], dst, tag=-3)
+        out = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for src in range(self.size):
+            if src != self.rank:
+                out[src] = self.recv(src, tag=-3)
+        return out
+
+
+class SimWorld:
+    """SPMD driver: ``SimWorld(4).run(fn, x)`` calls ``fn(comm, x)`` on four
+    threads and returns the per-rank results (rank order).
+
+    Exceptions raised by any rank abort the run and re-raise in the
+    caller.  ``timeout`` bounds blocking receives so a mis-programmed
+    exchange fails loudly instead of hanging the test suite.
+    """
+
+    def __init__(self, size: int, timeout: float = 120.0):
+        if size < 1:
+            raise ValueError("need at least one rank")
+        self.size = size
+        self.timeout = timeout
+        self.mailbox = [queue.Queue() for _ in range(size)]
+        self.pending = [dict() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.comms = [SimComm(self, r) for r in range(size)]
+
+    def run(self, fn, *args, **kwargs) -> list:
+        results = [None] * self.size
+        errors: list = []
+
+        def worker(rank):
+            try:
+                results[rank] = fn(self.comms[rank], *args, **kwargs)
+            except BaseException as exc:  # surface in the caller
+                errors.append((rank, exc))
+                self.barrier.abort()
+                # Unblock peers waiting on receives.
+                for q in self.mailbox:
+                    q.put((_ABORT_RANK, 0, None))
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 2)
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    # ---------------------------------------------------------------- stats
+    def total_bytes(self) -> int:
+        return sum(c.stats.bytes_sent for c in self.comms)
+
+    def bytes_by_tag(self, tag: int) -> int:
+        return sum(c.stats.by_tag.get(tag, 0) for c in self.comms)

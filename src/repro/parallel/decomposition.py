@@ -1,0 +1,55 @@
+"""Rank-grid factorization for the spatial domain decomposition.
+
+Chooses ``(px, py, pz)`` with ``px py pz = n_ranks`` minimizing the total
+ghost surface — the quantity Sec. 3.3 identifies as the communication
+cost driver (``n x V`` ghost volume growth with rank count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["factorizations", "best_grid", "ghost_fraction"]
+
+
+def factorizations(n: int):
+    """All ordered triples ``(a, b, c)`` with ``a*b*c == n``."""
+    out = []
+    for a in range(1, n + 1):
+        if n % a:
+            continue
+        m = n // a
+        for b in range(1, m + 1):
+            if m % b:
+                continue
+            out.append((a, b, m // b))
+    return out
+
+
+def surface_area(grid, lengths) -> float:
+    """Per-subdomain surface area for a box split by ``grid``."""
+    sx = lengths[0] / grid[0]
+    sy = lengths[1] / grid[1]
+    sz = lengths[2] / grid[2]
+    return 2.0 * (sx * sy + sy * sz + sz * sx)
+
+
+def best_grid(n_ranks: int, lengths) -> tuple:
+    """The factorization minimizing subdomain surface (max cubicity)."""
+    lengths = np.asarray(lengths, dtype=np.float64)
+    grids = factorizations(n_ranks)
+    return min(grids, key=lambda g: surface_area(g, lengths))
+
+
+def ghost_fraction(grid, lengths, rhalo: float) -> float:
+    """Ratio of ghost-shell volume to subdomain volume.
+
+    This is the paper's computation-over-communication inverse: e.g. in
+    their copper strong scaling each Fugaku rank holds 113 atoms against
+    a ghost region of 1,735 (ratio ~15).
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    sub = lengths / np.asarray(grid, dtype=np.float64)
+    inner = float(np.prod(sub))
+    outer = float(np.prod(sub + 2.0 * rhalo))
+    return (outer - inner) / inner

@@ -1,0 +1,109 @@
+"""Spatial domain decomposition: sub-regions, halo slabs, migration.
+
+Each MPI rank owns an axis-aligned sub-box of the periodic domain
+(Fig. 1 (a): green local region) and imports a ghost shell of width
+``rcut + skin`` from up to 26 neighbors (light cyan).  Ghost images
+crossing a periodic boundary arrive pre-shifted by the sender, exactly
+as LAMMPS communicates them, so receivers treat all coordinates as flat
+Euclidean positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.box import Box
+
+__all__ = ["DomainGrid", "HALO_DIRECTIONS"]
+
+#: The 26 neighbor directions of a 3-D decomposition.
+HALO_DIRECTIONS = [
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if (dx, dy, dz) != (0, 0, 0)
+]
+
+
+class DomainGrid:
+    """A ``px x py x pz`` decomposition of a periodic box.
+
+    Rank ``r`` owns cell ``(ix, iy, iz)`` with ``r = ix + px*(iy + py*iz)``.
+    """
+
+    def __init__(self, box: Box, grid):
+        self.box = box
+        self.grid = tuple(int(g) for g in grid)
+        if any(g < 1 for g in self.grid):
+            raise ValueError("grid dims must be >= 1")
+        self.n_ranks = int(np.prod(self.grid))
+        self.sub_lengths = box.lengths / np.asarray(self.grid, dtype=np.float64)
+
+    def check_halo(self, rhalo: float) -> None:
+        """A single neighbor shell must cover the halo width."""
+        if np.any(self.sub_lengths < rhalo):
+            raise ValueError(
+                f"subdomain {self.sub_lengths} thinner than halo {rhalo}; "
+                f"use fewer ranks or a bigger box"
+            )
+
+    # ------------------------------------------------------------- geometry
+    def rank_cell(self, rank: int) -> tuple:
+        px, py, _pz = self.grid
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def rank_of_cell(self, ix: int, iy: int, iz: int) -> int:
+        px, py, pz = self.grid
+        return (ix % px) + px * ((iy % py) + py * (iz % pz))
+
+    def bounds(self, rank: int):
+        """Lower/upper corner of the rank's sub-box."""
+        cell = np.asarray(self.rank_cell(rank), dtype=np.float64)
+        lo = cell * self.sub_lengths
+        return lo, lo + self.sub_lengths
+
+    def owner_of(self, coords: np.ndarray) -> np.ndarray:
+        """Owning rank per (wrapped) coordinate row."""
+        wrapped = self.box.wrap(np.asarray(coords, dtype=np.float64))
+        cells = np.floor(wrapped / self.sub_lengths).astype(np.intp)
+        cells = np.minimum(cells, np.asarray(self.grid) - 1)
+        px, py, _ = self.grid
+        return cells[:, 0] + px * (cells[:, 1] + py * cells[:, 2])
+
+    # ----------------------------------------------------------------- halos
+    def halo_plan(self, rank: int, rhalo: float):
+        """Per-direction ghost-exchange plan.
+
+        Yields ``(direction_index, neighbor_rank, shift)`` for each of the
+        26 directions; ``shift`` is the coordinate offset the *sender*
+        applies so its atoms land adjacent to the receiver (non-zero only
+        across periodic boundaries).
+        """
+        ix, iy, iz = self.rank_cell(rank)
+        px, py, pz = self.grid
+        lengths = self.box.lengths
+        for d_idx, (dx, dy, dz) in enumerate(HALO_DIRECTIONS):
+            tx, ty, tz = ix + dx, iy + dy, iz + dz
+            shift = np.zeros(3)
+            for ax, (t, p) in enumerate(((tx, px), (ty, py), (tz, pz))):
+                # Wrapping below the grid: the receiver sits at the top of
+                # the box, so the sender's atoms shift up by +L (and down
+                # by -L when wrapping past the top).
+                if t < 0:
+                    shift[ax] = lengths[ax]
+                elif t >= p:
+                    shift[ax] = -lengths[ax]
+            yield d_idx, self.rank_of_cell(tx, ty, tz), shift
+
+    def halo_mask(self, rank: int, coords: np.ndarray, rhalo: float,
+                  direction) -> np.ndarray:
+        """Which local atoms fall in the slab sent along ``direction``."""
+        lo, hi = self.bounds(rank)
+        mask = np.ones(len(coords), dtype=bool)
+        for ax, d in enumerate(direction):
+            if d == 1:
+                mask &= coords[:, ax] >= hi[ax] - rhalo
+            elif d == -1:
+                mask &= coords[:, ax] < lo[ax] + rhalo
+        return mask

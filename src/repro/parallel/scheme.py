@@ -1,0 +1,97 @@
+"""Parallelization schemes: flat MPI vs MPI+OpenMP (Sec. 3.5.4, Fig. 6).
+
+A scheme fixes how a node's cores are split between MPI ranks and OpenMP
+threads.  What the paper measures about them:
+
+* each MPI rank keeps its own TensorFlow graph and MPI buffers — 48
+  copies per A64FX node under flat MPI, 16 under ``16x3`` — which is
+  pure memory overhead the hybrid scheme removes;
+* the ghost (communication) volume scales with the number of MPI
+  sub-regions, so fewer/fatter ranks communicate less (Sec. 3.3);
+* inter-operator threading (Fig. 6 (c)) gives each thread a fraction of
+  the rank's sub-region, forking once per MD step.
+
+:func:`split_subregion` implements the Fig. 6 (c) decomposition; the
+memory accounting feeds :mod:`repro.perf.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ParallelScheme",
+    "FLAT_MPI_A64FX",
+    "HYBRID_16X3",
+    "HYBRID_4X12",
+    "SUMMIT_6GPU",
+    "A64FX_SCHEMES",
+    "split_subregion",
+]
+
+
+@dataclass(frozen=True)
+class ParallelScheme:
+    """An ``ranks x threads`` node configuration."""
+
+    name: str
+    ranks_per_node: int
+    threads_per_rank: int
+
+    @property
+    def cores_used(self) -> int:
+        return self.ranks_per_node * self.threads_per_rank
+
+    def graph_copies(self) -> int:
+        """TensorFlow-graph (and MPI-buffer) copies held per node."""
+        return self.ranks_per_node
+
+    def memory_per_rank_gb(self, node_memory_gb: float,
+                           fixed_overhead_gb: float = 0.0) -> float:
+        """HBM available to one rank after shared overheads."""
+        return (node_memory_gb - fixed_overhead_gb) / self.ranks_per_node
+
+    def __str__(self) -> str:
+        return f"{self.ranks_per_node}x{self.threads_per_rank}"
+
+
+#: The baseline on Fugaku: one rank per core (Sec. 3.5.4).
+FLAT_MPI_A64FX = ParallelScheme("flat MPI", 48, 1)
+#: The optimal hybrid configuration (one rank per 3 cores).
+HYBRID_16X3 = ParallelScheme("hybrid 16x3", 16, 3)
+#: One rank per CMG (NUMA domain) — slower due to memory affinity.
+HYBRID_4X12 = ParallelScheme("hybrid 4x12", 4, 12)
+#: Summit: 6 ranks per node, one per V100 GPU.
+SUMMIT_6GPU = ParallelScheme("summit 6 ranks/node", 6, 7)
+
+A64FX_SCHEMES = (FLAT_MPI_A64FX, HYBRID_16X3, HYBRID_4X12)
+
+
+def split_subregion(coords: np.ndarray, lo, hi, n_threads: int,
+                    axis: int | None = None):
+    """Fig. 6 (c): divide a rank's sub-region among OpenMP threads.
+
+    Splits along ``axis`` (default: the longest edge) into ``n_threads``
+    slabs whose boundaries are chosen at atom-count quantiles so the
+    load is balanced ("the sub-region is carefully divided to avoid
+    load-balance problems").  Returns a list of index arrays, one per
+    thread, partitioning ``arange(len(coords))``.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    n = len(coords)
+    if n_threads == 1 or n == 0:
+        return [np.arange(n, dtype=np.intp)] + [
+            np.zeros(0, dtype=np.intp) for _ in range(n_threads - 1)
+        ]
+    if axis is None:
+        axis = int(np.argmax(hi - lo))
+    x = coords[:, axis]
+    order = np.argsort(x, kind="stable")
+    # Quantile cuts in atom count, ties broken by the sort.
+    cuts = np.linspace(0, n, n_threads + 1).astype(np.intp)
+    return [order[cuts[t]:cuts[t + 1]] for t in range(n_threads)]

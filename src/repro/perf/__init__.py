@@ -1,0 +1,64 @@
+"""Machine, cost, memory, and scaling models — the substitution for the
+Summit and Fugaku testbeds (DESIGN.md §3/§5).
+"""
+
+from .costmodel import (
+    PAPER_SINGLE_DEVICE,
+    hybrid_time_per_atom_us,
+    speedup_ladder,
+    stage_breakdown,
+    time_per_atom_us,
+    tts_us_per_step_per_atom,
+)
+from .kernels import step_kernel_costs, total_flops_per_atom
+from .machine import A64FX, FUGAKU, SUMMIT, V100, DeviceSpec, MachineSpec
+from .memory import (
+    MemoryModel,
+    bytes_per_atom,
+    max_atoms_device,
+    max_atoms_node_scheme,
+)
+from .power import NormalizedRow, table2_rows
+from .profiler import SectionTimer
+from .timeline import StepTimeline, simulate_step
+from .validate import ValidationRow, validation_report
+from .scaling import (
+    GHOST_US_PER_ATOM,
+    ScalePoint,
+    ghost_atoms_per_rank,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "A64FX",
+    "DeviceSpec",
+    "FUGAKU",
+    "GHOST_US_PER_ATOM",
+    "MachineSpec",
+    "MemoryModel",
+    "NormalizedRow",
+    "PAPER_SINGLE_DEVICE",
+    "ScalePoint",
+    "SectionTimer",
+    "StepTimeline",
+    "SUMMIT",
+    "V100",
+    "bytes_per_atom",
+    "ghost_atoms_per_rank",
+    "hybrid_time_per_atom_us",
+    "max_atoms_device",
+    "max_atoms_node_scheme",
+    "speedup_ladder",
+    "simulate_step",
+    "stage_breakdown",
+    "step_kernel_costs",
+    "strong_scaling",
+    "table2_rows",
+    "time_per_atom_us",
+    "total_flops_per_atom",
+    "tts_us_per_step_per_atom",
+    "ValidationRow",
+    "validation_report",
+    "weak_scaling",
+]

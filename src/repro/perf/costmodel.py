@@ -1,0 +1,178 @@
+"""Roofline execution-time model (DESIGN.md §5).
+
+``time(kernel) = max(flops / eff_flops, bytes / eff_bw)`` per kernel
+class, plus tanh wall time (path depends on stage and device), plus a
+per-rank framework overhead amortized over the atoms each rank holds —
+summed over the step's kernel inventory.
+
+The framework term is what couples performance to the launch
+configuration: the A64FX flat-MPI baseline holds only a few hundred
+atoms per rank, so graph overhead dominates it, while the optimized
+16x3 hybrid quarters the rank count *and* shrinks the overhead itself
+(one fused kernel instead of a deep TF graph) — Sec. 3.5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import Stage
+from ..workloads.registry import Workload
+from .kernels import step_kernel_costs
+from .machine import DeviceSpec
+
+__all__ = [
+    "KernelTime",
+    "StageTime",
+    "stage_breakdown",
+    "time_per_atom_us",
+    "tts_us_per_step_per_atom",
+    "speedup_ladder",
+    "PAPER_SINGLE_DEVICE",
+]
+
+#: The paper's single-device test configurations:
+#: (total atoms, ranks on the device at the BASELINE stage, ranks at
+#: optimized stages).  V100 runs one rank per GPU throughout; A64FX runs
+#: 48 flat-MPI ranks for the baseline and 16x3 hybrid when optimized.
+PAPER_SINGLE_DEVICE = {
+    ("V100", "water"): (12_880, 1, 1),
+    ("V100", "copper"): (6_912, 1, 1),
+    ("A64FX", "water"): (18_432, 48, 16),
+    ("A64FX", "copper"): (2_592, 48, 16),
+}
+
+
+def _framework_key(stage: Stage) -> str:
+    if stage is Stage.BASELINE:
+        return "baseline"
+    if stage in (Stage.TABULATION, Stage.FUSION):
+        return "tabulated"
+    return "optimized"
+
+
+def _tanh_path(stage: Stage, in_embedding: bool) -> str:
+    """Which tanh implementation a kernel uses at this stage."""
+    if stage is Stage.BASELINE:
+        return "baseline_port"
+    if stage is Stage.OTHER_OPT:
+        return "tab"
+    return "lib"
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    name: str
+    cls: str
+    flop_time_us: float
+    byte_time_us: float
+    tanh_time_us: float
+
+    @property
+    def time_us(self) -> float:
+        return max(self.flop_time_us, self.byte_time_us) + self.tanh_time_us
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.flop_time_us >= self.byte_time_us else "memory"
+
+
+@dataclass(frozen=True)
+class StageTime:
+    stage: Stage
+    kernels: tuple
+    framework_us_per_atom: float
+
+    @property
+    def time_us(self) -> float:
+        return (sum(k.time_us for k in self.kernels)
+                + self.framework_us_per_atom)
+
+    def kernel_share(self, name: str) -> float:
+        return sum(k.time_us for k in self.kernels if k.name == name) / self.time_us
+
+    def tanh_share(self) -> float:
+        """Fraction of the step spent in tanh (Sec. 6.2.3's 32 %/20 %)."""
+        return sum(k.tanh_time_us for k in self.kernels) / self.time_us
+
+
+def stage_breakdown(device: DeviceSpec, w: Workload, stage: Stage,
+                    atoms_per_rank: float | None = None) -> StageTime:
+    """Per-kernel time decomposition of one MD step, per atom."""
+    out = []
+    for k in step_kernel_costs(w, stage):
+        ft = k.flops / device.eff_flops(k.cls) * 1e6
+        bt = k.bytes / device.eff_bw(k.cls) * 1e6
+        path = _tanh_path(stage, in_embedding=(k.name == "embedding_net"))
+        tt = k.tanh_evals * device.tanh_ns[path] * 1e-3
+        out.append(KernelTime(k.name, k.cls, ft, bt, tt))
+    fw = 0.0
+    if atoms_per_rank:
+        # Per-rank graph overhead scales with the serialized graph size
+        # (Sec. 6.2.4: water's graph is 113 MB against copper's 13 MB).
+        fw = (device.framework_us[_framework_key(stage)] * w.tf_graph_mb
+              / atoms_per_rank)
+    return StageTime(stage, tuple(out), fw)
+
+
+def time_per_atom_us(device: DeviceSpec, w: Workload, stage: Stage,
+                     atoms_per_rank: float | None = None) -> float:
+    """Modelled µs per MD step per atom on one device.
+
+    When ``atoms_per_rank`` is omitted, the paper's single-device test
+    configuration for this device/workload is assumed.
+    """
+    if atoms_per_rank is None:
+        key = (device.name, w.name)
+        if key in PAPER_SINGLE_DEVICE:
+            n_atoms, base_ranks, opt_ranks = PAPER_SINGLE_DEVICE[key]
+            ranks = base_ranks if stage is Stage.BASELINE else opt_ranks
+            atoms_per_rank = n_atoms / ranks
+    return stage_breakdown(device, w, stage, atoms_per_rank).time_us
+
+
+def tts_us_per_step_per_atom(device: DeviceSpec, w: Workload,
+                             stage: Stage = Stage.OTHER_OPT) -> float:
+    """Table 2's headline quantity (defaults to the fully optimized code)."""
+    return time_per_atom_us(device, w, stage)
+
+
+def speedup_ladder(device: DeviceSpec, w: Workload,
+                   n_atoms: int | None = None) -> dict:
+    """Figs. 7/8: cumulative speedup over the baseline per stage.
+
+    Every rung runs under the flat launch configuration of the paper's
+    step-by-step tests (the MPI+OpenMP comparison of Fig. 8 is a separate
+    axis — see :func:`hybrid_time_per_atom_us`).  Uses the paper's
+    single-device test sizes unless ``n_atoms`` overrides them.
+    """
+    key = (device.name, w.name)
+    total, base_ranks, _opt_ranks = PAPER_SINGLE_DEVICE.get(
+        key, (n_atoms, 1, 1)
+    )
+    if n_atoms is not None:
+        total = n_atoms
+    per_rank = total / base_ranks
+    base = time_per_atom_us(device, w, Stage.BASELINE, per_rank)
+    return {
+        stage: base / time_per_atom_us(device, w, stage, per_rank)
+        for stage in Stage.ordered()
+    }
+
+
+#: Thread fork/join + load-imbalance penalty by threads-per-rank
+#: (Sec. 3.5.4: 16x3 is optimal; 4x12, one rank per CMG, is slower).
+THREAD_PENALTY = {1: 1.0, 3: 1.0, 7: 1.05, 12: 1.25}
+
+
+def hybrid_time_per_atom_us(device: DeviceSpec, w: Workload,
+                            scheme, n_atoms: int,
+                            stage: Stage = Stage.OTHER_OPT) -> float:
+    """Optimized-code step time under an MPI x OpenMP scheme (Fig. 8's
+    final rung): kernel time scaled by the thread penalty, framework
+    overhead paid once per rank."""
+    st = stage_breakdown(device, w, stage, atoms_per_rank=None)
+    kernel_us = sum(k.time_us for k in st.kernels)
+    penalty = THREAD_PENALTY.get(scheme.threads_per_rank, 1.1)
+    fw = device.framework_us[_framework_key(stage)]
+    return kernel_us * penalty + fw * scheme.ranks_per_node / n_atoms

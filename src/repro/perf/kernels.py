@@ -1,0 +1,143 @@
+"""Per-kernel FLOP/byte inventory for every optimization stage.
+
+Counts are *mechanistic* — derived from the model dimensions exactly as
+Secs. 2.2 and 3.2 derive theirs:
+
+* baseline embedding: ``N_m (d1 + 10 d1²)`` FLOPs per atom per pass
+  (the paper's formula), two passes (forward + force backward);
+* tabulated embedding: ``56 d1`` FLOPs per neighbor per pass;
+* padded stages process ``N_m`` neighbor slots, redundancy-removed
+  stages only the ~``ρ 4/3 π rcut³`` real ones;
+* baseline ``G`` traffic: the embedding matrix and its activations are
+  written/read by every TensorFlow op that touches them —
+  ``G_TRAFFIC_PASSES`` traversals of ``N_m x M`` doubles per atom (this
+  multiple-copy traffic is what makes the baseline memory-bound and is
+  the paper's stated >95 % memory-footprint culprit);
+* the fused kernel's dominant traffic is the coefficient table itself
+  (6 doubles per output channel per neighbor), attenuated by a cache
+  reuse factor — nearby ``s`` values hit the same table rows.
+
+Sanity anchor: these counts give ~4-5 MFLOP/atom/step for optimized
+copper, matching what the paper's own numbers imply (43.7 PFLOPS x
+1.1e-10 s/step/atom = 4.8 MFLOP/atom).
+
+tanh counts are forward-pass evaluations only (the backward pass reuses
+the stored activations): ``7 d1`` per neighbor in the embedding net,
+``3 x fit_width`` per atom in the fitting net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import Stage
+from ..workloads.registry import Workload
+
+__all__ = [
+    "KernelCost",
+    "step_kernel_costs",
+    "total_flops_per_atom",
+    "G_TRAFFIC_PASSES",
+]
+
+#: Tensor traversals of G-sized data in the baseline TF graph (forward
+#: activations, stored copies, backward reads, gradient writes).
+#: Calibration constant (DESIGN.md §5).
+G_TRAFFIC_PASSES = 12
+
+#: Traversals of G when the tabulated-but-unfused kernel materializes it.
+G_TRAFFIC_PASSES_TAB = 3
+
+#: Cache-reuse attenuation of coefficient-table reads: consecutive ``s``
+#: values land in neighboring intervals, so most rows are L2-resident.
+TABLE_REUSE_TAB = 0.15
+TABLE_REUSE_FUSED = 0.27
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-atom per-MD-step cost of one kernel."""
+
+    name: str
+    cls: str        #: efficiency class (see DeviceSpec)
+    flops: float
+    bytes: float
+    tanh_evals: float = 0.0
+
+
+def step_kernel_costs(w: Workload, stage: Stage) -> list:
+    """The kernel inventory of one MD step at the given stage."""
+    d1, m_out, m_sub, fw = w.d1, w.m_out, w.m_sub, w.fit_width
+    n_m = w.n_m
+    n_real = w.real_neighbors()
+    packed = stage in (Stage.REDUNDANCY, Stage.OTHER_OPT)
+    p = n_real if packed else n_m
+    descr_w = m_sub * m_out
+
+    kernels: list = []
+
+    # --- environment matrix (ProdEnvMatA) -------------------------------
+    # 19 doubles out per neighbor slot (R̃ 4, deriv 12, rij 3), ~80 FLOPs.
+    env_factor = 1.0 / 3.0 if stage is Stage.OTHER_OPT else 1.0  # Sec. 3.4.3
+    kernels.append(KernelCost(
+        "env_mat", "custom",
+        flops=80.0 * p * env_factor,
+        bytes=19.0 * 8.0 * p * 2.0 * env_factor,
+    ))
+
+    # --- embedding -> descriptor contraction ----------------------------
+    if stage is Stage.BASELINE:
+        kernels.append(KernelCost(
+            "embedding_net", "tf",
+            flops=2.0 * p * (d1 + 10.0 * d1 * d1),     # fwd + bwd
+            bytes=G_TRAFFIC_PASSES * p * m_out * 8.0,
+            tanh_evals=p * 7.0 * d1,
+        ))
+        kernels.append(KernelCost(
+            "descriptor_gemm", "gemm",
+            flops=3.0 * (2.0 * 4.0 * m_out * p) + 2.0 * (2.0 * 4.0 * descr_w),
+            bytes=2.0 * p * (m_out + 4.0) * 8.0,
+        ))
+    elif stage is Stage.TABULATION:
+        kernels.append(KernelCost(
+            "embedding_table", "table",
+            flops=2.0 * 56.0 * d1 * p,
+            bytes=(TABLE_REUSE_TAB * 2.0 * p * m_out * 6.0 * 8.0
+                   + G_TRAFFIC_PASSES_TAB * p * m_out * 8.0),
+        ))
+        kernels.append(KernelCost(
+            "descriptor_gemm", "gemm",
+            flops=3.0 * (2.0 * 4.0 * m_out * p) + 2.0 * (2.0 * 4.0 * descr_w),
+            bytes=2.0 * p * (m_out + 4.0) * 8.0,
+        ))
+    else:
+        # Fused: tabulation + contraction in one kernel; G never exists.
+        kernels.append(KernelCost(
+            "fused_tab_contract", "fused",
+            flops=2.0 * 56.0 * d1 * p + 3.0 * (2.0 * 4.0 * m_out * p),
+            bytes=(TABLE_REUSE_FUSED * 2.0 * p * m_out * 6.0 * 8.0
+                   + p * 4.0 * 8.0 * 2.0 + 2.0 * 4.0 * m_out * 8.0),
+        ))
+
+    # --- fitting net -----------------------------------------------------
+    fit_flops_fwd = 2.0 * (descr_w * fw + 2.0 * fw * fw + fw)
+    kernels.append(KernelCost(
+        "fitting_net", "tf" if stage is Stage.BASELINE else "gemm",
+        flops=2.0 * fit_flops_fwd,                    # fwd + input-grad bwd
+        bytes=2.0 * (descr_w + 3.0 * fw) * 8.0 * 2.0,
+        tanh_evals=3.0 * fw,
+    ))
+
+    # --- force + virial production (ProdForceSeA / ProdVirialSeA) -------
+    f_factor = 1.0 / 5.0 if stage is Stage.OTHER_OPT else 1.0  # Sec. 3.4.3/3.5.3
+    kernels.append(KernelCost(
+        "force_virial", "custom",
+        flops=2.0 * 60.0 * p * f_factor,
+        bytes=2.0 * p * 16.0 * 8.0 * f_factor,
+    ))
+    return kernels
+
+
+def total_flops_per_atom(w: Workload, stage: Stage) -> float:
+    """Arithmetic work per atom per step (for achieved-FLOPS figures)."""
+    return sum(k.flops for k in step_kernel_costs(w, stage))

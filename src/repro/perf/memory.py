@@ -1,0 +1,114 @@
+"""Memory-footprint model: per-atom bytes and device capacity (Secs. 6.1.2, 6.2.4).
+
+The baseline's footprint is dominated by the embedding matrix ``G``
+(``N_m x M`` doubles per atom, several live copies across the TF graph —
+">95 % of total memory").  The optimized code never materializes ``G``;
+its footprint is the packed pair data plus per-atom activations.
+
+Model (calibration constants documented inline):
+
+* baseline:  ``G_COPIES · N_m · M · 8  +  19 · N_m · 8  +  ATOM_FIXED``
+* optimized: ``PAIR_COPIES(dev) · n_real · 19 · 8  +  ATOM_FIXED_OPT(dev)``
+
+Paper checkpoints this model reproduces (EXPERIMENTS.md):
+max atoms on one V100 grow 6x (water) / 26x (copper); a single A64FX
+node grows from 110,592 to 165,888 water atoms moving from flat MPI to
+the 16x3 hybrid (graph + MPI buffers deduplicated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import Stage
+from ..parallel.scheme import ParallelScheme
+from ..workloads.registry import Workload
+from .machine import DeviceSpec
+
+__all__ = [
+    "MemoryModel",
+    "bytes_per_atom",
+    "max_atoms_device",
+    "max_atoms_node_scheme",
+]
+
+#: Live copies of G-sized tensors in the baseline TF graph (forward
+#: activations + stored backward inputs + temporaries).
+G_COPIES = 4
+
+#: Copies of the packed per-pair data (values + gradients) and the
+#: per-atom fixed allocation (descriptor/fitting activations, integrator
+#: state) for the optimized path, per device.  A64FX carries more
+#: because its SoA conversions keep AoS+SoA images alive.
+PAIR_COPIES = {"V100": 1.0, "A64FX": 2.0}
+ATOM_FIXED_OPT_KB = {"V100": 65.0, "A64FX": 130.0}
+ATOM_FIXED_BASE_KB = 20.0
+
+#: Per-rank MPI buffer allocation on the many-core CPU path (Sec. 3.5.4
+#: blames "TensorFlow graph, along with MPI buffers" for flat MPI's
+#: memory waste).
+MPI_BUFFER_MB = {"V100": 0.0, "A64FX": 177.0}
+
+#: Fraction of device memory usable for per-atom arrays.
+USABLE_FRACTION = 0.95
+
+
+def bytes_per_atom(w: Workload, stage: Stage, device: DeviceSpec) -> float:
+    """Modelled resident bytes per atom at an optimization stage."""
+    if stage is Stage.BASELINE:
+        g = G_COPIES * w.n_m * w.m_out * 8.0
+        env = 19.0 * w.n_m * 8.0
+        return g + env + ATOM_FIXED_BASE_KB * 1024.0
+    if stage is Stage.TABULATION:
+        # G still materialized (one copy less: no backward activations).
+        g = (G_COPIES - 1) * w.n_m * w.m_out * 8.0
+        env = 19.0 * w.n_m * 8.0
+        return g + env + ATOM_FIXED_BASE_KB * 1024.0
+    pairs = w.real_neighbors() * 19.0 * 8.0 * PAIR_COPIES[device.name]
+    return pairs + ATOM_FIXED_OPT_KB[device.name] * 1024.0
+
+
+def max_atoms_device(w: Workload, stage: Stage, device: DeviceSpec,
+                     ranks: int = 1) -> int:
+    """Largest system one device can hold at the given stage."""
+    usable = device.mem_gb * 1e9 * USABLE_FRACTION
+    usable -= ranks * (w.tf_graph_mb + MPI_BUFFER_MB[device.name]) * 1e6
+    if usable <= 0:
+        return 0
+    return int(usable / bytes_per_atom(w, stage, device))
+
+
+def max_atoms_node_scheme(w: Workload, device: DeviceSpec,
+                          scheme: ParallelScheme,
+                          stage: Stage = Stage.OTHER_OPT) -> int:
+    """Node capacity under an MPI x OpenMP scheme (Sec. 6.2.4).
+
+    Every rank replicates the graph and its MPI buffers; threads share
+    them — the entire memory benefit of the hybrid scheme.
+    """
+    per_rank_mem = device.mem_gb * 1e9 * USABLE_FRACTION / scheme.ranks_per_node
+    per_rank_mem -= (w.tf_graph_mb + MPI_BUFFER_MB[device.name]) * 1e6
+    if per_rank_mem <= 0:
+        return 0
+    per_atom = bytes_per_atom(w, stage, device)
+    return int(per_rank_mem / per_atom) * scheme.ranks_per_node
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Convenience bundle for one workload on one device."""
+
+    workload: Workload
+    device: DeviceSpec
+
+    def capacity_gain(self) -> float:
+        """Optimized-over-baseline max-atom ratio (paper: 6x water /
+        26x copper on V100)."""
+        base = max_atoms_device(self.workload, Stage.BASELINE, self.device)
+        opt = max_atoms_device(self.workload, Stage.OTHER_OPT, self.device)
+        return opt / base if base else float("inf")
+
+    def g_matrix_share(self) -> float:
+        """Fraction of baseline memory held by G (paper: >95 %)."""
+        g = G_COPIES * self.workload.n_m * self.workload.m_out * 8.0
+        return g / bytes_per_atom(self.workload, Stage.BASELINE, self.device)

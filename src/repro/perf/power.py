@@ -1,0 +1,58 @@
+"""Table 2: A64FX-vs-V100 comparison normalized by peak and power.
+
+The paper normalizes single-device time-to-solution by multiplying with
+the device's theoretical peak (``TtS x Peak``) and with its average
+power draw (``TtS x Power``), then quotes A64FX's advantage as a speedup
+factor relative to V100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import Stage
+from ..workloads.registry import Workload
+from .costmodel import tts_us_per_step_per_atom
+from .machine import A64FX, V100, DeviceSpec
+
+__all__ = ["NormalizedRow", "table2_rows"]
+
+
+@dataclass(frozen=True)
+class NormalizedRow:
+    """One row of Table 2."""
+
+    machine: str
+    system: str
+    tts_us: float           #: µs / step / atom
+    tts_x_peak: float       #: TtS x peak TFLOPS
+    tts_x_power: float      #: TtS x watts
+    peak_speedup_vs_v100: float
+    power_speedup_vs_v100: float
+
+
+def _normalize(device: DeviceSpec, w: Workload,
+               ref: "NormalizedRow | None") -> NormalizedRow:
+    tts = tts_us_per_step_per_atom(device, w, Stage.OTHER_OPT)
+    x_peak = tts * device.peak_tflops_norm
+    x_power = tts * device.power_w
+    return NormalizedRow(
+        machine="Summit" if device is V100 else "Fugaku",
+        system=w.name,
+        tts_us=tts,
+        tts_x_peak=x_peak,
+        tts_x_power=x_power,
+        peak_speedup_vs_v100=(ref.tts_x_peak / x_peak) if ref else 1.0,
+        power_speedup_vs_v100=(ref.tts_x_power / x_power) if ref else 1.0,
+    )
+
+
+def table2_rows(workloads) -> list:
+    """All rows of Table 2 for the given workloads (V100 is the baseline)."""
+    rows = []
+    for w in workloads:
+        v100_row = _normalize(V100, w, None)
+        rows.append(v100_row)
+    for w, v100_row in zip(workloads, list(rows)):
+        rows.append(_normalize(A64FX, w, v100_row))
+    return rows

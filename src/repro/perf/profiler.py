@@ -1,0 +1,65 @@
+"""Lightweight section profiler for the real kernels.
+
+Sec. 2.2 motivates the whole paper with a profile: ">90 percent of the
+total time [is] spent on execution of the embedding net".  The model
+pipelines accept an optional :class:`SectionTimer` so the same
+measurement can be reproduced on the NumPy kernels (see
+``benchmarks/bench_profile_shares.py``).
+
+Usage::
+
+    timer = SectionTimer()
+    with timer.section("embedding"):
+        ...
+    print(timer.report())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["SectionTimer"]
+
+
+class SectionTimer:
+    """Accumulates wall time per named section (re-entrant per name)."""
+
+    def __init__(self):
+        self.totals: dict = {}
+        self.calls: dict = {}
+
+    @contextmanager
+    def section(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def share(self, name: str) -> float:
+        """Fraction of the accounted time spent in ``name``."""
+        t = self.total
+        return self.totals.get(name, 0.0) / t if t else 0.0
+
+    def report(self) -> str:
+        """Aligned text table, largest section first."""
+        if not self.totals:
+            return "(no sections recorded)"
+        width = max(len(k) for k in self.totals)
+        lines = [f"{'section':{width}s}  {'time s':>9s}  {'share':>6s}  calls"]
+        for name, t in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:{width}s}  {t:9.4f}  "
+                         f"{self.share(name) * 100:5.1f}%  "
+                         f"{self.calls[name]}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.calls.clear()

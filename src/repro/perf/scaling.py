@@ -1,0 +1,165 @@
+"""Strong/weak scaling predictor (Figs. 9-11).
+
+One MD step on ``n`` nodes decomposes into:
+
+* **compute** — ``atoms_per_node x node_per_atom_rate`` from the roofline
+  model (kernel times only; the framework term is separate);
+* **framework** — the per-rank graph overhead; ranks run concurrently so
+  it is paid once per step, scaled by the graph size;
+* **communication** — ghost-shell exchange.  Ghost counts come from the
+  *actual* rank-grid geometry (``best_grid`` factorization, shell of
+  width ``rcut`` around each sub-box), costed at a calibrated per-ghost
+  time that folds MPI packing, injection and synchronization
+  (``GHOST_US_PER_ATOM``; Summit's fat nodes amortize far better than
+  Fugaku's 16-rank CPUs — the paper's Sec. 6.4.1 observation).
+
+Parallel efficiency, ns/day and achieved PFLOPS follow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.variants import Stage
+from ..parallel.decomposition import best_grid
+from ..units import SECONDS_PER_DAY
+from ..workloads.registry import Workload
+from .costmodel import stage_breakdown
+from .kernels import total_flops_per_atom
+from .machine import MachineSpec
+
+__all__ = [
+    "ScalePoint",
+    "strong_scaling",
+    "weak_scaling",
+    "ghost_atoms_per_rank",
+    "GHOST_US_PER_ATOM",
+]
+
+#: Calibrated per-ghost-atom communication cost (µs), serialized per
+#: node: packing + injection + sync.  Fixed by a grid search against the
+#: paper's 4,560-node strong-scaling efficiencies and ns/day for both
+#: systems on both machines (tools/calibrate_costmodel.py prints the
+#: residuals; see EXPERIMENTS.md).
+GHOST_US_PER_ATOM = {"Summit": 0.220, "Fugaku": 0.742}
+
+
+def ghost_atoms_per_rank(w: Workload, n_atoms: int, n_ranks: int,
+                         rhalo: float | None = None) -> float:
+    """Expected ghost atoms per rank from the decomposition geometry."""
+    if rhalo is None:
+        rhalo = w.rcut
+    volume = n_atoms / w.atom_density
+    side = volume ** (1.0 / 3.0)
+    grid = best_grid(n_ranks, (side, side, side))
+    sub = np.array([side / g for g in grid])
+    inner = float(np.prod(sub))
+    outer = float(np.prod(sub + 2.0 * rhalo))
+    return (outer - inner) * w.atom_density
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One point of a scaling curve."""
+
+    nodes: int
+    ranks: int
+    atoms: int
+    step_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    framework_seconds: float
+    efficiency: float
+    ns_per_day: float
+    pflops: float
+
+
+def _step_time(machine: MachineSpec, w: Workload, n_atoms: int,
+               nodes: int, stage: Stage) -> tuple:
+    device = machine.device
+    ranks = nodes * machine.ranks_per_node
+    atoms_per_node = n_atoms / nodes
+    atoms_per_rank = n_atoms / ranks
+
+    # Kernel-only node rate: all devices of the node work in parallel.
+    kernels = stage_breakdown(device, w, stage, atoms_per_rank=None).kernels
+    per_atom_us = sum(k.time_us for k in kernels) / machine.devices_per_node
+    t_comp = atoms_per_node * per_atom_us * 1e-6
+
+    fw_key = "baseline" if stage is Stage.BASELINE else "optimized"
+    t_fw = device.framework_us[fw_key] * w.tf_graph_mb * 1e-6
+
+    ghosts = ghost_atoms_per_rank(w, n_atoms, ranks)
+    t_comm = (ghosts * machine.ranks_per_node
+              * GHOST_US_PER_ATOM[machine.name] * 1e-6
+              + 52 * machine.nic_latency_us * 1e-6)
+    return t_comp, t_fw, t_comm
+
+
+def _point(machine, w, n_atoms, nodes, stage, t_ref, nodes_ref,
+           overlap: bool = False) -> ScalePoint:
+    t_comp, t_fw, t_comm = _step_time(machine, w, n_atoms, nodes, stage)
+    if overlap:
+        # What-if ablation: perfect computation/communication overlap
+        # (neither the paper nor DeePMD-kit implements it; the gap this
+        # opens is the head-room overlap would buy).
+        t = max(t_comp, t_comm) + t_fw
+    else:
+        t = t_comp + t_fw + t_comm
+    eff = (t_ref * nodes_ref) / (t * nodes) if t_ref else 1.0
+    ns_day = w.dt_fs * 1e-6 / t * SECONDS_PER_DAY
+    pflops = total_flops_per_atom(w, stage) * n_atoms / t / 1e15
+    return ScalePoint(
+        nodes=nodes,
+        ranks=nodes * machine.ranks_per_node,
+        atoms=n_atoms,
+        step_seconds=t,
+        compute_seconds=t_comp,
+        comm_seconds=t_comm,
+        framework_seconds=t_fw,
+        efficiency=eff,
+        ns_per_day=ns_day,
+        pflops=pflops,
+    )
+
+
+def strong_scaling(machine: MachineSpec, w: Workload, n_atoms: int,
+                   node_counts, stage: Stage = Stage.OTHER_OPT,
+                   overlap: bool = False) -> list:
+    """Fixed total size, growing node count (Figs. 9/10).
+
+    Efficiency is relative to the smallest node count, as in the paper.
+    ``overlap=True`` models perfect compute/communication overlap (a
+    what-if ablation — see :func:`_point`).
+    """
+    node_counts = sorted(node_counts)
+    ref = _point(machine, w, n_atoms, node_counts[0], stage, None, None,
+                 overlap)
+    out = []
+    for nodes in node_counts:
+        out.append(_point(machine, w, n_atoms, nodes, stage,
+                          ref.step_seconds, node_counts[0], overlap))
+    return out
+
+
+def weak_scaling(machine: MachineSpec, w: Workload, atoms_per_rank: int,
+                 node_counts, stage: Stage = Stage.OTHER_OPT) -> list:
+    """Fixed per-rank size, growing node count (Fig. 11).
+
+    Weak-scaling efficiency is ``t(smallest) / t(n)`` — per-node work is
+    constant, so ideal scaling keeps the step time flat.
+    """
+    from dataclasses import replace
+
+    node_counts = sorted(node_counts)
+    pts = []
+    t_ref = None
+    for nodes in node_counts:
+        n_atoms = atoms_per_rank * nodes * machine.ranks_per_node
+        p = _point(machine, w, n_atoms, nodes, stage, None, None)
+        if t_ref is None:
+            t_ref = p.step_seconds
+        pts.append(replace(p, efficiency=t_ref / p.step_seconds))
+    return pts

@@ -1,0 +1,153 @@
+"""One-call validation of the performance model against the paper.
+
+``python -m repro.perf.validate`` regenerates every modelled quantity the
+paper reports (the tables behind EXPERIMENTS.md) and prints the
+comparison with deviation factors.  :func:`validation_report` returns the
+same as structured rows so tests can assert the aggregate quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.variants import Stage
+from ..parallel.scheme import FLAT_MPI_A64FX, HYBRID_16X3
+from ..workloads import COPPER, WATER
+from .costmodel import speedup_ladder
+from .machine import A64FX, FUGAKU, SUMMIT, V100
+from .memory import MemoryModel, max_atoms_node_scheme
+from .power import table2_rows
+from .scaling import strong_scaling, weak_scaling
+
+__all__ = ["ValidationRow", "validation_report", "main"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One paper-quantity vs model-quantity comparison."""
+
+    experiment: str
+    quantity: str
+    paper: float
+    model: float
+
+    @property
+    def ratio(self) -> float:
+        return self.model / self.paper if self.paper else float("inf")
+
+    @property
+    def within(self) -> float:
+        """Relative deviation |model/paper - 1|."""
+        return abs(self.ratio - 1.0)
+
+
+def validation_report() -> list:
+    """Every modelled paper quantity as :class:`ValidationRow` rows."""
+    rows: list = []
+
+    # Table 2 anchors (calibrated) + normalized comparisons (predicted)
+    paper_tts = {("Summit", "water"): 2.58, ("Summit", "copper"): 2.87,
+                 ("Fugaku", "water"): 4.47, ("Fugaku", "copper"): 5.78}
+    for r in table2_rows([WATER, COPPER]):
+        rows.append(ValidationRow(
+            "Table 2", f"TtS {r.machine} {r.system}",
+            paper_tts[(r.machine, r.system)], r.tts_us))
+    t2 = {(r.machine, r.system): r for r in table2_rows([WATER, COPPER])}
+    rows.append(ValidationRow("Table 2", "A64FX water peak speedup",
+                              1.2, t2[("Fugaku", "water")].peak_speedup_vs_v100))
+    rows.append(ValidationRow("Table 2", "A64FX water power speedup",
+                              1.3, t2[("Fugaku", "water")].power_speedup_vs_v100))
+    rows.append(ValidationRow("Table 2", "A64FX copper peak speedup",
+                              1.03, t2[("Fugaku", "copper")].peak_speedup_vs_v100))
+    rows.append(ValidationRow("Table 2", "A64FX copper power speedup",
+                              1.1, t2[("Fugaku", "copper")].power_speedup_vs_v100))
+
+    # Figs. 7/8 ladders
+    ladders = {
+        ("V100", "water"): {Stage.TABULATION: 2.3, Stage.FUSION: 3.1,
+                            Stage.REDUNDANCY: 3.4, Stage.OTHER_OPT: 3.7},
+        ("V100", "copper"): {Stage.TABULATION: 3.7, Stage.FUSION: 5.9,
+                             Stage.REDUNDANCY: 8.4, Stage.OTHER_OPT: 9.7},
+        ("A64FX", "water"): {Stage.TABULATION: 7.2,
+                             Stage.REDUNDANCY: 14.0, Stage.OTHER_OPT: 20.5},
+        ("A64FX", "copper"): {Stage.TABULATION: 10.3,
+                              Stage.REDUNDANCY: 31.5, Stage.OTHER_OPT: 42.5},
+    }
+    for (dev_name, wl_name), targets in ladders.items():
+        dev = V100 if dev_name == "V100" else A64FX
+        wl = WATER if wl_name == "water" else COPPER
+        lad = speedup_ladder(dev, wl)
+        fig = "Fig. 7" if dev_name == "V100" else "Fig. 8"
+        for stage, target in targets.items():
+            rows.append(ValidationRow(
+                fig, f"{dev_name} {wl_name} {stage.value}", target,
+                lad[stage]))
+
+    # Figs. 9/10 strong-scaling end points
+    strong = [
+        ("Fig. 9", SUMMIT, WATER, 41_472_000, 0.4699, 6.0),
+        ("Fig. 9", FUGAKU, WATER, 8_294_400, 0.4120, 2.1),
+        ("Fig. 10", SUMMIT, COPPER, 13_500_000, 0.3596, 11.2),
+        ("Fig. 10", FUGAKU, COPPER, 2_177_280, 0.3276, 4.7),
+    ]
+    for fig, machine, wl, atoms, eff_t, ns_t in strong:
+        p = strong_scaling(machine, wl, atoms, [20, 4560])[-1]
+        rows.append(ValidationRow(
+            fig, f"{machine.name} {wl.name} efficiency@4560", eff_t,
+            p.efficiency))
+        rows.append(ValidationRow(
+            fig, f"{machine.name} {wl.name} ns/day@4560", ns_t,
+            p.ns_per_day))
+
+    # Fig. 11 / Table 1 weak-scaling end points
+    summit = weak_scaling(SUMMIT, COPPER, 122_779, [4560])[-1]
+    fugaku = weak_scaling(FUGAKU, COPPER, 6_804, [157_986])[-1]
+    rows.append(ValidationRow("Fig. 11", "Summit copper atoms [B]", 3.4,
+                              summit.atoms / 1e9))
+    rows.append(ValidationRow("Fig. 11", "Summit copper TtS [s/step/atom]",
+                              1.1e-10, summit.step_seconds / summit.atoms))
+    rows.append(ValidationRow("Fig. 11", "Summit copper PFLOPS", 43.7,
+                              summit.pflops))
+    rows.append(ValidationRow("Fig. 11", "Fugaku copper atoms [B]", 17.3,
+                              fugaku.atoms / 1e9))
+    rows.append(ValidationRow("Fig. 11", "Fugaku copper TtS [s/step/atom]",
+                              4.1e-11, fugaku.step_seconds / fugaku.atoms))
+    rows.append(ValidationRow("Fig. 11", "Fugaku copper PFLOPS", 119.0,
+                              fugaku.pflops))
+    rows.append(ValidationRow("Abstract", "size vs state of the art [x]",
+                              134.0, fugaku.atoms / 127e6))
+
+    # Capacity (Secs. 6.1.2 / 6.2.4)
+    rows.append(ValidationRow("Sec 6.1.2", "V100 water capacity gain", 6.0,
+                              MemoryModel(WATER, V100).capacity_gain()))
+    rows.append(ValidationRow("Sec 6.1.2", "V100 copper capacity gain",
+                              26.0, MemoryModel(COPPER, V100).capacity_gain()))
+    rows.append(ValidationRow(
+        "Sec 6.2.4", "A64FX water atoms, flat MPI", 110_592,
+        max_atoms_node_scheme(WATER, A64FX, FLAT_MPI_A64FX)))
+    rows.append(ValidationRow(
+        "Sec 6.2.4", "A64FX water atoms, 16x3", 165_888,
+        max_atoms_node_scheme(WATER, A64FX, HYBRID_16X3)))
+    return rows
+
+
+def main() -> int:
+    rows = validation_report()
+    width = max(len(r.quantity) for r in rows)
+    current = None
+    worst = 0.0
+    for r in rows:
+        if r.experiment != current:
+            current = r.experiment
+            print(f"\n== {current}")
+        print(f"  {r.quantity:{width}s}  paper {r.paper:12.4g}  "
+              f"model {r.model:12.4g}  x{r.ratio:5.2f}")
+        worst = max(worst, r.within)
+    n_close = sum(1 for r in rows if r.within <= 0.10)
+    print(f"\n{len(rows)} quantities; {n_close} within 10 %, worst "
+          f"deviation {worst * 100:.0f} %")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

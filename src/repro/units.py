@@ -1,0 +1,59 @@
+"""Physical constants and unit conventions.
+
+The library uses the LAMMPS ``metal`` unit system, matching DeePMD-kit:
+
+* length  — Angstrom (Å)
+* energy  — electron-volt (eV)
+* time    — picosecond (ps); MD timesteps are quoted in femtoseconds
+* mass    — gram/mole (amu)
+* force   — eV/Å
+* temperature — Kelvin
+* pressure — bar
+
+Conversion factors below are the CODATA values used by LAMMPS ``metal``.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV_K = 8.617333262e-5
+
+#: Conversion so that ``0.5 * m[amu] * v[Å/ps]**2 * MVV_TO_EV`` is in eV.
+#: 1 amu * (Å/ps)^2 = 1.0364269e-4 eV.
+MVV_TO_EV = 1.0364269574851946e-4
+
+#: Pressure conversion: eV/Å^3 -> bar.
+EV_A3_TO_BAR = 1.602176634e6
+
+#: Femtoseconds per picosecond.
+FS_PER_PS = 1000.0
+
+#: Seconds per day, used for ns/day throughput conversions.
+SECONDS_PER_DAY = 86400.0
+
+#: Atomic masses (amu) for the species used in the paper's workloads.
+MASS_AMU = {
+    "H": 1.00794,
+    "O": 15.9994,
+    "Cu": 63.546,
+}
+
+
+def kinetic_energy_ev(masses_amu, velocities) -> float:
+    """Total kinetic energy in eV for velocities in Å/ps."""
+    import numpy as np
+
+    v2 = np.einsum("ij,ij->i", velocities, velocities)
+    return float(0.5 * MVV_TO_EV * np.dot(masses_amu, v2))
+
+
+def temperature_kelvin(kinetic_ev: float, n_atoms: int, n_constraints: int = 0) -> float:
+    """Instantaneous temperature from kinetic energy.
+
+    Uses 3N - n_constraints degrees of freedom (the MD engine removes the
+    centre-of-mass drift, so callers typically pass ``n_constraints=3``).
+    """
+    dof = 3 * n_atoms - n_constraints
+    if dof <= 0:
+        return 0.0
+    return 2.0 * kinetic_ev / (dof * BOLTZMANN_EV_K)

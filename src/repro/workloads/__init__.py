@@ -1,0 +1,18 @@
+"""The paper's physical systems: water and copper (Sec. 4)."""
+
+from .copper import COPPER, COPPER_PAPER_SIZES, build_copper
+from .registry import Workload
+from .silicon import SILICON, build_silicon
+from .water import WATER, WATER_PAPER_SIZES, build_water
+
+__all__ = [
+    "COPPER",
+    "COPPER_PAPER_SIZES",
+    "SILICON",
+    "WATER",
+    "WATER_PAPER_SIZES",
+    "build_silicon",
+    "Workload",
+    "build_copper",
+    "build_water",
+]

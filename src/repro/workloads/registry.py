@@ -1,0 +1,91 @@
+"""Workload descriptors for the paper's two physical systems (Sec. 4).
+
+A :class:`Workload` bundles everything the builders, the performance
+model, and the benchmarks need to know about a system: the model
+hyper-parameters (cutoffs, padded neighbor capacity), the physical
+densities that determine *real* neighbor counts (and hence the padding
+redundancy), and the MD protocol parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import ModelSpec
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named physical system with its paper parameters."""
+
+    name: str
+    rcut: float                  #: model cutoff (Å)
+    rcut_smth: float             #: switch onset (Å)
+    sel: tuple                   #: per-type padded capacities (sum = N_m)
+    n_types: int
+    masses: tuple                #: per-type masses (amu)
+    atom_density: float          #: atoms / Å^3 at ambient conditions
+    dt_fs: float                 #: MD timestep (paper protocol)
+    tf_graph_mb: float           #: serialized model/graph size (Sec. 6.2.4)
+    d1: int = 32
+    m_sub: int = 16
+    fit_width: int = 240
+    type_fractions: tuple = (1.0,)   #: share of atoms per type
+
+    @property
+    def n_m(self) -> int:
+        """Padded neighbor capacity ``N_m = sum(sel)``."""
+        return int(sum(self.sel))
+
+    @property
+    def m_out(self) -> int:
+        return 4 * self.d1
+
+    def real_neighbors(self, margin: float = 0.0) -> float:
+        """Expected neighbors within ``rcut + margin`` at ambient density.
+
+        This is the count the redundancy-removed kernels actually process;
+        the padded kernels always process ``N_m``.
+        """
+        r = self.rcut + margin
+        return self.atom_density * 4.0 / 3.0 * np.pi * r**3
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Padded-over-real work ratio (Sec. 3.4.2: higher for copper)."""
+        return self.n_m / self.real_neighbors()
+
+    def sel_for_engine(self, rcut: float | None = None, skin: float = 2.0,
+                       safety: float = 1.5) -> tuple:
+        """Per-type padded capacities covering the engine's Verlet lists.
+
+        The paper's ``sel`` covers neighbors within ``rcut`` only; this
+        engine keeps the whole ``rcut + skin`` list in the model arrays
+        (LAMMPS-style), so capacities are sized from the density within
+        that radius, per type, with a safety margin for fluctuations.
+        """
+        r = (rcut if rcut is not None else self.rcut) + skin
+        total = self.atom_density * 4.0 / 3.0 * np.pi * r**3
+        return tuple(
+            int(np.ceil(total * frac * safety)) for frac in self.type_fractions
+        )
+
+    def model_spec(self, d1: int | None = None, m_sub: int | None = None,
+                   fit_width: int | None = None, sel=None,
+                   seed: int = 2022) -> ModelSpec:
+        """A :class:`ModelSpec` for this workload (optionally downsized —
+        the laptop-scale tests shrink the nets, never the dataflow)."""
+        return ModelSpec(
+            rcut=self.rcut,
+            rcut_smth=self.rcut_smth,
+            sel=tuple(sel) if sel is not None else tuple(self.sel),
+            n_types=self.n_types,
+            d1=d1 if d1 is not None else self.d1,
+            m_sub=m_sub if m_sub is not None else self.m_sub,
+            fit_width=fit_width if fit_width is not None else self.fit_width,
+            seed=seed,
+        )

@@ -1,0 +1,35 @@
+"""A silicon workload (extension — the intro's semiconductor motivation).
+
+Not part of the paper's evaluation; included because the applications it
+motivates ("semiconductor devices") and cites (liquid-silicon nucleation
+[4]) are silicon systems, and because a third workload exercises the
+workload abstraction.  DP silicon models typically use a 6 Å cutoff.
+"""
+
+from __future__ import annotations
+
+from ..md.lattice import SILICON_LATTICE_CONSTANT, silicon_system
+from .registry import Workload
+
+__all__ = ["SILICON", "build_silicon"]
+
+#: Diamond-cubic silicon: 8 atoms per a^3 cell.
+_SILICON_ATOM_DENSITY = 8.0 / SILICON_LATTICE_CONSTANT**3
+
+SILICON = Workload(
+    name="silicon",
+    rcut=6.0,
+    rcut_smth=4.0,
+    sel=(192,),
+    n_types=1,
+    masses=(28.0855,),
+    atom_density=_SILICON_ATOM_DENSITY,
+    dt_fs=1.0,
+    tf_graph_mb=13.0,
+    type_fractions=(1.0,),
+)
+
+
+def build_silicon(n_cells=(3, 3, 3)):
+    """Diamond-cubic silicon configuration: ``(coords, types, box)``."""
+    return silicon_system(n_cells)

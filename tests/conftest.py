@@ -1,0 +1,87 @@
+"""Shared fixtures: tiny-but-structurally-faithful models and systems.
+
+Tests shrink network widths and neighbor capacities (never the dataflow)
+so the whole suite stays fast; session scope is used for anything built
+once and read many times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.md import Box, NeighborSearch, copper_system, water_system
+
+
+@pytest.fixture(scope="session")
+def cu_spec() -> ModelSpec:
+    """Laptop-scale single-type spec (copper-like)."""
+    return ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=42)
+
+
+@pytest.fixture(scope="session")
+def water_spec() -> ModelSpec:
+    """Laptop-scale two-type spec (water-like)."""
+    return ModelSpec(rcut=4.5, rcut_smth=3.0, sel=(48, 96), n_types=2,
+                     d1=8, m_sub=4, fit_width=32, seed=43)
+
+
+@pytest.fixture(scope="session")
+def cu_model(cu_spec) -> DPModel:
+    return DPModel(cu_spec)
+
+
+@pytest.fixture(scope="session")
+def water_model(water_spec) -> DPModel:
+    return DPModel(water_spec)
+
+
+@pytest.fixture(scope="session")
+def cu_compressed(cu_model) -> CompressedDPModel:
+    return CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2)
+
+
+@pytest.fixture(scope="session")
+def water_compressed(water_model) -> CompressedDPModel:
+    return CompressedDPModel.compress(water_model, interval=1e-3, x_max=2.2)
+
+
+@pytest.fixture(scope="session")
+def cu_config():
+    """Jittered 108-atom FCC copper configuration (forces non-zero)."""
+    coords, types, box = copper_system((3, 3, 3))
+    rng = np.random.default_rng(7)
+    return coords + rng.normal(0, 0.1, coords.shape), types, box
+
+
+@pytest.fixture(scope="session")
+def water_config():
+    """192-atom synthetic water cell replicated once (fits rcut 4.5)."""
+    return water_system((1, 1, 1), seed=3)
+
+
+@pytest.fixture(scope="session")
+def cu_neighbors(cu_spec, cu_config):
+    coords, types, box = cu_config
+    search = NeighborSearch(cu_spec.rcut, skin=1.0, sel=cu_spec.sel)
+    return search.build(coords, types, box)
+
+
+@pytest.fixture(scope="session")
+def water_neighbors(water_spec, water_config):
+    coords, types, box = water_config
+    search = NeighborSearch(water_spec.rcut, skin=1.0, sel=water_spec.sel)
+    return search.build(coords, types, box)
+
+
+def evaluate_folded(model, nd):
+    """Helper: evaluate a model on a NeighborData and fold ghost forces."""
+    if hasattr(model, "evaluate_packed"):
+        res = model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                    nd.centers, nd.indices, nd.indptr)
+    else:
+        res = model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                             nd.nlist)
+    return res.energy, nd.fold_forces(res.forces), res.virial

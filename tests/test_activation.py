@@ -1,0 +1,97 @@
+"""Tests for tanh derivatives and the tabulated tanh (Sec. 3.5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activation import TanhTable, d2tanh, dtanh, tanh
+
+
+class TestTanhDerivatives:
+    def test_dtanh_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 41)
+        h = 1e-6
+        fd = (np.tanh(x + h) - np.tanh(x - h)) / (2 * h)
+        assert np.allclose(dtanh(np.tanh(x)), fd, atol=1e-9)
+
+    def test_d2tanh_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 41)
+        h = 1e-5
+        fd = (np.tanh(x + h) - 2 * np.tanh(x) + np.tanh(x - h)) / h**2
+        assert np.allclose(d2tanh(np.tanh(x)), fd, atol=1e-5)
+
+    def test_tanh_is_numpy(self):
+        x = np.array([0.0, 1.0, -2.0])
+        assert np.array_equal(tanh(x), np.tanh(x))
+
+
+class TestTanhTable:
+    def test_paper_error_bound(self):
+        """Sec. 3.5.3 quotes an error of about 1e-7 — the floor is the
+        clamp itself: 1 - tanh(8) = 2.25e-7."""
+        table = TanhTable()
+        assert table.max_error() < 3e-7
+
+    def test_error_decreases_with_intervals(self):
+        # Coarse tables, where interpolation error dominates the
+        # 2.25e-7 clamp floor.
+        errs = [TanhTable(n_intervals=n).max_error()
+                for n in (8, 32, 128)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_oddness(self):
+        table = TanhTable()
+        x = np.linspace(0.01, 7.9, 100)
+        assert np.allclose(table(-x), -table(x), atol=0)
+
+    def test_saturation_beyond_upper(self):
+        table = TanhTable(upper=8.0)
+        assert table(np.array([8.0]))[0] == 1.0
+        assert table(np.array([100.0]))[0] == 1.0
+        assert table(np.array([-50.0]))[0] == -1.0
+
+    def test_zero_maps_to_zero(self):
+        assert TanhTable()(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_shape_preserved(self):
+        table = TanhTable()
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert table(x).shape == (4, 5)
+
+    def test_table_bytes_scale_with_intervals(self):
+        small = TanhTable(n_intervals=256)
+        big = TanhTable(n_intervals=1024)
+        assert big.table_bytes == pytest.approx(4 * small.table_bytes, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            TanhTable(upper=-1.0)
+        with pytest.raises(ValueError):
+            TanhTable(n_intervals=1)
+
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_pointwise_error_property(self, x):
+        table = _SHARED_TABLE
+        assert abs(table(np.array([x]))[0] - np.tanh(x)) < 3e-7
+
+    def test_usable_as_network_activation(self, cu_model, cu_neighbors):
+        """Swapping tanh for the table changes energies only slightly."""
+        nd = cu_neighbors
+        ref = cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                nd.nlist).energy
+        table = TanhTable()
+        for net in cu_model.fittings + cu_model.embeddings:
+            net.set_activation(table)
+        try:
+            approx = cu_model.evaluate(nd.ext_coords, nd.ext_types,
+                                       nd.centers, nd.nlist).energy
+        finally:
+            for net in cu_model.fittings + cu_model.embeddings:
+                net.set_activation(np.tanh)
+        assert approx == pytest.approx(ref, abs=1e-4)
+        assert approx != ref
+
+
+_SHARED_TABLE = TanhTable()

@@ -1,0 +1,71 @@
+"""Tests for the periodic box."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import Box
+
+
+class TestBox:
+    def test_volume(self):
+        assert Box([2.0, 3.0, 4.0]).volume == pytest.approx(24.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Box([1.0, -2.0, 3.0])
+
+    def test_wrap_into_primary_cell(self):
+        box = Box([10.0, 10.0, 10.0])
+        wrapped = box.wrap(np.array([[11.0, -0.5, 25.0]]))
+        assert np.allclose(wrapped, [[1.0, 9.5, 5.0]])
+
+    def test_wrap_idempotent(self):
+        box = Box([7.0, 9.0, 11.0])
+        pts = np.random.default_rng(0).uniform(-30, 30, (50, 3))
+        once = box.wrap(pts)
+        assert np.allclose(box.wrap(once), once)
+
+    def test_minimum_image_halves_box(self):
+        box = Box([10.0, 10.0, 10.0])
+        dr = box.minimum_image(np.array([[6.0, -6.0, 4.9]]))
+        assert np.allclose(dr, [[-4.0, 4.0, 4.9]])
+
+    @given(st.lists(st.floats(-50, 50), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_image_bound_property(self, vec):
+        box = Box([8.0, 12.0, 9.0])
+        mi = box.minimum_image(np.array(vec))
+        assert np.all(np.abs(mi) <= box.lengths / 2 + 1e-9)
+
+    def test_distance_respects_pbc(self):
+        box = Box([10.0, 10.0, 10.0])
+        d = box.distance(np.array([[0.5, 0.0, 0.0]]),
+                         np.array([[9.5, 0.0, 0.0]]))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_replicate_counts_and_box(self):
+        box = Box([2.0, 2.0, 2.0])
+        coords = np.array([[0.5, 0.5, 0.5]])
+        types = np.array([0])
+        new_coords, new_types, new_box = box.replicate(coords, types,
+                                                       (2, 3, 1))
+        assert len(new_coords) == 6
+        assert len(new_types) == 6
+        assert np.allclose(new_box.lengths, [4.0, 6.0, 2.0])
+
+    def test_replicate_preserves_density(self):
+        box = Box([3.0, 3.0, 3.0])
+        coords = np.random.default_rng(1).uniform(0, 3, (8, 3))
+        types = np.zeros(8, dtype=int)
+        _, _, big = box.replicate(coords, types, (2, 2, 2))
+        assert 8 * 8 / big.volume == pytest.approx(8 / box.volume)
+
+    def test_replicate_rejects_bad_reps(self):
+        box = Box([1.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            box.replicate(np.zeros((1, 3)), np.zeros(1, dtype=int), (0, 1, 1))
+
+    def test_min_length(self):
+        assert Box([5.0, 3.0, 4.0]).min_length() == 3.0

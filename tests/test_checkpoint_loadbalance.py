@@ -1,0 +1,124 @@
+"""Tests for checkpoint/restart and RCB load balancing."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_checkpoint, restart_simulation, save_checkpoint
+from repro.md import DPForceField, LennardJones, Simulation, copper_system
+from repro.parallel import imbalance, partition_imbalance, rcb_partition
+from repro.parallel.domain import DomainGrid
+from repro.md.box import Box
+from repro.units import MASS_AMU
+
+
+class TestCheckpointRestart:
+    def make_sim(self, forcefield=None, seed=4):
+        coords, types, box = copper_system((3, 3, 3))
+        ff = forcefield or LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+        return Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                          dt_fs=1.0, seed=seed, skin=1.0,
+                          rebuild_every=10)
+
+    def test_round_trip_state(self, tmp_path):
+        sim = self.make_sim()
+        sim.run(7, thermo_every=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, sim)
+        state = load_checkpoint(path)
+        assert state["meta"]["step"] == 7
+        assert np.array_equal(state["coords"], sim.coords)
+        assert np.array_equal(state["velocities"], sim.velocities)
+        assert np.allclose(state["box"].lengths, sim.box.lengths)
+
+    def test_restart_continues_identical_trajectory(self, tmp_path):
+        """Reference run of 20 steps == 8 steps + checkpoint + 12 steps."""
+        ref = self.make_sim(seed=5)
+        ref.run(20, thermo_every=0)
+
+        sim = self.make_sim(seed=5)
+        sim.run(8, thermo_every=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, sim)
+
+        lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+        restarted = restart_simulation(path, lj)
+        assert restarted.step == 8
+        restarted.run(12, thermo_every=0)
+        assert restarted.step == 20
+        assert np.allclose(restarted.coords, ref.coords, atol=1e-12)
+        assert np.allclose(restarted.velocities, ref.velocities,
+                           atol=1e-12)
+
+    def test_restart_with_dp_model(self, tmp_path, cu_compressed,
+                                   cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0, seed=6,
+                         sel=cu_compressed.spec.sel, skin=1.0)
+        sim.run(4, thermo_every=0)
+        path = str(tmp_path / "dp.npz")
+        save_checkpoint(path, sim)
+        restarted = restart_simulation(path, DPForceField(cu_compressed))
+        assert restarted.energy == pytest.approx(sim.energy, abs=1e-10)
+        assert np.allclose(restarted.forces, sim.forces, atol=1e-10)
+
+    def test_multi_type_masses_recovered(self, tmp_path, water_compressed):
+        from repro.md import water_system
+
+        coords, types, box = water_system((1, 1, 1))
+        sim = Simulation(coords, types, box,
+                         (MASS_AMU["O"], MASS_AMU["H"]),
+                         DPForceField(water_compressed), dt_fs=0.5,
+                         seed=7, sel=water_compressed.spec.sel, skin=1.0)
+        path = str(tmp_path / "w.npz")
+        save_checkpoint(path, sim)
+        restarted = restart_simulation(path,
+                                       DPForceField(water_compressed))
+        assert np.array_equal(restarted.masses, sim.masses)
+
+
+class TestLoadBalance:
+    def test_imbalance_metric(self):
+        assert imbalance([10, 10, 10]) == 1.0
+        assert imbalance([20, 10, 0]) == pytest.approx(2.0)
+
+    def test_rcb_near_perfect_on_uniform(self):
+        coords = np.random.default_rng(0).uniform(0, 10, (1000, 3))
+        for parts in (2, 3, 8, 13):
+            a = rcb_partition(coords, parts)
+            assert partition_imbalance(a, parts) < 1.05
+
+    def test_rcb_beats_uniform_grid_on_clustered(self):
+        """The inhomogeneous case the paper's applications imply: half
+        the atoms in one corner breaks a uniform grid, not RCB."""
+        rng = np.random.default_rng(1)
+        box = Box([16.0, 16.0, 16.0])
+        dense = rng.uniform(0, 4.0, (500, 3))
+        dilute = rng.uniform(0, 16.0, (500, 3))
+        coords = np.concatenate([dense, dilute])
+
+        grid = DomainGrid(box, (2, 2, 2))
+        uniform_loads = np.bincount(grid.owner_of(coords), minlength=8)
+        rcb = rcb_partition(coords, 8)
+        assert partition_imbalance(rcb, 8) < 1.05
+        assert imbalance(uniform_loads) > 2.0
+
+    def test_rcb_parts_are_spatially_coherent(self):
+        """Each part's bounding box must not contain atoms of others on
+        its cut axis interior (cuts are clean planes per level)."""
+        coords = np.random.default_rng(2).uniform(0, 10, (400, 3))
+        a = rcb_partition(coords, 2)
+        axis = int(np.argmax(coords.max(0) - coords.min(0)))
+        left_max = coords[a == 0, axis].max()
+        right_min = coords[a == 1, axis].min()
+        assert left_max <= right_min + 1e-12
+
+    def test_rcb_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros((3, 3)), 0)
+
+    def test_rcb_all_atoms_assigned(self):
+        coords = np.random.default_rng(3).uniform(0, 5, (123, 3))
+        a = rcb_partition(coords, 7)
+        assert len(a) == 123
+        assert set(np.unique(a)) <= set(range(7))

@@ -1,0 +1,192 @@
+"""Tests for the simulated MPI communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimWorld
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1, tag=5)
+                return None
+            return comm.recv(source=0, tag=5)
+
+        results = SimWorld(2).run(fn)
+        assert results[1] == {"x": 1}
+
+    def test_numpy_payload(self):
+        def fn(comm):
+            data = np.arange(10.0) * comm.rank
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.send(data, nxt, tag=1)
+            return comm.recv(prv, tag=1)
+
+        results = SimWorld(4).run(fn)
+        assert np.allclose(results[0], np.arange(10.0) * 3)
+
+    def test_out_of_order_tags(self):
+        """Receives match on (source, tag) regardless of arrival order."""
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        results = SimWorld(2).run(fn)
+        assert results[1] == ("a", "b")
+
+    def test_sendrecv_ring(self):
+        def fn(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=nxt, source=prv, tag=0)
+
+        assert SimWorld(5).run(fn) == [4, 0, 1, 2, 3]
+
+    def test_self_send(self):
+        def fn(comm):
+            comm.send(42, comm.rank, tag=9)
+            return comm.recv(comm.rank, tag=9)
+
+        assert SimWorld(1).run(fn) == [42]
+
+    def test_bad_destination_raises(self):
+        def fn(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            SimWorld(1).run(fn)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            value = "hello" if comm.rank == 2 else None
+            return comm.bcast(value, root=2)
+
+        assert SimWorld(4).run(fn) == ["hello"] * 4
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank ** 2, root=0)
+
+        results = SimWorld(4).run(fn)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def fn(comm):
+            return comm.allgather(comm.rank)
+
+        assert SimWorld(3).run(fn) == [[0, 1, 2]] * 3
+
+    def test_allreduce_scalar(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert SimWorld(4).run(fn) == [10] * 4
+
+    def test_allreduce_array(self):
+        def fn(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        results = SimWorld(3).run(fn)
+        assert np.allclose(results[0], [3.0, 3.0, 3.0])
+
+    def test_allreduce_custom_op(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        assert SimWorld(5).run(fn) == [4] * 5
+
+    def test_alltoall(self):
+        def fn(comm):
+            payload = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return comm.alltoall(payload)
+
+        results = SimWorld(3).run(fn)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoall_wrong_length(self):
+        def fn(comm):
+            comm.alltoall([1, 2])
+
+        with pytest.raises(RuntimeError):
+            SimWorld(3).run(fn)
+
+    def test_barrier_completes(self):
+        def fn(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert SimWorld(4).run(fn) == [True] * 4
+
+
+class TestAccounting:
+    def test_bytes_conserved(self):
+        """Total bytes sent equals total bytes received."""
+        def fn(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.send(np.zeros(100), nxt, tag=3)
+            comm.recv(prv, tag=3)
+
+        world = SimWorld(4)
+        world.run(fn)
+        sent = sum(c.stats.bytes_sent for c in world.comms)
+        recv = sum(c.stats.bytes_received for c in world.comms)
+        assert sent == recv == 4 * 800
+
+    def test_by_tag_attribution(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1, tag=7)
+                comm.send(np.zeros(20), 1, tag=8)
+            elif comm.rank == 1:
+                comm.recv(0, tag=7)
+                comm.recv(0, tag=8)
+
+        world = SimWorld(2)
+        world.run(fn)
+        assert world.bytes_by_tag(7) == 80
+        assert world.bytes_by_tag(8) == 160
+
+    def test_message_counts(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for _ in range(5):
+                    comm.send(1, 1)
+            elif comm.rank == 1:
+                for _ in range(5):
+                    comm.recv(0)
+
+        world = SimWorld(2)
+        world.run(fn)
+        assert world.comms[0].stats.messages_sent == 5
+        assert world.comms[1].stats.messages_received == 5
+
+
+class TestWorld:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_exception_propagates_with_rank(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2 failed"):
+            SimWorld(3).run(fn)
+
+    def test_results_in_rank_order(self):
+        assert SimWorld(6).run(lambda c: c.rank * 10) == [0, 10, 20, 30, 40, 50]

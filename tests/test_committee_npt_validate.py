@@ -1,0 +1,158 @@
+"""Tests for the model committee (DP-GEN lite), the barostat, the ASCII
+curve renderer, and the end-to-end validation report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_curve
+from repro.core import ModelCommittee, ModelSpec
+from repro.md import (
+    BerendsenBarostat,
+    Langevin,
+    LennardJones,
+    NeighborSearch,
+    Simulation,
+    copper_system,
+)
+from repro.perf import validation_report
+from repro.units import MASS_AMU
+
+SPEC = ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(64,), n_types=1,
+                 d1=4, m_sub=2, fit_width=16, seed=5)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    search = NeighborSearch(SPEC.rcut, skin=1.0, sel=SPEC.sel)
+    coords0, types, box = copper_system((2, 2, 2))
+    rng = np.random.default_rng(3)
+    out = []
+    for amp in (0.02, 0.05, 0.15, 0.4, 0.8):
+        c = coords0 + rng.normal(0, amp, coords0.shape)
+        out.append(search.build(c, types, box))
+    return out
+
+
+class TestModelCommittee:
+    def test_requires_two_members(self):
+        with pytest.raises(ValueError):
+            ModelCommittee(SPEC, n_models=1)
+
+    def test_members_differ(self):
+        com = ModelCommittee(SPEC, n_models=3, compress=False)
+        s = np.linspace(0.1, 1.0, 4)
+        a = com.members[0].embeddings[0].evaluate(s)
+        b = com.members[1].embeddings[0].evaluate(s)
+        assert not np.allclose(a, b)
+
+    def test_deviation_metrics_structure(self, frames):
+        com = ModelCommittee(SPEC, n_models=3)
+        rec = com.deviation(frames[0])
+        assert rec.min_devi_f <= rec.avg_devi_f <= rec.max_devi_f
+        assert rec.devi_e >= 0
+
+    def test_deviation_grows_off_distribution(self, frames):
+        """The DP-GEN premise: disagreement rises as configurations leave
+        the (shared) training manifold — here, as distortion amplitude
+        grows the local environments get more extreme."""
+        com = ModelCommittee(SPEC, n_models=4)
+        devs = [com.deviation(nd).max_devi_f for nd in frames]
+        assert devs[-1] > devs[0]
+
+    def test_select_frames_band(self, frames):
+        com = ModelCommittee(SPEC, n_models=3)
+        devs = [com.deviation(nd).max_devi_f for nd in frames]
+        lo, hi = np.percentile(devs, 30), np.percentile(devs, 90)
+        sel = com.select_frames(frames, lo, hi)
+        for k in sel:
+            assert lo <= devs[k] < hi
+        assert 0 < len(sel) < len(frames)
+
+    def test_compressed_and_baseline_committees(self, frames):
+        c1 = ModelCommittee(SPEC, n_models=2, compress=True)
+        c2 = ModelCommittee(SPEC, n_models=2, compress=False)
+        r1 = c1.deviation(frames[0])
+        r2 = c2.deviation(frames[0])
+        # same seeds, compression is lossless at fine intervals -> close
+        assert r1.max_devi_f == pytest.approx(r2.max_devi_f, rel=1e-3)
+
+
+class TestBarostat:
+    def test_scale_factor_direction(self):
+        baro = BerendsenBarostat(pressure_bar=0.0, tau_fs=100.0)
+        # pressure above target -> expand (mu > 1)
+        assert baro.scale_factor(5000.0, dt_fs=1.0) > 1.0
+        assert baro.scale_factor(-5000.0, dt_fs=1.0) < 1.0
+
+    def test_scale_factor_bounded(self):
+        baro = BerendsenBarostat(0.0, tau_fs=1.0, max_scaling=0.01)
+        assert baro.scale_factor(1e9, 10.0) == pytest.approx(1.01)
+        assert baro.scale_factor(-1e9, 10.0) == pytest.approx(0.99)
+
+    def test_npt_drives_pressure_down(self):
+        """A compressed LJ crystal under NPT expands toward P ~ target."""
+        coords, types, box = copper_system((3, 3, 3))
+        lj = LennardJones(epsilon=0.15, sigma=2.45, rcut=5.0)  # oversized
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], lj,
+                         dt_fs=1.0, seed=1, skin=1.0, temperature=200.0,
+                         thermostat=Langevin(200.0, 10.0, seed=2))
+        baro = BerendsenBarostat(pressure_bar=0.0, tau_fs=200.0,
+                                 max_scaling=0.005)
+        p0 = sim.current_thermo().pressure_bar
+        v0 = sim.box.volume
+        for _ in range(40):
+            sim.run(2, thermo_every=0)
+            baro.apply(sim, dt_fs=2.0)
+        p1 = sim.current_thermo().pressure_bar
+        assert p0 > 0  # the oversized sigma compresses the lattice
+        assert sim.box.volume > v0  # box expanded
+        assert abs(p1) < abs(p0)  # pressure moved toward the target
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            BerendsenBarostat(0.0, tau_fs=-1.0)
+
+
+class TestAsciiCurve:
+    def test_contains_points_and_axes(self):
+        out = ascii_curve([1, 10, 100], [1.0, 0.5, 0.25], width=30,
+                          height=6, label="eff", log_x=True)
+        assert "eff" in out
+        assert out.count("*") == 3
+        assert "log10 x" in out
+
+    def test_flat_series(self):
+        out = ascii_curve([1, 2, 3], [1.0, 1.0, 1.0], width=10, height=4)
+        assert "*" in out
+
+
+class TestValidationReport:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return validation_report()
+
+    def test_covers_every_experiment(self, rows):
+        experiments = {r.experiment for r in rows}
+        assert {"Table 2", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
+                "Fig. 11", "Sec 6.1.2", "Sec 6.2.4",
+                "Abstract"} <= experiments
+
+    def test_majority_within_10_percent(self, rows):
+        close = sum(1 for r in rows if r.within <= 0.10)
+        assert close >= 0.6 * len(rows)
+
+    def test_everything_within_45_percent(self, rows):
+        worst = max(r.within for r in rows)
+        assert worst <= 0.45
+
+    def test_headline_numbers_tight(self, rows):
+        by_q = {r.quantity: r for r in rows}
+        assert by_q["Fugaku copper atoms [B]"].within < 0.02
+        assert by_q["size vs state of the art [x]"].within < 0.05
+        assert by_q["TtS Summit copper"].within < 0.05
+
+    def test_cli_entry(self, capsys):
+        from repro.perf.validate import main
+
+        assert main() == 0
+        assert "quantities" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for the compressed (tabulated + fused + packed) model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, KernelCounters, TanhTable, pack_nlist
+
+from conftest import evaluate_folded
+
+
+class TestPackNlist:
+    def test_round_trip_contents(self):
+        nlist = np.array([[3, 1, -1, -1], [2, -1, -1, -1], [-1, -1, -1, -1]])
+        indices, indptr = pack_nlist(nlist)
+        assert indices.tolist() == [3, 1, 2]
+        assert indptr.tolist() == [0, 2, 3, 3]
+
+    def test_empty(self):
+        indices, indptr = pack_nlist(np.full((2, 3), -1))
+        assert len(indices) == 0
+        assert indptr.tolist() == [0, 0, 0]
+
+
+class TestAgreementWithBaseline:
+    """Fig. 2's central claim: at a fine interval the compressed model is
+    indistinguishable from the original (double-precision floor)."""
+
+    def test_copper_energy_forces_virial(self, cu_model, cu_compressed,
+                                         cu_neighbors):
+        e0, f0, w0 = evaluate_folded(cu_model, cu_neighbors)
+        e1, f1, w1 = evaluate_folded(cu_compressed, cu_neighbors)
+        n = cu_neighbors.n_local
+        assert abs(e1 - e0) / n < 1e-12
+        assert np.abs(f1 - f0).max() < 1e-12
+        assert np.abs(w1 - w0).max() < 1e-10
+
+    def test_water_multi_type(self, water_model, water_compressed,
+                              water_neighbors):
+        e0, f0, w0 = evaluate_folded(water_model, water_neighbors)
+        e1, f1, w1 = evaluate_folded(water_compressed, water_neighbors)
+        n = water_neighbors.n_local
+        assert abs(e1 - e0) / n < 1e-12
+        assert np.abs(f1 - f0).max() < 1e-12
+
+    def test_error_grows_with_interval(self, cu_model, cu_neighbors):
+        """Coarser tables are measurably (but boundedly) less accurate."""
+        e_ref, f_ref, _ = evaluate_folded(cu_model, cu_neighbors)
+        errs = []
+        for interval in (0.1, 0.01, 0.001):
+            comp = CompressedDPModel.compress(cu_model, interval=interval,
+                                              x_max=2.2)
+            e, f, _ = evaluate_folded(comp, cu_neighbors)
+            errs.append(np.abs(f - f_ref).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_padded_wrapper_equals_packed(self, cu_compressed, cu_neighbors):
+        nd = cu_neighbors
+        r_padded = cu_compressed.evaluate(nd.ext_coords, nd.ext_types,
+                                          nd.centers, nd.nlist)
+        r_packed = cu_compressed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        assert r_padded.energy == r_packed.energy
+        assert np.array_equal(r_padded.forces, r_packed.forces)
+
+
+class TestVariants:
+    def test_soa_layout_identical(self, cu_model, cu_neighbors):
+        aos = CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2)
+        soa = CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2,
+                                         use_soa=True)
+        e0, f0, _ = evaluate_folded(aos, cu_neighbors)
+        e1, f1, _ = evaluate_folded(soa, cu_neighbors)
+        assert e0 == e1
+        assert np.array_equal(f0, f1)
+
+    def test_tanh_table_small_perturbation(self, cu_model, cu_neighbors):
+        exact = CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2)
+        e0, f0, _ = evaluate_folded(exact, cu_neighbors)
+        tab = CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2,
+                                         tanh_table=TanhTable())
+        try:
+            e1, f1, _ = evaluate_folded(tab, cu_neighbors)
+        finally:
+            for net in cu_model.fittings:
+                net.set_activation(np.tanh)
+        assert e1 != e0
+        assert abs(e1 - e0) / cu_neighbors.n_local < 1e-5
+
+    def test_counters_skip_padding(self, cu_compressed, cu_spec,
+                                   cu_neighbors):
+        nd = cu_neighbors
+        c = KernelCounters()
+        cu_compressed.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                      nd.centers, nd.indices, nd.indptr,
+                                      counters=c)
+        real = len(nd.indices)
+        padded = nd.n_local * cu_spec.n_m
+        assert c.skipped_pairs == padded - real
+        # forward + backward both count processed pairs
+        assert c.processed_pairs == 2 * real
+
+    def test_table_bytes_reported(self, cu_compressed):
+        assert cu_compressed.table_bytes > 0
+
+
+class TestChunking:
+    @pytest.mark.parametrize("chunk", [16, 257, 10**7])
+    def test_energy_invariant_under_chunk(self, cu_model, cu_neighbors,
+                                          chunk):
+        comp = CompressedDPModel.compress(cu_model, interval=1e-3,
+                                          x_max=2.2, chunk=chunk)
+        nd = cu_neighbors
+        res = comp.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                   nd.indices, nd.indptr)
+        ref = CompressedDPModel.compress(cu_model, interval=1e-3, x_max=2.2)
+        res0 = ref.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                   nd.indices, nd.indptr)
+        assert res.energy == pytest.approx(res0.energy, abs=1e-12)
+        assert np.allclose(res.forces, res0.forces, atol=1e-13)

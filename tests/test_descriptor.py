@@ -1,0 +1,118 @@
+"""Tests for the symmetry-preserving descriptor (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.descriptor import (
+    contract_t,
+    descriptor_backward,
+    descriptor_dim,
+    descriptor_forward,
+    descriptor_from_t,
+    dt_from_ddescr,
+)
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(17)
+    n, n_m, m = 5, 12, 16
+    descrpt = rng.normal(size=(n, n_m, 4))
+    g = rng.normal(size=(n, n_m, m))
+    return descrpt, g
+
+
+class TestForward:
+    def test_shapes(self, batch):
+        descrpt, g = batch
+        d, t = descriptor_forward(descrpt, g, m_sub=6, n_m_norm=12)
+        assert t.shape == (5, 4, 16)
+        assert d.shape == (5, descriptor_dim(16, 6))
+
+    def test_matches_paper_formula(self, batch):
+        """D = (G<)^T R̃ R̃^T G / N_m^2, computed the long way."""
+        descrpt, g = batch
+        m_sub, n_m = 6, 12
+        d, _ = descriptor_forward(descrpt, g, m_sub, n_m)
+        for i in range(descrpt.shape[0]):
+            r = descrpt[i]
+            gi = g[i]
+            ref = gi[:, :m_sub].T @ r @ r.T @ gi / n_m**2
+            assert np.allclose(d[i], ref.reshape(-1))
+
+    def test_rotation_invariance(self, batch):
+        """Rotating all displacement directions leaves D unchanged."""
+        descrpt, g = batch
+        from scipy.spatial.transform import Rotation
+
+        q = Rotation.random(random_state=1).as_matrix()
+        rotated = descrpt.copy()
+        rotated[..., 1:] = descrpt[..., 1:] @ q.T
+        d0, _ = descriptor_forward(descrpt, g, 6, 12)
+        d1, _ = descriptor_forward(rotated, g, 6, 12)
+        assert np.allclose(d0, d1, atol=1e-12)
+
+    def test_neighbor_permutation_invariance(self, batch):
+        descrpt, g = batch
+        perm = np.random.default_rng(2).permutation(descrpt.shape[1])
+        d0, _ = descriptor_forward(descrpt, g, 6, 12)
+        d1, _ = descriptor_forward(descrpt[:, perm], g[:, perm], 6, 12)
+        assert np.allclose(d0, d1, atol=1e-13)
+
+    def test_zero_rows_do_not_contribute(self, batch):
+        """Padded (zero) env-matrix rows are inert regardless of G."""
+        descrpt, g = batch
+        d0, _ = descriptor_forward(descrpt, g, 6, 12)
+        descrpt2 = np.concatenate(
+            [descrpt, np.zeros((5, 3, 4))], axis=1)
+        g2 = np.concatenate(
+            [g, np.random.default_rng(3).normal(size=(5, 3, 16))], axis=1)
+        d1, _ = descriptor_forward(descrpt2, g2, 6, 12)
+        assert np.allclose(d0, d1, atol=1e-13)
+
+
+class TestBackward:
+    def test_gradients_vs_finite_difference(self, batch):
+        descrpt, g = batch
+        m_sub, n_m = 6, 12
+        d, t = descriptor_forward(descrpt, g, m_sub, n_m)
+        w = np.random.default_rng(4).normal(size=d.shape)  # loss weights
+
+        d_r, d_g = descriptor_backward(w, t, descrpt, g, m_sub, n_m)
+
+        def loss(r_in, g_in):
+            dd, _ = descriptor_forward(r_in, g_in, m_sub, n_m)
+            return float((dd * w).sum())
+
+        h = 1e-6
+        for idx in [(0, 0, 0), (2, 5, 3), (4, 11, 1)]:
+            rp, rm = descrpt.copy(), descrpt.copy()
+            rp[idx] += h
+            rm[idx] -= h
+            fd = (loss(rp, g) - loss(rm, g)) / (2 * h)
+            assert d_r[idx] == pytest.approx(fd, abs=1e-6)
+        for idx in [(0, 0, 0), (3, 7, 15)]:
+            gp, gm = g.copy(), g.copy()
+            gp[idx] += h
+            gm[idx] -= h
+            fd = (loss(descrpt, gp) - loss(descrpt, gm)) / (2 * h)
+            assert d_g[idx] == pytest.approx(fd, abs=1e-6)
+
+    def test_dt_from_ddescr_consistency(self, batch):
+        """dT computed directly equals chaining through descriptor_from_t."""
+        descrpt, g = batch
+        m_sub, n_m = 6, 12
+        t = contract_t(descrpt, g, n_m)
+        w = np.random.default_rng(5).normal(size=(5, m_sub * 16))
+        dt = dt_from_ddescr(w, t, m_sub)
+
+        def loss(t_in):
+            return float((descriptor_from_t(t_in, m_sub) * w).sum())
+
+        h = 1e-6
+        for idx in [(0, 0, 0), (2, 3, 9), (4, 1, 15)]:
+            tp, tm = t.copy(), t.copy()
+            tp[idx] += h
+            tm[idx] -= h
+            fd = (loss(tp) - loss(tm)) / (2 * h)
+            assert dt[idx] == pytest.approx(fd, abs=1e-6)

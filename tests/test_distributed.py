@@ -1,0 +1,175 @@
+"""Integration tests: distributed MD equals serial MD."""
+
+import numpy as np
+import pytest
+
+from repro.md import DPForceField, Simulation, copper_system, water_system
+from repro.md.velocity import maxwell_boltzmann
+from repro.parallel import run_distributed_md
+from repro.parallel.scheme import split_subregion
+from repro.units import MASS_AMU
+
+
+def serial_reference(coords, types, box, masses, model, dt_fs, n_steps,
+                     sel, seed):
+    v0 = maxwell_boltzmann(np.asarray(masses)[types], 330.0, seed)
+    sim = Simulation(coords, types, box, masses, DPForceField(model),
+                     dt_fs=dt_fs, sel=sel, seed=seed, skin=1.0,
+                     rebuild_every=50)
+    sim.run(n_steps, thermo_every=5)
+    return sim, v0
+
+
+class TestDistributedEqualsSerial:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 1, 1), (2, 2, 2)])
+    def test_copper_compressed(self, cu_compressed, dims):
+        coords, types, box = copper_system((4, 4, 4))
+        rng = np.random.default_rng(9)
+        coords = coords + rng.normal(0, 0.05, coords.shape)
+        masses = [MASS_AMU["Cu"]]
+        spec = cu_compressed.spec
+        n_steps = 8
+        sim, v0 = serial_reference(coords, types, box, masses,
+                                   cu_compressed, 1.0, n_steps, spec.sel, 3)
+        res = run_distributed_md(
+            int(np.prod(dims)), dims, coords, types, box, masses,
+            cu_compressed, dt_fs=1.0, n_steps=n_steps, rebuild_every=50,
+            skin=1.0, sel=spec.sel, velocities=v0, thermo_every=5,
+        )
+        assert np.allclose(box.wrap(res.coords), box.wrap(sim.coords),
+                           atol=1e-10)
+        assert res.thermo[-1].total_ev == pytest.approx(
+            sim.thermo_log[-1].total_ev, abs=1e-9)
+
+    def test_copper_baseline_model(self, cu_model):
+        """The padded baseline model also runs distributed."""
+        coords, types, box = copper_system((4, 4, 4))
+        masses = [MASS_AMU["Cu"]]
+        spec = cu_model.spec
+        sim, v0 = serial_reference(coords, types, box, masses, cu_model,
+                                   1.0, 4, spec.sel, 5)
+        res = run_distributed_md(
+            2, (2, 1, 1), coords, types, box, masses, cu_model,
+            dt_fs=1.0, n_steps=4, skin=1.0, sel=spec.sel, velocities=v0,
+            thermo_every=2,
+        )
+        assert np.allclose(box.wrap(res.coords), box.wrap(sim.coords),
+                           atol=1e-10)
+
+    def test_water_multi_type(self, water_compressed):
+        coords, types, box = water_system((2, 2, 2))
+        masses = list(water_compressed.spec.sel and
+                      (MASS_AMU["O"], MASS_AMU["H"]))
+        spec = water_compressed.spec
+        sim, v0 = serial_reference(coords, types, box, masses,
+                                   water_compressed, 0.5, 4, spec.sel, 7)
+        res = run_distributed_md(
+            4, (2, 2, 1), coords, types, box, masses, water_compressed,
+            dt_fs=0.5, n_steps=4, skin=1.0, sel=spec.sel, velocities=v0,
+            thermo_every=2,
+        )
+        assert np.allclose(box.wrap(res.coords), box.wrap(sim.coords),
+                           atol=1e-9)
+        assert res.thermo[-1].temperature_k == pytest.approx(
+            sim.thermo_log[-1].temperature_k, abs=1e-3)
+
+    def test_migration_path(self, cu_compressed):
+        """Run across a rebuild so atoms migrate between ranks."""
+        coords, types, box = copper_system((4, 4, 4))
+        rng = np.random.default_rng(13)
+        coords = coords + rng.normal(0, 0.05, coords.shape)
+        masses = [MASS_AMU["Cu"]]
+        spec = cu_compressed.spec
+        v0 = maxwell_boltzmann(np.asarray(masses)[types], 330.0, 1)
+        sim = Simulation(coords, types, box, masses,
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=spec.sel, seed=1, skin=1.0, rebuild_every=3)
+        sim.run(9, thermo_every=3)
+        res = run_distributed_md(
+            8, (2, 2, 2), coords, types, box, masses, cu_compressed,
+            dt_fs=1.0, n_steps=9, rebuild_every=3, skin=1.0, sel=spec.sel,
+            velocities=v0, thermo_every=3,
+        )
+        assert np.allclose(box.wrap(res.coords), box.wrap(sim.coords),
+                           atol=1e-9)
+
+
+class TestCommVolumes:
+    def test_forward_reverse_bytes_reported(self, cu_compressed):
+        coords, types, box = copper_system((4, 4, 4))
+        res = run_distributed_md(
+            8, (2, 2, 2), coords, types, box, [MASS_AMU["Cu"]],
+            cu_compressed, dt_fs=1.0, n_steps=2, skin=1.0,
+            sel=cu_compressed.spec.sel, thermo_every=0,
+        )
+        assert res.forward_bytes > 0
+        assert res.reverse_bytes > 0
+        assert res.max_ghost_atoms > 0
+
+    def test_more_ranks_more_ghost_traffic(self, cu_compressed):
+        """Sec. 3.3: ghost communication grows with rank count."""
+        coords, types, box = copper_system((4, 4, 4))
+        vols = []
+        for dims in ((1, 1, 1), (2, 2, 2)):
+            res = run_distributed_md(
+                int(np.prod(dims)), dims, coords, types, box,
+                [MASS_AMU["Cu"]], cu_compressed, dt_fs=1.0, n_steps=2,
+                skin=1.0, sel=cu_compressed.spec.sel, thermo_every=0,
+            )
+            vols.append(res.forward_bytes)
+        assert vols[1] > vols[0]
+
+
+class TestSplitSubregion:
+    def test_partitions_all_atoms(self):
+        coords = np.random.default_rng(0).uniform(0, 10, (97, 3))
+        parts = split_subregion(coords, [0, 0, 0], [10, 10, 10], 4)
+        all_idx = np.sort(np.concatenate(parts))
+        assert np.array_equal(all_idx, np.arange(97))
+
+    def test_balanced_loads(self):
+        coords = np.random.default_rng(1).uniform(0, 10, (1000, 3))
+        parts = split_subregion(coords, [0, 0, 0], [10, 10, 10], 8)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_slabs_are_spatial(self):
+        coords = np.random.default_rng(2).uniform(0, 10, (500, 3))
+        parts = split_subregion(coords, [0, 0, 0], [10, 10, 10], 3, axis=0)
+        maxes = [coords[p, 0].max() for p in parts]
+        mins = [coords[p, 0].min() for p in parts]
+        assert maxes[0] <= mins[1] + 1e-9
+        assert maxes[1] <= mins[2] + 1e-9
+
+    def test_single_thread(self):
+        coords = np.random.default_rng(3).uniform(0, 1, (10, 3))
+        parts = split_subregion(coords, [0, 0, 0], [1, 1, 1], 1)
+        assert len(parts) == 1 and len(parts[0]) == 10
+
+    def test_threaded_force_sum_equals_whole(self, cu_compressed):
+        """Fig. 6 (c): evaluating thread-shards and summing energies
+        equals evaluating the whole sub-region at once."""
+        from repro.md import NeighborSearch
+
+        coords, types, box = copper_system((3, 3, 3))
+        spec = cu_compressed.spec
+        search = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel)
+        nd = search.build(coords, types, box)
+        whole = cu_compressed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+
+        parts = split_subregion(box.wrap(coords), [0, 0, 0], box.lengths, 3)
+        e_sum = 0.0
+        for part in parts:
+            if len(part) == 0:
+                continue
+            sub_indices = []
+            sub_ptr = [0]
+            for i in part:
+                sub_indices.append(nd.indices[nd.indptr[i]:nd.indptr[i + 1]])
+                sub_ptr.append(sub_ptr[-1] + nd.indptr[i + 1] - nd.indptr[i])
+            res = cu_compressed.evaluate_packed(
+                nd.ext_coords, nd.ext_types, part,
+                np.concatenate(sub_indices), np.array(sub_ptr))
+            e_sum += res.energy
+        assert e_sum == pytest.approx(whole.energy, abs=1e-10)

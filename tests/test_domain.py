@@ -1,0 +1,123 @@
+"""Tests for domain decomposition, halo planning, and rank grids."""
+
+import numpy as np
+import pytest
+
+from repro.md import Box
+from repro.parallel import (
+    HALO_DIRECTIONS,
+    DomainGrid,
+    best_grid,
+    factorizations,
+    ghost_fraction,
+)
+
+
+class TestFactorizations:
+    def test_all_products_correct(self):
+        for triple in factorizations(24):
+            assert np.prod(triple) == 24
+
+    def test_count_for_prime(self):
+        # p: (1,1,p),(1,p,1),(p,1,1) -> 3
+        assert len(factorizations(7)) == 3
+
+    def test_best_grid_is_cubic_for_cubes(self):
+        assert sorted(best_grid(8, (10, 10, 10))) == [2, 2, 2]
+        assert sorted(best_grid(27, (10, 10, 10))) == [3, 3, 3]
+
+    def test_best_grid_follows_aspect(self):
+        # a long box should be cut along its long axis
+        grid = best_grid(4, (40.0, 10.0, 10.0))
+        assert grid[0] == 4
+
+    def test_ghost_fraction_grows_with_ranks(self):
+        lengths = (40.0, 40.0, 40.0)
+        f1 = ghost_fraction(best_grid(1, lengths), lengths, 4.0)
+        f8 = ghost_fraction(best_grid(8, lengths), lengths, 4.0)
+        f64 = ghost_fraction(best_grid(64, lengths), lengths, 4.0)
+        assert f1 < f8 < f64
+
+
+class TestDomainGrid:
+    @pytest.fixture
+    def grid(self):
+        return DomainGrid(Box([12.0, 12.0, 24.0]), (2, 2, 4))
+
+    def test_rank_cell_round_trip(self, grid):
+        for rank in range(grid.n_ranks):
+            ix, iy, iz = grid.rank_cell(rank)
+            assert grid.rank_of_cell(ix, iy, iz) == rank
+
+    def test_bounds_partition_box(self, grid):
+        """Sub-box volumes sum exactly to the box volume."""
+        total = 0.0
+        for rank in range(grid.n_ranks):
+            lo, hi = grid.bounds(rank)
+            total += float(np.prod(hi - lo))
+        assert total == pytest.approx(grid.box.volume)
+
+    def test_owner_matches_bounds(self, grid):
+        coords = np.random.default_rng(0).uniform(0, 1, (200, 3)) * \
+            grid.box.lengths
+        owners = grid.owner_of(coords)
+        for k in range(200):
+            lo, hi = grid.bounds(owners[k])
+            assert np.all(coords[k] >= lo - 1e-12)
+            assert np.all(coords[k] < hi + 1e-12)
+
+    def test_owner_wraps_out_of_box(self, grid):
+        inside = np.array([[1.0, 1.0, 1.0]])
+        outside = inside + grid.box.lengths * np.array([2, -1, 3])
+        assert grid.owner_of(outside)[0] == grid.owner_of(inside)[0]
+
+    def test_check_halo(self, grid):
+        grid.check_halo(5.0)  # sub lengths (6, 6, 6)
+        with pytest.raises(ValueError):
+            grid.check_halo(6.5)
+
+    def test_halo_plan_covers_26_directions(self, grid):
+        plan = list(grid.halo_plan(0, 3.0))
+        assert len(plan) == 26
+        assert sorted(d for d, _, _ in plan) == list(range(26))
+
+    def test_halo_shift_signs(self):
+        """Wrapping below sends up (+L); wrapping above sends down (-L)."""
+        grid = DomainGrid(Box([10.0, 10.0, 10.0]), (2, 1, 1))
+        plan = {d: (nbr, shift) for d, nbr, shift in grid.halo_plan(0, 2.0)}
+        minus_x = HALO_DIRECTIONS.index((-1, 0, 0))
+        plus_x = HALO_DIRECTIONS.index((1, 0, 0))
+        # rank 0 sending -x wraps to rank 1 with +L shift
+        nbr, shift = plan[minus_x]
+        assert nbr == 1 and shift[0] == 10.0
+        # rank 0 sending +x goes to rank 1 with no shift
+        nbr, shift = plan[plus_x]
+        assert nbr == 1 and shift[0] == 0.0
+
+    def test_halo_mask_selects_slab(self, grid):
+        coords = np.random.default_rng(1).uniform(0, 1, (500, 3)) * \
+            grid.box.lengths
+        owners = grid.owner_of(coords)
+        mine = coords[owners == 0]
+        lo, hi = grid.bounds(0)
+        mask = grid.halo_mask(0, mine, 2.0, (1, 0, 0))
+        assert np.all(mine[mask][:, 0] >= hi[0] - 2.0)
+        assert np.all(mine[~mask][:, 0] < hi[0] - 2.0)
+
+    def test_halo_mask_corner_intersects(self, grid):
+        coords = np.random.default_rng(2).uniform(0, 1, (500, 3)) * \
+            grid.box.lengths
+        owners = grid.owner_of(coords)
+        mine = coords[owners == 0]
+        m_x = grid.halo_mask(0, mine, 2.0, (1, 0, 0))
+        m_y = grid.halo_mask(0, mine, 2.0, (0, 1, 0))
+        m_xy = grid.halo_mask(0, mine, 2.0, (1, 1, 0))
+        assert np.array_equal(m_xy, m_x & m_y)
+
+    def test_single_rank_grid(self):
+        grid = DomainGrid(Box([10.0, 10.0, 10.0]), (1, 1, 1))
+        plan = list(grid.halo_plan(0, 2.0))
+        # all 26 directions target rank 0 itself with nonzero shifts
+        for _, nbr, shift in plan:
+            assert nbr == 0
+            assert np.any(shift != 0)

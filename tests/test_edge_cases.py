@@ -1,0 +1,157 @@
+"""Edge-case and robustness tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.core.fused import segment_sum
+from repro.core.ops import smooth_switch
+from repro.md import Box, LennardJones, NeighborSearch, Simulation, copper_system
+from repro.parallel import DomainGrid, SimWorld, run_distributed_md
+from repro.units import MASS_AMU
+
+SPEC = ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(72,), n_types=1,
+                 d1=4, m_sub=2, fit_width=16, seed=3)
+MODEL = DPModel(SPEC)
+COMP = CompressedDPModel.compress(MODEL, interval=0.01, x_max=2.5)
+
+
+class TestDegenerateSystems:
+    def test_single_isolated_atom(self):
+        coords = np.array([[1.0, 1.0, 1.0]])
+        types = np.zeros(1, dtype=np.intp)
+        nlist = np.full((1, 5), -1, dtype=np.intp)
+        res = MODEL.evaluate(coords, types, np.array([0]), nlist)
+        assert np.isfinite(res.energy)
+        assert np.all(res.forces == 0.0)
+        assert np.all(res.virial == 0.0)
+
+    def test_single_atom_packed(self):
+        coords = np.array([[1.0, 1.0, 1.0]])
+        types = np.zeros(1, dtype=np.intp)
+        res = COMP.evaluate_packed(coords, types, np.array([0]),
+                                   np.zeros(0, dtype=np.intp),
+                                   np.array([0, 0]))
+        assert np.isfinite(res.energy)
+        assert np.all(res.forces == 0.0)
+
+    def test_two_atoms_beyond_cutoff(self):
+        coords = np.array([[0.0, 0.0, 0.0], [100.0, 0.0, 0.0]])
+        types = np.zeros(2, dtype=np.intp)
+        nlist = np.array([[1, -1], [0, -1]], dtype=np.intp)
+        res = MODEL.evaluate(coords, types, np.arange(2), nlist)
+        # beyond rcut the switch is exactly zero -> same as isolated
+        iso = MODEL.evaluate(coords[:1], types[:1], np.array([0]),
+                             np.full((1, 2), -1, dtype=np.intp))
+        assert res.energy == pytest.approx(2 * iso.energy, abs=1e-12)
+
+    def test_pair_at_exact_cutoff(self):
+        assert smooth_switch(np.array([SPEC.rcut]), SPEC.rcut_smth,
+                             SPEC.rcut)[0] == 0.0
+
+    def test_overlapping_atoms_stay_finite(self):
+        """Near-coincident atoms (d -> 0): the switch diverges as 1/d but
+        the evaluation must not produce NaNs (table domain clamps)."""
+        coords = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0 + 1e-7]])
+        types = np.zeros(2, dtype=np.intp)
+        nlist = np.array([[1], [0]], dtype=np.intp)
+        res = MODEL.evaluate(coords, types, np.arange(2), nlist)
+        assert np.isfinite(res.energy)
+
+
+class TestNeighborEdgeCases:
+    def test_minimum_viable_box(self):
+        """Box barely above the halo width still builds correctly."""
+        box = Box([5.2, 5.2, 5.2])
+        coords = np.random.default_rng(0).uniform(0, 5.2, (20, 3))
+        nd = NeighborSearch(4.0, skin=1.0).build(
+            coords, np.zeros(20, dtype=np.intp), box)
+        assert nd.n_local == 20
+        assert nd.counts.sum() > 0
+
+    def test_empty_sel_block(self):
+        """A type with zero observed neighbors keeps an all-pad block."""
+        from repro.md.lattice import water_cell_192
+
+        coords, types, box = water_cell_192()
+        # capacity generous for O, tight-but-sufficient for H
+        nd = NeighborSearch(3.0, skin=0.2, sel=(64, 64)).build(
+            coords, types, box)
+        assert nd.nlist.shape[1] == 128
+
+    def test_zero_skin(self):
+        coords, types, box = copper_system((3, 3, 3))
+        nd = NeighborSearch(4.0, skin=0.0).build(coords, types, box)
+        d = np.linalg.norm(
+            nd.ext_coords[nd.indices]
+            - nd.ext_coords[np.repeat(nd.centers, nd.counts)], axis=1)
+        assert d.max() < 4.0 + 1e-9
+
+
+class TestSegmentSumEdges:
+    def test_all_empty_segments(self):
+        out = segment_sum(np.zeros((0, 2)), np.zeros(5, dtype=np.intp))
+        assert out.shape == (4, 2)
+
+    def test_leading_and_trailing_empties(self):
+        vals = np.ones((3, 1))
+        out = segment_sum(vals, np.array([0, 0, 3, 3]))
+        assert out[:, 0].tolist() == [0.0, 3.0, 0.0]
+
+
+class TestParallelEdgeCases:
+    def test_single_rank_world(self):
+        """One rank: all 26 halo directions are self-sends."""
+        coords, types, box = copper_system((3, 3, 3))
+        res = run_distributed_md(1, (1, 1, 1), coords, types, box,
+                                 [MASS_AMU["Cu"]], COMP, dt_fs=1.0,
+                                 n_steps=2, skin=1.0, sel=SPEC.sel,
+                                 thermo_every=0)
+        assert np.all(np.isfinite(res.coords))
+
+    def test_grid_rank_count_mismatch(self):
+        coords, types, box = copper_system((3, 3, 3))
+        with pytest.raises(ValueError):
+            run_distributed_md(3, (2, 2, 1), coords, types, box,
+                               [MASS_AMU["Cu"]], COMP, dt_fs=1.0,
+                               n_steps=1, sel=SPEC.sel)
+
+    def test_too_many_ranks_for_box(self):
+        coords, types, box = copper_system((3, 3, 3))  # 10.9 Å box
+        with pytest.raises(RuntimeError, match="failed"):
+            # 4 slabs of 2.7 Å cannot host a 5 Å halo
+            run_distributed_md(4, (4, 1, 1), coords, types, box,
+                               [MASS_AMU["Cu"]], COMP, dt_fs=1.0,
+                               n_steps=1, skin=1.0, sel=SPEC.sel)
+
+    def test_empty_rank_is_fine(self):
+        """A rank whose sub-box holds no atoms must not break the step."""
+        box = Box([12.0, 12.0, 12.0])
+        # all atoms in the lower z-half; rank 1 of a (1,1,2) grid is empty
+        coords = np.random.default_rng(1).uniform(0, 1, (30, 3)) * \
+            np.array([12.0, 12.0, 5.9])
+        types = np.zeros(30, dtype=np.intp)
+        res = run_distributed_md(2, (1, 1, 2), coords, types, box,
+                                 [MASS_AMU["Cu"]], COMP, dt_fs=1.0,
+                                 n_steps=2, skin=1.0, sel=SPEC.sel,
+                                 thermo_every=0)
+        assert len(res.coords) == 30
+
+
+class TestSimulationEdgeCases:
+    def test_zero_step_run(self):
+        coords, types, box = copper_system((2, 2, 2))
+        lj = LennardJones(rcut=3.0)
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], lj,
+                         dt_fs=1.0, skin=0.5)
+        log = sim.run(0)
+        assert sim.step == 0
+        assert len(log) == 1  # initial thermo sample
+
+    def test_thermo_every_zero_records_nothing_new(self):
+        coords, types, box = copper_system((2, 2, 2))
+        lj = LennardJones(rcut=3.0)
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], lj,
+                         dt_fs=1.0, skin=0.5)
+        sim.run(3, thermo_every=0)
+        assert len(sim.thermo_log) == 1

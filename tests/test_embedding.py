@@ -1,0 +1,66 @@
+"""Tests for the embedding net and its forward-mode derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import EmbeddingNet
+from repro.core.network import init_rng
+
+
+@pytest.fixture(scope="module")
+def net():
+    return EmbeddingNet(d1=8, rng=init_rng(5))
+
+
+class TestArchitecture:
+    def test_output_width_is_4d1(self, net):
+        g = net.evaluate(np.linspace(0, 1, 7))
+        assert g.shape == (7, 32)
+        assert net.M == 32
+
+    def test_paper_widths(self):
+        paper = EmbeddingNet(d1=32, rng=init_rng(0))
+        widths = [layer.n_out for layer in paper.layers]
+        assert widths == [32, 64, 128]  # the paper's 32x64x128 net
+
+    def test_rejects_bad_d1(self):
+        with pytest.raises(ValueError):
+            EmbeddingNet(d1=0)
+
+    def test_flops_formula(self, net):
+        # Sec. 2.2: d1 + 10 d1^2 per input element.
+        assert net.flops_per_input() == 8 + 10 * 64
+
+
+class TestForwardModeDerivatives:
+    def test_value_matches_evaluate(self, net):
+        s = np.linspace(0.05, 1.5, 11)
+        g, _, _ = net.evaluate_with_derivatives(s)
+        assert np.allclose(g, net.evaluate(s))
+
+    def test_first_derivative_vs_fd(self, net):
+        s = np.linspace(0.1, 1.4, 9)
+        h = 1e-6
+        _, g1, _ = net.evaluate_with_derivatives(s)
+        fd = (net.evaluate(s + h) - net.evaluate(s - h)) / (2 * h)
+        assert np.allclose(g1, fd, atol=1e-7)
+
+    def test_second_derivative_vs_fd(self, net):
+        s = np.linspace(0.1, 1.4, 9)
+        h = 1e-4
+        _, _, g2 = net.evaluate_with_derivatives(s)
+        fd = (net.evaluate(s + h) - 2 * net.evaluate(s) + net.evaluate(s - h)) / h**2
+        assert np.allclose(g2, fd, atol=1e-5)
+
+    def test_reverse_mode_agrees_with_forward_mode(self, net):
+        """Backprop through the MLP must equal the forward-mode g'."""
+        s = np.array([0.3, 0.9])
+        _, g1, _ = net.evaluate_with_derivatives(s)
+        y, caches = net.forward(s.reshape(-1, 1))
+        net.zero_grad()
+        # dE/ds for E = sum of output column m: backward with unit vector.
+        for m in (0, net.M - 1):
+            dy = np.zeros_like(y)
+            dy[:, m] = 1.0
+            ds = net.backward(dy, caches)[:, 0]
+            assert np.allclose(ds, g1[:, m], atol=1e-10)

@@ -1,0 +1,198 @@
+"""Tests for the extension features: mixed precision, thermostats,
+trajectory I/O, RDF analysis, and the CLI."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import coordination_number, radial_distribution
+from repro.core import precision_study, to_single_precision
+from repro.io import XYZTrajectoryWriter, read_xyz
+from repro.md import (
+    Berendsen,
+    Box,
+    DPForceField,
+    Langevin,
+    LennardJones,
+    Simulation,
+    copper_system,
+    maxwell_boltzmann,
+)
+from repro.units import MASS_AMU, kinetic_energy_ev, temperature_kelvin
+
+
+class TestMixedPrecision:
+    def test_single_precision_accuracy_gap(self, cu_compressed,
+                                           cu_neighbors):
+        """The 'accuracy problems' of the paper's future work: single
+        precision lands around 1e-6 relative force error — far above the
+        tabulation's 1e-13, far below unusable."""
+        out = precision_study(cu_compressed, cu_neighbors)
+        assert 1e-9 < out["force_rel"] < 1e-3
+        assert out["energy_per_atom"] < 1e-6
+
+    def test_f32_model_halves_table_storage(self, cu_compressed):
+        f32 = to_single_precision(cu_compressed)
+        assert f32.table_bytes == cu_compressed.table_bytes // 2
+
+    def test_f32_pipeline_stays_in_f32(self, cu_compressed, cu_neighbors):
+        f32 = to_single_precision(cu_compressed)
+        nd = cu_neighbors
+        res = f32.evaluate_packed(nd.ext_coords.astype(np.float32),
+                                  nd.ext_types, nd.centers, nd.indices,
+                                  nd.indptr)
+        assert np.isfinite(res.energy)
+        # forces are accumulated in double (mixed scheme) but finite/close
+        assert np.all(np.isfinite(res.forces))
+
+
+class TestThermostats:
+    def make_sim(self, thermostat, seed=3):
+        coords, types, box = copper_system((3, 3, 3))
+        lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+        return Simulation(coords, types, box, [MASS_AMU["Cu"]], lj,
+                          dt_fs=1.0, seed=seed, skin=1.0,
+                          temperature=500.0, thermostat=thermostat)
+
+    def test_berendsen_pulls_temperature_to_target(self):
+        sim = self.make_sim(Berendsen(250.0, tau_fs=20.0))
+        sim.run(250, thermo_every=0)
+        assert sim.current_thermo().temperature_k == pytest.approx(250.0,
+                                                                   abs=30.0)
+
+    def test_langevin_samples_target_temperature(self):
+        sim = self.make_sim(Langevin(300.0, friction_per_ps=20.0, seed=4))
+        sim.run(60, thermo_every=0)
+        temps = []
+        for _ in range(15):
+            sim.run(10, thermo_every=0)
+            temps.append(sim.current_thermo().temperature_k)
+        assert np.mean(temps) == pytest.approx(300.0, rel=0.15)
+
+    def test_langevin_preserves_maxwell_boltzmann_exactly(self):
+        """The OU update is exact: applying it to an equilibrium ensemble
+        keeps the temperature distribution unchanged in expectation."""
+        masses = np.full(2000, 30.0)
+        v = maxwell_boltzmann(masses, 400.0, seed=5)
+        thermo = Langevin(400.0, friction_per_ps=5.0, seed=6)
+        for _ in range(20):
+            v = thermo.apply(v, masses, dt_fs=2.0)
+        ke = kinetic_energy_ev(masses, v)
+        assert temperature_kelvin(ke, 2000, 0) == pytest.approx(400.0,
+                                                                rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Berendsen(-10.0)
+        with pytest.raises(ValueError):
+            Langevin(300.0, friction_per_ps=0.0)
+
+    def test_nve_unchanged_without_thermostat(self):
+        sim = self.make_sim(None)
+        e0 = sim.current_thermo().total_ev
+        sim.run(30, thermo_every=0)
+        # 500 K LJ at 1 fs: small but nonzero integration drift
+        assert sim.current_thermo().total_ev == pytest.approx(e0, abs=1e-2)
+
+
+class TestTrajectoryIO:
+    def test_round_trip(self, tmp_path):
+        coords, types, box = copper_system((2, 2, 2))
+        path = str(tmp_path / "traj.xyz")
+        symbols = ["Cu"] * len(coords)
+        with XYZTrajectoryWriter(path, symbols) as w:
+            w.write(coords, box, step=0, energy=-1.5)
+            w.write(coords + 0.1, box, step=1)
+        frames = read_xyz(path)
+        assert len(frames) == 2
+        c0, syms, b0 = frames[0]
+        assert np.allclose(c0, coords, atol=1e-7)
+        assert syms == symbols
+        assert np.allclose(b0.lengths, box.lengths)
+        assert np.allclose(frames[1][0], coords + 0.1, atol=1e-7)
+
+    def test_simulation_trajectory(self, tmp_path, cu_compressed,
+                                   cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=cu_compressed.spec.sel, skin=1.0)
+        path = str(tmp_path / "md.xyz")
+        with XYZTrajectoryWriter(path, ["Cu"] * len(coords)) as w:
+            for _ in range(3):
+                sim.run(2, thermo_every=0)
+                w.write(sim.coords, box, step=sim.step, energy=sim.energy)
+        assert len(read_xyz(path)) == 3
+
+
+class TestRDF:
+    def test_fcc_first_peak(self):
+        """FCC nearest neighbors at a/sqrt(2) with coordination 12."""
+        coords, types, box = copper_system((5, 5, 5))
+        a = 3.634
+        r, g = radial_distribution(coords, box, r_max=6.0, n_bins=300)
+        first_peak_r = r[np.argmax(g)]
+        assert first_peak_r == pytest.approx(a / np.sqrt(2), abs=0.05)
+        rho = len(coords) / box.volume
+        cn = coordination_number(r, g, rho, r_cut=a / np.sqrt(2) + 0.3)
+        assert cn == pytest.approx(12.0, rel=0.05)
+
+    def test_ideal_gas_is_flat(self):
+        box = Box([20.0, 20.0, 20.0])
+        coords = np.random.default_rng(0).uniform(0, 20, (3000, 3))
+        r, g = radial_distribution(coords, box, r_max=8.0, n_bins=40)
+        assert np.mean(np.abs(g[5:] - 1.0)) < 0.1
+
+    def test_pair_selection(self):
+        from repro.md import water_cell_192
+
+        coords, types, box = water_cell_192()
+        r, g_oh = radial_distribution(coords, box, r_max=3.0, n_bins=120,
+                                      types=types, pair=(0, 1))
+        # intramolecular O-H bond peak at 0.9572 Å
+        assert r[np.argmax(g_oh)] == pytest.approx(0.9572, abs=0.05)
+
+    def test_rejects_too_large_rmax(self):
+        coords, types, box = copper_system((2, 2, 2))
+        with pytest.raises(ValueError):
+            radial_distribution(coords, box, r_max=box.min_length())
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        assert "PPoPP" in capsys.readouterr().out
+
+    def test_project_table2(self, capsys):
+        from repro.cli import main
+
+        assert main(["project", "--experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Summit" in out and "Fugaku" in out
+
+    def test_project_ladder(self, capsys):
+        from repro.cli import main
+
+        assert main(["project", "--experiment", "ladder",
+                     "--machine", "Fugaku", "--system", "copper"]) == 0
+        assert "+tabulation" in capsys.readouterr().out
+
+    def test_run_small(self, capsys, tmp_path):
+        from repro.cli import main
+
+        xyz = str(tmp_path / "t.xyz")
+        assert main(["run", "--system", "copper", "--cells", "2", "2", "2",
+                     "--steps", "3", "--thermo-every", "3",
+                     "--xyz", xyz]) == 0
+        assert os.path.exists(xyz)
+        assert len(read_xyz(xyz)) == 2
+
+    def test_compress(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = str(tmp_path / "m.npz")
+        assert main(["compress", "--out", out, "--d1", "4"]) == 0
+        assert os.path.exists(out)

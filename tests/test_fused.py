@@ -1,0 +1,186 @@
+"""Tests for the fused kernels and redundancy removal (Secs. 3.4/3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressed import pack_nlist
+from repro.core.descriptor import contract_t
+from repro.core.embedding import EmbeddingNet
+from repro.core.fused import (
+    KernelCounters,
+    fused_backward_packed,
+    fused_contract_packed,
+    fused_contract_padded,
+    segment_sum,
+    tabulated_g_full,
+)
+from repro.core.network import init_rng
+from repro.core.tabulation import EmbeddingTable
+
+
+@pytest.fixture(scope="module")
+def table():
+    net = EmbeddingNet(d1=8, rng=init_rng(21))
+    return EmbeddingTable.from_net(net, 0.0, 2.0, 0.005)
+
+
+@pytest.fixture(scope="module")
+def padded_inputs():
+    """Synthetic padded env-matrix batch with realistic zero padding."""
+    rng = np.random.default_rng(8)
+    n, n_m = 24, 20
+    descrpt = np.zeros((n, n_m, 4))
+    counts = rng.integers(3, n_m, size=n)
+    nlist = np.full((n, n_m), -1, dtype=np.intp)
+    for i, c in enumerate(counts):
+        s = rng.uniform(0.05, 1.9, c)
+        unit = rng.normal(size=(c, 3))
+        unit /= np.linalg.norm(unit, axis=1, keepdims=True)
+        descrpt[i, :c, 0] = s
+        descrpt[i, :c, 1:] = s[:, None] * unit
+        nlist[i, :c] = rng.integers(0, 100, c)
+    return descrpt, nlist
+
+
+class TestSegmentSum:
+    def test_matches_manual(self):
+        vals = np.arange(12.0).reshape(6, 2)
+        indptr = np.array([0, 2, 2, 5, 6])
+        out = segment_sum(vals, indptr)
+        assert np.allclose(out[0], vals[0:2].sum(axis=0))
+        assert np.allclose(out[1], 0.0)  # empty segment
+        assert np.allclose(out[2], vals[2:5].sum(axis=0))
+        assert np.allclose(out[3], vals[5])
+
+    def test_empty_values(self):
+        out = segment_sum(np.zeros((0, 3)), np.array([0, 0, 0]))
+        assert out.shape == (2, 3)
+        assert np.all(out == 0)
+
+    def test_all_one_segment(self):
+        vals = np.random.default_rng(0).normal(size=(10, 4, 2))
+        out = segment_sum(vals, np.array([0, 10]))
+        assert np.allclose(out[0], vals.sum(axis=0))
+
+
+class TestFusedForward:
+    def test_padded_fusion_matches_unfused(self, table, padded_inputs):
+        descrpt, _ = padded_inputs
+        n, n_m, _ = descrpt.shape
+        s_flat = descrpt[..., 0].reshape(-1)
+        g = tabulated_g_full(table, s_flat).reshape(n, n_m, table.m_out)
+        t_ref = contract_t(descrpt, g, n_m)
+        t_fused = fused_contract_padded(table, descrpt, n_m)
+        assert np.allclose(t_fused, t_ref, atol=1e-13)
+
+    def test_packed_matches_padded(self, table, padded_inputs):
+        descrpt, nlist = padded_inputs
+        n, n_m, _ = descrpt.shape
+        t_pad = fused_contract_padded(table, descrpt, n_m)
+        mask = nlist >= 0
+        _, indptr = pack_nlist(nlist)
+        s = descrpt[..., 0][mask]
+        rows = descrpt[mask]
+        t_pk = fused_contract_packed(table, s, rows, indptr, n_m)
+        assert np.allclose(t_pk, t_pad, atol=1e-13)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 100000])
+    def test_chunking_invariance(self, table, padded_inputs, chunk):
+        descrpt, nlist = padded_inputs
+        n_m = descrpt.shape[1]
+        mask = nlist >= 0
+        _, indptr = pack_nlist(nlist)
+        s = descrpt[..., 0][mask]
+        rows = descrpt[mask]
+        ref = fused_contract_packed(table, s, rows, indptr, n_m)
+        out = fused_contract_packed(table, s, rows, indptr, n_m, chunk=chunk)
+        assert np.allclose(out, ref, atol=1e-14)
+
+    def test_atom_with_no_neighbors(self, table):
+        rows = np.zeros((3, 4))
+        rows[:, 0] = [0.5, 0.7, 0.9]
+        indptr = np.array([0, 2, 2, 3])  # middle atom empty
+        t = fused_contract_packed(table, rows[:, 0], rows, indptr, 10)
+        assert np.all(t[1] == 0.0)
+        assert not np.all(t[0] == 0.0)
+
+
+class TestCounters:
+    def test_redundancy_counter(self, table, padded_inputs):
+        descrpt, nlist = padded_inputs
+        n, n_m = nlist.shape
+        mask = nlist >= 0
+        _, indptr = pack_nlist(nlist)
+        c = KernelCounters()
+        fused_contract_packed(table, descrpt[..., 0][mask], descrpt[mask],
+                              indptr, n_m, counters=c)
+        assert c.skipped_pairs == n * n_m - mask.sum()
+        assert c.processed_pairs == mask.sum()
+
+    def test_fusion_reduces_peak_buffer(self, table, padded_inputs):
+        """The whole point of Sec. 3.4.1: no G materialization."""
+        descrpt, _ = padded_inputs
+        n, n_m, _ = descrpt.shape
+        c_unfused = KernelCounters()
+        tabulated_g_full(table, descrpt[..., 0].reshape(-1), c_unfused)
+        c_fused = KernelCounters()
+        fused_contract_padded(table, descrpt, n_m, counters=c_fused,
+                              chunk=32)
+        assert c_fused.peak_buffer_bytes < c_unfused.peak_buffer_bytes
+
+    def test_flop_count_follows_formula(self, table, padded_inputs):
+        descrpt, _ = padded_inputs
+        n, n_m, _ = descrpt.shape
+        c = KernelCounters()
+        fused_contract_padded(table, descrpt, n_m, counters=c)
+        pairs = n * n_m
+        expect = (table.flops_per_input() + 2 * 4 * table.m_out) * pairs
+        assert c.flops == expect
+
+    def test_merge(self):
+        a = KernelCounters(flops=10, bytes_read=5, peak_buffer_bytes=100)
+        b = KernelCounters(flops=3, bytes_written=7, peak_buffer_bytes=50,
+                           skipped_pairs=2)
+        a.merge(b)
+        assert a.flops == 13
+        assert a.bytes_written == 7
+        assert a.peak_buffer_bytes == 100
+        assert a.skipped_pairs == 2
+
+
+class TestFusedBackward:
+    def test_matches_dense_reference(self, table, padded_inputs):
+        """Backward through the fused path equals the explicit chain rule
+        computed with a materialized G."""
+        descrpt, nlist = padded_inputs
+        n, n_m, _ = descrpt.shape
+        mask = nlist >= 0
+        _, indptr = pack_nlist(nlist)
+        s = descrpt[..., 0][mask]
+        rows = descrpt[mask]
+        rng = np.random.default_rng(12)
+        dt = rng.normal(size=(n, 4, table.m_out))
+
+        d_rows = fused_backward_packed(table, dt, s, rows, indptr, n_m)
+
+        # dense reference
+        g, g_der = table.evaluate_with_deriv(s)
+        pair_atom = np.repeat(np.arange(n), np.diff(indptr))
+        ref = np.einsum("pam,pm->pa", dt[pair_atom], g) / n_m
+        dg = np.einsum("pam,pa->pm", dt[pair_atom], rows)
+        ref[:, 0] += np.einsum("pm,pm->p", dg, g_der) / n_m
+        assert np.allclose(d_rows, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("chunk", [3, 50, 10**6])
+    def test_backward_chunking_invariance(self, table, padded_inputs, chunk):
+        descrpt, nlist = padded_inputs
+        n, n_m, _ = descrpt.shape
+        mask = nlist >= 0
+        _, indptr = pack_nlist(nlist)
+        s = descrpt[..., 0][mask]
+        rows = descrpt[mask]
+        dt = np.random.default_rng(1).normal(size=(n, 4, table.m_out))
+        ref = fused_backward_packed(table, dt, s, rows, indptr, n_m)
+        out = fused_backward_packed(table, dt, s, rows, indptr, n_m,
+                                    chunk=chunk)
+        assert np.allclose(out, ref, atol=1e-14)

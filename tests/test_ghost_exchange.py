@@ -1,0 +1,179 @@
+"""Tests for ghost exchange, reverse force communication, migration."""
+
+import numpy as np
+import pytest
+
+from repro.md import Box, build_ghosts
+from repro.parallel import (
+    DomainGrid,
+    SimWorld,
+    exchange_ghosts,
+    migrate_atoms,
+    refresh_ghosts,
+    return_ghost_forces,
+)
+
+
+@pytest.fixture
+def system():
+    box = Box([16.0, 16.0, 16.0])
+    rng = np.random.default_rng(11)
+    coords = rng.uniform(0, 16.0, (120, 3))
+    types = rng.integers(0, 2, 120).astype(np.intp)
+    return box, coords, types
+
+
+def distribute(grid, coords, *arrays):
+    owner = grid.owner_of(coords)
+    out = []
+    for rank in range(grid.n_ranks):
+        idx = np.nonzero(owner == rank)[0]
+        out.append((coords[idx],) + tuple(a[idx] for a in arrays) + (idx,))
+    return out
+
+
+class TestExchangeGhosts:
+    @pytest.mark.parametrize("dims", [(2, 1, 1), (2, 2, 1), (2, 2, 2)])
+    def test_ghosts_match_serial_reference(self, system, dims, rhalo=3.5):
+        """Each rank's (local + ghosts) must contain every atom/image
+        within rhalo of its sub-box — verified against the serial ghost
+        construction."""
+        box, coords, types = system
+        grid = DomainGrid(box, dims)
+        parts = distribute(grid, coords, types)
+
+        def fn(comm):
+            local_coords, local_types, _ = parts[comm.rank]
+            region = exchange_ghosts(comm, grid, local_coords, local_types,
+                                     rhalo)
+            return region
+
+        regions = SimWorld(grid.n_ranks).run(fn)
+
+        # serial reference: all atoms + all periodic images within rhalo
+        ext, owner = build_ghosts(coords, box, rhalo)
+        for rank, region in enumerate(regions):
+            lo, hi = grid.bounds(rank)
+            local_coords = parts[rank][0]
+            have = np.concatenate([local_coords, region.coords])
+            # every reference point within the halo box must be present
+            sel = np.all((ext >= lo - rhalo) & (ext < hi + rhalo), axis=1)
+            want = ext[sel]
+            for p in want:
+                d = np.linalg.norm(have - p, axis=1)
+                assert d.min() < 1e-9, f"rank {rank} missing a halo atom"
+
+    def test_ghost_types_travel(self, system):
+        box, coords, types = system
+        grid = DomainGrid(box, (2, 2, 1))
+        parts = distribute(grid, coords, types)
+
+        def fn(comm):
+            lc, lt, _ = parts[comm.rank]
+            return exchange_ghosts(comm, grid, lc, lt, 3.0)
+
+        regions = SimWorld(4).run(fn)
+        # verify each ghost's type by locating its owner by position
+        wrapped = box.wrap(coords)
+        for region in regions:
+            for gc, gt in zip(region.coords[:10], region.types[:10]):
+                d = np.linalg.norm(wrapped - box.wrap(gc[None]), axis=1)
+                assert types[np.argmin(d)] == gt
+
+
+class TestReverseForces:
+    def test_round_trip_accumulation(self, system):
+        """Unit forces on every ghost must arrive back as one contribution
+        per exported copy."""
+        box, coords, types = system
+        grid = DomainGrid(box, (2, 2, 1))
+        parts = distribute(grid, coords, types)
+        rhalo = 3.0
+
+        def fn(comm):
+            lc, lt, global_idx = parts[comm.rank]
+            region = exchange_ghosts(comm, grid, lc, lt, rhalo)
+            forces_local = np.zeros((len(lc), 3))
+            ghost_forces = np.ones((region.n_ghost, 3))
+            return_ghost_forces(comm, region, ghost_forces, forces_local)
+            return global_idx, forces_local
+
+        results = SimWorld(4).run(fn)
+        got = np.zeros((len(coords), 3))
+        for idx, fl in results:
+            got[idx] = fl
+        # reference: number of exported images per atom = number of its
+        # periodic/halo copies in the serial ghost construction restricted
+        # to other ranks' halos -> instead count exported copies directly.
+        # Each atom's received force = number of times it was exported.
+        # Cross-check via a second exchange: total ghosts == total force.
+        total_ghosts = sum(r[1].sum(axis=0)[0] for r in results)
+        def count_fn(comm):
+            lc, lt, _ = parts[comm.rank]
+            region = exchange_ghosts(comm, grid, lc, lt, rhalo)
+            return region.n_ghost
+        ghost_counts = SimWorld(4).run(count_fn)
+        assert total_ghosts == pytest.approx(sum(ghost_counts))
+
+    def test_zero_forces_stay_zero(self, system):
+        box, coords, types = system
+        grid = DomainGrid(box, (2, 1, 1))
+        parts = distribute(grid, coords, types)
+
+        def fn(comm):
+            lc, lt, _ = parts[comm.rank]
+            region = exchange_ghosts(comm, grid, lc, lt, 3.0)
+            forces_local = np.zeros((len(lc), 3))
+            return_ghost_forces(comm, region,
+                                np.zeros((region.n_ghost, 3)), forces_local)
+            return float(np.abs(forces_local).max())
+
+        assert max(SimWorld(2).run(fn)) == 0.0
+
+
+class TestRefreshGhosts:
+    def test_positions_update_in_place(self, system):
+        box, coords, types = system
+        grid = DomainGrid(box, (2, 2, 1))
+        parts = distribute(grid, coords, types)
+        shift = np.array([0.05, -0.03, 0.02])
+
+        def fn(comm):
+            lc, lt, _ = parts[comm.rank]
+            region = exchange_ghosts(comm, grid, lc, lt, 3.0)
+            before = region.coords.copy()
+            refresh_ghosts(comm, region, lc + shift)
+            return before, region.coords
+
+        for before, after in SimWorld(4).run(fn):
+            if len(before):
+                assert np.allclose(after - before, shift, atol=1e-12)
+
+
+class TestMigration:
+    def test_atoms_conserved_and_owned(self, system):
+        box, coords, types = system
+        grid = DomainGrid(box, (2, 2, 2))
+        parts = distribute(grid, coords, types)
+        # push every atom by a sizeable displacement
+        rng = np.random.default_rng(4)
+        disp = rng.normal(0, 2.0, coords.shape)
+
+        def fn(comm):
+            lc, lt, global_idx = parts[comm.rank]
+            moved = lc + disp[global_idx]
+            new_coords, arrays = migrate_atoms(
+                comm, grid, moved,
+                {"types": lt, "ids": global_idx.astype(np.intp)})
+            # every atom I now hold must be mine
+            assert np.all(grid.owner_of(new_coords) == comm.rank)
+            return arrays["ids"], new_coords, arrays["types"]
+
+        results = SimWorld(8).run(fn)
+        all_ids = np.concatenate([r[0] for r in results])
+        assert sorted(all_ids.tolist()) == list(range(len(coords)))
+        # positions/types preserved through migration
+        for ids, nc, nt in results:
+            ref = box.wrap(coords[ids] + disp[ids])
+            assert np.allclose(nc, ref, atol=1e-12)
+            assert np.array_equal(nt, types[ids])

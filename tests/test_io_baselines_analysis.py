@@ -1,0 +1,169 @@
+"""Tests for serialization, the baseline pipeline, and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_row,
+    render_series,
+    render_table,
+    rmse_energy_per_atom,
+    rmse_force_component,
+    tabulation_accuracy,
+)
+from repro.baselines import (
+    TABLE1_LITERATURE,
+    TABLE1_THIS_WORK,
+    BaselinePipeline,
+)
+from repro.io import (
+    ThermoWriter,
+    format_thermo_table,
+    load_compressed,
+    load_model,
+    save_compressed,
+    save_model,
+)
+from repro.md.thermo import ThermoState
+from repro.workloads import COPPER
+
+from conftest import evaluate_folded
+
+
+class TestModelIO:
+    def test_baseline_round_trip(self, cu_model, cu_neighbors, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_model(path, cu_model)
+        loaded = load_model(path)
+        e0, f0, _ = evaluate_folded(cu_model, cu_neighbors)
+        e1, f1, _ = evaluate_folded(loaded, cu_neighbors)
+        assert e0 == e1
+        assert np.array_equal(f0, f1)
+
+    def test_compressed_round_trip(self, cu_compressed, cu_neighbors,
+                                   tmp_path):
+        path = str(tmp_path / "compressed.npz")
+        save_compressed(path, cu_compressed)
+        loaded = load_compressed(path)
+        e0, f0, _ = evaluate_folded(cu_compressed, cu_neighbors)
+        e1, f1, _ = evaluate_folded(loaded, cu_neighbors)
+        assert e0 == pytest.approx(e1, abs=1e-14)
+        assert np.allclose(f0, f1, atol=1e-15)
+
+    def test_compressed_rejects_soa(self, cu_model, tmp_path):
+        from repro.core import CompressedDPModel
+
+        soa = CompressedDPModel.compress(cu_model, interval=0.01,
+                                         use_soa=True)
+        with pytest.raises(ValueError):
+            save_compressed(str(tmp_path / "x.npz"), soa)
+
+    def test_water_two_type_round_trip(self, water_model, tmp_path):
+        path = str(tmp_path / "water.npz")
+        save_model(path, water_model)
+        loaded = load_model(path)
+        assert loaded.spec.n_types == 2
+        s = np.linspace(0.1, 1.0, 5)
+        for t in range(2):
+            assert np.array_equal(loaded.embeddings[t].evaluate(s),
+                                  water_model.embeddings[t].evaluate(s))
+
+
+class TestThermoWriter:
+    def make_state(self, step):
+        return ThermoState(step, step * 0.001, -1.0, 0.5, 300.0, 1000.0)
+
+    def test_writes_rows(self, tmp_path):
+        path = str(tmp_path / "thermo.log")
+        with ThermoWriter(path) as w:
+            w.write(self.make_state(0))
+            w.write(self.make_state(50))
+        lines = open(path).read().strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "step" in lines[0]
+
+    def test_format_table(self):
+        table = format_thermo_table([self.make_state(0),
+                                     self.make_state(50)])
+        assert table.count("\n") == 2
+        assert "300" in table
+
+
+class TestBaselinePipeline:
+    def test_end_to_end_evaluation(self):
+        pipe = BaselinePipeline(COPPER, d1=4, m_sub=2, fit_width=16,
+                                sel=COPPER.sel_for_engine())
+        from repro.md import copper_system
+
+        coords, types, box = copper_system((5, 5, 5))
+        e, forces, virial = pipe.evaluate(coords, types, box)
+        assert np.isfinite(e)
+        assert forces.shape == (500, 3)
+        assert np.allclose(forces.sum(axis=0), 0, atol=1e-10)
+
+    def test_simulation_factory(self):
+        pipe = BaselinePipeline(COPPER, d1=4, m_sub=2, fit_width=16,
+                                sel=COPPER.sel_for_engine())
+        from repro.md import copper_system
+
+        coords, types, box = copper_system((5, 5, 5))
+        sim = pipe.simulation(coords, types, box)
+        sim.run(2, thermo_every=1)
+        assert len(sim.thermo_log) == 3
+
+
+class TestTable1Data:
+    def test_literature_rows_quote_paper(self):
+        by_name = {r.work: r for r in TABLE1_LITERATURE}
+        assert by_name["Simple-NN"].tts_s_step_atom == 3.6e-5
+        assert by_name["Baseline (double)"].peak_pflops == 91.0
+
+    def test_this_work_rows(self):
+        fugaku = [r for r in TABLE1_THIS_WORK if r.machine == "Fugaku"][0]
+        assert fugaku.n_atoms == 17e9
+        assert fugaku.tts_s_step_atom == 4.1e-11
+
+    def test_progression_in_tts(self):
+        """Every DP row beats every BP row by orders of magnitude."""
+        bp = [r.tts_s_step_atom for r in TABLE1_LITERATURE
+              if r.potential == "BP"]
+        dp = [r.tts_s_step_atom for r in TABLE1_LITERATURE + TABLE1_THIS_WORK
+              if r.potential == "DP"]
+        assert max(dp) < min(bp)
+
+
+class TestAnalysis:
+    def test_rmse_energy_definition(self):
+        # RMSE_E has a 1/N prefactor outside the sqrt (Sec. 3.2)
+        e_tab = np.array([1.0, 2.0])
+        e_orig = np.array([1.1, 1.9])
+        out = rmse_energy_per_atom(e_tab, e_orig, n_atoms=10)
+        assert out == pytest.approx(np.sqrt(0.01) / 10)
+
+    def test_rmse_force_definition(self):
+        f_tab = np.zeros((2, 3, 3))
+        f_orig = np.full((2, 3, 3), 0.5)
+        assert rmse_force_component(f_tab, f_orig) == pytest.approx(0.5)
+
+    def test_tabulation_accuracy_harness(self):
+        configs = [1.0, 2.0]
+
+        def base(c):
+            return c, np.full((4, 3), c)
+
+        def tab(c):
+            return c + 0.01, np.full((4, 3), c + 0.02)
+
+        rmse_e, rmse_f = tabulation_accuracy(base, tab, configs)
+        assert rmse_e == pytest.approx(0.01 / 4)
+        assert rmse_f == pytest.approx(0.02)
+
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 20.5]], title="T")
+        assert "T" in out and "20.5" in out
+
+    def test_render_series_and_compare(self):
+        s = render_series("eff", [1, 2], [0.5, 0.25])
+        assert "1->0.5" in s
+        row = compare_row("x", 2.0, 3.0)
+        assert "x1.50" in row

@@ -1,0 +1,103 @@
+"""Tests for the system builders (Sec. 4 geometries)."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    COPPER_LATTICE_CONSTANT,
+    Box,
+    copper_system,
+    fcc_lattice,
+    water_cell_192,
+    water_system,
+)
+
+
+class TestFCC:
+    def test_atom_count(self):
+        coords, box = fcc_lattice((3, 2, 4), 3.6)
+        assert len(coords) == 4 * 3 * 2 * 4
+
+    def test_box_lengths(self):
+        _, box = fcc_lattice((2, 3, 4), 3.6)
+        assert np.allclose(box.lengths, [7.2, 10.8, 14.4])
+
+    def test_nearest_neighbor_distance(self):
+        """FCC nearest-neighbor distance is a/sqrt(2) with 12 neighbors."""
+        coords, box = fcc_lattice((3, 3, 3), 3.634)
+        dr = box.minimum_image(coords[None, :, :] - coords[:, None, :])
+        d = np.linalg.norm(dr, axis=2)
+        np.fill_diagonal(d, np.inf)
+        nn = 3.634 / np.sqrt(2)
+        assert d.min() == pytest.approx(nn, rel=1e-12)
+        assert np.sum(np.isclose(d[0], nn)) == 12
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            fcc_lattice((0, 1, 1), 3.6)
+
+    def test_copper_system_density(self):
+        coords, types, box = copper_system((4, 4, 4))
+        rho = len(coords) / box.volume
+        assert rho == pytest.approx(4 / COPPER_LATTICE_CONSTANT**3, rel=1e-12)
+        assert np.all(types == 0)
+
+    def test_paper_6912_system(self):
+        coords, _, _ = copper_system((12, 12, 12))
+        assert len(coords) == 6_912  # paper's single-V100 copper system
+
+
+class TestWater:
+    def test_cell_composition(self):
+        coords, types, box = water_cell_192()
+        assert len(coords) == 192
+        assert np.sum(types == 0) == 64   # O
+        assert np.sum(types == 1) == 128  # H
+
+    def test_density_near_one_gram_cc(self):
+        coords, types, box = water_cell_192()
+        mass_g = (64 * 18.015) / 6.02214076e23
+        vol_cc = box.volume * 1e-24
+        assert mass_g / vol_cc == pytest.approx(0.997, rel=1e-3)
+
+    def test_rigid_geometry(self):
+        coords, types, box = water_cell_192()
+        for m in range(0, 9):
+            o = coords[3 * m]
+            h1 = coords[3 * m + 1]
+            h2 = coords[3 * m + 2]
+            # account for wrapping
+            d1 = np.linalg.norm(box.minimum_image(h1 - o))
+            d2 = np.linalg.norm(box.minimum_image(h2 - o))
+            assert d1 == pytest.approx(0.9572, abs=1e-10)
+            assert d2 == pytest.approx(0.9572, abs=1e-10)
+            v1 = box.minimum_image(h1 - o)
+            v2 = box.minimum_image(h2 - o)
+            cosang = v1 @ v2 / (d1 * d2)
+            assert np.degrees(np.arccos(cosang)) == pytest.approx(104.52,
+                                                                  abs=1e-6)
+
+    def test_molecules_do_not_overlap(self):
+        coords, types, box = water_cell_192()
+        o_idx = np.nonzero(types == 0)[0]
+        o = coords[o_idx]
+        dr = box.minimum_image(o[None] - o[:, None])
+        d = np.linalg.norm(dr, axis=2)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 1.8  # oxygens keep reasonable separation
+
+    def test_replication_sizes(self):
+        coords, types, box = water_system((2, 1, 3))
+        assert len(coords) == 192 * 6
+
+    def test_paper_18432_system(self):
+        """The single-A64FX water test size: 192 x 96 = 18,432 atoms."""
+        coords, _, _ = water_system((4, 4, 6))
+        assert len(coords) == 18_432
+
+    def test_deterministic_seed(self):
+        a, _, _ = water_cell_192(seed=5)
+        b, _, _ = water_cell_192(seed=5)
+        assert np.array_equal(a, b)
+        c, _, _ = water_cell_192(seed=6)
+        assert not np.array_equal(a, c)

@@ -1,0 +1,215 @@
+"""Tests for the integrator, velocities, thermo, LJ, and the MD driver."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    Box,
+    DPForceField,
+    LennardJones,
+    NeighborSearch,
+    Simulation,
+    VelocityVerlet,
+    copper_system,
+    maxwell_boltzmann,
+)
+from repro.md.thermo import compute_thermo
+from repro.md.velocity import remove_com_drift, rescale_to_temperature
+from repro.units import BOLTZMANN_EV_K, MASS_AMU, kinetic_energy_ev, temperature_kelvin
+
+
+class TestVelocity:
+    def test_exact_temperature(self):
+        masses = np.full(500, 40.0)
+        v = maxwell_boltzmann(masses, 330.0, seed=1)
+        ke = kinetic_energy_ev(masses, v)
+        assert temperature_kelvin(ke, 500, 3) == pytest.approx(330.0,
+                                                               rel=1e-12)
+
+    def test_zero_center_of_mass(self):
+        masses = np.random.default_rng(2).uniform(1, 60, 100)
+        v = maxwell_boltzmann(masses, 300.0, seed=3)
+        p = (masses[:, None] * v).sum(axis=0)
+        assert np.allclose(p, 0.0, atol=1e-10)
+
+    def test_rescale(self):
+        masses = np.full(64, 10.0)
+        v = np.random.default_rng(4).normal(size=(64, 3))
+        v = remove_com_drift(v, masses)
+        v2 = rescale_to_temperature(v, masses, 500.0)
+        ke = kinetic_energy_ev(masses, v2)
+        assert temperature_kelvin(ke, 64, 3) == pytest.approx(500.0)
+
+    def test_heavier_atoms_move_slower(self):
+        light = maxwell_boltzmann(np.full(2000, 1.0), 300.0, seed=5)
+        heavy = maxwell_boltzmann(np.full(2000, 100.0), 300.0, seed=5)
+        assert np.abs(light).mean() > 3 * np.abs(heavy).mean()
+
+
+class TestIntegrator:
+    def test_free_particle_drift(self):
+        masses = np.array([10.0])
+        vv = VelocityVerlet(masses, dt_fs=1.0)
+        x = np.zeros((1, 3))
+        v = np.array([[1.0, 0.0, 0.0]])  # Å/ps
+        f = np.zeros((1, 3))
+        for _ in range(1000):
+            x, v = vv.first_half(x, v, f)
+            v = vv.second_half(v, f)
+        assert x[0, 0] == pytest.approx(1.0, rel=1e-12)  # 1000 fs * 1 Å/ps
+
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(np.array([1.0]), dt_fs=0.0)
+
+    def test_time_reversibility(self):
+        """Velocity-Verlet with conservative forces is time-reversible."""
+        lj = LennardJones(epsilon=0.1, sigma=2.0, rcut=5.0)
+        box = Box([20.0, 20.0, 20.0])
+        coords = np.array([[8.0, 10.0, 10.0], [11.0, 10.0, 10.0],
+                           [9.5, 12.0, 10.0]])
+        types = np.zeros(3, dtype=np.intp)
+        masses = np.full(3, 30.0)
+        search = NeighborSearch(5.0, skin=1.0)
+        vv = VelocityVerlet(masses, dt_fs=0.5)
+        x = coords.copy()
+        v = np.zeros_like(x)
+
+        def force(xc):
+            nd = search.build(xc, types, box)
+            return lj.compute(nd)[1]
+
+        f = force(x)
+        n_steps = 40
+        for _ in range(n_steps):
+            x, v = vv.first_half(x, v, f)
+            f = force(x)
+            v = vv.second_half(v, f)
+        v = -v
+        for _ in range(n_steps):
+            x, v = vv.first_half(x, v, f)
+            f = force(x)
+            v = vv.second_half(v, f)
+        assert np.allclose(x, coords, atol=1e-9)
+
+
+class TestLennardJones:
+    def test_minimum_at_r_min(self):
+        lj = LennardJones(epsilon=0.4, sigma=2.3, rcut=8.0)
+        r = np.linspace(2.0, 5.0, 2000)
+        e = lj.pair_energy(r)
+        r_min = r[np.argmin(e)]
+        assert r_min == pytest.approx(2 ** (1 / 6) * 2.3, abs=2e-3)
+
+    def test_force_is_gradient(self):
+        lj = LennardJones()
+        r = np.linspace(2.2, 5.5, 30)
+        h = 1e-7
+        fd = -(lj.pair_energy(r + h) - lj.pair_energy(r - h)) / (2 * h)
+        assert np.allclose(lj.pair_force_over_r(r) * r, fd, atol=1e-5)
+
+    def test_energy_shifted_to_zero_at_cutoff(self):
+        lj = LennardJones(rcut=6.0)
+        assert lj.pair_energy(np.array([5.999999]))[0] == pytest.approx(
+            0.0, abs=1e-5)
+
+    def test_dimer_forces_attract_beyond_minimum(self):
+        lj = LennardJones(epsilon=0.4, sigma=2.3, rcut=8.0)
+        box = Box([30.0, 30.0, 30.0])
+        coords = np.array([[10.0, 10.0, 10.0], [13.5, 10.0, 10.0]])
+        nd = NeighborSearch(8.0, skin=0.0).build(
+            coords, np.zeros(2, dtype=np.intp), box)
+        _, forces, _ = lj.compute(nd)
+        assert forces[0, 0] > 0  # pulled toward the other atom
+        assert forces[1, 0] < 0
+        assert np.allclose(forces.sum(axis=0), 0, atol=1e-14)
+
+    def test_compute_energy_matches_pair_sum(self):
+        # box length must exceed 2*rcut for the minimum-image reference
+        lj = LennardJones(epsilon=0.2, sigma=2.0, rcut=5.0)
+        coords, types, box = copper_system((3, 3, 3))
+        nd = NeighborSearch(5.0, skin=0.0).build(coords, types, box)
+        e, _, _ = lj.compute(nd)
+        # brute-force reference over unique minimum-image pairs
+        dr = box.minimum_image(coords[None] - coords[:, None])
+        d = np.linalg.norm(dr, axis=2)
+        iu = np.triu_indices(len(coords), k=1)
+        ref = lj.pair_energy(d[iu]).sum()
+        assert e == pytest.approx(ref, rel=1e-10)
+
+
+class TestThermo:
+    def test_ideal_gas_pressure(self):
+        """Zero virial => P = N kB T / V."""
+        n, temp = 200, 300.0
+        masses = np.full(n, 20.0)
+        v = maxwell_boltzmann(masses, temp, seed=6)
+        vol = 1000.0
+        state = compute_thermo(0, 0.0, masses, v, 0.0, np.zeros((3, 3)), vol)
+        dof_t = state.temperature_k
+        expect = (3 * n - 3) * BOLTZMANN_EV_K * dof_t / (3 * vol)
+        assert state.pressure_bar == pytest.approx(expect * 1.602176634e6,
+                                                   rel=1e-9)
+
+    def test_total_energy_field(self):
+        s = compute_thermo(5, 1.0, np.full(4, 2.0), np.zeros((4, 3)), 1.5,
+                           np.zeros((3, 3)), 100.0)
+        assert s.total_ev == pytest.approx(1.5)
+        assert "5" in s.as_row()
+
+
+class TestSimulation:
+    def test_lj_nve_energy_conservation(self):
+        coords, types, box = copper_system((3, 3, 3))
+        lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], lj,
+                         dt_fs=0.5, seed=1, skin=1.0, rebuild_every=10)
+        sim.run(60, thermo_every=10)
+        e = [t.total_ev for t in sim.thermo_log]
+        drift = abs(e[-1] - e[0]) / len(coords)
+        assert drift < 2e-5  # eV/atom over 60 steps
+
+    def test_dp_compressed_nve_energy_conservation(self, cu_compressed,
+                                                   cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0, seed=2,
+                         sel=cu_compressed.spec.sel, skin=1.0)
+        sim.run(40, thermo_every=10)
+        e = [t.total_ev for t in sim.thermo_log]
+        assert abs(e[-1] - e[0]) / len(coords) < 1e-7
+
+    def test_thermo_recorded_on_schedule(self, cu_compressed, cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=cu_compressed.spec.sel, skin=1.0)
+        sim.run(20, thermo_every=5)
+        steps = [t.step for t in sim.thermo_log]
+        assert steps == [0, 5, 10, 15, 20]
+
+    def test_rebuild_policy_counts(self, cu_compressed, cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=cu_compressed.spec.sel, skin=1.0,
+                         rebuild_every=5)
+        sim.run(20, thermo_every=0)
+        assert sim.stats.n_neighbor_builds >= 1 + 4
+        assert sim.stats.n_force_evals == 21
+
+    def test_initial_temperature(self, cu_compressed, cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         temperature=330.0, sel=cu_compressed.spec.sel,
+                         skin=1.0)
+        assert sim.current_thermo().temperature_k == pytest.approx(330.0)
+
+    def test_ns_per_day_positive_after_run(self, cu_compressed, cu_config):
+        coords, types, box = cu_config
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=cu_compressed.spec.sel, skin=1.0)
+        sim.run(3, thermo_every=0)
+        assert sim.ns_per_day() > 0

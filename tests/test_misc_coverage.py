@@ -1,0 +1,102 @@
+"""Coverage for smaller API surfaces not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import EmbeddingNet, EmbeddingTable, Stage, StageLadder
+from repro.core.network import init_rng
+from repro.parallel.scheme import (
+    FLAT_MPI_A64FX,
+    HYBRID_16X3,
+    ParallelScheme,
+)
+
+
+class TestParallelSchemeAccounting:
+    def test_graph_copies(self):
+        assert FLAT_MPI_A64FX.graph_copies() == 48
+        assert HYBRID_16X3.graph_copies() == 16
+
+    def test_cores_used(self):
+        assert FLAT_MPI_A64FX.cores_used == 48
+        assert HYBRID_16X3.cores_used == 48
+
+    def test_memory_per_rank(self):
+        s = ParallelScheme("x", 8, 6)
+        assert s.memory_per_rank_gb(32.0) == pytest.approx(4.0)
+        assert s.memory_per_rank_gb(32.0, fixed_overhead_gb=8.0) == \
+            pytest.approx(3.0)
+
+    def test_str(self):
+        assert str(HYBRID_16X3) == "16x3"
+
+
+class TestStageLadderGuards:
+    def test_multi_type_padded_fusion_unsupported(self, water_model,
+                                                  water_neighbors):
+        """The padded-fusion rung is single-type (copper-style); water
+        jumps straight to the packed path."""
+        ladder = StageLadder(water_model, interval=0.01, x_max=2.2)
+        nd = water_neighbors
+        with pytest.raises(NotImplementedError):
+            ladder.evaluate(Stage.FUSION, nd.ext_coords, nd.ext_types,
+                            nd.centers, nd.nlist)
+
+    def test_unknown_stage_rejected(self, cu_model, cu_neighbors):
+        ladder = StageLadder(cu_model, interval=0.01, x_max=2.2)
+        nd = cu_neighbors
+        with pytest.raises((ValueError, AttributeError)):
+            ladder.evaluate("nonsense", nd.ext_coords, nd.ext_types,
+                            nd.centers, nd.nlist)
+
+
+class TestTableBoundaries:
+    @pytest.fixture(scope="class")
+    def table(self):
+        net = EmbeddingNet(d1=4, rng=init_rng(1))
+        return EmbeddingTable.from_net(net, 0.0, 1.0, 0.1)
+
+    def test_exact_upper_bound_clamps(self, table):
+        at_max = table.evaluate(np.array([1.0]))
+        just_below = table.evaluate(np.array([1.0 - 1e-12]))
+        assert np.allclose(at_max, just_below, atol=1e-9)
+
+    def test_exact_lower_bound(self, table):
+        v = table.evaluate(np.array([0.0]))
+        assert np.all(np.isfinite(v))
+
+    def test_vector_and_scalar_shapes(self, table):
+        assert table.evaluate(np.array([0.5])).shape == (1, 16)
+        assert table.evaluate(np.linspace(0, 1, 7)).shape == (7, 16)
+
+
+class TestWorkloadBuilders:
+    def test_build_copper_paper_size(self):
+        from repro.workloads import build_copper
+
+        coords, types, box = build_copper((12, 12, 12))
+        assert len(coords) == 6_912
+
+    def test_build_water_default(self):
+        from repro.workloads import build_water
+
+        coords, types, box = build_water((2, 2, 2))
+        assert len(coords) == 1_536
+        assert set(np.unique(types)) == {0, 1}
+
+
+class TestDistributedResultFields:
+    def test_comm_accounting_shape(self, cu_compressed):
+        from repro.md import copper_system
+        from repro.parallel import run_distributed_md
+        from repro.units import MASS_AMU
+
+        coords, types, box = copper_system((4, 4, 4))
+        res = run_distributed_md(
+            2, (2, 1, 1), coords, types, box, [MASS_AMU["Cu"]],
+            cu_compressed, dt_fs=1.0, n_steps=2, skin=1.0,
+            sel=cu_compressed.spec.sel, thermo_every=1)
+        # thermo recorded at steps 0, 1, 2
+        assert [t.step for t in res.thermo] == [0, 1, 2]
+        assert res.migrate_bytes == 0  # no rebuild in 2 steps
+        assert res.types.tolist() == types.tolist()

@@ -1,0 +1,167 @@
+"""Tests for the baseline DPModel: forces, invariances, multi-type."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPModel, KernelCounters, ModelSpec
+from repro.md import NeighborSearch
+
+from conftest import evaluate_folded
+
+
+class TestSpec:
+    def test_derived_dims(self, cu_spec):
+        assert cu_spec.n_m == 96
+        assert cu_spec.m_out == 32
+        assert cu_spec.descriptor_width == 4 * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec(rcut=4.0, rcut_smth=5.0, sel=(10,))
+        with pytest.raises(ValueError):
+            ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(10, 20), n_types=1)
+        with pytest.raises(ValueError):
+            ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(10,), d1=4, m_sub=32)
+
+    def test_paper_spec_dimensions(self):
+        spec = ModelSpec(rcut=8.0, rcut_smth=6.0, sel=(512,), d1=32,
+                         m_sub=16, fit_width=240)
+        assert spec.m_out == 128
+        assert spec.descriptor_width == 2048
+        assert spec.n_m == 512
+
+
+class TestForces:
+    def test_forces_are_exact_gradients(self, cu_model, cu_spec, cu_config):
+        coords, types, box = cu_config
+        search = NeighborSearch(cu_spec.rcut, skin=1.0, sel=cu_spec.sel)
+        nd = search.build(coords, types, box)
+        e0, forces, _ = evaluate_folded(cu_model, nd)
+        wrapped = box.wrap(coords)
+        h = 1e-6
+        rng = np.random.default_rng(0)
+        for atom in rng.integers(0, len(coords), 3):
+            for ax in range(3):
+                cp = wrapped.copy()
+                cp[atom, ax] += h
+                ep, _, _ = evaluate_folded(cu_model, search.build(cp, types, box))
+                cm = wrapped.copy()
+                cm[atom, ax] -= h
+                em, _, _ = evaluate_folded(cu_model, search.build(cm, types, box))
+                fd = -(ep - em) / (2 * h)
+                assert forces[atom, ax] == pytest.approx(fd, abs=5e-8)
+
+    def test_water_forces_are_exact_gradients(self, water_model, water_spec,
+                                              water_config):
+        """Multi-type pipeline: per-type embeddings and fittings."""
+        coords, types, box = water_config
+        search = NeighborSearch(water_spec.rcut, skin=1.0, sel=water_spec.sel)
+        nd = search.build(coords, types, box)
+        _, forces, _ = evaluate_folded(water_model, nd)
+        wrapped = box.wrap(coords)
+        h = 1e-6
+        for atom in (0, 1, 100):  # an O and two H
+            for ax in range(3):
+                cp = wrapped.copy()
+                cp[atom, ax] += h
+                ep, _, _ = evaluate_folded(
+                    water_model, search.build(cp, types, box))
+                cm = wrapped.copy()
+                cm[atom, ax] -= h
+                em, _, _ = evaluate_folded(
+                    water_model, search.build(cm, types, box))
+                fd = -(ep - em) / (2 * h)
+                assert forces[atom, ax] == pytest.approx(fd, abs=5e-8)
+
+    def test_newtons_third_law(self, cu_model, cu_neighbors):
+        _, forces, _ = evaluate_folded(cu_model, cu_neighbors)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_virial_is_symmetric_under_pair_symmetry(self, cu_model,
+                                                     cu_neighbors):
+        _, _, virial = evaluate_folded(cu_model, cu_neighbors)
+        # DP virials are symmetric up to numerical noise for pair-additive
+        # gradients of invariant descriptors.
+        assert np.allclose(virial, virial.T, atol=1e-8)
+
+
+class TestInvariances:
+    def make_cluster(self, seed=0, n=16):
+        """Open (non-periodic) cluster with an all-pairs neighbor list."""
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 4.0, size=(n, 3))
+        types = np.zeros(n, dtype=np.intp)
+        nlist = np.full((n, 40), -1, dtype=np.intp)
+        for i in range(n):
+            others = [j for j in range(n) if j != i]
+            nlist[i, :len(others)] = others
+        return coords, types, np.arange(n), nlist
+
+    def test_translation_invariance(self, cu_model):
+        coords, types, centers, nlist = self.make_cluster()
+        e0 = cu_model.evaluate(coords, types, centers, nlist).energy
+        e1 = cu_model.evaluate(coords + 13.7, types, centers, nlist).energy
+        assert e1 == pytest.approx(e0, abs=1e-10)
+
+    def test_rotation_invariance_and_covariance(self, cu_model):
+        from scipy.spatial.transform import Rotation
+
+        coords, types, centers, nlist = self.make_cluster(seed=2)
+        res0 = cu_model.evaluate(coords, types, centers, nlist)
+        q = Rotation.random(random_state=3).as_matrix()
+        res1 = cu_model.evaluate(coords @ q.T, types, centers, nlist)
+        assert res1.energy == pytest.approx(res0.energy, abs=1e-9)
+        # forces rotate covariantly
+        assert np.allclose(res1.forces, res0.forces @ q.T, atol=1e-9)
+
+    def test_atom_permutation_invariance(self, cu_model):
+        coords, types, centers, nlist = self.make_cluster(seed=4)
+        e0 = cu_model.evaluate(coords, types, centers, nlist).energy
+        perm = np.random.default_rng(5).permutation(len(coords))
+        inv = np.argsort(perm)
+        # rebuild an all-pairs list for the permuted order
+        coords2 = coords[perm]
+        n = len(coords)
+        nlist2 = np.full_like(nlist, -1)
+        for i in range(n):
+            others = [j for j in range(n) if j != i]
+            nlist2[i, :len(others)] = others
+        e1 = cu_model.evaluate(coords2, types, centers, nlist2).energy
+        assert e1 == pytest.approx(e0, abs=1e-10)
+
+
+class TestBookkeeping:
+    def test_energy_bias_shifts_total(self, cu_model, cu_neighbors):
+        nd = cu_neighbors
+        e0, _, _ = evaluate_folded(cu_model, nd)
+        cu_model.energy_bias[0] = 0.25
+        try:
+            e1, _, _ = evaluate_folded(cu_model, nd)
+        finally:
+            cu_model.energy_bias[0] = 0.0
+        assert e1 - e0 == pytest.approx(0.25 * nd.n_local, rel=1e-12)
+
+    def test_counters_record_g_footprint(self, cu_model, cu_spec,
+                                         cu_neighbors):
+        nd = cu_neighbors
+        c = KernelCounters()
+        cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers, nd.nlist,
+                          counters=c)
+        expect_g = nd.n_local * cu_spec.n_m * cu_spec.m_out * 8
+        assert c.peak_buffer_bytes == expect_g
+
+    def test_embedding_flops_formula(self, cu_model, cu_spec):
+        d1, n_m = cu_spec.d1, cu_spec.n_m
+        assert cu_model.embedding_flops_per_atom() == n_m * d1 + 10 * n_m * d1**2
+
+    def test_n_parameters_positive_and_stable(self, cu_model):
+        assert cu_model.n_parameters > 0
+        assert cu_model.n_parameters == DPModel(cu_model.spec).n_parameters
+
+    def test_deterministic_from_seed(self, cu_spec, cu_neighbors):
+        nd = cu_neighbors
+        a = DPModel(cu_spec).evaluate(nd.ext_coords, nd.ext_types,
+                                      nd.centers, nd.nlist).energy
+        b = DPModel(cu_spec).evaluate(nd.ext_coords, nd.ext_types,
+                                      nd.centers, nd.nlist).energy
+        assert a == b

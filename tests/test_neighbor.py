@@ -1,0 +1,180 @@
+"""Tests for ghost construction and cell-list neighbor search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import Box, NeighborSearch, brute_force_pairs, build_ghosts
+from repro.md.lattice import copper_system
+
+
+class TestGhosts:
+    def test_local_rows_come_first(self):
+        box = Box([10.0, 10.0, 10.0])
+        coords = np.random.default_rng(0).uniform(0, 10, (20, 3))
+        ext, owner = build_ghosts(coords, box, 3.0)
+        assert np.array_equal(ext[:20], coords)
+        assert np.array_equal(owner[:20], np.arange(20))
+
+    def test_ghosts_are_shifted_images(self):
+        box = Box([10.0, 10.0, 10.0])
+        coords = np.random.default_rng(1).uniform(0, 10, (30, 3))
+        ext, owner = build_ghosts(coords, box, 3.0)
+        shifts = (ext - coords[owner]) / box.lengths
+        assert np.allclose(shifts, np.round(shifts), atol=1e-12)
+        ghost_shifts = shifts[30:]
+        assert np.all(np.any(ghost_shifts != 0, axis=1))
+
+    def test_all_nearby_images_present(self):
+        """Every periodic image within the halo of the box must appear."""
+        box = Box([6.0, 6.0, 6.0])
+        coords = np.array([[0.2, 0.2, 0.2]])  # corner atom -> 7 images
+        ext, owner = build_ghosts(coords, box, 1.0)
+        assert len(ext) == 1 + 7
+
+    def test_rejects_too_small_box(self):
+        box = Box([2.0, 10.0, 10.0])
+        with pytest.raises(ValueError):
+            build_ghosts(np.zeros((1, 3)), box, 2.5)
+
+
+class TestNeighborSearchVsBruteForce:
+    def check(self, coords, box, rcut):
+        search = NeighborSearch(rcut, skin=0.0)
+        nd = search.build(coords, np.zeros(len(coords), dtype=np.intp), box)
+        found = set()
+        for i in range(nd.n_local):
+            for j in nd.indices[nd.indptr[i]:nd.indptr[i + 1]]:
+                found.add((i, int(nd.owner[j])))
+        expected = brute_force_pairs(box.wrap(coords), box, rcut)
+        assert found == expected
+
+    def test_random_dilute(self):
+        box = Box([12.0, 12.0, 12.0])
+        coords = np.random.default_rng(2).uniform(0, 12, (40, 3))
+        self.check(coords, box, 3.0)
+
+    def test_random_dense(self):
+        box = Box([8.0, 8.0, 8.0])
+        coords = np.random.default_rng(3).uniform(0, 8, (120, 3))
+        self.check(coords, box, 3.5)
+
+    def test_anisotropic_box(self):
+        box = Box([15.0, 7.0, 10.0])
+        coords = np.random.default_rng(4).uniform(0, 1, (60, 3)) * box.lengths
+        self.check(coords, box, 3.0)
+
+    def test_lattice(self):
+        coords, types, box = copper_system((3, 3, 3))
+        self.check(coords, box, 4.0)
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_systems(self, n, seed):
+        box = Box([11.0, 9.0, 13.0])
+        coords = np.random.default_rng(seed).uniform(0, 1, (n, 3)) * box.lengths
+        self.check(coords, box, 3.2)
+
+
+class TestLayouts:
+    @pytest.fixture(scope="class")
+    def built(self):
+        coords, types, box = copper_system((3, 3, 3))
+        rng = np.random.default_rng(5)
+        coords = coords + rng.normal(0, 0.05, coords.shape)
+        search = NeighborSearch(4.0, skin=1.0, sel=(80,))
+        return search.build(coords, types, box)
+
+    def test_padded_matches_csr(self, built):
+        nd = built
+        for i in range(nd.n_local):
+            padded = set(nd.nlist[i][nd.nlist[i] >= 0].tolist())
+            csr = set(nd.indices[nd.indptr[i]:nd.indptr[i + 1]].tolist())
+            assert padded == csr
+
+    def test_csr_sorted_by_distance_within_type(self, built):
+        nd = built
+        for i in range(5):
+            idx = nd.indices[nd.indptr[i]:nd.indptr[i + 1]]
+            d = np.linalg.norm(nd.ext_coords[idx] - nd.ext_coords[i], axis=1)
+            assert np.all(np.diff(d) >= -1e-12)
+
+    def test_padded_blocks_respect_sel(self, built):
+        assert built.nlist.shape[1] == 80
+
+    def test_counts_and_max(self, built):
+        nd = built
+        assert nd.counts.sum() == len(nd.indices)
+        assert nd.max_neighbors == nd.counts.max()
+
+    def test_overflow_raises_with_small_sel(self):
+        coords, types, box = copper_system((3, 3, 3))
+        search = NeighborSearch(4.0, skin=1.0, sel=(5,))
+        with pytest.raises(ValueError, match="overflow"):
+            search.build(coords, types, box)
+
+    def test_overflow_truncates_keeps_closest(self):
+        coords, types, box = copper_system((3, 3, 3))
+        search = NeighborSearch(4.0, skin=1.0, sel=(6,))
+        nd = search.build(coords, types, box, truncate=True)
+        assert nd.counts.max() <= 6
+        # kept neighbors must be the closest ones
+        full = NeighborSearch(4.0, skin=1.0).build(coords, types, box)
+        i = 0
+        kept = nd.indices[nd.indptr[i]:nd.indptr[i + 1]]
+        d_kept = np.linalg.norm(nd.ext_coords[kept] - nd.ext_coords[i], axis=1)
+        all_i = full.indices[full.indptr[i]:full.indptr[i + 1]]
+        d_all = np.sort(np.linalg.norm(full.ext_coords[all_i]
+                                       - full.ext_coords[i], axis=1))
+        assert np.allclose(np.sort(d_kept), d_all[:len(kept)])
+
+    def test_multi_type_blocks(self):
+        """Water-style: per-type column blocks in the padded layout."""
+        from repro.md.lattice import water_cell_192
+
+        coords, types, box = water_cell_192()
+        search = NeighborSearch(4.0, skin=0.5, sel=(40, 80))
+        nd = search.build(coords, types, box)
+        # O neighbors occupy columns [0, 40), H neighbors [40, 120)
+        o_block = nd.nlist[:, :40]
+        h_block = nd.nlist[:, 40:]
+        o_types = nd.ext_types[np.where(o_block >= 0, o_block, 0)]
+        h_types = nd.ext_types[np.where(h_block >= 0, h_block, 0)]
+        assert np.all(o_types[o_block >= 0] == 0)
+        assert np.all(h_types[h_block >= 0] == 1)
+
+
+class TestDynamics:
+    def test_needs_rebuild_threshold(self):
+        coords, types, box = copper_system((3, 3, 3))
+        search = NeighborSearch(4.0, skin=1.0, sel=(80,))
+        nd = search.build(coords, types, box)
+        moved = box.wrap(coords).copy()
+        assert not nd.needs_rebuild(moved, skin=1.0)
+        moved[0, 0] += 0.51  # beyond half the skin
+        assert nd.needs_rebuild(moved, skin=1.0)
+
+    def test_refresh_coords_tracks_motion(self):
+        coords, types, box = copper_system((3, 3, 3))
+        search = NeighborSearch(4.0, skin=1.0, sel=(80,))
+        nd = search.build(coords, types, box)
+        disp = np.random.default_rng(6).normal(0, 0.05,
+                                               (nd.n_local, 3))
+        new = nd.build_coords + disp
+        nd.refresh_coords(new)
+        assert np.allclose(nd.ext_coords[:nd.n_local], new)
+        # ghosts move with their owners, keeping the shift
+        assert np.allclose(nd.ext_coords[nd.n_local:],
+                           new[nd.owner[nd.n_local:]]
+                           + nd.ghost_shift[nd.n_local:])
+
+    def test_fold_forces_accumulates_ghosts(self):
+        coords, types, box = copper_system((2, 2, 2))
+        search = NeighborSearch(3.0, skin=0.5)
+        nd = search.build(coords, types, box)
+        f_ext = np.ones((len(nd.ext_coords), 3))
+        folded = nd.fold_forces(f_ext)
+        counts = np.bincount(nd.owner, minlength=nd.n_local)
+        assert np.allclose(folded[:, 0], counts)

@@ -1,0 +1,136 @@
+"""Tests for the dense-layer building blocks and their backward passes."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import (
+    MLP,
+    DenseLayer,
+    LinearLayer,
+    ResidualDenseLayer,
+    init_rng,
+)
+
+
+def numeric_input_grad(layer_or_net, x, eps=1e-6):
+    """Central-difference gradient of sum(output) w.r.t. the input."""
+    def f(xv):
+        if isinstance(layer_or_net, MLP):
+            y, _ = layer_or_net.forward(xv)
+        else:
+            y, _ = layer_or_net.forward(xv)
+        return y.sum()
+
+    g = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return g
+
+
+@pytest.fixture
+def rng():
+    return init_rng(123)
+
+
+class TestLayers:
+    @pytest.mark.parametrize("cls,n_in,n_out", [
+        (LinearLayer, 5, 3),
+        (DenseLayer, 5, 3),
+        (ResidualDenseLayer, 4, 4),
+        (ResidualDenseLayer, 4, 8),
+    ])
+    def test_backward_matches_finite_difference(self, cls, n_in, n_out, rng):
+        layer = cls(n_in, n_out, rng)
+        x = rng.normal(size=(6, n_in))
+        y, cache = layer.forward(x)
+        dx = layer.backward(np.ones_like(y), cache)
+        assert np.allclose(dx, numeric_input_grad(layer, x), atol=1e-6)
+
+    def test_residual_rejects_bad_widths(self, rng):
+        with pytest.raises(ValueError):
+            ResidualDenseLayer(4, 5, rng)
+        with pytest.raises(ValueError):
+            ResidualDenseLayer(4, 12, rng)
+
+    def test_doubling_shortcut_duplicates_input(self, rng):
+        layer = ResidualDenseLayer(3, 6, rng)
+        layer.W[...] = 0.0
+        layer.b[...] = 0.0
+        x = rng.normal(size=(2, 3))
+        y, _ = layer.forward(x)
+        assert np.allclose(y, np.concatenate([x, x], axis=1))
+
+    def test_identity_shortcut_passes_input(self, rng):
+        layer = ResidualDenseLayer(3, 3, rng)
+        layer.W[...] = 0.0
+        layer.b[...] = 0.0
+        x = rng.normal(size=(2, 3))
+        y, _ = layer.forward(x)
+        assert np.allclose(y, x)
+
+    def test_weight_gradients_accumulate(self, rng):
+        layer = LinearLayer(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        y, cache = layer.forward(x)
+        layer.backward(np.ones_like(y), cache)
+        first = layer.dW.copy()
+        layer.backward(np.ones_like(y), cache)
+        assert np.allclose(layer.dW, 2 * first)
+
+    def test_n_params(self, rng):
+        layer = DenseLayer(5, 3, rng)
+        assert layer.n_params == 5 * 3 + 3
+
+
+class TestMLP:
+    def make_net(self, rng):
+        return MLP([
+            DenseLayer(4, 6, rng),
+            ResidualDenseLayer(6, 6, rng),
+            LinearLayer(6, 1, rng),
+        ])
+
+    def test_forward_backward_consistency(self, rng):
+        net = self.make_net(rng)
+        x = rng.normal(size=(5, 4))
+        y, caches = net.forward(x)
+        dx = net.backward(np.ones_like(y), caches)
+        assert np.allclose(dx, numeric_input_grad(net, x), atol=1e-6)
+
+    def test_call_equals_forward(self, rng):
+        net = self.make_net(rng)
+        x = rng.normal(size=(3, 4))
+        assert np.array_equal(net(x), net.forward(x)[0])
+
+    def test_zero_grad(self, rng):
+        net = self.make_net(rng)
+        x = rng.normal(size=(3, 4))
+        y, caches = net.forward(x)
+        net.backward(np.ones_like(y), caches)
+        net.zero_grad()
+        for _, grad in net.parameters():
+            assert np.all(grad == 0.0)
+
+    def test_n_params_total(self, rng):
+        net = self.make_net(rng)
+        expect = (4 * 6 + 6) + (6 * 6 + 6) + (6 * 1 + 1)
+        assert net.n_params == expect
+
+    def test_deterministic_from_seed(self):
+        n1 = MLP([DenseLayer(3, 3, init_rng(9))])
+        n2 = MLP([DenseLayer(3, 3, init_rng(9))])
+        x = np.ones((2, 3))
+        assert np.array_equal(n1(x), n2(x))
+
+    def test_set_activation_swaps_only_dense(self, rng):
+        net = self.make_net(rng)
+        x = rng.normal(size=(3, 4))
+        ref = net(x)
+        net.set_activation(lambda z: np.tanh(z) * 0.5)
+        assert not np.allclose(net(x), ref)
+        net.set_activation(np.tanh)
+        assert np.allclose(net(x), ref)

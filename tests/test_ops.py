@@ -1,0 +1,170 @@
+"""Tests for the customized operators (env matrix, force, virial)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import (
+    prod_env_mat_a,
+    prod_env_mat_a_packed,
+    prod_force_se_a,
+    prod_force_se_a_packed,
+    prod_virial_se_a,
+    prod_virial_se_a_packed,
+    smooth_switch,
+    smooth_switch_deriv,
+)
+
+RCUT, RSMTH = 4.0, 3.0
+
+
+class TestSmoothSwitch:
+    def test_short_range_is_inverse_r(self):
+        r = np.array([0.5, 1.0, 2.0, 2.9])
+        assert np.allclose(smooth_switch(r, RSMTH, RCUT), 1.0 / r)
+
+    def test_zero_beyond_cutoff(self):
+        r = np.array([4.0, 4.5, 100.0])
+        assert np.all(smooth_switch(r, RSMTH, RCUT) == 0.0)
+
+    def test_zero_at_zero_distance(self):
+        assert smooth_switch(np.array([0.0]), RSMTH, RCUT)[0] == 0.0
+
+    def test_continuity_at_cutoff(self):
+        eps = 1e-8
+        below = smooth_switch(np.array([RCUT - eps]), RSMTH, RCUT)[0]
+        assert below == pytest.approx(0.0, abs=1e-12)
+
+    def test_continuity_at_rsmth(self):
+        eps = 1e-9
+        lo = smooth_switch(np.array([RSMTH - eps]), RSMTH, RCUT)[0]
+        hi = smooth_switch(np.array([RSMTH + eps]), RSMTH, RCUT)[0]
+        assert lo == pytest.approx(hi, rel=1e-6)
+
+    def test_derivative_vs_fd(self):
+        r = np.linspace(0.5, 4.5, 200)
+        # stay away from the (C2) joins where FD of a piecewise fn is noisy
+        r = r[(np.abs(r - RSMTH) > 1e-3) & (np.abs(r - RCUT) > 1e-3)]
+        h = 1e-7
+        fd = (smooth_switch(r + h, RSMTH, RCUT)
+              - smooth_switch(r - h, RSMTH, RCUT)) / (2 * h)
+        assert np.allclose(smooth_switch_deriv(r, RSMTH, RCUT), fd, atol=1e-5)
+
+    def test_monotone_decreasing_inside(self):
+        r = np.linspace(0.5, RCUT - 1e-6, 500)
+        s = smooth_switch(r, RSMTH, RCUT)
+        assert np.all(np.diff(s) < 0)
+
+
+def small_cluster(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 5.0, size=(n, 3))
+    centers = np.arange(n)
+    # all-pairs padded neighbor list (no self)
+    nlist = np.full((n, n), -1, dtype=np.intp)
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        nlist[i, :len(others)] = others
+    return coords, centers, nlist
+
+
+class TestProdEnvMatA:
+    def test_padded_rows_are_zero(self):
+        coords, centers, nlist = small_cluster()
+        descrpt, deriv, rij = prod_env_mat_a(coords, centers, nlist,
+                                             RSMTH, RCUT)
+        pads = nlist < 0
+        assert np.all(descrpt[pads] == 0)
+        assert np.all(deriv[pads] == 0)
+        assert np.all(rij[pads] == 0)
+
+    def test_first_column_is_switch(self):
+        coords, centers, nlist = small_cluster()
+        descrpt, _, rij = prod_env_mat_a(coords, centers, nlist, RSMTH, RCUT)
+        d = np.linalg.norm(rij, axis=2)
+        mask = nlist >= 0
+        assert np.allclose(descrpt[..., 0][mask],
+                           smooth_switch(d[mask], RSMTH, RCUT))
+
+    def test_columns_relate_by_unit_vector(self):
+        coords, centers, nlist = small_cluster()
+        descrpt, _, rij = prod_env_mat_a(coords, centers, nlist, RSMTH, RCUT)
+        d = np.linalg.norm(rij, axis=2)
+        inside = (nlist >= 0) & (d > 0) & (d < RCUT)
+        s = descrpt[..., 0]
+        expect = s[inside][:, None] * rij[inside] / d[inside][:, None]
+        assert np.allclose(descrpt[..., 1:][inside], expect)
+
+    def test_deriv_vs_finite_difference(self):
+        coords, centers, nlist = small_cluster(n=6, seed=3)
+        _, deriv, _ = prod_env_mat_a(coords, centers, nlist, RSMTH, RCUT)
+        i, slot = 0, 2
+        j = nlist[i, slot]
+        h = 1e-6
+        for ax in range(3):
+            cp = coords.copy()
+            cp[j, ax] += h
+            dp, _, _ = prod_env_mat_a(cp, centers, nlist, RSMTH, RCUT)
+            cm = coords.copy()
+            cm[j, ax] -= h
+            dm, _, _ = prod_env_mat_a(cm, centers, nlist, RSMTH, RCUT)
+            fd = (dp[i, slot] - dm[i, slot]) / (2 * h)
+            assert np.allclose(deriv[i, slot, :, ax], fd, atol=1e-6)
+
+    def test_packed_matches_padded(self):
+        coords, centers, nlist = small_cluster(n=10, seed=4)
+        descrpt, deriv, rij = prod_env_mat_a(coords, centers, nlist,
+                                             RSMTH, RCUT)
+        mask = nlist >= 0
+        indices = nlist[mask]
+        counts = mask.sum(axis=1)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        rows, deriv_p, rij_p = prod_env_mat_a_packed(
+            coords, centers, indices, indptr, RSMTH, RCUT)
+        assert np.allclose(rows, descrpt[mask])
+        assert np.allclose(deriv_p, deriv[mask])
+        assert np.allclose(rij_p, rij[mask])
+
+
+class TestForceVirial:
+    def setup_pipeline(self, seed=5):
+        coords, centers, nlist = small_cluster(n=8, seed=seed)
+        descrpt, deriv, rij = prod_env_mat_a(coords, centers, nlist,
+                                             RSMTH, RCUT)
+        rng = np.random.default_rng(seed)
+        net_deriv = rng.normal(size=descrpt.shape)
+        net_deriv[nlist < 0] = 0.0
+        return coords, centers, nlist, deriv, rij, net_deriv
+
+    def test_forces_sum_to_zero(self):
+        """Each pair contributes equal/opposite forces (Newton's third law)."""
+        coords, centers, nlist, deriv, rij, nd = self.setup_pipeline()
+        f = prod_force_se_a(nd, deriv, centers, nlist, len(coords))
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_packed_force_matches_padded(self):
+        coords, centers, nlist, deriv, rij, nd = self.setup_pipeline()
+        mask = nlist >= 0
+        indices = nlist[mask]
+        indptr = np.concatenate([[0], np.cumsum(mask.sum(axis=1))])
+        f_pad = prod_force_se_a(nd, deriv, centers, nlist, len(coords))
+        f_pk = prod_force_se_a_packed(nd[mask], deriv[mask], centers,
+                                      indices, indptr, len(coords))
+        assert np.allclose(f_pad, f_pk)
+
+    def test_packed_virial_matches_padded(self):
+        coords, centers, nlist, deriv, rij, nd = self.setup_pipeline()
+        mask = nlist >= 0
+        w_pad = prod_virial_se_a(nd, deriv, rij)
+        w_pk = prod_virial_se_a_packed(nd[mask], deriv[mask], rij[mask])
+        assert np.allclose(w_pad, w_pk)
+
+    def test_virial_shape(self):
+        _, _, _, deriv, rij, nd = self.setup_pipeline()
+        assert prod_virial_se_a(nd, deriv, rij).shape == (3, 3)
+
+    def test_zero_net_deriv_gives_zero_output(self):
+        coords, centers, nlist, deriv, rij, nd = self.setup_pipeline()
+        z = np.zeros_like(nd)
+        assert np.all(prod_force_se_a(z, deriv, centers, nlist,
+                                      len(coords)) == 0)
+        assert np.all(prod_virial_se_a(z, deriv, rij) == 0)

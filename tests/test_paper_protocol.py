@@ -1,0 +1,65 @@
+"""Integration: the paper's full 99-step measurement protocol (Sec. 4).
+
+99 velocity-Verlet steps (energy/forces evaluated 100 times), neighbor
+list with a 2 Å buffer rebuilt every 50 steps, velocities initialized at
+330 K, thermo collected every 50 steps — at laptop scale.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.md import PAPER_PROTOCOL_STEPS
+
+
+@pytest.fixture(scope="module")
+def protocol_run():
+    sim = repro.quick_simulation("copper", n_cells=(3, 3, 3), seed=4)
+    sim.run(PAPER_PROTOCOL_STEPS)
+    return sim
+
+
+class TestPaperProtocol:
+    def test_99_steps_100_evaluations(self, protocol_run):
+        sim = protocol_run
+        assert sim.stats.n_steps == 99
+        assert sim.stats.n_force_evals == 100
+
+    def test_neighbor_rebuild_schedule(self, protocol_run):
+        # initial build + one at step 50 (plus any skin-triggered ones)
+        assert protocol_run.stats.n_neighbor_builds >= 2
+
+    def test_thermo_every_50(self, protocol_run):
+        steps = [t.step for t in protocol_run.thermo_log]
+        assert steps[:2] == [0, 50]
+
+    def test_energy_conservation_over_protocol(self, protocol_run):
+        e = [t.total_ev for t in protocol_run.thermo_log]
+        n = len(protocol_run.coords)
+        assert abs(e[-1] - e[0]) / n < 1e-6  # eV/atom over 99 steps
+
+    def test_temperature_stays_physical(self, protocol_run):
+        for t in protocol_run.thermo_log:
+            assert 0.0 < t.temperature_k < 700.0
+
+    def test_throughput_measured(self, protocol_run):
+        assert protocol_run.ns_per_day() > 0
+
+    def test_water_protocol_short(self):
+        sim = repro.quick_simulation("water", reps=(1, 1, 1), seed=5)
+        sim.run(20, thermo_every=10)
+        e = [t.total_ev for t in sim.thermo_log]
+        assert abs(e[-1] - e[0]) / len(sim.coords) < 1e-6
+
+    def test_baseline_and_compressed_tracks(self):
+        """Both code paths run the identical protocol and agree."""
+        sim_c = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                       compressed=True, interval=1e-3,
+                                       seed=6)
+        sim_b = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                       compressed=False, seed=6)
+        sim_c.run(10, thermo_every=5)
+        sim_b.run(10, thermo_every=5)
+        assert sim_c.thermo_log[-1].total_ev == pytest.approx(
+            sim_b.thermo_log[-1].total_ev, abs=1e-6)
+        assert np.allclose(sim_c.coords, sim_b.coords, atol=1e-7)

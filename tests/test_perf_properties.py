@@ -1,0 +1,133 @@
+"""Property-style tests on the performance model's structure.
+
+These pin the *mechanistic* behaviour of the cost/memory/scaling models:
+monotonic responses to the physical knobs (neighbor capacity, embedding
+width, node count, atoms per rank), independent of the calibration
+constants' exact values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variants import Stage
+from repro.perf import (
+    A64FX,
+    SUMMIT,
+    V100,
+    bytes_per_atom,
+    ghost_atoms_per_rank,
+    strong_scaling,
+    time_per_atom_us,
+    total_flops_per_atom,
+    weak_scaling,
+)
+from repro.workloads import COPPER, WATER, Workload
+
+
+def make_workload(n_m: int = 512, d1: int = 32, rcut: float = 8.0) -> Workload:
+    return Workload(
+        name="synthetic", rcut=rcut, rcut_smth=rcut - 2.0, sel=(n_m,),
+        n_types=1, masses=(63.5,), atom_density=0.0833, dt_fs=1.0,
+        tf_graph_mb=13.0, d1=d1, m_sub=16, fit_width=240,
+    )
+
+
+class TestCostModelStructure:
+    @given(st.integers(min_value=64, max_value=1024))
+    @settings(max_examples=15, deadline=None)
+    def test_padded_time_grows_with_capacity(self, n_m):
+        """Padded stages pay for every reserved slot."""
+        small = make_workload(n_m=n_m)
+        big = make_workload(n_m=n_m + 64)
+        for stage in (Stage.BASELINE, Stage.TABULATION, Stage.FUSION):
+            t_small = time_per_atom_us(V100, small, stage,
+                                       atoms_per_rank=10_000)
+            t_big = time_per_atom_us(V100, big, stage,
+                                     atoms_per_rank=10_000)
+            assert t_big > t_small
+
+    def test_packed_time_independent_of_capacity(self):
+        """Redundancy removal decouples cost from the reserved capacity."""
+        t1 = time_per_atom_us(V100, make_workload(n_m=256),
+                              Stage.REDUNDANCY, atoms_per_rank=10_000)
+        t2 = time_per_atom_us(V100, make_workload(n_m=1024),
+                              Stage.REDUNDANCY, atoms_per_rank=10_000)
+        assert t1 == pytest.approx(t2, rel=1e-12)
+
+    @given(st.integers(min_value=8, max_value=64))
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_flops_quadratic_in_d1(self, d1):
+        w1 = make_workload(d1=d1)
+        w2 = make_workload(d1=2 * d1)
+        f1 = total_flops_per_atom(w1, Stage.BASELINE)
+        f2 = total_flops_per_atom(w2, Stage.BASELINE)
+        # embedding dominates and scales ~4x with doubled d1
+        assert f2 / f1 > 2.0
+
+    def test_tabulated_flops_linear_in_d1(self):
+        f1 = total_flops_per_atom(make_workload(d1=16), Stage.REDUNDANCY)
+        f2 = total_flops_per_atom(make_workload(d1=32), Stage.REDUNDANCY)
+        assert f2 / f1 < 3.0
+
+    def test_every_stage_faster_than_previous_on_both_devices(self):
+        for dev in (V100, A64FX):
+            for w in (WATER, COPPER):
+                times = [time_per_atom_us(dev, w, s, atoms_per_rank=5_000)
+                         for s in Stage.ordered()]
+                assert all(b <= a * 1.001 for a, b in zip(times, times[1:]))
+
+
+class TestMemoryStructure:
+    @given(st.integers(min_value=64, max_value=1024))
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_memory_linear_in_capacity(self, n_m):
+        w1 = make_workload(n_m=n_m)
+        w2 = make_workload(n_m=2 * n_m)
+        b1 = bytes_per_atom(w1, Stage.BASELINE, V100)
+        b2 = bytes_per_atom(w2, Stage.BASELINE, V100)
+        assert b2 / b1 > 1.8  # G dominates, ~doubles
+
+    def test_optimized_memory_capacity_independent(self):
+        b1 = bytes_per_atom(make_workload(n_m=256), Stage.OTHER_OPT, V100)
+        b2 = bytes_per_atom(make_workload(n_m=1024), Stage.OTHER_OPT, V100)
+        assert b1 == pytest.approx(b2, rel=1e-12)
+
+
+class TestScalingStructure:
+    @given(st.integers(min_value=1000, max_value=200_000))
+    @settings(max_examples=10, deadline=None)
+    def test_ghosts_grow_with_rank_count(self, n_ranks):
+        g1 = ghost_atoms_per_rank(COPPER, 100_000_000, n_ranks)
+        g2 = ghost_atoms_per_rank(COPPER, 100_000_000, 4 * n_ranks)
+        # per-rank ghosts shrink, total ghosts grow
+        assert g2 < g1
+        assert 4 * n_ranks * g2 > n_ranks * g1
+
+    def test_overlap_never_hurts(self):
+        for machine, w, atoms in ((SUMMIT, WATER, 41_472_000),
+                                  (SUMMIT, COPPER, 13_500_000)):
+            plain = strong_scaling(machine, w, atoms, [20, 4560])[-1]
+            ov = strong_scaling(machine, w, atoms, [20, 4560],
+                                overlap=True)[-1]
+            assert ov.step_seconds <= plain.step_seconds + 1e-12
+            assert ov.efficiency >= plain.efficiency - 1e-12
+
+    def test_weak_scaling_atoms_proportional_to_nodes(self):
+        pts = weak_scaling(SUMMIT, COPPER, 50_000, [100, 200, 400])
+        atoms = [p.atoms for p in pts]
+        assert atoms[1] == 2 * atoms[0]
+        assert atoms[2] == 4 * atoms[0]
+
+    def test_larger_systems_scale_further(self):
+        """Strong-scaling efficiency at fixed nodes improves with size."""
+        small = strong_scaling(SUMMIT, COPPER, 2_000_000, [20, 4560])[-1]
+        large = strong_scaling(SUMMIT, COPPER, 100_000_000, [20, 4560])[-1]
+        assert large.efficiency > small.efficiency
+
+    def test_baseline_stage_scales_worse_in_absolute_time(self):
+        base = strong_scaling(SUMMIT, COPPER, 13_500_000, [20, 4560],
+                              stage=Stage.BASELINE)[-1]
+        opt = strong_scaling(SUMMIT, COPPER, 13_500_000, [20, 4560])[-1]
+        assert opt.step_seconds < base.step_seconds

@@ -1,0 +1,159 @@
+"""Tests for the memory-capacity and scaling models vs the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core.variants import Stage
+from repro.parallel.scheme import FLAT_MPI_A64FX, HYBRID_16X3
+from repro.perf import (
+    A64FX,
+    FUGAKU,
+    SUMMIT,
+    V100,
+    MemoryModel,
+    bytes_per_atom,
+    ghost_atoms_per_rank,
+    max_atoms_device,
+    max_atoms_node_scheme,
+    strong_scaling,
+    table2_rows,
+    weak_scaling,
+)
+from repro.workloads import COPPER, WATER
+
+
+class TestMemoryModel:
+    def test_v100_capacity_gains_match_paper(self):
+        """Sec. 6.1: max atoms grow ~6x (water) and ~26x (copper)."""
+        assert MemoryModel(WATER, V100).capacity_gain() == pytest.approx(
+            6.0, rel=0.5)
+        assert MemoryModel(COPPER, V100).capacity_gain() == pytest.approx(
+            26.0, rel=0.35)
+
+    def test_copper_gain_exceeds_water(self):
+        assert (MemoryModel(COPPER, V100).capacity_gain()
+                > MemoryModel(WATER, V100).capacity_gain())
+
+    def test_g_matrix_dominates_baseline(self):
+        """Sec. 2.2: G-related memory is >~90 % of the baseline total."""
+        assert MemoryModel(COPPER, V100).g_matrix_share() > 0.90
+        assert MemoryModel(WATER, V100).g_matrix_share() > 0.80
+
+    def test_bytes_per_atom_monotone_along_ladder(self):
+        for w in (WATER, COPPER):
+            b = [bytes_per_atom(w, s, V100)
+                 for s in (Stage.BASELINE, Stage.TABULATION,
+                           Stage.REDUNDANCY)]
+            assert b[0] > b[1] > b[2]
+
+    def test_a64fx_hybrid_water_capacity(self):
+        """Sec. 6.2.4: 110,592 -> 165,888 water atoms per node."""
+        flat = max_atoms_node_scheme(WATER, A64FX, FLAT_MPI_A64FX)
+        hyb = max_atoms_node_scheme(WATER, A64FX, HYBRID_16X3)
+        assert flat == pytest.approx(110_592, rel=0.15)
+        assert hyb == pytest.approx(165_888, rel=0.15)
+        assert hyb / flat == pytest.approx(1.5, rel=0.2)
+
+    def test_copper_scheme_gain_smaller_than_water(self):
+        """Sec. 6.2.4: copper's small graph means the hybrid scheme buys
+        much less capacity than for water."""
+        gain_w = (max_atoms_node_scheme(WATER, A64FX, HYBRID_16X3)
+                  / max_atoms_node_scheme(WATER, A64FX, FLAT_MPI_A64FX))
+        gain_c = (max_atoms_node_scheme(COPPER, A64FX, HYBRID_16X3)
+                  / max_atoms_node_scheme(COPPER, A64FX, FLAT_MPI_A64FX))
+        assert gain_c < gain_w
+
+    def test_single_gpu_holds_paper_test_systems(self):
+        assert max_atoms_device(WATER, Stage.BASELINE, V100) >= 12_880
+        assert max_atoms_device(COPPER, Stage.BASELINE, V100) >= 6_912
+
+
+class TestTable2:
+    def test_rows_and_speedups(self):
+        rows = {(r.machine, r.system): r for r in table2_rows([WATER, COPPER])}
+        # paper: A64FX wins 1.2x/1.03x on peak, 1.3x/1.1x on power
+        w = rows[("Fugaku", "water")]
+        c = rows[("Fugaku", "copper")]
+        assert 1.0 <= w.peak_speedup_vs_v100 < 1.5
+        assert 1.0 <= w.power_speedup_vs_v100 < 1.6
+        assert 0.9 <= c.peak_speedup_vs_v100 < 1.4
+        assert rows[("Summit", "water")].peak_speedup_vs_v100 == 1.0
+
+    def test_normalization_arithmetic(self):
+        rows = table2_rows([WATER])
+        v = rows[0]
+        assert v.tts_x_peak == pytest.approx(v.tts_us * 7.0)
+        assert v.tts_x_power == pytest.approx(v.tts_us * 369.0)
+
+
+class TestStrongScaling:
+    PAPER = {
+        ("Summit", "water", 41_472_000): (0.4699, 6.0),
+        ("Fugaku", "water", 8_294_400): (0.4120, 2.1),
+        ("Summit", "copper", 13_500_000): (0.3596, 11.2),
+        ("Fugaku", "copper", 2_177_280): (0.3276, 4.7),
+    }
+
+    @pytest.mark.parametrize("key", list(PAPER))
+    def test_efficiency_and_throughput_bands(self, key):
+        machine = SUMMIT if key[0] == "Summit" else FUGAKU
+        w = WATER if key[1] == "water" else COPPER
+        pts = strong_scaling(machine, w, key[2],
+                             [20, 57, 114, 285, 570, 1140, 2280, 4560])
+        eff_t, ns_t = self.PAPER[key]
+        last = pts[-1]
+        # shape tolerance: within ~45 % of the paper's end points
+        assert last.efficiency == pytest.approx(eff_t, rel=0.45)
+        assert last.ns_per_day == pytest.approx(ns_t, rel=0.55)
+
+    def test_efficiency_decreases_with_nodes(self):
+        pts = strong_scaling(SUMMIT, WATER, 41_472_000,
+                             [20, 114, 570, 2280, 4560])
+        effs = [p.efficiency for p in pts]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_near_perfect_at_small_scale(self):
+        """Fig. 9: 'nearly perfect scaling on up to 570 nodes' — our
+        communication model degrades slightly earlier; require > 0.75."""
+        pts = strong_scaling(SUMMIT, WATER, 41_472_000, [20, 285])
+        assert pts[-1].efficiency > 0.75
+
+    def test_throughput_grows_with_nodes(self):
+        pts = strong_scaling(FUGAKU, COPPER, 2_177_280, [20, 570, 4560])
+        nd = [p.ns_per_day for p in pts]
+        assert nd[0] < nd[1] < nd[2]
+
+
+class TestWeakScaling:
+    def test_summit_copper_endpoint(self):
+        """Fig. 11 / Table 1: 3.4 B atoms at ~1.1e-10 s/step/atom."""
+        pts = weak_scaling(SUMMIT, COPPER, 122_779, [18, 285, 4560])
+        last = pts[-1]
+        assert last.atoms == pytest.approx(3.4e9, rel=0.02)
+        tts = last.step_seconds / last.atoms
+        assert tts == pytest.approx(1.1e-10, rel=0.45)
+
+    def test_fugaku_copper_projection(self):
+        """Fig. 11: 17.3 B atoms, TtS 4.1e-11 s/step/atom, ~119 PFLOPS."""
+        pts = weak_scaling(FUGAKU, COPPER, 6_804, [621, 9_936, 157_986])
+        last = pts[-1]
+        assert last.atoms == pytest.approx(17.3e9, rel=0.02)
+        assert last.step_seconds / last.atoms == pytest.approx(4.1e-11,
+                                                               rel=0.45)
+        assert last.pflops == pytest.approx(119.0, rel=0.45)
+
+    def test_weak_efficiency_stays_high(self):
+        """Fig. 11: 'both systems show perfect scaling'."""
+        pts = weak_scaling(SUMMIT, WATER, 100_000, [18, 285, 4560])
+        assert pts[-1].efficiency > 0.7
+
+    def test_ghost_count_matches_paper_quote(self):
+        """Sec. 6.4.1: 113-atom Fugaku sub-regions carry ~1,700 ghosts."""
+        ghosts = ghost_atoms_per_rank(COPPER, 2_177_280, 72_960)
+        assert ghosts == pytest.approx(1_735, rel=0.45)
+
+    def test_134x_headline(self):
+        """Abstract: the copper system grows ~134x over the 127 M-atom
+        state of the art."""
+        pts = weak_scaling(FUGAKU, COPPER, 6_804, [157_986])
+        assert pts[-1].atoms / 127e6 == pytest.approx(134, rel=0.1)

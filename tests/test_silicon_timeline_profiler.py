@@ -1,0 +1,134 @@
+"""Tests for the silicon workload, the step-timeline simulator, and the
+section profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.md import (
+    SILICON_LATTICE_CONSTANT,
+    DPForceField,
+    NeighborSearch,
+    Simulation,
+    diamond_lattice,
+    silicon_system,
+)
+from repro.parallel import rcb_partition
+from repro.perf import SectionTimer, simulate_step
+from repro.workloads import SILICON, build_silicon
+
+
+class TestSiliconWorkload:
+    def test_diamond_lattice_geometry(self):
+        coords, box = diamond_lattice((3, 3, 3), SILICON_LATTICE_CONSTANT)
+        assert len(coords) == 8 * 27
+        d = np.linalg.norm(
+            box.minimum_image(coords[None] - coords[:, None]), axis=2)
+        np.fill_diagonal(d, np.inf)
+        # tetrahedral nearest neighbor at a*sqrt(3)/4, coordination 4
+        nn = SILICON_LATTICE_CONSTANT * np.sqrt(3) / 4
+        assert d.min() == pytest.approx(nn, rel=1e-12)
+        assert np.sum(np.isclose(d[0], nn)) == 4
+
+    def test_workload_descriptor(self):
+        assert SILICON.n_m == 192
+        # diamond is an open structure: fewer neighbors than FCC copper
+        assert SILICON.real_neighbors() < 100
+
+    def test_end_to_end_md(self):
+        spec = SILICON.model_spec(d1=4, m_sub=2, fit_width=16,
+                                  sel=SILICON.sel_for_engine(rcut=4.5))
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=spec.sel,
+                         n_types=1, d1=4, m_sub=2, fit_width=16)
+        model = CompressedDPModel.compress(DPModel(spec), interval=0.01,
+                                           x_max=2.5)
+        coords, types, box = build_silicon((2, 2, 2))
+        sim = Simulation(coords, types, box, SILICON.masses,
+                         DPForceField(model), dt_fs=1.0, seed=1,
+                         sel=spec.sel, skin=1.0)
+        sim.run(10, thermo_every=5)
+        e = [t.total_ev for t in sim.thermo_log]
+        assert abs(e[-1] - e[0]) / len(coords) < 1e-6
+
+
+class TestStepTimeline:
+    def test_balanced_has_no_compute_idle(self):
+        out = simulate_step(np.full(8, 100.0), np.full(8, 300.0),
+                            per_atom_us=2.0, per_ghost_us=0.1,
+                            ranks_per_node=1)
+        # with one rank per node nothing queues; idle is ~0
+        assert out.idle_s == pytest.approx(0.0, abs=1e-12)
+        assert out.imbalance == 1.0
+
+    def test_imbalance_inflates_makespan(self):
+        balanced = simulate_step(np.full(8, 100.0), np.full(8, 300.0),
+                                 2.0, 0.1, ranks_per_node=1)
+        loads = np.array([100.0] * 7 + [300.0])
+        skewed = simulate_step(loads, np.full(8, 300.0), 2.0, 0.1,
+                               ranks_per_node=1)
+        assert skewed.makespan_s > balanced.makespan_s
+        assert skewed.idle_s > 0
+        assert skewed.imbalance > 2.0
+
+    def test_nic_serialization(self):
+        """Many ranks per node queue on the NIC: makespan grows."""
+        one = simulate_step(np.full(16, 100.0), np.full(16, 500.0),
+                            1.0, 0.5, ranks_per_node=1)
+        sixteen = simulate_step(np.full(16, 100.0), np.full(16, 500.0),
+                                1.0, 0.5, ranks_per_node=16)
+        assert sixteen.makespan_s > one.makespan_s
+
+    def test_rcb_improves_makespan_on_clustered_atoms(self):
+        """Tie-in with the load balancer: RCB's near-equal loads beat a
+        skewed uniform-grid assignment in simulated makespan."""
+        rng = np.random.default_rng(0)
+        coords = np.concatenate([
+            rng.uniform(0, 4, (700, 3)),      # dense corner
+            rng.uniform(0, 16, (300, 3)),
+        ])
+        rcb_loads = np.bincount(rcb_partition(coords, 8), minlength=8)
+        # uniform 2x2x2 grid over [0,16)^3
+        cell = np.minimum((coords // 8).astype(int), 1)
+        grid_rank = cell[:, 0] * 4 + cell[:, 1] * 2 + cell[:, 2]
+        grid_loads = np.bincount(grid_rank, minlength=8)
+        t_rcb = simulate_step(rcb_loads, np.full(8, 200.0), 2.0, 0.1)
+        t_grid = simulate_step(grid_loads, np.full(8, 200.0), 2.0, 0.1)
+        assert t_rcb.makespan_s < t_grid.makespan_s
+        assert t_rcb.efficiency > t_grid.efficiency
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            simulate_step([1.0, 2.0], [1.0], 1.0, 1.0)
+
+
+class TestSectionTimer:
+    def test_accumulates_and_reports(self):
+        t = SectionTimer()
+        with t.section("a"):
+            pass
+        with t.section("a"):
+            pass
+        with t.section("b"):
+            pass
+        assert t.calls["a"] == 2
+        assert 0.0 <= t.share("a") <= 1.0
+        assert abs(t.share("a") + t.share("b") - 1.0) < 1e-9
+        assert "a" in t.report()
+
+    def test_empty_report(self):
+        assert "no sections" in SectionTimer().report()
+
+    def test_reset(self):
+        t = SectionTimer()
+        with t.section("x"):
+            pass
+        t.reset()
+        assert t.total == 0.0
+
+    def test_model_integration(self, cu_model, cu_neighbors):
+        nd = cu_neighbors
+        timer = SectionTimer()
+        cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                          nd.nlist, timer=timer)
+        assert {"env_mat", "embedding_net", "descriptor", "fitting_net",
+                "force_virial"} <= set(timer.totals)

@@ -1,0 +1,96 @@
+"""Tests for AoS/SoA layout transforms (Secs. 3.5.1, Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding import EmbeddingNet
+from repro.core.network import init_rng
+from repro.core.table_layout import (
+    SoAEmbeddingTable,
+    aos_to_soa_blocked,
+    deriv_aos_to_soa,
+    deriv_soa_to_aos,
+    soa_blocked_to_aos,
+)
+from repro.core.tabulation import EmbeddingTable
+
+
+class TestBlockedTranspose:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        aos = rng.normal(size=(37, 6))
+        soa = aos_to_soa_blocked(aos, block=16)
+        assert soa.shape == (3, 6, 16)
+        back = soa_blocked_to_aos(soa, 37)
+        assert np.array_equal(back, aos)
+
+    def test_block_layout_is_field_major(self):
+        aos = np.arange(32 * 6, dtype=float).reshape(32, 6)
+        soa = aos_to_soa_blocked(aos, block=16)
+        # field k of structures 0..15 must be contiguous
+        assert np.array_equal(soa[0, 0], aos[:16, 0])
+        assert np.array_equal(soa[1, 5], aos[16:32, 5])
+
+    def test_exact_multiple_no_padding(self):
+        aos = np.ones((16, 4))
+        soa = aos_to_soa_blocked(aos, block=16)
+        assert soa.shape == (1, 4, 16)
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, n, k):
+        aos = np.arange(n * k, dtype=float).reshape(n, k)
+        assert np.array_equal(
+            soa_blocked_to_aos(aos_to_soa_blocked(aos), n), aos)
+
+
+class TestDerivConversion:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        deriv = rng.normal(size=(23, 4, 3))
+        soa = deriv_aos_to_soa(deriv)
+        assert soa.shape == (12, 23)
+        assert np.array_equal(deriv_soa_to_aos(soa), deriv)
+
+    def test_component_rows_are_contiguous(self):
+        deriv = np.arange(2 * 12, dtype=float).reshape(2, 4, 3)
+        soa = deriv_aos_to_soa(deriv)
+        assert soa.flags["C_CONTIGUOUS"]
+        # component 0 of all pairs = [0, 12]
+        assert np.array_equal(soa[0], [0.0, 12.0])
+
+
+class TestSoAEmbeddingTable:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        net = EmbeddingNet(d1=8, rng=init_rng(2))
+        aos = EmbeddingTable.from_net(net, 0.0, 2.0, 0.01)
+        return aos, SoAEmbeddingTable(aos)
+
+    def test_values_bitwise_identical(self, tables):
+        aos, soa = tables
+        x = np.random.default_rng(3).uniform(0.0, 2.0, 500)
+        assert np.array_equal(aos.evaluate(x), soa.evaluate(x))
+
+    def test_derivatives_identical(self, tables):
+        aos, soa = tables
+        x = np.random.default_rng(4).uniform(0.0, 2.0, 200)
+        va, da = aos.evaluate_with_deriv(x)
+        vs, ds = soa.evaluate_with_deriv(x)
+        assert np.array_equal(va, vs)
+        assert np.array_equal(da, ds)
+
+    def test_coefficient_planes_contiguous(self, tables):
+        _, soa = tables
+        for k in range(6):
+            assert soa.coeffs[k].flags["C_CONTIGUOUS"]
+
+    def test_metadata_preserved(self, tables):
+        aos, soa = tables
+        assert soa.x_min == aos.x_min
+        assert soa.interval == aos.interval
+        assert soa.n_intervals == aos.n_intervals
+        assert soa.m_out == aos.m_out

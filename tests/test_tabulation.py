@@ -1,0 +1,143 @@
+"""Tests for the fifth-order tabulation (Sec. 3.2, Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import EmbeddingNet
+from repro.core.network import init_rng
+from repro.core.tabulation import (
+    DEFAULT_INTERVAL,
+    EmbeddingTable,
+    hermite_quintic_coefficients,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return EmbeddingNet(d1=8, rng=init_rng(11))
+
+
+class TestHermiteQuintic:
+    def test_reproduces_endpoint_constraints(self):
+        """The quintic must match value and both derivatives at both nodes."""
+        rng = np.random.default_rng(0)
+        g0, d0, s0, g1, d1, s1 = rng.normal(size=(6, 3))
+        h = 0.37
+        c = hermite_quintic_coefficients(g0, d0, s0, g1, d1, s1, h)
+
+        def poly(t):
+            return sum(c[..., k] * t**k for k in range(6))
+
+        def dpoly(t):
+            return sum(k * c[..., k] * t**(k - 1) for k in range(1, 6))
+
+        def d2poly(t):
+            return sum(k * (k - 1) * c[..., k] * t**(k - 2) for k in range(2, 6))
+
+        assert np.allclose(poly(0.0), g0)
+        assert np.allclose(dpoly(0.0), d0)
+        assert np.allclose(d2poly(0.0), s0)
+        assert np.allclose(poly(h), g1, atol=1e-12)
+        assert np.allclose(dpoly(h), d1, atol=1e-10)
+        assert np.allclose(d2poly(h), s1, atol=1e-9)
+
+    def test_exact_for_quintic_polynomial(self):
+        """Tabulating an actual quintic reproduces it exactly."""
+        coef = np.array([0.3, -1.2, 0.7, 0.05, -0.02, 0.004])
+
+        def f(x):
+            return sum(c * x**k for k, c in enumerate(coef))
+
+        def f1(x):
+            return sum(k * c * x**(k - 1) for k, c in enumerate(coef) if k >= 1)
+
+        def f2(x):
+            return sum(k * (k - 1) * c * x**(k - 2)
+                       for k, c in enumerate(coef) if k >= 2)
+
+        h = 0.5
+        c = hermite_quintic_coefficients(
+            np.array([f(1.0)]), np.array([f1(1.0)]), np.array([f2(1.0)]),
+            np.array([f(1.5)]), np.array([f1(1.5)]), np.array([f2(1.5)]), h)
+        t = np.linspace(0, h, 20)
+        vals = sum(c[0, k] * t**k for k in range(6))
+        assert np.allclose(vals, f(1.0 + t), atol=1e-10)
+
+
+class TestEmbeddingTable:
+    def test_values_at_nodes_are_exact(self, net):
+        table = EmbeddingTable.from_net(net, 0.0, 2.0, 0.05)
+        nodes = np.arange(0.0, 2.0, 0.05)
+        assert np.allclose(table.evaluate(nodes), net.evaluate(nodes),
+                           atol=1e-12)
+
+    def test_error_drops_with_interval(self, net):
+        """The Fig. 2 mechanism: smaller interval -> smaller error."""
+        x = np.linspace(0.013, 1.987, 400)
+        ref = net.evaluate(x)
+        errs = []
+        for interval in (0.1, 0.01, 0.001):
+            table = EmbeddingTable.from_net(net, 0.0, 2.0, interval)
+            errs.append(np.abs(table.evaluate(x) - ref).max())
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-12  # double-precision floor at 0.001
+
+    def test_derivative_matches_value_fd(self, net):
+        table = EmbeddingTable.from_net(net, 0.0, 2.0, 0.01)
+        x = np.linspace(0.05, 1.9, 50)
+        val, der = table.evaluate_with_deriv(x)
+        assert np.allclose(val, table.evaluate(x))
+        h = 1e-7
+        fd = (table.evaluate(x + h) - table.evaluate(x - h)) / (2 * h)
+        assert np.allclose(der, fd, atol=1e-5)
+
+    def test_c1_continuity_at_interval_boundaries(self, net):
+        table = EmbeddingTable.from_net(net, 0.0, 2.0, 0.1)
+        eps = 1e-10
+        nodes = np.arange(0.1, 1.9, 0.1)
+        below = table.evaluate(nodes - eps)
+        above = table.evaluate(nodes + eps)
+        assert np.allclose(below, above, atol=1e-8)
+        _, d_below = table.evaluate_with_deriv(nodes - eps)
+        _, d_above = table.evaluate_with_deriv(nodes + eps)
+        assert np.allclose(d_below, d_above, atol=1e-6)
+
+    def test_clamps_outside_domain(self, net):
+        table = EmbeddingTable.from_net(net, 0.0, 1.0, 0.01)
+        lo = table.evaluate(np.array([-0.5]))
+        hi = table.evaluate(np.array([1.5]))
+        assert np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))
+
+    def test_size_grows_as_interval_shrinks(self, net):
+        """Sec. 3.2: 257 MB at 0.001 vs 33 MB at 0.01 for water."""
+        t1 = EmbeddingTable.from_net(net, 0.0, 2.0, 0.01)
+        t2 = EmbeddingTable.from_net(net, 0.0, 2.0, 0.001)
+        assert t2.size_bytes == pytest.approx(10 * t1.size_bytes, rel=0.01)
+
+    def test_flops_per_input_formula(self, net):
+        """Sec. 3.2: 56 d1 = 14 M FLOPs per s element."""
+        table = EmbeddingTable.from_net(net, 0.0, 2.0, 0.05)
+        assert table.flops_per_input() == 56 * net.d1
+
+    def test_flop_saving_is_82_percent_for_paper_d1(self):
+        """(1 + 10 d1)/56 speedup => 82 % fewer FLOPs at d1=32."""
+        d1 = 32
+        net_flops = d1 + 10 * d1 * d1
+        tab_flops = 56 * d1
+        saving = 1 - tab_flops / net_flops
+        assert saving == pytest.approx(0.82, abs=0.01)
+
+    def test_rejects_bad_args(self, net):
+        with pytest.raises(ValueError):
+            EmbeddingTable.from_net(net, 1.0, 0.5, 0.01)
+        with pytest.raises(ValueError):
+            EmbeddingTable.from_net(net, 0.0, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            EmbeddingTable(np.zeros((4, 8, 5)), 0.0, 0.1)
+
+    def test_info(self, net):
+        table = EmbeddingTable.from_net(net, 0.0, 1.0, 0.1)
+        info = table.info
+        assert info.n_intervals == 10
+        assert info.m_out == net.M
+        assert info.x_max == pytest.approx(1.0)

@@ -1,0 +1,165 @@
+"""Tests for the energy-matching trainer.
+
+Training data is an equation-of-state sweep (FCC lattices at varying
+lattice constant, labelled with Lennard-Jones energies): with energy-only
+labels this is the canonical learnable task — jittered copies of a single
+density carry almost no per-config energy signal (which is why real
+DeePMD training adds force labels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.core.training import AdamState, EnergyTrainer
+from repro.md import LennardJones, NeighborSearch
+from repro.md.lattice import fcc_lattice
+
+SPEC = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                 d1=4, m_sub=2, fit_width=16, seed=77)
+
+
+def make_frame(search, lj, a: float, seed: int):
+    coords, box = fcc_lattice((3, 3, 3), a)
+    rng = np.random.default_rng(seed)
+    coords = coords + rng.normal(0, 0.05, coords.shape)
+    types = np.zeros(len(coords), dtype=np.intp)
+    nd = search.build(coords, types, box)
+    e_ref, _, _ = lj.compute(nd)
+    return nd, e_ref
+
+
+@pytest.fixture(scope="module")
+def eos_data():
+    """Lattice-constant sweep labelled with LJ energies."""
+    search = NeighborSearch(SPEC.rcut, skin=1.0, sel=SPEC.sel)
+    lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=SPEC.rcut)
+    train = [make_frame(search, lj, a, 10 + i)
+             for i, a in enumerate(np.linspace(3.45, 4.0, 10))]
+    test = [make_frame(search, lj, a, 90 + i)
+            for i, a in enumerate((3.55, 3.75, 3.95))]
+    return train, test
+
+
+class TestAdam:
+    def test_moves_against_gradient(self):
+        st = AdamState((2,))
+        x = np.array([1.0, -1.0])
+        for t in range(1, 50):
+            grad = 2 * x  # minimize x^2
+            x -= st.update(grad, lr=0.1, t=t)
+        assert np.all(np.abs(x) < 0.1)
+
+
+class TestCalibration:
+    def test_bias_absorbs_mean_energy(self, eos_data):
+        train, _ = eos_data
+        model = DPModel(SPEC)
+        trainer = EnergyTrainer(model)
+        trainer.calibrate(train)
+        # after calibration the initial loss is already near the
+        # mean-predictor floor (per-atom residual << per-atom energy)
+        preds = [trainer.predict(nd) for nd, _ in train]
+        refs = [e for _, e in train]
+        n = train[0][0].n_local
+        assert abs(np.mean(preds) - np.mean(refs)) / n < 0.05
+
+    def test_standardization_set(self, eos_data):
+        train, _ = eos_data
+        model = DPModel(SPEC)
+        EnergyTrainer(model).calibrate(train)
+        net = model.fittings[0]
+        assert not np.allclose(net.input_scale, 1.0)
+        assert not np.allclose(net.input_shift, 0.0)
+
+
+class TestEnergyTrainer:
+    def test_weight_gradients_match_finite_difference(self, eos_data):
+        train, _ = eos_data
+        trainer = EnergyTrainer(DPModel(SPEC), lr=0.0)
+        trainer.calibrate(train[:3])
+        trainer.loss_and_grad(train[:3])
+        checks = [
+            (trainer.model.fittings[0].layers[0], (3, 5)),
+            (trainer.model.fittings[0].layers[-1], (7, 0)),
+            (trainer.model.embeddings[0].layers[0], (0, 2)),
+            (trainer.model.embeddings[0].layers[1], (1, 3)),
+        ]
+        eps = 1e-6
+        for layer, idx in checks:
+            analytic = layer.dW[idx]
+            layer.W[idx] += eps
+            lp = trainer.loss_and_grad(train[:3])
+            layer.W[idx] -= 2 * eps
+            lm = trainer.loss_and_grad(train[:3])
+            layer.W[idx] += eps
+            fd = (lp - lm) / (2 * eps)
+            # eps=1e-6 central differences on a standardized net:
+            # ~1e-4 relative truncation noise is expected
+            assert analytic == pytest.approx(fd, rel=2e-3, abs=1e-12)
+
+    def test_loss_decreases_on_eos(self, eos_data):
+        train, _ = eos_data
+        trainer = EnergyTrainer(DPModel(SPEC), lr=2e-3)
+        history = trainer.fit(train, n_steps=200)
+        assert history[-1] < 0.05 * history[0]
+
+    def test_held_out_correlation(self, eos_data):
+        train, test = eos_data
+        trainer = EnergyTrainer(DPModel(SPEC), lr=2e-3)
+        trainer.fit(train, n_steps=250)
+        preds = [trainer.predict(nd) for nd, _ in test]
+        refs = [e for _, e in test]
+        assert np.corrcoef(preds, refs)[0, 1] > 0.95
+        n = test[0][0].n_local
+        for p, r in zip(preds, refs):
+            assert abs(p - r) / n < 0.05
+
+    def test_trained_model_survives_compression(self, eos_data):
+        """The whole point: train, then the paper's compression applies
+        (including the calibrated standardization, which lives in the
+        shared fitting nets)."""
+        train, _ = eos_data
+        model = DPModel(SPEC)
+        EnergyTrainer(model, lr=2e-3).fit(train, n_steps=60)
+        comp = CompressedDPModel.compress(model, interval=1e-3, x_max=2.5)
+        nd, _ = train[0]
+        e_base = model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                nd.nlist).energy
+        e_comp = comp.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                      nd.centers, nd.indices,
+                                      nd.indptr).energy
+        assert e_comp == pytest.approx(e_base, abs=1e-8)
+
+    def test_trained_forces_still_exact_gradients(self, eos_data):
+        """Standardization must not break the force backward pass."""
+        train, _ = eos_data
+        model = DPModel(SPEC)
+        EnergyTrainer(model, lr=2e-3).fit(train, n_steps=40)
+        nd, _ = train[0]
+        res = model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                             nd.nlist)
+        h = 1e-6
+        for ax in range(3):
+            cp = nd.ext_coords.copy()
+            cm = nd.ext_coords.copy()
+            # perturb atom 0's local row only (ghosts of atom 0 ignored:
+            # acceptable since we compare the partial derivative of the
+            # SAME truncated energy expression)
+            cp[0, ax] += h
+            cm[0, ax] -= h
+            ep = model.evaluate(cp, nd.ext_types, nd.centers,
+                                nd.nlist).energy
+            em = model.evaluate(cm, nd.ext_types, nd.centers,
+                                nd.nlist).energy
+            fd = -(ep - em) / (2 * h)
+            assert res.forces[0, ax] == pytest.approx(fd, abs=1e-7)
+
+    def test_predict_matches_model_evaluate(self, eos_data):
+        train, _ = eos_data
+        model = DPModel(SPEC)
+        trainer = EnergyTrainer(model)
+        nd, _ = train[0]
+        assert trainer.predict(nd) == pytest.approx(
+            model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                           nd.nlist).energy, abs=1e-12)

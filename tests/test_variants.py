@@ -1,0 +1,109 @@
+"""Tests for the optimization-stage ladder (Figs. 7/8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelCounters, Stage, StageLadder
+
+from conftest import evaluate_folded
+
+
+@pytest.fixture(scope="module")
+def ladder(cu_model):
+    return StageLadder(cu_model, interval=1e-3, x_max=2.2)
+
+
+class TestStageEnum:
+    def test_order(self):
+        names = [s.value for s in Stage.ordered()]
+        assert names == ["baseline", "+tabulation", "+kernel fusion",
+                         "+redundancy removal", "+other optimizations"]
+
+
+class TestPhysicsAgreement:
+    def test_all_stages_agree(self, ladder, cu_neighbors):
+        """Every rung computes the same energies/forces (up to the table
+        error at 1e-3 interval and the tanh table at the last rung)."""
+        nd = cu_neighbors
+        ref = ladder.evaluate(Stage.BASELINE, nd.ext_coords, nd.ext_types,
+                              nd.centers, nd.nlist)
+        f_ref = nd.fold_forces(ref.forces)
+        for stage in Stage.ordered()[1:]:
+            res = ladder.evaluate(stage, nd.ext_coords, nd.ext_types,
+                                  nd.centers, nd.nlist)
+            f = nd.fold_forces(res.forces)
+            tol_e = 1e-4 if stage is Stage.OTHER_OPT else 1e-10
+            tol_f = 1e-4 if stage is Stage.OTHER_OPT else 1e-10
+            assert abs(res.energy - ref.energy) < tol_e, stage
+            assert np.abs(f - f_ref).max() < tol_f, stage
+
+    def test_tab_and_fusion_agree_exactly(self, ladder, cu_neighbors):
+        """+tab and +fusion differ only in dataflow, never in values."""
+        nd = cu_neighbors
+        r1 = ladder.evaluate(Stage.TABULATION, nd.ext_coords, nd.ext_types,
+                             nd.centers, nd.nlist)
+        r2 = ladder.evaluate(Stage.FUSION, nd.ext_coords, nd.ext_types,
+                             nd.centers, nd.nlist)
+        assert r1.energy == pytest.approx(r2.energy, abs=1e-12)
+        assert np.allclose(r1.forces, r2.forces, atol=1e-12)
+
+    def test_other_opt_restores_tanh(self, ladder, cu_model, cu_neighbors):
+        """The stage temporarily swaps the activation and must restore it."""
+        nd = cu_neighbors
+        before = cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                   nd.nlist).energy
+        ladder.evaluate(Stage.OTHER_OPT, nd.ext_coords, nd.ext_types,
+                        nd.centers, nd.nlist)
+        after = cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                  nd.nlist).energy
+        assert before == after
+
+
+class TestCounters:
+    def test_memory_collapses_along_ladder(self, cu_model, cu_neighbors):
+        """Peak buffer: the unfused full-G stage dwarfs the chunked fused
+        kernel (use a small chunk so the effect shows at laptop scale)."""
+        ladder = StageLadder(cu_model, interval=1e-3, x_max=2.2, chunk=256)
+        nd = cu_neighbors
+        peaks = {}
+        for stage in (Stage.BASELINE, Stage.TABULATION, Stage.REDUNDANCY):
+            c = KernelCounters()
+            ladder.evaluate(stage, nd.ext_coords, nd.ext_types, nd.centers,
+                            nd.nlist, counters=c)
+            peaks[stage] = c.peak_buffer_bytes
+        assert peaks[Stage.BASELINE] >= peaks[Stage.TABULATION]
+        assert peaks[Stage.TABULATION] > peaks[Stage.REDUNDANCY]
+
+    def test_redundancy_reduces_processed_pairs(self, ladder, cu_neighbors):
+        nd = cu_neighbors
+        c_pad = KernelCounters()
+        ladder.evaluate(Stage.FUSION, nd.ext_coords, nd.ext_types,
+                        nd.centers, nd.nlist, counters=c_pad)
+        c_pk = KernelCounters()
+        ladder.evaluate(Stage.REDUNDANCY, nd.ext_coords, nd.ext_types,
+                        nd.centers, nd.nlist, counters=c_pk)
+        assert c_pk.processed_pairs < c_pad.processed_pairs
+
+
+class TestDescriptorKernels:
+    def test_all_stage_kernels_agree(self, ladder, cu_neighbors):
+        """The descriptor-only micro-kernels of every stage produce the
+        same D (the benchmarks time these)."""
+        nd = cu_neighbors
+        outs = {}
+        for stage in Stage.ordered():
+            run = ladder.descriptor_kernel(stage, nd.ext_coords,
+                                           nd.ext_types, nd.centers,
+                                           nd.nlist)
+            outs[stage] = run()
+        ref = outs[Stage.BASELINE]
+        for stage, d in outs.items():
+            assert np.allclose(d, ref, atol=1e-9), stage
+
+    def test_kernels_are_reusable(self, ladder, cu_neighbors):
+        nd = cu_neighbors
+        run = ladder.descriptor_kernel(Stage.REDUNDANCY, nd.ext_coords,
+                                       nd.ext_types, nd.centers, nd.nlist)
+        a = run()
+        b = run()
+        assert np.array_equal(a, b)

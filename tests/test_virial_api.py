@@ -1,0 +1,142 @@
+"""Virial correctness via the uniform-scaling identity, plus top-level
+API tests (`repro.quick_simulation`, package exports).
+
+The virial test is the strong one: for any potential, scaling every
+coordinate (and the box) by ``λ`` must satisfy ``dE/dλ |_{λ=1} = -tr W``
+— this pins the virial against the energy itself, independent of any
+pair/atom decomposition convention.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.md import Box, LennardJones, NeighborSearch, copper_system
+
+
+def scaled_energy(evaluate, coords, box, lam):
+    """Energy of the uniformly scaled configuration."""
+    return evaluate(coords * lam, Box(box.lengths * lam))
+
+
+class TestVirialScalingIdentity:
+    def test_lennard_jones(self):
+        coords, types, box = copper_system((3, 3, 3))
+        rng = np.random.default_rng(1)
+        coords = box.wrap(coords + rng.normal(0, 0.1, coords.shape))
+        lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+        search = NeighborSearch(5.0, skin=0.0)
+
+        def evaluate(c, b):
+            nd = search.build(c, types, b)
+            return lj.compute(nd)[0]
+
+        nd = search.build(coords, types, box)
+        _, _, virial = lj.compute(nd)
+        h = 1e-6
+        de_dlam = (scaled_energy(evaluate, coords, box, 1 + h)
+                   - scaled_energy(evaluate, coords, box, 1 - h)) / (2 * h)
+        assert de_dlam == pytest.approx(-np.trace(virial), rel=1e-5)
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_deep_potential(self, compressed):
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                         d1=4, m_sub=2, fit_width=16, seed=13)
+        model = DPModel(spec)
+        if compressed:
+            model = CompressedDPModel.compress(model, interval=1e-3,
+                                               x_max=2.5)
+        coords, types, box = copper_system((3, 3, 3))
+        rng = np.random.default_rng(2)
+        coords = box.wrap(coords + rng.normal(0, 0.1, coords.shape))
+        search = NeighborSearch(spec.rcut, skin=0.5, sel=spec.sel)
+
+        def evaluate(c, b):
+            nd = search.build(c, types, b)
+            if hasattr(model, "evaluate_packed"):
+                return model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                             nd.centers, nd.indices,
+                                             nd.indptr).energy
+            return model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                  nd.nlist).energy
+
+        nd = search.build(coords, types, box)
+        if hasattr(model, "evaluate_packed"):
+            virial = model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                           nd.centers, nd.indices,
+                                           nd.indptr).virial
+        else:
+            virial = model.evaluate(nd.ext_coords, nd.ext_types,
+                                    nd.centers, nd.nlist).virial
+        h = 1e-6
+        de_dlam = (scaled_energy(evaluate, coords, box, 1 + h)
+                   - scaled_energy(evaluate, coords, box, 1 - h)) / (2 * h)
+        assert de_dlam == pytest.approx(-np.trace(virial), rel=1e-4,
+                                        abs=1e-9)
+
+    def test_se_r_model(self):
+        from repro.core import SeRModel
+
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                         d1=4, m_sub=2, fit_width=16, seed=14)
+        model = SeRModel(spec, compressed=True, interval=1e-3)
+        coords, types, box = copper_system((3, 3, 3))
+        coords = box.wrap(coords + np.random.default_rng(3).normal(
+            0, 0.1, coords.shape))
+        search = NeighborSearch(spec.rcut, skin=0.5, sel=spec.sel)
+
+        def evaluate(c, b):
+            nd = search.build(c, types, b)
+            return model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                         nd.centers, nd.indices,
+                                         nd.indptr).energy
+
+        nd = search.build(coords, types, box)
+        virial = model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                       nd.centers, nd.indices,
+                                       nd.indptr).virial
+        h = 1e-6
+        de_dlam = (scaled_energy(evaluate, coords, box, 1 + h)
+                   - scaled_energy(evaluate, coords, box, 1 - h)) / (2 * h)
+        assert de_dlam == pytest.approx(-np.trace(virial), rel=1e-4,
+                                        abs=1e-9)
+
+
+class TestTopLevelAPI:
+    def test_quick_simulation_copper_defaults(self):
+        sim = repro.quick_simulation("copper", n_cells=(2, 2, 2))
+        assert len(sim.coords) == 32
+        assert hasattr(sim.forcefield.model, "evaluate_packed")
+
+    def test_quick_simulation_baseline(self):
+        sim = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                     compressed=False)
+        assert not hasattr(sim.forcefield.model, "evaluate_packed")
+
+    def test_quick_simulation_water(self):
+        sim = repro.quick_simulation("water", reps=(1, 1, 1))
+        assert len(sim.coords) == 192
+        assert sim.forcefield.model.spec.n_types == 2
+
+    def test_quick_simulation_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            repro.quick_simulation("argon")
+
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.io
+        import repro.md
+        import repro.parallel
+        import repro.perf
+
+        for mod in (repro.core, repro.md, repro.parallel, repro.perf,
+                    repro.io, repro.analysis):
+            for name in mod.__all__:
+                assert hasattr(mod, name), (mod.__name__, name)

@@ -1,0 +1,76 @@
+"""Tests for workload descriptors and unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro.units import (
+    BOLTZMANN_EV_K,
+    EV_A3_TO_BAR,
+    MASS_AMU,
+    MVV_TO_EV,
+    kinetic_energy_ev,
+    temperature_kelvin,
+)
+from repro.workloads import COPPER, COPPER_PAPER_SIZES, WATER, WATER_PAPER_SIZES
+
+
+class TestUnits:
+    def test_kinetic_energy_equipartition(self):
+        """At temperature T, <KE> per dof = kB T / 2 by construction."""
+        n = 1000
+        masses = np.full(n, 28.0)
+        sigma = np.sqrt(BOLTZMANN_EV_K * 300.0 / (28.0 * MVV_TO_EV))
+        v = np.random.default_rng(0).normal(0, sigma, (n, 3))
+        ke = kinetic_energy_ev(masses, v)
+        assert ke / (1.5 * n * BOLTZMANN_EV_K) == pytest.approx(300.0,
+                                                                rel=0.1)
+
+    def test_temperature_zero_dof(self):
+        assert temperature_kelvin(1.0, 0) == 0.0
+
+    def test_pressure_conversion_positive(self):
+        assert EV_A3_TO_BAR > 1e6  # 1 eV/Å^3 is ~1.6 Mbar
+
+    def test_masses_available(self):
+        assert set(MASS_AMU) >= {"H", "O", "Cu"}
+
+
+class TestWorkloads:
+    def test_paper_parameters(self):
+        assert WATER.rcut == 6.0 and COPPER.rcut == 8.0
+        assert WATER.n_m == 138  # 46 + 92 (paper: at most 138 neighbors)
+        assert COPPER.n_m == 512
+        assert WATER.dt_fs == 0.5 and COPPER.dt_fs == 1.0
+        assert WATER.m_out == 128 and COPPER.m_out == 128
+
+    def test_copper_redundancy_higher(self):
+        """Sec. 3.4.2: the copper model pads far more at ambient density."""
+        assert COPPER.redundancy_ratio > 2.0
+        assert WATER.redundancy_ratio < COPPER.redundancy_ratio
+
+    def test_real_neighbor_estimates(self):
+        # water: ~90 atoms within 6 Å at 0.1 atoms/Å^3
+        assert WATER.real_neighbors() == pytest.approx(90, rel=0.05)
+        # copper: ~180 within 8 Å on the FCC lattice
+        assert COPPER.real_neighbors() == pytest.approx(179, rel=0.05)
+
+    def test_sel_for_engine_covers_density(self):
+        sel = WATER.sel_for_engine()
+        r = WATER.rcut + 2.0
+        total = WATER.atom_density * 4 / 3 * np.pi * r**3
+        assert sum(sel) >= total
+
+    def test_model_spec_overrides(self):
+        spec = COPPER.model_spec(d1=8, m_sub=4, fit_width=32, sel=(64,))
+        assert spec.d1 == 8 and spec.n_m == 64
+        full = COPPER.model_spec()
+        assert full.d1 == 32 and full.n_m == 512
+
+    def test_paper_sizes_recorded(self):
+        assert WATER_PAPER_SIZES["summit_strong"] == 41_472_000
+        assert COPPER_PAPER_SIZES["fugaku_weak_max"] == 17_300_000_000
+
+    def test_densities(self):
+        # water: 0.997 g/cm3 -> ~0.1 atoms/Å^3; copper FCC -> 0.0833
+        assert WATER.atom_density == pytest.approx(0.0999, rel=0.01)
+        assert COPPER.atom_density == pytest.approx(4 / 3.634**3, rel=1e-12)

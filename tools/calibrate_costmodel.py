@@ -1,0 +1,80 @@
+"""Least-squares calibration of the cost-model constants (DESIGN.md §5).
+
+Fits each device's kernel-class efficiencies, tanh timings, and
+framework-overhead coefficients against the paper's Fig. 7/8 stage
+ladders and Table 2 anchors, then prints the fitted constants to be
+transcribed into ``repro/perf/machine.py``.
+"""
+import numpy as np
+from scipy.optimize import least_squares
+from dataclasses import replace
+
+from repro.perf.machine import V100, A64FX
+from repro.perf import costmodel
+from repro.core.variants import Stage
+from repro.workloads import WATER, COPPER
+
+# target stage times (us/step/atom), from paper TtS anchors x ladders
+TARGETS = {
+ "V100": {"water": [9.55, 4.15, 3.08, 2.81, 2.58],
+          "copper": [27.8, 7.53, 4.72, 3.31, 2.87]},
+ "A64FX": {"water": [91.6, 12.7, 7.3, 6.54, 4.47],
+           "copper": [245.7, 23.9, 9.0, 7.8, 5.78]},
+}
+# weights: interpolated (merged) A64FX rungs get less weight
+WEIGHTS = {
+ "V100": {"water": [1,1,1,1,2], "copper": [1,1,1,1,2]},
+ "A64FX": {"water": [1,1,0.4,0.7,2], "copper": [1,1,0.4,0.7,2]},
+}
+
+def make_device(base, x):
+    bw_tf, bw_table, bw_fused, f_tf, f_gemm, t_port, t_lib, b_base, b_tab, b_opt = x
+    return replace(base,
+        flop_eff={**base.flop_eff, "tf": f_tf, "gemm": f_gemm},
+        bw_eff={**base.bw_eff, "tf": bw_tf, "table": bw_table, "fused": bw_fused},
+        tanh_ns={**base.tanh_ns, "baseline_port": t_port, "lib": t_lib},
+        framework_us={"baseline": b_base, "tabulated": b_tab, "optimized": b_opt},
+    )
+
+def residuals(x, base, name):
+    dev = make_device(base, x)
+    res = []
+    for w in (WATER, COPPER):
+        total, br, orr = costmodel.PAPER_SINGLE_DEVICE[(name, w.name)]
+        for i, st in enumerate(Stage.ordered()):
+            t = costmodel.stage_breakdown(dev, w, st, total/br).time_us
+            tgt = TARGETS[name][w.name][i]
+            wt = WEIGHTS[name][w.name][i]
+            res.append(wt * np.log(t / tgt))
+        # Table-2 anchor at optimized launch config (opt ranks)
+        t_opt = costmodel.stage_breakdown(dev, w, Stage.OTHER_OPT, total/orr).time_us
+        res.append(2.0 * np.log(t_opt / TARGETS[name][w.name][-1]))
+    return res
+
+fits = {}
+for base, name, x0, bounds in [
+    (V100, "V100",
+     [0.30, 0.60, 0.94, 0.10, 0.18, 0.15, 0.15, 80., 40., 20.],
+     ([0.05,0.1,0.3,0.01,0.05,0.01,0.01,0.,0.,0.],
+      [0.9,0.95,0.94,0.6,0.8,2.,2.,3000.,3000.,3000.])),
+    (A64FX, "A64FX",
+     [0.30, 0.30, 0.60, 0.20, 0.30, 1.7, 3.2, 100., 20., 10.],
+     ([0.02,0.05,0.1,0.01,0.05,0.05,0.05,0.,0.,0.],
+      [0.9,0.9,0.9,0.6,0.8,10.,10.,3000.,3000.,3000.])),
+]:
+    sol = least_squares(residuals, x0, args=(base, name), bounds=bounds, xtol=1e-12, ftol=1e-12)
+    fits[name] = sol.x
+    dev = make_device(base, sol.x)
+    print(f"== {name}  cost {sol.cost:.4f}")
+    labels = "bw_tf bw_table bw_fused flop_tf flop_gemm tanh_port tanh_lib fw_base fw_tab fw_opt".split()
+    for l, v in zip(labels, sol.x):
+        print(f"   {l:10s} = {v:.4f}")
+    for w in (WATER, COPPER):
+        total, br, orr = costmodel.PAPER_SINGLE_DEVICE[(name, w.name)]
+        times = [costmodel.stage_breakdown(dev, w, st, total/br).time_us for st in Stage.ordered()]
+        t_opt = costmodel.stage_breakdown(dev, w, Stage.OTHER_OPT, total/orr).time_us
+        tg = TARGETS[name][w.name]
+        print(f"   {w.name:7s} model: " + " ".join(f"{t:7.2f}" for t in times) + f" | opt {t_opt:.2f}")
+        print(f"   {'target':7s}       " + " ".join(f"{t:7.2f}" for t in tg) + f" | opt {tg[-1]}")
+        base_t = times[0]
+        print(f"   ladder: " + " ".join(f"{base_t/t:.2f}" for t in times))
