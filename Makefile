@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench verify
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+smoke:           ## <60 s thread-scaling check, writes BENCH_threads.json
+	$(PYTHON) tools/bench_smoke.py
+
+bench:           ## full paper-table benchmark harness
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+verify: test smoke

@@ -67,7 +67,7 @@ __all__ = [
 def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
                      reps=(2, 2, 2), compressed: bool = True,
                      interval: float = 0.01, seed: int = 0,
-                     **model_kwargs) -> Simulation:
+                     threads: int = 1, **model_kwargs) -> Simulation:
     """One-call MD setup on a paper workload at laptop scale.
 
     Builds the configuration, a (downsized) Deep Potential model, and —
@@ -84,6 +84,10 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
     compressed:
         Use the tabulated + fused model (the paper's optimized code)
         instead of the baseline.
+    threads:
+        Shared-memory workers for the fused inference path (the
+        ``threads`` factor of the paper's ``ranks x threads`` schemes);
+        ``1`` is the exact serial path.
     model_kwargs:
         Overrides for :meth:`repro.workloads.Workload.model_spec`, e.g.
         ``d1=8, fit_width=32`` to shrink the nets.
@@ -125,4 +129,5 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
         dt_fs=workload.dt_fs,
         sel=spec.sel,
         seed=seed,
+        threads=threads,
     )

@@ -37,6 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tabulation interval")
     run.add_argument("--temperature", type=float, default=330.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--threads", type=int, default=1,
+                     help="shared-memory workers for the fused inference "
+                          "path — the 'threads' factor of the paper's "
+                          "ranks x threads schemes (1 = exact serial path)")
     run.add_argument("--xyz", type=str, default=None,
                      help="write the trajectory to this extended-XYZ file")
     run.add_argument("--thermo-every", type=int, default=50)
@@ -71,7 +75,7 @@ def _cmd_run(args) -> int:
     sim = repro.quick_simulation(
         args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
         compressed=not args.baseline, interval=args.interval,
-        seed=args.seed,
+        seed=args.seed, threads=args.threads,
     )
     writer = None
     if args.xyz:
@@ -82,7 +86,8 @@ def _cmd_run(args) -> int:
         writer = XYZTrajectoryWriter(args.xyz, symbols)
         writer.write(sim.coords, sim.box, 0, sim.energy)
     print(f"{args.system}: {len(sim.coords)} atoms, "
-          f"{'baseline' if args.baseline else 'compressed'} model")
+          f"{'baseline' if args.baseline else 'compressed'} model, "
+          f"{args.threads} thread{'s' if args.threads != 1 else ''}")
     sim.run(args.steps, thermo_every=args.thermo_every)
     if writer is not None:
         writer.write(sim.coords, sim.box, sim.step, sim.energy)

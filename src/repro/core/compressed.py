@@ -50,11 +50,16 @@ def pack_nlist(nlist: np.ndarray):
     return nlist[mask].astype(np.intp), indptr
 
 
-def _per_type_csr(pair_types: np.ndarray, indptr: np.ndarray, t: int):
-    """Select pairs of type ``t`` keeping the per-atom CSR structure."""
+def _per_type_csr(pair_types: np.ndarray, indptr: np.ndarray, t: int,
+                  pair_atom: np.ndarray | None = None):
+    """Select pairs of type ``t`` keeping the per-atom CSR structure.
+
+    ``pair_atom`` (the pair→atom map) is recomputed from ``indptr`` when
+    absent; evaluation loops pass the per-build cached one.
+    """
     n = len(indptr) - 1
-    counts = np.diff(indptr)
-    pair_atom = np.repeat(np.arange(n), counts)
+    if pair_atom is None:
+        pair_atom = np.repeat(np.arange(n), np.diff(indptr))
     sel = np.nonzero(pair_types == t)[0]
     counts_t = np.bincount(pair_atom[sel], minlength=n)
     indptr_t = np.zeros(n + 1, dtype=np.intp)
@@ -64,6 +69,11 @@ def _per_type_csr(pair_types: np.ndarray, indptr: np.ndarray, t: int):
 
 class CompressedDPModel:
     """Tabulated + fused + redundancy-free Deep Potential model."""
+
+    #: The packed evaluation accepts ``engine=``/``pair_atom=`` keywords
+    #: (checked by :class:`repro.md.simulation.DPForceField` before it
+    #: forwards the threaded engine).
+    supports_engine = True
 
     def __init__(self, spec: ModelSpec, tables, fittings, energy_bias,
                  chunk: int = DEFAULT_CHUNK, use_soa: bool = False):
@@ -120,7 +130,7 @@ class CompressedDPModel:
     # -------------------------------------------------------------- pipeline
     def _fit(self, descr: np.ndarray, center_types: np.ndarray):
         n = descr.shape[0]
-        energies = np.empty(n)
+        energies = np.empty(n, dtype=descr.dtype)
         d_descr = np.empty_like(descr)
         for t, net in enumerate(self.fittings):
             idx = np.nonzero(center_types == t)[0]
@@ -140,55 +150,106 @@ class CompressedDPModel:
         indices: np.ndarray,
         indptr: np.ndarray,
         counters: KernelCounters | None = None,
+        engine=None,
+        pair_atom: np.ndarray | None = None,
     ) -> EvalResult:
-        """Energy/forces/virial from packed (CSR) neighbor lists."""
+        """Energy/forces/virial from packed (CSR) neighbor lists.
+
+        Parameters
+        ----------
+        engine:
+            Optional :class:`repro.parallel.engine.ThreadedEngine`.  When
+            given (with more than one thread) the env-matrix, fused
+            forward/backward, force, and virial kernels run sharded over
+            its worker pool; per-worker counters are merged back into
+            ``counters``.  The fitting net stays serial — it is a dense
+            GEMM whose caches/gradients live on the shared net objects.
+        pair_atom:
+            Optional pair→atom map (``NeighborData.pair_atom`` caches it
+            per build); recomputed from ``indptr`` when absent.
+        """
         spec = self.spec
         atom_types = np.asarray(atom_types)
+        centers = np.asarray(centers)
         n = len(centers)
         n_total = coords.shape[0]
         indices = np.asarray(indices, dtype=np.intp)
         indptr = np.asarray(indptr, dtype=np.intp)
+        threaded = engine is not None and engine.n_threads > 1
+        if pair_atom is None:
+            pair_atom = np.repeat(np.arange(n, dtype=np.intp),
+                                  np.diff(indptr))
+        else:
+            pair_atom = np.asarray(pair_atom, dtype=np.intp)
+        pair_center = centers[pair_atom]
 
-        rows, deriv, rij = prod_env_mat_a_packed(
-            coords, centers, indices, indptr, spec.rcut_smth, spec.rcut
-        )
+        if threaded:
+            rows, deriv, rij = engine.env_mat_packed(
+                coords, centers, indices, indptr, spec.rcut_smth, spec.rcut,
+                pair_atom=pair_atom,
+            )
+        else:
+            rows, deriv, rij = prod_env_mat_a_packed(
+                coords, centers, indices, indptr, spec.rcut_smth, spec.rcut,
+                pair_center=pair_center,
+            )
         s = rows[:, 0]
         pair_types = atom_types[indices]
 
         # Fused forward: per-type tables accumulate into the shared T.
-        t_mat = np.zeros((n, 4, spec.m_out))
+        t_mat = np.zeros((n, 4, spec.m_out), dtype=rows.dtype)
         type_sel = []
         for t, table in enumerate(self.tables):
             if spec.n_types == 1:
-                sel, indptr_t = slice(None), indptr
+                sel, indptr_t, pa_t = slice(None), indptr, pair_atom
             else:
-                sel, indptr_t = _per_type_csr(pair_types, indptr, t)
-            type_sel.append((sel, indptr_t))
+                sel, indptr_t = _per_type_csr(pair_types, indptr, t,
+                                              pair_atom=pair_atom)
+                pa_t = pair_atom[sel]
+            type_sel.append((sel, indptr_t, pa_t))
             if isinstance(sel, np.ndarray) and sel.size == 0:
                 continue
-            t_mat += fused_contract_packed(
-                table, s[sel], rows[sel], indptr_t, spec.n_m,
-                counters=counters, chunk=self.chunk,
-            )
+            if threaded:
+                t_mat += engine.contract_packed(
+                    table, s[sel], rows[sel], indptr_t, spec.n_m,
+                    counters=counters, chunk=self.chunk,
+                )
+            else:
+                t_mat += fused_contract_packed(
+                    table, s[sel], rows[sel], indptr_t, spec.n_m,
+                    counters=counters, chunk=self.chunk,
+                )
 
         descr = descriptor_from_t(t_mat, spec.m_sub)
-        center_types = atom_types[np.asarray(centers)]
+        center_types = atom_types[centers]
         energies, d_descr = self._fit(descr, center_types)
 
         dt = dt_from_ddescr(d_descr, t_mat, spec.m_sub)
         net_deriv = np.empty_like(rows)
-        for table, (sel, indptr_t) in zip(self.tables, type_sel):
+        for table, (sel, indptr_t, pa_t) in zip(self.tables, type_sel):
             if isinstance(sel, np.ndarray) and sel.size == 0:
                 continue
-            net_deriv[sel] = fused_backward_packed(
-                table, dt, s[sel], rows[sel], indptr_t, spec.n_m,
-                counters=counters, chunk=self.chunk,
-            )
+            if threaded:
+                net_deriv[sel] = engine.backward_packed(
+                    table, dt, s[sel], rows[sel], indptr_t, spec.n_m,
+                    pa_t, counters=counters, chunk=self.chunk,
+                )
+            else:
+                net_deriv[sel] = fused_backward_packed(
+                    table, dt, s[sel], rows[sel], indptr_t, spec.n_m,
+                    counters=counters, chunk=self.chunk, pair_atom=pa_t,
+                )
 
-        forces = prod_force_se_a_packed(
-            net_deriv, deriv, centers, indices, indptr, n_total
-        )
-        virial = prod_virial_se_a_packed(net_deriv, deriv, rij)
+        if threaded:
+            forces = engine.force_packed(net_deriv, deriv, indices,
+                                         pair_center, indptr, n_total)
+            virial = engine.virial_packed(net_deriv, deriv, rij, indptr)
+        else:
+            forces = prod_force_se_a_packed(
+                net_deriv, deriv, centers, indices, indptr, n_total,
+                pair_center=pair_center,
+            )
+            virial = prod_virial_se_a_packed(net_deriv, deriv, rij)
         return EvalResult(
             energy=float(energies.sum()),
             atomic_energies=energies,
@@ -203,9 +264,11 @@ class CompressedDPModel:
         centers: np.ndarray,
         nlist: np.ndarray,
         counters: KernelCounters | None = None,
+        engine=None,
     ) -> EvalResult:
         """Padded-list convenience wrapper (packs, then evaluates)."""
         indices, indptr = pack_nlist(np.asarray(nlist))
         return self.evaluate_packed(
-            coords, atom_types, centers, indices, indptr, counters
+            coords, atom_types, centers, indices, indptr, counters,
+            engine=engine,
         )

@@ -73,6 +73,10 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     Robust replacement for ``np.add.reduceat`` (which mishandles empty
     segments): cumulative sums differenced at the boundaries.
     ``values`` has shape ``(nnz, ...)``; the result ``(n_seg, ...)``.
+
+    The accumulation runs in float64 (the mixed-precision scheme keeps
+    reductions in double) but the result honors the input dtype, so the
+    float32 pipeline stays float32 end-to-end.
     """
     n_seg = len(indptr) - 1
     if values.shape[0] == 0:
@@ -80,7 +84,8 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     csum = np.cumsum(values, axis=0, dtype=np.float64)
     zero = np.zeros((1,) + values.shape[1:], dtype=np.float64)
     csum = np.concatenate([zero, csum], axis=0)
-    return csum[indptr[1:]] - csum[indptr[:-1]]
+    out = csum[indptr[1:]] - csum[indptr[:-1]]
+    return out.astype(values.dtype, copy=False)
 
 
 def tabulated_g_full(table, s_flat: np.ndarray,
@@ -112,7 +117,7 @@ def fused_contract_padded(
     """
     n, n_m, _ = descrpt.shape
     m_out = table.m_out
-    t_out = np.zeros((n, 4, m_out))
+    t_out = np.zeros((n, 4, m_out), dtype=descrpt.dtype)
     inv = 1.0 / float(n_m_norm)
     atoms_per_block = max(1, chunk // n_m)
     for a_lo in range(0, n, atoms_per_block):
@@ -121,7 +126,8 @@ def fused_contract_padded(
         s_block = r_block[..., 0].reshape(-1)
         g_chunk = table.evaluate(s_block)
         block = g_chunk.reshape(a_hi - a_lo, n_m, m_out)
-        np.einsum("nja,njm->nam", r_block, block, out=t_out[a_lo:a_hi])
+        np.einsum("nja,njm->nam", r_block, block, out=t_out[a_lo:a_hi],
+                  casting="same_kind")
         if counters is not None:
             counters.flops += table.flops_per_input() * g_chunk.shape[0]
             counters.flops += 2 * 4 * m_out * g_chunk.shape[0]
@@ -142,6 +148,7 @@ def fused_contract_packed(
     n_m_norm: int,
     counters: KernelCounters | None = None,
     chunk: int = DEFAULT_CHUNK,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Fused contraction over packed (CSR) neighbors — the full optimization.
 
@@ -155,11 +162,15 @@ def fused_contract_packed(
     n_m_norm:
         Fixed normalization (the model's ``N_m``) so padded and packed
         paths agree bitwise.
+    out:
+        Optional ``(n, 4, M)`` destination (a disjoint slab when the
+        threaded engine shards atoms); every atom row is overwritten.
     """
     n = len(indptr) - 1
     m_out = table.m_out
     nnz = int(s.shape[0])
-    t_out = np.zeros((n, 4, m_out), dtype=rows.dtype)
+    t_out = out if out is not None else np.zeros((n, 4, m_out),
+                                                 dtype=rows.dtype)
     inv = 1.0 / float(n_m_norm)
     a_lo = 0
     while a_lo < n:
@@ -196,6 +207,8 @@ def fused_backward_packed(
     n_m_norm: int,
     counters: KernelCounters | None = None,
     chunk: int = DEFAULT_CHUNK,
+    pair_atom: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Backward of the packed fused contraction.
 
@@ -204,11 +217,25 @@ def fused_backward_packed(
     includes ``dE/ds`` (since ``s`` is both the first env-matrix column
     and the embedding input, Fig. 1).  The table (value and derivative)
     is re-evaluated chunk-wise rather than cached.
+
+    Parameters
+    ----------
+    pair_atom:
+        Optional pair→atom map (row index into ``dt`` per pair).  It is
+        derivable from ``indptr`` but costs an ``np.repeat`` per call, so
+        callers that evaluate many times between neighbor rebuilds (the
+        MD loop rebuilds every ~50 steps) should compute it once per
+        build — :attr:`repro.md.neighbor.NeighborData.pair_atom` caches
+        exactly this — and pass it in.
+    out:
+        Optional ``(nnz, 4)`` destination (a disjoint slab when the
+        threaded engine shards pairs); every row is overwritten.
     """
     nnz = s.shape[0]
     inv = 1.0 / float(n_m_norm)
-    d_rows = np.empty((nnz, 4), dtype=rows.dtype)
-    pair_atom = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
+    d_rows = out if out is not None else np.empty((nnz, 4), dtype=rows.dtype)
+    if pair_atom is None:
+        pair_atom = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
     start = 0
     while start < nnz:
         stop = min(start + chunk, nnz)

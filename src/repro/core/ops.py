@@ -147,6 +147,7 @@ def prod_env_mat_a_packed(
     indptr: np.ndarray,
     rcut_smth: float,
     rcut: float,
+    pair_center: np.ndarray | None = None,
 ):
     """Packed (CSR) environment matrix — the redundancy-free layout.
 
@@ -155,6 +156,10 @@ def prod_env_mat_a_packed(
     indices, indptr:
         CSR neighbor structure: neighbors of local atom ``i`` are
         ``indices[indptr[i]:indptr[i+1]]`` (indices into ``coords``).
+    pair_center:
+        Optional per-pair central-atom row (``centers`` expanded over the
+        CSR counts).  Supplying it skips the ``np.repeat`` and lets the
+        threaded engine call this on arbitrary pair slices.
 
     Returns
     -------
@@ -170,8 +175,9 @@ def prod_env_mat_a_packed(
         coords = coords.astype(np.float64)
     dtype = coords.dtype
     indices = np.asarray(indices)
-    counts = np.diff(indptr)
-    pair_center = np.repeat(np.asarray(centers), counts)
+    if pair_center is None:
+        counts = np.diff(indptr)
+        pair_center = np.repeat(np.asarray(centers), counts)
 
     rij = coords[indices] - coords[pair_center]
     d = np.linalg.norm(rij, axis=1).astype(dtype)
@@ -239,14 +245,18 @@ def prod_force_se_a_packed(
     indices: np.ndarray,
     indptr: np.ndarray,
     n_total: int,
+    pair_center: np.ndarray | None = None,
 ) -> np.ndarray:
     """Packed-layout force production (no padded slots to mask).
 
     ``net_deriv`` is ``(nnz, 4)`` and ``descrpt_deriv`` ``(nnz, 4, 3)``.
+    ``pair_center`` (optional) is the per-pair central-atom row; passing
+    it skips the ``np.repeat`` and enables evaluation on pair slices.
     """
     pair_grad = np.einsum("pc,pcx->px", net_deriv, descrpt_deriv)
-    counts = np.diff(indptr)
-    pair_center = np.repeat(np.asarray(centers), counts)
+    if pair_center is None:
+        counts = np.diff(indptr)
+        pair_center = np.repeat(np.asarray(centers), counts)
     force = np.zeros((n_total, 3))
     for ax in range(3):
         force[:, ax] -= np.bincount(indices, weights=pair_grad[:, ax],

@@ -21,7 +21,7 @@ Lists are produced in both layouts the paper contrasts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -98,6 +98,8 @@ class NeighborData:
     indptr: np.ndarray          #: CSR boundaries, len n_local + 1
     build_coords: np.ndarray    #: local positions at build time (skin check)
     ghost_shift: np.ndarray     #: (n_total, 3) periodic shift per row
+    _pair_atom: np.ndarray | None = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def n_local(self) -> int:
@@ -106,6 +108,18 @@ class NeighborData:
     @property
     def counts(self) -> np.ndarray:
         return np.diff(self.indptr)
+
+    @property
+    def pair_atom(self) -> np.ndarray:
+        """Pair→local-atom map for the CSR layout, cached per build.
+
+        The fused backward pass needs this expansion on every force
+        evaluation; computing it once here amortizes the ``np.repeat``
+        across the ~50 MD steps between rebuilds.
+        """
+        if self._pair_atom is None:
+            self._pair_atom = np.repeat(self.centers, self.counts)
+        return self._pair_atom
 
     @property
     def max_neighbors(self) -> int:
@@ -148,16 +162,23 @@ class NeighborSearch:
         omitted the padded capacity adapts to the observed maximum.
     chunk:
         Local atoms processed per vectorized batch.
+    engine:
+        Optional :class:`repro.parallel.engine.ThreadedEngine`.  Cell
+        binning scans each local-atom chunk independently against the
+        read-only cell table, so chunks are distributed over the worker
+        pool; parts are concatenated in chunk order, making the threaded
+        build bitwise identical to the serial one.
     """
 
     def __init__(self, rcut: float, skin: float = DEFAULT_SKIN,
-                 sel=None, chunk: int = 4096):
+                 sel=None, chunk: int = 4096, engine=None):
         if rcut <= 0 or skin < 0:
             raise ValueError("need rcut > 0 and skin >= 0")
         self.rcut = float(rcut)
         self.skin = float(skin)
         self.sel = None if sel is None else tuple(int(s) for s in sel)
         self.chunk = int(chunk)
+        self.engine = engine
 
     @property
     def rlist(self) -> float:
@@ -280,10 +301,10 @@ class NeighborSearch:
             [(i, j, k) for i in (-1, 0, 1) for j in (-1, 0, 1) for k in (-1, 0, 1)],
             dtype=np.intp,
         )
-        pair_i_parts, pair_j_parts, dist_parts = [], [], []
         r2 = rlist * rlist
-        for lo in range(0, n_local, self.chunk):
-            hi = min(lo + self.chunk, n_local)
+
+        def bin_block(block):
+            lo, hi = block
             cells27 = local_cell[lo:hi, None, :] + offsets[None, :, :]
             # Ghost shell guarantees neighbors live inside the grid; clip
             # only protects against boundary rounding.
@@ -300,13 +321,19 @@ class NeighborSearch:
             self_row = cand == (np.arange(lo, hi)[:, None])
             keep = ok & (d2 < r2) & ~self_row
             ii, jj = np.nonzero(keep)
-            pair_i_parts.append((ii + lo).astype(np.intp))
-            pair_j_parts.append(cand[ii, jj])
-            dist_parts.append(np.sqrt(d2[ii, jj]))
+            return ((ii + lo).astype(np.intp), cand[ii, jj],
+                    np.sqrt(d2[ii, jj]))
+
+        blocks = [(lo, min(lo + self.chunk, n_local))
+                  for lo in range(0, n_local, self.chunk)]
+        if self.engine is not None and self.engine.n_threads > 1:
+            parts = self.engine.map(bin_block, blocks)
+        else:
+            parts = [bin_block(b) for b in blocks]
         return (
-            np.concatenate(pair_i_parts),
-            np.concatenate(pair_j_parts),
-            np.concatenate(dist_parts),
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
         )
 
     def _pad(self, pair_i, pair_j, pair_types, indptr, n_local, n_types,

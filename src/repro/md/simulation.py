@@ -33,20 +33,31 @@ class DPForceField:
     Chooses the packed path automatically when the model provides it —
     :class:`~repro.core.compressed.CompressedDPModel` — and the padded
     path for the baseline :class:`~repro.core.model.DPModel`.
+
+    ``engine`` (a :class:`repro.parallel.engine.ThreadedEngine`) is
+    forwarded to models advertising ``supports_engine``, together with
+    the neighbor list's cached pair→atom map, so the fused kernels run
+    sharded over the worker pool.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, engine=None):
         self.model = model
         self.rcut = model.spec.rcut
+        self.engine = engine
 
     def compute(self, neighbors: NeighborData):
         if hasattr(self.model, "evaluate_packed"):
+            kwargs = {}
+            if getattr(self.model, "supports_engine", False):
+                kwargs = {"engine": self.engine,
+                          "pair_atom": neighbors.pair_atom}
             result = self.model.evaluate_packed(
                 neighbors.ext_coords,
                 neighbors.ext_types,
                 neighbors.centers,
                 neighbors.indices,
                 neighbors.indptr,
+                **kwargs,
             )
         else:
             result = self.model.evaluate(
@@ -86,20 +97,39 @@ class Simulation:
     sel:
         Optional per-type padded capacities forwarded to the neighbor
         search (required by the baseline model's padded layout).
+    threads:
+        Shared-memory worker count (the ``threads`` factor of the
+        paper's ``ranks x threads`` schemes, Sec. 3.5.4).  ``> 1``
+        creates a persistent :class:`repro.parallel.engine.ThreadedEngine`
+        shared by the neighbor binning and the force field's fused
+        kernels.  ``1`` (default) is the exact serial path.
+    engine:
+        Pre-built engine to share instead of creating one from
+        ``threads`` (e.g. one pool across several simulations).
     """
 
     def __init__(self, coords, types, box: Box, masses, forcefield,
                  dt_fs: float, temperature: float = 330.0,
                  skin: float = DEFAULT_SKIN, sel=None,
                  rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
-                 thermostat=None):
+                 thermostat=None, threads: int = 1, engine=None):
         self.box = box
         self.coords = box.wrap(np.asarray(coords, dtype=np.float64))
         self.types = np.asarray(types, dtype=np.intp)
         per_type = np.asarray(masses, dtype=np.float64)
         self.masses = per_type[self.types]
         self.forcefield = forcefield
-        self.search = NeighborSearch(forcefield.rcut, skin=skin, sel=sel)
+        if int(threads) < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if engine is None and int(threads) > 1:
+            from ..parallel.engine import ThreadedEngine
+
+            engine = ThreadedEngine(int(threads))
+        self.engine = engine
+        if engine is not None and getattr(forcefield, "engine", False) is None:
+            forcefield.engine = engine
+        self.search = NeighborSearch(forcefield.rcut, skin=skin, sel=sel,
+                                     engine=engine)
         self.integrator = VelocityVerlet(self.masses, dt_fs)
         self.velocities = maxwell_boltzmann(self.masses, temperature, seed)
         #: Optional NVT thermostat (``apply(v, m, dt_fs) -> v``), applied

@@ -6,6 +6,7 @@ from .comm import CommStats, SimComm, SimWorld
 from .decomposition import best_grid, factorizations, ghost_fraction
 from .distributed import DistributedMDResult, run_distributed_md
 from .domain import HALO_DIRECTIONS, DomainGrid
+from .engine import ThreadedEngine
 from .loadbalance import imbalance, partition_imbalance, rcb_partition
 from .ghost import (
     GhostRegion,
@@ -21,6 +22,7 @@ from .scheme import (
     HYBRID_16X3,
     SUMMIT_6GPU,
     ParallelScheme,
+    split_pair_ranges,
     split_subregion,
 )
 
@@ -38,6 +40,7 @@ __all__ = [
     "SUMMIT_6GPU",
     "SimComm",
     "SimWorld",
+    "ThreadedEngine",
     "best_grid",
     "exchange_ghosts",
     "factorizations",
@@ -49,5 +52,6 @@ __all__ = [
     "refresh_ghosts",
     "return_ghost_forces",
     "run_distributed_md",
+    "split_pair_ranges",
     "split_subregion",
 ]

@@ -1,0 +1,298 @@
+"""Shared-memory threaded execution engine for the fused inference path.
+
+The paper's MPI+OpenMP inter-operator scheme (Sec. 3.5.4, Fig. 6 (c))
+gives each OpenMP thread a fraction of the rank's spatial sub-region,
+forking once per MD step.  :mod:`repro.parallel.scheme` *describes* that
+scheme; this module *executes* it on the packed (CSR) inference path:
+
+* atoms are sharded into contiguous CSR ranges holding near-equal
+  neighbor-pair counts (:func:`~repro.parallel.scheme.split_pair_ranges`
+  — the quantile-cut load-balance rule of Fig. 6 (c));
+* each worker reads a disjoint ``s``/``rows``/``indptr`` slice and
+  writes a disjoint ``t_out``/``d_rows`` slab, so the hot path needs no
+  locks;
+* scatter-style reductions (forces, virial) produce per-shard partials
+  that are merged in shard order after the join — results are therefore
+  deterministic for a fixed thread count;
+* per-worker :class:`~repro.core.fused.KernelCounters` are merged after
+  the join, so threaded and serial accounting agree exactly on flops and
+  processed/skipped pair totals.
+
+Why threads and not processes: NumPy releases the GIL inside its
+vectorized inner loops (ufuncs, ``einsum``, reductions), so a
+``concurrent.futures.ThreadPoolExecutor`` achieves real multi-core
+speedup on these kernels while every worker shares the same arrays —
+no serialization across process boundaries, exactly like an OpenMP
+team over shared memory.  The pool is **persistent**: created on first
+use and reused across MD steps, the analogue of OpenMP's thread team
+surviving between parallel regions (the paper forks once per step; we
+do not even pay the fork).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+
+import numpy as np
+
+from ..core.fused import (
+    DEFAULT_CHUNK,
+    KernelCounters,
+    fused_backward_packed,
+    fused_contract_packed,
+)
+from ..core.ops import (
+    prod_env_mat_a_packed,
+    prod_force_se_a_packed,
+    prod_virial_se_a_packed,
+)
+from .scheme import split_pair_ranges
+
+__all__ = ["ThreadedEngine"]
+
+
+class ThreadedEngine:
+    """Persistent worker pool executing packed kernels over atom shards.
+
+    Parameters
+    ----------
+    n_threads:
+        Worker count (the ``threads`` factor of a ``ranks x threads``
+        scheme).  Defaults to the host's CPU count.  ``1`` degrades to
+        the exact serial kernels — bitwise identical results.
+    timer:
+        Optional :class:`repro.perf.profiler.SectionTimer`; each engine
+        region is recorded under ``engine.<op>`` (the timer is
+        thread-safe, so per-worker sections accumulate correctly).
+    """
+
+    def __init__(self, n_threads: int | None = None, timer=None):
+        if n_threads is None:
+            n_threads = os.cpu_count() or 1
+        if int(n_threads) < 1:
+            raise ValueError("need at least one thread")
+        self.n_threads = int(n_threads)
+        self.timer = timer
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ---------------------------------------------------------------- pool
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The persistent executor (created lazily, reused across steps)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_threads, thread_name_prefix="repro-engine"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def map(self, fn, items):
+        """Run ``fn`` over ``items`` on the pool; results in item order.
+
+        Degrades to a plain loop for one thread or one item, so the
+        serial path never pays pool overhead.
+        """
+        items = list(items)
+        if self.n_threads == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self.pool.map(fn, items))
+
+    # ------------------------------------------------------------ sharding
+    def shard_ranges(self, indptr):
+        """Contiguous pair-balanced atom ranges, one per worker."""
+        return split_pair_ranges(indptr, self.n_threads)
+
+    def _section(self, name: str):
+        if self.timer is None:
+            return nullcontext()
+        return self.timer.section(f"engine.{name}")
+
+    @staticmethod
+    def _merge_counters(counters, per_shard) -> None:
+        if counters is None:
+            return
+        for c in per_shard:
+            if c is not None:
+                counters.merge(c)
+
+    # ------------------------------------------------------------- kernels
+    def env_mat_packed(self, coords, centers, indices, indptr,
+                       rcut_smth: float, rcut: float,
+                       pair_atom: np.ndarray | None = None):
+        """Sharded :func:`~repro.core.ops.prod_env_mat_a_packed`."""
+        if self.n_threads == 1:
+            return prod_env_mat_a_packed(coords, centers, indices, indptr,
+                                         rcut_smth, rcut)
+        coords = np.asarray(coords)
+        if coords.dtype not in (np.float32, np.float64):
+            coords = coords.astype(np.float64)
+        centers = np.asarray(centers)
+        indices = np.asarray(indices)
+        if pair_atom is None:
+            pair_atom = np.repeat(np.arange(len(indptr) - 1, dtype=np.intp),
+                                  np.diff(indptr))
+        pair_center = centers[pair_atom]
+        nnz = len(indices)
+        dtype = coords.dtype
+        rows = np.empty((nnz, 4), dtype=dtype)
+        deriv = np.empty((nnz, 4, 3), dtype=dtype)
+        rij = np.empty((nnz, 3), dtype=dtype)
+        shards = self.shard_ranges(indptr)
+
+        def run(shard):
+            lo, hi = shard
+            start, stop = int(indptr[lo]), int(indptr[hi])
+            if start == stop:
+                return None
+            r, dv, rj = prod_env_mat_a_packed(
+                coords, centers, indices[start:stop], None,
+                rcut_smth, rcut, pair_center=pair_center[start:stop],
+            )
+            rows[start:stop] = r
+            deriv[start:stop] = dv
+            rij[start:stop] = rj
+            return None
+
+        with self._section("env_mat"):
+            self.map(run, shards)
+        return rows, deriv, rij
+
+    def contract_packed(self, table, s, rows, indptr, n_m_norm: int,
+                        counters: KernelCounters | None = None,
+                        chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+        """Sharded :func:`~repro.core.fused.fused_contract_packed`.
+
+        Workers write disjoint ``t_out`` slabs; per-shard counters merge
+        to the serial totals because shards partition both the atoms
+        (skipped-pair accounting) and the pairs (flops/traffic).
+        """
+        n = len(indptr) - 1
+        if self.n_threads == 1 or n == 0:
+            return fused_contract_packed(table, s, rows, indptr, n_m_norm,
+                                         counters=counters, chunk=chunk)
+        t_out = np.zeros((n, 4, table.m_out), dtype=rows.dtype)
+        shards = self.shard_ranges(indptr)
+
+        def run(shard):
+            lo, hi = shard
+            if lo == hi:
+                return None
+            start = int(indptr[lo])
+            stop = int(indptr[hi])
+            c = KernelCounters() if counters is not None else None
+            fused_contract_packed(
+                table, s[start:stop], rows[start:stop],
+                np.asarray(indptr[lo:hi + 1]) - start, n_m_norm,
+                counters=c, chunk=chunk, out=t_out[lo:hi],
+            )
+            return c
+
+        with self._section("fused_forward"):
+            per_shard = self.map(run, shards)
+        self._merge_counters(counters, per_shard)
+        return t_out
+
+    def backward_packed(self, table, dt, s, rows, indptr, n_m_norm: int,
+                        pair_atom: np.ndarray,
+                        counters: KernelCounters | None = None,
+                        chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+        """Sharded :func:`~repro.core.fused.fused_backward_packed`.
+
+        ``pair_atom`` carries *global* atom ids, so each worker indexes
+        the shared ``dt`` directly while writing its own ``d_rows`` slab.
+        """
+        nnz = s.shape[0]
+        if self.n_threads == 1 or nnz == 0:
+            return fused_backward_packed(table, dt, s, rows, indptr,
+                                         n_m_norm, counters=counters,
+                                         chunk=chunk, pair_atom=pair_atom)
+        d_rows = np.empty((nnz, 4), dtype=rows.dtype)
+        shards = self.shard_ranges(indptr)
+
+        def run(shard):
+            lo, hi = shard
+            start, stop = int(indptr[lo]), int(indptr[hi])
+            if start == stop:
+                return None
+            c = KernelCounters() if counters is not None else None
+            fused_backward_packed(
+                table, dt, s[start:stop], rows[start:stop], None, n_m_norm,
+                counters=c, chunk=chunk, pair_atom=pair_atom[start:stop],
+                out=d_rows[start:stop],
+            )
+            return c
+
+        with self._section("fused_backward"):
+            per_shard = self.map(run, shards)
+        self._merge_counters(counters, per_shard)
+        return d_rows
+
+    def force_packed(self, net_deriv, deriv, indices, pair_center,
+                     indptr, n_total: int) -> np.ndarray:
+        """Sharded :func:`~repro.core.ops.prod_force_se_a_packed`.
+
+        The pair→atom scatter is not disjoint across shards (an atom's
+        force collects contributions from pairs owned by any shard), so
+        each worker produces a private partial force array; partials are
+        summed in shard order after the join.
+        """
+        if self.n_threads == 1:
+            return prod_force_se_a_packed(net_deriv, deriv, None, indices,
+                                          indptr, n_total,
+                                          pair_center=pair_center)
+        shards = self.shard_ranges(indptr)
+
+        def run(shard):
+            lo, hi = shard
+            start, stop = int(indptr[lo]), int(indptr[hi])
+            if start == stop:
+                return None
+            return prod_force_se_a_packed(
+                net_deriv[start:stop], deriv[start:stop], None,
+                indices[start:stop], None, n_total,
+                pair_center=pair_center[start:stop],
+            )
+
+        with self._section("force"):
+            partials = self.map(run, shards)
+        force = np.zeros((n_total, 3))
+        for p in partials:
+            if p is not None:
+                force += p
+        return force
+
+    def virial_packed(self, net_deriv, deriv, rij, indptr) -> np.ndarray:
+        """Sharded :func:`~repro.core.ops.prod_virial_se_a_packed`."""
+        if self.n_threads == 1:
+            return prod_virial_se_a_packed(net_deriv, deriv, rij)
+        shards = self.shard_ranges(indptr)
+
+        def run(shard):
+            lo, hi = shard
+            start, stop = int(indptr[lo]), int(indptr[hi])
+            if start == stop:
+                return None
+            return prod_virial_se_a_packed(
+                net_deriv[start:stop], deriv[start:stop], rij[start:stop]
+            )
+
+        with self._section("virial"):
+            partials = self.map(run, shards)
+        virial = np.zeros((3, 3))
+        for p in partials:
+            if p is not None:
+                virial += p
+        return virial

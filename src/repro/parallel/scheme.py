@@ -29,6 +29,7 @@ __all__ = [
     "SUMMIT_6GPU",
     "A64FX_SCHEMES",
     "split_subregion",
+    "split_pair_ranges",
 ]
 
 
@@ -95,3 +96,36 @@ def split_subregion(coords: np.ndarray, lo, hi, n_threads: int,
     # Quantile cuts in atom count, ties broken by the sort.
     cuts = np.linspace(0, n, n_threads + 1).astype(np.intp)
     return [order[cuts[t]:cuts[t + 1]] for t in range(n_threads)]
+
+
+def split_pair_ranges(indptr, n_shards: int):
+    """Contiguous atom ranges with near-equal neighbor-*pair* counts.
+
+    The CSR analogue of :func:`split_subregion`'s quantile cuts: shard
+    boundaries are placed at atom indices where the cumulative pair count
+    (``indptr`` itself) crosses the per-shard quantiles.  Because shards
+    are contiguous ``[lo, hi)`` atom ranges, each worker of the threaded
+    engine reads a disjoint ``s``/``rows``/``indptr`` slice and writes a
+    disjoint output slab — no locks on the hot path.
+
+    Pair count, not atom count, is the balanced quantity because every
+    fused kernel's work is proportional to the pairs it touches ("the
+    sub-region is carefully divided to avoid load-balance problems",
+    Fig. 6 (c)).  Shards may be empty when there are fewer atoms than
+    shards.  Returns a list of ``n_shards`` ``(lo, hi)`` tuples
+    partitioning ``range(len(indptr) - 1)``.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    indptr = np.asarray(indptr)
+    n = len(indptr) - 1
+    nnz = int(indptr[-1]) if n > 0 else 0
+    if nnz == 0:
+        # No pairs to balance: fall back to atom-count quantiles.
+        cuts = np.linspace(0, n, n_shards + 1).astype(np.intp)
+    else:
+        targets = np.linspace(0, nnz, n_shards + 1)
+        cuts = np.searchsorted(indptr, targets, side="left").astype(np.intp)
+        cuts[0], cuts[-1] = 0, n
+        np.maximum.accumulate(cuts, out=cuts)
+    return [(int(cuts[t]), int(cuts[t + 1])) for t in range(n_shards)]

@@ -10,7 +10,13 @@ from .costmodel import (
     time_per_atom_us,
     tts_us_per_step_per_atom,
 )
-from .kernels import step_kernel_costs, total_flops_per_atom
+from .kernels import (
+    amdahl_speedup,
+    fitted_serial_fraction,
+    parallel_efficiency,
+    step_kernel_costs,
+    total_flops_per_atom,
+)
 from .machine import A64FX, FUGAKU, SUMMIT, V100, DeviceSpec, MachineSpec
 from .memory import (
     MemoryModel,
@@ -44,8 +50,11 @@ __all__ = [
     "StepTimeline",
     "SUMMIT",
     "V100",
+    "amdahl_speedup",
     "bytes_per_atom",
+    "fitted_serial_fraction",
     "ghost_atoms_per_rank",
+    "parallel_efficiency",
     "hybrid_time_per_atom_us",
     "max_atoms_device",
     "max_atoms_node_scheme",

@@ -38,6 +38,9 @@ __all__ = [
     "step_kernel_costs",
     "total_flops_per_atom",
     "G_TRAFFIC_PASSES",
+    "amdahl_speedup",
+    "parallel_efficiency",
+    "fitted_serial_fraction",
 ]
 
 #: Tensor traversals of G-sized data in the baseline TF graph (forward
@@ -141,3 +144,33 @@ def step_kernel_costs(w: Workload, stage: Stage) -> list:
 def total_flops_per_atom(w: Workload, stage: Stage) -> float:
     """Arithmetic work per atom per step (for achieved-FLOPS figures)."""
     return sum(k.flops for k in step_kernel_costs(w, stage))
+
+
+# --- intra-rank threading (Sec. 3.5.4, Fig. 6 (c)) ----------------------
+# The thread ladder benchmarks interpret their measurements through
+# Amdahl's law: the fitting net and the Python-side orchestration stay
+# serial, so the speedup at T threads exposes the serial fraction of one
+# force evaluation (the complement of THREAD_PENALTY's fork/join view in
+# repro.perf.costmodel).
+
+def amdahl_speedup(n_threads: int, serial_fraction: float) -> float:
+    """Ideal fork-join speedup at ``n_threads`` with a serial fraction."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    f = min(max(float(serial_fraction), 0.0), 1.0)
+    return 1.0 / (f + (1.0 - f) / n_threads)
+
+
+def parallel_efficiency(speedup: float, n_threads: int) -> float:
+    """Speedup normalized by the thread count (1.0 = perfect scaling)."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    return float(speedup) / n_threads
+
+
+def fitted_serial_fraction(speedup: float, n_threads: int) -> float:
+    """Invert Amdahl's law for one measured ``(threads, speedup)`` point."""
+    if n_threads <= 1 or speedup <= 0:
+        return 1.0
+    f = (n_threads / float(speedup) - 1.0) / (n_threads - 1.0)
+    return float(min(max(f, 0.0), 1.0))

@@ -16,6 +16,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -23,11 +24,17 @@ __all__ = ["SectionTimer"]
 
 
 class SectionTimer:
-    """Accumulates wall time per named section (re-entrant per name)."""
+    """Accumulates wall time per named section (re-entrant per name).
+
+    Updates are guarded by a lock, so the threaded engine's workers can
+    record sections into one shared timer; :meth:`merge` folds a
+    per-thread timer into this one after a join.
+    """
 
     def __init__(self):
         self.totals: dict = {}
         self.calls: dict = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def section(self, name: str):
@@ -36,8 +43,16 @@ class SectionTimer:
             yield
         finally:
             dt = time.perf_counter() - t0
-            self.totals[name] = self.totals.get(name, 0.0) + dt
-            self.calls[name] = self.calls.get(name, 0) + 1
+            with self._lock:
+                self.totals[name] = self.totals.get(name, 0.0) + dt
+                self.calls[name] = self.calls.get(name, 0) + 1
+
+    def merge(self, other: "SectionTimer") -> None:
+        """Fold another timer's accumulated sections into this one."""
+        with self._lock:
+            for name, t in other.totals.items():
+                self.totals[name] = self.totals.get(name, 0.0) + t
+                self.calls[name] = self.calls.get(name, 0) + other.calls[name]
 
     @property
     def total(self) -> float:

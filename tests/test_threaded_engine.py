@@ -1,0 +1,409 @@
+"""Shared-memory threaded engine: correctness, determinism, accounting.
+
+The engine (``repro.parallel.engine``) executes the packed fused
+inference path over contiguous CSR atom shards (Sec. 3.5.4, Fig. 6 (c)).
+These tests pin down its contract:
+
+* one thread is the *exact* serial path (bitwise identical results);
+* more threads only move float reduction boundaries, so agreement is
+  tight-tolerance, and results are deterministic for a fixed count;
+* per-worker counters merge to the serial totals exactly;
+* degenerate shards (more threads than atoms, zero-neighbor atoms,
+  empty neighbor lists) are handled;
+* the float32 pipeline stays float32 through the fused kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, KernelCounters, ModelSpec
+from repro.core.fused import (
+    fused_backward_packed,
+    fused_contract_packed,
+    fused_contract_padded,
+    segment_sum,
+)
+from repro.core.precision import to_single_precision
+from repro.md import DPForceField, NeighborSearch, Simulation, copper_system
+from repro.parallel import ThreadedEngine, split_pair_ranges
+from repro.perf import (
+    SectionTimer,
+    amdahl_speedup,
+    fitted_serial_fraction,
+    parallel_efficiency,
+)
+
+from conftest import evaluate_folded
+
+
+def _counter_tuple(c: KernelCounters):
+    """The exactly-mergeable fields (peak_buffer_bytes is a max, not a sum)."""
+    return (c.flops, c.bytes_read, c.bytes_written,
+            c.skipped_pairs, c.processed_pairs)
+
+
+def _evaluate(model, nd, engine=None, counters=None):
+    return model.evaluate_packed(
+        nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr,
+        counters=counters, engine=engine,
+        pair_atom=nd.pair_atom if engine is not None else None,
+    )
+
+
+# --------------------------------------------------------------- sharding
+class TestSplitPairRanges:
+    def test_partitions_atoms(self):
+        indptr = np.array([0, 3, 3, 10, 14, 14, 20])
+        for n_shards in (1, 2, 3, 4, 9):
+            ranges = split_pair_ranges(indptr, n_shards)
+            assert len(ranges) == n_shards
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == len(indptr) - 1
+            for (a, b), (c, _) in zip(ranges, ranges[1:]):
+                assert a <= b == c
+
+    def test_balances_pairs_not_atoms(self):
+        # One heavy atom up front, many light ones after: pair-quantile
+        # cuts isolate the heavy atom instead of splitting atoms evenly.
+        indptr = np.concatenate([[0, 100], 100 + np.arange(1, 11)])
+        ranges = split_pair_ranges(indptr, 2)
+        assert ranges[0] == (0, 1)          # the 100-pair atom alone
+        assert ranges[1] == (1, 11)         # the ten 1-pair atoms
+
+    def test_zero_pairs_falls_back_to_atom_split(self):
+        ranges = split_pair_ranges(np.zeros(9, dtype=int), 4)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 8
+        assert sum(b - a for a, b in ranges) == 8
+
+    def test_no_atoms(self):
+        assert split_pair_ranges(np.array([0]), 3) == [(0, 0)] * 3
+
+    def test_more_shards_than_atoms(self):
+        ranges = split_pair_ranges(np.array([0, 2, 5]), 8)
+        assert len(ranges) == 8
+        assert ranges[0][0] == 0 and ranges[-1][1] == 2
+        covered = [r for r in ranges if r[0] < r[1]]
+        assert sum(b - a for a, b in covered) == 2
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            split_pair_ranges(np.array([0, 1]), 0)
+
+
+# ------------------------------------------------------- engine mechanics
+class TestEngineMechanics:
+    def test_pool_is_persistent_and_lazy(self):
+        eng = ThreadedEngine(2)
+        assert eng._pool is None            # lazy: no pool until first use
+        p1 = eng.pool
+        p2 = eng.pool
+        assert p1 is p2                     # persistent across uses
+        eng.close()
+        assert eng._pool is None
+        eng.close()                          # idempotent
+
+    def test_context_manager_closes(self):
+        with ThreadedEngine(2) as eng:
+            eng.pool
+        assert eng._pool is None
+
+    def test_map_preserves_order(self):
+        with ThreadedEngine(4) as eng:
+            assert eng.map(lambda x: x * x, range(10)) == [i * i
+                                                           for i in range(10)]
+
+    def test_single_thread_never_builds_pool(self):
+        eng = ThreadedEngine(1)
+        assert eng.map(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+        assert eng._pool is None
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadedEngine(0)
+
+    def test_default_thread_count_is_host_cpus(self):
+        import os
+        assert ThreadedEngine().n_threads == (os.cpu_count() or 1)
+
+
+# ------------------------------------------------- thread-count invariance
+class TestThreadInvariance:
+    def test_one_thread_bitwise_copper(self, cu_compressed, cu_neighbors):
+        ref = _evaluate(cu_compressed, cu_neighbors)
+        with ThreadedEngine(1) as eng:
+            res = _evaluate(cu_compressed, cu_neighbors, engine=eng)
+        assert res.energy == ref.energy
+        np.testing.assert_array_equal(res.forces, ref.forces)
+        np.testing.assert_array_equal(res.virial, ref.virial)
+        np.testing.assert_array_equal(res.atomic_energies,
+                                      ref.atomic_energies)
+
+    @pytest.mark.parametrize("n_threads", [2, 4])
+    def test_threads_match_serial_copper(self, cu_compressed, cu_neighbors,
+                                         n_threads):
+        ref = _evaluate(cu_compressed, cu_neighbors)
+        with ThreadedEngine(n_threads) as eng:
+            res = _evaluate(cu_compressed, cu_neighbors, engine=eng)
+        # Sharding moves segment-sum block boundaries: tight but not
+        # bitwise for n_threads > 1.
+        assert res.energy == pytest.approx(ref.energy, abs=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+        np.testing.assert_allclose(res.virial, ref.virial, atol=1e-12)
+
+    @pytest.mark.parametrize("n_threads", [2, 4])
+    def test_threads_match_serial_water(self, water_compressed,
+                                        water_neighbors, n_threads):
+        ref = _evaluate(water_compressed, water_neighbors)
+        with ThreadedEngine(n_threads) as eng:
+            res = _evaluate(water_compressed, water_neighbors, engine=eng)
+        assert res.energy == pytest.approx(ref.energy, abs=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+        np.testing.assert_allclose(res.virial, ref.virial, atol=1e-12)
+
+    def test_fixed_thread_count_is_deterministic(self, cu_compressed,
+                                                 cu_neighbors):
+        with ThreadedEngine(4) as eng:
+            a = _evaluate(cu_compressed, cu_neighbors, engine=eng)
+            b = _evaluate(cu_compressed, cu_neighbors, engine=eng)
+        assert a.energy == b.energy
+        np.testing.assert_array_equal(a.forces, b.forces)
+        np.testing.assert_array_equal(a.virial, b.virial)
+
+    def test_more_threads_than_atoms(self, cu_spec, cu_compressed):
+        # 32-atom cell, 64 workers: many shards are empty.
+        coords, types, box = copper_system((2, 2, 2))
+        nd = NeighborSearch(cu_spec.rcut, skin=1.0,
+                            sel=cu_spec.sel).build(coords, types, box)
+        ref = _evaluate(cu_compressed, nd)
+        with ThreadedEngine(64) as eng:
+            res = _evaluate(cu_compressed, nd, engine=eng)
+        assert res.energy == pytest.approx(ref.energy, abs=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+
+    def test_zero_neighbor_atoms(self, cu_spec, cu_compressed):
+        # A dimer plus an atom far outside the cutoff: its CSR row is
+        # empty, its force must be exactly zero on every path.
+        from repro.md import Box
+
+        box = Box([40.0, 40.0, 40.0])
+        coords = np.array([[5.0, 5.0, 5.0], [7.0, 5.0, 5.0],
+                           [30.0, 30.0, 30.0]])
+        types = np.zeros(3, dtype=int)
+        nd = NeighborSearch(cu_spec.rcut, skin=1.0,
+                            sel=cu_spec.sel).build(coords, types, box)
+        assert (np.diff(nd.indptr) == 0).any()
+        ref = _evaluate(cu_compressed, nd)
+        with ThreadedEngine(3) as eng:
+            res = _evaluate(cu_compressed, nd, engine=eng)
+        assert res.energy == pytest.approx(ref.energy, abs=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+        np.testing.assert_array_equal(res.forces[2], 0.0)
+
+
+# ------------------------------------------------------- counter merging
+class TestCounterMerging:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 7])
+    def test_counters_merge_to_serial_totals(self, cu_compressed,
+                                             cu_neighbors, n_threads):
+        c_ser = KernelCounters()
+        _evaluate(cu_compressed, cu_neighbors, counters=c_ser)
+        c_thr = KernelCounters()
+        with ThreadedEngine(n_threads) as eng:
+            _evaluate(cu_compressed, cu_neighbors, engine=eng,
+                      counters=c_thr)
+        assert _counter_tuple(c_thr) == _counter_tuple(c_ser)
+        # Sharding can only shrink the largest live scratch buffer.
+        assert c_thr.peak_buffer_bytes <= c_ser.peak_buffer_bytes
+
+    def test_counters_merge_water_multitype(self, water_compressed,
+                                            water_neighbors):
+        c_ser = KernelCounters()
+        _evaluate(water_compressed, water_neighbors, counters=c_ser)
+        c_thr = KernelCounters()
+        with ThreadedEngine(3) as eng:
+            _evaluate(water_compressed, water_neighbors, engine=eng,
+                      counters=c_thr)
+        assert _counter_tuple(c_thr) == _counter_tuple(c_ser)
+
+
+# ------------------------------------------------------------ f32 pipeline
+class TestFloat32Pipeline:
+    @pytest.fixture(scope="class")
+    def f32_setup(self, cu_compressed, cu_neighbors):
+        return to_single_precision(cu_compressed), cu_neighbors
+
+    def test_fused_kernels_honor_float32(self, f32_setup, cu_spec):
+        f32, nd = f32_setup
+        table = f32.tables[0]
+        rng = np.random.default_rng(0)
+        s = np.linspace(0.1, 1.5, 10, dtype=np.float32)
+        rows = rng.normal(size=(10, 4)).astype(np.float32)
+        indptr = np.array([0, 4, 4, 10])
+        t = fused_contract_packed(table, s, rows, indptr, cu_spec.n_m)
+        assert t.dtype == np.float32
+        dt = rng.normal(size=(3, 4, table.m_out)).astype(np.float32)
+        d = fused_backward_packed(table, dt, s, rows, indptr, cu_spec.n_m)
+        assert d.dtype == np.float32
+        assert segment_sum(rows, indptr).dtype == np.float32
+
+    def test_padded_kernel_honors_float32(self, f32_setup, cu_spec):
+        f32, _ = f32_setup
+        rng = np.random.default_rng(1)
+        descrpt = rng.normal(size=(3, cu_spec.n_m, 4)).astype(np.float32)
+        descrpt *= 0.1
+        descrpt[:, :, 0] = np.abs(descrpt[:, :, 0]) + 0.2
+        out = fused_contract_padded(f32.tables[0], descrpt, cu_spec.n_m)
+        assert out.dtype == np.float32
+
+    def test_model_output_is_float32(self, f32_setup):
+        f32, nd = f32_setup
+        res = f32.evaluate_packed(
+            nd.ext_coords.astype(np.float32), nd.ext_types, nd.centers,
+            nd.indices, nd.indptr,
+        )
+        assert res.atomic_energies.dtype == np.float32
+
+    def test_threaded_float32_matches_serial(self, f32_setup):
+        f32, nd = f32_setup
+        coords32 = nd.ext_coords.astype(np.float32)
+        ref = f32.evaluate_packed(coords32, nd.ext_types, nd.centers,
+                                  nd.indices, nd.indptr)
+        with ThreadedEngine(4) as eng:
+            res = f32.evaluate_packed(coords32, nd.ext_types, nd.centers,
+                                      nd.indices, nd.indptr, engine=eng,
+                                      pair_atom=nd.pair_atom)
+        assert res.atomic_energies.dtype == np.float32
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-6)
+
+    def test_segment_sum_accumulates_in_double(self):
+        # 1e8 + many small values: a float32 running sum would lose them
+        # entirely; the double accumulator keeps the segment total right.
+        vals = np.full(1025, 8.0, dtype=np.float32)
+        vals[0] = 1e8
+        out = segment_sum(vals, np.array([0, 1025]))
+        assert out.dtype == np.float32
+        assert out[0] == np.float32(1e8 + 1024 * 8.0)
+
+
+# ------------------------------------------------- neighbor + cached pairs
+class TestNeighborIntegration:
+    def test_pair_atom_is_cached(self, cu_neighbors):
+        pa1 = cu_neighbors.pair_atom
+        pa2 = cu_neighbors.pair_atom
+        assert pa1 is pa2
+        np.testing.assert_array_equal(
+            pa1, np.repeat(np.arange(cu_neighbors.n_local),
+                           np.diff(cu_neighbors.indptr)))
+
+    def test_backward_with_and_without_pair_atom(self, cu_compressed,
+                                                 cu_neighbors, cu_spec):
+        nd = cu_neighbors
+        table = cu_compressed.tables[0]
+        from repro.core.ops import prod_env_mat_a_packed
+
+        rows, _, _ = prod_env_mat_a_packed(
+            nd.ext_coords, nd.centers, nd.indices, nd.indptr,
+            cu_spec.rcut_smth, cu_spec.rcut)
+        s = rows[:, 0]
+        rng = np.random.default_rng(5)
+        dt = rng.normal(size=(nd.n_local, 4, table.m_out))
+        a = fused_backward_packed(table, dt, s, rows, nd.indptr, cu_spec.n_m)
+        b = fused_backward_packed(table, dt, s, rows, nd.indptr, cu_spec.n_m,
+                                  pair_atom=nd.pair_atom)
+        np.testing.assert_array_equal(a, b)
+
+    def test_threaded_cell_binning_bitwise(self, cu_spec, cu_config):
+        coords, types, box = cu_config
+        serial = NeighborSearch(cu_spec.rcut, skin=1.0, sel=cu_spec.sel,
+                                chunk=16).build(coords, types, box)
+        with ThreadedEngine(4) as eng:
+            threaded = NeighborSearch(cu_spec.rcut, skin=1.0,
+                                      sel=cu_spec.sel, chunk=16,
+                                      engine=eng).build(coords, types, box)
+        np.testing.assert_array_equal(serial.nlist, threaded.nlist)
+        np.testing.assert_array_equal(serial.indices, threaded.indices)
+        np.testing.assert_array_equal(serial.indptr, threaded.indptr)
+        np.testing.assert_array_equal(serial.ext_coords,
+                                      threaded.ext_coords)
+
+
+# ------------------------------------------------------------- simulation
+class TestSimulationThreads:
+    def _run(self, threads, steps=5):
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                         d1=4, m_sub=2, fit_width=16, seed=9)
+        model = CompressedDPModel.compress(DPModel(spec), interval=1e-2,
+                                           x_max=2.2)
+        coords, types, box = copper_system((2, 2, 2))
+        sim = Simulation(coords, types, box, masses=[63.546],
+                         forcefield=DPForceField(model), dt_fs=0.5,
+                         sel=spec.sel, seed=11, threads=threads)
+        sim.run(steps)
+        return sim
+
+    def test_threaded_simulation_matches_serial(self):
+        serial = self._run(1)
+        threaded = self._run(2)
+        assert threaded.engine is not None
+        assert threaded.engine.n_threads == 2
+        np.testing.assert_allclose(threaded.coords, serial.coords,
+                                   atol=1e-9)
+        assert threaded.energy == pytest.approx(serial.energy, abs=1e-9)
+        threaded.engine.close()
+
+    def test_quick_simulation_threads_flag(self):
+        import repro
+
+        sim = repro.quick_simulation("copper", n_cells=(2, 2, 2), threads=2,
+                                     d1=4, fit_width=16)
+        assert sim.engine is not None and sim.engine.n_threads == 2
+        sim.run(2)
+        assert np.isfinite(sim.energy)
+        sim.engine.close()
+
+    def test_serial_simulation_has_no_engine(self):
+        sim = self._run(1)
+        assert sim.engine is None
+
+    def test_evaluate_folded_unchanged(self, cu_compressed, cu_neighbors):
+        # The conftest helper (used by many suites) still runs the plain
+        # serial path after the engine plumbing.
+        energy, forces, virial = evaluate_folded(cu_compressed, cu_neighbors)
+        assert np.isfinite(energy)
+        assert forces.shape == (cu_neighbors.n_local, 3)
+
+
+# ------------------------------------------------------- timers + Amdahl
+class TestProfilingSupport:
+    def test_section_timer_merge(self):
+        a, b = SectionTimer(), SectionTimer()
+        with a.section("x"):
+            pass
+        with b.section("x"):
+            pass
+        with b.section("y"):
+            pass
+        a.merge(b)
+        assert a.calls == {"x": 2, "y": 1}
+        assert a.totals["x"] >= 0.0 and a.totals["y"] >= 0.0
+
+    def test_engine_records_sections(self, cu_compressed, cu_neighbors):
+        timer = SectionTimer()
+        with ThreadedEngine(2, timer=timer) as eng:
+            _evaluate(cu_compressed, cu_neighbors, engine=eng)
+        assert "engine.fused_forward" in timer.totals
+        assert "engine.fused_backward" in timer.totals
+        assert "engine.force" in timer.totals
+
+    def test_amdahl_helpers(self):
+        assert amdahl_speedup(1, 0.5) == 1.0
+        assert amdahl_speedup(4, 0.0) == 4.0
+        assert amdahl_speedup(10**6, 0.1) == pytest.approx(10.0, rel=1e-4)
+        assert parallel_efficiency(4.0, 4) == 1.0
+        # fitted_serial_fraction inverts amdahl_speedup.
+        for f in (0.0, 0.12, 0.5, 1.0):
+            s = amdahl_speedup(8, f)
+            assert fitted_serial_fraction(s, 8) == pytest.approx(f, abs=1e-12)
+        assert fitted_serial_fraction(1.0, 1) == 1.0

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Fast thread-scaling smoke check (< 60 s).
+
+Runs the packed fused force evaluation on a small copper system at 1, 2,
+and 4 engine threads, verifies the threaded results agree with serial,
+and writes ``BENCH_threads.json`` (threads, wall_s, speedup, efficiency)
+next to the repo root — the quick-look counterpart of
+``benchmarks/bench_threads_ladder.py``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_smoke.py [--out BENCH_threads.json]
+
+Exit status is non-zero if any threaded result disagrees with serial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec  # noqa: E402
+from repro.md import NeighborSearch, copper_system  # noqa: E402
+from repro.parallel import ThreadedEngine  # noqa: E402
+from repro.perf import fitted_serial_fraction, parallel_efficiency  # noqa: E402
+
+THREADS = (1, 2, 4)
+REPEATS = 3
+
+
+def build_workload():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(128,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=7)
+    model = DPModel(spec)
+    comp = CompressedDPModel.compress(model, interval=0.01, x_max=2.2)
+    coords, types, box = copper_system((4, 4, 4))
+    rng = np.random.default_rng(0)
+    coords = coords + rng.normal(0, 0.05, coords.shape)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    return comp, nd
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), os.pardir,
+                             "BENCH_threads.json"),
+        help="output JSON path (default: repo-root BENCH_threads.json)")
+    args = parser.parse_args(argv)
+
+    t_start = time.perf_counter()
+    comp, nd = build_workload()
+    nnz = int(nd.indptr[-1])
+    host_cpus = os.cpu_count() or 1
+    print(f"copper {nd.n_local} atoms, {nnz} pairs, "
+          f"{host_cpus}-core host")
+
+    entries = []
+    ref = None
+    t1 = None
+    ok = True
+    for n_threads in THREADS:
+        with ThreadedEngine(n_threads) as eng:
+            best = float("inf")
+            res = None
+            for _ in range(REPEATS):
+                t0 = time.perf_counter()
+                res = comp.evaluate_packed(
+                    nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                    nd.indptr, engine=eng, pair_atom=nd.pair_atom)
+                best = min(best, time.perf_counter() - t0)
+        if n_threads == 1:
+            ref, t1 = res, best
+        else:
+            agree = bool(abs(res.energy - ref.energy) < 1e-10
+                         and np.abs(res.forces - ref.forces).max() < 1e-10)
+            ok = ok and agree
+            if not agree:
+                print(f"  !! {n_threads} threads disagrees with serial")
+        speedup = t1 / best
+        entries.append({
+            "threads": n_threads,
+            "wall_s": round(best, 6),
+            "speedup": round(speedup, 3),
+            "efficiency": round(parallel_efficiency(speedup, n_threads), 3),
+            "serial_fraction": round(
+                fitted_serial_fraction(speedup, n_threads), 3),
+        })
+        print(f"  {n_threads} thread{'s' if n_threads > 1 else ' '}: "
+              f"{best * 1e3:7.1f} ms  speedup {speedup:.2f}x  "
+              f"efficiency {entries[-1]['efficiency'] * 100:.0f}%")
+
+    payload = {
+        "source": "tools/bench_smoke.py",
+        "system": "copper",
+        "atoms": int(nd.n_local),
+        "pairs": nnz,
+        "host_cpus": host_cpus,
+        "repeats": REPEATS,
+        "agreement_ok": ok,
+        "ladder": entries,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out} ({time.perf_counter() - t_start:.1f} s total)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
