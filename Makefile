@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench verify
+.PHONY: test smoke faultsmoke bench verify
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -9,7 +9,10 @@ test:            ## tier-1 test suite
 smoke:           ## <60 s thread-scaling check, writes BENCH_threads.json
 	$(PYTHON) tools/bench_smoke.py
 
+faultsmoke:      ## <30 s fault-injection drill: NaN at step 10, rollback, bitwise 99-step completion
+	$(PYTHON) tools/fault_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke
+verify: test smoke faultsmoke

@@ -44,6 +44,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--xyz", type=str, default=None,
                      help="write the trajectory to this extended-XYZ file")
     run.add_argument("--thermo-every", type=int, default=50)
+    run.add_argument("--checkpoint-every", type=int, default=0,
+                     help="save a restart file every N steps (0 = off); "
+                          "enables rollback-and-retry on health "
+                          "violations")
+    run.add_argument("--checkpoint-dir", type=str, default="checkpoints",
+                     help="directory for rotating restart files")
+    run.add_argument("--keep-last", type=int, default=3,
+                     help="checkpoints retained after rotation")
+    run.add_argument("--restart", type=str, default=None, metavar="CKPT",
+                     help="continue from this checkpoint file (the model "
+                          "is rebuilt from --system/--seed as usual; the "
+                          "state comes from the file)")
+    run.add_argument("--guard-tolerances", type=str, default=None,
+                     metavar="SPEC",
+                     help="enable per-step health guards; 'default' or "
+                          "e.g. 'disp=1.0,drift=0.05' "
+                          "(Å/step, eV/atom)")
+    run.add_argument("--inject-fault", action="append", default=None,
+                     metavar="SPEC",
+                     help="deterministic fault injection, repeatable: "
+                          "KIND[@STEP[:TARGET]] with KIND one of "
+                          "nan-forces, inf-energy, truncate-checkpoint, "
+                          "kill-worker, drop-ghost "
+                          "(e.g. nan-forces@10, kill-worker@5:1)")
+    run.add_argument("--max-retries", type=int, default=3,
+                     help="rollback budget before a health violation "
+                          "aborts the run")
+    run.add_argument("--halve-dt", action="store_true",
+                     help="halve the timestep on each rollback")
 
     comp = sub.add_parser("compress",
                           help="build and save a compressed model")
@@ -77,6 +106,18 @@ def _cmd_run(args) -> int:
         compressed=not args.baseline, interval=args.interval,
         seed=args.seed, threads=args.threads,
     )
+    if args.restart:
+        from repro.io import restart_simulation
+
+        # The model is deterministic in --system/--seed; reuse the one
+        # quick_simulation just built and restore the state on top.
+        # threads=None lets the checkpoint's own thread count win when
+        # the user did not ask for an explicit --threads.
+        sim = restart_simulation(
+            args.restart, sim.forcefield,
+            threads=args.threads if args.threads != 1 else None,
+            engine=sim.engine)
+        print(f"restarted from {args.restart} at step {sim.step}")
     writer = None
     if args.xyz:
         from repro.io.trajectory import XYZTrajectoryWriter
@@ -88,7 +129,47 @@ def _cmd_run(args) -> int:
     print(f"{args.system}: {len(sim.coords)} atoms, "
           f"{'baseline' if args.baseline else 'compressed'} model, "
           f"{args.threads} thread{'s' if args.threads != 1 else ''}")
-    sim.run(args.steps, thermo_every=args.thermo_every)
+
+    robust_run = (args.checkpoint_every or args.inject_fault
+                  or args.guard_tolerances)
+    if robust_run:
+        from repro.robust import (
+            CheckpointManager,
+            FaultInjector,
+            GuardTolerances,
+            HealthMonitor,
+            RecoveryPolicy,
+            run_with_recovery,
+        )
+
+        sim.monitor = HealthMonitor(
+            GuardTolerances.from_spec(args.guard_tolerances))
+        if args.inject_fault:
+            sim.attach_injector(
+                FaultInjector.from_specs(args.inject_fault,
+                                         seed=args.seed))
+        manager = CheckpointManager(args.checkpoint_dir,
+                                    keep_last=args.keep_last)
+        checkpoint_every = args.checkpoint_every or 10
+        sim, report = run_with_recovery(
+            sim, args.steps, manager=manager,
+            checkpoint_every=checkpoint_every,
+            thermo_every=args.thermo_every,
+            policy=RecoveryPolicy(max_retries=args.max_retries,
+                                  halve_dt=args.halve_dt),
+        )
+        if sim.injector is not None and sim.injector.log:
+            for fired in sim.injector.log:
+                print(f"injected fault: {fired}")
+        for event in report.events:
+            print(f"health violation at step {event.step}: {event.error}")
+            print(f"  rolled back to step {event.rollback_step} "
+                  f"(dt = {event.dt_fs} fs)")
+        print(f"completed step {report.final_step} with "
+              f"{report.retries} rollback(s); checkpoints in "
+              f"{args.checkpoint_dir}")
+    else:
+        sim.run(args.steps, thermo_every=args.thermo_every)
     if writer is not None:
         writer.write(sim.coords, sim.box, sim.step, sim.energy)
         writer.close()

@@ -4,23 +4,82 @@ Week-long campaigns at the paper's scales live and die by restart
 fidelity: a checkpoint must capture the full phase-space point plus the
 integrator clock so a restarted run continues the *same* trajectory.
 Format: a single ``.npz``, no pickling.
+
+Crash safety (mirroring LAMMPS's restart discipline):
+
+* **atomic writes** — the archive is written to a temp file in the same
+  directory, fsync'd, then :func:`os.replace`'d over the target, so a
+  crash mid-write can never leave a half-written file under the
+  checkpoint name;
+* **integrity checks** — every array payload carries a CRC32 in the
+  metadata, validated on load; a truncated or bit-flipped file raises a
+  typed :class:`~repro.robust.errors.CheckpointIntegrityError` instead
+  of restarting from garbage;
+* **exact continuation** — the neighbor-list build positions are
+  persisted, so a checkpoint taken *between* rebuilds restores the very
+  neighbor structure (and skin-displacement reference) the original run
+  was using, and the ``step % rebuild_every`` phase survives restart.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
+import zlib
 
 import numpy as np
 
 from ..md.box import Box
 from ..md.simulation import Simulation
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restart_simulation"]
+__all__ = ["save_checkpoint", "load_checkpoint", "restart_simulation",
+           "CHECKPOINT_FORMAT"]
+
+#: Format 2 adds CRC32 payload checksums, build-phase arrays, and the
+#: full stats/threads metadata.  Format-1 files (no ``format`` key) are
+#: still loadable; their missing fields degrade gracefully.
+CHECKPOINT_FORMAT = 2
+
+_ARRAY_FIELDS = ("coords", "velocities", "types", "masses", "box_lengths",
+                 "forces", "build_coords")
 
 
-def save_checkpoint(path: str, sim: Simulation) -> None:
-    """Write the simulation's full restartable state."""
+def _integrity_error(message, **detail):
+    from ..robust.errors import CheckpointIntegrityError
+
+    return CheckpointIntegrityError(message, **detail)
+
+
+def normalize_checkpoint_path(path) -> str:
+    """``np.savez`` appends ``.npz`` when missing; normalize up front so
+    the path we report is the path on disk."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def save_checkpoint(path: str, sim: Simulation) -> str:
+    """Atomically write the simulation's full restartable state.
+
+    Returns the path actually written (``.npz`` appended when missing).
+    """
+    path = normalize_checkpoint_path(path)
+    arrays = {
+        "coords": np.asarray(sim.coords, dtype=np.float64),
+        "velocities": np.asarray(sim.velocities, dtype=np.float64),
+        "types": sim.types,
+        "masses": sim.masses,
+        "box_lengths": sim.box.lengths,
+        "forces": np.asarray(sim.forces, dtype=np.float64),
+        # Neighbor-list build reference: restoring the *build-time*
+        # positions lets restart reconstruct the exact mid-interval
+        # neighbor structure instead of rebuilding at current positions.
+        "build_coords": sim._neighbors.build_coords,
+    }
     meta = {
+        "format": CHECKPOINT_FORMAT,
         "step": sim.step,
         "dt_fs": sim.dt_fs,
         "rebuild_every": sim.rebuild_every,
@@ -28,42 +87,97 @@ def save_checkpoint(path: str, sim: Simulation) -> None:
         "rcut": sim.search.rcut,
         "sel": list(sim.search.sel) if sim.search.sel else None,
         "n_force_evals": sim.stats.n_force_evals,
+        "n_steps": sim.stats.n_steps,
+        "n_neighbor_builds": sim.stats.n_neighbor_builds,
+        "threads": sim.engine.n_threads if sim.engine is not None else 1,
+        "crc": {name: zlib.crc32(np.ascontiguousarray(arr).tobytes())
+                for name, arr in arrays.items()},
     }
-    np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        coords=sim.coords,
-        velocities=sim.velocities,
-        types=sim.types,
-        masses=sim.masses,
-        box_lengths=sim.box.lengths,
-        forces=sim.forces,
-    )
+    payload = dict(arrays)
+    payload["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                    dtype=np.uint8)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    # Persist the rename itself (POSIX: fsync the directory entry).
+    dirname = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(dirname, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+    return path
 
 
-def load_checkpoint(path: str) -> dict:
-    """Read a checkpoint into a plain dict (no model/forcefield inside)."""
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode())
-        return {
-            "meta": meta,
-            "coords": data["coords"].copy(),
-            "velocities": data["velocities"].copy(),
-            "types": data["types"].copy(),
-            "masses": data["masses"].copy(),
-            "box": Box(data["box_lengths"]),
-            "forces": data["forces"].copy(),
-        }
+def load_checkpoint(path: str, validate: bool = True) -> dict:
+    """Read a checkpoint into a plain dict (no model/forcefield inside).
+
+    Raises :class:`~repro.robust.errors.CheckpointIntegrityError` when
+    the file is truncated, unreadable, missing arrays, or fails a CRC32
+    payload check (``validate=False`` skips only the CRC pass).
+    """
+    path = normalize_checkpoint_path(path)
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {}
+            for name in _ARRAY_FIELDS:
+                if name in data.files:
+                    arrays[name] = data[name].copy()
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile, json.JSONDecodeError) as exc:
+        raise _integrity_error(
+            f"unreadable checkpoint {path!r}: {exc}", path=path) from exc
+    for name in ("coords", "velocities", "types", "masses", "box_lengths",
+                 "forces"):
+        if name not in arrays:
+            raise _integrity_error(
+                f"checkpoint {path!r} is missing array {name!r}", path=path)
+    if validate and "crc" in meta:
+        for name, expected in meta["crc"].items():
+            if name not in arrays:
+                raise _integrity_error(
+                    f"checkpoint {path!r} is missing array {name!r}",
+                    path=path)
+            got = zlib.crc32(np.ascontiguousarray(arrays[name]).tobytes())
+            if got != expected:
+                raise _integrity_error(
+                    f"checkpoint {path!r} failed CRC32 on {name!r}",
+                    path=path, array=name, expected=expected, got=got)
+    state = {"meta": meta, "box": Box(arrays.pop("box_lengths"))}
+    state.update(arrays)
+    state.setdefault("build_coords", None)
+    return state
 
 
-def restart_simulation(path: str, forcefield, thermostat=None) -> Simulation:
+def restart_simulation(path: str, forcefield, thermostat=None,
+                       threads: int | None = None, engine=None,
+                       dt_fs: float | None = None) -> Simulation:
     """Rebuild a :class:`Simulation` from a checkpoint.
 
     The force field (model) is supplied by the caller — checkpoints
     store the *state*, models are stored via
     :func:`repro.io.save_compressed`.  The restarted run continues the
-    original trajectory exactly (same positions, velocities, step
-    counter, rebuild phase).
+    original trajectory exactly: same positions, velocities, step
+    counter, stats, and — via the persisted build positions — the same
+    neighbor structure and rebuild phase, even for checkpoints taken
+    mid-rebuild-interval.
+
+    ``threads``/``engine`` forward the shared-memory configuration so a
+    threaded run does not silently restart serial; by default the
+    checkpointed thread count is restored.  ``dt_fs`` overrides the
+    checkpointed timestep (used by the recovery driver's
+    timestep-halving policy).
     """
     state = load_checkpoint(path)
     meta = state["meta"]
@@ -72,23 +186,40 @@ def restart_simulation(path: str, forcefield, thermostat=None) -> Simulation:
     masses_per_type = np.zeros(int(types.max()) + 1)
     for t in np.unique(types):
         masses_per_type[t] = state["masses"][types == t][0]
+    if threads is None and engine is None:
+        threads = int(meta.get("threads", 1))
 
     sim = Simulation(
         state["coords"], types, state["box"], masses_per_type, forcefield,
-        dt_fs=meta["dt_fs"],
+        dt_fs=meta["dt_fs"] if dt_fs is None else float(dt_fs),
         skin=meta["skin"],
         sel=tuple(meta["sel"]) if meta["sel"] else None,
         rebuild_every=meta["rebuild_every"],
         thermostat=thermostat,
+        threads=1 if threads is None else int(threads),
+        engine=engine,
+        velocities=state["velocities"],
+        defer_init=True,
     )
-    # overwrite the freshly drawn state with the checkpointed one
-    sim.velocities = state["velocities"]
     sim.step = meta["step"]
-    sim.stats.n_force_evals = meta["n_force_evals"]
+    build_coords = state.get("build_coords")
+    if build_coords is not None and \
+            not np.array_equal(build_coords, sim.coords):
+        # Mid-interval checkpoint: rebuild at the *build-time* positions,
+        # then forward-communicate the current positions into the
+        # extended array — exactly the structure the original run held.
+        sim._neighbors = sim.search.build(build_coords, sim.types, sim.box)
+        sim._neighbors.refresh_coords(sim.coords)
+        sim._neighbors.build_coords = build_coords.copy()
+    else:
+        sim._neighbors = sim._rebuild()
     # forces were computed at checkpoint time; recompute to repopulate
-    # the neighbor structure consistently (bitwise-identical since the
-    # positions are identical)
-    sim._neighbors = sim._rebuild()
+    # the model/engine caches consistently (bitwise-identical since the
+    # positions and neighbor structure are identical)
     sim.energy, sim.forces, sim.virial = sim._evaluate()
+    sim.stats.n_force_evals = meta["n_force_evals"]
+    sim.stats.n_steps = int(meta.get("n_steps", 0))
+    sim.stats.n_neighbor_builds = int(
+        meta.get("n_neighbor_builds", sim.stats.n_neighbor_builds))
     sim.thermo_log.clear()
     return sim

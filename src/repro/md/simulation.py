@@ -106,15 +106,39 @@ class Simulation:
     engine:
         Pre-built engine to share instead of creating one from
         ``threads`` (e.g. one pool across several simulations).
+    monitor:
+        Optional :class:`repro.robust.HealthMonitor` consulted every MD
+        step; violations raise typed
+        :class:`~repro.robust.errors.SimulationHealthError` subclasses
+        instead of silently corrupting the trajectory.
+    injector:
+        Optional :class:`repro.robust.FaultInjector` (testing/validation
+        of the recovery paths); wired through
+        :meth:`attach_injector`.
+    velocities:
+        Explicit initial velocities (Å/ps).  When given, the
+        Maxwell–Boltzmann draw is skipped entirely — used by restart,
+        which would otherwise waste a draw that is immediately
+        overwritten.
+    defer_init:
+        Internal — skip the initial wrap/neighbor-build/force-evaluation
+        so :func:`repro.io.checkpoint.restart_simulation` can install
+        the checkpointed state (including the exact mid-interval
+        neighbor structure) first.
     """
 
     def __init__(self, coords, types, box: Box, masses, forcefield,
                  dt_fs: float, temperature: float = 330.0,
                  skin: float = DEFAULT_SKIN, sel=None,
                  rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
-                 thermostat=None, threads: int = 1, engine=None):
+                 thermostat=None, threads: int = 1, engine=None,
+                 monitor=None, injector=None, velocities=None,
+                 defer_init: bool = False):
         self.box = box
-        self.coords = box.wrap(np.asarray(coords, dtype=np.float64))
+        coords = np.asarray(coords, dtype=np.float64)
+        # A restart must keep the checkpointed (possibly drifted-out-of-
+        # box) positions bit-for-bit; fresh runs normalize into the box.
+        self.coords = coords if defer_init else box.wrap(coords)
         self.types = np.asarray(types, dtype=np.intp)
         per_type = np.asarray(masses, dtype=np.float64)
         self.masses = per_type[self.types]
@@ -126,12 +150,16 @@ class Simulation:
 
             engine = ThreadedEngine(int(threads))
         self.engine = engine
-        if engine is not None and getattr(forcefield, "engine", False) is None:
+        if engine is not None and getattr(forcefield, "engine", None) is None:
             forcefield.engine = engine
         self.search = NeighborSearch(forcefield.rcut, skin=skin, sel=sel,
                                      engine=engine)
         self.integrator = VelocityVerlet(self.masses, dt_fs)
-        self.velocities = maxwell_boltzmann(self.masses, temperature, seed)
+        if velocities is not None:
+            self.velocities = np.asarray(velocities, dtype=np.float64)
+        else:
+            self.velocities = maxwell_boltzmann(self.masses, temperature,
+                                                seed)
         #: Optional NVT thermostat (``apply(v, m, dt_fs) -> v``), applied
         #: after each full velocity-Verlet step; None = NVE (the paper's
         #: benchmark protocol).
@@ -141,16 +169,36 @@ class Simulation:
         self.step = 0
         self.stats = StepStats()
         self.thermo_log: list[ThermoState] = []
+        self.monitor = monitor
+        self.injector = None
+        if injector is not None:
+            self.attach_injector(injector)
 
-        self._neighbors = self._rebuild()
-        self.energy, self.forces, self.virial = self._evaluate()
-        self.stats.n_force_evals += 1
+        if not defer_init:
+            self._neighbors = self._rebuild()
+            self.energy, self.forces, self.virial = self._evaluate()
+            self.stats.n_force_evals += 1
+
+    def attach_injector(self, injector) -> None:
+        """Install a fault injector, wiring the engine's per-shard hook."""
+        self.injector = injector
+        if injector is not None and self.engine is not None:
+            self.engine.fault_hook = injector.worker_fault
 
     # ------------------------------------------------------------------ core
     def _rebuild(self) -> NeighborData:
         self.coords = self.box.wrap(self.coords)
         self.stats.n_neighbor_builds += 1
-        return self.search.build(self.coords, self.types, self.box)
+        try:
+            return self.search.build(self.coords, self.types, self.box)
+        except ValueError as exc:
+            if "neighbor overflow" in str(exc):
+                from ..robust.errors import NeighborOverflowError
+
+                raise NeighborOverflowError(
+                    str(exc), step=self.step,
+                    sel=self.search.sel) from exc
+            raise
 
     def _evaluate(self):
         return self.forcefield.compute(self._neighbors)
@@ -161,35 +209,67 @@ class Simulation:
         self._neighbors.refresh_coords(self.coords)
 
     def run(self, n_steps: int = PAPER_PROTOCOL_STEPS,
-            thermo_every: int = PAPER_REBUILD_EVERY) -> list[ThermoState]:
-        """Advance ``n_steps``; returns the thermo samples collected."""
+            thermo_every: int = PAPER_REBUILD_EVERY, *,
+            checkpoint_every: int = 0,
+            checkpoint_manager=None) -> list[ThermoState]:
+        """Advance ``n_steps``; returns the thermo samples collected.
+
+        ``checkpoint_every``/``checkpoint_manager`` save a restart file
+        every N steps through a
+        :class:`repro.robust.CheckpointManager`; checkpoints are written
+        only after the step passes the health guards, so a corrupted
+        state is never checkpointed.  When ``self.monitor`` is set it is
+        (re-)attached at run start — a run restarted from a checkpoint
+        measures energy drift against the checkpointed state.
+        """
         import time as _time
 
+        monitor, injector = self.monitor, self.injector
+        if monitor is not None:
+            monitor.attach(self)
         start = _time.perf_counter()
-        self._record_thermo(thermo_every, force=True)
-        for _ in range(n_steps):
-            self.coords, self.velocities = self.integrator.first_half(
-                self.coords, self.velocities, self.forces
-            )
-            self.step += 1
-            if (self.step % self.rebuild_every == 0
-                    or self._neighbors.needs_rebuild(self.coords,
-                                                     self.search.skin)):
-                self._neighbors = self._rebuild()
-            else:
-                self._refresh_neighbor_coords()
-            self.energy, self.forces, self.virial = self._evaluate()
-            self.stats.n_force_evals += 1
-            self.velocities = self.integrator.second_half(
-                self.velocities, self.forces
-            )
-            if self.thermostat is not None:
-                self.velocities = self.thermostat.apply(
-                    self.velocities, self.masses, self.dt_fs
+        try:
+            self._record_thermo(thermo_every, force=True)
+            for _ in range(n_steps):
+                prev_coords = self.coords
+                self.coords, self.velocities = self.integrator.first_half(
+                    self.coords, self.velocities, self.forces
                 )
-            self._record_thermo(thermo_every)
-            self.stats.n_steps += 1
-        self.stats.wall_seconds += _time.perf_counter() - start
+                self.step += 1
+                if injector is not None:
+                    injector.begin_step(self.step)
+                if (self.step % self.rebuild_every == 0
+                        or self._neighbors.needs_rebuild(self.coords,
+                                                         self.search.skin)):
+                    self._neighbors = self._rebuild()
+                else:
+                    self._refresh_neighbor_coords()
+                self.energy, self.forces, self.virial = self._evaluate()
+                if injector is not None:
+                    self.energy, self.forces = injector.corrupt_state(
+                        self.step, self.energy, self.forces
+                    )
+                self.stats.n_force_evals += 1
+                if monitor is not None:
+                    # NaN/Inf must be caught *before* the second half-kick
+                    # integrates corrupt forces into the velocities.
+                    monitor.check_finite(self)
+                self.velocities = self.integrator.second_half(
+                    self.velocities, self.forces
+                )
+                if self.thermostat is not None:
+                    self.velocities = self.thermostat.apply(
+                        self.velocities, self.masses, self.dt_fs
+                    )
+                if monitor is not None:
+                    monitor.check_step(self, prev_coords)
+                self._record_thermo(thermo_every)
+                self.stats.n_steps += 1
+                if (checkpoint_every and checkpoint_manager is not None
+                        and self.step % checkpoint_every == 0):
+                    checkpoint_manager.save(self)
+        finally:
+            self.stats.wall_seconds += _time.perf_counter() - start
         return self.thermo_log
 
     # --------------------------------------------------------------- thermo

@@ -81,8 +81,49 @@ def _rank_main(
     skin: float,
     sel,
     thermo_every: int,
+    injector=None,
 ):
-    """Per-rank SPMD body."""
+    """Per-rank SPMD body.
+
+    Any failure is re-raised as a
+    :class:`~repro.robust.errors.RankFailureError` carrying this rank
+    and the MD step, so a dead run reports *where* it died.
+    """
+    try:
+        return _rank_body(comm, grid, coords0, types0, vel0,
+                          masses_per_type, model, dt_fs, n_steps,
+                          rebuild_every, skin, sel, thermo_every, injector)
+    except _StepContext as ctx:
+        from ..robust.errors import RankFailureError
+
+        raise RankFailureError(comm.rank, ctx.step, ctx.cause) from ctx.cause
+
+
+class _StepContext(Exception):
+    """Internal carrier: a rank-body failure plus the step it hit."""
+
+    def __init__(self, step: int, cause: BaseException):
+        self.step = step
+        self.cause = cause
+        super().__init__(f"step {step}: {cause!r}")
+
+
+def _rank_body(
+    comm: SimComm,
+    grid: DomainGrid,
+    coords0: np.ndarray,
+    types0: np.ndarray,
+    vel0: np.ndarray,
+    masses_per_type: np.ndarray,
+    model,
+    dt_fs: float,
+    n_steps: int,
+    rebuild_every: int,
+    skin: float,
+    sel,
+    thermo_every: int,
+    injector=None,
+):
     box = grid.box
     rhalo = model.spec.rcut + skin
     grid.check_halo(rhalo)
@@ -110,9 +151,6 @@ def _rank_main(
         return_ghost_forces(comm, region, f_ghost, f_local)
         return pe, f_local, virial
 
-    region = exchange_ghosts(comm, grid, coords, state["types"], rhalo)
-    pe, forces, virial = forces_step(region)
-
     thermo: list = []
 
     def record(step):
@@ -130,30 +168,39 @@ def _rank_main(
         pressure = (2.0 * ke_g + w_g) / (3.0 * volume) * EV_A3_TO_BAR
         thermo.append(ThermoState(step, step * dt, pe_g, ke_g, temp, pressure))
 
-    record(0)
-    inv_m = 1.0 / (masses() * MVV_TO_EV)
-    for step in range(1, n_steps + 1):
-        state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
-        coords = coords + dt * state["vel"]
-
-        if step % rebuild_every == 0:
-            coords, moved = migrate_atoms(
-                comm, grid, coords,
-                {"vel": state["vel"], "types": state["types"],
-                 "ids": state["ids"]},
-            )
-            state.update(moved)
-            inv_m = 1.0 / (masses() * MVV_TO_EV)
-            region = exchange_ghosts(
-                comm, grid, coords, state["types"], rhalo
-            )
-        else:
-            refresh_ghosts(comm, region, coords)
-
+    step = 0
+    try:
+        region = exchange_ghosts(comm, grid, coords, state["types"], rhalo)
         pe, forces, virial = forces_step(region)
-        state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
-        if thermo_every and step % thermo_every == 0:
-            record(step)
+        record(0)
+        inv_m = 1.0 / (masses() * MVV_TO_EV)
+        for step in range(1, n_steps + 1):
+            state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
+            coords = coords + dt * state["vel"]
+
+            if step % rebuild_every == 0:
+                coords, moved = migrate_atoms(
+                    comm, grid, coords,
+                    {"vel": state["vel"], "types": state["types"],
+                     "ids": state["ids"]},
+                )
+                state.update(moved)
+                inv_m = 1.0 / (masses() * MVV_TO_EV)
+                region = exchange_ghosts(
+                    comm, grid, coords, state["types"], rhalo
+                )
+            else:
+                refresh_ghosts(comm, region, coords, injector=injector,
+                               step=step)
+
+            pe, forces, virial = forces_step(region)
+            state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
+            if thermo_every and step % thermo_every == 0:
+                record(step)
+    except Exception as exc:
+        if isinstance(exc, RuntimeError) and "world aborted" in str(exc):
+            raise  # a peer already failed; its error carries the context
+        raise _StepContext(step, exc) from exc
 
     # Gather global state in id order.
     all_parts = comm.gather(
@@ -189,16 +236,28 @@ def run_distributed_md(
     seed: int = 0,
     velocities: np.ndarray | None = None,
     thermo_every: int = PAPER_REBUILD_EVERY,
+    injector=None,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
     ``velocities`` may be supplied to match a serial run exactly;
     otherwise they are drawn at ``temperature`` with ``seed`` using the
     same global generator as the serial engine.
+
+    Fail-fast validation: the ghost-region/halo capacity is checked
+    against the decomposition *before* any rank launches, so an
+    infeasible ``grid_dims`` dies with a clear geometry message rather
+    than 26 confusing exchange failures.  A rank that fails mid-run
+    surfaces as a typed
+    :class:`~repro.robust.errors.RankFailureError` with rank and step
+    context.  ``injector`` threads a
+    :class:`~repro.robust.FaultInjector` into the exchange layer
+    (``drop-ghost`` faults).
     """
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
         raise ValueError("grid dims inconsistent with rank count")
+    grid.check_halo(model.spec.rcut + skin)
     masses_per_type = np.asarray(masses_per_type, dtype=np.float64)
     types = np.asarray(types, dtype=np.intp)
     coords = box.wrap(np.asarray(coords, dtype=np.float64))
@@ -207,11 +266,21 @@ def run_distributed_md(
             masses_per_type[types], temperature, seed
         )
 
+    from ..robust.errors import RankFailureError
+
     world = SimWorld(n_ranks)
-    results = world.run(
-        _rank_main, grid, coords, types, velocities, masses_per_type,
-        model, dt_fs, n_steps, rebuild_every, skin, sel, thermo_every,
-    )
+    try:
+        results = world.run(
+            _rank_main, grid, coords, types, velocities, masses_per_type,
+            model, dt_fs, n_steps, rebuild_every, skin, sel, thermo_every,
+            injector,
+        )
+    except RuntimeError as err:
+        # SimWorld wraps the first failing rank's error; surface our
+        # typed per-rank failures directly.
+        if isinstance(err.__cause__, RankFailureError):
+            raise err.__cause__ from err.__cause__.cause
+        raise
     root = results[0]
     from .ghost import FORCE_TAG, GHOST_TAG
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -50,7 +51,15 @@ from ..core.ops import (
 )
 from .scheme import split_pair_ranges
 
-__all__ = ["ThreadedEngine"]
+__all__ = ["ThreadedEngine", "ShardEvent"]
+
+
+@dataclass
+class ShardEvent:
+    """One recovered shard failure (recorded, run continues)."""
+
+    item: int       #: index of the failed item/shard in the map call
+    error: str      #: ``TypeName: message`` of the swallowed exception
 
 
 class ThreadedEngine:
@@ -76,6 +85,12 @@ class ThreadedEngine:
         self.n_threads = int(n_threads)
         self.timer = timer
         self._pool: ThreadPoolExecutor | None = None
+        #: Optional per-shard hook (``hook(shard_index)``), called before
+        #: each pooled item — the fault injector's worker-death port.
+        self.fault_hook = None
+        #: Recovered shard failures (see :meth:`map`); production
+        #: telemetry + the fault-injection tests read this.
+        self.events: list[ShardEvent] = []
 
     # ---------------------------------------------------------------- pool
     @property
@@ -104,11 +119,37 @@ class ThreadedEngine:
 
         Degrades to a plain loop for one thread or one item, so the
         serial path never pays pool overhead.
+
+        A worker that raises poisons only its own shard: the failure is
+        recorded in :attr:`events` and that item is retried serially in
+        the calling thread (every kernel shard writes its full output
+        slab, so a re-run fully overwrites any partial state).  Only a
+        shard that *also* fails serially propagates — a deterministic
+        error cannot be retried away.
         """
         items = list(items)
         if self.n_threads == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        return list(self.pool.map(fn, items))
+        hook = self.fault_hook
+
+        def run_item(idx, item):
+            if hook is not None:
+                hook(idx)
+            return fn(item)
+
+        futures = [self.pool.submit(run_item, i, item)
+                   for i, item in enumerate(items)]
+        results = []
+        for i, (future, item) in enumerate(zip(futures, items)):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                self.events.append(
+                    ShardEvent(item=i,
+                               error=f"{type(exc).__name__}: {exc}")
+                )
+                results.append(fn(item))  # serial retry, no hook
+        return results
 
     # ------------------------------------------------------------ sharding
     def shard_ranges(self, indptr):

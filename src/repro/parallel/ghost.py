@@ -97,15 +97,33 @@ def exchange_ghosts(
 
 
 def refresh_ghosts(comm: SimComm, region: GhostRegion,
-                   coords_local: np.ndarray) -> None:
+                   coords_local: np.ndarray, injector=None,
+                   step: int = 0) -> None:
     """Forward-communicate moved positions along the cached plan
-    (between rebuilds the ghost *identities* are unchanged)."""
+    (between rebuilds the ghost *identities* are unchanged).
+
+    Each received block is validated against the count cached at
+    exchange time: a dropped or truncated halo message raises a typed
+    :class:`~repro.robust.errors.GhostExchangeError` instead of silently
+    corrupting the ghost region.  ``injector``/``step`` let the fault
+    harness drop this rank's next outgoing message deterministically.
+    """
     for d_idx, nbr, shift in region.plan:
         idx = region.sent_indices[d_idx]
-        comm.send(coords_local[idx] + shift, nbr, tag=GHOST_TAG + d_idx)
+        payload = coords_local[idx] + shift
+        if injector is not None and injector.take_ghost_drop(step, comm.rank):
+            payload = payload[:0]
+        comm.send(payload, nbr, tag=GHOST_TAG + d_idx)
     offset = 0
     for d_idx, src, count in region.blocks:
         block = comm.recv(src, tag=GHOST_TAG + d_idx)
+        if len(block) != count:
+            from ..robust.errors import GhostExchangeError
+
+            raise GhostExchangeError(
+                "halo refresh count mismatch — dropped or truncated "
+                "ghost message", step=step, direction=d_idx,
+                source_rank=src, expected=count, got=len(block))
         if count:
             region.coords[offset:offset + count] = block
         offset += count

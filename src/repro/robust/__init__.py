@@ -1,0 +1,66 @@
+"""Simulation robustness: health guards, crash-safe recovery, fault injection.
+
+Production MD at the paper's scales (17 B atoms, week-long campaigns,
+Sec. 5) survives on early failure detection and restart fidelity.  This
+package supplies the guardrails, wired through every execution layer:
+
+* :mod:`~repro.robust.errors` — the typed error hierarchy (step/atom/
+  rank diagnostics on every failure);
+* :mod:`~repro.robust.health` — per-step NaN/Inf, displacement-blowup,
+  and NVE energy-drift guards (:class:`HealthMonitor`);
+* :mod:`~repro.robust.checkpoints` — rotating, integrity-validated
+  checkpoint store (:class:`CheckpointManager`) over the atomic + CRC32
+  writer in :mod:`repro.io.checkpoint`;
+* :mod:`~repro.robust.recovery` — the rollback/retry driver
+  (:func:`run_with_recovery`);
+* :mod:`~repro.robust.faults` — deterministic one-shot fault injection
+  (:class:`FaultInjector`) proving each recovery path fires.
+
+See DESIGN.md "Fault model" for what is detected, what is recovered,
+and what aborts.
+"""
+
+from .checkpoints import CheckpointManager
+from .errors import (
+    CheckpointIntegrityError,
+    DisplacementBlowupError,
+    EnergyDriftError,
+    GhostExchangeError,
+    InjectedFault,
+    NeighborOverflowError,
+    NonFiniteStateError,
+    RankFailureError,
+    RobustnessError,
+    SimulationHealthError,
+)
+from .faults import FAULT_KINDS, Fault, FaultInjector
+from .health import GuardTolerances, HealthMonitor
+from .recovery import (
+    RecoveryEvent,
+    RecoveryPolicy,
+    RecoveryReport,
+    run_with_recovery,
+)
+
+__all__ = [
+    "CheckpointIntegrityError",
+    "CheckpointManager",
+    "DisplacementBlowupError",
+    "EnergyDriftError",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "GhostExchangeError",
+    "GuardTolerances",
+    "HealthMonitor",
+    "InjectedFault",
+    "NeighborOverflowError",
+    "NonFiniteStateError",
+    "RankFailureError",
+    "RecoveryEvent",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "RobustnessError",
+    "SimulationHealthError",
+    "run_with_recovery",
+]

@@ -1,0 +1,123 @@
+"""Checkpoint lifecycle management: naming, rotation, validated fallback.
+
+:class:`CheckpointManager` owns a directory of step-stamped restart
+files written through the atomic/CRC machinery of
+:mod:`repro.io.checkpoint`.  Its job is the part LAMMPS's ``restart``
+command does around the file format itself:
+
+* **rotation** — keep the newest ``keep_last`` checkpoints, delete the
+  rest (week-long runs would otherwise fill the filesystem);
+* **validated fallback** — ``latest_valid()`` walks the files newest
+  first and returns the first that passes the integrity checks, so a
+  checkpoint truncated by a crash mid-flush degrades gracefully to the
+  previous one instead of killing the restart.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ..io.checkpoint import load_checkpoint, restart_simulation, save_checkpoint
+from .errors import CheckpointIntegrityError
+
+__all__ = ["CheckpointManager"]
+
+_STEP_RE = re.compile(r"-(\d+)\.npz$")
+
+
+class CheckpointManager:
+    """Rotating, integrity-checked checkpoint store for one run.
+
+    Parameters
+    ----------
+    directory:
+        Created on first save if missing.
+    prefix:
+        File names are ``{prefix}-{step:09d}.npz``.
+    keep_last:
+        Checkpoints retained after rotation (0/None keeps everything).
+    """
+
+    def __init__(self, directory: str, prefix: str = "ckpt",
+                 keep_last: int = 3):
+        self.directory = os.fspath(directory)
+        self.prefix = prefix
+        self.keep_last = keep_last
+        #: Paths that failed validation during fallback (post-mortem).
+        self.rejected: list[str] = []
+
+    # ----------------------------------------------------------------- paths
+    def path_for_step(self, step: int) -> str:
+        return os.path.join(self.directory, f"{self.prefix}-{step:09d}.npz")
+
+    def paths(self) -> list[str]:
+        """All managed checkpoint paths, oldest first."""
+        if not os.path.isdir(self.directory):
+            return []
+        out = []
+        for name in os.listdir(self.directory):
+            if name.startswith(self.prefix + "-") and _STEP_RE.search(name):
+                out.append(os.path.join(self.directory, name))
+        return sorted(out, key=self.step_of)
+
+    @staticmethod
+    def step_of(path: str) -> int:
+        m = _STEP_RE.search(path)
+        return int(m.group(1)) if m else -1
+
+    # ------------------------------------------------------------------ save
+    def save(self, sim) -> str:
+        """Checkpoint ``sim`` at its current step, then rotate.
+
+        A fault injector attached to the simulation gets its
+        ``after_checkpoint`` shot here (crash-mid-flush model) *before*
+        rotation, so the fallback path sees the damaged file exactly as
+        a restart after a real crash would.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        path = save_checkpoint(self.path_for_step(sim.step), sim)
+        injector = getattr(sim, "injector", None)
+        if injector is not None:
+            injector.after_checkpoint(path, sim.step)
+        self._rotate()
+        return path
+
+    def _rotate(self) -> None:
+        if not self.keep_last:
+            return
+        paths = self.paths()
+        for stale in paths[:-self.keep_last]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ load
+    def latest_valid(self) -> str | None:
+        """Newest checkpoint that passes integrity validation.
+
+        Corrupt/truncated files are skipped (recorded in
+        :attr:`rejected`) — the graceful-degradation path.
+        """
+        for path in reversed(self.paths()):
+            try:
+                load_checkpoint(path)
+                return path
+            except CheckpointIntegrityError:
+                if path not in self.rejected:
+                    self.rejected.append(path)
+        return None
+
+    def load_latest(self) -> dict | None:
+        path = self.latest_valid()
+        return None if path is None else load_checkpoint(path)
+
+    def restart_latest(self, forcefield, **kwargs):
+        """Restart from the newest valid checkpoint (falls back past
+        corrupt files); returns the new Simulation or None when no valid
+        checkpoint exists."""
+        path = self.latest_valid()
+        if path is None:
+            return None
+        return restart_simulation(path, forcefield, **kwargs)

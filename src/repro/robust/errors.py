@@ -1,0 +1,105 @@
+"""Typed error hierarchy for simulation health and recovery.
+
+Production MD treats lost atoms, blown-up timesteps, and corrupt restart
+files as first-class events (LAMMPS errors out with a named condition
+and a step number; it never integrates a NaN).  Every guard in
+:mod:`repro.robust` raises one of these types so drivers can distinguish
+*recoverable* conditions (roll back to a checkpoint, retry a shard) from
+programming errors — and every instance carries the MD step plus a
+diagnostics dict, because a bare "NaN detected" at step 3 million of a
+week-long campaign is useless.
+
+This module is import-light on purpose (numpy only): the MD, IO, and
+parallel layers import it lazily without pulling the whole package.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RobustnessError",
+    "SimulationHealthError",
+    "NonFiniteStateError",
+    "DisplacementBlowupError",
+    "EnergyDriftError",
+    "NeighborOverflowError",
+    "GhostExchangeError",
+    "CheckpointIntegrityError",
+    "RankFailureError",
+    "InjectedFault",
+]
+
+
+class RobustnessError(RuntimeError):
+    """Base of all guard/recovery errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description (step context is appended).
+    step:
+        MD step at which the condition was detected, when known.
+    detail:
+        Free-form diagnostics (atom index, offending value, rank, ...).
+    """
+
+    def __init__(self, message: str, *, step: int | None = None, **detail):
+        self.step = step
+        self.detail = dict(detail)
+        if step is not None:
+            message = f"{message} [step {step}]"
+        if self.detail:
+            extras = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+            message = f"{message} ({extras})"
+        super().__init__(message)
+
+
+class SimulationHealthError(RobustnessError):
+    """A per-step health guard fired — the trajectory is suspect from
+    ``step`` onward and should be rolled back, not continued."""
+
+
+class NonFiniteStateError(SimulationHealthError):
+    """NaN/Inf appeared in the energy or forces."""
+
+
+class DisplacementBlowupError(SimulationHealthError):
+    """An atom moved further in one step than the guard tolerance —
+    the classic signature of a too-large timestep or a force spike."""
+
+
+class EnergyDriftError(SimulationHealthError):
+    """NVE total energy drifted beyond the tolerance (eV/atom)."""
+
+
+class NeighborOverflowError(SimulationHealthError):
+    """An atom's per-type neighbor count exceeded the padded ``sel``
+    capacity — densification or a collapsing configuration."""
+
+
+class GhostExchangeError(SimulationHealthError):
+    """A halo message arrived with the wrong atom count (dropped or
+    truncated exchange)."""
+
+
+class CheckpointIntegrityError(RobustnessError):
+    """A checkpoint file failed validation (truncated archive, missing
+    arrays, or CRC32 mismatch)."""
+
+
+class RankFailureError(RobustnessError):
+    """A distributed rank failed; wraps the original error with
+    rank/step context so the driver can report *where* a run died."""
+
+    def __init__(self, rank: int, step: int, cause: BaseException):
+        self.rank = rank
+        self.cause = cause
+        super().__init__(
+            f"rank {rank} failed: {type(cause).__name__}: {cause}",
+            step=step, rank=rank,
+        )
+
+
+class InjectedFault(RuntimeError):
+    """Marker for faults raised by the deterministic injector — lets the
+    recovery tests assert the failure they observed is the one they
+    planted."""

@@ -1,0 +1,182 @@
+"""Deterministic, seedable fault injection.
+
+Recovery code that is never exercised is broken code.  The injector
+plants one-shot faults at exact MD steps so the test suite (and the
+``make verify`` smoke stage) can prove every documented recovery path
+actually fires:
+
+=====================  ==================================================
+fault kind             where it strikes
+=====================  ==================================================
+``nan-forces``         a seeded-random (or chosen) atom's force row
+                       becomes NaN right after the force evaluation of
+                       the target step
+``inf-energy``         the potential energy becomes +Inf at the target
+                       step
+``truncate-checkpoint``  the checkpoint written at the target step is
+                       truncated on disk after the (atomic) write —
+                       models a crash mid-flush
+``kill-worker``        shard *i* of the ThreadedEngine's parallel region
+                       raises at the target step
+``drop-ghost``         the target rank sends an empty halo-refresh
+                       message at the target step
+=====================  ==================================================
+
+Faults are **one-shot**: each fires exactly once and is then spent.
+That models transient faults (bit flips, dropped packets) and makes
+retry-after-rollback terminate — replaying the same step after recovery
+does not re-trigger the fault.  Determinism: firing depends only on
+``(kind, step, target)`` plus the seeded RNG for the corrupted-atom
+choice, never on wall-clock or scheduling; multi-threaded call sites
+are serialized through a lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import InjectedFault
+
+__all__ = ["Fault", "FaultInjector", "FAULT_KINDS"]
+
+FAULT_KINDS = (
+    "nan-forces",
+    "inf-energy",
+    "truncate-checkpoint",
+    "kill-worker",
+    "drop-ghost",
+)
+
+
+@dataclass
+class Fault:
+    """One planned fault.  ``step=None`` fires at the first opportunity;
+    ``target`` selects the atom/shard/rank, depending on the kind."""
+
+    kind: str
+    step: int | None = None
+    target: int | None = None
+    fired: bool = False
+
+    def matches(self, kind: str, step: int | None,
+                target: int | None) -> bool:
+        if self.fired or self.kind != kind:
+            return False
+        if self.step is not None and step is not None and self.step != step:
+            return False
+        if self.target is not None and target is not None \
+                and self.target != target:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Holds the fault plan and the integration-point hooks.
+
+    Attach to a simulation with
+    :meth:`repro.md.Simulation.attach_injector` (which also wires the
+    engine's worker hook), or pass as ``injector=`` to
+    :func:`repro.parallel.distributed.run_distributed_md`.
+    """
+
+    def __init__(self, faults=(), seed: int = 0):
+        self.faults: list[Fault] = list(faults)
+        self.rng = np.random.default_rng(seed)
+        #: Chronological record of fired faults: dicts with kind/step/target.
+        self.log: list[dict] = []
+        self.current_step = 0
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- planning
+    @classmethod
+    def from_specs(cls, specs, seed: int = 0) -> "FaultInjector":
+        """Build from CLI-style specs: ``KIND[@STEP[:TARGET]]``.
+
+        Examples: ``nan-forces@10``, ``kill-worker@5:1``,
+        ``truncate-checkpoint``, ``drop-ghost@3:0``.
+        """
+        if isinstance(specs, str):
+            specs = [specs]
+        inj = cls(seed=seed)
+        for spec in specs:
+            inj.arm_spec(spec)
+        return inj
+
+    def arm_spec(self, spec: str) -> Fault:
+        kind, _, where = spec.partition("@")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        step = target = None
+        if where:
+            step_s, _, target_s = where.partition(":")
+            step = int(step_s) if step_s else None
+            target = int(target_s) if target_s else None
+        return self.arm(kind, step=step, target=target)
+
+    def arm(self, kind: str, step: int | None = None,
+            target: int | None = None) -> Fault:
+        fault = Fault(kind, step=step, target=target)
+        self.faults.append(fault)
+        return fault
+
+    @property
+    def pending(self) -> list[Fault]:
+        return [f for f in self.faults if not f.fired]
+
+    def _take(self, kind: str, step: int | None = None,
+              target: int | None = None) -> Fault | None:
+        """Pop (mark fired + log) the first matching armed fault."""
+        with self._lock:
+            for fault in self.faults:
+                if fault.matches(kind, step, target):
+                    fault.fired = True
+                    self.log.append({"kind": kind, "step": step,
+                                     "target": target})
+                    return fault
+        return None
+
+    # ----------------------------------------------------- integration hooks
+    def begin_step(self, step: int) -> None:
+        """Called by the MD driver at the top of each step so hooks that
+        cannot see the step (engine workers) still fire deterministically."""
+        self.current_step = int(step)
+
+    def corrupt_state(self, step: int, energy, forces):
+        """Possibly corrupt the freshly evaluated energy/forces."""
+        fault = self._take("nan-forces", step)
+        if fault is not None:
+            atom = fault.target
+            if atom is None:
+                atom = int(self.rng.integers(len(forces)))
+            forces = np.array(forces, copy=True)
+            forces[atom] = np.nan
+            self.log[-1]["target"] = atom
+        if self._take("inf-energy", step) is not None:
+            energy = float("inf")
+        return energy, forces
+
+    def after_checkpoint(self, path: str, step: int | None = None) -> None:
+        """Truncate a just-written checkpoint (crash-mid-flush model)."""
+        if self._take("truncate-checkpoint", step) is None:
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+        self.log[-1]["path"] = path
+
+    def worker_fault(self, shard: int) -> None:
+        """ThreadedEngine per-shard hook; raises to poison the shard."""
+        if self._take("kill-worker", self.current_step, target=shard):
+            raise InjectedFault(
+                f"injected worker death on shard {shard} at step "
+                f"{self.current_step}")
+
+    def take_ghost_drop(self, step: int, rank: int) -> bool:
+        """True when this rank should drop its next halo message."""
+        return self._take("drop-ghost", step, target=rank) is not None

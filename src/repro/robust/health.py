@@ -1,0 +1,161 @@
+"""Per-step simulation health guards.
+
+The paper's campaigns integrate hundreds of millions of steps; a single
+NaN from a fused kernel, if allowed to propagate, silently corrupts the
+rest of the trajectory (NaN arithmetic raises no error and often no
+warning).  :class:`HealthMonitor` is the gate the MD driver consults
+every step:
+
+* **finiteness** — energy and forces must be finite *before* they are
+  integrated into the velocities;
+* **displacement** — no atom may move further than a tolerance in one
+  step (the signature of a blown-up timestep or a force spike);
+* **energy conservation** — for NVE runs, the total energy must stay
+  within a per-atom tolerance of its value at run start (the standard
+  MD health metric; DeePMD's model-deviation committee plays the same
+  gating role for model trust).
+
+Neighbor-capacity (``sel``) overflow is the fourth guard; it fires
+inside :meth:`repro.md.Simulation._rebuild` (where the overflow is
+detected) as a typed :class:`~repro.robust.errors.NeighborOverflowError`
+regardless of whether a monitor is attached.
+
+Every violation raises a typed
+:class:`~repro.robust.errors.SimulationHealthError` carrying the step
+and the offending atom/value, and is also appended to
+``monitor.violations`` for post-mortem reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import MVV_TO_EV
+from .errors import (
+    DisplacementBlowupError,
+    EnergyDriftError,
+    NonFiniteStateError,
+)
+
+__all__ = ["GuardTolerances", "HealthMonitor"]
+
+
+@dataclass
+class GuardTolerances:
+    """Thresholds for the per-step guards (0/None disables a guard)."""
+
+    #: Maximum allowed single-step displacement of any atom (Å).  Normal
+    #: dynamics at the paper's timesteps moves atoms ~0.01 Å/step, so
+    #: 1 Å is far outside healthy motion yet fires within a step or two
+    #: of a blowup.
+    max_displacement: float = 1.0
+    #: Maximum |E_total(t) - E_total(run start)| per atom (eV) for NVE
+    #: runs; skipped when a thermostat is active (energy is not
+    #: conserved by construction).
+    energy_drift: float = 0.05
+    #: Check energy/forces for NaN/Inf each step.
+    check_finite: bool = True
+
+    @classmethod
+    def from_spec(cls, spec: str | None) -> "GuardTolerances":
+        """Parse a CLI spec like ``"disp=1.0,drift=0.05"``.
+
+        Keys: ``disp`` (Å), ``drift`` (eV/atom), ``finite`` (0/1).
+        ``None``, ``""`` or ``"default"`` give the defaults.
+        """
+        tol = cls()
+        if not spec or spec == "default":
+            return tol
+        for part in spec.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if not _:
+                raise ValueError(f"bad guard tolerance {part!r}; "
+                                 f"expected key=value")
+            if key in ("disp", "max_displacement"):
+                tol.max_displacement = float(value)
+            elif key in ("drift", "energy_drift"):
+                tol.energy_drift = float(value)
+            elif key in ("finite", "check_finite"):
+                tol.check_finite = bool(int(value))
+            else:
+                raise ValueError(f"unknown guard tolerance key {key!r}")
+        return tol
+
+
+@dataclass
+class HealthMonitor:
+    """Stateful per-step guard evaluator.
+
+    ``attach(sim)`` records the reference total energy; the driver calls
+    it at the start of every :meth:`repro.md.Simulation.run` so a run
+    restarted from a checkpoint measures drift against the checkpointed
+    state, not the original t=0.
+    """
+
+    tolerances: GuardTolerances = field(default_factory=GuardTolerances)
+    #: Every raised violation, in order (post-mortem/reporting).
+    violations: list = field(default_factory=list)
+    _ref_energy: float | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------- lifecycle
+    def attach(self, sim) -> None:
+        """Record the drift reference from the simulation's current state."""
+        self._ref_energy = self.total_energy(sim)
+
+    @staticmethod
+    def total_energy(sim) -> float:
+        """Total (kinetic + potential) energy in eV."""
+        ke = 0.5 * MVV_TO_EV * float(
+            np.einsum("i,ij,ij->", sim.masses, sim.velocities,
+                      sim.velocities)
+        )
+        return ke + float(sim.energy)
+
+    def _raise(self, err):
+        self.violations.append(err)
+        raise err
+
+    # ---------------------------------------------------------------- guards
+    def check_finite(self, sim) -> None:
+        """NaN/Inf gate, run *before* forces enter the integrator."""
+        if not self.tolerances.check_finite:
+            return
+        if not np.isfinite(sim.energy):
+            self._raise(NonFiniteStateError(
+                "non-finite potential energy", step=sim.step,
+                value=float(sim.energy)))
+        finite = np.isfinite(sim.forces).all(axis=1)
+        if not finite.all():
+            bad = int(np.nonzero(~finite)[0][0])
+            self._raise(NonFiniteStateError(
+                "non-finite force component", step=sim.step, atom=bad,
+                n_bad=int((~finite).sum())))
+
+    def check_step(self, sim, prev_coords: np.ndarray) -> None:
+        """Post-step guards: displacement blowup and NVE energy drift."""
+        tol = self.tolerances
+        if tol.max_displacement:
+            # Minimum-image the displacement: rebuild steps wrap coords
+            # into the box, which would otherwise read as a box-length
+            # jump for atoms crossing a periodic boundary.
+            dr = sim.box.minimum_image(sim.coords - prev_coords)
+            disp2 = np.einsum("ij,ij->i", dr, dr)
+            worst = int(np.argmax(disp2))
+            if disp2[worst] > tol.max_displacement ** 2:
+                self._raise(DisplacementBlowupError(
+                    "single-step displacement exceeds tolerance",
+                    step=sim.step, atom=worst,
+                    displacement=float(np.sqrt(disp2[worst])),
+                    tolerance=tol.max_displacement))
+        if tol.energy_drift and sim.thermostat is None \
+                and self._ref_energy is not None:
+            drift = abs(self.total_energy(sim) - self._ref_energy)
+            per_atom = drift / max(1, len(sim.coords))
+            if per_atom > tol.energy_drift:
+                self._raise(EnergyDriftError(
+                    "NVE energy drift exceeds tolerance", step=sim.step,
+                    drift_ev_per_atom=float(per_atom),
+                    tolerance=tol.energy_drift))

@@ -1,0 +1,119 @@
+"""Rollback-and-retry recovery driver.
+
+The loop production MD runs on: advance, checkpoint periodically, and
+when a health guard fires, roll back to the newest *valid* checkpoint
+and try again — optionally with a halved timestep (the standard response
+to integration blowups) — up to a bounded retry budget.  A corrupt
+newest checkpoint degrades gracefully to the previous one via
+:meth:`~repro.robust.checkpoints.CheckpointManager.latest_valid`.
+
+Because the :class:`~repro.robust.faults.FaultInjector`'s faults are
+one-shot (transient-fault model), replaying the same steps after a
+rollback converges instead of re-tripping forever; a *persistent*
+condition (a genuinely unstable configuration) exhausts the retry
+budget and re-raises the typed error with full step context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..io.checkpoint import restart_simulation
+from ..md.simulation import PAPER_PROTOCOL_STEPS, PAPER_REBUILD_EVERY
+from .checkpoints import CheckpointManager
+from .errors import SimulationHealthError
+from .health import HealthMonitor
+
+__all__ = ["RecoveryPolicy", "RecoveryEvent", "RecoveryReport",
+           "run_with_recovery"]
+
+
+@dataclass
+class RecoveryPolicy:
+    """What to do when a health guard fires."""
+
+    #: Total rollback budget; exceeding it re-raises the health error.
+    max_retries: int = 3
+    #: Halve the timestep on each rollback (bounded by ``min_dt_fs``) —
+    #: changes the trajectory, so off by default.
+    halve_dt: bool = False
+    min_dt_fs: float = 0.05
+
+
+@dataclass
+class RecoveryEvent:
+    """One rollback: what fired, where, and where the run resumed."""
+
+    step: int           #: step at which the guard fired
+    error: str          #: repr of the health error
+    rollback_step: int  #: checkpointed step the run resumed from
+    dt_fs: float        #: timestep after applying the policy
+
+
+@dataclass
+class RecoveryReport:
+    events: list = field(default_factory=list)
+    retries: int = 0
+    completed: bool = False
+    final_step: int = 0
+
+    @property
+    def rolled_back(self) -> bool:
+        return bool(self.events)
+
+
+def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
+                      manager: CheckpointManager,
+                      checkpoint_every: int = 10,
+                      thermo_every: int = PAPER_REBUILD_EVERY,
+                      policy: RecoveryPolicy | None = None,
+                      monitor: HealthMonitor | None = None):
+    """Advance ``sim`` by ``n_steps`` with checkpointed rollback-retry.
+
+    Returns ``(sim, report)`` — rollback replaces the Simulation object
+    (state is rebuilt from the checkpoint), so callers must use the
+    returned one.  The monitor/injector attached to the failed
+    simulation carry over to the restarted one.
+    """
+    policy = policy or RecoveryPolicy()
+    if monitor is not None:
+        sim.monitor = monitor
+    elif sim.monitor is None:
+        sim.monitor = HealthMonitor()
+    target = sim.step + int(n_steps)
+    report = RecoveryReport()
+    if manager.latest_valid() is None:
+        manager.save(sim)  # a rollback target must exist from step one
+
+    while sim.step < target:
+        try:
+            sim.run(target - sim.step, thermo_every=thermo_every,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_manager=manager)
+        except SimulationHealthError as err:
+            report.retries += 1
+            if report.retries > policy.max_retries:
+                raise
+            path = manager.latest_valid()
+            if path is None:
+                raise
+            dt_fs = sim.dt_fs
+            if policy.halve_dt:
+                dt_fs = max(policy.min_dt_fs, dt_fs / 2.0)
+            threads = sim.engine.n_threads if sim.engine is not None else 1
+            restarted = restart_simulation(
+                path, sim.forcefield, thermostat=sim.thermostat,
+                threads=threads, engine=sim.engine, dt_fs=dt_fs,
+            )
+            restarted.monitor = sim.monitor
+            restarted.attach_injector(sim.injector)
+            report.events.append(RecoveryEvent(
+                step=err.step if err.step is not None else sim.step,
+                error=repr(err),
+                rollback_step=restarted.step,
+                dt_fs=dt_fs,
+            ))
+            sim = restarted
+    report.completed = True
+    report.final_step = sim.step
+    return sim, report

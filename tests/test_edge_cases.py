@@ -118,8 +118,9 @@ class TestParallelEdgeCases:
 
     def test_too_many_ranks_for_box(self):
         coords, types, box = copper_system((3, 3, 3))  # 10.9 Å box
-        with pytest.raises(RuntimeError, match="failed"):
-            # 4 slabs of 2.7 Å cannot host a 5 Å halo
+        with pytest.raises(ValueError, match="thinner than halo"):
+            # 4 slabs of 2.7 Å cannot host a 5 Å halo: the driver now
+            # fails fast on geometry instead of deep in the exchange
             run_distributed_md(4, (4, 1, 1), coords, types, box,
                                [MASS_AMU["Cu"]], COMP, dt_fs=1.0,
                                n_steps=1, skin=1.0, sel=SPEC.sel)

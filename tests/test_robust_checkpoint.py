@@ -1,0 +1,162 @@
+"""Crash-safe checkpointing: atomicity, integrity, rotation, fidelity.
+
+Covers the checkpoint round-trip acceptance tests: bitwise-identical
+thermo continuation across a save/restart boundary placed *mid*
+rebuild-interval, for serial and ``threads=2`` runs, plus graceful
+fallback on truncated/bad-CRC files.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.io import load_checkpoint, restart_simulation, save_checkpoint
+from repro.md import LennardJones, Simulation, copper_system
+from repro.robust import CheckpointIntegrityError, CheckpointManager
+from repro.units import MASS_AMU
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+def lj():
+    return LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+
+
+def make_sim(seed=5, threads=1, rebuild_every=15):
+    coords, types, box = copper_system((3, 3, 3))
+    return Simulation(coords, types, box, [MASS_AMU["Cu"]], lj(),
+                      dt_fs=1.0, seed=seed, skin=1.0,
+                      rebuild_every=rebuild_every, threads=threads)
+
+
+class TestPathHandling:
+    def test_save_appends_npz_and_returns_real_path(self, tmp_path):
+        sim = make_sim()
+        raw = str(tmp_path / "ckpt")          # no extension
+        written = save_checkpoint(raw, sim)
+        assert written == raw + ".npz"
+        assert os.path.exists(written)
+        # Both the returned path and the original string now load.
+        assert load_checkpoint(written)["meta"]["step"] == 0
+        assert load_checkpoint(raw)["meta"]["step"] == 0
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        sim = make_sim()
+        save_checkpoint(str(tmp_path / "a.npz"), sim)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.npz"]
+
+
+class TestIntegrity:
+    def test_truncated_file_raises_typed_error(self, tmp_path):
+        sim = make_sim()
+        path = save_checkpoint(str(tmp_path / "c.npz"), sim)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(path)
+
+    def test_crc_mismatch_raises_typed_error(self, tmp_path):
+        sim = make_sim()
+        path = save_checkpoint(str(tmp_path / "c.npz"), sim)
+        with np.load(path) as data:
+            payload = {name: data[name].copy() for name in data.files}
+        payload["coords"] = payload["coords"] + 1.0  # stale CRC in meta
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointIntegrityError) as err:
+            load_checkpoint(path)
+        assert err.value.detail["array"] == "coords"
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+
+class TestRoundTripFidelity:
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_bitwise_continuation_mid_rebuild_interval(self, tmp_path,
+                                                       threads):
+        """Save at step 8 of a 15-step rebuild interval: the restarted
+        run must replay the reference bit-for-bit, including the
+        neighbor-structure phase."""
+        ref = make_sim(threads=threads)
+        ref.run(40, thermo_every=10)
+
+        sim = make_sim(threads=threads)
+        sim.run(8, thermo_every=10)
+        assert sim.step % sim.rebuild_every != 0  # genuinely mid-interval
+        path = save_checkpoint(str(tmp_path / "mid.npz"), sim)
+
+        restarted = restart_simulation(path, lj(), threads=threads)
+        restarted.run(32, thermo_every=10)
+        assert np.array_equal(restarted.coords, ref.coords)
+        assert np.array_equal(restarted.velocities, ref.velocities)
+        # Thermo samples at overlapping steps are bitwise identical.
+        ref_by_step = {t.step: t for t in ref.thermo_log}
+        compared = 0
+        for t in restarted.thermo_log:
+            if t.step in ref_by_step and t.step > 8:
+                assert t == ref_by_step[t.step]
+                compared += 1
+        assert compared >= 3
+
+    def test_stats_fully_restored(self, tmp_path):
+        sim = make_sim()
+        sim.run(12, thermo_every=0)
+        path = save_checkpoint(str(tmp_path / "s.npz"), sim)
+        restarted = restart_simulation(path, lj())
+        assert restarted.step == 12
+        assert restarted.stats.n_steps == 12
+        assert restarted.stats.n_force_evals == sim.stats.n_force_evals
+        assert restarted.stats.n_neighbor_builds == \
+            sim.stats.n_neighbor_builds
+
+    def test_threads_restored_from_checkpoint(self, tmp_path):
+        """A threaded run does not silently restart serial."""
+        sim = make_sim(threads=2)
+        sim.run(4, thermo_every=0)
+        path = save_checkpoint(str(tmp_path / "t.npz"), sim)
+        restarted = restart_simulation(path, lj())  # no threads arg
+        assert restarted.engine is not None
+        assert restarted.engine.n_threads == 2
+
+    def test_restart_skips_fresh_velocity_draw(self, tmp_path):
+        """Restart installs checkpointed velocities directly (the old
+        code drew Maxwell-Boltzmann and threw it away)."""
+        sim = make_sim()
+        sim.run(6, thermo_every=0)
+        path = save_checkpoint(str(tmp_path / "v.npz"), sim)
+        restarted = restart_simulation(path, lj())
+        assert np.array_equal(restarted.velocities, sim.velocities)
+
+
+class TestCheckpointManager:
+    def test_rotation_keeps_last_k(self, tmp_path):
+        sim = make_sim()
+        mgr = CheckpointManager(str(tmp_path / "ck"), keep_last=2)
+        for _ in range(4):
+            sim.run(5, thermo_every=0)
+            mgr.save(sim)
+        steps = sorted(mgr.step_of(p) for p in mgr.paths())
+        assert steps == [15, 20]
+
+    def test_latest_valid_falls_back_past_truncated(self, tmp_path):
+        sim = make_sim()
+        mgr = CheckpointManager(str(tmp_path / "ck"), keep_last=3)
+        sim.run(5, thermo_every=0)
+        good = mgr.save(sim)
+        sim.run(5, thermo_every=0)
+        newest = mgr.save(sim)
+        with open(newest, "r+b") as fh:
+            fh.truncate(os.path.getsize(newest) // 2)
+        assert mgr.latest_valid() == good
+        assert newest in mgr.rejected
+        restarted = mgr.restart_latest(lj())
+        assert restarted.step == 5
+
+    def test_no_checkpoints(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "none"))
+        assert mgr.latest_valid() is None
+        assert mgr.load_latest() is None
+        assert mgr.restart_latest(lj()) is None

@@ -1,0 +1,138 @@
+"""Fault-injector semantics plus the parallel-layer recovery paths:
+worker death poisons only its shard, dropped halo messages surface as
+typed per-rank failures."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.md import copper_system
+from repro.parallel.distributed import run_distributed_md
+from repro.parallel.engine import ThreadedEngine
+from repro.robust import (
+    FaultInjector,
+    GhostExchangeError,
+    InjectedFault,
+    RankFailureError,
+)
+from repro.units import MASS_AMU
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+class TestInjectorSemantics:
+    def test_spec_parsing(self):
+        inj = FaultInjector.from_specs(
+            ["nan-forces@10", "kill-worker@5:1", "truncate-checkpoint"])
+        kinds = [(f.kind, f.step, f.target) for f in inj.faults]
+        assert kinds == [("nan-forces", 10, None), ("kill-worker", 5, 1),
+                         ("truncate-checkpoint", None, None)]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultInjector.from_specs("cosmic-ray@1")
+
+    def test_faults_are_one_shot(self):
+        inj = FaultInjector.from_specs("nan-forces@3")
+        f = np.ones((4, 3))
+        _, corrupted = inj.corrupt_state(3, 0.0, f)
+        assert np.isnan(corrupted).any()
+        _, again = inj.corrupt_state(3, 0.0, f)  # spent: no second strike
+        assert not np.isnan(again).any()
+        assert not inj.pending
+
+    def test_wrong_step_does_not_fire(self):
+        inj = FaultInjector.from_specs("nan-forces@3")
+        _, f = inj.corrupt_state(2, 0.0, np.ones((4, 3)))
+        assert not np.isnan(f).any()
+        assert inj.pending
+
+    def test_seeded_atom_choice_is_deterministic(self):
+        picks = []
+        for _ in range(2):
+            inj = FaultInjector.from_specs("nan-forces@1", seed=9)
+            inj.corrupt_state(1, 0.0, np.ones((64, 3)))
+            picks.append(inj.log[0]["target"])
+        assert picks[0] == picks[1]
+
+    def test_source_forces_never_mutated(self):
+        inj = FaultInjector.from_specs("nan-forces@1")
+        f = np.ones((4, 3))
+        inj.corrupt_state(1, 0.0, f)
+        assert np.isfinite(f).all()
+
+
+class TestWorkerDeathRecovery:
+    def test_engine_map_retries_poisoned_shard(self):
+        engine = ThreadedEngine(2)
+        inj = FaultInjector()
+        inj.arm("kill-worker", target=1)
+        engine.fault_hook = inj.worker_fault
+        try:
+            out = engine.map(lambda x: x * x, [1, 2, 3, 4])
+        finally:
+            engine.close()
+        assert out == [1, 4, 9, 16]
+        assert len(engine.events) == 1
+        assert engine.events[0].item == 1
+        assert "InjectedFault" in engine.events[0].error
+
+    def test_deterministic_failure_still_propagates(self):
+        engine = ThreadedEngine(2)
+
+        def bad(x):
+            raise ValueError("always broken")
+
+        try:
+            with pytest.raises(ValueError):
+                engine.map(bad, [1, 2, 3])
+        finally:
+            engine.close()
+
+    def test_killed_worker_run_matches_uninjected(self):
+        """Worker death mid-protocol: the shard is retried serially and
+        the threaded trajectory stays bitwise identical."""
+        clean = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                       threads=2, seed=3)
+        clean.run(8, thermo_every=0)
+
+        sim = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                     threads=2, seed=3)
+        sim.attach_injector(FaultInjector.from_specs("kill-worker@4:1"))
+        sim.run(8, thermo_every=0)
+
+        assert len(sim.engine.events) == 1
+        assert sim.injector.log == [
+            {"kind": "kill-worker", "step": 4, "target": 1}]
+        assert np.array_equal(sim.coords, clean.coords)
+        assert np.array_equal(sim.velocities, clean.velocities)
+        clean.engine.close()
+        sim.engine.close()
+
+
+class TestDistributedFaults:
+    def test_dropped_ghost_surfaces_rank_and_step(self, cu_compressed):
+        coords, types, box = copper_system((4, 4, 4))
+        injector = FaultInjector.from_specs("drop-ghost@3:1")
+        with pytest.raises(RankFailureError) as err:
+            run_distributed_md(
+                2, (2, 1, 1), coords, types, box, [MASS_AMU["Cu"]],
+                cu_compressed, dt_fs=1.0, n_steps=6, rebuild_every=5,
+                skin=1.0, sel=cu_compressed.spec.sel, injector=injector)
+        assert err.value.step == 3
+        assert err.value.rank == 0  # the receiver detects the drop
+        assert isinstance(err.value.cause, GhostExchangeError)
+        assert err.value.cause.detail["expected"] > 0
+        assert err.value.cause.detail["got"] == 0
+        assert injector.log == [
+            {"kind": "drop-ghost", "step": 3, "target": 1}]
+
+    def test_halo_capacity_validated_before_launch(self, cu_compressed):
+        """An infeasible decomposition dies with a clear geometry error
+        from the driver, not a tangle of exchange failures."""
+        coords, types, box = copper_system((4, 4, 4))
+        with pytest.raises(ValueError, match="thinner than halo"):
+            run_distributed_md(
+                8, (8, 1, 1), coords, types, box, [MASS_AMU["Cu"]],
+                cu_compressed, dt_fs=1.0, n_steps=2, skin=1.0,
+                sel=cu_compressed.spec.sel)

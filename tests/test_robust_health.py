@@ -1,0 +1,177 @@
+"""Health-guard tests: every detector fires with typed step/atom context.
+
+The whole module runs with RuntimeWarnings promoted to errors so any
+silent NaN propagation (the exact failure mode the guards exist to
+catch) fails the suite loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md import DPForceField, LennardJones, Simulation, copper_system
+from repro.robust import (
+    DisplacementBlowupError,
+    EnergyDriftError,
+    FaultInjector,
+    GuardTolerances,
+    HealthMonitor,
+    NeighborOverflowError,
+    NonFiniteStateError,
+    SimulationHealthError,
+)
+from repro.units import MASS_AMU
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+def make_sim(seed=4, monitor=None, **kw):
+    coords, types, box = copper_system((3, 3, 3))
+    ff = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+    kw.setdefault("skin", 1.0)
+    kw.setdefault("rebuild_every", 10)
+    return Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                      dt_fs=1.0, seed=seed, monitor=monitor, **kw)
+
+
+class TestFiniteGuards:
+    def test_nan_forces_detected_with_step_context(self):
+        sim = make_sim(monitor=HealthMonitor())
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@5"))
+        with pytest.raises(NonFiniteStateError) as err:
+            sim.run(20, thermo_every=0)
+        assert err.value.step == 5
+        assert "atom" in err.value.detail
+        assert sim.monitor.violations  # recorded for post-mortem
+
+    def test_nan_is_health_error_subtype(self):
+        sim = make_sim(monitor=HealthMonitor())
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@3"))
+        with pytest.raises(SimulationHealthError):
+            sim.run(10, thermo_every=0)
+
+    def test_inf_energy_detected(self):
+        sim = make_sim(monitor=HealthMonitor())
+        sim.attach_injector(FaultInjector.from_specs("inf-energy@4"))
+        with pytest.raises(NonFiniteStateError) as err:
+            sim.run(10, thermo_every=0)
+        assert err.value.step == 4
+
+    def test_corrupt_state_never_reaches_thermo_log(self):
+        """The guard fires before the corrupted step is recorded."""
+        sim = make_sim(monitor=HealthMonitor())
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@5"))
+        with pytest.raises(NonFiniteStateError):
+            sim.run(20, thermo_every=1)
+        assert all(np.isfinite(t.potential_ev)
+                   and np.isfinite(t.temperature_k)
+                   for t in sim.thermo_log)
+        assert sim.thermo_log[-1].step < 5
+
+    def test_unmonitored_run_unchanged(self):
+        """No monitor, no injector: trajectory is bitwise what it was."""
+        a = make_sim()
+        a.run(10, thermo_every=0)
+        b = make_sim(monitor=HealthMonitor())
+        b.run(10, thermo_every=0)
+        assert np.array_equal(a.coords, b.coords)
+        assert np.array_equal(a.velocities, b.velocities)
+
+
+class TestMotionGuards:
+    def test_displacement_blowup(self):
+        sim = make_sim(monitor=HealthMonitor(
+            GuardTolerances(max_displacement=1e-4, energy_drift=0)))
+        with pytest.raises(DisplacementBlowupError) as err:
+            sim.run(5, thermo_every=0)
+        assert err.value.step >= 1
+        assert err.value.detail["displacement"] > 1e-4
+
+    def test_healthy_motion_passes_default_tolerance(self):
+        sim = make_sim(monitor=HealthMonitor())
+        sim.run(10, thermo_every=0)  # no raise
+
+    def test_energy_drift_tripwire(self):
+        sim = make_sim(monitor=HealthMonitor(
+            GuardTolerances(energy_drift=1e-15, max_displacement=0)))
+        with pytest.raises(EnergyDriftError) as err:
+            sim.run(20, thermo_every=0)
+        assert err.value.detail["drift_ev_per_atom"] > 1e-15
+
+    def test_drift_measured_from_run_start(self):
+        """attach() re-references, so a healthy NVE run passes a sane
+        tolerance over many run() calls."""
+        sim = make_sim(monitor=HealthMonitor(
+            GuardTolerances(energy_drift=0.05)))
+        for _ in range(3):
+            sim.run(5, thermo_every=0)
+
+
+class TestNeighborOverflow:
+    def test_overflow_raises_typed_error(self):
+        with pytest.raises(NeighborOverflowError) as err:
+            make_sim(sel=(2,))
+        assert err.value.detail["sel"] == (2,)
+        assert "neighbor overflow" in str(err.value)
+
+
+class TestGuardTolerancesSpec:
+    def test_defaults(self):
+        assert GuardTolerances.from_spec(None) == GuardTolerances()
+        assert GuardTolerances.from_spec("default") == GuardTolerances()
+
+    def test_parse(self):
+        tol = GuardTolerances.from_spec("disp=0.5,drift=0.01,finite=0")
+        assert tol.max_displacement == 0.5
+        assert tol.energy_drift == 0.01
+        assert tol.check_finite is False
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            GuardTolerances.from_spec("bogus=1")
+        with pytest.raises(ValueError):
+            GuardTolerances.from_spec("disp")
+
+
+class TestEngineAttachRegression:
+    """Regression: ``getattr(ff, "engine", False) is None`` never attached
+    the engine when the forcefield lacked the attribute entirely."""
+
+    class BareForceField:
+        """No ``engine`` attribute at all (the regression trigger)."""
+
+        rcut = 5.0
+
+        def __init__(self):
+            self._lj = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+
+        def compute(self, neighbors):
+            return self._lj.compute(neighbors)
+
+    def test_engine_attached_when_attribute_missing(self):
+        coords, types, box = copper_system((3, 3, 3))
+        ff = self.BareForceField()
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                         dt_fs=1.0, skin=1.0, threads=2)
+        assert ff.engine is sim.engine
+        assert sim.engine is not None
+
+    def test_engine_attached_when_attribute_is_none(self, cu_compressed):
+        coords, types, box = copper_system((3, 3, 3))
+        ff = DPForceField(cu_compressed)
+        assert ff.engine is None
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                         dt_fs=1.0, skin=1.0, sel=cu_compressed.spec.sel,
+                         threads=2)
+        assert ff.engine is sim.engine
+
+    def test_preset_engine_not_overwritten(self, cu_compressed):
+        from repro.parallel.engine import ThreadedEngine
+
+        coords, types, box = copper_system((3, 3, 3))
+        preset = ThreadedEngine(2)
+        ff = DPForceField(cu_compressed, engine=preset)
+        sim = Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                         dt_fs=1.0, skin=1.0, sel=cu_compressed.spec.sel,
+                         threads=2)
+        assert ff.engine is preset
+        assert sim.engine is not preset
