@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke faultsmoke bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke bench verify
 
-test:            ## tier-1 test suite
+test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
+
+slowtest:        ## the slow-marked legs of the equivalence matrix
+	$(PYTHON) -m pytest -x -q -m slow
 
 smoke:           ## <60 s thread-scaling check, writes BENCH_threads.json
 	$(PYTHON) tools/bench_smoke.py
@@ -12,7 +15,10 @@ smoke:           ## <60 s thread-scaling check, writes BENCH_threads.json
 faultsmoke:      ## <30 s fault-injection drill: NaN at step 10, rollback, bitwise 99-step completion
 	$(PYTHON) tools/fault_smoke.py
 
+hybridsmoke:     ## <60 s hybrid drill: 2 ranks x 2 threads == serial bitwise + kill-rank shard restart
+	$(PYTHON) tools/hybrid_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke
+verify: test smoke faultsmoke hybridsmoke

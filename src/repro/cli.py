@@ -41,6 +41,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shared-memory workers for the fused inference "
                           "path — the 'threads' factor of the paper's "
                           "ranks x threads schemes (1 = exact serial path)")
+    run.add_argument("--ranks", type=str, default=None, metavar="RxSxT",
+                     help="simulated-MPI rank grid for a distributed run "
+                          "(e.g. 2x1x1); combined with --threads K this "
+                          "is the paper's hybrid ranks x threads scheme "
+                          "(Fig. 6c): every rank drives K engine workers")
+    run.add_argument("--max-rank-restarts", type=int, default=2,
+                     help="with --ranks and --checkpoint-every: rank "
+                          "failures survived by re-spawning from shard "
+                          "checkpoints before the run aborts")
     run.add_argument("--xyz", type=str, default=None,
                      help="write the trajectory to this extended-XYZ file")
     run.add_argument("--thermo-every", type=int, default=50)
@@ -66,8 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministic fault injection, repeatable: "
                           "KIND[@STEP[:TARGET]] with KIND one of "
                           "nan-forces, inf-energy, truncate-checkpoint, "
-                          "kill-worker, drop-ghost "
-                          "(e.g. nan-forces@10, kill-worker@5:1)")
+                          "kill-worker, drop-ghost, kill-rank "
+                          "(e.g. nan-forces@10, kill-rank@5:1)")
     run.add_argument("--max-retries", type=int, default=3,
                      help="rollback budget before a health violation "
                           "aborts the run")
@@ -97,10 +106,81 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _cmd_run_distributed(args) -> int:
+    """``run --ranks RxSxT [--threads K]``: the hybrid distributed path.
+
+    The serial :func:`repro.quick_simulation` setup is reused verbatim
+    for the model and the initial conditions, so the distributed run
+    reproduces the serial trajectory (coordinates bitwise; see
+    ``tests/test_hybrid_matrix.py``).
+    """
+    import time as _time
+
+    import repro
+    from repro.io import format_thermo_table
+    from repro.parallel import SimulationScheme, run_distributed_md
+    from repro.workloads import COPPER, WATER
+
+    for flag, name in ((args.restart, "--restart"),
+                       (args.guard_tolerances, "--guard-tolerances"),
+                       (args.xyz, "--xyz")):
+        if flag:
+            print(f"error: {name} is not supported with --ranks",
+                  file=sys.stderr)
+            return 2
+    scheme = SimulationScheme.parse(args.ranks, threads=args.threads)
+    sim = repro.quick_simulation(
+        args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
+        compressed=not args.baseline, interval=args.interval,
+        seed=args.seed,
+    )
+    workload = COPPER if args.system == "copper" else WATER
+    injector = None
+    if args.inject_fault:
+        from repro.robust import FaultInjector
+
+        injector = FaultInjector.from_specs(args.inject_fault,
+                                            seed=args.seed)
+    print(f"{args.system}: {len(sim.coords)} atoms, "
+          f"{'baseline' if args.baseline else 'compressed'} model, "
+          f"{scheme}")
+    start = _time.perf_counter()
+    result = run_distributed_md(
+        scheme.n_ranks, scheme.grid_dims, sim.coords, sim.types, sim.box,
+        workload.masses, sim.forcefield.model, dt_fs=sim.dt_fs,
+        n_steps=args.steps, rebuild_every=sim.rebuild_every,
+        skin=sim.search.skin, sel=sim.search.sel,
+        velocities=sim.velocities, thermo_every=args.thermo_every,
+        injector=injector, threads_per_rank=scheme.threads_per_rank,
+        checkpoint_dir=args.checkpoint_dir if args.checkpoint_every
+        else None,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
+        max_rank_restarts=args.max_rank_restarts,
+    )
+    wall = _time.perf_counter() - start
+    if injector is not None and injector.log:
+        for fired in injector.log:
+            print(f"injected fault: {fired}")
+    for ev in result.rank_restarts:
+        print(f"rank {ev.rank} failed at step {ev.step} ({ev.error}); "
+              f"world restarted from shard step {ev.restart_step}")
+    print(format_thermo_table(result.thermo))
+    print(f"comm: {result.forward_bytes} B forward, "
+          f"{result.reverse_bytes} B reverse, "
+          f"{result.migrate_bytes} B migrate, "
+          f"max {result.max_ghost_atoms} ghosts/rank")
+    ns = args.steps * sim.dt_fs * 1e-6
+    print(f"throughput: {ns / (wall / 86400.0):.3f} ns/day")
+    return 0
+
+
 def _cmd_run(args) -> int:
     import repro
     from repro.io import format_thermo_table
 
+    if args.ranks:
+        return _cmd_run_distributed(args)
     sim = repro.quick_simulation(
         args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
         compressed=not args.baseline, interval=args.interval,

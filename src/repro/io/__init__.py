@@ -1,6 +1,14 @@
 """Serialization (models, tables) and thermo logging."""
 
-from .checkpoint import load_checkpoint, restart_simulation, save_checkpoint
+from .checkpoint import (
+    load_checkpoint,
+    load_shard_checkpoint,
+    read_state_checkpoint,
+    restart_simulation,
+    save_checkpoint,
+    save_shard_checkpoint,
+    write_state_checkpoint,
+)
 from .logging import ThermoWriter, format_thermo_table
 from .model_io import load_compressed, load_model, save_compressed, save_model
 from .trajectory import XYZTrajectoryWriter, read_xyz, write_xyz_frame
@@ -12,10 +20,14 @@ __all__ = [
     "load_checkpoint",
     "load_compressed",
     "load_model",
+    "load_shard_checkpoint",
+    "read_state_checkpoint",
     "read_xyz",
     "restart_simulation",
     "save_checkpoint",
     "save_compressed",
     "save_model",
+    "save_shard_checkpoint",
+    "write_state_checkpoint",
     "write_xyz_frame",
 ]

@@ -34,6 +34,8 @@ from ..md.box import Box
 from ..md.simulation import Simulation
 
 __all__ = ["save_checkpoint", "load_checkpoint", "restart_simulation",
+           "write_state_checkpoint", "read_state_checkpoint",
+           "save_shard_checkpoint", "load_shard_checkpoint",
            "CHECKPOINT_FORMAT"]
 
 #: Format 2 adds CRC32 payload checksums, build-phase arrays, and the
@@ -43,6 +45,12 @@ CHECKPOINT_FORMAT = 2
 
 _ARRAY_FIELDS = ("coords", "velocities", "types", "masses", "box_lengths",
                  "forces", "build_coords")
+
+#: Arrays a distributed rank's shard checkpoint must carry: the rank's
+#: phase-space slice in local order plus the global ids that map it back,
+#: and the neighbor-build reference positions for exact mid-interval
+#: restart (see :func:`save_shard_checkpoint`).
+_SHARD_REQUIRED = ("ids", "coords", "velocities", "types", "build_coords")
 
 
 def _integrity_error(message, **detail):
@@ -60,39 +68,21 @@ def normalize_checkpoint_path(path) -> str:
     return path
 
 
-def save_checkpoint(path: str, sim: Simulation) -> str:
-    """Atomically write the simulation's full restartable state.
+def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None
+                           ) -> str:
+    """Atomically write named arrays plus JSON metadata with CRC32s.
 
-    Returns the path actually written (``.npz`` appended when missing).
+    The shared writer under every checkpoint flavour (full simulation,
+    per-rank shard): per-array CRC32s go into the metadata, the archive
+    is written to a same-directory temp file, fsync'd, renamed over the
+    target, and the directory entry is fsync'd.  Returns the path
+    actually written (``.npz`` appended when missing).
     """
     path = normalize_checkpoint_path(path)
-    arrays = {
-        "coords": np.asarray(sim.coords, dtype=np.float64),
-        "velocities": np.asarray(sim.velocities, dtype=np.float64),
-        "types": sim.types,
-        "masses": sim.masses,
-        "box_lengths": sim.box.lengths,
-        "forces": np.asarray(sim.forces, dtype=np.float64),
-        # Neighbor-list build reference: restoring the *build-time*
-        # positions lets restart reconstruct the exact mid-interval
-        # neighbor structure instead of rebuilding at current positions.
-        "build_coords": sim._neighbors.build_coords,
-    }
-    meta = {
-        "format": CHECKPOINT_FORMAT,
-        "step": sim.step,
-        "dt_fs": sim.dt_fs,
-        "rebuild_every": sim.rebuild_every,
-        "skin": sim.search.skin,
-        "rcut": sim.search.rcut,
-        "sel": list(sim.search.sel) if sim.search.sel else None,
-        "n_force_evals": sim.stats.n_force_evals,
-        "n_steps": sim.stats.n_steps,
-        "n_neighbor_builds": sim.stats.n_neighbor_builds,
-        "threads": sim.engine.n_threads if sim.engine is not None else 1,
-        "crc": {name: zlib.crc32(np.ascontiguousarray(arr).tobytes())
-                for name, arr in arrays.items()},
-    }
+    meta = dict(meta or {})
+    meta.setdefault("format", CHECKPOINT_FORMAT)
+    meta["crc"] = {name: zlib.crc32(np.ascontiguousarray(arr).tobytes())
+                   for name, arr in arrays.items()}
     payload = dict(arrays)
     payload["meta"] = np.frombuffer(json.dumps(meta).encode(),
                                     dtype=np.uint8)
@@ -119,27 +109,26 @@ def save_checkpoint(path: str, sim: Simulation) -> str:
     return path
 
 
-def load_checkpoint(path: str, validate: bool = True) -> dict:
-    """Read a checkpoint into a plain dict (no model/forcefield inside).
+def read_state_checkpoint(path: str, required=(), validate: bool = True
+                          ) -> dict:
+    """Read a state checkpoint back into ``{"meta": ..., name: array}``.
 
     Raises :class:`~repro.robust.errors.CheckpointIntegrityError` when
-    the file is truncated, unreadable, missing arrays, or fails a CRC32
-    payload check (``validate=False`` skips only the CRC pass).
+    the file is truncated, unreadable, missing a ``required`` array, or
+    fails a CRC32 payload check (``validate=False`` skips only the CRC
+    pass).
     """
     path = normalize_checkpoint_path(path)
     try:
         with np.load(path) as data:
             meta = json.loads(bytes(data["meta"]).decode())
-            arrays = {}
-            for name in _ARRAY_FIELDS:
-                if name in data.files:
-                    arrays[name] = data[name].copy()
+            arrays = {name: data[name].copy()
+                      for name in data.files if name != "meta"}
     except (OSError, ValueError, KeyError, EOFError,
             zipfile.BadZipFile, json.JSONDecodeError) as exc:
         raise _integrity_error(
             f"unreadable checkpoint {path!r}: {exc}", path=path) from exc
-    for name in ("coords", "velocities", "types", "masses", "box_lengths",
-                 "forces"):
+    for name in required:
         if name not in arrays:
             raise _integrity_error(
                 f"checkpoint {path!r} is missing array {name!r}", path=path)
@@ -154,9 +143,102 @@ def load_checkpoint(path: str, validate: bool = True) -> dict:
                 raise _integrity_error(
                     f"checkpoint {path!r} failed CRC32 on {name!r}",
                     path=path, array=name, expected=expected, got=got)
-    state = {"meta": meta, "box": Box(arrays.pop("box_lengths"))}
+    state = {"meta": meta}
     state.update(arrays)
+    return state
+
+
+def save_checkpoint(path: str, sim: Simulation) -> str:
+    """Atomically write the simulation's full restartable state.
+
+    Returns the path actually written (``.npz`` appended when missing).
+    """
+    arrays = {
+        "coords": np.asarray(sim.coords, dtype=np.float64),
+        "velocities": np.asarray(sim.velocities, dtype=np.float64),
+        "types": sim.types,
+        "masses": sim.masses,
+        "box_lengths": sim.box.lengths,
+        "forces": np.asarray(sim.forces, dtype=np.float64),
+        # Neighbor-list build reference: restoring the *build-time*
+        # positions lets restart reconstruct the exact mid-interval
+        # neighbor structure instead of rebuilding at current positions.
+        "build_coords": sim._neighbors.build_coords,
+    }
+    meta = {
+        "step": sim.step,
+        "dt_fs": sim.dt_fs,
+        "rebuild_every": sim.rebuild_every,
+        "skin": sim.search.skin,
+        "rcut": sim.search.rcut,
+        "sel": list(sim.search.sel) if sim.search.sel else None,
+        "n_force_evals": sim.stats.n_force_evals,
+        "n_steps": sim.stats.n_steps,
+        "n_neighbor_builds": sim.stats.n_neighbor_builds,
+        "threads": sim.engine.n_threads if sim.engine is not None else 1,
+    }
+    return write_state_checkpoint(path, arrays, meta)
+
+
+def load_checkpoint(path: str, validate: bool = True) -> dict:
+    """Read a checkpoint into a plain dict (no model/forcefield inside).
+
+    Raises :class:`~repro.robust.errors.CheckpointIntegrityError` when
+    the file is truncated, unreadable, missing arrays, or fails a CRC32
+    payload check (``validate=False`` skips only the CRC pass).
+    """
+    state = read_state_checkpoint(
+        path,
+        required=("coords", "velocities", "types", "masses", "box_lengths",
+                  "forces"),
+        validate=validate,
+    )
+    state = {name: arr for name, arr in state.items()
+             if name in _ARRAY_FIELDS or name == "meta"}
+    state["box"] = Box(state.pop("box_lengths"))
     state.setdefault("build_coords", None)
+    return state
+
+
+def save_shard_checkpoint(path: str, *, step: int, ids: np.ndarray,
+                          coords: np.ndarray, velocities: np.ndarray,
+                          types: np.ndarray, build_coords: np.ndarray,
+                          thermo: np.ndarray | None = None,
+                          meta: dict | None = None) -> str:
+    """Write one distributed rank's restartable shard.
+
+    A shard is the rank's slice of the global phase space in *local*
+    order — ``ids`` maps rows back to global atoms — plus the positions
+    the rank's ghost plan was built from (``build_coords``), so a resume
+    between neighbor rebuilds reconstructs the exact exchange structure
+    the run was using.  ``thermo`` optionally persists the global thermo
+    samples recorded so far (every rank holds identical allreduced
+    values), shape ``(n_samples, 6)``.
+    """
+    arrays = {
+        "ids": np.asarray(ids, dtype=np.intp),
+        "coords": np.asarray(coords, dtype=np.float64),
+        "velocities": np.asarray(velocities, dtype=np.float64),
+        "types": np.asarray(types, dtype=np.intp),
+        "build_coords": np.asarray(build_coords, dtype=np.float64),
+    }
+    if thermo is not None:
+        arrays["thermo"] = np.asarray(thermo, dtype=np.float64)
+    full_meta = {"kind": "shard", "step": int(step)}
+    full_meta.update(meta or {})
+    return write_state_checkpoint(path, arrays, full_meta)
+
+
+def load_shard_checkpoint(path: str, validate: bool = True) -> dict:
+    """Read a rank shard checkpoint written by
+    :func:`save_shard_checkpoint` (CRC-validated, typed errors)."""
+    state = read_state_checkpoint(path, required=_SHARD_REQUIRED,
+                                  validate=validate)
+    if state["meta"].get("kind") != "shard":
+        raise _integrity_error(
+            f"checkpoint {path!r} is not a rank shard", path=path,
+            kind=state["meta"].get("kind"))
+    state.setdefault("thermo", None)
     return state
 
 

@@ -211,7 +211,8 @@ class Simulation:
     def run(self, n_steps: int = PAPER_PROTOCOL_STEPS,
             thermo_every: int = PAPER_REBUILD_EVERY, *,
             checkpoint_every: int = 0,
-            checkpoint_manager=None) -> list[ThermoState]:
+            checkpoint_manager=None,
+            guard_every: int | None = None) -> list[ThermoState]:
         """Advance ``n_steps``; returns the thermo samples collected.
 
         ``checkpoint_every``/``checkpoint_manager`` save a restart file
@@ -221,12 +222,22 @@ class Simulation:
         state is never checkpointed.  When ``self.monitor`` is set it is
         (re-)attached at run start — a run restarted from a checkpoint
         measures energy drift against the checkpointed state.
+
+        ``guard_every`` amortizes the guard cost: health checks run only
+        every K steps (default: the monitor's
+        :attr:`~repro.robust.GuardTolerances.guard_every`).  Corruption
+        born between guarded steps propagates through the integrator
+        (NaN arithmetic stays NaN) and is caught at the next guarded
+        step; the final step is always guarded.  Checkpoints at
+        unguarded steps are suppressed so a not-yet-validated state is
+        never persisted.
         """
         import time as _time
 
         monitor, injector = self.monitor, self.injector
         if monitor is not None:
             monitor.attach(self)
+        last_step = self.step + int(n_steps)
         start = _time.perf_counter()
         try:
             self._record_thermo(thermo_every, force=True)
@@ -250,7 +261,9 @@ class Simulation:
                         self.step, self.energy, self.forces
                     )
                 self.stats.n_force_evals += 1
-                if monitor is not None:
+                guarded = monitor is not None and monitor.should_check(
+                    self.step, last_step, guard_every)
+                if guarded:
                     # NaN/Inf must be caught *before* the second half-kick
                     # integrates corrupt forces into the velocities.
                     monitor.check_finite(self)
@@ -261,12 +274,13 @@ class Simulation:
                     self.velocities = self.thermostat.apply(
                         self.velocities, self.masses, self.dt_fs
                     )
-                if monitor is not None:
+                if guarded:
                     monitor.check_step(self, prev_coords)
                 self._record_thermo(thermo_every)
                 self.stats.n_steps += 1
                 if (checkpoint_every and checkpoint_manager is not None
-                        and self.step % checkpoint_every == 0):
+                        and self.step % checkpoint_every == 0
+                        and (monitor is None or guarded)):
                     checkpoint_manager.save(self)
         finally:
             self.stats.wall_seconds += _time.perf_counter() - start

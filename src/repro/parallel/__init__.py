@@ -4,7 +4,11 @@ exchange, parallel schemes, and the distributed MD engine.
 
 from .comm import CommStats, SimComm, SimWorld
 from .decomposition import best_grid, factorizations, ghost_fraction
-from .distributed import DistributedMDResult, run_distributed_md
+from .distributed import (
+    DistributedMDResult,
+    RankRestartEvent,
+    run_distributed_md,
+)
 from .domain import HALO_DIRECTIONS, DomainGrid
 from .engine import ThreadedEngine
 from .loadbalance import imbalance, partition_imbalance, rcb_partition
@@ -22,6 +26,7 @@ from .scheme import (
     HYBRID_16X3,
     SUMMIT_6GPU,
     ParallelScheme,
+    SimulationScheme,
     split_pair_ranges,
     split_subregion,
 )
@@ -37,9 +42,11 @@ __all__ = [
     "HYBRID_16X3",
     "HYBRID_4X12",
     "ParallelScheme",
+    "RankRestartEvent",
     "SUMMIT_6GPU",
     "SimComm",
     "SimWorld",
+    "SimulationScheme",
     "ThreadedEngine",
     "best_grid",
     "exchange_ghosts",

@@ -6,14 +6,30 @@ decomposition, forward ghost exchange each step, model evaluation on
 local atoms, reverse force communication, velocity-Verlet integration,
 atom migration at every neighbor rebuild, and allreduced thermodynamics.
 
+Two layers ride on top of the flat-MPI core:
+
+* **hybrid ranks × threads** (paper Sec. 3.5.4, Fig. 6 (c)) —
+  ``threads_per_rank`` gives every rank its own
+  :class:`~repro.parallel.engine.ThreadedEngine`, so the fused kernels
+  run sharded over the rank's local+ghost atoms exactly as the serial
+  threaded path does over the whole cell;
+* **rank-level checkpoint/restart** — with ``checkpoint_dir`` set, each
+  rank periodically writes its shard (ids, coords, velocities, types,
+  neighbor-build positions, thermo history) through a per-rank
+  :class:`~repro.robust.checkpoints.CheckpointManager`, and a
+  :class:`~repro.robust.errors.RankFailureError` re-spawns the world
+  from the newest *globally consistent* shard step instead of aborting
+  the run.
+
 Within floating-point reordering it reproduces the serial trajectory —
 the integration test that pins the correctness of the whole parallel
-substrate.
+substrate (coordinates are bitwise-identical over the 99-step paper
+protocol; see ``tests/test_hybrid_matrix.py`` for the exact contract).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,9 +46,20 @@ from ..units import (
 )
 from .comm import SimComm, SimWorld
 from .domain import DomainGrid
+from .engine import ThreadedEngine
 from .ghost import exchange_ghosts, migrate_atoms, refresh_ghosts, return_ghost_forces
 
-__all__ = ["DistributedMDResult", "run_distributed_md"]
+__all__ = ["DistributedMDResult", "RankRestartEvent", "run_distributed_md"]
+
+
+@dataclass
+class RankRestartEvent:
+    """One recovered rank failure (the world re-spawned and continued)."""
+
+    rank: int          #: rank that died
+    step: int          #: MD step it died at
+    restart_step: int  #: shard step the world resumed from (0 = scratch)
+    error: str         #: ``TypeName: message`` of the fatal exception
 
 
 @dataclass
@@ -47,15 +74,21 @@ class DistributedMDResult:
     reverse_bytes: int
     migrate_bytes: int
     max_ghost_atoms: int
+    #: Rank failures survived via shard-checkpoint restart, in order.
+    rank_restarts: list = field(default_factory=list)
 
 
-def _evaluate(model, search, coords, types, region):
+def _evaluate(model, search, coords, types, region, engine=None):
     """Force evaluation on local atoms given an exchanged ghost region."""
     nd = search.build_extended(coords, types, region.coords, region.types)
     n_local = len(coords)
     if hasattr(model, "evaluate_packed"):
+        kwargs = {}
+        if engine is not None and getattr(model, "supports_engine", False):
+            kwargs = {"engine": engine, "pair_atom": nd.pair_atom}
         res = model.evaluate_packed(
-            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr,
+            **kwargs,
         )
     else:
         res = model.evaluate(
@@ -82,6 +115,10 @@ def _rank_main(
     sel,
     thermo_every: int,
     injector=None,
+    threads_per_rank: int = 1,
+    managers=None,
+    checkpoint_every: int = 0,
+    resume_step: int = 0,
 ):
     """Per-rank SPMD body.
 
@@ -92,7 +129,9 @@ def _rank_main(
     try:
         return _rank_body(comm, grid, coords0, types0, vel0,
                           masses_per_type, model, dt_fs, n_steps,
-                          rebuild_every, skin, sel, thermo_every, injector)
+                          rebuild_every, skin, sel, thermo_every, injector,
+                          threads_per_rank, managers, checkpoint_every,
+                          resume_step)
     except _StepContext as ctx:
         from ..robust.errors import RankFailureError
 
@@ -106,6 +145,24 @@ class _StepContext(Exception):
         self.step = step
         self.cause = cause
         super().__init__(f"step {step}: {cause!r}")
+
+
+def _thermo_rows(thermo) -> np.ndarray | None:
+    """Thermo history as the (n, 6) float64 block shards persist."""
+    if not thermo:
+        return None
+    return np.array(
+        [[t.step, t.time_ps, t.potential_ev, t.kinetic_ev,
+          t.temperature_k, t.pressure_bar] for t in thermo],
+        dtype=np.float64,
+    )
+
+
+def _thermo_from_rows(rows) -> list:
+    if rows is None:
+        return []
+    return [ThermoState(int(r[0]), float(r[1]), float(r[2]), float(r[3]),
+                        float(r[4]), float(r[5])) for r in rows]
 
 
 def _rank_body(
@@ -123,35 +180,77 @@ def _rank_body(
     sel,
     thermo_every: int,
     injector=None,
+    threads_per_rank: int = 1,
+    managers=None,
+    checkpoint_every: int = 0,
+    resume_step: int = 0,
 ):
     box = grid.box
     rhalo = model.spec.rcut + skin
     grid.check_halo(rhalo)
-    search = NeighborSearch(model.spec.rcut, skin=skin, sel=sel)
+    engine = None
+    if threads_per_rank and int(threads_per_rank) > 1:
+        # Fig. 6 (c): this rank's OpenMP team over its sub-region.
+        engine = ThreadedEngine(int(threads_per_rank),
+                                name=f"rank{comm.rank}-engine")
+        if injector is not None:
+            engine.fault_hook = injector.worker_fault
+    try:
+        return _rank_steps(comm, grid, box, rhalo, coords0, types0, vel0,
+                           masses_per_type, model, dt_fs, n_steps,
+                           rebuild_every, skin, sel, thermo_every, injector,
+                           engine, managers, checkpoint_every, resume_step)
+    finally:
+        if engine is not None:
+            engine.close()
 
-    owner = grid.owner_of(coords0)
-    mine = np.nonzero(owner == comm.rank)[0]
-    coords = box.wrap(coords0[mine])
-    state = {
-        "vel": vel0[mine],
-        "types": types0[mine].astype(np.intp),
-        "ids": mine.astype(np.intp),
-    }
+
+def _rank_steps(
+    comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, model,
+    dt_fs, n_steps, rebuild_every, skin, sel, thermo_every, injector,
+    engine, managers, checkpoint_every, resume_step,
+):
+    search = NeighborSearch(model.spec.rcut, skin=skin, sel=sel,
+                            engine=engine)
+    ckpt = managers[comm.rank] if managers else None
     n_global = len(coords0)
     volume = box.volume
     dt = dt_fs / FS_PER_PS
+
+    if resume_step and ckpt is not None:
+        # Resume this rank from its shard: the phase-space slice plus
+        # the positions its ghost plan was exchanged at.
+        shard = ckpt.loader(ckpt.path_for_step(int(resume_step)))
+        coords = shard["coords"]
+        build_coords = shard["build_coords"]
+        state = {
+            "vel": shard["velocities"],
+            "types": shard["types"].astype(np.intp),
+            "ids": shard["ids"].astype(np.intp),
+        }
+        thermo = _thermo_from_rows(shard.get("thermo"))
+    else:
+        resume_step = 0
+        owner = grid.owner_of(coords0)
+        mine = np.nonzero(owner == comm.rank)[0]
+        coords = box.wrap(coords0[mine])
+        build_coords = coords
+        state = {
+            "vel": vel0[mine],
+            "types": types0[mine].astype(np.intp),
+            "ids": mine.astype(np.intp),
+        }
+        thermo = []
 
     def masses():
         return masses_per_type[state["types"]]
 
     def forces_step(region):
         pe, f_local, f_ghost, virial = _evaluate(
-            model, search, coords, state["types"], region
+            model, search, coords, state["types"], region, engine=engine
         )
         return_ghost_forces(comm, region, f_ghost, f_local)
         return pe, f_local, virial
-
-    thermo: list = []
 
     def record(step):
         nonlocal pe, virial
@@ -168,13 +267,49 @@ def _rank_body(
         pressure = (2.0 * ke_g + w_g) / (3.0 * volume) * EV_A3_TO_BAR
         thermo.append(ThermoState(step, step * dt, pe_g, ke_g, temp, pressure))
 
-    step = 0
+    def write_shard(step):
+        """Persist this rank's restartable slice (then rotate)."""
+        arrays = {
+            "ids": state["ids"], "coords": coords,
+            "velocities": state["vel"], "types": state["types"],
+            "build_coords": build_coords,
+        }
+        rows = _thermo_rows(thermo)
+        if rows is not None:
+            arrays["thermo"] = rows
+        from ..io.checkpoint import save_shard_checkpoint
+
+        def writer(path, arrs, meta):
+            return save_shard_checkpoint(
+                path, step=int(step), ids=arrs["ids"], coords=arrs["coords"],
+                velocities=arrs["velocities"], types=arrs["types"],
+                build_coords=arrs["build_coords"], thermo=arrs.get("thermo"),
+                meta={"rank": comm.rank})
+
+        ckpt.save_arrays(int(step), arrays, writer=writer,
+                         injector=injector, target=comm.rank)
+
+    step = resume_step
     try:
-        region = exchange_ghosts(comm, grid, coords, state["types"], rhalo)
-        pe, forces, virial = forces_step(region)
-        record(0)
+        if resume_step:
+            # Rebuild the exchange plan at the persisted build-time
+            # positions (deterministic → identical ghost identities),
+            # then forward-communicate the current positions — exactly
+            # the structure the run held when the shard was written.
+            region = exchange_ghosts(comm, grid, build_coords,
+                                     state["types"], rhalo)
+            refresh_ghosts(comm, region, coords)
+            pe, forces, virial = forces_step(region)
+        else:
+            region = exchange_ghosts(comm, grid, coords, state["types"],
+                                     rhalo)
+            build_coords = coords
+            pe, forces, virial = forces_step(region)
+            record(0)
         inv_m = 1.0 / (masses() * MVV_TO_EV)
-        for step in range(1, n_steps + 1):
+        for step in range(resume_step + 1, n_steps + 1):
+            if injector is not None:
+                injector.rank_fault(step, comm.rank)
             state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
             coords = coords + dt * state["vel"]
 
@@ -189,6 +324,7 @@ def _rank_body(
                 region = exchange_ghosts(
                     comm, grid, coords, state["types"], rhalo
                 )
+                build_coords = coords
             else:
                 refresh_ghosts(comm, region, coords, injector=injector,
                                step=step)
@@ -197,6 +333,9 @@ def _rank_body(
             state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
             if thermo_every and step % thermo_every == 0:
                 record(step)
+            if ckpt is not None and checkpoint_every \
+                    and step % checkpoint_every == 0:
+                write_shard(step)
     except Exception as exc:
         if isinstance(exc, RuntimeError) and "world aborted" in str(exc):
             raise  # a peer already failed; its error carries the context
@@ -219,6 +358,32 @@ def _rank_body(
     return {"thermo": thermo, "max_ghost": region.n_ghost}
 
 
+def _world_bytes(world: SimWorld) -> tuple[int, int, int]:
+    from .ghost import FORCE_TAG, GHOST_TAG
+
+    forward = sum(world.bytes_by_tag(GHOST_TAG + d) for d in range(26))
+    reverse = sum(world.bytes_by_tag(FORCE_TAG + d) for d in range(26))
+    migrate = sum(c.stats.by_tag.get(-3, 0) for c in world.comms)
+    return forward, reverse, migrate
+
+
+def _common_restart_step(managers) -> int:
+    """Newest shard step every rank holds a *valid* checkpoint for.
+
+    The intersection across ranks is what makes the rollback globally
+    consistent: a rank whose newest shard is corrupt (crash mid-flush)
+    degrades the whole world to the previous common step; no common step
+    at all means replaying from scratch (0).
+    """
+    common = None
+    for mgr in managers:
+        steps = set(mgr.valid_steps())
+        common = steps if common is None else (common & steps)
+        if not common:
+            return 0
+    return max(common) if common else 0
+
+
 def run_distributed_md(
     n_ranks: int,
     grid_dims,
@@ -237,6 +402,11 @@ def run_distributed_md(
     velocities: np.ndarray | None = None,
     thermo_every: int = PAPER_REBUILD_EVERY,
     injector=None,
+    threads_per_rank: int = 1,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    keep_last: int = 3,
+    max_rank_restarts: int = 2,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
@@ -244,15 +414,30 @@ def run_distributed_md(
     otherwise they are drawn at ``temperature`` with ``seed`` using the
     same global generator as the serial engine.
 
+    ``threads_per_rank > 1`` turns the run hybrid (Fig. 6 (c)): every
+    rank owns a :class:`~repro.parallel.engine.ThreadedEngine` sized to
+    that thread count, used for both cell binning and the fused kernels
+    over its local+ghost atoms.
+
+    With ``checkpoint_dir`` and ``checkpoint_every`` set, each rank
+    writes a rotating shard checkpoint (``rank000-*.npz`` …) every
+    ``checkpoint_every`` steps, and up to ``max_rank_restarts`` rank
+    failures are survived by re-spawning the world from the newest
+    globally consistent shard step (recorded in the result's
+    ``rank_restarts``).  Without checkpointing, a failure aborts as
+    before.
+
     Fail-fast validation: the ghost-region/halo capacity is checked
     against the decomposition *before* any rank launches, so an
     infeasible ``grid_dims`` dies with a clear geometry message rather
-    than 26 confusing exchange failures.  A rank that fails mid-run
-    surfaces as a typed
+    than 26 confusing exchange failures.  A rank that fails mid-run (and
+    cannot be restarted) surfaces as a typed
     :class:`~repro.robust.errors.RankFailureError` with rank and step
     context.  ``injector`` threads a
     :class:`~repro.robust.FaultInjector` into the exchange layer
-    (``drop-ghost`` faults).
+    (``drop-ghost``), the per-step rank hook (``kill-rank``), the shard
+    writer (``truncate-checkpoint``), and each rank's engine
+    (``kill-worker``).
     """
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
@@ -268,31 +453,53 @@ def run_distributed_md(
 
     from ..robust.errors import RankFailureError
 
-    world = SimWorld(n_ranks)
-    try:
-        results = world.run(
-            _rank_main, grid, coords, types, velocities, masses_per_type,
-            model, dt_fs, n_steps, rebuild_every, skin, sel, thermo_every,
-            injector,
-        )
-    except RuntimeError as err:
-        # SimWorld wraps the first failing rank's error; surface our
-        # typed per-rank failures directly.
-        if isinstance(err.__cause__, RankFailureError):
-            raise err.__cause__ from err.__cause__.cause
-        raise
-    root = results[0]
-    from .ghost import FORCE_TAG, GHOST_TAG
+    managers = None
+    if checkpoint_dir is not None and checkpoint_every:
+        from ..io.checkpoint import load_shard_checkpoint
+        from ..robust.checkpoints import CheckpointManager
 
-    forward = sum(
-        world.bytes_by_tag(GHOST_TAG + d) for d in range(26)
-    )
-    reverse = sum(
-        world.bytes_by_tag(FORCE_TAG + d) for d in range(26)
-    )
-    migrate = sum(
-        c.stats.by_tag.get(-3, 0) for c in world.comms
-    )
+        managers = [
+            CheckpointManager(checkpoint_dir, prefix=f"rank{r:03d}",
+                              keep_last=keep_last,
+                              loader=load_shard_checkpoint)
+            for r in range(n_ranks)
+        ]
+
+    rank_restarts: list[RankRestartEvent] = []
+    forward = reverse = migrate = 0
+    resume_step = 0
+    while True:
+        world = SimWorld(n_ranks)
+        try:
+            results = world.run(
+                _rank_main, grid, coords, types, velocities,
+                masses_per_type, model, dt_fs, n_steps, rebuild_every,
+                skin, sel, thermo_every, injector, threads_per_rank,
+                managers, checkpoint_every, resume_step,
+            )
+            break
+        except RuntimeError as err:
+            # SimWorld wraps the first failing rank's error; surface our
+            # typed per-rank failures directly.
+            fail = err.__cause__
+            if not isinstance(fail, RankFailureError):
+                raise
+            fw, rv, mg = _world_bytes(world)
+            forward += fw
+            reverse += rv
+            migrate += mg
+            if managers is None or len(rank_restarts) >= max_rank_restarts:
+                raise fail from fail.cause
+            resume_step = _common_restart_step(managers)
+            rank_restarts.append(RankRestartEvent(
+                rank=fail.rank, step=fail.step, restart_step=resume_step,
+                error=f"{type(fail.cause).__name__}: {fail.cause}",
+            ))
+    root = results[0]
+    fw, rv, mg = _world_bytes(world)
+    forward += fw
+    reverse += rv
+    migrate += mg
     return DistributedMDResult(
         coords=root["coords"],
         velocities=root["vel"],
@@ -302,4 +509,5 @@ def run_distributed_md(
         reverse_bytes=reverse,
         migrate_bytes=migrate,
         max_ghost_atoms=max(r["max_ghost"] for r in results),
+        rank_restarts=rank_restarts,
     )

@@ -75,15 +75,22 @@ class ThreadedEngine:
         Optional :class:`repro.perf.profiler.SectionTimer`; each engine
         region is recorded under ``engine.<op>`` (the timer is
         thread-safe, so per-worker sections accumulate correctly).
+    name:
+        Label for the pool's worker threads (``repro-engine`` by
+        default).  The hybrid driver names each rank's engine
+        ``rank{r}-engine`` so thread dumps of a ranks×threads run are
+        attributable.
     """
 
-    def __init__(self, n_threads: int | None = None, timer=None):
+    def __init__(self, n_threads: int | None = None, timer=None,
+                 name: str | None = None):
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if int(n_threads) < 1:
             raise ValueError("need at least one thread")
         self.n_threads = int(n_threads)
         self.timer = timer
+        self.name = name or "repro-engine"
         self._pool: ThreadPoolExecutor | None = None
         #: Optional per-shard hook (``hook(shard_index)``), called before
         #: each pooled item — the fault injector's worker-death port.
@@ -98,7 +105,7 @@ class ThreadedEngine:
         """The persistent executor (created lazily, reused across steps)."""
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
-                max_workers=self.n_threads, thread_name_prefix="repro-engine"
+                max_workers=self.n_threads, thread_name_prefix=self.name
             )
         return self._pool
 

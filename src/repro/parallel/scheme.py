@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "ParallelScheme",
+    "SimulationScheme",
     "FLAT_MPI_A64FX",
     "HYBRID_16X3",
     "HYBRID_4X12",
@@ -56,6 +57,70 @@ class ParallelScheme:
 
     def __str__(self) -> str:
         return f"{self.ranks_per_node}x{self.threads_per_rank}"
+
+
+@dataclass(frozen=True)
+class SimulationScheme:
+    """A concrete hybrid run layout: rank grid × threads per rank.
+
+    Where :class:`ParallelScheme` is the paper's per-node accounting
+    abstraction (Fig. 6), this is the executable configuration the
+    distributed driver and CLI consume: ``grid_dims`` fixes the spatial
+    domain decomposition (one simulated MPI rank per cell) and
+    ``threads_per_rank`` sizes the :class:`~repro.parallel.engine.
+    ThreadedEngine` each rank runs its fused kernels on (Fig. 6 (c)).
+    """
+
+    grid_dims: tuple[int, int, int]
+    threads_per_rank: int = 1
+
+    def __post_init__(self):
+        dims = tuple(int(d) for d in self.grid_dims)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(
+                f"grid_dims must be three positive ints, got "
+                f"{self.grid_dims!r}")
+        object.__setattr__(self, "grid_dims", dims)
+        if self.threads_per_rank < 1:
+            raise ValueError("threads_per_rank must be >= 1")
+
+    @classmethod
+    def parse(cls, ranks: str, threads: int = 1) -> "SimulationScheme":
+        """Parse the CLI form: ``--ranks RxSxT --threads K``.
+
+        ``ranks`` is the process grid as ``RxSxT`` (also accepts the
+        ``x``-less single-rank form ``1``).
+        """
+        parts = str(ranks).lower().replace("×", "x").split("x")
+        if len(parts) == 1:
+            parts = [parts[0], "1", "1"]
+        if len(parts) != 3:
+            raise ValueError(
+                f"--ranks must look like RxSxT, got {ranks!r}")
+        try:
+            dims = tuple(int(p) for p in parts)
+        except ValueError as exc:
+            raise ValueError(
+                f"--ranks must look like RxSxT, got {ranks!r}") from exc
+        return cls(grid_dims=dims, threads_per_rank=int(threads))
+
+    @property
+    def n_ranks(self) -> int:
+        r, s, t = self.grid_dims
+        return r * s * t
+
+    @property
+    def cores_used(self) -> int:
+        return self.n_ranks * self.threads_per_rank
+
+    def to_parallel_scheme(self, name: str | None = None) -> ParallelScheme:
+        """Project onto the paper's per-node accounting (one node)."""
+        return ParallelScheme(name or str(self), self.n_ranks,
+                              self.threads_per_rank)
+
+    def __str__(self) -> str:
+        r, s, t = self.grid_dims
+        return f"{r}x{s}x{t} ranks x {self.threads_per_rank} threads"
 
 
 #: The baseline on Fugaku: one rank per core (Sec. 3.5.4).
@@ -118,7 +183,8 @@ def split_pair_ranges(indptr, n_shards: int):
     if n_shards < 1:
         raise ValueError("need at least one shard")
     indptr = np.asarray(indptr)
-    n = len(indptr) - 1
+    # An empty indptr (no CSR at all) means zero atoms, same as [0].
+    n = max(0, len(indptr) - 1)
     nnz = int(indptr[-1]) if n > 0 else 0
     if nnz == 0:
         # No pairs to balance: fall back to atom-count quantiles.

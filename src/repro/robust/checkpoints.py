@@ -18,7 +18,12 @@ from __future__ import annotations
 import os
 import re
 
-from ..io.checkpoint import load_checkpoint, restart_simulation, save_checkpoint
+from ..io.checkpoint import (
+    load_checkpoint,
+    restart_simulation,
+    save_checkpoint,
+    write_state_checkpoint,
+)
 from .errors import CheckpointIntegrityError
 
 __all__ = ["CheckpointManager"]
@@ -34,16 +39,25 @@ class CheckpointManager:
     directory:
         Created on first save if missing.
     prefix:
-        File names are ``{prefix}-{step:09d}.npz``.
+        File names are ``{prefix}-{step:09d}.npz``.  Several managers
+        can share one directory with distinct prefixes (the distributed
+        driver keeps one manager per rank, ``rank000-*`` etc.).
     keep_last:
         Checkpoints retained after rotation (0/None keeps everything).
+    loader:
+        Validation/load callable used by :meth:`latest_valid` and
+        friends; defaults to :func:`repro.io.checkpoint.load_checkpoint`
+        (full simulation checkpoints).  The distributed driver passes
+        :func:`repro.io.checkpoint.load_shard_checkpoint` so shard files
+        are validated against the shard schema.
     """
 
     def __init__(self, directory: str, prefix: str = "ckpt",
-                 keep_last: int = 3):
+                 keep_last: int = 3, loader=None):
         self.directory = os.fspath(directory)
         self.prefix = prefix
         self.keep_last = keep_last
+        self.loader = load_checkpoint if loader is None else loader
         #: Paths that failed validation during fallback (post-mortem).
         self.rejected: list[str] = []
 
@@ -83,6 +97,29 @@ class CheckpointManager:
         self._rotate()
         return path
 
+    def save_arrays(self, step: int, arrays: dict, meta: dict | None = None,
+                    writer=None, injector=None, target: int | None = None
+                    ) -> str:
+        """Checkpoint an arbitrary array payload at ``step``, then rotate.
+
+        ``writer`` defaults to the generic
+        :func:`~repro.io.checkpoint.write_state_checkpoint`; the
+        distributed driver passes a shard writer.  ``injector``/
+        ``target`` give the fault plan its crash-mid-flush shot on this
+        specific file (``target`` selects the rank) before rotation,
+        mirroring :meth:`save`.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for_step(int(step))
+        if writer is None:
+            path = write_state_checkpoint(path, arrays, meta)
+        else:
+            path = writer(path, arrays, meta)
+        if injector is not None:
+            injector.after_checkpoint(path, int(step), target=target)
+        self._rotate()
+        return path
+
     def _rotate(self) -> None:
         if not self.keep_last:
             return
@@ -102,16 +139,34 @@ class CheckpointManager:
         """
         for path in reversed(self.paths()):
             try:
-                load_checkpoint(path)
+                self.loader(path)
                 return path
             except CheckpointIntegrityError:
                 if path not in self.rejected:
                     self.rejected.append(path)
         return None
 
+    def valid_steps(self) -> list[int]:
+        """Steps of every checkpoint that passes validation, ascending.
+
+        The distributed restart driver intersects these across ranks to
+        find the newest *globally consistent* rollback point — a rank
+        whose newest shard is corrupt degrades the whole world to the
+        previous common step.
+        """
+        steps = []
+        for path in self.paths():
+            try:
+                self.loader(path)
+                steps.append(self.step_of(path))
+            except CheckpointIntegrityError:
+                if path not in self.rejected:
+                    self.rejected.append(path)
+        return steps
+
     def load_latest(self) -> dict | None:
         path = self.latest_valid()
-        return None if path is None else load_checkpoint(path)
+        return None if path is None else self.loader(path)
 
     def restart_latest(self, forcefield, **kwargs):
         """Restart from the newest valid checkpoint (falls back past

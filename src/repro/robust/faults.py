@@ -20,6 +20,9 @@ fault kind             where it strikes
                        raises at the target step
 ``drop-ghost``         the target rank sends an empty halo-refresh
                        message at the target step
+``kill-rank``          the target distributed rank dies (raises) at the
+                       top of the target step — the port for rank-level
+                       shard-checkpoint restart
 =====================  ==================================================
 
 Faults are **one-shot**: each fires exactly once and is then spent.
@@ -49,6 +52,7 @@ FAULT_KINDS = (
     "truncate-checkpoint",
     "kill-worker",
     "drop-ghost",
+    "kill-rank",
 )
 
 
@@ -161,9 +165,16 @@ class FaultInjector:
             energy = float("inf")
         return energy, forces
 
-    def after_checkpoint(self, path: str, step: int | None = None) -> None:
-        """Truncate a just-written checkpoint (crash-mid-flush model)."""
-        if self._take("truncate-checkpoint", step) is None:
+    def after_checkpoint(self, path: str, step: int | None = None,
+                         target: int | None = None) -> None:
+        """Truncate a just-written checkpoint (crash-mid-flush model).
+
+        ``target`` is the writing rank in distributed runs, so
+        ``truncate-checkpoint@STEP:RANK`` damages exactly one rank's
+        shard file; serial callers pass no target and match rank-less
+        fault plans as before.
+        """
+        if self._take("truncate-checkpoint", step, target=target) is None:
             return
         size = os.path.getsize(path)
         with open(path, "r+b") as fh:
@@ -176,6 +187,18 @@ class FaultInjector:
             raise InjectedFault(
                 f"injected worker death on shard {shard} at step "
                 f"{self.current_step}")
+
+    def rank_fault(self, step: int, rank: int) -> None:
+        """Distributed per-step hook; raises to kill the calling rank.
+
+        The distributed driver calls this at the top of every MD step on
+        every rank, so ``kill-rank@STEP:RANK`` deterministically kills
+        one rank mid-run — the event the shard-checkpoint restart path
+        exists to survive.
+        """
+        if self._take("kill-rank", step, target=rank):
+            raise InjectedFault(
+                f"injected rank death on rank {rank} at step {step}")
 
     def take_ghost_drop(self, step: int, rank: int) -> bool:
         """True when this rank should drop its next halo message."""

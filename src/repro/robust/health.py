@@ -57,12 +57,19 @@ class GuardTolerances:
     energy_drift: float = 0.05
     #: Check energy/forces for NaN/Inf each step.
     check_finite: bool = True
+    #: Run the guards every K steps (guard-cost amortization).  NaN/Inf
+    #: and blown-up coordinates *propagate* through the integrator, so a
+    #: corruption born between guarded steps is still caught at the next
+    #: one — at 1/K the guard cost on the hot path.  The final step of a
+    #: run is always guarded.
+    guard_every: int = 1
 
     @classmethod
     def from_spec(cls, spec: str | None) -> "GuardTolerances":
-        """Parse a CLI spec like ``"disp=1.0,drift=0.05"``.
+        """Parse a CLI spec like ``"disp=1.0,drift=0.05,every=10"``.
 
-        Keys: ``disp`` (Å), ``drift`` (eV/atom), ``finite`` (0/1).
+        Keys: ``disp`` (Å), ``drift`` (eV/atom), ``finite`` (0/1),
+        ``every`` (steps between guard evaluations).
         ``None``, ``""`` or ``"default"`` give the defaults.
         """
         tol = cls()
@@ -80,6 +87,8 @@ class GuardTolerances:
                 tol.energy_drift = float(value)
             elif key in ("finite", "check_finite"):
                 tol.check_finite = bool(int(value))
+            elif key in ("every", "guard_every"):
+                tol.guard_every = max(1, int(value))
             else:
                 raise ValueError(f"unknown guard tolerance key {key!r}")
         return tol
@@ -117,6 +126,19 @@ class HealthMonitor:
     def _raise(self, err):
         self.violations.append(err)
         raise err
+
+    def should_check(self, step: int, last_step: int | None = None,
+                     every: int | None = None) -> bool:
+        """Whether this step is a guarded one under the amortization
+        cadence (``every`` overrides the tolerance default; the run's
+        final step — ``last_step`` — is always guarded so no run ends on
+        an unvalidated state)."""
+        if every is None:
+            every = self.tolerances.guard_every
+        every = max(1, int(every or 1))
+        if last_step is not None and step == last_step:
+            return True
+        return step % every == 0
 
     # ---------------------------------------------------------------- guards
     def check_finite(self, sim) -> None:

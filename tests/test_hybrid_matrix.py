@@ -1,0 +1,161 @@
+"""Cross-layer equivalence matrix: every parallel configuration must
+reproduce the serial trajectory.
+
+The paper's hybrid MPI+OpenMP scheme (Sec. 3.5.4, Fig. 6 (c)) is only
+trustworthy if it is *differentially* pinned to the serial engine, so
+this module runs the 99-step paper protocol on one copper cell through
+``{serial, threaded(2), distributed(2x1x1), hybrid(2 ranks x 2
+threads)}`` and asserts the equivalence contract:
+
+* **coordinates** — bitwise identical to serial in f64 (empirically
+  exact over the full protocol: integration is elementwise, neighbor
+  structures are identical, and force differences never reach the
+  coordinate ulps);
+* **velocities** — equal to within a few ulp (the reverse ghost-force
+  fold and the shard-ordered force merge reassociate the force sum, so
+  the half-kick can differ in the last bit);
+* **thermodynamics** — allreduced PE/KE/T/P equal to tight absolute
+  tolerances.
+
+The f32 legs run the same matrix on the single-precision tabulated
+model: parallel-vs-serial stays bitwise *within* f32, while f32-vs-f64
+is tolerance-bounded.
+
+The hybrid and threaded legs are tier-1; the distributed-only and f32
+legs carry the ``slow`` marker (run with ``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.precision import to_single_precision
+from repro.md import DPForceField, Simulation, copper_system
+from repro.md.velocity import maxwell_boltzmann
+from repro.parallel import run_distributed_md
+from repro.units import MASS_AMU
+
+#: The 99-step paper protocol (Sec. 4) at laptop scale.
+N_STEPS = 99
+REBUILD_EVERY = 50
+THERMO_EVERY = 33
+DT_FS = 1.0
+SKIN = 1.0
+VEL_SEED = 3
+
+#: Velocity ulp budget: reassociated force reductions perturb the
+#: half-kick by at most a few last-place bits (measured max 9e-16).
+VEL_ATOL = 5e-15
+
+
+@pytest.fixture(scope="module")
+def protocol_system():
+    """Jittered 256-atom copper cell — large enough that a 2-rank
+    decomposition satisfies the halo constraint (subdomain > rcut+skin)."""
+    coords, types, box = copper_system((4, 4, 4))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    masses = np.array([MASS_AMU["Cu"]])
+    v0 = maxwell_boltzmann(masses[types], 330.0, VEL_SEED)
+    return coords, types, box, masses, v0
+
+
+def run_serial(protocol_system, model, threads=1):
+    coords, types, box, masses, v0 = protocol_system
+    sim = Simulation(coords, types, box, masses, DPForceField(model),
+                     dt_fs=DT_FS, skin=SKIN, sel=model.spec.sel,
+                     rebuild_every=REBUILD_EVERY, velocities=v0,
+                     threads=threads)
+    sim.run(N_STEPS, thermo_every=THERMO_EVERY)
+    return sim
+
+
+def run_parallel(protocol_system, model, grid_dims, threads_per_rank=1,
+                 **kwargs):
+    coords, types, box, masses, v0 = protocol_system
+    return run_distributed_md(
+        int(np.prod(grid_dims)), grid_dims, coords, types, box, masses,
+        model, dt_fs=DT_FS, n_steps=N_STEPS, rebuild_every=REBUILD_EVERY,
+        skin=SKIN, sel=model.spec.sel, velocities=v0,
+        thermo_every=THERMO_EVERY, threads_per_rank=threads_per_rank,
+        **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_run(protocol_system, cu_compressed):
+    """The reference trajectory every other leg is pinned to."""
+    return run_serial(protocol_system, cu_compressed)
+
+
+def assert_equivalent(coords, velocities, thermo, ref_sim):
+    """The cross-layer contract (see module docstring)."""
+    assert np.array_equal(coords, ref_sim.coords), \
+        "coordinates must be bitwise identical to the serial trajectory"
+    assert np.abs(velocities - ref_sim.velocities).max() <= VEL_ATOL
+    ref_thermo = ref_sim.thermo_log
+    assert [t.step for t in thermo] == [t.step for t in ref_thermo]
+    for got, ref in zip(thermo, ref_thermo):
+        assert got.potential_ev == pytest.approx(ref.potential_ev,
+                                                 abs=1e-12)
+        assert got.kinetic_ev == pytest.approx(ref.kinetic_ev, abs=1e-12)
+        assert got.temperature_k == pytest.approx(ref.temperature_k,
+                                                  abs=1e-10)
+        assert got.pressure_bar == pytest.approx(ref.pressure_bar,
+                                                 abs=1e-9)
+
+
+class TestEquivalenceMatrixF64:
+    def test_threaded_leg(self, protocol_system, cu_compressed, serial_run):
+        """threaded(2): the shared-memory engine alone."""
+        sim = run_serial(protocol_system, cu_compressed, threads=2)
+        assert_equivalent(sim.coords, sim.velocities, sim.thermo_log,
+                          serial_run)
+
+    def test_hybrid_leg(self, protocol_system, cu_compressed, serial_run):
+        """hybrid(2 ranks x 2 threads): the acceptance anchor — both
+        parallel layers composed (paper Fig. 6 (c))."""
+        res = run_parallel(protocol_system, cu_compressed, (2, 1, 1),
+                           threads_per_rank=2)
+        assert_equivalent(res.coords, res.velocities, res.thermo,
+                          serial_run)
+        assert res.rank_restarts == []
+        assert res.forward_bytes > 0 and res.reverse_bytes > 0
+
+    @pytest.mark.slow
+    def test_distributed_leg(self, protocol_system, cu_compressed,
+                             serial_run):
+        """distributed(2x1x1): the flat-MPI layer alone."""
+        res = run_parallel(protocol_system, cu_compressed, (2, 1, 1))
+        assert_equivalent(res.coords, res.velocities, res.thermo,
+                          serial_run)
+
+
+@pytest.mark.slow
+class TestEquivalenceMatrixF32:
+    """Single-precision tabulated model: bitwise within f32, bounded
+    against f64."""
+
+    @pytest.fixture(scope="class")
+    def f32_model(self, cu_compressed):
+        return to_single_precision(cu_compressed)
+
+    @pytest.fixture(scope="class")
+    def serial_f32(self, protocol_system, f32_model):
+        return run_serial(protocol_system, f32_model)
+
+    def test_hybrid_f32_matches_serial_f32(self, protocol_system, f32_model,
+                                           serial_f32):
+        res = run_parallel(protocol_system, f32_model, (2, 1, 1),
+                           threads_per_rank=2)
+        assert np.array_equal(res.coords, serial_f32.coords)
+        assert np.abs(res.velocities - serial_f32.velocities).max() \
+            <= VEL_ATOL
+
+    def test_f32_bounded_against_f64(self, serial_f32, serial_run):
+        """Tabulation in f32 perturbs the trajectory but stays within
+        the measured envelope (~2e-13 Å after 99 steps)."""
+        dev = np.abs(serial_f32.coords - serial_run.coords).max()
+        assert 0 < dev < 1e-10
+        assert serial_f32.thermo_log[-1].potential_ev == pytest.approx(
+            serial_run.thermo_log[-1].potential_ev, abs=1e-7)

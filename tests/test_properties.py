@@ -165,3 +165,69 @@ class TestScalingProperties:
         res = MODEL.evaluate(coords, types, np.arange(n),
                              all_pairs_nlist(n))
         assert np.allclose(res.forces[-1], 0.0, atol=1e-12)
+
+
+@st.composite
+def csr_indptrs(draw):
+    """A valid CSR indptr: non-negative, monotone non-decreasing, starts
+    at 0.  Covers empty (no atoms), singleton, and all-zero-pair cases."""
+    counts = draw(st.lists(st.integers(0, 50), min_size=0, max_size=64))
+    return np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+
+
+class TestShardPartitionProperties:
+    """The pair-quantile CSR cuts behind the threaded engine must always
+    be a partition: cover ``[0, n)``, be disjoint, and be monotone — for
+    *any* valid indptr, including empty/singleton/all-zero ones."""
+
+    @given(csr_indptrs(), st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_split_pair_ranges_is_partition(self, indptr, n_shards):
+        from repro.parallel import split_pair_ranges
+
+        ranges = split_pair_ranges(indptr, n_shards)
+        n = max(0, len(indptr) - 1)
+        assert len(ranges) == n_shards
+        assert all(0 <= lo <= hi <= n for lo, hi in ranges)
+        # Contiguous cover: each shard starts where the previous ended.
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (_, hi_prev), (lo, _) in zip(ranges, ranges[1:]):
+            assert lo == hi_prev
+        covered = np.concatenate(
+            [np.arange(lo, hi) for lo, hi in ranges]) if n else \
+            np.zeros(0, dtype=np.intp)
+        assert np.array_equal(covered, np.arange(n))
+
+    @given(csr_indptrs(), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_engine_shard_ranges_match(self, indptr, n_shards):
+        from repro.parallel import ThreadedEngine
+
+        engine = ThreadedEngine(n_shards)
+        try:
+            ranges = engine.shard_ranges(indptr)
+        finally:
+            engine.close()
+        n = max(0, len(indptr) - 1)
+        assert len(ranges) == n_shards
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (_, hi_prev), (lo, _) in zip(ranges, ranges[1:]):
+            assert lo == hi_prev
+
+    @given(st.integers(1, 8), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_all_zero_pair_counts_fall_back_to_atom_quantiles(
+            self, n_shards, n_atoms):
+        from repro.parallel import split_pair_ranges
+
+        indptr = np.zeros(n_atoms + 1, dtype=np.intp)
+        ranges = split_pair_ranges(indptr, n_shards)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == n_atoms
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_indptr(self):
+        from repro.parallel import split_pair_ranges
+
+        assert split_pair_ranges(np.zeros(0, dtype=np.intp), 3) == \
+            [(0, 0), (0, 0), (0, 0)]

@@ -1,0 +1,183 @@
+"""Rank-level checkpoint/restart: a dead rank must not kill the run.
+
+These tests exercise the shard-checkpoint restart path of
+:func:`repro.parallel.run_distributed_md` with deterministic ``kill-rank``
+faults: each rank writes its phase-space shard every few steps, a rank
+is killed mid-run, and the world re-spawns from the newest *globally
+consistent* shard step — finishing with a trajectory bitwise identical
+to a clean run (the one-shot fault model makes the replay converge).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.checkpoint import load_shard_checkpoint, save_shard_checkpoint
+from repro.md import copper_system
+from repro.md.velocity import maxwell_boltzmann
+from repro.parallel import run_distributed_md
+from repro.robust import CheckpointManager, FaultInjector
+from repro.robust.errors import CheckpointIntegrityError, RankFailureError
+from repro.units import MASS_AMU
+
+N_STEPS = 12
+REBUILD_EVERY = 5
+CHECKPOINT_EVERY = 4
+
+
+@pytest.fixture(scope="module")
+def system():
+    coords, types, box = copper_system((4, 4, 4))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    masses = np.array([MASS_AMU["Cu"]])
+    v0 = maxwell_boltzmann(masses[types], 330.0, 3)
+    return coords, types, box, masses, v0
+
+
+def run(system, model, injector=None, checkpoint_dir=None, **kwargs):
+    coords, types, box, masses, v0 = system
+    return run_distributed_md(
+        2, (2, 1, 1), coords, types, box, masses, model, dt_fs=1.0,
+        n_steps=N_STEPS, rebuild_every=REBUILD_EVERY, skin=1.0,
+        sel=model.spec.sel, velocities=v0, thermo_every=4,
+        injector=injector, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
+        **kwargs)
+
+
+@pytest.fixture(scope="module")
+def clean_run(system, cu_compressed):
+    return run(system, cu_compressed)
+
+
+class TestKillRankRecovery:
+    def test_restart_matches_clean_run(self, system, cu_compressed,
+                                       clean_run, tmp_path):
+        """A rank killed between checkpoints resumes from the last shard
+        and the gathered trajectory is bitwise identical to a clean run."""
+        inj = FaultInjector.from_specs("kill-rank@10:1")
+        res = run(system, cu_compressed, injector=inj,
+                  checkpoint_dir=str(tmp_path))
+        assert [f["kind"] for f in inj.log] == ["kill-rank"]
+        assert len(res.rank_restarts) == 1
+        ev = res.rank_restarts[0]
+        assert (ev.rank, ev.step, ev.restart_step) == (1, 10, 8)
+        assert "InjectedFault" in ev.error
+        assert np.array_equal(res.coords, clean_run.coords)
+        assert np.array_equal(res.velocities, clean_run.velocities)
+        assert [t.step for t in res.thermo] == \
+            [t.step for t in clean_run.thermo]
+        for got, ref in zip(res.thermo, clean_run.thermo):
+            assert got.potential_ev == ref.potential_ev
+            assert got.kinetic_ev == ref.kinetic_ev
+
+    def test_kill_before_first_checkpoint_replays_from_scratch(
+            self, system, cu_compressed, clean_run, tmp_path):
+        """No shard exists yet at the failure — the world replays from
+        step 0 (restart_step 0) and still matches the clean run."""
+        inj = FaultInjector.from_specs("kill-rank@2:0")
+        res = run(system, cu_compressed, injector=inj,
+                  checkpoint_dir=str(tmp_path))
+        assert len(res.rank_restarts) == 1
+        assert res.rank_restarts[0].restart_step == 0
+        assert np.array_equal(res.coords, clean_run.coords)
+
+    def test_truncated_shard_degrades_to_previous_common_step(
+            self, system, cu_compressed, clean_run, tmp_path):
+        """A crash-mid-flush on one rank's newest shard (step 8) drops it
+        from that rank's valid set, so the intersection rolls the whole
+        world back to the previous common checkpoint (step 4)."""
+        inj = FaultInjector.from_specs(
+            ["truncate-checkpoint@8:1", "kill-rank@10:0"])
+        res = run(system, cu_compressed, injector=inj,
+                  checkpoint_dir=str(tmp_path))
+        assert [f["kind"] for f in inj.log] == \
+            ["truncate-checkpoint", "kill-rank"]
+        assert len(res.rank_restarts) == 1
+        assert res.rank_restarts[0].restart_step == 4
+        assert np.array_equal(res.coords, clean_run.coords)
+        assert np.array_equal(res.velocities, clean_run.velocities)
+
+    def test_no_checkpointing_aborts(self, system, cu_compressed):
+        """Without shard checkpoints a rank failure is fatal, as before."""
+        inj = FaultInjector.from_specs("kill-rank@3:0")
+        with pytest.raises(RankFailureError) as exc_info:
+            run(system, cu_compressed, injector=inj)
+        assert exc_info.value.rank == 0
+        assert exc_info.value.step == 3
+
+    def test_restart_budget_exhausted(self, system, cu_compressed,
+                                      tmp_path):
+        """max_rank_restarts=0 propagates the typed failure even with
+        checkpointing enabled."""
+        inj = FaultInjector.from_specs("kill-rank@6:1")
+        with pytest.raises(RankFailureError):
+            run(system, cu_compressed, injector=inj,
+                checkpoint_dir=str(tmp_path), max_rank_restarts=0)
+
+    def test_two_faults_two_restarts(self, system, cu_compressed,
+                                     clean_run, tmp_path):
+        """Each one-shot fault costs one restart; the budget covers both."""
+        inj = FaultInjector.from_specs(["kill-rank@6:0", "kill-rank@11:1"])
+        res = run(system, cu_compressed, injector=inj,
+                  checkpoint_dir=str(tmp_path))
+        assert [(e.rank, e.step) for e in res.rank_restarts] == \
+            [(0, 6), (1, 11)]
+        assert np.array_equal(res.coords, clean_run.coords)
+
+
+class TestShardCheckpointFormat:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        path = str(tmp_path / "shard.npz")
+        ids = np.arange(5, dtype=np.intp)
+        coords = rng.standard_normal((5, 3))
+        vel = rng.standard_normal((5, 3))
+        types = np.zeros(5, dtype=np.intp)
+        thermo = rng.standard_normal((2, 6))
+        save_shard_checkpoint(path, step=7, ids=ids, coords=coords,
+                              velocities=vel, types=types,
+                              build_coords=coords, thermo=thermo,
+                              meta={"rank": 1})
+        shard = load_shard_checkpoint(path)
+        assert shard["meta"]["step"] == 7
+        assert shard["meta"]["rank"] == 1
+        assert np.array_equal(shard["ids"], ids)
+        assert np.array_equal(shard["coords"], coords)
+        assert np.array_equal(shard["velocities"], vel)
+        assert np.array_equal(shard["thermo"], thermo)
+
+    def test_rejects_non_shard_file(self, tmp_path):
+        from repro.io.checkpoint import write_state_checkpoint
+
+        path = str(tmp_path / "other.npz")
+        write_state_checkpoint(
+            path,
+            {name: np.zeros((2, 3))
+             for name in ("ids", "coords", "velocities", "types",
+                          "build_coords")})
+        with pytest.raises(CheckpointIntegrityError):
+            load_shard_checkpoint(path)
+
+    def test_manager_valid_steps_skips_corrupt(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), prefix="rank000",
+                                keep_last=0, loader=load_shard_checkpoint)
+        arr = np.zeros((3, 3))
+        ids = np.arange(3, dtype=np.intp)
+        types = np.zeros(3, dtype=np.intp)
+        for step in (4, 8, 12):
+            save_shard_checkpoint(mgr.path_for_step(step), step=step,
+                                  ids=ids, coords=arr, velocities=arr,
+                                  types=types, build_coords=arr)
+        # Truncate the newest — crash mid-flush.
+        path = mgr.path_for_step(12)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert mgr.valid_steps() == [4, 8]
+        assert mgr.latest_valid() == mgr.path_for_step(8)
+        assert path in mgr.rejected

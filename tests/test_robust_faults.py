@@ -61,6 +61,27 @@ class TestInjectorSemantics:
         inj.corrupt_state(1, 0.0, f)
         assert np.isfinite(f).all()
 
+    def test_kill_rank_spec_and_hook(self):
+        inj = FaultInjector.from_specs("kill-rank@7:1")
+        fault = inj.faults[0]
+        assert (fault.kind, fault.step, fault.target) == ("kill-rank", 7, 1)
+        inj.rank_fault(7, 0)   # wrong rank: no strike
+        inj.rank_fault(6, 1)   # wrong step: no strike
+        with pytest.raises(InjectedFault, match="rank 1 at step 7"):
+            inj.rank_fault(7, 1)
+        inj.rank_fault(7, 1)   # one-shot: spent
+        assert not inj.pending
+
+    def test_truncate_checkpoint_rank_targeting(self, tmp_path):
+        """A rank-targeted truncation only damages that rank's file."""
+        inj = FaultInjector.from_specs("truncate-checkpoint@4:1")
+        for rank in (0, 1):
+            path = tmp_path / f"rank{rank}.npz"
+            path.write_bytes(b"x" * 100)
+            inj.after_checkpoint(str(path), 4, target=rank)
+        assert (tmp_path / "rank0.npz").stat().st_size == 100
+        assert (tmp_path / "rank1.npz").stat().st_size == 50
+
 
 class TestWorkerDeathRecovery:
     def test_engine_map_retries_poisoned_shard(self):

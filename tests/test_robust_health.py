@@ -118,6 +118,7 @@ class TestGuardTolerancesSpec:
     def test_defaults(self):
         assert GuardTolerances.from_spec(None) == GuardTolerances()
         assert GuardTolerances.from_spec("default") == GuardTolerances()
+        assert GuardTolerances().guard_every == 1
 
     def test_parse(self):
         tol = GuardTolerances.from_spec("disp=0.5,drift=0.01,finite=0")
@@ -125,11 +126,62 @@ class TestGuardTolerancesSpec:
         assert tol.energy_drift == 0.01
         assert tol.check_finite is False
 
+    def test_parse_guard_every(self):
+        assert GuardTolerances.from_spec("every=10").guard_every == 10
+        assert GuardTolerances.from_spec("guard_every=0").guard_every == 1
+
     def test_rejects_unknown_key(self):
         with pytest.raises(ValueError):
             GuardTolerances.from_spec("bogus=1")
         with pytest.raises(ValueError):
             GuardTolerances.from_spec("disp")
+
+
+class TestGuardAmortization:
+    """``guard_every=K`` runs the guards every K steps; corruption born
+    between guarded steps propagates and is caught at the next one."""
+
+    def test_nan_between_checks_caught_at_next_guarded_step(self):
+        # rebuild_every=50 keeps the (NaN-intolerant) neighbor rebuild
+        # out of the window so the *guard* is what catches the fault.
+        sim = make_sim(monitor=HealthMonitor(
+            GuardTolerances.from_spec("every=5")), rebuild_every=50)
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@7"))
+        with pytest.raises(NonFiniteStateError) as err:
+            sim.run(20, thermo_every=0)
+        # Injected at 7, guards run at 5, 10, 15, ... → caught at 10.
+        assert err.value.step == 10
+
+    def test_run_argument_overrides_tolerance_default(self):
+        sim = make_sim(monitor=HealthMonitor())
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@7"))
+        with pytest.raises(NonFiniteStateError) as err:
+            sim.run(20, thermo_every=0, guard_every=4)
+        assert err.value.step == 8
+
+    def test_final_step_always_guarded(self):
+        sim = make_sim(monitor=HealthMonitor(
+            GuardTolerances.from_spec("every=50")))
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@3"))
+        with pytest.raises(NonFiniteStateError) as err:
+            sim.run(6, thermo_every=0)
+        assert err.value.step == 6
+
+    def test_amortized_clean_run_matches_per_step_guarding(self):
+        a = make_sim(monitor=HealthMonitor())
+        a.run(10, thermo_every=0)
+        b = make_sim(monitor=HealthMonitor(
+            GuardTolerances.from_spec("every=5")))
+        b.run(10, thermo_every=0)
+        assert np.array_equal(a.coords, b.coords)
+        assert np.array_equal(a.velocities, b.velocities)
+
+    def test_should_check_cadence(self):
+        mon = HealthMonitor(GuardTolerances(guard_every=3))
+        assert [s for s in range(1, 10) if mon.should_check(s)] == [3, 6, 9]
+        assert mon.should_check(7, last_step=7)
+        assert not mon.should_check(7, last_step=8)
+        assert mon.should_check(7, every=1)
 
 
 class TestEngineAttachRegression:
