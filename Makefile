@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +18,10 @@ faultsmoke:      ## <30 s fault-injection drill: NaN at step 10, rollback, bitwi
 hybridsmoke:     ## <60 s hybrid drill: 2 ranks x 2 threads == serial bitwise + kill-rank shard restart
 	$(PYTHON) tools/hybrid_smoke.py
 
+obssmoke:        ## <60 s observability drill: traced+metered hybrid run with a fault; trace/JSONL parse, restart counters non-zero
+	$(PYTHON) tools/obs_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke
+verify: test smoke faultsmoke hybridsmoke obssmoke

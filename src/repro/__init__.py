@@ -67,7 +67,8 @@ __all__ = [
 def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
                      reps=(2, 2, 2), compressed: bool = True,
                      interval: float = 0.01, seed: int = 0,
-                     threads: int = 1, **model_kwargs) -> Simulation:
+                     threads: int = 1, tracer=None, metrics=None,
+                     **model_kwargs) -> Simulation:
     """One-call MD setup on a paper workload at laptop scale.
 
     Builds the configuration, a (downsized) Deep Potential model, and —
@@ -88,6 +89,9 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
         Shared-memory workers for the fused inference path (the
         ``threads`` factor of the paper's ``ranks x threads`` schemes);
         ``1`` is the exact serial path.
+    tracer / metrics:
+        Optional :class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`
+        instrumenting the run (span trace + JSONL metrics).
     model_kwargs:
         Overrides for :meth:`repro.workloads.Workload.model_spec`, e.g.
         ``d1=8, fit_width=32`` to shrink the nets.
@@ -130,4 +134,6 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
         sel=spec.sel,
         seed=seed,
         threads=threads,
+        tracer=tracer,
+        metrics=metrics,
     )

@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "aborts the run")
     run.add_argument("--halve-dt", action="store_true",
                      help="halve the timestep on each rollback")
+    run.add_argument("--trace", type=str, default=None, metavar="FILE",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(open in Perfetto or chrome://tracing; one "
+                          "lane per rank/engine thread)")
+    run.add_argument("--metrics", type=str, default=None, metavar="FILE",
+                     help="stream per-step and per-event metrics to this "
+                          "JSONL file and print an end-of-run summary "
+                          "table")
 
     comp = sub.add_parser("compress",
                           help="build and save a compressed model")
@@ -104,6 +112,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print package and paper summary")
     return p
+
+
+def _make_obs(args):
+    """Build the (tracer, metrics) pair the --trace/--metrics flags ask
+    for; (None, None) when neither is given, so the hot path keeps its
+    zero-overhead NULL_TRACER wiring."""
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(sink=args.metrics)
+    return tracer, metrics
+
+
+def _finish_obs(args, tracer, metrics) -> None:
+    """Flush observability outputs and print the summary table."""
+    if tracer is not None:
+        tracer.export(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(tracer.finished())} spans)")
+    if metrics is not None:
+        metrics.write_summary()
+        metrics.close()
+        print(metrics.summary_table())
+        print(f"metrics written to {args.metrics}")
 
 
 def _cmd_run_distributed(args) -> int:
@@ -144,6 +181,7 @@ def _cmd_run_distributed(args) -> int:
     print(f"{args.system}: {len(sim.coords)} atoms, "
           f"{'baseline' if args.baseline else 'compressed'} model, "
           f"{scheme}")
+    tracer, metrics = _make_obs(args)
     start = _time.perf_counter()
     result = run_distributed_md(
         scheme.n_ranks, scheme.grid_dims, sim.coords, sim.types, sim.box,
@@ -157,6 +195,8 @@ def _cmd_run_distributed(args) -> int:
         checkpoint_every=args.checkpoint_every,
         keep_last=args.keep_last,
         max_rank_restarts=args.max_rank_restarts,
+        tracer=tracer,
+        metrics=metrics,
     )
     wall = _time.perf_counter() - start
     if injector is not None and injector.log:
@@ -172,6 +212,7 @@ def _cmd_run_distributed(args) -> int:
           f"max {result.max_ghost_atoms} ghosts/rank")
     ns = args.steps * sim.dt_fs * 1e-6
     print(f"throughput: {ns / (wall / 86400.0):.3f} ns/day")
+    _finish_obs(args, tracer, metrics)
     return 0
 
 
@@ -181,10 +222,12 @@ def _cmd_run(args) -> int:
 
     if args.ranks:
         return _cmd_run_distributed(args)
+    tracer, metrics = _make_obs(args)
     sim = repro.quick_simulation(
         args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
         compressed=not args.baseline, interval=args.interval,
         seed=args.seed, threads=args.threads,
+        tracer=tracer, metrics=metrics,
     )
     if args.restart:
         from repro.io import restart_simulation
@@ -197,6 +240,10 @@ def _cmd_run(args) -> int:
             args.restart, sim.forcefield,
             threads=args.threads if args.threads != 1 else None,
             engine=sim.engine)
+        if tracer is not None:
+            sim.tracer = tracer
+        if metrics is not None:
+            sim.metrics = metrics
         print(f"restarted from {args.restart} at step {sim.step}")
     writer = None
     if args.xyz:
@@ -229,7 +276,8 @@ def _cmd_run(args) -> int:
                 FaultInjector.from_specs(args.inject_fault,
                                          seed=args.seed))
         manager = CheckpointManager(args.checkpoint_dir,
-                                    keep_last=args.keep_last)
+                                    keep_last=args.keep_last,
+                                    metrics=metrics)
         checkpoint_every = args.checkpoint_every or 10
         sim, report = run_with_recovery(
             sim, args.steps, manager=manager,
@@ -256,6 +304,7 @@ def _cmd_run(args) -> int:
         print(f"trajectory written to {args.xyz}")
     print(format_thermo_table(sim.thermo_log))
     print(f"throughput: {sim.ns_per_day():.3f} ns/day")
+    _finish_obs(args, tracer, metrics)
     return 0
 
 

@@ -68,8 +68,8 @@ def normalize_checkpoint_path(path) -> str:
     return path
 
 
-def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None
-                           ) -> str:
+def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None,
+                           metrics=None) -> str:
     """Atomically write named arrays plus JSON metadata with CRC32s.
 
     The shared writer under every checkpoint flavour (full simulation,
@@ -77,7 +77,17 @@ def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None
     is written to a same-directory temp file, fsync'd, renamed over the
     target, and the directory entry is fsync'd.  Returns the path
     actually written (``.npz`` appended when missing).
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
+    measured write cost — ``checkpoint_bytes``/``checkpoint_writes``
+    counters, ``checkpoint_write_seconds``/``checkpoint_fsync_seconds``
+    histograms, and one ``{"type": "checkpoint"}`` JSONL row — which is
+    what :meth:`repro.perf.scaling.CheckpointCostModel.from_metrics`
+    feeds back into the scaling projections.
     """
+    import time as _time
+
+    t0 = _time.perf_counter()
     path = normalize_checkpoint_path(path)
     meta = dict(meta or {})
     meta.setdefault("format", CHECKPOINT_FORMAT)
@@ -87,11 +97,14 @@ def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None
     payload["meta"] = np.frombuffer(json.dumps(meta).encode(),
                                     dtype=np.uint8)
     tmp = f"{path}.tmp.{os.getpid()}"
+    fsync_seconds = 0.0
     try:
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **payload)
             fh.flush()
+            fs0 = _time.perf_counter()
             os.fsync(fh.fileno())
+            fsync_seconds = _time.perf_counter() - fs0
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):
@@ -101,11 +114,26 @@ def write_state_checkpoint(path: str, arrays: dict, meta: dict | None = None
     try:
         dir_fd = os.open(dirname, os.O_RDONLY)
         try:
+            fs0 = _time.perf_counter()
             os.fsync(dir_fd)
+            fsync_seconds += _time.perf_counter() - fs0
         finally:
             os.close(dir_fd)
     except OSError:
         pass
+    if metrics is not None:
+        nbytes = os.path.getsize(path)
+        write_seconds = _time.perf_counter() - t0
+        metrics.inc("checkpoint_writes")
+        metrics.inc("checkpoint_bytes", nbytes)
+        metrics.observe("checkpoint_write_seconds", write_seconds)
+        metrics.observe("checkpoint_fsync_seconds", fsync_seconds)
+        metrics.emit({"type": "checkpoint",
+                      "file": os.path.basename(path),
+                      "step": meta.get("step"),
+                      "bytes": nbytes,
+                      "write_seconds": write_seconds,
+                      "fsync_seconds": fsync_seconds})
     return path
 
 
@@ -148,7 +176,7 @@ def read_state_checkpoint(path: str, required=(), validate: bool = True
     return state
 
 
-def save_checkpoint(path: str, sim: Simulation) -> str:
+def save_checkpoint(path: str, sim: Simulation, metrics=None) -> str:
     """Atomically write the simulation's full restartable state.
 
     Returns the path actually written (``.npz`` appended when missing).
@@ -177,7 +205,7 @@ def save_checkpoint(path: str, sim: Simulation) -> str:
         "n_neighbor_builds": sim.stats.n_neighbor_builds,
         "threads": sim.engine.n_threads if sim.engine is not None else 1,
     }
-    return write_state_checkpoint(path, arrays, meta)
+    return write_state_checkpoint(path, arrays, meta, metrics=metrics)
 
 
 def load_checkpoint(path: str, validate: bool = True) -> dict:
@@ -204,7 +232,7 @@ def save_shard_checkpoint(path: str, *, step: int, ids: np.ndarray,
                           coords: np.ndarray, velocities: np.ndarray,
                           types: np.ndarray, build_coords: np.ndarray,
                           thermo: np.ndarray | None = None,
-                          meta: dict | None = None) -> str:
+                          meta: dict | None = None, metrics=None) -> str:
     """Write one distributed rank's restartable shard.
 
     A shard is the rank's slice of the global phase space in *local*
@@ -226,7 +254,7 @@ def save_shard_checkpoint(path: str, *, step: int, ids: np.ndarray,
         arrays["thermo"] = np.asarray(thermo, dtype=np.float64)
     full_meta = {"kind": "shard", "step": int(step)}
     full_meta.update(meta or {})
-    return write_state_checkpoint(path, arrays, full_meta)
+    return write_state_checkpoint(path, arrays, full_meta, metrics=metrics)
 
 
 def load_shard_checkpoint(path: str, validate: bool = True) -> dict:

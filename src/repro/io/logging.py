@@ -18,17 +18,37 @@ def format_thermo_table(states) -> str:
 
 
 class ThermoWriter:
-    """Streams thermo samples to a file (and optionally echoes them)."""
+    """Streams thermo samples to a file (and optionally echoes them).
+
+    Use as a context manager so the handle is released even when the run
+    dies mid-stream::
+
+        with ThermoWriter("thermo.log") as tw:
+            tw.write(state)
+    """
 
     def __init__(self, path: str, echo: bool = False):
         self.path = path
         self.echo = echo
         self._fh = open(path, "w")
-        self._fh.write(_HEADER + "\n")
+        try:
+            self._fh.write(_HEADER + "\n")
+        except BaseException:
+            # Don't leak the handle when the header write itself fails
+            # (disk full, closed stream wrapper, ...).
+            self._fh.close()
+            self._fh = None
+            raise
         if echo:
             print(_HEADER)
 
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
     def write(self, state: ThermoState) -> None:
+        if self._fh is None:
+            raise ValueError(f"ThermoWriter for {self.path!r} is closed")
         row = state.as_row()
         self._fh.write(row + "\n")
         self._fh.flush()
@@ -36,7 +56,10 @@ class ThermoWriter:
             print(row)
 
     def close(self) -> None:
-        self._fh.close()
+        """Release the file handle (idempotent)."""
+        if self._fh is not None:
+            fh, self._fh = self._fh, None
+            fh.close()
 
     def __enter__(self):
         return self

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.trace import NULL_TRACER
 from .box import Box
 from .integrator import VelocityVerlet
 from .neighbor import DEFAULT_SKIN, NeighborData, NeighborSearch
@@ -38,35 +39,41 @@ class DPForceField:
     forwarded to models advertising ``supports_engine``, together with
     the neighbor list's cached pair→atom map, so the fused kernels run
     sharded over the worker pool.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every model
+    evaluation as a ``fused_forward`` span — the region the paper's
+    Sec. 2.2 profile attributes >90% of the step to.
     """
 
-    def __init__(self, model, engine=None):
+    def __init__(self, model, engine=None, tracer=None):
         self.model = model
         self.rcut = model.spec.rcut
         self.engine = engine
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def compute(self, neighbors: NeighborData):
-        if hasattr(self.model, "evaluate_packed"):
-            kwargs = {}
-            if getattr(self.model, "supports_engine", False):
-                kwargs = {"engine": self.engine,
-                          "pair_atom": neighbors.pair_atom}
-            result = self.model.evaluate_packed(
-                neighbors.ext_coords,
-                neighbors.ext_types,
-                neighbors.centers,
-                neighbors.indices,
-                neighbors.indptr,
-                **kwargs,
-            )
-        else:
-            result = self.model.evaluate(
-                neighbors.ext_coords,
-                neighbors.ext_types,
-                neighbors.centers,
-                neighbors.nlist,
-            )
-        forces = neighbors.fold_forces(result.forces)
+        with self.tracer.span("fused_forward"):
+            if hasattr(self.model, "evaluate_packed"):
+                kwargs = {}
+                if getattr(self.model, "supports_engine", False):
+                    kwargs = {"engine": self.engine,
+                              "pair_atom": neighbors.pair_atom}
+                result = self.model.evaluate_packed(
+                    neighbors.ext_coords,
+                    neighbors.ext_types,
+                    neighbors.centers,
+                    neighbors.indices,
+                    neighbors.indptr,
+                    **kwargs,
+                )
+            else:
+                result = self.model.evaluate(
+                    neighbors.ext_coords,
+                    neighbors.ext_types,
+                    neighbors.centers,
+                    neighbors.nlist,
+                )
+            forces = neighbors.fold_forces(result.forces)
         return result.energy, forces, result.virial
 
 
@@ -115,6 +122,17 @@ class Simulation:
         Optional :class:`repro.robust.FaultInjector` (testing/validation
         of the recovery paths); wired through
         :meth:`attach_injector`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the MD loop records
+        ``step`` / ``neighbor_rebuild`` / ``guard_check`` /
+        ``checkpoint_write`` spans (and wires the force field's
+        ``fused_forward`` span and the engine's per-shard lanes).
+        Defaults to the no-op tracer — zero overhead.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; the MD loop
+        streams one JSONL row per step (wall seconds, rebuild flag) and
+        accumulates ``md_steps`` / ``neighbor_rebuilds`` counters and
+        ``step_seconds`` / ``guard_seconds`` histograms.
     velocities:
         Explicit initial velocities (Å/ps).  When given, the
         Maxwell–Boltzmann draw is skipped entirely — used by restart,
@@ -132,9 +150,11 @@ class Simulation:
                  skin: float = DEFAULT_SKIN, sel=None,
                  rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
                  thermostat=None, threads: int = 1, engine=None,
-                 monitor=None, injector=None, velocities=None,
-                 defer_init: bool = False):
+                 monitor=None, injector=None, tracer=None, metrics=None,
+                 velocities=None, defer_init: bool = False):
         self.box = box
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
         coords = np.asarray(coords, dtype=np.float64)
         # A restart must keep the checkpointed (possibly drifted-out-of-
         # box) positions bit-for-bit; fresh runs normalize into the box.
@@ -152,6 +172,13 @@ class Simulation:
         self.engine = engine
         if engine is not None and getattr(forcefield, "engine", None) is None:
             forcefield.engine = engine
+        if self.tracer:
+            # Wire the span lanes: the force field's fused_forward span
+            # and the engine's per-shard lanes share this run's tracer.
+            if getattr(forcefield, "tracer", None) in (None, NULL_TRACER):
+                forcefield.tracer = self.tracer
+            if engine is not None and getattr(engine, "tracer", None) is None:
+                engine.tracer = self.tracer
         self.search = NeighborSearch(forcefield.rcut, skin=skin, sel=sel,
                                      engine=engine)
         self.integrator = VelocityVerlet(self.masses, dt_fs)
@@ -235,6 +262,7 @@ class Simulation:
         import time as _time
 
         monitor, injector = self.monitor, self.injector
+        tracer, metrics = self.tracer, self.metrics
         if monitor is not None:
             monitor.attach(self)
         last_step = self.step + int(n_steps)
@@ -242,46 +270,73 @@ class Simulation:
         try:
             self._record_thermo(thermo_every, force=True)
             for _ in range(n_steps):
-                prev_coords = self.coords
-                self.coords, self.velocities = self.integrator.first_half(
-                    self.coords, self.velocities, self.forces
-                )
-                self.step += 1
-                if injector is not None:
-                    injector.begin_step(self.step)
-                if (self.step % self.rebuild_every == 0
-                        or self._neighbors.needs_rebuild(self.coords,
-                                                         self.search.skin)):
-                    self._neighbors = self._rebuild()
-                else:
-                    self._refresh_neighbor_coords()
-                self.energy, self.forces, self.virial = self._evaluate()
-                if injector is not None:
-                    self.energy, self.forces = injector.corrupt_state(
-                        self.step, self.energy, self.forces
+                t_step = _time.perf_counter() if metrics is not None else 0.0
+                rebuilt = False
+                guard_seconds = 0.0
+                with tracer.span("step", step=self.step + 1):
+                    prev_coords = self.coords
+                    self.coords, self.velocities = \
+                        self.integrator.first_half(
+                            self.coords, self.velocities, self.forces
+                        )
+                    self.step += 1
+                    if injector is not None:
+                        injector.begin_step(self.step)
+                    if (self.step % self.rebuild_every == 0
+                            or self._neighbors.needs_rebuild(
+                                self.coords, self.search.skin)):
+                        with tracer.span("neighbor_rebuild",
+                                         step=self.step):
+                            self._neighbors = self._rebuild()
+                        rebuilt = True
+                        if metrics is not None:
+                            metrics.inc("neighbor_rebuilds")
+                    else:
+                        self._refresh_neighbor_coords()
+                    self.energy, self.forces, self.virial = self._evaluate()
+                    if injector is not None:
+                        self.energy, self.forces = injector.corrupt_state(
+                            self.step, self.energy, self.forces
+                        )
+                    self.stats.n_force_evals += 1
+                    guarded = monitor is not None and monitor.should_check(
+                        self.step, last_step, guard_every)
+                    if guarded:
+                        # NaN/Inf must be caught *before* the second
+                        # half-kick integrates corrupt forces into the
+                        # velocities.
+                        g0 = _time.perf_counter()
+                        with tracer.span("guard_check", step=self.step):
+                            monitor.check_finite(self)
+                        guard_seconds += _time.perf_counter() - g0
+                    self.velocities = self.integrator.second_half(
+                        self.velocities, self.forces
                     )
-                self.stats.n_force_evals += 1
-                guarded = monitor is not None and monitor.should_check(
-                    self.step, last_step, guard_every)
-                if guarded:
-                    # NaN/Inf must be caught *before* the second half-kick
-                    # integrates corrupt forces into the velocities.
-                    monitor.check_finite(self)
-                self.velocities = self.integrator.second_half(
-                    self.velocities, self.forces
-                )
-                if self.thermostat is not None:
-                    self.velocities = self.thermostat.apply(
-                        self.velocities, self.masses, self.dt_fs
-                    )
-                if guarded:
-                    monitor.check_step(self, prev_coords)
-                self._record_thermo(thermo_every)
-                self.stats.n_steps += 1
-                if (checkpoint_every and checkpoint_manager is not None
-                        and self.step % checkpoint_every == 0
-                        and (monitor is None or guarded)):
-                    checkpoint_manager.save(self)
+                    if self.thermostat is not None:
+                        self.velocities = self.thermostat.apply(
+                            self.velocities, self.masses, self.dt_fs
+                        )
+                    if guarded:
+                        g0 = _time.perf_counter()
+                        with tracer.span("guard_check", step=self.step):
+                            monitor.check_step(self, prev_coords)
+                        guard_seconds += _time.perf_counter() - g0
+                    self._record_thermo(thermo_every)
+                    self.stats.n_steps += 1
+                    if (checkpoint_every and checkpoint_manager is not None
+                            and self.step % checkpoint_every == 0
+                            and (monitor is None or guarded)):
+                        with tracer.span("checkpoint_write",
+                                         step=self.step):
+                            checkpoint_manager.save(self)
+                if metrics is not None:
+                    wall = _time.perf_counter() - t_step
+                    metrics.inc("md_steps")
+                    metrics.observe("step_seconds", wall)
+                    if guarded:
+                        metrics.observe("guard_seconds", guard_seconds)
+                    metrics.emit_step(self.step, wall_seconds=wall,
+                                      rebuild=rebuilt)
         finally:
             self.stats.wall_seconds += _time.perf_counter() - start
         return self.thermo_log

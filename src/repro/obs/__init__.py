@@ -1,0 +1,43 @@
+"""Unified observability: span tracing + metrics across all layers.
+
+The first subsystem that makes the *behaviour* of the whole stack
+visible rather than only its final numbers (the gap ROADMAP names:
+"surface shard-restart telemetry ... in the perf layer").  Two halves:
+
+* :mod:`~repro.obs.trace` — :class:`Tracer`, a span tracer exporting
+  Chrome trace-event JSON (Perfetto-loadable) with ranks as processes
+  and engine shards as threads, instrumenting the serial pipeline, the
+  :class:`~repro.parallel.engine.ThreadedEngine`, the distributed
+  driver's phases, and the robustness paths;
+* :mod:`~repro.obs.metrics` — :class:`MetricsRegistry`, counters /
+  gauges / histograms with a JSONL sink (per-step rows plus a final
+  summary), cumulative across rank re-spawns.
+
+Wired through ``Simulation(tracer=, metrics=)``,
+``run_distributed_md(tracer=, metrics=)``, and the CLI's
+``--trace FILE`` / ``--metrics FILE`` flags.  Both default to
+off with zero overhead (:data:`NULL_TRACER` no-op spans, ``None``
+registry checks).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    read_metrics_jsonl,
+)
+from .trace import NULL_TRACER, BoundTracer, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "BoundTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "read_metrics_jsonl",
+]

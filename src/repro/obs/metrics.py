@@ -1,0 +1,237 @@
+"""Metrics registry: counters, gauges, histograms, and a JSONL sink.
+
+The numbers the paper leads with — per-step wall time, communication
+volume, restart behaviour — exist in this reproduction as scattered
+attributes (``StepStats``, ``CommStats``, ``rank_restarts``).
+:class:`MetricsRegistry` is the single place they all land:
+
+* **counters** — monotonically increasing totals (``ghost_bytes``,
+  ``checkpoint_bytes``, ``rank_restarts``, ``neighbor_rebuilds``).
+  The registry outlives world re-spawns in the distributed driver, so
+  counters are *cumulative across rank restarts* by construction.
+* **gauges** — last-written values (``dt_fs`` after a halving policy).
+* **histograms** — streaming count/sum/min/max (``step_seconds``,
+  ``checkpoint_write_seconds``, ``checkpoint_fsync_seconds``,
+  ``guard_seconds``); no buckets, since the consumers are the scaling
+  model (mean) and the summary table.
+
+With a ``sink`` (path or file object) the registry also streams
+JSON-lines records — one ``{"type": "step", ...}`` row per MD step,
+typed rows for checkpoints/restarts/rollbacks, and a final
+``{"type": "summary", ...}`` snapshot — so a run leaves a
+machine-readable record next to the human-readable thermo log.  All
+methods are thread-safe (engine workers and simulated-MPI ranks share
+one registry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "read_metrics_jsonl"]
+
+
+class Counter:
+    """Monotonic counter (increments only)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-value-wins metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.value = None
+        self._lock = lock
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max."""
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.vmin = value if self.vmin is None else min(self.vmin, value)
+            self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "min": self.vmin, "max": self.vmax}
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with an optional JSONL sink.
+
+    Parameters
+    ----------
+    sink:
+        ``None`` (accumulate only), a path (opened/owned/closed by the
+        registry), or an open text file object (flushed, not closed).
+    """
+
+    def __init__(self, sink=None):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._fh = None
+        self._owns_fh = False
+        if sink is not None:
+            if isinstance(sink, (str, os.PathLike)):
+                self._fh = open(sink, "w")
+                self._owns_fh = True
+            else:
+                self._fh = sink
+
+    # ---------------------------------------------------------- get-or-create
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self._lock)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self._lock)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, self._lock)
+        return metric
+
+    # shorthand forms used at instrumentation points
+    def inc(self, name: str, n: int | float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------ sink
+    def emit(self, record: dict) -> None:
+        """Append one JSON record to the sink (no-op without one)."""
+        if self._fh is None:
+            return
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def emit_step(self, step: int, **fields) -> None:
+        """One per-MD-step row: ``{"type": "step", "step": N, ...}``."""
+        if self._fh is None:
+            return
+        self.emit({"type": "step", "step": int(step), **fields})
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every metric (plain dicts, JSON-safe)."""
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()
+                      if g.value is not None}
+            histograms = {n: h.summary()
+                          for n, h in self._histograms.items()}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def write_summary(self) -> dict:
+        """Emit the final ``{"type": "summary", ...}`` row; returns the
+        snapshot it wrote."""
+        snap = self.snapshot()
+        self.emit({"type": "summary", **snap})
+        return snap
+
+    def summary_table(self) -> str:
+        """Aligned text rendering of the snapshot (the CLI's end-of-run
+        summary)."""
+        snap = self.snapshot()
+        rows: list[tuple[str, str]] = []
+        for name in sorted(snap["counters"]):
+            rows.append((name, f"{snap['counters'][name]}"))
+        for name in sorted(snap["gauges"]):
+            rows.append((name, f"{snap['gauges'][name]}"))
+        for name in sorted(snap["histograms"]):
+            h = snap["histograms"][name]
+            if h["count"]:
+                rows.append((name,
+                             f"n={h['count']}  mean={h['mean']:.6g}  "
+                             f"min={h['min']:.6g}  max={h['max']:.6g}"))
+            else:
+                rows.append((name, "n=0"))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{'metric':{width}s}  value"]
+        lines.extend(f"{name:{width}s}  {value}" for name, value in rows)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close an owned sink file (idempotent)."""
+        if self._fh is not None and self._owns_fh:
+            fh = self._fh
+            self._fh = None
+            fh.close()
+        else:
+            self._fh = None
+
+    def __enter__(self) -> "MetricsRegistry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_metrics_jsonl(path: str) -> list[dict]:
+    """Parse a metrics JSONL file back into a list of records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

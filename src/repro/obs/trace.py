@@ -1,0 +1,314 @@
+"""Span tracing with Chrome trace-event export (Perfetto-loadable).
+
+The paper's entire optimization story starts from a profile — Sec. 2.2
+opens with ">90% of the total time [is] spent on execution of the
+embedding net", and Figs. 5/6 break one MD step into phases
+(communication, embedding net, fitting net, force/virial reduction).
+:class:`Tracer` makes that same decomposition observable on *this*
+reproduction, across all four execution layers:
+
+* the serial pipeline (``fused_forward``, ``neighbor_rebuild``, …);
+* the :class:`~repro.parallel.engine.ThreadedEngine` shards (one lane
+  per worker, ``tid = shard + 1``);
+* the distributed driver's per-rank phases (``ghost_exchange`` /
+  ``compute`` / ``reduction``, one Chrome *process* per rank);
+* the robustness machinery (``guard_check``, ``checkpoint_write``,
+  ``rollback`` and ``rank_restart`` instants).
+
+Export is the Chrome trace-event JSON format, loadable in Perfetto or
+``chrome://tracing``: ranks map to pids, threads/shards to tids, so a
+hybrid ``ranks x threads`` run renders as the paper's Fig. 6 (c)
+timeline.  Events are exported in a deterministic order
+(``(pid, tid, ts, seq)``) so tests can assert trace structure.
+
+Every finished span also folds into a
+:class:`~repro.perf.profiler.SectionTimer` (the pre-existing profile
+backend), so the profile-share machinery — ``timer.report()``,
+``timer.share("embedding")`` — keeps working on traced runs.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("fused_forward", rank=0, thread=0, step=12):
+        ...
+    tracer.export("trace.json")     # load in ui.perfetto.dev
+
+A disabled tracer is the module-level :data:`NULL_TRACER` singleton: its
+spans are a cached no-op context manager and it is falsy, so hot paths
+pay two attribute lookups and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["SpanRecord", "Tracer", "BoundTracer", "NullTracer",
+           "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (or instant, when ``dur_us`` is None)."""
+
+    name: str
+    ts_us: float            #: start, µs since the tracer's epoch
+    dur_us: float | None    #: duration in µs; None marks an instant event
+    pid: int                #: Chrome process id — the MD rank (serial: 0)
+    tid: int                #: Chrome thread id — 0 = driver, n = shard n-1
+    args: dict
+    seq: int                #: global completion order (deterministic tiebreak)
+
+    @property
+    def end_us(self) -> float:
+        return self.ts_us + (self.dur_us or 0.0)
+
+    def encloses(self, other: "SpanRecord") -> bool:
+        """Whether ``other`` nests inside this span on the same lane."""
+        return (self.pid == other.pid and self.tid == other.tid
+                and self.ts_us <= other.ts_us
+                and other.end_us <= self.end_us)
+
+
+class _Span:
+    """Open span handle; records on ``__exit__`` (even when it raises,
+    so a span around a dying rank still lands in the trace)."""
+
+    __slots__ = ("_tracer", "_name", "_pid", "_tid", "_args", "_t0")
+
+    def __init__(self, tracer, name, pid, tid, args):
+        self._tracer = tracer
+        self._name = name
+        self._pid = pid
+        self._tid = tid
+        self._args = args
+
+    def __enter__(self):
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc):
+        self._tracer._finish(self._name, self._pid, self._tid, self._args,
+                             self._t0)
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: falsy, zero-allocation spans, safe to call anywhere.
+
+    The default for every instrumented code path, so observability costs
+    nothing when not requested (the <2% wall-time budget of the
+    acceptance criteria).
+    """
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def instant(self, name, **attrs) -> None:
+        pass
+
+    def bind(self, **defaults) -> "NullTracer":
+        return self
+
+    @property
+    def timer(self):
+        return None
+
+
+#: Shared disabled tracer — use ``tracer or NULL_TRACER`` at attach points.
+NULL_TRACER = NullTracer()
+
+
+class BoundTracer:
+    """A tracer view with default span attributes (e.g. ``rank=3``).
+
+    The distributed driver binds each rank's lane once
+    (``tracer.bind(rank=comm.rank)``) and hands the bound view to the
+    rank body and its engine, so every span below carries the right pid
+    without threading ``rank=`` through each call site.
+    """
+
+    __slots__ = ("_tracer", "_defaults")
+
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", defaults: dict):
+        self._tracer = tracer
+        self._defaults = defaults
+
+    def __bool__(self) -> bool:
+        return True
+
+    def span(self, name, **attrs):
+        return self._tracer.span(name, **{**self._defaults, **attrs})
+
+    def instant(self, name, **attrs) -> None:
+        self._tracer.instant(name, **{**self._defaults, **attrs})
+
+    def bind(self, **defaults) -> "BoundTracer":
+        return BoundTracer(self._tracer, {**self._defaults, **defaults})
+
+    @property
+    def timer(self):
+        return self._tracer.timer
+
+
+class Tracer:
+    """Collects spans; exports Chrome trace-event JSON.
+
+    Parameters
+    ----------
+    timer:
+        :class:`~repro.perf.profiler.SectionTimer` receiving every
+        finished span's duration (created when omitted) — the span
+        *backend* that keeps the pre-existing profile-share tooling
+        working.  Pass ``timer=False`` to disable the fold-in.
+    clock:
+        Monotonic clock (injectable for deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(self, timer=None, clock=time.perf_counter):
+        from ..perf.profiler import SectionTimer
+
+        if timer is None:
+            timer = SectionTimer()
+        self.timer = timer or None
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.spans: list[SpanRecord] = []
+        self._process_names: dict[int, str] = {}
+        self._thread_names: dict[tuple[int, int], str] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------- recording
+    def span(self, name: str, *, rank: int | None = None,
+             thread: int | None = None, **attrs) -> _Span:
+        """Open a span on lane ``(rank, thread)``; use as a context
+        manager.  Remaining keyword attributes land in the event's
+        ``args`` (``step=`` being the common one)."""
+        return _Span(self, name, int(rank or 0), int(thread or 0), attrs)
+
+    def instant(self, name: str, *, rank: int | None = None,
+                thread: int | None = None, **attrs) -> None:
+        """Record a zero-duration marker (faults, restarts, rollbacks)."""
+        ts = (self._clock() - self._epoch) * 1e6
+        with self._lock:
+            self.spans.append(SpanRecord(name, ts, None, int(rank or 0),
+                                         int(thread or 0), attrs, self._seq))
+            self._seq += 1
+
+    def _finish(self, name, pid, tid, args, t0) -> None:
+        t1 = self._clock()
+        with self._lock:
+            self.spans.append(SpanRecord(
+                name, (t0 - self._epoch) * 1e6, (t1 - t0) * 1e6,
+                pid, tid, args, self._seq))
+            self._seq += 1
+        if self.timer is not None:
+            self.timer.add(name, t1 - t0)
+
+    def bind(self, **defaults) -> BoundTracer:
+        return BoundTracer(self, defaults)
+
+    # ---------------------------------------------------------------- naming
+    def set_process_name(self, pid: int, name: str) -> None:
+        with self._lock:
+            self._process_names[int(pid)] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        with self._lock:
+            self._thread_names[(int(pid), int(tid))] = name
+
+    # ---------------------------------------------------------------- access
+    def finished(self, name: str | None = None) -> list[SpanRecord]:
+        """Finished spans (no instants), optionally filtered by name,
+        in deterministic export order."""
+        with self._lock:
+            spans = [s for s in self.spans if s.dur_us is not None]
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return sorted(spans, key=_export_key)
+
+    def instants(self, name: str | None = None) -> list[SpanRecord]:
+        with self._lock:
+            out = [s for s in self.spans if s.dur_us is None]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return sorted(out, key=_export_key)
+
+    # ---------------------------------------------------------------- export
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome trace-event JSON object (dict).
+
+        ``traceEvents`` holds ``M`` (process/thread name) metadata
+        events followed by ``X`` (complete) and ``i`` (instant) events
+        in deterministic ``(pid, tid, ts, seq)`` order.
+        """
+        with self._lock:
+            spans = list(self.spans)
+            pnames = dict(self._process_names)
+            tnames = dict(self._thread_names)
+        events: list[dict] = []
+        lanes = sorted({(s.pid, s.tid) for s in spans})
+        for pid in sorted({p for p, _ in lanes}):
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": pnames.get(pid, f"rank{pid}")},
+            })
+        for pid, tid in lanes:
+            default = "driver" if tid == 0 else f"shard{tid - 1}"
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": tnames.get((pid, tid), default)},
+            })
+        for s in sorted(spans, key=_export_key):
+            ev = {
+                "name": s.name, "pid": s.pid, "tid": s.tid,
+                "ts": round(s.ts_us, 3), "cat": "repro",
+                "args": {k: v for k, v in s.args.items()},
+            }
+            if s.dur_us is None:
+                ev["ph"] = "i"
+                ev["s"] = "p"
+            else:
+                ev["ph"] = "X"
+                ev["dur"] = round(s.dur_us, 3)
+            events.append(ev)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+            fh.write("\n")
+        return path
+
+
+def _export_key(s: SpanRecord):
+    return (s.pid, s.tid, s.ts_us, s.seq)

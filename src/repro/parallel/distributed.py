@@ -38,6 +38,7 @@ from ..md.neighbor import DEFAULT_SKIN, NeighborSearch
 from ..md.simulation import PAPER_PROTOCOL_STEPS, PAPER_REBUILD_EVERY
 from ..md.thermo import ThermoState
 from ..md.velocity import maxwell_boltzmann
+from ..obs.trace import NULL_TRACER
 from ..units import (
     BOLTZMANN_EV_K,
     EV_A3_TO_BAR,
@@ -119,6 +120,8 @@ def _rank_main(
     managers=None,
     checkpoint_every: int = 0,
     resume_step: int = 0,
+    tracer=None,
+    metrics=None,
 ):
     """Per-rank SPMD body.
 
@@ -131,7 +134,7 @@ def _rank_main(
                           masses_per_type, model, dt_fs, n_steps,
                           rebuild_every, skin, sel, thermo_every, injector,
                           threads_per_rank, managers, checkpoint_every,
-                          resume_step)
+                          resume_step, tracer, metrics)
     except _StepContext as ctx:
         from ..robust.errors import RankFailureError
 
@@ -184,22 +187,30 @@ def _rank_body(
     managers=None,
     checkpoint_every: int = 0,
     resume_step: int = 0,
+    tracer=None,
+    metrics=None,
 ):
     box = grid.box
     rhalo = model.spec.rcut + skin
     grid.check_halo(rhalo)
+    tracer = NULL_TRACER if tracer is None else tracer
+    if tracer:
+        # Every span this rank emits lands in its own Perfetto lane.
+        tracer = tracer.bind(rank=comm.rank)
     engine = None
     if threads_per_rank and int(threads_per_rank) > 1:
         # Fig. 6 (c): this rank's OpenMP team over its sub-region.
         engine = ThreadedEngine(int(threads_per_rank),
-                                name=f"rank{comm.rank}-engine")
+                                name=f"rank{comm.rank}-engine",
+                                tracer=tracer if tracer else None)
         if injector is not None:
             engine.fault_hook = injector.worker_fault
     try:
         return _rank_steps(comm, grid, box, rhalo, coords0, types0, vel0,
                            masses_per_type, model, dt_fs, n_steps,
                            rebuild_every, skin, sel, thermo_every, injector,
-                           engine, managers, checkpoint_every, resume_step)
+                           engine, managers, checkpoint_every, resume_step,
+                           tracer, metrics)
     finally:
         if engine is not None:
             engine.close()
@@ -208,8 +219,11 @@ def _rank_body(
 def _rank_steps(
     comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, model,
     dt_fs, n_steps, rebuild_every, skin, sel, thermo_every, injector,
-    engine, managers, checkpoint_every, resume_step,
+    engine, managers, checkpoint_every, resume_step, tracer=None, metrics=None,
 ):
+    import time as _time
+
+    tracer = NULL_TRACER if tracer is None else tracer
     search = NeighborSearch(model.spec.rcut, skin=skin, sel=sel,
                             engine=engine)
     ckpt = managers[comm.rank] if managers else None
@@ -246,10 +260,14 @@ def _rank_steps(
         return masses_per_type[state["types"]]
 
     def forces_step(region):
-        pe, f_local, f_ghost, virial = _evaluate(
-            model, search, coords, state["types"], region, engine=engine
-        )
-        return_ghost_forces(comm, region, f_ghost, f_local)
+        # ``step`` reads the enclosing loop variable at call time, so the
+        # compute/reduction spans carry the MD step they belong to.
+        with tracer.span("compute", step=step):
+            pe, f_local, f_ghost, virial = _evaluate(
+                model, search, coords, state["types"], region, engine=engine
+            )
+        with tracer.span("reduction", step=step):
+            return_ghost_forces(comm, region, f_ghost, f_local)
         return pe, f_local, virial
 
     def record(step):
@@ -284,10 +302,11 @@ def _rank_steps(
                 path, step=int(step), ids=arrs["ids"], coords=arrs["coords"],
                 velocities=arrs["velocities"], types=arrs["types"],
                 build_coords=arrs["build_coords"], thermo=arrs.get("thermo"),
-                meta={"rank": comm.rank})
+                meta={"rank": comm.rank}, metrics=metrics)
 
-        ckpt.save_arrays(int(step), arrays, writer=writer,
-                         injector=injector, target=comm.rank)
+        with tracer.span("checkpoint_write", step=int(step)):
+            ckpt.save_arrays(int(step), arrays, writer=writer,
+                             injector=injector, target=comm.rank)
 
     step = resume_step
     try:
@@ -307,35 +326,56 @@ def _rank_steps(
             pe, forces, virial = forces_step(region)
             record(0)
         inv_m = 1.0 / (masses() * MVV_TO_EV)
+        # Rank 0 reports the per-step JSONL rows for the whole world;
+        # byte meters are read as deltas of this rank's cumulative stats.
+        report = metrics is not None and comm.rank == 0
+        sent0 = comm.stats.bytes_sent if report else 0
         for step in range(resume_step + 1, n_steps + 1):
-            if injector is not None:
-                injector.rank_fault(step, comm.rank)
-            state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
-            coords = coords + dt * state["vel"]
+            t_step = _time.perf_counter() if report else 0.0
+            with tracer.span("step", step=step):
+                if injector is not None:
+                    injector.rank_fault(step, comm.rank)
+                state["vel"] = (state["vel"]
+                                + 0.5 * dt * forces * inv_m[:, None])
+                coords = coords + dt * state["vel"]
 
-            if step % rebuild_every == 0:
-                coords, moved = migrate_atoms(
-                    comm, grid, coords,
-                    {"vel": state["vel"], "types": state["types"],
-                     "ids": state["ids"]},
-                )
-                state.update(moved)
-                inv_m = 1.0 / (masses() * MVV_TO_EV)
-                region = exchange_ghosts(
-                    comm, grid, coords, state["types"], rhalo
-                )
-                build_coords = coords
-            else:
-                refresh_ghosts(comm, region, coords, injector=injector,
-                               step=step)
+                if step % rebuild_every == 0:
+                    with tracer.span("ghost_exchange", step=step,
+                                     rebuild=True):
+                        coords, moved = migrate_atoms(
+                            comm, grid, coords,
+                            {"vel": state["vel"], "types": state["types"],
+                             "ids": state["ids"]},
+                        )
+                        state.update(moved)
+                        inv_m = 1.0 / (masses() * MVV_TO_EV)
+                        region = exchange_ghosts(
+                            comm, grid, coords, state["types"], rhalo
+                        )
+                        build_coords = coords
+                    if metrics is not None and comm.rank == 0:
+                        metrics.inc("neighbor_rebuilds")
+                else:
+                    with tracer.span("ghost_exchange", step=step):
+                        refresh_ghosts(comm, region, coords,
+                                       injector=injector, step=step)
 
-            pe, forces, virial = forces_step(region)
-            state["vel"] = state["vel"] + 0.5 * dt * forces * inv_m[:, None]
-            if thermo_every and step % thermo_every == 0:
-                record(step)
-            if ckpt is not None and checkpoint_every \
-                    and step % checkpoint_every == 0:
-                write_shard(step)
+                pe, forces, virial = forces_step(region)
+                state["vel"] = (state["vel"]
+                                + 0.5 * dt * forces * inv_m[:, None])
+                if thermo_every and step % thermo_every == 0:
+                    record(step)
+                if ckpt is not None and checkpoint_every \
+                        and step % checkpoint_every == 0:
+                    write_shard(step)
+            if report:
+                wall = _time.perf_counter() - t_step
+                sent1 = comm.stats.bytes_sent
+                metrics.inc("md_steps")
+                metrics.observe("step_seconds", wall)
+                metrics.emit_step(step, wall_seconds=wall,
+                                  rank0_bytes_sent=sent1 - sent0)
+                sent0 = sent1
     except Exception as exc:
         if isinstance(exc, RuntimeError) and "world aborted" in str(exc):
             raise  # a peer already failed; its error carries the context
@@ -407,6 +447,8 @@ def run_distributed_md(
     checkpoint_every: int = 0,
     keep_last: int = 3,
     max_rank_restarts: int = 2,
+    tracer=None,
+    metrics=None,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
@@ -438,6 +480,13 @@ def run_distributed_md(
     (``drop-ghost``), the per-step rank hook (``kill-rank``), the shard
     writer (``truncate-checkpoint``), and each rank's engine
     (``kill-worker``).
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) instrument the run:
+    each rank gets its own trace lane (pid = rank) with per-step
+    compute / ghost-exchange / reduction / checkpoint-write spans, and
+    the registry accumulates ghost/checkpoint byte counters plus
+    ``rank_restarts`` and replay cost — the registry lives here in the
+    driver, outside the re-spawn loop, so counters survive restarts.
     """
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
@@ -461,7 +510,8 @@ def run_distributed_md(
         managers = [
             CheckpointManager(checkpoint_dir, prefix=f"rank{r:03d}",
                               keep_last=keep_last,
-                              loader=load_shard_checkpoint)
+                              loader=load_shard_checkpoint,
+                              metrics=metrics)
             for r in range(n_ranks)
         ]
 
@@ -475,7 +525,7 @@ def run_distributed_md(
                 _rank_main, grid, coords, types, velocities,
                 masses_per_type, model, dt_fs, n_steps, rebuild_every,
                 skin, sel, thermo_every, injector, threads_per_rank,
-                managers, checkpoint_every, resume_step,
+                managers, checkpoint_every, resume_step, tracer, metrics,
             )
             break
         except RuntimeError as err:
@@ -495,11 +545,34 @@ def run_distributed_md(
                 rank=fail.rank, step=fail.step, restart_step=resume_step,
                 error=f"{type(fail.cause).__name__}: {fail.cause}",
             ))
+            if metrics is not None:
+                import os as _os
+
+                replayed = 0
+                if resume_step:
+                    for mgr in managers:
+                        path = mgr.path_for_step(resume_step)
+                        if _os.path.exists(path):
+                            replayed += _os.path.getsize(path)
+                metrics.inc("rank_restarts")
+                metrics.inc("restart_bytes_replayed", replayed)
+                metrics.inc("restart_steps_replayed",
+                            max(0, fail.step - resume_step))
+                metrics.emit({"type": "rank_restart", "rank": fail.rank,
+                              "step": fail.step,
+                              "restart_step": resume_step,
+                              "bytes_replayed": replayed})
+            if tracer is not None and tracer:
+                tracer.instant("rank_restart", rank=fail.rank,
+                               step=fail.step, restart_step=resume_step)
     root = results[0]
     fw, rv, mg = _world_bytes(world)
     forward += fw
     reverse += rv
     migrate += mg
+    if metrics is not None:
+        metrics.inc("ghost_bytes", forward + reverse)
+        metrics.inc("migrate_bytes", migrate)
     return DistributedMDResult(
         coords=root["coords"],
         velocities=root["vel"],

@@ -75,6 +75,13 @@ class ThreadedEngine:
         Optional :class:`repro.perf.profiler.SectionTimer`; each engine
         region is recorded under ``engine.<op>`` (the timer is
         thread-safe, so per-worker sections accumulate correctly).
+    tracer:
+        Optional :class:`repro.obs.Tracer` (or a rank-bound view);
+        every pooled shard execution becomes a span on its own Chrome
+        lane (``tid = shard index + 1``), so a hybrid run's trace shows
+        the per-worker timeline of Fig. 6 (c).  Settable after
+        construction (``engine.tracer = ...``) — the simulation and the
+        distributed driver attach it when observability is on.
     name:
         Label for the pool's worker threads (``repro-engine`` by
         default).  The hybrid driver names each rank's engine
@@ -83,13 +90,14 @@ class ThreadedEngine:
     """
 
     def __init__(self, n_threads: int | None = None, timer=None,
-                 name: str | None = None):
+                 name: str | None = None, tracer=None):
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if int(n_threads) < 1:
             raise ValueError("need at least one thread")
         self.n_threads = int(n_threads)
         self.timer = timer
+        self.tracer = tracer
         self.name = name or "repro-engine"
         self._pool: ThreadPoolExecutor | None = None
         #: Optional per-shard hook (``hook(shard_index)``), called before
@@ -121,11 +129,16 @@ class ThreadedEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def map(self, fn, items):
+    def map(self, fn, items, trace_name: str | None = None):
         """Run ``fn`` over ``items`` on the pool; results in item order.
 
         Degrades to a plain loop for one thread or one item, so the
         serial path never pays pool overhead.
+
+        With a :attr:`tracer` attached and ``trace_name`` given, each
+        pooled item is recorded as a span on its own lane
+        (``thread = index + 1``) — the per-shard timeline the paper's
+        load-balance discussion (Fig. 6 (c)) reasons about.
 
         A worker that raises poisons only its own shard: the failure is
         recorded in :attr:`events` and that item is retried serially in
@@ -138,10 +151,14 @@ class ThreadedEngine:
         if self.n_threads == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         hook = self.fault_hook
+        tracer = self.tracer if trace_name is not None else None
 
         def run_item(idx, item):
             if hook is not None:
                 hook(idx)
+            if tracer is not None:
+                with tracer.span(trace_name, thread=idx + 1):
+                    return fn(item)
             return fn(item)
 
         futures = [self.pool.submit(run_item, i, item)
@@ -215,7 +232,7 @@ class ThreadedEngine:
             return None
 
         with self._section("env_mat"):
-            self.map(run, shards)
+            self.map(run, shards, trace_name="engine.env_mat")
         return rows, deriv, rij
 
     def contract_packed(self, table, s, rows, indptr, n_m_norm: int,
@@ -249,7 +266,8 @@ class ThreadedEngine:
             return c
 
         with self._section("fused_forward"):
-            per_shard = self.map(run, shards)
+            per_shard = self.map(run, shards,
+                                 trace_name="engine.fused_forward")
         self._merge_counters(counters, per_shard)
         return t_out
 
@@ -284,7 +302,8 @@ class ThreadedEngine:
             return c
 
         with self._section("fused_backward"):
-            per_shard = self.map(run, shards)
+            per_shard = self.map(run, shards,
+                                 trace_name="engine.fused_backward")
         self._merge_counters(counters, per_shard)
         return d_rows
 
@@ -315,7 +334,7 @@ class ThreadedEngine:
             )
 
         with self._section("force"):
-            partials = self.map(run, shards)
+            partials = self.map(run, shards, trace_name="engine.force")
         force = np.zeros((n_total, 3))
         for p in partials:
             if p is not None:
@@ -338,7 +357,7 @@ class ThreadedEngine:
             )
 
         with self._section("virial"):
-            partials = self.map(run, shards)
+            partials = self.map(run, shards, trace_name="engine.virial")
         virial = np.zeros((3, 3))
         for p in partials:
             if p is not None:

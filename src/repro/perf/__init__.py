@@ -30,6 +30,7 @@ from .timeline import StepTimeline, simulate_step
 from .validate import ValidationRow, validation_report
 from .scaling import (
     GHOST_US_PER_ATOM,
+    CheckpointCostModel,
     ScalePoint,
     ghost_atoms_per_rank,
     strong_scaling,
@@ -39,6 +40,7 @@ from .scaling import (
 __all__ = [
     "A64FX",
     "DeviceSpec",
+    "CheckpointCostModel",
     "FUGAKU",
     "GHOST_US_PER_ATOM",
     "MachineSpec",

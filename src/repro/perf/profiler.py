@@ -42,17 +42,19 @@ class SectionTimer:
         try:
             yield
         finally:
-            dt = time.perf_counter() - t0
-            with self._lock:
-                self.totals[name] = self.totals.get(name, 0.0) + dt
-                self.calls[name] = self.calls.get(name, 0) + 1
+            self.add(name, time.perf_counter() - t0)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate an externally measured duration (the span backend
+        of :class:`repro.obs.Tracer` lands every finished span here)."""
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.calls[name] = self.calls.get(name, 0) + calls
 
     def merge(self, other: "SectionTimer") -> None:
         """Fold another timer's accumulated sections into this one."""
-        with self._lock:
-            for name, t in other.totals.items():
-                self.totals[name] = self.totals.get(name, 0.0) + t
-                self.calls[name] = self.calls.get(name, 0) + other.calls[name]
+        for name, t in other.totals.items():
+            self.add(name, t, other.calls[name])
 
     @property
     def total(self) -> float:
@@ -64,15 +66,26 @@ class SectionTimer:
         return self.totals.get(name, 0.0) / t if t else 0.0
 
     def report(self) -> str:
-        """Aligned text table, largest section first."""
+        """Aligned text table, largest section first.
+
+        Columns: absolute time, percent share of the accounted total,
+        running cumulative percent (how far down the table the paper's
+        ">90% in the embedding net" line is reached), mean ms per call,
+        and call count.
+        """
         if not self.totals:
             return "(no sections recorded)"
         width = max(len(k) for k in self.totals)
-        lines = [f"{'section':{width}s}  {'time s':>9s}  {'share':>6s}  calls"]
+        lines = [f"{'section':{width}s}  {'time s':>9s}  {'share':>6s}  "
+                 f"{'cum %':>6s}  {'ms/call':>9s}  calls"]
+        cum = 0.0
         for name, t in sorted(self.totals.items(), key=lambda kv: -kv[1]):
-            lines.append(f"{name:{width}s}  {t:9.4f}  "
-                         f"{self.share(name) * 100:5.1f}%  "
-                         f"{self.calls[name]}")
+            share = self.share(name) * 100
+            cum += share
+            calls = self.calls[name]
+            per_call_ms = t / calls * 1e3 if calls else 0.0
+            lines.append(f"{name:{width}s}  {t:9.4f}  {share:5.1f}%  "
+                         f"{cum:5.1f}%  {per_call_ms:9.3f}  {calls}")
         return "\n".join(lines)
 
     def reset(self) -> None:

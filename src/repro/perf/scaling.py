@@ -11,7 +11,11 @@ One MD step on ``n`` nodes decomposes into:
   width ``rcut`` around each sub-box), costed at a calibrated per-ghost
   time that folds MPI packing, injection and synchronization
   (``GHOST_US_PER_ATOM``; Summit's fat nodes amortize far better than
-  Fugaku's 16-rank CPUs — the paper's Sec. 6.4.1 observation).
+  Fugaku's 16-rank CPUs — the paper's Sec. 6.4.1 observation);
+* **checkpointing** (optional) — a :class:`CheckpointCostModel` built
+  from the byte/latency counters a real instrumented run recorded
+  (:mod:`repro.obs`) adds the amortized per-step cost of writing a
+  rotating restart shard every ``interval_steps`` steps.
 
 Parallel efficiency, ns/day and achieved PFLOPS follow directly.
 """
@@ -31,6 +35,7 @@ from .kernels import total_flops_per_atom
 from .machine import MachineSpec
 
 __all__ = [
+    "CheckpointCostModel",
     "ScalePoint",
     "strong_scaling",
     "weak_scaling",
@@ -61,6 +66,63 @@ def ghost_atoms_per_rank(w: Workload, n_atoms: int, n_ranks: int,
 
 
 @dataclass(frozen=True)
+class CheckpointCostModel:
+    """Measured checkpoint-write cost, amortized into the step time.
+
+    Built from the counters/histograms an instrumented run records
+    (``checkpoint_bytes``, ``checkpoint_writes``,
+    ``checkpoint_write_seconds``, ``checkpoint_fsync_seconds`` — see
+    :mod:`repro.obs` and :func:`repro.io.checkpoint.write_state_checkpoint`),
+    so the projection's fault-tolerance overhead term is grounded in what
+    the real writer actually cost rather than a guess.
+
+    Every rank writes its own shard concurrently (the distributed
+    driver's per-rank managers), so the per-step overhead is one rank's
+    write time divided by the checkpoint interval.
+    """
+
+    bytes_per_atom: float       #: measured shard bytes per stored atom
+    write_bandwidth_bps: float  #: payload bytes/s of the write itself
+    fsync_seconds: float        #: mean fsync latency paid per write
+    interval_steps: int = 100   #: steps between checkpoint writes
+
+    @classmethod
+    def from_metrics(cls, metrics, atoms_per_write: int,
+                     interval_steps: int = 100) -> "CheckpointCostModel":
+        """Fit from a :class:`repro.obs.MetricsRegistry` (or its
+        ``snapshot()`` dict); ``atoms_per_write`` is the atom count each
+        recorded write covered (local atoms for a shard)."""
+        snap = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+        counters = snap.get("counters", {})
+        hists = snap.get("histograms", {})
+        writes = counters.get("checkpoint_writes", 0)
+        nbytes = counters.get("checkpoint_bytes", 0)
+        wh = hists.get("checkpoint_write_seconds")
+        if not writes or not nbytes or not wh or not wh["count"]:
+            raise ValueError(
+                "metrics contain no checkpoint writes to calibrate from")
+        fh = hists.get("checkpoint_fsync_seconds")
+        fsync = fh["mean"] if fh and fh["count"] else 0.0
+        bytes_per_write = nbytes / writes
+        # Bandwidth of the non-fsync part; the fsync term is kept
+        # separate because it is latency-bound, not size-bound.
+        bw = bytes_per_write / max(wh["mean"] - fsync, 1e-9)
+        return cls(bytes_per_atom=bytes_per_write / atoms_per_write,
+                   write_bandwidth_bps=bw, fsync_seconds=fsync,
+                   interval_steps=int(interval_steps))
+
+    def write_seconds(self, atoms_per_rank: float) -> float:
+        """Wall time of one shard write at this per-rank size."""
+        payload = self.bytes_per_atom * atoms_per_rank
+        return payload / self.write_bandwidth_bps + self.fsync_seconds
+
+    def step_overhead_seconds(self, atoms_per_rank: float) -> float:
+        """Amortized per-MD-step overhead of periodic checkpointing."""
+        return self.write_seconds(atoms_per_rank) / max(
+            1, self.interval_steps)
+
+
+@dataclass(frozen=True)
 class ScalePoint:
     """One point of a scaling curve."""
 
@@ -74,6 +136,8 @@ class ScalePoint:
     efficiency: float
     ns_per_day: float
     pflops: float
+    #: Amortized checkpoint-write overhead (0 when not modelled).
+    checkpoint_seconds: float = 0.0
 
 
 def _step_time(machine: MachineSpec, w: Workload, n_atoms: int,
@@ -99,7 +163,7 @@ def _step_time(machine: MachineSpec, w: Workload, n_atoms: int,
 
 
 def _point(machine, w, n_atoms, nodes, stage, t_ref, nodes_ref,
-           overlap: bool = False) -> ScalePoint:
+           overlap: bool = False, checkpoint=None) -> ScalePoint:
     t_comp, t_fw, t_comm = _step_time(machine, w, n_atoms, nodes, stage)
     if overlap:
         # What-if ablation: perfect computation/communication overlap
@@ -108,6 +172,11 @@ def _point(machine, w, n_atoms, nodes, stage, t_ref, nodes_ref,
         t = max(t_comp, t_comm) + t_fw
     else:
         t = t_comp + t_fw + t_comm
+    t_ckpt = 0.0
+    if checkpoint is not None:
+        ranks = nodes * machine.ranks_per_node
+        t_ckpt = checkpoint.step_overhead_seconds(n_atoms / ranks)
+        t += t_ckpt
     eff = (t_ref * nodes_ref) / (t * nodes) if t_ref else 1.0
     ns_day = w.dt_fs * 1e-6 / t * SECONDS_PER_DAY
     pflops = total_flops_per_atom(w, stage) * n_atoms / t / 1e15
@@ -122,34 +191,40 @@ def _point(machine, w, n_atoms, nodes, stage, t_ref, nodes_ref,
         efficiency=eff,
         ns_per_day=ns_day,
         pflops=pflops,
+        checkpoint_seconds=t_ckpt,
     )
 
 
 def strong_scaling(machine: MachineSpec, w: Workload, n_atoms: int,
                    node_counts, stage: Stage = Stage.OTHER_OPT,
-                   overlap: bool = False) -> list:
+                   overlap: bool = False, checkpoint=None) -> list:
     """Fixed total size, growing node count (Figs. 9/10).
 
     Efficiency is relative to the smallest node count, as in the paper.
     ``overlap=True`` models perfect compute/communication overlap (a
-    what-if ablation — see :func:`_point`).
+    what-if ablation — see :func:`_point`).  ``checkpoint`` adds a
+    measured :class:`CheckpointCostModel` as a per-step overhead term.
     """
     node_counts = sorted(node_counts)
     ref = _point(machine, w, n_atoms, node_counts[0], stage, None, None,
-                 overlap)
+                 overlap, checkpoint)
     out = []
     for nodes in node_counts:
         out.append(_point(machine, w, n_atoms, nodes, stage,
-                          ref.step_seconds, node_counts[0], overlap))
+                          ref.step_seconds, node_counts[0], overlap,
+                          checkpoint))
     return out
 
 
 def weak_scaling(machine: MachineSpec, w: Workload, atoms_per_rank: int,
-                 node_counts, stage: Stage = Stage.OTHER_OPT) -> list:
+                 node_counts, stage: Stage = Stage.OTHER_OPT,
+                 checkpoint=None) -> list:
     """Fixed per-rank size, growing node count (Fig. 11).
 
     Weak-scaling efficiency is ``t(smallest) / t(n)`` — per-node work is
-    constant, so ideal scaling keeps the step time flat.
+    constant, so ideal scaling keeps the step time flat.  ``checkpoint``
+    adds a measured :class:`CheckpointCostModel` per-step overhead term
+    (flat across node counts, like the per-node work).
     """
     from dataclasses import replace
 
@@ -158,7 +233,8 @@ def weak_scaling(machine: MachineSpec, w: Workload, atoms_per_rank: int,
     t_ref = None
     for nodes in node_counts:
         n_atoms = atoms_per_rank * nodes * machine.ranks_per_node
-        p = _point(machine, w, n_atoms, nodes, stage, None, None)
+        p = _point(machine, w, n_atoms, nodes, stage, None, None,
+                   checkpoint=checkpoint)
         if t_ref is None:
             t_ref = p.step_seconds
         pts.append(replace(p, efficiency=t_ref / p.step_seconds))

@@ -50,14 +50,20 @@ class CheckpointManager:
         (full simulation checkpoints).  The distributed driver passes
         :func:`repro.io.checkpoint.load_shard_checkpoint` so shard files
         are validated against the shard schema.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; every save streams
+        its measured bytes + write/fsync latency through it, and each
+        newly rejected (corrupt) checkpoint increments
+        ``checkpoints_rejected``.
     """
 
     def __init__(self, directory: str, prefix: str = "ckpt",
-                 keep_last: int = 3, loader=None):
+                 keep_last: int = 3, loader=None, metrics=None):
         self.directory = os.fspath(directory)
         self.prefix = prefix
         self.keep_last = keep_last
         self.loader = load_checkpoint if loader is None else loader
+        self.metrics = metrics
         #: Paths that failed validation during fallback (post-mortem).
         self.rejected: list[str] = []
 
@@ -90,7 +96,8 @@ class CheckpointManager:
         a restart after a real crash would.
         """
         os.makedirs(self.directory, exist_ok=True)
-        path = save_checkpoint(self.path_for_step(sim.step), sim)
+        path = save_checkpoint(self.path_for_step(sim.step), sim,
+                               metrics=self.metrics)
         injector = getattr(sim, "injector", None)
         if injector is not None:
             injector.after_checkpoint(path, sim.step)
@@ -112,7 +119,8 @@ class CheckpointManager:
         os.makedirs(self.directory, exist_ok=True)
         path = self.path_for_step(int(step))
         if writer is None:
-            path = write_state_checkpoint(path, arrays, meta)
+            path = write_state_checkpoint(path, arrays, meta,
+                                          metrics=self.metrics)
         else:
             path = writer(path, arrays, meta)
         if injector is not None:
@@ -131,6 +139,15 @@ class CheckpointManager:
                 pass
 
     # ------------------------------------------------------------------ load
+    def _reject(self, path: str) -> None:
+        """Record a checkpoint that failed validation (counted once)."""
+        if path not in self.rejected:
+            self.rejected.append(path)
+            if self.metrics is not None:
+                self.metrics.inc("checkpoints_rejected")
+                self.metrics.emit({"type": "checkpoint_rejected",
+                                   "file": os.path.basename(path)})
+
     def latest_valid(self) -> str | None:
         """Newest checkpoint that passes integrity validation.
 
@@ -142,8 +159,7 @@ class CheckpointManager:
                 self.loader(path)
                 return path
             except CheckpointIntegrityError:
-                if path not in self.rejected:
-                    self.rejected.append(path)
+                self._reject(path)
         return None
 
     def valid_steps(self) -> list[int]:
@@ -160,8 +176,7 @@ class CheckpointManager:
                 self.loader(path)
                 steps.append(self.step_of(path))
             except CheckpointIntegrityError:
-                if path not in self.rejected:
-                    self.rejected.append(path)
+                self._reject(path)
         return steps
 
     def load_latest(self) -> dict | None:

@@ -107,8 +107,19 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
             )
             restarted.monitor = sim.monitor
             restarted.attach_injector(sim.injector)
+            restarted.tracer = sim.tracer
+            restarted.metrics = sim.metrics
+            fired_at = err.step if err.step is not None else sim.step
+            if sim.metrics is not None:
+                sim.metrics.inc("rollbacks")
+                sim.metrics.emit({"type": "rollback", "step": fired_at,
+                                  "rollback_step": restarted.step,
+                                  "dt_fs": dt_fs})
+            if sim.tracer:
+                sim.tracer.instant("rollback", step=fired_at,
+                                   rollback_step=restarted.step)
             report.events.append(RecoveryEvent(
-                step=err.step if err.step is not None else sim.step,
+                step=fired_at,
                 error=repr(err),
                 rollback_step=restarted.step,
                 dt_fs=dt_fs,

@@ -88,6 +88,42 @@ class TestThermoWriter:
         assert table.count("\n") == 2
         assert "300" in table
 
+    def test_context_manager_closes_on_error(self, tmp_path):
+        """The handle is released even when the body raises mid-run."""
+        path = str(tmp_path / "thermo.log")
+        with pytest.raises(RuntimeError):
+            with ThermoWriter(path) as w:
+                w.write(self.make_state(0))
+                raise RuntimeError("simulation died")
+        assert w.closed
+        with pytest.raises(ValueError):
+            w.write(self.make_state(1))
+
+    def test_close_idempotent(self, tmp_path):
+        w = ThermoWriter(str(tmp_path / "t.log"))
+        w.close()
+        w.close()
+        assert w.closed
+
+    def test_header_write_failure_does_not_leak_handle(self, tmp_path,
+                                                       monkeypatch):
+        class BoomFile:
+            closed = False
+
+            def write(self, s):
+                raise OSError("disk full")
+
+            def close(self):
+                self.closed = True
+
+        import builtins
+
+        boom = BoomFile()
+        monkeypatch.setattr(builtins, "open", lambda *a, **k: boom)
+        with pytest.raises(OSError):
+            ThermoWriter(str(tmp_path / "t.log"))
+        assert boom.closed
+
 
 class TestBaselinePipeline:
     def test_end_to_end_evaluation(self):

@@ -1,0 +1,142 @@
+"""Unit tests for the metrics registry (:mod:`repro.obs.metrics`)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, read_metrics_jsonl
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        mr = MetricsRegistry()
+        mr.inc("steps")
+        mr.inc("steps", 4)
+        assert mr.counter("steps").value == 5
+        with pytest.raises(ValueError):
+            mr.counter("steps").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        mr = MetricsRegistry()
+        mr.gauge("temp").set(300.0)
+        mr.gauge("temp").set(330.0)
+        assert mr.gauge("temp").value == 330.0
+
+    def test_histogram_summary(self):
+        mr = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            mr.observe("lat", v)
+        s = mr.histogram("lat").summary()
+        assert s == {"count": 3, "sum": 6.0, "mean": 2.0,
+                     "min": 1.0, "max": 3.0}
+
+    def test_get_or_create_returns_same_object(self):
+        mr = MetricsRegistry()
+        assert mr.counter("a") is mr.counter("a")
+        assert mr.histogram("h") is mr.histogram("h")
+        assert mr.gauge("g") is mr.gauge("g")
+
+    def test_snapshot_is_plain_json(self):
+        mr = MetricsRegistry()
+        mr.inc("c", 2)
+        mr.gauge("g").set(1.5)
+        mr.observe("h", 0.25)
+        snap = mr.snapshot()
+        json.dumps(snap)  # must be JSON-serializable as-is
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestJsonlSink:
+    def test_path_sink_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        with MetricsRegistry(sink=path) as mr:
+            mr.inc("md_steps")
+            mr.emit_step(1, wall_seconds=0.5)
+            mr.emit({"type": "checkpoint", "bytes": 1024})
+            mr.write_summary()
+        rows = read_metrics_jsonl(path)
+        assert [r["type"] for r in rows] == ["step", "checkpoint", "summary"]
+        assert rows[0] == {"type": "step", "step": 1, "wall_seconds": 0.5}
+        assert rows[-1]["counters"] == {"md_steps": 1}
+
+    def test_file_object_sink_not_closed(self):
+        buf = io.StringIO()
+        mr = MetricsRegistry(sink=buf)
+        mr.emit_step(3)
+        mr.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue()) == {"type": "step", "step": 3}
+        mr.emit_step(4)  # closed registry: silently dropped, no crash
+
+    def test_close_idempotent(self, tmp_path):
+        mr = MetricsRegistry(sink=str(tmp_path / "m.jsonl"))
+        mr.close()
+        mr.close()
+
+    def test_no_sink_accumulates_only(self):
+        mr = MetricsRegistry()
+        mr.emit_step(1, x=2)
+        mr.inc("c")
+        assert mr.write_summary()["counters"] == {"c": 1}
+
+
+class TestSummaryTable:
+    def test_contains_all_metrics(self):
+        mr = MetricsRegistry()
+        mr.inc("rank_restarts", 2)
+        mr.gauge("atoms").set(108)
+        mr.observe("step_seconds", 0.125)
+        table = mr.summary_table()
+        assert "rank_restarts" in table and "2" in table
+        assert "atoms" in table
+        assert "step_seconds" in table and "n=1" in table
+
+    def test_empty_histogram_renders(self):
+        mr = MetricsRegistry()
+        mr.histogram("never")
+        assert "n=0" in mr.summary_table()
+
+    def test_empty_registry(self):
+        assert "no metrics" in MetricsRegistry().summary_table()
+
+
+class TestThreadSafety:
+    def test_concurrent_updates(self):
+        mr = MetricsRegistry()
+        n, per = 8, 200
+
+        def worker():
+            for _ in range(per):
+                mr.inc("c")
+                mr.observe("h", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mr.counter("c").value == n * per
+        assert mr.histogram("h").count == n * per
+
+    def test_concurrent_emit_lines_intact(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        mr = MetricsRegistry(sink=path)
+        n, per = 4, 50
+
+        def worker(tid):
+            for i in range(per):
+                mr.emit({"type": "row", "tid": tid, "i": i})
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        mr.close()
+        rows = read_metrics_jsonl(path)  # every line parses
+        assert len(rows) == n * per

@@ -1,0 +1,250 @@
+"""Unit tests for the span tracer (:mod:`repro.obs.trace`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+from repro.perf import SectionTimer
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic span timing."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestSpanRecording:
+    def test_span_timing_and_args(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        clock.tick(1.0)
+        with tr.span("work", step=3):
+            clock.tick(0.5)
+        (rec,) = tr.finished()
+        assert rec.name == "work"
+        assert rec.ts_us == pytest.approx(1.0e6)
+        assert rec.dur_us == pytest.approx(0.5e6)
+        assert rec.args == {"step": 3}
+        assert (rec.pid, rec.tid) == (0, 0)
+
+    def test_rank_thread_map_to_pid_tid(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("k", rank=2, thread=3):
+            pass
+        (rec,) = tr.finished()
+        assert (rec.pid, rec.tid) == (2, 3)
+        assert "rank" not in rec.args and "thread" not in rec.args
+
+    def test_nested_spans_enclose(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer"):
+            clock.tick(0.1)
+            with tr.span("inner"):
+                clock.tick(0.2)
+            clock.tick(0.1)
+        (inner,) = tr.finished("inner")
+        (outer,) = tr.finished("outer")
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+
+    def test_span_recorded_on_exception(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tr.span("dying"):
+                raise RuntimeError("boom")
+        assert len(tr.finished("dying")) == 1
+
+    def test_instant(self):
+        tr = Tracer(clock=FakeClock())
+        tr.instant("rank_restart", rank=1, step=7)
+        (rec,) = tr.instants()
+        assert rec.dur_us is None
+        assert rec.pid == 1
+        assert rec.args == {"step": 7}
+        assert tr.finished() == []
+
+    def test_deterministic_order_seq_tiebreak(self):
+        """Same-lane spans at identical timestamps order by completion
+        sequence — the export order is reproducible."""
+        tr = Tracer(clock=FakeClock())
+        for i in range(5):
+            with tr.span("z", i=i):
+                pass
+        assert [s.args["i"] for s in tr.finished()] == list(range(5))
+        assert [s.seq for s in tr.finished()] == sorted(
+            s.seq for s in tr.finished())
+
+    def test_lane_major_order(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("a", rank=1):
+            clock.tick(0.1)
+        with tr.span("b", rank=0):
+            clock.tick(0.1)
+        assert [(s.pid, s.name) for s in tr.finished()] == \
+            [(0, "b"), (1, "a")]
+
+
+class TestBoundTracer:
+    def test_defaults_applied_and_overridable(self):
+        tr = Tracer(clock=FakeClock())
+        bt = tr.bind(rank=3)
+        with bt.span("a"):
+            pass
+        with bt.span("b", rank=4, thread=1):
+            pass
+        bt.instant("i")
+        assert tr.finished("a")[0].pid == 3
+        assert tr.finished("b")[0].pid == 4
+        assert tr.finished("b")[0].tid == 1
+        assert tr.instants("i")[0].pid == 3
+
+    def test_rebind_merges(self):
+        tr = Tracer(clock=FakeClock())
+        bt = tr.bind(rank=2).bind(step=9)
+        with bt.span("x"):
+            pass
+        rec = tr.finished("x")[0]
+        assert rec.pid == 2 and rec.args == {"step": 9}
+
+    def test_truthy_and_shares_timer(self):
+        tr = Tracer(clock=FakeClock())
+        bt = tr.bind(rank=1)
+        assert bt
+        assert bt.timer is tr.timer
+
+
+class TestNullTracer:
+    def test_falsy_and_noop(self):
+        assert not NULL_TRACER
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("anything", rank=5, step=1):
+            pass
+        NULL_TRACER.instant("x")
+        assert NULL_TRACER.bind(rank=2) is NULL_TRACER
+        assert NULL_TRACER.timer is None
+
+    def test_span_is_cached(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestTimerBackend:
+    def test_spans_fold_into_section_timer(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("fused_forward"):
+            clock.tick(0.25)
+        with tr.span("fused_forward"):
+            clock.tick(0.25)
+        assert isinstance(tr.timer, SectionTimer)
+        assert tr.timer.calls["fused_forward"] == 2
+        assert tr.timer.totals["fused_forward"] == pytest.approx(0.5)
+
+    def test_external_timer(self):
+        timer = SectionTimer()
+        tr = Tracer(timer=timer, clock=FakeClock())
+        with tr.span("k"):
+            pass
+        assert timer.calls["k"] == 1
+
+    def test_timer_false_disables(self):
+        tr = Tracer(timer=False, clock=FakeClock())
+        with tr.span("k"):
+            pass
+        assert tr.timer is None
+        assert len(tr.finished("k")) == 1
+
+
+class TestChromeExport:
+    def make_tracer(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("step", rank=0, step=1):
+            clock.tick(0.01)
+            with tr.span("kernel", rank=0, thread=1):
+                clock.tick(0.02)
+        with tr.span("step", rank=1, step=1):
+            clock.tick(0.01)
+        tr.instant("rank_restart", rank=1, step=1)
+        return tr
+
+    def test_schema(self):
+        doc = self.make_tracer().to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for ev in doc["traceEvents"]:
+            assert {"ph", "name", "pid", "tid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0.0 and "ts" in ev
+            elif ev["ph"] == "i":
+                assert ev["s"] == "p"
+            else:
+                assert ev["ph"] == "M"
+
+    def test_metadata_names_every_lane(self):
+        doc = self.make_tracer().to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        pnames = {e["pid"]: e["args"]["name"] for e in meta
+                  if e["name"] == "process_name"}
+        tnames = {(e["pid"], e["tid"]): e["args"]["name"] for e in meta
+                  if e["name"] == "thread_name"}
+        assert pnames == {0: "rank0", 1: "rank1"}
+        assert tnames[(0, 0)] == "driver"
+        assert tnames[(0, 1)] == "shard0"
+        lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+                 if e["ph"] != "M"}
+        assert lanes <= set(tnames)
+
+    def test_custom_names_win(self):
+        tr = self.make_tracer()
+        tr.set_process_name(0, "head")
+        tr.set_thread_name(0, 1, "worker-A")
+        meta = tr.to_chrome()["traceEvents"]
+        assert {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                "args": {"name": "head"}} in meta
+
+    def test_export_is_valid_json(self, tmp_path):
+        tr = self.make_tracer()
+        path = str(tmp_path / "trace.json")
+        assert tr.export(path) == path
+        doc = json.loads(open(path).read())
+        assert doc == tr.to_chrome()
+
+    def test_export_deterministic(self, tmp_path):
+        tr = self.make_tracer()
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        tr.export(a)
+        tr.export(b)
+        assert open(a).read() == open(b).read()
+
+
+class TestThreadSafety:
+    def test_concurrent_spans(self):
+        tr = Tracer()
+        n, per = 8, 50
+
+        def worker(tid):
+            for i in range(per):
+                with tr.span("w", thread=tid, i=i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t + 1,))
+                   for t in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tr.finished("w")
+        assert len(spans) == n * per
+        assert len({s.seq for s in spans}) == n * per
+        assert tr.timer.calls["w"] == n * per

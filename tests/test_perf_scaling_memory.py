@@ -157,3 +157,101 @@ class TestWeakScaling:
         state of the art."""
         pts = weak_scaling(FUGAKU, COPPER, 6_804, [157_986])
         assert pts[-1].atoms / 127e6 == pytest.approx(134, rel=0.1)
+
+
+class TestCheckpointCostModel:
+    """The measured-checkpoint-overhead term of the projections."""
+
+    def make_metrics(self, writes=4, bytes_per_write=1_000_000,
+                     write_s=0.02, fsync_s=0.005):
+        from repro.obs import MetricsRegistry
+
+        mr = MetricsRegistry()
+        for _ in range(writes):
+            mr.inc("checkpoint_writes")
+            mr.inc("checkpoint_bytes", bytes_per_write)
+            mr.observe("checkpoint_write_seconds", write_s)
+            mr.observe("checkpoint_fsync_seconds", fsync_s)
+        return mr
+
+    def test_from_metrics_calibration(self):
+        from repro.perf import CheckpointCostModel
+
+        m = CheckpointCostModel.from_metrics(self.make_metrics(),
+                                             atoms_per_write=10_000,
+                                             interval_steps=50)
+        assert m.bytes_per_atom == pytest.approx(100.0)
+        assert m.fsync_seconds == pytest.approx(0.005)
+        # payload bandwidth excludes the fsync latency: 1 MB / 15 ms
+        assert m.write_bandwidth_bps == pytest.approx(1e6 / 0.015)
+        # one write at the same size: same wall time, amortized over 50
+        assert m.write_seconds(10_000) == pytest.approx(0.02)
+        assert m.step_overhead_seconds(10_000) == pytest.approx(0.02 / 50)
+
+    def test_from_metrics_accepts_snapshot_dict(self):
+        from repro.perf import CheckpointCostModel
+
+        snap = self.make_metrics().snapshot()
+        m = CheckpointCostModel.from_metrics(snap, atoms_per_write=1_000)
+        assert m.bytes_per_atom == pytest.approx(1_000.0)
+
+    def test_from_metrics_requires_recorded_writes(self):
+        from repro.obs import MetricsRegistry
+        from repro.perf import CheckpointCostModel
+
+        with pytest.raises(ValueError):
+            CheckpointCostModel.from_metrics(MetricsRegistry(),
+                                             atoms_per_write=100)
+
+    def test_strong_scaling_overhead_term(self):
+        from repro.perf import CheckpointCostModel, strong_scaling
+
+        ckpt = CheckpointCostModel.from_metrics(
+            self.make_metrics(), atoms_per_write=10_000, interval_steps=100)
+        plain = strong_scaling(SUMMIT, COPPER, 13_500_000, [57, 570])
+        with_ck = strong_scaling(SUMMIT, COPPER, 13_500_000, [57, 570],
+                                 checkpoint=ckpt)
+        for p, c in zip(plain, with_ck):
+            assert c.checkpoint_seconds > 0
+            assert p.checkpoint_seconds == 0.0
+            assert c.step_seconds == pytest.approx(
+                p.step_seconds + c.checkpoint_seconds)
+            # shard shrinks with more ranks -> less per-step overhead
+        assert with_ck[1].checkpoint_seconds < with_ck[0].checkpoint_seconds
+
+    def test_weak_scaling_overhead_flat(self):
+        from repro.perf import CheckpointCostModel, weak_scaling
+
+        ckpt = CheckpointCostModel.from_metrics(
+            self.make_metrics(), atoms_per_write=10_000, interval_steps=100)
+        pts = weak_scaling(SUMMIT, COPPER, 122_779, [18, 285],
+                           checkpoint=ckpt)
+        # constant atoms/rank -> constant amortized checkpoint cost
+        assert pts[0].checkpoint_seconds == pytest.approx(
+            pts[1].checkpoint_seconds)
+        assert pts[0].checkpoint_seconds > 0
+
+    def test_from_real_instrumented_writes(self, tmp_path):
+        """Calibrate from actual write_state_checkpoint measurements."""
+        import numpy as np
+
+        from repro.io.checkpoint import write_state_checkpoint
+        from repro.obs import MetricsRegistry
+        from repro.perf import CheckpointCostModel
+
+        mr = MetricsRegistry()
+        n = 500
+        rng = np.random.default_rng(0)
+        arrays = {"coords": rng.standard_normal((n, 3)),
+                  "velocities": rng.standard_normal((n, 3))}
+        for i in range(3):
+            write_state_checkpoint(str(tmp_path / f"c{i}.npz"), arrays,
+                                   meta={"step": i}, metrics=mr)
+        m = CheckpointCostModel.from_metrics(mr, atoms_per_write=n,
+                                             interval_steps=10)
+        # measured bytes/atom consistent with the recorded counter
+        total = mr.counter("checkpoint_bytes").value
+        assert m.bytes_per_atom * n * 3 == pytest.approx(total)
+        assert m.bytes_per_atom > 6 * 8 * 0.5  # incompressible payload
+        assert m.write_bandwidth_bps > 0
+        assert m.step_overhead_seconds(n) > 0

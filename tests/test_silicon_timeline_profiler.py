@@ -118,6 +118,84 @@ class TestSectionTimer:
     def test_empty_report(self):
         assert "no sections" in SectionTimer().report()
 
+    def test_report_share_columns(self):
+        """The report carries percent-share and cumulative-percent
+        columns; shares are consistent with share() and cum ends ~100."""
+        t = SectionTimer()
+        t.add("embedding", 0.9, calls=3)
+        t.add("fitting", 0.1, calls=2)
+        report = t.report()
+        lines = report.splitlines()
+        assert "share" in lines[0] and "cum %" in lines[0]
+        assert "ms/call" in lines[0]
+        # largest first, with its share and the running cumulative
+        assert lines[1].startswith("embedding")
+        assert "90.0%" in lines[1]
+        assert "100.0%" in lines[2]
+        assert "300.000" in lines[1]  # 0.9 s / 3 calls = 300 ms/call
+
+    def test_add_accumulates_calls(self):
+        t = SectionTimer()
+        t.add("k", 0.5, calls=4)
+        t.add("k", 0.5)
+        assert t.calls["k"] == 5
+        assert t.totals["k"] == pytest.approx(1.0)
+
+    def test_merge_folds_totals_and_calls(self):
+        a, b = SectionTimer(), SectionTimer()
+        a.add("x", 1.0, calls=2)
+        b.add("x", 3.0, calls=4)
+        b.add("y", 0.5)
+        a.merge(b)
+        assert a.totals["x"] == pytest.approx(4.0)
+        assert a.calls["x"] == 6
+        assert a.calls["y"] == 1
+
+    def test_merge_concurrent_per_thread_timers(self):
+        """The threaded-engine pattern: each worker records into its own
+        timer concurrently, then the per-thread timers merge into one."""
+        import threading
+
+        n, per = 6, 40
+        locals_ = [SectionTimer() for _ in range(n)]
+
+        def worker(t):
+            for _ in range(per):
+                t.add("shard", 0.001)
+                with t.section("bin"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in locals_]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        merged = SectionTimer()
+        for t in locals_:
+            merged.merge(t)
+        assert merged.calls["shard"] == n * per
+        assert merged.calls["bin"] == n * per
+        assert merged.totals["shard"] == pytest.approx(n * per * 0.001)
+
+    def test_concurrent_adds_into_shared_timer(self):
+        """add() is lock-guarded, so workers may also share one timer."""
+        import threading
+
+        shared = SectionTimer()
+
+        def worker():
+            for _ in range(200):
+                shared.add("s", 0.0005)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert shared.calls["s"] == 1600
+        assert shared.totals["s"] == pytest.approx(0.8)
+
     def test_reset(self):
         t = SectionTimer()
         with t.section("x"):
