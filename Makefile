@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -21,7 +21,10 @@ hybridsmoke:     ## <60 s hybrid drill: 2 ranks x 2 threads == serial bitwise + 
 obssmoke:        ## <60 s observability drill: traced+metered hybrid run with a fault; trace/JSONL parse, restart counters non-zero
 	$(PYTHON) tools/obs_smoke.py
 
+backendsmoke:    ## <30 s force-backend drill: every model family serial vs 1-thread (bitwise) vs 2-thread (tolerance)
+	$(PYTHON) tools/backend_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke obssmoke
+verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke

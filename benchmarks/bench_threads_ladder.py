@@ -8,13 +8,16 @@ copper workload over 1/2/4/8 workers:
 
 * the fused forward contraction alone (the hot kernel the engine was
   built for), and
-* the full packed force evaluation (env-mat + forward + fitting +
-  backward + force/virial — the fitting net stays serial, so Amdahl
-  caps this one);
+* the full packed force evaluation (env-mat + forward + descriptor +
+  fitting + backward + force/virial — every stage sharded, so the
+  serial remainder is just the Python orchestration between stages);
 
-then interprets the measured points through Amdahl's law and compares
-the implied serial fractions with the cost model's THREAD_PENALTY view
-of the paper's hybrid schemes.
+then interprets the measured points through Amdahl's law two ways —
+fitting the speedup curve, and directly from the engine's timed
+``engine.*`` sections (``measured_serial_fraction``), which also yields
+the counterfactual fraction had the dense stages stayed serial — and
+compares the implied serial fractions with the cost model's
+THREAD_PENALTY view of the paper's hybrid schemes.
 
 Results land in ``BENCH_threads.json`` at the repo root.  Speedup
 assertions only arm on hosts with >= 4 cores — a single-core container
@@ -38,7 +41,13 @@ from repro.core.ops import prod_env_mat_a_packed
 from repro.md import NeighborSearch, copper_system
 from repro.parallel import ThreadedEngine
 from repro.parallel.scheme import A64FX_SCHEMES
-from repro.perf import amdahl_speedup, fitted_serial_fraction, parallel_efficiency
+from repro.perf import (
+    SectionTimer,
+    amdahl_speedup,
+    fitted_serial_fraction,
+    measured_serial_fraction,
+    parallel_efficiency,
+)
 from repro.perf.costmodel import THREAD_PENALTY
 
 from conftest import report
@@ -109,7 +118,7 @@ def test_thread_ladder(ladder_cu, benchmark):
                                        atol=1e-12)
         sp_fwd = t1_forward / fwd_s
         sp_full = t1_full / full_s
-        entries.append({
+        entry = {
             "threads": n_threads,
             "forward_wall_s": round(fwd_s, 6),
             "wall_s": round(full_s, 6),
@@ -118,7 +127,33 @@ def test_thread_ladder(ladder_cu, benchmark):
             "efficiency": round(parallel_efficiency(sp_full, n_threads), 3),
             "serial_fraction": round(
                 fitted_serial_fraction(sp_full, n_threads), 3),
-        })
+        }
+        if n_threads > 1:
+            # One timed pass with the engine's section timer attached:
+            # the measured (not fitted) phase split of a force call.
+            timer = SectionTimer()
+            with ThreadedEngine(n_threads, timer=timer) as eng:
+                t0 = time.perf_counter()
+                comp.evaluate_packed(
+                    nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                    nd.indptr, engine=eng, pair_atom=nd.pair_atom)
+                phase_wall = time.perf_counter() - t0
+            meas_f = measured_serial_fraction(timer.totals, phase_wall)
+            dense_s = sum(timer.totals.get(k, 0.0) for k in
+                          ("engine.fitting", "engine.descriptor",
+                           "engine.descriptor_grad"))
+            entry["measured_serial_fraction"] = round(meas_f, 3)
+            # What the fraction would be with the dense stages (fitting
+            # net + descriptor GEMMs) still serial — the pre-sharding
+            # counterfactual this PR eliminates.
+            entry["unsharded_serial_fraction"] = round(
+                min(1.0, meas_f + dense_s / phase_wall), 3)
+            entry["phase_shares"] = {
+                k: round(v / phase_wall, 4)
+                for k, v in sorted(timer.totals.items())}
+            assert (entry["measured_serial_fraction"]
+                    <= entry["unsharded_serial_fraction"])
+        entries.append(entry)
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
@@ -126,10 +161,13 @@ def test_thread_ladder(ladder_cu, benchmark):
                  f"{e['forward_speedup']:.2f}",
                  f"{e['wall_s'] * 1e3:.1f}", f"{e['speedup']:.2f}",
                  f"{e['efficiency'] * 100:.0f}%",
-                 f"{e['serial_fraction']:.2f}"] for e in entries]
+                 f"{e['serial_fraction']:.2f}",
+                 (f"{e['measured_serial_fraction']:.2f}"
+                  if "measured_serial_fraction" in e else "-")]
+                for e in entries]
     report("threads_ladder", render_table(
         ["threads", "fwd ms", "fwd x", "full ms", "full x", "eff",
-         "serial f"], rows_tbl,
+         "fit f", "meas f"], rows_tbl,
         title=(f"Thread ladder, copper {nd.n_local} atoms / {nnz} pairs "
                f"on a {host_cpus}-core host")))
 

@@ -3,6 +3,14 @@ fifth-order tabulation, fused kernels, and the optimization-stage ladder.
 """
 
 from .activation import TanhTable, tanh
+from .backend import (
+    EvalRequest,
+    ForceBackend,
+    PackedBackend,
+    PaddedFallbackBackend,
+    backend_for,
+    register_backend,
+)
 from .committee import DeviationRecord, ModelCommittee
 from .compressed import CompressedDPModel, pack_nlist
 from .descriptor import descriptor_dim
@@ -25,8 +33,14 @@ __all__ = [
     "EmbeddingNet",
     "EmbeddingTable",
     "EnergyTrainer",
+    "EvalRequest",
     "EvalResult",
     "FittingNet",
+    "ForceBackend",
+    "PackedBackend",
+    "PaddedFallbackBackend",
+    "backend_for",
+    "register_backend",
     "KernelCounters",
     "ModelCommittee",
     "ModelSpec",

@@ -1,0 +1,259 @@
+"""Force-evaluation backends: the one contract every driver goes through.
+
+The paper's Fig. 6 (c) scheme works because every rank and thread sees a
+single uniform inference interface — the fused kernel.  This module is
+that interface for the reproduction: a :class:`ForceBackend` adapter
+wraps each model family's native evaluation entry point behind one
+``evaluate(EvalRequest) -> EvalResult`` call, and :func:`backend_for`
+resolves the right adapter **once at construction**.  Capability probing
+(``hasattr(model, "evaluate_packed")``, the ``supports_engine`` flag)
+lives only here; the MD driver, the distributed driver, the model
+committee and the precision harness all consume the resolved backend.
+
+Shipped adapters:
+
+* :class:`PackedBackend` — models with a packed (CSR) evaluation.  When
+  the model advertises ``supports_engine`` the adapter forwards the
+  request's :class:`~repro.parallel.engine.ThreadedEngine`, kernel
+  counters and cached pair→atom map, so the fused kernels run sharded;
+  otherwise it passes the five positional CSR arrays only (e.g.
+  :class:`~repro.core.descriptor_r.SeRModel`).
+* :class:`PaddedFallbackBackend` — models with only the padded
+  ``evaluate(coords, types, centers, nlist)`` entry point (the baseline
+  :class:`~repro.core.model.DPModel`).  The engine, if any, is ignored:
+  the padded pipeline has no sharded kernels.
+
+Custom model families plug in through :func:`register_backend`::
+
+    from repro.core.backend import register_backend
+
+    @register_backend(lambda m: isinstance(m, MyModel))
+    class MyBackend:
+        name = "my-backend"
+
+        def __init__(self, model):
+            self.model = model
+
+        def evaluate(self, request):
+            ...  # return an EvalResult
+
+Registered matchers are consulted (newest first) before the built-in
+``evaluate_packed``/``evaluate`` resolution rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from .model import EvalResult
+
+__all__ = [
+    "EvalRequest",
+    "EvalResult",
+    "ForceBackend",
+    "PackedBackend",
+    "PaddedFallbackBackend",
+    "backend_for",
+    "register_backend",
+]
+
+
+@dataclass
+class EvalRequest:
+    """Everything one force evaluation needs, in one context object.
+
+    Built from a :class:`~repro.md.neighbor.NeighborData` via
+    :meth:`from_neighbors`; the packed CSR arrays (``indices`` /
+    ``indptr``) and the padded ``nlist`` views coexist so any backend
+    can serve the request.
+    """
+
+    coords: np.ndarray            #: extended (local + ghost) positions
+    types: np.ndarray             #: extended per-atom type indices
+    centers: np.ndarray           #: indices of the local (center) atoms
+    indices: np.ndarray | None = None   #: packed neighbor indices (CSR)
+    indptr: np.ndarray | None = None    #: CSR row pointer, len n_local+1
+    nlist: np.ndarray | None = None     #: padded (n, N_m) neighbor list
+    pair_atom: np.ndarray | None = None  #: cached pair→atom map
+    counters: Any = None          #: optional KernelCounters sink
+    engine: Any = None            #: optional ThreadedEngine
+    tracer: Any = None            #: optional Tracer (span attribution)
+    precision: Any = None         #: optional dtype the coords are cast to
+
+    @classmethod
+    def from_neighbors(cls, neighbors, *, engine=None, counters=None,
+                       tracer=None, precision=None) -> "EvalRequest":
+        """Build a request from a built neighbor structure."""
+        return cls(
+            coords=neighbors.ext_coords,
+            types=neighbors.ext_types,
+            centers=neighbors.centers,
+            indices=neighbors.indices,
+            indptr=neighbors.indptr,
+            nlist=neighbors.nlist,
+            pair_atom=neighbors.pair_atom,
+            counters=counters,
+            engine=engine,
+            tracer=tracer,
+            precision=precision,
+        )
+
+    def cast(self, dtype) -> "EvalRequest":
+        """A copy of this request with coordinates in ``dtype``.
+
+        The precision harness evaluates the same neighbor structure in
+        float64 and float32; index arrays are never cast.
+        """
+        return replace(self, precision=np.dtype(dtype))
+
+    def resolve_coords(self) -> np.ndarray:
+        """Coordinates honoring :attr:`precision` (no copy if already so)."""
+        if self.precision is None:
+            return self.coords
+        return np.asarray(self.coords, dtype=self.precision)
+
+
+@runtime_checkable
+class ForceBackend(Protocol):
+    """The uniform inference contract (the paper's fused-kernel interface).
+
+    A backend owns a resolved model and turns an :class:`EvalRequest`
+    into an :class:`~repro.core.model.EvalResult` whose ``forces`` cover
+    the *extended* (local + ghost) atoms — folding ghost contributions
+    back is the caller's (neighbor structure's) job.
+    """
+
+    name: str
+    model: Any
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        ...
+
+
+class _BackendBase:
+    """Shared plumbing: model handle, spec passthrough, repr."""
+
+    name = "backend"
+
+    def __init__(self, model):
+        self.model = model
+
+    @property
+    def spec(self):
+        return self.model.spec
+
+    @property
+    def rcut(self) -> float:
+        return self.model.spec.rcut
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"model={type(self.model).__name__})")
+
+
+class PackedBackend(_BackendBase):
+    """Adapter for models with a packed (CSR) evaluation path.
+
+    ``accepts_engine`` is resolved once, from the model's
+    ``supports_engine`` flag: an engine-capable model must accept the
+    ``counters=`` / ``engine=`` / ``pair_atom=`` keywords on
+    ``evaluate_packed`` (the :class:`~repro.core.compressed.
+    CompressedDPModel` signature); a plain packed model receives only
+    the five positional CSR arrays.
+    """
+
+    def __init__(self, model, accepts_engine: bool | None = None):
+        super().__init__(model)
+        if accepts_engine is None:
+            accepts_engine = bool(getattr(model, "supports_engine", False))
+        self.accepts_engine = bool(accepts_engine)
+        self.name = "packed" if self.accepts_engine else "packed-serial"
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        if request.indices is None or request.indptr is None:
+            raise ValueError(
+                "PackedBackend needs the CSR neighbor arrays "
+                "(indices/indptr) on the request")
+        coords = request.resolve_coords()
+        if self.accepts_engine:
+            return self.model.evaluate_packed(
+                coords, request.types, request.centers,
+                request.indices, request.indptr,
+                counters=request.counters, engine=request.engine,
+                pair_atom=request.pair_atom,
+            )
+        return self.model.evaluate_packed(
+            coords, request.types, request.centers,
+            request.indices, request.indptr,
+        )
+
+
+class PaddedFallbackBackend(_BackendBase):
+    """Adapter for models with only the padded evaluation path.
+
+    The baseline :class:`~repro.core.model.DPModel` materializes ``G``
+    over padded ``(n, N_m)`` neighbor slots; it has no sharded kernels,
+    so a request's engine is deliberately ignored.
+    """
+
+    name = "padded"
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        if request.nlist is None:
+            raise ValueError(
+                "PaddedFallbackBackend needs the padded nlist on the "
+                "request")
+        return self.model.evaluate(
+            request.resolve_coords(), request.types, request.centers,
+            request.nlist,
+        )
+
+
+#: Custom (matcher, factory) pairs, consulted newest-first.
+_REGISTRY: list[tuple[Callable[[Any], bool], Callable[[Any], Any]]] = []
+
+
+def register_backend(matcher: Callable[[Any], bool], factory=None):
+    """Register a custom backend factory for models ``matcher`` accepts.
+
+    Use directly (``register_backend(matcher, factory)``) or as a class
+    decorator (``@register_backend(matcher)``).  ``factory`` is called
+    with the model and must return a :class:`ForceBackend`.  Returns the
+    factory, so decorated classes stay usable by name.
+    """
+
+    def add(factory):
+        _REGISTRY.append((matcher, factory))
+        return factory
+
+    if factory is None:
+        return add
+    return add(factory)
+
+
+def clear_registered_backends() -> None:
+    """Drop all custom registrations (test isolation helper)."""
+    _REGISTRY.clear()
+
+
+def backend_for(model) -> ForceBackend:
+    """Resolve the backend for ``model`` — the only capability probe.
+
+    Custom registrations win (newest first); then models with a packed
+    entry point get :class:`PackedBackend` (engine-capable iff the
+    model advertises ``supports_engine``), models with only a padded
+    entry point get :class:`PaddedFallbackBackend`.
+    """
+    for matcher, factory in reversed(_REGISTRY):
+        if matcher(model):
+            return factory(model)
+    if hasattr(model, "evaluate_packed"):
+        return PackedBackend(model)
+    if hasattr(model, "evaluate"):
+        return PaddedFallbackBackend(model)
+    raise TypeError(
+        f"{type(model).__name__} exposes neither evaluate_packed nor "
+        f"evaluate; register a custom backend with register_backend()")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .backend import EvalRequest, backend_for
 from .compressed import CompressedDPModel
 from .model import DPModel, ModelSpec
 
@@ -69,26 +70,30 @@ class ModelCommittee:
                 model = CompressedDPModel.compress(
                     model, interval=interval, x_max=x_max)
             self.members.append(model)
+        #: One resolved backend per member — the members are evaluated
+        #: exclusively through the uniform ForceBackend contract, so an
+        #: engine handed to :meth:`evaluate` reaches every member's
+        #: fused kernels (committees used to run serial under
+        #: ``--threads`` because ``engine=`` was never forwarded).
+        self.backends = [backend_for(m) for m in self.members]
 
     def __len__(self) -> int:
         return len(self.members)
 
-    def evaluate(self, nd) -> list:
-        """Every member's ``EvalResult`` on one configuration."""
-        out = []
-        for m in self.members:
-            if hasattr(m, "evaluate_packed"):
-                out.append(m.evaluate_packed(
-                    nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
-                    nd.indptr))
-            else:
-                out.append(m.evaluate(nd.ext_coords, nd.ext_types,
-                                      nd.centers, nd.nlist))
-        return out
+    def evaluate(self, nd, engine=None) -> list:
+        """Every member's ``EvalResult`` on one configuration.
 
-    def deviation(self, nd) -> DeviationRecord:
+        ``engine`` (a :class:`~repro.parallel.engine.ThreadedEngine`)
+        shards each engine-capable member's kernels over its workers.
+        """
+        return [
+            b.evaluate(EvalRequest.from_neighbors(nd, engine=engine))
+            for b in self.backends
+        ]
+
+    def deviation(self, nd, engine=None) -> DeviationRecord:
         """DP-GEN's model-deviation metrics for one configuration."""
-        results = self.evaluate(nd)
+        results = self.evaluate(nd, engine=engine)
         n_local = nd.n_local
         forces = np.stack([nd.fold_forces(r.forces) for r in results])
         energies = np.array([r.energy for r in results]) / n_local
@@ -103,8 +108,9 @@ class ModelCommittee:
             devi_e=float(energies.std()),
         )
 
-    def select_frames(self, frames, lo: float, hi: float) -> list:
+    def select_frames(self, frames, lo: float, hi: float,
+                      engine=None) -> list:
         """Indices of configurations inside the trust band (the frames
         DP-GEN would send to first-principles labelling)."""
         return [k for k, nd in enumerate(frames)
-                if self.deviation(nd).selects(lo, hi)]
+                if self.deviation(nd, engine=engine).selects(lo, hi)]

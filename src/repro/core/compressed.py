@@ -76,7 +76,8 @@ class CompressedDPModel:
     supports_engine = True
 
     def __init__(self, spec: ModelSpec, tables, fittings, energy_bias,
-                 chunk: int = DEFAULT_CHUNK, use_soa: bool = False):
+                 chunk: int = DEFAULT_CHUNK, use_soa: bool = False,
+                 type_weights=None):
         self.spec = spec
         self.tables = list(tables)
         if use_soa:
@@ -85,6 +86,20 @@ class CompressedDPModel:
         self.energy_bias = np.asarray(energy_bias, dtype=np.float64)
         self.chunk = int(chunk)
         self.use_soa = use_soa
+        # Optional per-neighbor-type cost weights for the threaded
+        # engine's shard cuts (e.g. relative table widths).  Strictly
+        # opt-in: ``None`` keeps the unweighted quantile cuts, so shard
+        # boundaries (and hence any tie-breaking) are unchanged.
+        if type_weights is not None:
+            type_weights = np.asarray(type_weights, dtype=np.float64)
+            if type_weights.shape != (spec.n_types,):
+                raise ValueError(
+                    f"type_weights needs one weight per type "
+                    f"({spec.n_types}), got shape {type_weights.shape}"
+                )
+            if np.any(type_weights < 0):
+                raise ValueError("type_weights must be non-negative")
+        self.type_weights = type_weights
 
     # --------------------------------------------------------------- factory
     @classmethod
@@ -97,6 +112,7 @@ class CompressedDPModel:
         use_soa: bool = False,
         tanh_table: TanhTable | None = None,
         chunk: int = DEFAULT_CHUNK,
+        type_weights=None,
     ) -> "CompressedDPModel":
         """Compress a baseline model (the paper's post-processing step).
 
@@ -116,7 +132,7 @@ class CompressedDPModel:
             for net in fittings:
                 net.set_activation(tanh_table)
         return cls(spec, tables, fittings, model.energy_bias,
-                   chunk=chunk, use_soa=use_soa)
+                   chunk=chunk, use_soa=use_soa, type_weights=type_weights)
 
     # ---------------------------------------------------------------- sizing
     @property
@@ -159,11 +175,14 @@ class CompressedDPModel:
         ----------
         engine:
             Optional :class:`repro.parallel.engine.ThreadedEngine`.  When
-            given (with more than one thread) the env-matrix, fused
-            forward/backward, force, and virial kernels run sharded over
-            its worker pool; per-worker counters are merged back into
-            ``counters``.  The fitting net stays serial — it is a dense
-            GEMM whose caches/gradients live on the shared net objects.
+            given (with more than one thread) every pipeline stage runs
+            sharded over its worker pool: the env-matrix, fused
+            forward/backward, force, and virial kernels over pair-balanced
+            CSR ranges, and the descriptor GEMMs plus the fitting-net
+            forward/backward over equal-atom ranges (the fitting pass uses
+            the gradient path that never writes the nets' shared
+            ``dW``/``db`` buffers).  Per-worker counters are merged back
+            into ``counters``.
         pair_atom:
             Optional pair→atom map (``NeighborData.pair_atom`` caches it
             per build); recomputed from ``indptr`` when absent.
@@ -182,11 +201,15 @@ class CompressedDPModel:
         else:
             pair_atom = np.asarray(pair_atom, dtype=np.intp)
         pair_center = centers[pair_atom]
+        pair_types = atom_types[indices]
+        pair_weights = None
+        if threaded and self.type_weights is not None:
+            pair_weights = self.type_weights[pair_types]
 
         if threaded:
             rows, deriv, rij = engine.env_mat_packed(
                 coords, centers, indices, indptr, spec.rcut_smth, spec.rcut,
-                pair_atom=pair_atom,
+                pair_atom=pair_atom, pair_weights=pair_weights,
             )
         else:
             rows, deriv, rij = prod_env_mat_a_packed(
@@ -194,7 +217,6 @@ class CompressedDPModel:
                 pair_center=pair_center,
             )
         s = rows[:, 0]
-        pair_types = atom_types[indices]
 
         # Fused forward: per-type tables accumulate into the shared T.
         t_mat = np.zeros((n, 4, spec.m_out), dtype=rows.dtype)
@@ -220,11 +242,16 @@ class CompressedDPModel:
                     counters=counters, chunk=self.chunk,
                 )
 
-        descr = descriptor_from_t(t_mat, spec.m_sub)
         center_types = atom_types[centers]
-        energies, d_descr = self._fit(descr, center_types)
-
-        dt = dt_from_ddescr(d_descr, t_mat, spec.m_sub)
+        if threaded:
+            descr = engine.descriptor_packed(t_mat, spec.m_sub)
+            energies, d_descr = engine.fit_packed(
+                self.fittings, self.energy_bias, descr, center_types)
+            dt = engine.dt_packed(d_descr, t_mat, spec.m_sub)
+        else:
+            descr = descriptor_from_t(t_mat, spec.m_sub)
+            energies, d_descr = self._fit(descr, center_types)
+            dt = dt_from_ddescr(d_descr, t_mat, spec.m_sub)
         net_deriv = np.empty_like(rows)
         for table, (sel, indptr_t, pa_t) in zip(self.tables, type_sel):
             if isinstance(sel, np.ndarray) and sel.size == 0:
@@ -242,8 +269,10 @@ class CompressedDPModel:
 
         if threaded:
             forces = engine.force_packed(net_deriv, deriv, indices,
-                                         pair_center, indptr, n_total)
-            virial = engine.virial_packed(net_deriv, deriv, rij, indptr)
+                                         pair_center, indptr, n_total,
+                                         pair_weights=pair_weights)
+            virial = engine.virial_packed(net_deriv, deriv, rij, indptr,
+                                          pair_weights=pair_weights)
         else:
             forces = prod_force_se_a_packed(
                 net_deriv, deriv, centers, indices, indptr, n_total,

@@ -78,6 +78,15 @@ class FittingNet(MLP):
         dy = np.ones((n, 1))
         return self.backward(dy, caches) * self.input_scale
 
+    def input_gradient_pure(self, caches, n: int) -> np.ndarray:
+        """Like :meth:`input_gradient` but without touching ``dW``/``db``.
+
+        Bit-identical ``dx`` arithmetic; safe for concurrent workers
+        sharing one net (the threaded engine's sharded fitting pass).
+        """
+        dy = np.ones((n, 1))
+        return self.backward_dx(dy, caches) * self.input_scale
+
     def backward_input(self, dy: np.ndarray, caches) -> np.ndarray:
         """Reverse mode with an arbitrary output seed, returning the
         gradient w.r.t. the *raw* (unnormalized) descriptor."""

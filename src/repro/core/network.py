@@ -64,6 +64,15 @@ class LinearLayer:
         self.db += dy.sum(axis=0)
         return dy @ self.W.T
 
+    def backward_dx(self, dy: np.ndarray, cache) -> np.ndarray:
+        """Input gradient only — no parameter-gradient accumulation.
+
+        Identical arithmetic to :meth:`backward`'s ``dx`` but touches no
+        shared layer state, so concurrent workers (the threaded engine's
+        sharded fitting pass) can run it on the same layer objects.
+        """
+        return dy @ self.W.T
+
     def parameters(self):
         return [(self.W, self.dW), (self.b, self.db)]
 
@@ -93,6 +102,10 @@ class DenseLayer(LinearLayer):
         self.dW += x.T @ dz
         self.db += dz.sum(axis=0)
         return dz @ self.W.T
+
+    def backward_dx(self, dy: np.ndarray, cache) -> np.ndarray:
+        _, t = cache
+        return (dy * dtanh(t)) @ self.W.T
 
     def set_activation(self, act: Callable[[np.ndarray], np.ndarray]) -> None:
         self._act = act
@@ -136,6 +149,17 @@ class ResidualDenseLayer(DenseLayer):
             dx += dy
         return dx
 
+    def backward_dx(self, dy: np.ndarray, cache) -> np.ndarray:
+        x, t = cache
+        dz = dy * dtanh(t)
+        dx = dz @ self.W.T
+        if self.doubling:
+            n = x.shape[1]
+            dx += dy[:, :n] + dy[:, n:]
+        else:
+            dx += dy
+        return dx
+
 
 class MLP:
     """A stack of layers with combined forward/backward helpers."""
@@ -165,6 +189,17 @@ class MLP:
     def backward(self, dy: np.ndarray, caches) -> np.ndarray:
         for layer, cache in zip(reversed(self.layers), reversed(caches)):
             dy = layer.backward(dy, cache)
+        return dy
+
+    def backward_dx(self, dy: np.ndarray, caches) -> np.ndarray:
+        """Reverse pass computing input gradients only (thread-safe).
+
+        Same ``dx`` arithmetic as :meth:`backward` but no ``dW``/``db``
+        accumulation — the layers are read, never written, so any number
+        of workers may traverse the same net concurrently.
+        """
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            dy = layer.backward_dx(dy, cache)
         return dy
 
     def zero_grad(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import EvalRequest, backend_for
 from .compressed import CompressedDPModel
 from .fitting import FittingNet
 from .tabulation import EmbeddingTable
@@ -58,22 +59,20 @@ def to_single_precision(model: CompressedDPModel) -> CompressedDPModel:
     )
 
 
-def precision_study(model: CompressedDPModel, neighbors) -> dict:
+def precision_study(model: CompressedDPModel, neighbors,
+                    engine=None) -> dict:
     """Quantify the single-precision accuracy gap on one configuration.
 
     Returns per-atom energy deviation and max/RMS force deviations of
     the float32 pipeline against the float64 one — the numbers behind
-    the paper's "accuracy problems" remark.
+    the paper's "accuracy problems" remark.  Both evaluations go through
+    the resolved :class:`~repro.core.backend.ForceBackend`; the float32
+    leg is the same request recast via ``EvalRequest.cast``.
     """
-    ref = model.evaluate_packed(
-        neighbors.ext_coords, neighbors.ext_types, neighbors.centers,
-        neighbors.indices, neighbors.indptr,
-    )
+    req = EvalRequest.from_neighbors(neighbors, engine=engine)
+    ref = backend_for(model).evaluate(req)
     f32 = to_single_precision(model)
-    res = f32.evaluate_packed(
-        neighbors.ext_coords.astype(np.float32), neighbors.ext_types,
-        neighbors.centers, neighbors.indices, neighbors.indptr,
-    )
+    res = backend_for(f32).evaluate(req.cast(np.float32))
     df = res.forces - ref.forces
     scale = float(np.abs(ref.forces).max()) or 1.0
     return {

@@ -298,6 +298,12 @@ def restart_simulation(path: str, forcefield, thermostat=None,
         masses_per_type[t] = state["masses"][types == t][0]
     if threads is None and engine is None:
         threads = int(meta.get("threads", 1))
+    if hasattr(forcefield, "rebind"):
+        # Restart replay re-resolves the force backend: the model may
+        # have been swapped (recompressed, recast) since the force field
+        # was built, and the replayed evaluation must use the adapter
+        # for the model as it is *now*.
+        forcefield.rebind()
 
     sim = Simulation(
         state["coords"], types, state["box"], masses_per_type, forcefield,

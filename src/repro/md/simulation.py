@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import EvalRequest, backend_for
 from ..obs.trace import NULL_TRACER
 from .box import Box
 from .integrator import VelocityVerlet
@@ -31,48 +32,49 @@ PAPER_REBUILD_EVERY = 50
 class DPForceField:
     """Adapter running a (baseline or compressed) DP model inside MD.
 
-    Chooses the packed path automatically when the model provides it —
-    :class:`~repro.core.compressed.CompressedDPModel` — and the padded
-    path for the baseline :class:`~repro.core.model.DPModel`.
+    The model is resolved to a :class:`~repro.core.backend.ForceBackend`
+    once at construction (:func:`~repro.core.backend.backend_for`): the
+    compressed model lands on the packed adapter, the baseline
+    :class:`~repro.core.model.DPModel` on the padded fallback.  Every
+    evaluation goes through ``backend.evaluate(EvalRequest)`` — there is
+    no per-step capability probing.
 
-    ``engine`` (a :class:`repro.parallel.engine.ThreadedEngine`) is
-    forwarded to models advertising ``supports_engine``, together with
-    the neighbor list's cached pair→atom map, so the fused kernels run
-    sharded over the worker pool.
+    ``engine`` (a :class:`repro.parallel.engine.ThreadedEngine`) rides
+    on the request; engine-capable backends run the fused kernels
+    sharded over the worker pool, others ignore it.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records every model
     evaluation as a ``fused_forward`` span — the region the paper's
-    Sec. 2.2 profile attributes >90% of the step to.
+    Sec. 2.2 profile attributes >90% of the step to — carrying the
+    resolved backend's name as a ``backend=`` attribute.
     """
 
-    def __init__(self, model, engine=None, tracer=None):
+    def __init__(self, model, engine=None, tracer=None, backend=None):
         self.model = model
+        self.backend = backend_for(model) if backend is None else backend
         self.rcut = model.spec.rcut
         self.engine = engine
         self.tracer = NULL_TRACER if tracer is None else tracer
 
+    def rebind(self, model=None) -> "DPForceField":
+        """Re-resolve the backend (restart replay, model swap).
+
+        A checkpoint restart rebuilds the simulation around an existing
+        force field whose model may have been replaced (e.g. recompressed
+        or recast) since the backend was first resolved; re-resolving
+        keeps the adapter and the model in lockstep.
+        """
+        if model is not None:
+            self.model = model
+        self.backend = backend_for(self.model)
+        self.rcut = self.model.spec.rcut
+        return self
+
     def compute(self, neighbors: NeighborData):
-        with self.tracer.span("fused_forward"):
-            if hasattr(self.model, "evaluate_packed"):
-                kwargs = {}
-                if getattr(self.model, "supports_engine", False):
-                    kwargs = {"engine": self.engine,
-                              "pair_atom": neighbors.pair_atom}
-                result = self.model.evaluate_packed(
-                    neighbors.ext_coords,
-                    neighbors.ext_types,
-                    neighbors.centers,
-                    neighbors.indices,
-                    neighbors.indptr,
-                    **kwargs,
-                )
-            else:
-                result = self.model.evaluate(
-                    neighbors.ext_coords,
-                    neighbors.ext_types,
-                    neighbors.centers,
-                    neighbors.nlist,
-                )
+        with self.tracer.span("fused_forward", backend=self.backend.name):
+            result = self.backend.evaluate(
+                EvalRequest.from_neighbors(neighbors, engine=self.engine)
+            )
             forces = neighbors.fold_forces(result.forces)
         return result.energy, forces, result.virial
 

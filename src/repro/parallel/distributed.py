@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.backend import EvalRequest, backend_for
 from ..md.box import Box
 from ..md.neighbor import DEFAULT_SKIN, NeighborSearch
 from ..md.simulation import PAPER_PROTOCOL_STEPS, PAPER_REBUILD_EVERY
@@ -79,22 +80,11 @@ class DistributedMDResult:
     rank_restarts: list = field(default_factory=list)
 
 
-def _evaluate(model, search, coords, types, region, engine=None):
+def _evaluate(backend, search, coords, types, region, engine=None):
     """Force evaluation on local atoms given an exchanged ghost region."""
     nd = search.build_extended(coords, types, region.coords, region.types)
     n_local = len(coords)
-    if hasattr(model, "evaluate_packed"):
-        kwargs = {}
-        if engine is not None and getattr(model, "supports_engine", False):
-            kwargs = {"engine": engine, "pair_atom": nd.pair_atom}
-        res = model.evaluate_packed(
-            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr,
-            **kwargs,
-        )
-    else:
-        res = model.evaluate(
-            nd.ext_coords, nd.ext_types, nd.centers, nd.nlist
-        )
+    res = backend.evaluate(EvalRequest.from_neighbors(nd, engine=engine))
     local_forces = res.forces[:n_local].copy()
     ghost_forces = res.forces[n_local:]
     local_pe = float(res.atomic_energies.sum())
@@ -108,7 +98,7 @@ def _rank_main(
     types0: np.ndarray,
     vel0: np.ndarray,
     masses_per_type: np.ndarray,
-    model,
+    backend,
     dt_fs: float,
     n_steps: int,
     rebuild_every: int,
@@ -131,7 +121,7 @@ def _rank_main(
     """
     try:
         return _rank_body(comm, grid, coords0, types0, vel0,
-                          masses_per_type, model, dt_fs, n_steps,
+                          masses_per_type, backend, dt_fs, n_steps,
                           rebuild_every, skin, sel, thermo_every, injector,
                           threads_per_rank, managers, checkpoint_every,
                           resume_step, tracer, metrics)
@@ -175,7 +165,7 @@ def _rank_body(
     types0: np.ndarray,
     vel0: np.ndarray,
     masses_per_type: np.ndarray,
-    model,
+    backend,
     dt_fs: float,
     n_steps: int,
     rebuild_every: int,
@@ -191,7 +181,7 @@ def _rank_body(
     metrics=None,
 ):
     box = grid.box
-    rhalo = model.spec.rcut + skin
+    rhalo = backend.spec.rcut + skin
     grid.check_halo(rhalo)
     tracer = NULL_TRACER if tracer is None else tracer
     if tracer:
@@ -207,7 +197,7 @@ def _rank_body(
             engine.fault_hook = injector.worker_fault
     try:
         return _rank_steps(comm, grid, box, rhalo, coords0, types0, vel0,
-                           masses_per_type, model, dt_fs, n_steps,
+                           masses_per_type, backend, dt_fs, n_steps,
                            rebuild_every, skin, sel, thermo_every, injector,
                            engine, managers, checkpoint_every, resume_step,
                            tracer, metrics)
@@ -217,14 +207,14 @@ def _rank_body(
 
 
 def _rank_steps(
-    comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, model,
+    comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, backend,
     dt_fs, n_steps, rebuild_every, skin, sel, thermo_every, injector,
     engine, managers, checkpoint_every, resume_step, tracer=None, metrics=None,
 ):
     import time as _time
 
     tracer = NULL_TRACER if tracer is None else tracer
-    search = NeighborSearch(model.spec.rcut, skin=skin, sel=sel,
+    search = NeighborSearch(backend.spec.rcut, skin=skin, sel=sel,
                             engine=engine)
     ckpt = managers[comm.rank] if managers else None
     n_global = len(coords0)
@@ -262,9 +252,10 @@ def _rank_steps(
     def forces_step(region):
         # ``step`` reads the enclosing loop variable at call time, so the
         # compute/reduction spans carry the MD step they belong to.
-        with tracer.span("compute", step=step):
+        with tracer.span("compute", step=step, backend=backend.name):
             pe, f_local, f_ghost, virial = _evaluate(
-                model, search, coords, state["types"], region, engine=engine
+                backend, search, coords, state["types"], region,
+                engine=engine,
             )
         with tracer.span("reduction", step=step):
             return_ghost_forces(comm, region, f_ghost, f_local)
@@ -519,11 +510,15 @@ def run_distributed_md(
     forward = reverse = migrate = 0
     resume_step = 0
     while True:
+        # Restart replay re-resolves the backend: every world (re-)spawn
+        # adapts the model afresh, so a swap between restarts (e.g. a
+        # recompressed model) is picked up uniformly by all ranks.
+        backend = backend_for(model)
         world = SimWorld(n_ranks)
         try:
             results = world.run(
                 _rank_main, grid, coords, types, velocities,
-                masses_per_type, model, dt_fs, n_steps, rebuild_every,
+                masses_per_type, backend, dt_fs, n_steps, rebuild_every,
                 skin, sel, thermo_every, injector, threads_per_rank,
                 managers, checkpoint_every, resume_step, tracer, metrics,
             )

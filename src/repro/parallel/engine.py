@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.descriptor import descriptor_from_t, dt_from_ddescr
 from ..core.fused import (
     DEFAULT_CHUNK,
     KernelCounters,
@@ -176,9 +177,27 @@ class ThreadedEngine:
         return results
 
     # ------------------------------------------------------------ sharding
-    def shard_ranges(self, indptr):
-        """Contiguous pair-balanced atom ranges, one per worker."""
-        return split_pair_ranges(indptr, self.n_threads)
+    def shard_ranges(self, indptr, pair_weights=None):
+        """Contiguous pair-balanced atom ranges, one per worker.
+
+        ``pair_weights`` (optional, one weight per CSR pair) switches the
+        quantile cuts from raw pair counts to weighted pair cost —
+        profile-guided balance for multi-type systems whose per-pair
+        kernel cost differs by neighbor type.
+        """
+        return split_pair_ranges(indptr, self.n_threads,
+                                 pair_weights=pair_weights)
+
+    def split_atom_ranges(self, n: int):
+        """Contiguous equal-*atom* ranges, one per worker.
+
+        The per-atom dense stages (fitting net, descriptor GEMMs) cost
+        the same for every atom, so plain atom-count quantiles are the
+        balanced cut.
+        """
+        cuts = np.linspace(0, int(n), self.n_threads + 1).astype(np.intp)
+        return [(int(cuts[t]), int(cuts[t + 1]))
+                for t in range(self.n_threads)]
 
     def _section(self, name: str):
         if self.timer is None:
@@ -196,7 +215,8 @@ class ThreadedEngine:
     # ------------------------------------------------------------- kernels
     def env_mat_packed(self, coords, centers, indices, indptr,
                        rcut_smth: float, rcut: float,
-                       pair_atom: np.ndarray | None = None):
+                       pair_atom: np.ndarray | None = None,
+                       pair_weights=None):
         """Sharded :func:`~repro.core.ops.prod_env_mat_a_packed`."""
         if self.n_threads == 1:
             return prod_env_mat_a_packed(coords, centers, indices, indptr,
@@ -215,7 +235,7 @@ class ThreadedEngine:
         rows = np.empty((nnz, 4), dtype=dtype)
         deriv = np.empty((nnz, 4, 3), dtype=dtype)
         rij = np.empty((nnz, 3), dtype=dtype)
-        shards = self.shard_ranges(indptr)
+        shards = self.shard_ranges(indptr, pair_weights)
 
         def run(shard):
             lo, hi = shard
@@ -274,7 +294,8 @@ class ThreadedEngine:
     def backward_packed(self, table, dt, s, rows, indptr, n_m_norm: int,
                         pair_atom: np.ndarray,
                         counters: KernelCounters | None = None,
-                        chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+                        chunk: int = DEFAULT_CHUNK,
+                        pair_weights=None) -> np.ndarray:
         """Sharded :func:`~repro.core.fused.fused_backward_packed`.
 
         ``pair_atom`` carries *global* atom ids, so each worker indexes
@@ -286,7 +307,7 @@ class ThreadedEngine:
                                          n_m_norm, counters=counters,
                                          chunk=chunk, pair_atom=pair_atom)
         d_rows = np.empty((nnz, 4), dtype=rows.dtype)
-        shards = self.shard_ranges(indptr)
+        shards = self.shard_ranges(indptr, pair_weights)
 
         def run(shard):
             lo, hi = shard
@@ -308,7 +329,7 @@ class ThreadedEngine:
         return d_rows
 
     def force_packed(self, net_deriv, deriv, indices, pair_center,
-                     indptr, n_total: int) -> np.ndarray:
+                     indptr, n_total: int, pair_weights=None) -> np.ndarray:
         """Sharded :func:`~repro.core.ops.prod_force_se_a_packed`.
 
         The pair→atom scatter is not disjoint across shards (an atom's
@@ -320,7 +341,7 @@ class ThreadedEngine:
             return prod_force_se_a_packed(net_deriv, deriv, None, indices,
                                           indptr, n_total,
                                           pair_center=pair_center)
-        shards = self.shard_ranges(indptr)
+        shards = self.shard_ranges(indptr, pair_weights)
 
         def run(shard):
             lo, hi = shard
@@ -341,11 +362,103 @@ class ThreadedEngine:
                 force += p
         return force
 
-    def virial_packed(self, net_deriv, deriv, rij, indptr) -> np.ndarray:
+    def descriptor_packed(self, t_mat: np.ndarray, m_sub: int) -> np.ndarray:
+        """Sharded :func:`~repro.core.descriptor.descriptor_from_t`.
+
+        The descriptor GEMM ``D = (T<)^T T`` is independent per atom, so
+        workers write disjoint row slabs of the output.  The einsum is
+        row-stable: each shard's rows are bitwise identical to the same
+        rows of the serial result.
+        """
+        n = t_mat.shape[0]
+        if self.n_threads == 1 or n == 0:
+            return descriptor_from_t(t_mat, m_sub)
+        m_out = t_mat.shape[2]
+        descr = np.empty((n, m_sub * m_out), dtype=t_mat.dtype)
+        shards = self.split_atom_ranges(n)
+
+        def run(shard):
+            lo, hi = shard
+            if lo == hi:
+                return None
+            descr[lo:hi] = descriptor_from_t(t_mat[lo:hi], m_sub)
+            return None
+
+        with self._section("descriptor"):
+            self.map(run, shards, trace_name="engine.descriptor")
+        return descr
+
+    def fit_packed(self, fittings, energy_bias, descr: np.ndarray,
+                   center_types: np.ndarray):
+        """Sharded fitting-net forward/backward over atom ranges.
+
+        Each worker runs the per-type nets on its own atom slab via
+        :meth:`~repro.core.fitting.FittingNet.input_gradient_pure`, the
+        reverse pass that never writes the shared ``dW``/``db`` buffers —
+        any number of workers may traverse the same net objects.  The
+        dense GEMMs are row-sharded, so threaded energies/gradients may
+        differ from serial at the ulp level (the same tolerance class as
+        the sharded fused kernels); with one thread the result matches
+        :meth:`CompressedDPModel._fit` bitwise.
+        """
+        n = descr.shape[0]
+        energies = np.empty(n, dtype=descr.dtype)
+        d_descr = np.empty_like(descr)
+        energy_bias = np.asarray(energy_bias)
+
+        def run(shard):
+            lo, hi = shard
+            if lo == hi:
+                return None
+            ct = center_types[lo:hi]
+            for t, net in enumerate(fittings):
+                idx = np.nonzero(ct == t)[0]
+                if idx.size == 0:
+                    continue
+                rows = lo + idx
+                e, caches = net.energies_with_cache(descr[rows])
+                energies[rows] = e + energy_bias[t]
+                d_descr[rows] = net.input_gradient_pure(caches, idx.size)
+            return None
+
+        if self.n_threads == 1 or n == 0:
+            run((0, n))
+            return energies, d_descr
+        shards = self.split_atom_ranges(n)
+        with self._section("fitting"):
+            self.map(run, shards, trace_name="engine.fitting")
+        return energies, d_descr
+
+    def dt_packed(self, d_descr: np.ndarray, t_mat: np.ndarray,
+                  m_sub: int) -> np.ndarray:
+        """Sharded :func:`~repro.core.descriptor.dt_from_ddescr`.
+
+        Row-stable like :meth:`descriptor_packed`: per-atom einsum with
+        disjoint output slabs, bitwise equal to the serial rows.
+        """
+        n = t_mat.shape[0]
+        if self.n_threads == 1 or n == 0:
+            return dt_from_ddescr(d_descr, t_mat, m_sub)
+        dt = np.empty_like(t_mat)
+        shards = self.split_atom_ranges(n)
+
+        def run(shard):
+            lo, hi = shard
+            if lo == hi:
+                return None
+            dt[lo:hi] = dt_from_ddescr(d_descr[lo:hi], t_mat[lo:hi], m_sub)
+            return None
+
+        with self._section("descriptor_grad"):
+            self.map(run, shards, trace_name="engine.descriptor_grad")
+        return dt
+
+    def virial_packed(self, net_deriv, deriv, rij, indptr,
+                      pair_weights=None) -> np.ndarray:
         """Sharded :func:`~repro.core.ops.prod_virial_se_a_packed`."""
         if self.n_threads == 1:
             return prod_virial_se_a_packed(net_deriv, deriv, rij)
-        shards = self.shard_ranges(indptr)
+        shards = self.shard_ranges(indptr, pair_weights)
 
         def run(shard):
             lo, hi = shard

@@ -163,7 +163,7 @@ def split_subregion(coords: np.ndarray, lo, hi, n_threads: int,
     return [order[cuts[t]:cuts[t + 1]] for t in range(n_threads)]
 
 
-def split_pair_ranges(indptr, n_shards: int):
+def split_pair_ranges(indptr, n_shards: int, pair_weights=None):
     """Contiguous atom ranges with near-equal neighbor-*pair* counts.
 
     The CSR analogue of :func:`split_subregion`'s quantile cuts: shard
@@ -179,6 +179,12 @@ def split_pair_ranges(indptr, n_shards: int):
     Fig. 6 (c)).  Shards may be empty when there are fewer atoms than
     shards.  Returns a list of ``n_shards`` ``(lo, hi)`` tuples
     partitioning ``range(len(indptr) - 1)``.
+
+    ``pair_weights`` (optional, one non-negative weight per CSR pair)
+    replaces the raw pair count with weighted pair *cost* — e.g. a
+    per-neighbor-type table-width weight for multi-type systems whose
+    per-pair work differs by type.  ``None`` (the default) reproduces
+    the unweighted cuts exactly.
     """
     if n_shards < 1:
         raise ValueError("need at least one shard")
@@ -186,6 +192,26 @@ def split_pair_ranges(indptr, n_shards: int):
     # An empty indptr (no CSR at all) means zero atoms, same as [0].
     n = max(0, len(indptr) - 1)
     nnz = int(indptr[-1]) if n > 0 else 0
+    if pair_weights is not None and nnz > 0:
+        pair_weights = np.asarray(pair_weights, dtype=np.float64)
+        if pair_weights.shape != (nnz,):
+            raise ValueError(
+                f"pair_weights must have one entry per pair "
+                f"({nnz}), got shape {pair_weights.shape}"
+            )
+        # Cumulative weighted cost at every atom boundary; quantile cuts
+        # on cost instead of count.  A zero total degrades to unweighted.
+        cum = np.concatenate([[0.0], np.cumsum(pair_weights)])
+        w_at_atoms = cum[indptr]
+        total = w_at_atoms[-1]
+        if total > 0:
+            targets = np.linspace(0.0, total, n_shards + 1)
+            cuts = np.searchsorted(w_at_atoms, targets,
+                                   side="left").astype(np.intp)
+            cuts[0], cuts[-1] = 0, n
+            np.maximum.accumulate(cuts, out=cuts)
+            return [(int(cuts[t]), int(cuts[t + 1]))
+                    for t in range(n_shards)]
     if nnz == 0:
         # No pairs to balance: fall back to atom-count quantiles.
         cuts = np.linspace(0, n, n_shards + 1).astype(np.intp)

@@ -13,6 +13,7 @@ from .costmodel import (
 from .kernels import (
     amdahl_speedup,
     fitted_serial_fraction,
+    measured_serial_fraction,
     parallel_efficiency,
     step_kernel_costs,
     total_flops_per_atom,
@@ -56,6 +57,7 @@ __all__ = [
     "bytes_per_atom",
     "fitted_serial_fraction",
     "ghost_atoms_per_rank",
+    "measured_serial_fraction",
     "parallel_efficiency",
     "hybrid_time_per_atom_us",
     "max_atoms_device",

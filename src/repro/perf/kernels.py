@@ -148,10 +148,13 @@ def total_flops_per_atom(w: Workload, stage: Stage) -> float:
 
 # --- intra-rank threading (Sec. 3.5.4, Fig. 6 (c)) ----------------------
 # The thread ladder benchmarks interpret their measurements through
-# Amdahl's law: the fitting net and the Python-side orchestration stay
-# serial, so the speedup at T threads exposes the serial fraction of one
-# force evaluation (the complement of THREAD_PENALTY's fork/join view in
-# repro.perf.costmodel).
+# Amdahl's law: with every pipeline stage sharded (including the fitting
+# net and descriptor GEMMs), the remaining serial fraction is the
+# Python-side orchestration between stages, so the speedup at T threads
+# exposes that fraction (the complement of THREAD_PENALTY's fork/join
+# view in repro.perf.costmodel).  Two ways to obtain it: fit the
+# measured speedup (fitted_serial_fraction) or sum the engine's timed
+# parallel sections against the wall (measured_serial_fraction).
 
 def amdahl_speedup(n_threads: int, serial_fraction: float) -> float:
     """Ideal fork-join speedup at ``n_threads`` with a serial fraction."""
@@ -174,3 +177,23 @@ def fitted_serial_fraction(speedup: float, n_threads: int) -> float:
         return 1.0
     f = (n_threads / float(speedup) - 1.0) / (n_threads - 1.0)
     return float(min(max(f, 0.0), 1.0))
+
+
+def measured_serial_fraction(phase_seconds, wall_seconds: float,
+                             parallel_prefix: str = "engine.") -> float:
+    """Serial fraction from *measured* phase timings, not a speedup fit.
+
+    ``phase_seconds`` maps phase names to seconds (a
+    :class:`~repro.perf.profiler.SectionTimer`'s ``totals`` or a trace's
+    per-phase aggregate); every phase whose name starts with
+    ``parallel_prefix`` counts as parallel work, the rest of the wall is
+    serial.  This is the direct measurement the fitted value
+    (:func:`fitted_serial_fraction`) estimates — on a host with too few
+    cores to observe a speedup it is the only observable one.
+    """
+    wall = float(wall_seconds)
+    if wall <= 0:
+        return 1.0
+    par = sum(float(v) for k, v in dict(phase_seconds).items()
+              if k.startswith(parallel_prefix))
+    return float(min(max(1.0 - par / wall, 0.0), 1.0))

@@ -76,12 +76,10 @@ def water_neighbors(water_spec, water_config):
     return search.build(coords, types, box)
 
 
-def evaluate_folded(model, nd):
+def evaluate_folded(model, nd, engine=None):
     """Helper: evaluate a model on a NeighborData and fold ghost forces."""
-    if hasattr(model, "evaluate_packed"):
-        res = model.evaluate_packed(nd.ext_coords, nd.ext_types,
-                                    nd.centers, nd.indices, nd.indptr)
-    else:
-        res = model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
-                             nd.nlist)
+    from repro.core.backend import EvalRequest, backend_for
+
+    res = backend_for(model).evaluate(
+        EvalRequest.from_neighbors(nd, engine=engine))
     return res.energy, nd.fold_forces(res.forces), res.virial

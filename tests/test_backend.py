@@ -1,0 +1,283 @@
+"""The ForceBackend contract: every model family behind one interface.
+
+These tests pin the adapter resolution rules (`backend_for`), the
+request/result shapes, precision handling, engine pass-through (incl.
+the committee regression — engines used to silently not reach committee
+members), and the custom-registration hook.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressedDPModel,
+    DPModel,
+    EvalRequest,
+    ForceBackend,
+    ModelCommittee,
+    ModelSpec,
+    PackedBackend,
+    PaddedFallbackBackend,
+    SeRModel,
+    backend_for,
+)
+from repro.core.backend import clear_registered_backends, register_backend
+from repro.core.precision import precision_study, to_single_precision
+from repro.parallel import ThreadedEngine
+from repro.perf import SectionTimer
+
+
+# ------------------------------------------------------------- resolution
+class TestBackendResolution:
+    def test_baseline_resolves_padded(self, cu_model):
+        b = backend_for(cu_model)
+        assert isinstance(b, PaddedFallbackBackend)
+        assert b.name == "padded"
+        assert b.model is cu_model
+        assert b.rcut == cu_model.spec.rcut
+
+    def test_compressed_resolves_packed_engine_capable(self, cu_compressed):
+        b = backend_for(cu_compressed)
+        assert isinstance(b, PackedBackend)
+        assert b.name == "packed"
+        assert b.accepts_engine
+
+    def test_se_r_resolves_packed_serial(self, cu_spec):
+        model = SeRModel(cu_spec, compressed=True, interval=1e-2)
+        b = backend_for(model)
+        assert isinstance(b, PackedBackend)
+        assert b.name == "packed-serial"
+        assert not b.accepts_engine
+
+    def test_f32_variant_resolves_like_original(self, cu_compressed):
+        f32 = to_single_precision(cu_compressed)
+        b = backend_for(f32)
+        assert isinstance(b, PackedBackend) and b.accepts_engine
+
+    def test_backends_satisfy_protocol(self, cu_model, cu_compressed):
+        for m in (cu_model, cu_compressed):
+            assert isinstance(backend_for(m), ForceBackend)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(TypeError):
+            backend_for(object())
+
+    def test_repr_names_adapter_and_model(self, cu_compressed):
+        r = repr(backend_for(cu_compressed))
+        assert "PackedBackend" in r and "CompressedDPModel" in r
+
+
+# ----------------------------------------------------------- request shape
+class TestEvalRequest:
+    def test_from_neighbors_carries_both_views(self, cu_neighbors):
+        req = EvalRequest.from_neighbors(cu_neighbors)
+        assert req.indices is cu_neighbors.indices
+        assert req.indptr is cu_neighbors.indptr
+        assert req.nlist is cu_neighbors.nlist
+        assert req.pair_atom is cu_neighbors.pair_atom
+        assert req.engine is None and req.counters is None
+
+    def test_cast_sets_precision_without_mutating(self, cu_neighbors):
+        req = EvalRequest.from_neighbors(cu_neighbors)
+        req32 = req.cast(np.float32)
+        assert req.precision is None
+        assert req32.precision == np.float32
+        assert req32.coords is req.coords          # cast is lazy
+        assert req32.resolve_coords().dtype == np.float32
+        assert req.resolve_coords() is cu_neighbors.ext_coords
+
+    def test_packed_requires_csr(self, cu_compressed, cu_neighbors):
+        req = EvalRequest(coords=cu_neighbors.ext_coords,
+                          types=cu_neighbors.ext_types,
+                          centers=cu_neighbors.centers,
+                          nlist=cu_neighbors.nlist)
+        with pytest.raises(ValueError):
+            backend_for(cu_compressed).evaluate(req)
+
+    def test_padded_requires_nlist(self, cu_model, cu_neighbors):
+        req = EvalRequest(coords=cu_neighbors.ext_coords,
+                          types=cu_neighbors.ext_types,
+                          centers=cu_neighbors.centers,
+                          indices=cu_neighbors.indices,
+                          indptr=cu_neighbors.indptr)
+        with pytest.raises(ValueError):
+            backend_for(cu_model).evaluate(req)
+
+
+# ------------------------------------------------------------- evaluation
+class TestBackendEvaluation:
+    @pytest.mark.parametrize("model_fixture", ["cu_model", "cu_compressed"])
+    def test_result_shapes(self, model_fixture, cu_neighbors, request):
+        model = request.getfixturevalue(model_fixture)
+        res = backend_for(model).evaluate(
+            EvalRequest.from_neighbors(cu_neighbors))
+        n_total = len(cu_neighbors.ext_coords)
+        assert isinstance(res.energy, float)
+        assert res.forces.shape == (n_total, 3)
+        assert res.virial.shape == (3, 3)
+        assert res.atomic_energies.shape == (cu_neighbors.n_local,)
+
+    def test_matches_direct_packed_call(self, cu_compressed, cu_neighbors):
+        nd = cu_neighbors
+        direct = cu_compressed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        via = backend_for(cu_compressed).evaluate(
+            EvalRequest.from_neighbors(nd))
+        assert via.energy == direct.energy
+        np.testing.assert_array_equal(via.forces, direct.forces)
+
+    def test_matches_direct_padded_call(self, cu_model, cu_neighbors):
+        nd = cu_neighbors
+        direct = cu_model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
+                                   nd.nlist)
+        via = backend_for(cu_model).evaluate(EvalRequest.from_neighbors(nd))
+        assert via.energy == direct.energy
+        np.testing.assert_array_equal(via.forces, direct.forces)
+
+    def test_water_multitype(self, water_compressed, water_neighbors):
+        res = backend_for(water_compressed).evaluate(
+            EvalRequest.from_neighbors(water_neighbors))
+        assert np.isfinite(res.energy)
+        assert res.forces.shape == (len(water_neighbors.ext_coords), 3)
+
+    def test_f32_request_yields_f32(self, cu_compressed, cu_neighbors):
+        f32 = to_single_precision(cu_compressed)
+        req = EvalRequest.from_neighbors(cu_neighbors).cast(np.float32)
+        res = backend_for(f32).evaluate(req)
+        assert res.atomic_energies.dtype == np.float32
+
+    def test_precision_study_runs_on_backends(self, cu_compressed,
+                                              cu_neighbors):
+        study = precision_study(cu_compressed, cu_neighbors)
+        assert study["force_max"] >= 0.0
+        assert 0.0 <= study["force_rel"] < 1e-3
+
+
+# -------------------------------------------------------- engine plumbing
+class TestEnginePassThrough:
+    def test_engine_reaches_packed_model(self, cu_compressed, cu_neighbors):
+        timer = SectionTimer()
+        with ThreadedEngine(2, timer=timer) as eng:
+            backend_for(cu_compressed).evaluate(
+                EvalRequest.from_neighbors(cu_neighbors, engine=eng))
+        assert "engine.fused_forward" in timer.totals
+
+    def test_engine_ignored_by_padded_model(self, cu_model, cu_neighbors):
+        timer = SectionTimer()
+        with ThreadedEngine(2, timer=timer) as eng:
+            res = backend_for(cu_model).evaluate(
+                EvalRequest.from_neighbors(cu_neighbors, engine=eng))
+        assert timer.totals == {}
+        assert np.isfinite(res.energy)
+
+    def test_engine_ignored_by_packed_serial(self, cu_spec, cu_neighbors):
+        model = SeRModel(cu_spec, compressed=True, interval=1e-2)
+        timer = SectionTimer()
+        with ThreadedEngine(2, timer=timer) as eng:
+            res = backend_for(model).evaluate(
+                EvalRequest.from_neighbors(cu_neighbors, engine=eng))
+        assert timer.totals == {}
+        assert np.isfinite(res.energy)
+
+    def test_committee_engine_reaches_members(self, cu_spec, cu_neighbors):
+        # Regression: committees used to drop engine= on the floor, so
+        # --threads ran every member serial.  The timed sections prove
+        # the members' fused kernels now run on the engine's pool.
+        committee = ModelCommittee(cu_spec, n_models=2, interval=1e-2)
+        serial = committee.deviation(cu_neighbors)
+        timer = SectionTimer()
+        with ThreadedEngine(2, timer=timer) as eng:
+            threaded = committee.deviation(cu_neighbors, engine=eng)
+        assert "engine.fused_forward" in timer.totals
+        # One fused forward per member, sharded per thread.
+        assert timer.calls["engine.fused_forward"] == len(committee)
+        assert threaded.max_devi_f == pytest.approx(serial.max_devi_f,
+                                                    abs=1e-10)
+        assert threaded.devi_e == pytest.approx(serial.devi_e, abs=1e-12)
+
+    def test_committee_resolves_one_backend_per_member(self, cu_spec):
+        committee = ModelCommittee(cu_spec, n_models=3, interval=1e-2)
+        assert len(committee.backends) == 3
+        assert all(b.name == "packed" for b in committee.backends)
+
+
+# ---------------------------------------------------------------- registry
+class TestBackendRegistry:
+    def teardown_method(self):
+        clear_registered_backends()
+
+    def test_custom_backend_wins(self, cu_model):
+        class EchoBackend:
+            name = "echo"
+
+            def __init__(self, model):
+                self.model = model
+
+            def evaluate(self, request):
+                raise NotImplementedError
+
+        register_backend(lambda m: isinstance(m, DPModel), EchoBackend)
+        assert backend_for(cu_model).name == "echo"
+        clear_registered_backends()
+        assert backend_for(cu_model).name == "padded"
+
+    def test_decorator_form(self, cu_compressed):
+        @register_backend(lambda m: isinstance(m, CompressedDPModel))
+        class WrapBackend:
+            name = "wrap"
+
+            def __init__(self, model):
+                self.model = model
+
+            def evaluate(self, request):
+                raise NotImplementedError
+
+        assert backend_for(cu_compressed).name == "wrap"
+        assert WrapBackend.name == "wrap"   # class still usable by name
+
+    def test_newest_registration_wins(self, cu_model):
+        def mk(name):
+            class B:
+                def __init__(self, model):
+                    self.model = model
+
+                def evaluate(self, request):
+                    raise NotImplementedError
+            B.name = name
+            return B
+
+        register_backend(lambda m: True, mk("first"))
+        register_backend(lambda m: True, mk("second"))
+        assert backend_for(cu_model).name == "second"
+
+    def test_non_matching_registration_falls_through(self, cu_model):
+        register_backend(lambda m: False,
+                         lambda m: (_ for _ in ()).throw(AssertionError))
+        assert backend_for(cu_model).name == "padded"
+
+
+# ------------------------------------------------------ driver integration
+class TestDriverIntegration:
+    def test_forcefield_resolves_once(self, cu_compressed):
+        from repro.md.simulation import DPForceField
+
+        ff = DPForceField(cu_compressed)
+        assert isinstance(ff.backend, PackedBackend)
+
+    def test_forcefield_rebind_re_resolves(self, cu_model, cu_compressed):
+        from repro.md.simulation import DPForceField
+
+        ff = DPForceField(cu_model)
+        assert ff.backend.name == "padded"
+        ff.rebind(cu_compressed)
+        assert ff.backend.name == "packed"
+        assert ff.model is cu_compressed
+
+    def test_explicit_backend_override(self, cu_compressed):
+        from repro.md.simulation import DPForceField
+
+        # Force the serial-packed adapter even for an engine-capable
+        # model: the override skips resolution entirely.
+        backend = PackedBackend(cu_compressed, accepts_engine=False)
+        ff = DPForceField(cu_compressed, backend=backend)
+        assert ff.backend is backend

@@ -92,6 +92,54 @@ class TestSplitPairRanges:
             split_pair_ranges(np.array([0, 1]), 0)
 
 
+# ------------------------------------------------------ weighted sharding
+class TestWeightedPairRanges:
+    def test_none_weights_match_unweighted(self):
+        indptr = np.array([0, 3, 3, 10, 14, 14, 20])
+        for n_shards in (1, 2, 3, 4):
+            assert (split_pair_ranges(indptr, n_shards, pair_weights=None)
+                    == split_pair_ranges(indptr, n_shards))
+
+    def test_uniform_weights_match_unweighted(self):
+        indptr = np.array([0, 3, 3, 10, 14, 14, 20])
+        w = np.ones(20)
+        for n_shards in (1, 2, 3, 4):
+            assert (split_pair_ranges(indptr, n_shards, pair_weights=w)
+                    == split_pair_ranges(indptr, n_shards))
+
+    def test_weights_move_the_cut(self):
+        # Four atoms, five pairs each; the first atom's pairs cost 5x.
+        # Unweighted cuts split 2|2; weighted cost is (25,5,5,5) so the
+        # half-cost boundary isolates the expensive atom.
+        indptr = np.array([0, 5, 10, 15, 20])
+        w = np.ones(20)
+        w[:5] = 5.0
+        assert split_pair_ranges(indptr, 2) == [(0, 2), (2, 4)]
+        assert split_pair_ranges(indptr, 2, pair_weights=w) == [(0, 1),
+                                                                (1, 4)]
+
+    def test_weighted_still_partitions(self):
+        indptr = np.array([0, 3, 3, 10, 14, 14, 20])
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0.1, 3.0, 20)
+        for n_shards in (1, 2, 3, 5, 9):
+            ranges = split_pair_ranges(indptr, n_shards, pair_weights=w)
+            assert len(ranges) == n_shards
+            assert ranges[0][0] == 0 and ranges[-1][1] == 6
+            for (a, b), (c, _) in zip(ranges, ranges[1:]):
+                assert a <= b == c
+
+    def test_zero_total_weight_falls_back(self):
+        indptr = np.array([0, 5, 10, 15, 20])
+        w = np.zeros(20)
+        assert (split_pair_ranges(indptr, 2, pair_weights=w)
+                == split_pair_ranges(indptr, 2))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            split_pair_ranges(np.array([0, 3]), 2, pair_weights=np.ones(2))
+
+
 # ------------------------------------------------------- engine mechanics
 class TestEngineMechanics:
     def test_pool_is_persistent_and_lazy(self):
@@ -181,6 +229,27 @@ class TestThreadInvariance:
             res = _evaluate(cu_compressed, nd, engine=eng)
         assert res.energy == pytest.approx(ref.energy, abs=1e-12)
         np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+
+    def test_type_weighted_model_matches_serial(self, water_model,
+                                                water_neighbors):
+        # Opt-in per-type shard weights: results must stay within the
+        # sharded tolerance of the unweighted serial reference.
+        weighted = CompressedDPModel.compress(
+            water_model, interval=1e-3, x_max=2.2, type_weights=(1.0, 3.0))
+        ref = _evaluate(weighted, water_neighbors)
+        with ThreadedEngine(3) as eng:
+            res = _evaluate(weighted, water_neighbors, engine=eng)
+        assert res.energy == pytest.approx(ref.energy, abs=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-12)
+        np.testing.assert_allclose(res.virial, ref.virial, atol=1e-12)
+
+    def test_type_weights_validation(self, water_model):
+        with pytest.raises(ValueError):
+            CompressedDPModel.compress(water_model, interval=1e-2,
+                                       x_max=2.2, type_weights=(1.0,))
+        with pytest.raises(ValueError):
+            CompressedDPModel.compress(water_model, interval=1e-2,
+                                       x_max=2.2, type_weights=(1.0, -2.0))
 
     def test_zero_neighbor_atoms(self, cu_spec, cu_compressed):
         # A dimer plus an atom far outside the cutoff: its CSR row is
@@ -396,6 +465,10 @@ class TestProfilingSupport:
         assert "engine.fused_forward" in timer.totals
         assert "engine.fused_backward" in timer.totals
         assert "engine.force" in timer.totals
+        # The previously-serial dense stages are sharded too.
+        assert "engine.fitting" in timer.totals
+        assert "engine.descriptor" in timer.totals
+        assert "engine.descriptor_grad" in timer.totals
 
     def test_amdahl_helpers(self):
         assert amdahl_speedup(1, 0.5) == 1.0

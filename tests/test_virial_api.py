@@ -11,7 +11,15 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.core import (
+    CompressedDPModel,
+    DPModel,
+    EvalRequest,
+    ModelSpec,
+    PackedBackend,
+    PaddedFallbackBackend,
+    backend_for,
+)
 from repro.md import Box, LennardJones, NeighborSearch, copper_system
 
 
@@ -52,23 +60,14 @@ class TestVirialScalingIdentity:
         coords = box.wrap(coords + rng.normal(0, 0.1, coords.shape))
         search = NeighborSearch(spec.rcut, skin=0.5, sel=spec.sel)
 
+        backend = backend_for(model)
+
         def evaluate(c, b):
             nd = search.build(c, types, b)
-            if hasattr(model, "evaluate_packed"):
-                return model.evaluate_packed(nd.ext_coords, nd.ext_types,
-                                             nd.centers, nd.indices,
-                                             nd.indptr).energy
-            return model.evaluate(nd.ext_coords, nd.ext_types, nd.centers,
-                                  nd.nlist).energy
+            return backend.evaluate(EvalRequest.from_neighbors(nd)).energy
 
         nd = search.build(coords, types, box)
-        if hasattr(model, "evaluate_packed"):
-            virial = model.evaluate_packed(nd.ext_coords, nd.ext_types,
-                                           nd.centers, nd.indices,
-                                           nd.indptr).virial
-        else:
-            virial = model.evaluate(nd.ext_coords, nd.ext_types,
-                                    nd.centers, nd.nlist).virial
+        virial = backend.evaluate(EvalRequest.from_neighbors(nd)).virial
         h = 1e-6
         de_dlam = (scaled_energy(evaluate, coords, box, 1 + h)
                    - scaled_energy(evaluate, coords, box, 1 - h)) / (2 * h)
@@ -107,12 +106,12 @@ class TestTopLevelAPI:
     def test_quick_simulation_copper_defaults(self):
         sim = repro.quick_simulation("copper", n_cells=(2, 2, 2))
         assert len(sim.coords) == 32
-        assert hasattr(sim.forcefield.model, "evaluate_packed")
+        assert isinstance(sim.forcefield.backend, PackedBackend)
 
     def test_quick_simulation_baseline(self):
         sim = repro.quick_simulation("copper", n_cells=(2, 2, 2),
                                      compressed=False)
-        assert not hasattr(sim.forcefield.model, "evaluate_packed")
+        assert isinstance(sim.forcefield.backend, PaddedFallbackBackend)
 
     def test_quick_simulation_water(self):
         sim = repro.quick_simulation("water", reps=(1, 1, 1))

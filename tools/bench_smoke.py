@@ -29,7 +29,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro.core import CompressedDPModel, DPModel, ModelSpec  # noqa: E402
 from repro.md import NeighborSearch, copper_system  # noqa: E402
 from repro.parallel import ThreadedEngine  # noqa: E402
-from repro.perf import fitted_serial_fraction, parallel_efficiency  # noqa: E402
+from repro.perf import (  # noqa: E402
+    SectionTimer,
+    fitted_serial_fraction,
+    measured_serial_fraction,
+    parallel_efficiency,
+)
 
 THREADS = (1, 2, 4)
 REPEATS = 3
@@ -87,17 +92,43 @@ def main(argv=None) -> int:
             if not agree:
                 print(f"  !! {n_threads} threads disagrees with serial")
         speedup = t1 / best
-        entries.append({
+        entry = {
             "threads": n_threads,
             "wall_s": round(best, 6),
             "speedup": round(speedup, 3),
             "efficiency": round(parallel_efficiency(speedup, n_threads), 3),
             "serial_fraction": round(
                 fitted_serial_fraction(speedup, n_threads), 3),
-        })
+        }
+        if n_threads > 1:
+            # Measured phase split: one timed pass with the engine's
+            # section timer, giving the direct serial fraction plus the
+            # counterfactual with the dense stages (fitting net +
+            # descriptor GEMMs) still serial.
+            timer = SectionTimer()
+            with ThreadedEngine(n_threads, timer=timer) as eng:
+                t0 = time.perf_counter()
+                comp.evaluate_packed(
+                    nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                    nd.indptr, engine=eng, pair_atom=nd.pair_atom)
+                phase_wall = time.perf_counter() - t0
+            meas_f = measured_serial_fraction(timer.totals, phase_wall)
+            dense_s = sum(timer.totals.get(k, 0.0) for k in
+                          ("engine.fitting", "engine.descriptor",
+                           "engine.descriptor_grad"))
+            entry["measured_serial_fraction"] = round(meas_f, 3)
+            entry["unsharded_serial_fraction"] = round(
+                min(1.0, meas_f + dense_s / phase_wall), 3)
+            entry["phase_shares"] = {
+                k: round(v / phase_wall, 4)
+                for k, v in sorted(timer.totals.items())}
+        entries.append(entry)
         print(f"  {n_threads} thread{'s' if n_threads > 1 else ' '}: "
               f"{best * 1e3:7.1f} ms  speedup {speedup:.2f}x  "
-              f"efficiency {entries[-1]['efficiency'] * 100:.0f}%")
+              f"efficiency {entries[-1]['efficiency'] * 100:.0f}%"
+              + (f"  measured f {entry['measured_serial_fraction']:.2f}"
+                 f" (unsharded {entry['unsharded_serial_fraction']:.2f})"
+                 if n_threads > 1 else ""))
 
     payload = {
         "source": "tools/bench_smoke.py",

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Per-phase delta table between two Chrome trace files.
+
+Aggregates the total duration of every ``X`` (complete) event by name in
+each trace, then prints one row per phase: seconds and wall share in
+each trace plus the absolute and share deltas.  The tool is how a
+before/after pair of runs (e.g. serial fitting vs sharded fitting) is
+turned into "which phase moved" evidence without opening a trace viewer.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_diff.py before.json after.json
+    ... --sort delta          # largest absolute time delta first
+    ... --top 12              # limit the table to 12 rows
+
+Exit status is always 0; the output is the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_phases(path: str) -> dict:
+    """``{name: total_dur_seconds}`` over the trace's complete events.
+
+    Accepts both the Chrome object form (``{"traceEvents": [...]}``) and
+    a bare event array.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    totals: dict[str, float] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        dur_us = float(ev.get("dur", 0.0))
+        name = ev.get("name", "?")
+        totals[name] = totals.get(name, 0.0) + dur_us * 1e-6
+    return totals
+
+
+def wall_seconds(path: str) -> float:
+    """Trace extent: last event end minus first event start (seconds)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    stamps = [(float(ev["ts"]), float(ev.get("dur", 0.0)))
+              for ev in events if ev.get("ph") in ("X", "i")]
+    if not stamps:
+        return 0.0
+    start = min(ts for ts, _ in stamps)
+    end = max(ts + dur for ts, dur in stamps)
+    return (end - start) * 1e-6
+
+
+def diff_rows(before: dict, after: dict,
+              wall_before: float, wall_after: float) -> list[dict]:
+    """One dict per phase name present in either trace."""
+    rows = []
+    for name in sorted(set(before) | set(after)):
+        b = before.get(name, 0.0)
+        a = after.get(name, 0.0)
+        share_b = b / wall_before if wall_before > 0 else 0.0
+        share_a = a / wall_after if wall_after > 0 else 0.0
+        rows.append({
+            "phase": name,
+            "before_s": b,
+            "after_s": a,
+            "delta_s": a - b,
+            "before_share": share_b,
+            "after_share": share_a,
+            "delta_share": share_a - share_b,
+        })
+    return rows
+
+
+def format_table(rows: list[dict], wall_before: float,
+                 wall_after: float) -> str:
+    width = max([len("phase")] + [len(r["phase"]) for r in rows])
+    header = (f"{'phase':<{width}}  {'before':>9}  {'after':>9}  "
+              f"{'delta':>9}  {'share-before':>12}  {'share-after':>11}  "
+              f"{'d-share':>8}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['phase']:<{width}}  {r['before_s'] * 1e3:8.2f}m  "
+            f"{r['after_s'] * 1e3:8.2f}m  {r['delta_s'] * 1e3:+8.2f}m  "
+            f"{r['before_share'] * 100:11.1f}%  "
+            f"{r['after_share'] * 100:10.1f}%  "
+            f"{r['delta_share'] * 100:+7.1f}%"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'wall':<{width}}  {wall_before * 1e3:8.2f}m  "
+        f"{wall_after * 1e3:8.2f}m  "
+        f"{(wall_after - wall_before) * 1e3:+8.2f}m"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline Chrome trace JSON")
+    parser.add_argument("after", help="comparison Chrome trace JSON")
+    parser.add_argument("--sort", choices=("name", "delta", "share"),
+                        default="delta",
+                        help="row order: phase name, |time delta| "
+                        "(default), or |share delta|")
+    parser.add_argument("--top", type=int, default=None,
+                        help="show only the first N rows after sorting")
+    args = parser.parse_args(argv)
+
+    before = load_phases(args.before)
+    after = load_phases(args.after)
+    wall_b = wall_seconds(args.before)
+    wall_a = wall_seconds(args.after)
+    rows = diff_rows(before, after, wall_b, wall_a)
+    if args.sort == "delta":
+        rows.sort(key=lambda r: -abs(r["delta_s"]))
+    elif args.sort == "share":
+        rows.sort(key=lambda r: -abs(r["delta_share"]))
+    if args.top is not None:
+        rows = rows[:args.top]
+    print(format_table(rows, wall_b, wall_a))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
