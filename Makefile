@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -24,7 +24,10 @@ obssmoke:        ## <60 s observability drill: traced+metered hybrid run with a 
 backendsmoke:    ## <30 s force-backend drill: every model family serial vs 1-thread (bitwise) vs 2-thread (tolerance)
 	$(PYTHON) tools/backend_smoke.py
 
+kernelsmoke:     ## <30 s kernel-variant drill: aos vs soa vs chunked (bitwise), f32 (tolerance), compiled leg skips without numba
+	$(PYTHON) tools/kernel_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke
+verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke

@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Kernel-layout benchmark: AoS vs SoA vs f32 vs chunk U-curve.
+
+Quantifies the cache-blocked SoA fused path on the copper workload and
+writes ``BENCH_kernels.json`` at the repo root:
+
+* packed forward/backward wall time per layout (AoS f64, SoA f64,
+  SoA f32) at the cache model's default chunk — the headline number is
+  the SoA/AoS speedup;
+* the chunk U-curve from :func:`repro.perf.tuning.sweep_kernel_chunk`,
+  with the measured best chunk next to the cache model's pick;
+* the float32 fast path's error against the float64 reference
+  (model-level energy/forces);
+* ``engine.fused_*`` phase shares from a pair of traced threaded MD
+  runs (AoS vs SoA), diffed with the ``tools/trace_diff.py`` helpers —
+  the share of wall time in the fused kernels must not grow.
+
+Standalone (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--out PATH]
+
+Exit status is non-zero when SoA loses to AoS at the default chunk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from trace_diff import diff_rows, load_phases, wall_seconds  # noqa: E402
+
+from repro import quick_simulation  # noqa: E402
+from repro.core import (  # noqa: E402
+    CompressedDPModel,
+    DPModel,
+    EvalRequest,
+    ModelSpec,
+    backend_for,
+)
+from repro.core.ops import prod_env_mat_a_packed  # noqa: E402
+from repro.core.precision import to_single_precision  # noqa: E402
+from repro.core.table_layout import SoAEmbeddingTable  # noqa: E402
+from repro.md import NeighborSearch, copper_system  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
+from repro.perf.machine import (  # noqa: E402
+    default_kernel_chunk,
+    detect_host_cache,
+)
+from repro.perf.tuning import sweep_kernel_chunk  # noqa: E402
+
+REPEATS = 5
+TRACE_STEPS = 5
+FUSED_PHASES = ("engine.fused_forward", "engine.fused_backward")
+
+
+def best_of(fn, repeats=REPEATS):
+    fn()  # warm up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def build_workload():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(256,), n_types=1,
+                     d1=16, m_sub=8, fit_width=64, seed=2022)
+    comp = CompressedDPModel.compress(
+        DPModel(spec), interval=1e-3, x_max=2.2)
+    coords, types, box = copper_system((5, 5, 5))
+    rng = np.random.default_rng(1)
+    coords = coords + rng.normal(0, 0.05, coords.shape)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    rows, _, _ = prod_env_mat_a_packed(
+        nd.ext_coords, nd.centers, nd.indices, nd.indptr,
+        spec.rcut_smth, spec.rcut,
+        pair_center=nd.centers[nd.pair_atom])
+    return spec, comp, nd, rows
+
+
+def time_kernels(table, s, rows, indptr, n_m, dt):
+    from repro.core.fused import fused_backward_packed, fused_contract_packed
+    fwd = best_of(lambda: fused_contract_packed(
+        table, s, rows, indptr, n_m))
+    bwd = best_of(lambda: fused_backward_packed(
+        table, dt, s, rows, indptr, n_m))
+    return {"forward_s": round(fwd, 6), "backward_s": round(bwd, 6),
+            "total_s": round(fwd + bwd, 6)}
+
+
+def traced_fused_share(layout: str, trace_path: str) -> dict:
+    tracer = Tracer()
+    sim = quick_simulation("copper", n_cells=(3, 3, 3), threads=2,
+                           tracer=tracer, layout=layout, seed=3)
+    sim.run(TRACE_STEPS)
+    tracer.export(trace_path)
+    phases = load_phases(trace_path)
+    wall = wall_seconds(trace_path)
+    fused = sum(phases.get(k, 0.0) for k in FUSED_PHASES)
+    return {
+        "trace": os.path.relpath(trace_path, REPO_ROOT),
+        "wall_s": round(wall, 6),
+        "fused_s": round(fused, 6),
+        "fused_share": round(fused / wall, 4) if wall > 0 else 0.0,
+        "phases": phases,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_kernels.json"))
+    args = parser.parse_args(argv)
+    t_start = time.perf_counter()
+
+    spec, comp, nd, rows = build_workload()
+    s = np.ascontiguousarray(rows[:, 0])
+    indptr = nd.indptr
+    nnz = int(indptr[-1])
+    m_out = spec.m_out
+    rng = np.random.default_rng(7)
+    dt = rng.normal(size=(nd.n_local, 4, m_out))
+    cache = detect_host_cache()
+    chunk_f64 = default_kernel_chunk(m_out, itemsize=8)
+    chunk_f32 = default_kernel_chunk(m_out, itemsize=4)
+    print(f"copper {nd.n_local} atoms, {nnz} pairs, m_out={m_out}; "
+          f"L2={cache.l2_bytes >> 10} KiB ({cache.source}) -> "
+          f"default chunk {chunk_f64} (f64) / {chunk_f32} (f32)")
+
+    aos_table = comp.tables[0]
+    soa_table = SoAEmbeddingTable(aos_table)
+    soa32 = soa_table.astype(np.float32)
+    s32 = s.astype(np.float32)
+    rows32 = rows.astype(np.float32)
+    dt32 = dt.astype(np.float32)
+
+    kernels = {
+        "aos_f64": time_kernels(aos_table, s, rows, indptr, spec.n_m, dt),
+        "soa_f64": time_kernels(soa_table, s, rows, indptr, spec.n_m, dt),
+        "soa_f32": time_kernels(soa32, s32, rows32, indptr, spec.n_m, dt32),
+    }
+    soa_speedup = kernels["aos_f64"]["total_s"] / kernels["soa_f64"]["total_s"]
+    f32_speedup = kernels["aos_f64"]["total_s"] / kernels["soa_f32"]["total_s"]
+    for name, k in kernels.items():
+        print(f"  {name:<8} fwd {k['forward_s'] * 1e3:7.2f} ms  "
+              f"bwd {k['backward_s'] * 1e3:7.2f} ms  "
+              f"total {k['total_s'] * 1e3:7.2f} ms")
+    print(f"  soa f64 speedup over aos: {soa_speedup:.3f}x  "
+          f"(f32: {f32_speedup:.3f}x)")
+
+    print("chunk U-curve (forward+backward, best of 3):")
+    sweep = sweep_kernel_chunk(soa_table, s, rows, indptr, spec.n_m, dt=dt)
+    for pt in sweep["points"]:
+        print(f"  chunk {pt['chunk']:>6}: {pt['total_s'] * 1e3:7.2f} ms")
+    print(f"  best {sweep['best_chunk']}, cache-model default "
+          f"{sweep['default_chunk']}")
+
+    # Model-level f32 error against the f64 reference.
+    req = EvalRequest.from_neighbors(nd)
+    ref = backend_for(comp).evaluate(req)
+    res32 = backend_for(to_single_precision(comp)).evaluate(
+        req.cast(np.float32))
+    f_scale = float(np.abs(ref.forces).max()) or 1.0
+    f32_error = {
+        "energy_abs": abs(res32.energy - ref.energy),
+        "energy_rel": abs(res32.energy - ref.energy)
+        / max(abs(ref.energy), 1e-300),
+        "forces_max_abs": float(np.abs(res32.forces - ref.forces).max()),
+        "forces_max_rel": float(
+            np.abs(res32.forces - ref.forces).max() / f_scale),
+    }
+    print(f"f32 vs f64: dE={f32_error['energy_abs']:.2e} "
+          f"(rel {f32_error['energy_rel']:.2e}), "
+          f"dF={f32_error['forces_max_abs']:.2e} "
+          f"(rel {f32_error['forces_max_rel']:.2e})")
+
+    # Traced threaded runs: the fused kernels' share of wall time.
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    shares = {
+        layout: traced_fused_share(
+            layout, os.path.join(out_dir, f"trace_kernels_{layout}.json"))
+        for layout in ("aos", "soa")
+    }
+    delta = shares["soa"]["fused_share"] - shares["aos"]["fused_share"]
+    rows_diff = diff_rows(shares["aos"]["phases"], shares["soa"]["phases"],
+                          shares["aos"]["wall_s"], shares["soa"]["wall_s"])
+    fused_rows = [r for r in rows_diff if r["phase"] in FUSED_PHASES]
+    for r in fused_rows:
+        print(f"  {r['phase']:<24} share {r['before_share'] * 100:5.1f}% "
+              f"(aos) -> {r['after_share'] * 100:5.1f}% (soa)")
+    print(f"fused share: {shares['aos']['fused_share'] * 100:.1f}% (aos) -> "
+          f"{shares['soa']['fused_share'] * 100:.1f}% (soa), "
+          f"delta {delta * 100:+.1f}%")
+
+    soa_wins = soa_speedup > 1.0
+    payload = {
+        "source": "benchmarks/bench_kernels.py",
+        "system": "copper",
+        "atoms": int(nd.n_local),
+        "pairs": nnz,
+        "m_out": m_out,
+        "repeats": REPEATS,
+        "host_cache": {"l1d_bytes": cache.l1d_bytes,
+                       "l2_bytes": cache.l2_bytes,
+                       "l3_bytes": cache.l3_bytes,
+                       "source": cache.source},
+        "default_chunk": {"f64": chunk_f64, "f32": chunk_f32},
+        "kernels": kernels,
+        "soa_speedup": round(soa_speedup, 3),
+        "soa_f32_speedup": round(f32_speedup, 3),
+        "soa_beats_aos": soa_wins,
+        "chunk_sweep": sweep,
+        "f32_error": f32_error,
+        "trace_shares": {
+            "steps": TRACE_STEPS,
+            "aos": {k: v for k, v in shares["aos"].items()
+                    if k != "phases"},
+            "soa": {k: v for k, v in shares["soa"].items()
+                    if k != "phases"},
+            "fused_share_delta": round(delta, 4),
+            "fused_rows": fused_rows,
+        },
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out} ({time.perf_counter() - t_start:.1f} s total)")
+    if not soa_wins:
+        print("!! SoA did not beat AoS at the default chunk")
+    return 0 if soa_wins else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,8 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
                      reps=(2, 2, 2), compressed: bool = True,
                      interval: float = 0.01, seed: int = 0,
                      threads: int = 1, tracer=None, metrics=None,
+                     layout: str | None = None,
+                     kernel_chunk: int | None = None,
                      **model_kwargs) -> Simulation:
     """One-call MD setup on a paper workload at laptop scale.
 
@@ -92,6 +94,15 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
     tracer / metrics:
         Optional :class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`
         instrumenting the run (span trace + JSONL metrics).
+    layout:
+        Coefficient-table memory layout for the compressed model:
+        ``"aos"`` (the operator-native default) or ``"soa"`` (the
+        paper's transposed, coefficient-major fast path — bitwise
+        identical in float64).  Ignored for the baseline model.
+    kernel_chunk:
+        Neighbor-chunk length for the fused kernels; ``None`` sizes it
+        to the host's L2 cache.  Bitwise invariant — a pure performance
+        knob.  Ignored for the baseline model.
     model_kwargs:
         Overrides for :meth:`repro.workloads.Workload.model_spec`, e.g.
         ``d1=8, fit_width=32`` to shrink the nets.
@@ -125,11 +136,12 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
 
     model = DPModel(spec)
     if compressed:
-        model = CompressedDPModel.compress(model, interval=interval)
+        model = CompressedDPModel.compress(
+            model, interval=interval, layout=layout, chunk=kernel_chunk)
     return Simulation(
         coords, types, box,
         masses=workload.masses,
-        forcefield=DPForceField(model),
+        forcefield=DPForceField(model, chunk=kernel_chunk),
         dt_fs=workload.dt_fs,
         sel=spec.sel,
         seed=seed,

@@ -37,6 +37,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tabulation interval")
     run.add_argument("--temperature", type=float, default=330.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--layout", choices=["aos", "soa"], default=None,
+                     help="coefficient-table memory layout for the "
+                          "compressed model: 'aos' (operator-native) or "
+                          "'soa' (the paper's transposed fast path; "
+                          "bitwise identical in float64)")
+    run.add_argument("--kernel-chunk", type=int, default=None,
+                     metavar="PAIRS",
+                     help="neighbor-chunk length for the fused kernels "
+                          "(default: sized to the host L2 cache; results "
+                          "are bitwise invariant under this knob)")
     run.add_argument("--threads", type=int, default=1,
                      help="shared-memory workers for the fused inference "
                           "path — the 'threads' factor of the paper's "
@@ -170,6 +180,7 @@ def _cmd_run_distributed(args) -> int:
         args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
         compressed=not args.baseline, interval=args.interval,
         seed=args.seed,
+        layout=args.layout, kernel_chunk=args.kernel_chunk,
     )
     workload = COPPER if args.system == "copper" else WATER
     injector = None
@@ -228,6 +239,7 @@ def _cmd_run(args) -> int:
         compressed=not args.baseline, interval=args.interval,
         seed=args.seed, threads=args.threads,
         tracer=tracer, metrics=metrics,
+        layout=args.layout, kernel_chunk=args.kernel_chunk,
     )
     if args.restart:
         from repro.io import restart_simulation

@@ -10,6 +10,7 @@ from .backend import (
     PaddedFallbackBackend,
     backend_for,
     register_backend,
+    unregister_backend,
 )
 from .committee import DeviationRecord, ModelCommittee
 from .compressed import CompressedDPModel, pack_nlist
@@ -17,7 +18,7 @@ from .descriptor import descriptor_dim
 from .descriptor_r import SeRModel
 from .embedding import EmbeddingNet
 from .fitting import FittingNet
-from .fused import KernelCounters
+from .fused import KernelCounters, resolve_chunk, segment_reduce
 from .model import DPModel, EvalResult, ModelSpec
 from .precision import precision_study, to_single_precision
 from .table_layout import SoAEmbeddingTable
@@ -41,6 +42,9 @@ __all__ = [
     "PaddedFallbackBackend",
     "backend_for",
     "register_backend",
+    "unregister_backend",
+    "resolve_chunk",
+    "segment_reduce",
     "KernelCounters",
     "ModelCommittee",
     "ModelSpec",

@@ -58,6 +58,7 @@ __all__ = [
     "PaddedFallbackBackend",
     "backend_for",
     "register_backend",
+    "unregister_backend",
 ]
 
 
@@ -82,10 +83,12 @@ class EvalRequest:
     engine: Any = None            #: optional ThreadedEngine
     tracer: Any = None            #: optional Tracer (span attribution)
     precision: Any = None         #: optional dtype the coords are cast to
+    chunk: int | None = None      #: optional fused-kernel chunk override
 
     @classmethod
     def from_neighbors(cls, neighbors, *, engine=None, counters=None,
-                       tracer=None, precision=None) -> "EvalRequest":
+                       tracer=None, precision=None,
+                       chunk=None) -> "EvalRequest":
         """Build a request from a built neighbor structure."""
         return cls(
             coords=neighbors.ext_coords,
@@ -99,6 +102,7 @@ class EvalRequest:
             engine=engine,
             tracer=tracer,
             precision=precision,
+            chunk=chunk,
         )
 
     def cast(self, dtype) -> "EvalRequest":
@@ -179,11 +183,17 @@ class PackedBackend(_BackendBase):
                 "(indices/indptr) on the request")
         coords = request.resolve_coords()
         if self.accepts_engine:
-            return self.model.evaluate_packed(
-                coords, request.types, request.centers,
-                request.indices, request.indptr,
+            kwargs = dict(
                 counters=request.counters, engine=request.engine,
                 pair_atom=request.pair_atom,
+            )
+            # Only engine-capable models take the chunk override; pass it
+            # solely when set so models predating the knob keep working.
+            if request.chunk is not None:
+                kwargs["chunk"] = request.chunk
+            return self.model.evaluate_packed(
+                coords, request.types, request.centers,
+                request.indices, request.indptr, **kwargs,
             )
         return self.model.evaluate_packed(
             coords, request.types, request.centers,
@@ -232,6 +242,18 @@ def register_backend(matcher: Callable[[Any], bool], factory=None):
     if factory is None:
         return add
     return add(factory)
+
+
+def unregister_backend(factory) -> bool:
+    """Remove every registration using ``factory``; True if any was.
+
+    The counterpart of :func:`register_backend` for opt-in backends that
+    can be turned off again (e.g. the compiled backend of
+    :mod:`repro.perf.compiled`).
+    """
+    before = len(_REGISTRY)
+    _REGISTRY[:] = [(m, f) for m, f in _REGISTRY if f is not factory]
+    return len(_REGISTRY) != before
 
 
 def clear_registered_backends() -> None:

@@ -21,7 +21,6 @@ import numpy as np
 from .activation import TanhTable
 from .descriptor import descriptor_from_t, dt_from_ddescr
 from .fused import (
-    DEFAULT_CHUNK,
     KernelCounters,
     fused_backward_packed,
     fused_contract_packed,
@@ -76,16 +75,36 @@ class CompressedDPModel:
     supports_engine = True
 
     def __init__(self, spec: ModelSpec, tables, fittings, energy_bias,
-                 chunk: int = DEFAULT_CHUNK, use_soa: bool = False,
-                 type_weights=None):
+                 chunk: int | None = None, use_soa: bool = False,
+                 type_weights=None, layout: str | None = None,
+                 accumulate: str = "native"):
         self.spec = spec
         self.tables = list(tables)
-        if use_soa:
-            self.tables = [SoAEmbeddingTable(t) for t in self.tables]
+        if layout is None:
+            layout = "soa" if use_soa else "aos"
+        if layout not in ("aos", "soa"):
+            raise ValueError(f"layout must be 'aos' or 'soa', got {layout!r}")
+        self.layout = layout
+        self.use_soa = layout == "soa"
+        if self.use_soa:
+            self.tables = [
+                t if isinstance(t, SoAEmbeddingTable) else SoAEmbeddingTable(t)
+                for t in self.tables
+            ]
         self.fittings = list(fittings)
         self.energy_bias = np.asarray(energy_bias, dtype=np.float64)
-        self.chunk = int(chunk)
-        self.use_soa = use_soa
+        #: Neighbor-chunk length for the fused kernels; ``None`` defers
+        #: to the cache-aware default (:func:`repro.core.fused.
+        #: resolve_chunk`) at evaluation time.
+        self.chunk = int(chunk) if chunk is not None else None
+        if accumulate not in ("native", "f64"):
+            raise ValueError(
+                f"accumulate must be 'native' or 'f64', got {accumulate!r}")
+        #: ``"native"`` reduces in the pipeline dtype (the f32 fast
+        #: path); ``"f64"`` accumulates the fused forward and the final
+        #: energy sum in double (the mixed scheme).
+        self.accumulate = accumulate
+        self.accum_dtype = np.float64 if accumulate == "f64" else None
         # Optional per-neighbor-type cost weights for the threaded
         # engine's shard cuts (e.g. relative table widths).  Strictly
         # opt-in: ``None`` keeps the unweighted quantile cuts, so shard
@@ -111,8 +130,10 @@ class CompressedDPModel:
         interval: float = DEFAULT_INTERVAL,
         use_soa: bool = False,
         tanh_table: TanhTable | None = None,
-        chunk: int = DEFAULT_CHUNK,
+        chunk: int | None = None,
         type_weights=None,
+        layout: str | None = None,
+        accumulate: str = "native",
     ) -> "CompressedDPModel":
         """Compress a baseline model (the paper's post-processing step).
 
@@ -132,7 +153,8 @@ class CompressedDPModel:
             for net in fittings:
                 net.set_activation(tanh_table)
         return cls(spec, tables, fittings, model.energy_bias,
-                   chunk=chunk, use_soa=use_soa, type_weights=type_weights)
+                   chunk=chunk, use_soa=use_soa, type_weights=type_weights,
+                   layout=layout, accumulate=accumulate)
 
     # ---------------------------------------------------------------- sizing
     @property
@@ -168,11 +190,17 @@ class CompressedDPModel:
         counters: KernelCounters | None = None,
         engine=None,
         pair_atom: np.ndarray | None = None,
+        chunk: int | None = None,
     ) -> EvalResult:
         """Energy/forces/virial from packed (CSR) neighbor lists.
 
         Parameters
         ----------
+        chunk:
+            Per-call override of the fused kernels' neighbor-chunk
+            length; defaults to the model's :attr:`chunk` (itself
+            ``None`` for the cache-aware automatic).  Results are
+            bitwise invariant under this knob.
         engine:
             Optional :class:`repro.parallel.engine.ThreadedEngine`.  When
             given (with more than one thread) every pipeline stage runs
@@ -194,6 +222,7 @@ class CompressedDPModel:
         n_total = coords.shape[0]
         indices = np.asarray(indices, dtype=np.intp)
         indptr = np.asarray(indptr, dtype=np.intp)
+        chunk = chunk if chunk is not None else self.chunk
         threaded = engine is not None and engine.n_threads > 1
         if pair_atom is None:
             pair_atom = np.repeat(np.arange(n, dtype=np.intp),
@@ -234,12 +263,14 @@ class CompressedDPModel:
             if threaded:
                 t_mat += engine.contract_packed(
                     table, s[sel], rows[sel], indptr_t, spec.n_m,
-                    counters=counters, chunk=self.chunk,
+                    counters=counters, chunk=chunk,
+                    accum_dtype=self.accum_dtype,
                 )
             else:
                 t_mat += fused_contract_packed(
                     table, s[sel], rows[sel], indptr_t, spec.n_m,
-                    counters=counters, chunk=self.chunk,
+                    counters=counters, chunk=chunk,
+                    accum_dtype=self.accum_dtype,
                 )
 
         center_types = atom_types[centers]
@@ -259,12 +290,12 @@ class CompressedDPModel:
             if threaded:
                 net_deriv[sel] = engine.backward_packed(
                     table, dt, s[sel], rows[sel], indptr_t, spec.n_m,
-                    pa_t, counters=counters, chunk=self.chunk,
+                    pa_t, counters=counters, chunk=chunk,
                 )
             else:
                 net_deriv[sel] = fused_backward_packed(
                     table, dt, s[sel], rows[sel], indptr_t, spec.n_m,
-                    counters=counters, chunk=self.chunk, pair_atom=pa_t,
+                    counters=counters, chunk=chunk, pair_atom=pa_t,
                 )
 
         if threaded:
@@ -279,8 +310,12 @@ class CompressedDPModel:
                 pair_center=pair_center,
             )
             virial = prod_virial_se_a_packed(net_deriv, deriv, rij)
+        if self.accum_dtype is not None:
+            total_energy = float(energies.sum(dtype=self.accum_dtype))
+        else:
+            total_energy = float(energies.sum())
         return EvalResult(
-            energy=float(energies.sum()),
+            energy=total_energy,
             atomic_energies=energies,
             forces=forces,
             virial=virial,

@@ -9,7 +9,11 @@ neighbor slots are skipped outright (redundancy removal).
 
 The NumPy realization processes neighbors in bounded chunks so the
 largest live buffer is ``chunk x M`` instead of ``n N_m x M`` — the same
-peak-memory collapse, observable through :class:`KernelCounters`.
+peak-memory collapse, observable through :class:`KernelCounters`.  The
+chunk length is a first-class cache tunable: passing ``chunk=None``
+(the default) sizes it to the host's L2 cache via
+:func:`repro.perf.machine.default_kernel_chunk`, the NumPy analogue of
+the paper's LDM/thread-block tiling (Secs. 3.4.1, 3.5.1).
 
 Three stages of the paper's ladder are exposed:
 
@@ -21,6 +25,16 @@ Three stages of the paper's ladder are exposed:
 The packed backward pass (:func:`fused_backward_packed`) re-evaluates the
 table instead of storing it — the paper's "trading time with space" — so
 compressed-model forces never allocate ``G`` either.
+
+Per-atom reductions go through :func:`segment_reduce`, which reduces
+every CSR segment independently (``np.add.reduceat`` over the non-empty
+segment starts).  Because no state crosses a segment boundary, the
+kernel output is **bitwise invariant** under the chunk length and under
+the threaded engine's shard cuts (shards split at atom boundaries) —
+the equivalence-matrix property the chunk tunable relies on.  The
+``accum_dtype`` knob selects the accumulator precision: ``None`` keeps
+the value dtype (the float32 fast path sums in float32), while
+``np.float64`` reproduces the mixed scheme that reduces in double.
 """
 
 from __future__ import annotations
@@ -32,16 +46,38 @@ import numpy as np
 __all__ = [
     "KernelCounters",
     "segment_sum",
+    "segment_reduce",
+    "resolve_chunk",
     "tabulated_g_full",
     "fused_contract_padded",
     "fused_contract_packed",
     "fused_backward_packed",
 ]
 
-#: Default neighbor-chunk length for the fused kernels.  4096 rows of a
-#: 128-wide table occupy 4 MiB — comfortably cache-resident, the NumPy
-#: analogue of the paper's thread-block tiling.
+#: Fixed legacy chunk length.  Kernels called with ``chunk=None`` ignore
+#: this and size the chunk to the host cache (:func:`resolve_chunk`);
+#: the constant remains for callers that want a deterministic,
+#: machine-independent blocking.
 DEFAULT_CHUNK = 4096
+
+
+def resolve_chunk(chunk: int | None, m_out: int, itemsize: int = 8) -> int:
+    """Concrete chunk length: the given one, or the cache-aware default.
+
+    ``chunk=None`` defers to :func:`repro.perf.machine.
+    default_kernel_chunk`, which sizes one chunk's working set to the
+    host's L2 cache for a table of width ``m_out`` and element size
+    ``itemsize``.
+    """
+    if chunk is not None:
+        chunk = int(chunk)
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        return chunk
+    # Imported lazily: repro.core must not pull repro.perf at import time
+    # (repro.perf.compiled imports repro.core for the backend registry).
+    from ..perf.machine import default_kernel_chunk
+    return default_kernel_chunk(m_out, itemsize=itemsize)
 
 
 @dataclass
@@ -70,13 +106,13 @@ class KernelCounters:
 def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Sum ``values`` rows into segments delimited by ``indptr``.
 
-    Robust replacement for ``np.add.reduceat`` (which mishandles empty
-    segments): cumulative sums differenced at the boundaries.
-    ``values`` has shape ``(nnz, ...)``; the result ``(n_seg, ...)``.
-
-    The accumulation runs in float64 (the mixed-precision scheme keeps
-    reductions in double) but the result honors the input dtype, so the
-    float32 pipeline stays float32 end-to-end.
+    Prefix-sum formulation: cumulative sums differenced at the segment
+    boundaries, always accumulating in float64 (the mixed-precision
+    scheme keeps reductions in double) while the result honors the input
+    dtype.  Because each segment's value depends on the *prefix* of the
+    whole array, results are only reproducible for a fixed array split —
+    use :func:`segment_reduce` where bitwise chunk/shard invariance
+    matters (the fused kernels do).
     """
     n_seg = len(indptr) - 1
     if values.shape[0] == 0:
@@ -85,6 +121,40 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     zero = np.zeros((1,) + values.shape[1:], dtype=np.float64)
     csum = np.concatenate([zero, csum], axis=0)
     out = csum[indptr[1:]] - csum[indptr[:-1]]
+    return out.astype(values.dtype, copy=False)
+
+
+def segment_reduce(values: np.ndarray, indptr: np.ndarray,
+                   accum_dtype=None) -> np.ndarray:
+    """Per-segment-independent row sum over CSR segments.
+
+    ``np.add.reduceat`` over the starts of the *non-empty* segments:
+    each segment is reduced left-to-right from its own rows only, so the
+    per-segment result is bitwise independent of how the surrounding
+    array is chunked or sharded — and empty segments (which plain
+    ``reduceat`` mishandles) come out exactly zero.
+
+    ``accum_dtype`` selects the accumulator: ``None`` reduces in the
+    value dtype (the float32 fast path), ``np.float64`` upcasts before
+    reducing and rounds once at the end (the mixed scheme).  The result
+    dtype always matches ``values``.
+    """
+    n_seg = len(indptr) - 1
+    shape = (n_seg,) + values.shape[1:]
+    if values.shape[0] == 0:
+        return np.zeros(shape, dtype=values.dtype)
+    acc = values
+    if accum_dtype is not None:
+        acc = values.astype(accum_dtype, copy=False)
+    starts = np.asarray(indptr[:-1], dtype=np.intp)
+    nonempty = np.diff(indptr) > 0
+    out = np.zeros(shape, dtype=acc.dtype)
+    if nonempty.any():
+        # reduceat reduces from each listed start to the next listed
+        # start; consecutive empty segments collapse onto the same
+        # offset, so listing only non-empty starts keeps every reduction
+        # inside its own segment.
+        out[nonempty] = np.add.reduceat(acc, starts[nonempty], axis=0)
     return out.astype(values.dtype, copy=False)
 
 
@@ -106,7 +176,7 @@ def fused_contract_padded(
     descrpt: np.ndarray,
     n_m_norm: int,
     counters: KernelCounters | None = None,
-    chunk: int = DEFAULT_CHUNK,
+    chunk: int | None = None,
 ) -> np.ndarray:
     """Fused ``T = R̃ᵀ g(s) / N_m`` over *padded* neighbor arrays.
 
@@ -114,9 +184,16 @@ def fused_contract_padded(
     input ``s``.  Padded slots are still evaluated (their ``R̃`` rows are
     zero so they contribute nothing) — this is the "+fusion" stage before
     redundancy removal.
+
+    Counter model (asserted shape-for-shape by the tests): each chunk
+    reads its ``R̃`` block and ``s`` slice and writes its ``T`` slab once
+    (the einsum), and the final ``1/N_m`` scale re-reads and re-writes
+    all of ``T`` — so ``bytes_written`` totals exactly twice the output
+    size.
     """
     n, n_m, _ = descrpt.shape
     m_out = table.m_out
+    chunk = resolve_chunk(chunk, m_out, descrpt.dtype.itemsize)
     t_out = np.zeros((n, 4, m_out), dtype=descrpt.dtype)
     inv = 1.0 / float(n_m_norm)
     atoms_per_block = max(1, chunk // n_m)
@@ -132,10 +209,12 @@ def fused_contract_padded(
             counters.flops += table.flops_per_input() * g_chunk.shape[0]
             counters.flops += 2 * 4 * m_out * g_chunk.shape[0]
             counters.bytes_read += r_block.nbytes + s_block.nbytes
+            counters.bytes_written += t_out[a_lo:a_hi].nbytes
             counters.observe_buffer(g_chunk.nbytes)
             counters.processed_pairs += g_chunk.shape[0]
     t_out *= inv
     if counters is not None:
+        counters.bytes_read += t_out.nbytes
         counters.bytes_written += t_out.nbytes
     return t_out
 
@@ -147,8 +226,9 @@ def fused_contract_packed(
     indptr: np.ndarray,
     n_m_norm: int,
     counters: KernelCounters | None = None,
-    chunk: int = DEFAULT_CHUNK,
+    chunk: int | None = None,
     out: np.ndarray | None = None,
+    accum_dtype=None,
 ) -> np.ndarray:
     """Fused contraction over packed (CSR) neighbors — the full optimization.
 
@@ -162,13 +242,21 @@ def fused_contract_packed(
     n_m_norm:
         Fixed normalization (the model's ``N_m``) so padded and packed
         paths agree bitwise.
+    chunk:
+        Neighbor-chunk length; ``None`` sizes it to the host cache
+        (:func:`resolve_chunk`).  The output is bitwise invariant under
+        ``chunk`` — segments reduce independently.
     out:
         Optional ``(n, 4, M)`` destination (a disjoint slab when the
         threaded engine shards atoms); every atom row is overwritten.
+    accum_dtype:
+        Accumulator dtype for the per-atom reduction (see
+        :func:`segment_reduce`); ``None`` keeps the value dtype.
     """
     n = len(indptr) - 1
     m_out = table.m_out
     nnz = int(s.shape[0])
+    chunk = resolve_chunk(chunk, m_out, rows.dtype.itemsize)
     t_out = out if out is not None else np.zeros((n, 4, m_out),
                                                  dtype=rows.dtype)
     inv = 1.0 / float(n_m_norm)
@@ -182,17 +270,20 @@ def fused_contract_packed(
         start, stop = int(indptr[a_lo]), int(indptr[a_hi])
         g_chunk = table.evaluate(s[start:stop])
         contrib = rows[start:stop, :, None] * g_chunk[:, None, :]
-        t_out[a_lo:a_hi] = segment_sum(contrib, indptr[a_lo:a_hi + 1] - start)
+        t_out[a_lo:a_hi] = segment_reduce(
+            contrib, indptr[a_lo:a_hi + 1] - start, accum_dtype=accum_dtype)
         if counters is not None:
             npair = stop - start
             counters.flops += table.flops_per_input() * npair
             counters.flops += 2 * 4 * m_out * npair
             counters.bytes_read += rows[start:stop].nbytes + s[start:stop].nbytes
+            counters.bytes_written += t_out[a_lo:a_hi].nbytes
             counters.observe_buffer(g_chunk.nbytes + contrib.nbytes)
             counters.processed_pairs += npair
         a_lo = a_hi
     t_out *= inv
     if counters is not None:
+        counters.bytes_read += t_out.nbytes
         counters.bytes_written += t_out.nbytes
         counters.skipped_pairs += n * n_m_norm - nnz
     return t_out
@@ -206,7 +297,7 @@ def fused_backward_packed(
     indptr: np.ndarray,
     n_m_norm: int,
     counters: KernelCounters | None = None,
-    chunk: int = DEFAULT_CHUNK,
+    chunk: int | None = None,
     pair_atom: np.ndarray | None = None,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
@@ -216,7 +307,15 @@ def fused_backward_packed(
     the embedding-input term — shape ``(nnz, 4)`` where column 0 already
     includes ``dE/ds`` (since ``s`` is both the first env-matrix column
     and the embedding input, Fig. 1).  The table (value and derivative)
-    is re-evaluated chunk-wise rather than cached.
+    is re-evaluated chunk-wise rather than cached, and the two largest
+    intermediates — the gathered ``dT`` rows and the ``dg`` product —
+    live in scratch buffers sized to one chunk that are reused across
+    chunks, so the pass allocates ``O(chunk · M)`` regardless of ``nnz``.
+
+    FLOP model per pair (asserted by the tests): the dual-Horner table
+    re-evaluation (``2 × flops_per_input``) plus the three contractions —
+    ``dR̃`` (``8 M``), ``dg`` (``8 M``) and the ``dg · g'`` dot (``2 M``)
+    — totalling ``2 · flops_per_input + 18 M``.
 
     Parameters
     ----------
@@ -232,27 +331,39 @@ def fused_backward_packed(
         threaded engine shards pairs); every row is overwritten.
     """
     nnz = s.shape[0]
+    m_out = table.m_out
+    chunk = resolve_chunk(chunk, m_out, rows.dtype.itemsize)
     inv = 1.0 / float(n_m_norm)
     d_rows = out if out is not None else np.empty((nnz, 4), dtype=rows.dtype)
     if pair_atom is None:
         pair_atom = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
+    buf_len = min(chunk, nnz)
+    dt_buf = np.empty((buf_len, 4, m_out), dtype=dt.dtype)
+    dg_buf = np.empty((buf_len, m_out),
+                      dtype=np.result_type(dt.dtype, rows.dtype))
     start = 0
     while start < nnz:
         stop = min(start + chunk, nnz)
+        npair = stop - start
         g_val, g_der = table.evaluate_with_deriv(s[start:stop])
-        dt_rows = dt[pair_atom[start:stop]]  # (chunk, 4, M)
+        dt_rows = np.take(dt, pair_atom[start:stop], axis=0,
+                          out=dt_buf[:npair])
         # dR̃_p[a] = sum_m dT[a, m] g_p[m] / Nm
-        d_rows[start:stop] = np.einsum("pam,pm->pa", dt_rows, g_val) * inv
+        np.einsum("pam,pm->pa", dt_rows, g_val, out=d_rows[start:stop],
+                  casting="same_kind")
+        d_rows[start:stop] *= inv
         # ds_p = sum_{a,m} dT[a, m] R̃_p[a] g'_p[m] / Nm
-        dg = np.einsum("pam,pa->pm", dt_rows, rows[start:stop])
+        dg = np.einsum("pam,pa->pm", dt_rows, rows[start:stop],
+                       out=dg_buf[:npair], casting="same_kind")
         d_rows[start:stop, 0] += np.einsum("pm,pm->p", dg, g_der) * inv
         if counters is not None:
-            npair = stop - start
-            counters.flops += (table.flops_per_input() * 2 + 8 * table.m_out) * npair
-            counters.bytes_read += dt_rows.nbytes
-            counters.observe_buffer(g_val.nbytes * 2 + dg.nbytes)
+            counters.flops += (2 * table.flops_per_input()
+                               + 18 * m_out) * npair
+            counters.bytes_read += (dt_rows.nbytes + s[start:stop].nbytes
+                                    + rows[start:stop].nbytes)
+            counters.bytes_written += d_rows[start:stop].nbytes
+            counters.observe_buffer(g_val.nbytes * 2 + dg.nbytes
+                                    + dt_rows.nbytes)
             counters.processed_pairs += npair
         start = stop
-    if counters is not None:
-        counters.bytes_written += d_rows.nbytes
     return d_rows

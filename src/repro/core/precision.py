@@ -20,12 +20,16 @@ import numpy as np
 from .backend import EvalRequest, backend_for
 from .compressed import CompressedDPModel
 from .fitting import FittingNet
+from .table_layout import SoAEmbeddingTable
 from .tabulation import EmbeddingTable
 
 __all__ = ["to_single_precision", "precision_study"]
 
 
-def _cast_table(table: EmbeddingTable, dtype) -> EmbeddingTable:
+def _cast_table(table, dtype):
+    """Cast either table layout, preserving it (AoS→AoS, SoA→SoA)."""
+    if isinstance(table, SoAEmbeddingTable):
+        return table.astype(dtype)
     return EmbeddingTable(table.coeffs.astype(dtype), table.x_min,
                           table.interval)
 
@@ -42,7 +46,8 @@ def _cast_fitting(net: FittingNet, dtype) -> FittingNet:
     return clone
 
 
-def to_single_precision(model: CompressedDPModel) -> CompressedDPModel:
+def to_single_precision(model: CompressedDPModel,
+                        accumulate: str | None = None) -> CompressedDPModel:
     """A float32 copy of a compressed model (tables + fitting nets).
 
     Evaluate it with float32 coordinates to keep the whole pipeline in
@@ -50,12 +55,20 @@ def to_single_precision(model: CompressedDPModel) -> CompressedDPModel:
 
         f32 = to_single_precision(compressed)
         res = f32.evaluate_packed(coords.astype(np.float32), ...)
+
+    The copy keeps the source model's table layout, chunk length and
+    per-type shard weights.  ``accumulate`` overrides the reduction
+    scheme: ``"native"`` sums in float32 end-to-end (the fast path),
+    ``"f64"`` keeps the reductions in double (the mixed scheme);
+    ``None`` inherits the source model's setting.
     """
     tables = [_cast_table(t, np.float32) for t in model.tables]
     fittings = [_cast_fitting(f, np.float32) for f in model.fittings]
     return CompressedDPModel(
         model.spec, tables, fittings,
         model.energy_bias.astype(np.float32), chunk=model.chunk,
+        layout=model.layout, type_weights=model.type_weights,
+        accumulate=accumulate if accumulate is not None else model.accumulate,
     )
 
 

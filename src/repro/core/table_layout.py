@@ -72,7 +72,14 @@ class SoAEmbeddingTable:
     Stores the quintic coefficients as ``(6, n_intervals, M)`` so that the
     per-coefficient gathers in the Horner loop touch contiguous memory —
     the NumPy counterpart of the paper's SVE-transposed table.  Produces
-    bitwise-identical values to the AoS evaluator.
+    bitwise-identical values to the AoS evaluator for float64 tables; for
+    float32 tables the whole Horner runs in float32 (the in-place ops
+    never upcast), which is what makes it the fast path's table.
+
+    Implements the same kernel-facing surface as
+    :class:`~repro.core.tabulation.EmbeddingTable` (``m_out``,
+    ``evaluate``, ``evaluate_with_deriv``, ``flops_per_input``,
+    ``size_bytes``), so the fused kernels take either interchangeably.
     """
 
     def __init__(self, table):
@@ -80,19 +87,37 @@ class SoAEmbeddingTable:
         self.interval = table.interval
         self.n_intervals = table.n_intervals
         self.m_out = table.m_out
-        # (n_intervals, M, 6) -> (6, n_intervals, M), contiguous per plane.
-        self.coeffs = np.ascontiguousarray(table.coeffs.transpose(2, 0, 1))
+        coeffs = table.coeffs
+        if coeffs.ndim == 3 and coeffs.shape[2] == 6:
+            # (n_intervals, M, 6) -> (6, n_intervals, M), one contiguous
+            # plane per coefficient.
+            coeffs = coeffs.transpose(2, 0, 1)
+        elif not (coeffs.ndim == 3 and coeffs.shape[0] == 6):
+            raise ValueError(
+                f"expected coefficients shaped (n, M, 6) or (6, n, M), "
+                f"got {coeffs.shape}")
+        self.coeffs = np.ascontiguousarray(coeffs)
 
+    # ------------------------------------------------------------- locate
     def _locate(self, x: np.ndarray):
+        # Interval location always runs in float64: the index arithmetic
+        # must agree between the f32 and f64 pipelines.
         x = np.asarray(x, dtype=np.float64).reshape(-1)
         t = x - self.x_min
         idx = np.floor(t / self.interval).astype(np.intp)
         np.clip(idx, 0, self.n_intervals - 1, out=idx)
         return idx, t - idx * self.interval
 
+    def _tcol(self, t: np.ndarray) -> np.ndarray:
+        # Cast the local coordinate to the coefficient dtype so the
+        # in-place Horner never mixes precisions: a no-op for float64
+        # tables, a single rounding for float32 ones.
+        return t.astype(self.coeffs.dtype, copy=False)[:, None]
+
+    # ----------------------------------------------------------- evaluate
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         idx, t = self._locate(x)
-        tcol = t[:, None]
+        tcol = self._tcol(t)
         out = self.coeffs[5][idx]
         for k in (4, 3, 2, 1, 0):
             out *= tcol
@@ -101,11 +126,52 @@ class SoAEmbeddingTable:
 
     def evaluate_with_deriv(self, x: np.ndarray):
         idx, t = self._locate(x)
-        tcol = t[:, None]
+        tcol = self._tcol(t)
         val = self.coeffs[5][idx]
         der = np.zeros_like(val)
         for k in (4, 3, 2, 1, 0):
+            # In-place simultaneous Horner; the der update reads the
+            # pre-update val, matching the AoS evaluator's order.
             der *= tcol
             der += val
-            val = val * tcol + self.coeffs[k][idx]
+            val *= tcol
+            val += self.coeffs[k][idx]
         return val, der
+
+    # --------------------------------------------------------- accounting
+    @property
+    def dtype(self):
+        return self.coeffs.dtype
+
+    @property
+    def size_bytes(self) -> int:
+        """Coefficient storage — identical to the AoS table's."""
+        return self.coeffs.nbytes
+
+    def flops_per_input(self) -> int:
+        """Same quintic Horner as the AoS table: ``14 M`` per element."""
+        return 14 * self.m_out
+
+    # ------------------------------------------------------------ layout
+    def astype(self, dtype) -> "SoAEmbeddingTable":
+        """A copy of this table with coefficients cast to ``dtype``."""
+        clone = object.__new__(SoAEmbeddingTable)
+        clone.x_min = self.x_min
+        clone.interval = self.interval
+        clone.n_intervals = self.n_intervals
+        clone.m_out = self.m_out
+        clone.coeffs = np.ascontiguousarray(self.coeffs.astype(dtype))
+        return clone
+
+    def blocked_image(self, block: int = 16) -> np.ndarray:
+        """The paper's 16-structure transposed memory image (Sec. 3.5.1).
+
+        Flattens each interval's ``(M, 6)`` coefficient record and blocks
+        intervals by ``block`` via :func:`aos_to_soa_blocked` — shape
+        ``(ceil(n/block), 6 M, block)``.  Round-trips exactly through
+        :func:`soa_blocked_to_aos`; provided for layout studies, the
+        evaluator itself uses the coefficient-major planes.
+        """
+        aos = np.ascontiguousarray(
+            self.coeffs.transpose(1, 2, 0)).reshape(self.n_intervals, -1)
+        return aos_to_soa_blocked(aos, block=block)

@@ -47,13 +47,21 @@ class DPForceField:
     evaluation as a ``fused_forward`` span — the region the paper's
     Sec. 2.2 profile attributes >90% of the step to — carrying the
     resolved backend's name as a ``backend=`` attribute.
+
+    ``chunk`` overrides the fused kernels' neighbor-chunk length on
+    every request this force field issues (``None`` keeps the model's
+    own setting, itself defaulting to the cache-aware automatic).
+    Results are bitwise invariant under this knob — it is purely a
+    cache/performance tunable.
     """
 
-    def __init__(self, model, engine=None, tracer=None, backend=None):
+    def __init__(self, model, engine=None, tracer=None, backend=None,
+                 chunk: int | None = None):
         self.model = model
         self.backend = backend_for(model) if backend is None else backend
         self.rcut = model.spec.rcut
         self.engine = engine
+        self.chunk = int(chunk) if chunk is not None else None
         self.tracer = NULL_TRACER if tracer is None else tracer
 
     def rebind(self, model=None) -> "DPForceField":
@@ -73,7 +81,8 @@ class DPForceField:
     def compute(self, neighbors: NeighborData):
         with self.tracer.span("fused_forward", backend=self.backend.name):
             result = self.backend.evaluate(
-                EvalRequest.from_neighbors(neighbors, engine=self.engine)
+                EvalRequest.from_neighbors(neighbors, engine=self.engine,
+                                           chunk=self.chunk)
             )
             forces = neighbors.fold_forces(result.forces)
         return result.energy, forces, result.virial

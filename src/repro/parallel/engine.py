@@ -40,7 +40,6 @@ import numpy as np
 
 from ..core.descriptor import descriptor_from_t, dt_from_ddescr
 from ..core.fused import (
-    DEFAULT_CHUNK,
     KernelCounters,
     fused_backward_packed,
     fused_contract_packed,
@@ -88,10 +87,16 @@ class ThreadedEngine:
         default).  The hybrid driver names each rank's engine
         ``rank{r}-engine`` so thread dumps of a ranks×threads run are
         attributable.
+    chunk:
+        Default neighbor-chunk length for the fused kernels when the
+        caller does not pass one; ``None`` (the default) defers to the
+        cache-aware automatic (:func:`repro.core.fused.resolve_chunk`).
+        Kernel results are bitwise invariant under this knob.
     """
 
     def __init__(self, n_threads: int | None = None, timer=None,
-                 name: str | None = None, tracer=None):
+                 name: str | None = None, tracer=None,
+                 chunk: int | None = None):
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if int(n_threads) < 1:
@@ -100,6 +105,7 @@ class ThreadedEngine:
         self.timer = timer
         self.tracer = tracer
         self.name = name or "repro-engine"
+        self.chunk = int(chunk) if chunk is not None else None
         self._pool: ThreadPoolExecutor | None = None
         #: Optional per-shard hook (``hook(shard_index)``), called before
         #: each pooled item — the fault injector's worker-death port.
@@ -257,17 +263,22 @@ class ThreadedEngine:
 
     def contract_packed(self, table, s, rows, indptr, n_m_norm: int,
                         counters: KernelCounters | None = None,
-                        chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+                        chunk: int | None = None,
+                        accum_dtype=None) -> np.ndarray:
         """Sharded :func:`~repro.core.fused.fused_contract_packed`.
 
         Workers write disjoint ``t_out`` slabs; per-shard counters merge
         to the serial totals because shards partition both the atoms
-        (skipped-pair accounting) and the pairs (flops/traffic).
+        (skipped-pair accounting) and the pairs (flops/traffic).  The
+        per-atom reduction never crosses an atom (hence shard) boundary,
+        so threaded output is bitwise identical to serial for any chunk.
         """
         n = len(indptr) - 1
+        chunk = chunk if chunk is not None else self.chunk
         if self.n_threads == 1 or n == 0:
             return fused_contract_packed(table, s, rows, indptr, n_m_norm,
-                                         counters=counters, chunk=chunk)
+                                         counters=counters, chunk=chunk,
+                                         accum_dtype=accum_dtype)
         t_out = np.zeros((n, 4, table.m_out), dtype=rows.dtype)
         shards = self.shard_ranges(indptr)
 
@@ -282,6 +293,7 @@ class ThreadedEngine:
                 table, s[start:stop], rows[start:stop],
                 np.asarray(indptr[lo:hi + 1]) - start, n_m_norm,
                 counters=c, chunk=chunk, out=t_out[lo:hi],
+                accum_dtype=accum_dtype,
             )
             return c
 
@@ -294,7 +306,7 @@ class ThreadedEngine:
     def backward_packed(self, table, dt, s, rows, indptr, n_m_norm: int,
                         pair_atom: np.ndarray,
                         counters: KernelCounters | None = None,
-                        chunk: int = DEFAULT_CHUNK,
+                        chunk: int | None = None,
                         pair_weights=None) -> np.ndarray:
         """Sharded :func:`~repro.core.fused.fused_backward_packed`.
 
@@ -302,6 +314,7 @@ class ThreadedEngine:
         the shared ``dt`` directly while writing its own ``d_rows`` slab.
         """
         nnz = s.shape[0]
+        chunk = chunk if chunk is not None else self.chunk
         if self.n_threads == 1 or nnz == 0:
             return fused_backward_packed(table, dt, s, rows, indptr,
                                          n_m_norm, counters=counters,

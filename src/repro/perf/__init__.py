@@ -18,7 +18,23 @@ from .kernels import (
     step_kernel_costs,
     total_flops_per_atom,
 )
-from .machine import A64FX, FUGAKU, SUMMIT, V100, DeviceSpec, MachineSpec
+from .compiled import (
+    HAVE_NUMBA,
+    CompiledPackedBackend,
+    disable_compiled_backend,
+    enable_compiled_backend,
+)
+from .machine import (
+    A64FX,
+    FUGAKU,
+    SUMMIT,
+    V100,
+    DeviceSpec,
+    HostCacheInfo,
+    MachineSpec,
+    default_kernel_chunk,
+    detect_host_cache,
+)
 from .memory import (
     MemoryModel,
     bytes_per_atom,
@@ -28,6 +44,7 @@ from .memory import (
 from .power import NormalizedRow, table2_rows
 from .profiler import SectionTimer
 from .timeline import StepTimeline, simulate_step
+from .tuning import DEFAULT_SWEEP_CHUNKS, sweep_kernel_chunk
 from .validate import ValidationRow, validation_report
 from .scaling import (
     GHOST_US_PER_ATOM,
@@ -40,10 +57,14 @@ from .scaling import (
 
 __all__ = [
     "A64FX",
+    "CompiledPackedBackend",
+    "DEFAULT_SWEEP_CHUNKS",
     "DeviceSpec",
     "CheckpointCostModel",
     "FUGAKU",
     "GHOST_US_PER_ATOM",
+    "HAVE_NUMBA",
+    "HostCacheInfo",
     "MachineSpec",
     "MemoryModel",
     "NormalizedRow",
@@ -53,6 +74,11 @@ __all__ = [
     "StepTimeline",
     "SUMMIT",
     "V100",
+    "default_kernel_chunk",
+    "detect_host_cache",
+    "disable_compiled_backend",
+    "enable_compiled_backend",
+    "sweep_kernel_chunk",
     "amdahl_speedup",
     "bytes_per_atom",
     "fitted_serial_fraction",

@@ -1,0 +1,202 @@
+"""Optional numba-compiled backend for the fused inference path.
+
+The paper's production kernels are hand-written CUDA/SVE; the NumPy
+port's nearest analogue is JIT-compiling the hottest per-pair loop — the
+quintic Horner table evaluation that both fused kernels spend most of
+their time in — with numba.  The backend plugs in **purely** through the
+:func:`repro.core.backend.register_backend` contract: no driver, engine
+or model change is needed, which is exactly what the PR 5 backend
+redesign promised.
+
+numba is an optional dependency.  The module always imports cleanly;
+without numba the ``@njit`` decorator degrades to a no-op so the kernels
+below still run as (slow but correct) pure-Python loops, and
+:func:`enable_compiled_backend` refuses with an informative error so a
+driver can't silently run the interpreted loops believing them compiled.
+
+Usage::
+
+    from repro.perf.compiled import enable_compiled_backend
+    enable_compiled_backend()          # raises RuntimeError without numba
+    backend = backend_for(compressed)  # -> CompiledPackedBackend
+    ...
+    disable_compiled_backend()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.backend import PackedBackend, register_backend, unregister_backend
+from ..core.compressed import CompressedDPModel
+
+__all__ = [
+    "HAVE_NUMBA",
+    "CompiledEmbeddingTable",
+    "CompiledPackedBackend",
+    "enable_compiled_backend",
+    "disable_compiled_backend",
+]
+
+try:
+    from numba import njit
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-less hosts
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator: keeps the kernels importable without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+@njit(cache=True)
+def _horner_eval(c0, c1, c2, c3, c4, c5, idx, t, out):
+    """out[p, j] = quintic(c*, idx[p], t[p]) — one fused scalar loop."""
+    n, m = out.shape
+    for p in range(n):
+        i = idx[p]
+        tp = t[p]
+        for j in range(m):
+            v = c5[i, j]
+            v = v * tp + c4[i, j]
+            v = v * tp + c3[i, j]
+            v = v * tp + c2[i, j]
+            v = v * tp + c1[i, j]
+            v = v * tp + c0[i, j]
+            out[p, j] = v
+
+
+@njit(cache=True)
+def _horner_eval_deriv(c0, c1, c2, c3, c4, c5, idx, t, val, der):
+    """Simultaneous Horner for value and derivative (the backward pass)."""
+    n, m = val.shape
+    for p in range(n):
+        i = idx[p]
+        tp = t[p]
+        for j in range(m):
+            v = c5[i, j]
+            d = v
+            v = v * tp + c4[i, j]
+            d = d * tp + v
+            v = v * tp + c3[i, j]
+            d = d * tp + v
+            v = v * tp + c2[i, j]
+            d = d * tp + v
+            v = v * tp + c1[i, j]
+            d = d * tp + v
+            v = v * tp + c0[i, j]
+            val[p, j] = v
+            der[p, j] = d
+
+
+class CompiledEmbeddingTable:
+    """njit-evaluated drop-in for the fused kernels' table argument.
+
+    Holds the coefficient-major planes of a table (AoS or SoA source)
+    and evaluates the quintic through the compiled scalar loops above.
+    The per-element operation sequence matches the NumPy evaluators
+    exactly, so float64 results are bitwise identical to the AoS path.
+    """
+
+    def __init__(self, table):
+        self.x_min = float(table.x_min)
+        self.interval = float(table.interval)
+        self.n_intervals = int(table.n_intervals)
+        self.m_out = int(table.m_out)
+        coeffs = np.asarray(table.coeffs)
+        if coeffs.ndim == 3 and coeffs.shape[2] == 6:
+            coeffs = coeffs.transpose(2, 0, 1)
+        # One contiguous (n_intervals, M) plane per coefficient, the
+        # layout the compiled loops stream.
+        self._planes = tuple(
+            np.ascontiguousarray(coeffs[k]) for k in range(6))
+
+    @property
+    def dtype(self):
+        return self._planes[0].dtype
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(p.nbytes for p in self._planes)
+
+    def flops_per_input(self) -> int:
+        return 14 * self.m_out
+
+    def _locate(self, x: np.ndarray):
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        t = x - self.x_min
+        idx = np.floor(t / self.interval).astype(np.intp)
+        np.clip(idx, 0, self.n_intervals - 1, out=idx)
+        # The local coordinate enters the compiled loop in the
+        # coefficient dtype so the f32 path never upcasts.
+        return idx, (t - idx * self.interval).astype(self.dtype, copy=False)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        idx, t = self._locate(x)
+        out = np.empty((idx.shape[0], self.m_out), dtype=self.dtype)
+        c0, c1, c2, c3, c4, c5 = self._planes
+        _horner_eval(c0, c1, c2, c3, c4, c5, idx, t, out)
+        return out
+
+    def evaluate_with_deriv(self, x: np.ndarray):
+        idx, t = self._locate(x)
+        val = np.empty((idx.shape[0], self.m_out), dtype=self.dtype)
+        der = np.empty_like(val)
+        c0, c1, c2, c3, c4, c5 = self._planes
+        _horner_eval_deriv(c0, c1, c2, c3, c4, c5, idx, t, val, der)
+        return val, der
+
+
+class CompiledPackedBackend(PackedBackend):
+    """PackedBackend whose model evaluates through compiled tables.
+
+    Wraps the resolved :class:`~repro.core.compressed.CompressedDPModel`
+    in a clone that shares every component except the tables, which are
+    replaced by :class:`CompiledEmbeddingTable`.  Everything else —
+    engine sharding, counters, chunk plumbing — flows through the
+    inherited :class:`~repro.core.backend.PackedBackend` unchanged.
+    """
+
+    def __init__(self, model):
+        compiled = CompressedDPModel(
+            model.spec,
+            [CompiledEmbeddingTable(t) for t in model.tables],
+            model.fittings, model.energy_bias, chunk=model.chunk,
+            type_weights=model.type_weights, accumulate=model.accumulate,
+        )
+        super().__init__(compiled, accepts_engine=True)
+        self.name = "compiled"
+        #: The uncompiled model this backend was resolved for.
+        self.source_model = model
+
+
+def _matches(model) -> bool:
+    return isinstance(model, CompressedDPModel)
+
+
+def enable_compiled_backend():
+    """Register :class:`CompiledPackedBackend` for compressed models.
+
+    Raises :class:`RuntimeError` when numba is unavailable — the
+    pure-Python fallback loops exist for correctness testing only and
+    would be far slower than the vectorized kernels.  Returns the
+    factory (idempotent: repeated calls stack registrations, newest
+    wins; use :func:`disable_compiled_backend` to undo).
+    """
+    if not HAVE_NUMBA:
+        raise RuntimeError(
+            "numba is not installed; the compiled backend would fall back "
+            "to interpreted per-pair loops. Install numba or stay on the "
+            "default vectorized backend.")
+    return register_backend(_matches, CompiledPackedBackend)
+
+
+def disable_compiled_backend() -> bool:
+    """Unregister the compiled backend; True if it was registered."""
+    return unregister_backend(CompiledPackedBackend)

@@ -12,15 +12,20 @@ DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-model record.
 
 from __future__ import annotations
 
+import glob
+import os
 from dataclasses import dataclass, field
 
 __all__ = [
     "DeviceSpec",
     "MachineSpec",
+    "HostCacheInfo",
     "V100",
     "A64FX",
     "SUMMIT",
     "FUGAKU",
+    "detect_host_cache",
+    "default_kernel_chunk",
 ]
 
 
@@ -168,3 +173,106 @@ FUGAKU = MachineSpec(
     ranks_per_node=16,
     baseline_ranks_per_node=48,
 )
+
+
+# --------------------------------------------------------------------------
+# Host cache model — the cache-aware chunk default of the fused kernels.
+#
+# The paper sizes its LDM/thread-block tiles to the device memory
+# hierarchy (Secs. 3.4.1, 3.5.1); the NumPy analogue is picking the
+# neighbor-chunk length of the fused kernels so one chunk's working set
+# (env-matrix rows, the tabulated g rows, and the outer-product
+# contributions) stays resident in the host's L2 cache.
+
+@dataclass(frozen=True)
+class HostCacheInfo:
+    """Per-core data-cache sizes of the machine this process runs on.
+
+    Detected from Linux sysfs when available; falls back to conservative
+    laptop-class defaults (``source="default"``) elsewhere — the fused
+    kernels only use these to pick a chunk length, so a wrong guess
+    costs performance, never correctness.
+    """
+
+    l1d_bytes: int = 32 * 1024
+    l2_bytes: int = 512 * 1024
+    l3_bytes: int = 8 * 1024 * 1024
+    source: str = "default"
+
+
+def _parse_cache_size(text: str) -> int:
+    text = text.strip()
+    if text.endswith("K"):
+        return int(text[:-1]) * 1024
+    if text.endswith("M"):
+        return int(text[:-1]) * 1024 * 1024
+    return int(text)
+
+
+def detect_host_cache() -> HostCacheInfo:
+    """Read per-core cache sizes from sysfs (cached after the first call)."""
+    global _HOST_CACHE
+    if _HOST_CACHE is not None:
+        return _HOST_CACHE
+    levels: dict[int, int] = {}
+    try:
+        for index in glob.glob(
+                "/sys/devices/system/cpu/cpu0/cache/index*"):
+            try:
+                with open(os.path.join(index, "type")) as fh:
+                    if fh.read().strip() == "Instruction":
+                        continue
+                with open(os.path.join(index, "level")) as fh:
+                    level = int(fh.read())
+                with open(os.path.join(index, "size")) as fh:
+                    size = _parse_cache_size(fh.read())
+            except (OSError, ValueError):
+                continue
+            levels[level] = size
+    except OSError:
+        levels = {}
+    default = HostCacheInfo()
+    if levels:
+        _HOST_CACHE = HostCacheInfo(
+            l1d_bytes=levels.get(1, default.l1d_bytes),
+            l2_bytes=levels.get(2, default.l2_bytes),
+            l3_bytes=levels.get(3, levels.get(2, default.l3_bytes)),
+            source="sysfs",
+        )
+    else:
+        _HOST_CACHE = default
+    return _HOST_CACHE
+
+
+_HOST_CACHE: HostCacheInfo | None = None
+
+#: Bounds on the auto-picked chunk: below ~256 pairs the Python-level
+#: per-chunk overhead (slicing, table locate) dominates; above 64k the
+#: working set has long left every cache and only peak memory grows.
+MIN_KERNEL_CHUNK = 256
+MAX_KERNEL_CHUNK = 65_536
+
+
+def default_kernel_chunk(m_out: int, itemsize: int = 8,
+                         cache: HostCacheInfo | None = None,
+                         target_fraction: float = 0.5) -> int:
+    """Cache-aware default neighbor-chunk length for the fused kernels.
+
+    Sizes the chunk so one iteration's working set — the ``(chunk, 4)``
+    env-matrix rows, the ``(chunk, M)`` tabulated ``g`` rows, the
+    ``(chunk, 4, M)`` outer-product contributions, and the float64
+    accumulation copy of the contributions — fills ``target_fraction``
+    of the L2 cache.  The result is clamped to
+    ``[MIN_KERNEL_CHUNK, MAX_KERNEL_CHUNK]`` and rounded down to a
+    multiple of 64 pairs.  The chunk length never affects results (the
+    fused kernels reduce each atom's segment independently), so this is
+    a pure performance knob.
+    """
+    if m_out < 1:
+        raise ValueError(f"m_out must be positive, got {m_out}")
+    cache = detect_host_cache() if cache is None else cache
+    bytes_per_pair = (5 + m_out + 4 * m_out) * itemsize + 4 * m_out * 8
+    budget = cache.l2_bytes * target_fraction
+    chunk = int(budget // bytes_per_pair)
+    chunk = max(MIN_KERNEL_CHUNK, min(MAX_KERNEL_CHUNK, chunk))
+    return max(MIN_KERNEL_CHUNK, (chunk // 64) * 64)

@@ -1,0 +1,104 @@
+"""Cache-tunable sweeps for the fused kernels (Secs. 3.4.1, 3.5.1).
+
+The paper picks its LDM/thread-block tile sizes per device; the NumPy
+port's equivalent knob is the fused kernels' neighbor-chunk length.
+:func:`sweep_kernel_chunk` times the packed forward (and optionally
+backward) kernel across a ladder of chunk lengths and returns the
+U-curve — too small and the Python-level per-chunk overhead dominates,
+too large and the working set falls out of L2 — together with the
+cache-model default (:func:`repro.perf.machine.default_kernel_chunk`)
+so benchmarks can record how close the model's pick lands to the
+measured optimum.  Results are bitwise chunk-invariant, so the sweep is
+a pure timing exercise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.fused import fused_backward_packed, fused_contract_packed
+from .machine import default_kernel_chunk, detect_host_cache
+
+__all__ = ["DEFAULT_SWEEP_CHUNKS", "sweep_kernel_chunk"]
+
+#: Power-of-two ladder spanning the plausible cache regimes.
+DEFAULT_SWEEP_CHUNKS = (256, 512, 1024, 2048, 4096, 8192, 16384, 65536)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sweep_kernel_chunk(table, s, rows, indptr, n_m_norm: int,
+                       chunks=None, repeats: int = 3,
+                       dt: np.ndarray | None = None) -> dict:
+    """Time the packed fused kernels across chunk lengths (the U-curve).
+
+    Parameters
+    ----------
+    table, s, rows, indptr, n_m_norm:
+        A packed workload exactly as :func:`~repro.core.fused.
+        fused_contract_packed` takes it.
+    chunks:
+        Chunk lengths to sweep (default :data:`DEFAULT_SWEEP_CHUNKS`).
+    repeats:
+        Best-of-N timing per point.
+    dt:
+        Optional ``(n, 4, M)`` upstream gradient; when given the
+        backward kernel is swept too and the recorded wall time per
+        point is forward + backward.
+
+    Returns a dict with one entry per chunk (``chunk``, ``forward_s``,
+    ``backward_s``, ``total_s``), the measured ``best_chunk``, the cache
+    model's ``default_chunk`` for this table/dtype, and the detected
+    host cache sizes.
+    """
+    chunks = tuple(chunks) if chunks is not None else DEFAULT_SWEEP_CHUNKS
+    if not chunks:
+        raise ValueError("need at least one chunk length to sweep")
+    n = len(indptr) - 1
+    pair_atom = np.repeat(np.arange(n, dtype=np.intp), np.diff(indptr))
+    points = []
+    for chunk in chunks:
+        fwd = _best_of(
+            lambda: fused_contract_packed(table, s, rows, indptr, n_m_norm,
+                                          chunk=chunk),
+            repeats)
+        bwd = 0.0
+        if dt is not None:
+            bwd = _best_of(
+                lambda: fused_backward_packed(table, dt, s, rows, indptr,
+                                              n_m_norm, chunk=chunk,
+                                              pair_atom=pair_atom),
+                repeats)
+        points.append({
+            "chunk": int(chunk),
+            "forward_s": fwd,
+            "backward_s": bwd,
+            "total_s": fwd + bwd,
+        })
+    best = min(points, key=lambda p: p["total_s"])
+    cache = detect_host_cache()
+    return {
+        "points": points,
+        "best_chunk": best["chunk"],
+        "default_chunk": default_kernel_chunk(
+            table.m_out, itemsize=rows.dtype.itemsize),
+        "host_cache": {
+            "l1d_bytes": cache.l1d_bytes,
+            "l2_bytes": cache.l2_bytes,
+            "l3_bytes": cache.l3_bytes,
+            "source": cache.source,
+        },
+        "pairs": int(s.shape[0]),
+        "m_out": int(table.m_out),
+        "dtype": str(np.dtype(rows.dtype)),
+        "repeats": int(repeats),
+    }

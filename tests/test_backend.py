@@ -86,6 +86,19 @@ class TestEvalRequest:
         assert req32.resolve_coords().dtype == np.float32
         assert req.resolve_coords() is cu_neighbors.ext_coords
 
+    def test_chunk_rides_the_request(self, cu_compressed, cu_neighbors):
+        ref = backend_for(cu_compressed).evaluate(
+            EvalRequest.from_neighbors(cu_neighbors))
+        req = EvalRequest.from_neighbors(cu_neighbors, chunk=19)
+        assert req.chunk == 19
+        res = backend_for(cu_compressed).evaluate(req)
+        # the chunk is a pure blocking knob: bitwise identical
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+
+    def test_chunk_default_is_none(self, cu_neighbors):
+        assert EvalRequest.from_neighbors(cu_neighbors).chunk is None
+
     def test_packed_requires_csr(self, cu_compressed, cu_neighbors):
         req = EvalRequest(coords=cu_neighbors.ext_coords,
                           types=cu_neighbors.ext_types,

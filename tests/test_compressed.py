@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import CompressedDPModel, KernelCounters, TanhTable, pack_nlist
+from repro.core.precision import to_single_precision
+from repro.core.table_layout import SoAEmbeddingTable
 
 from conftest import evaluate_folded
 
@@ -117,3 +119,93 @@ class TestChunking:
                                    nd.indices, nd.indptr)
         assert res.energy == pytest.approx(res0.energy, abs=1e-12)
         assert np.allclose(res.forces, res0.forces, atol=1e-13)
+
+    def test_model_chunk_bitwise_and_per_call_override(self, cu_compressed,
+                                                       cu_neighbors):
+        nd = cu_neighbors
+
+        def run(model, **kw):
+            return model.evaluate_packed(nd.ext_coords, nd.ext_types,
+                                         nd.centers, nd.indices, nd.indptr,
+                                         **kw)
+
+        ref = run(cu_compressed)
+        chunked = CompressedDPModel(
+            cu_compressed.spec, cu_compressed.tables,
+            cu_compressed.fittings, cu_compressed.energy_bias, chunk=33)
+        res = run(chunked)
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+        # per-call chunk takes precedence over the model's, still bitwise
+        res2 = run(chunked, chunk=5)
+        assert res2.energy == ref.energy
+        assert np.array_equal(res2.forces, ref.forces)
+
+
+class TestLayoutAndAccumulateKnobs:
+    def test_layout_soa_wraps_tables(self, cu_compressed):
+        soa = CompressedDPModel(
+            cu_compressed.spec, cu_compressed.tables,
+            cu_compressed.fittings, cu_compressed.energy_bias,
+            layout="soa")
+        assert soa.layout == "soa" and soa.use_soa
+        assert all(isinstance(t, SoAEmbeddingTable) for t in soa.tables)
+        # already-SoA tables are not double-wrapped
+        again = CompressedDPModel(
+            soa.spec, soa.tables, soa.fittings, soa.energy_bias,
+            layout="soa")
+        assert all(a is b for a, b in zip(again.tables, soa.tables))
+
+    def test_layout_soa_bitwise(self, cu_compressed, cu_neighbors):
+        nd = cu_neighbors
+        soa = CompressedDPModel(
+            cu_compressed.spec, cu_compressed.tables,
+            cu_compressed.fittings, cu_compressed.energy_bias,
+            layout="soa")
+        ref = cu_compressed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        res = soa.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+
+    def test_invalid_knobs_rejected(self, cu_compressed):
+        with pytest.raises(ValueError, match="layout"):
+            CompressedDPModel(
+                cu_compressed.spec, cu_compressed.tables,
+                cu_compressed.fittings, cu_compressed.energy_bias,
+                layout="blocked")
+        with pytest.raises(ValueError, match="accumulate"):
+            CompressedDPModel(
+                cu_compressed.spec, cu_compressed.tables,
+                cu_compressed.fittings, cu_compressed.energy_bias,
+                accumulate="f32")
+
+    def test_f64_accumulate_is_identity_in_double(self, cu_compressed,
+                                                  cu_neighbors):
+        nd = cu_neighbors
+        mixed = CompressedDPModel(
+            cu_compressed.spec, cu_compressed.tables,
+            cu_compressed.fittings, cu_compressed.energy_bias,
+            accumulate="f64")
+        assert mixed.accum_dtype == np.float64
+        ref = cu_compressed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        res = mixed.evaluate_packed(
+            nd.ext_coords, nd.ext_types, nd.centers, nd.indices, nd.indptr)
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+
+    def test_to_single_precision_preserves_knobs(self, cu_compressed):
+        model = CompressedDPModel(
+            cu_compressed.spec, cu_compressed.tables,
+            cu_compressed.fittings, cu_compressed.energy_bias,
+            layout="soa", chunk=99)
+        f32 = to_single_precision(model)
+        assert f32.layout == "soa"
+        assert f32.chunk == 99
+        assert f32.accumulate == "native"
+        assert all(t.dtype == np.float32 for t in f32.tables)
+        f32_mixed = to_single_precision(model, accumulate="f64")
+        assert f32_mixed.accumulate == "f64"
+        assert f32_mixed.accum_dtype == np.float64

@@ -196,3 +196,20 @@ class TestCLI:
         out = str(tmp_path / "m.npz")
         assert main(["compress", "--out", out, "--d1", "4"]) == 0
         assert os.path.exists(out)
+
+    def test_run_layout_and_kernel_chunk_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--system", "copper", "--cells", "2", "2", "2",
+                     "--steps", "2", "--thermo-every", "2",
+                     "--layout", "soa", "--kernel-chunk", "512"]) == 0
+        # same run through the aos layout agrees (float64 is bitwise
+        # across layouts, so the printed thermo lines match exactly)
+        soa_out = capsys.readouterr().out
+        assert main(["run", "--system", "copper", "--cells", "2", "2", "2",
+                     "--steps", "2", "--thermo-every", "2",
+                     "--layout", "aos"]) == 0
+        aos_out = capsys.readouterr().out
+        soa_thermo = [ln for ln in soa_out.splitlines() if "step" in ln]
+        aos_thermo = [ln for ln in aos_out.splitlines() if "step" in ln]
+        assert soa_thermo and soa_thermo == aos_thermo

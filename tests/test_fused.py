@@ -11,10 +11,13 @@ from repro.core.fused import (
     fused_backward_packed,
     fused_contract_packed,
     fused_contract_padded,
+    resolve_chunk,
+    segment_reduce,
     segment_sum,
     tabulated_g_full,
 )
 from repro.core.network import init_rng
+from repro.core.table_layout import SoAEmbeddingTable
 from repro.core.tabulation import EmbeddingTable
 
 
@@ -61,6 +64,92 @@ class TestSegmentSum:
         vals = np.random.default_rng(0).normal(size=(10, 4, 2))
         out = segment_sum(vals, np.array([0, 10]))
         assert np.allclose(out[0], vals.sum(axis=0))
+
+
+class TestSegmentReduce:
+    def test_matches_segment_sum(self):
+        rng = np.random.default_rng(5)
+        vals = rng.normal(size=(40, 4, 3))
+        indptr = np.array([0, 7, 7, 18, 30, 30, 40])
+        a = segment_reduce(vals, indptr)
+        b = segment_sum(vals, indptr)
+        assert a.shape == b.shape
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_empty_segments_are_exactly_zero(self):
+        vals = np.ones((4, 2))
+        indptr = np.array([0, 0, 2, 2, 4, 4])
+        out = segment_reduce(vals, indptr)
+        assert np.array_equal(out[0], [0.0, 0.0])
+        assert np.array_equal(out[2], [0.0, 0.0])
+        assert np.array_equal(out[4], [0.0, 0.0])
+        assert np.array_equal(out[1], [2.0, 2.0])
+
+    def test_empty_values(self):
+        out = segment_reduce(np.zeros((0, 3)), np.array([0, 0, 0]))
+        assert out.shape == (2, 3)
+        assert np.all(out == 0)
+
+    def test_result_dtype_follows_values(self):
+        vals = np.ones((3, 2), dtype=np.float32)
+        out = segment_reduce(vals, np.array([0, 3]))
+        assert out.dtype == np.float32
+        out64 = segment_reduce(vals, np.array([0, 3]),
+                               accum_dtype=np.float64)
+        assert out64.dtype == np.float32
+
+    def test_accum_dtype_sums_in_double(self):
+        # The mixed scheme accumulates the whole segment in float64 and
+        # rounds exactly once at the end; native float32 accumulation
+        # rounds per partial and lands on different bits for a long
+        # segment of this magnitude.
+        rng = np.random.default_rng(0)
+        vals = rng.normal(size=(10_000, 2)).astype(np.float32) * 1000
+        indptr = np.array([0, len(vals)])
+        native = segment_reduce(vals, indptr)
+        mixed = segment_reduce(vals, indptr, accum_dtype=np.float64)
+        exact = vals.astype(np.float64).sum(axis=0).astype(np.float32)
+        assert np.array_equal(mixed[0], exact)
+        assert not np.array_equal(native, mixed)
+
+    def test_chunk_split_invariance(self):
+        # Concatenating per-piece reductions equals the whole-array
+        # reduction bitwise — the property the chunked kernels rely on.
+        rng = np.random.default_rng(6)
+        vals = rng.normal(size=(50, 3))
+        indptr = np.array([0, 11, 11, 25, 40, 50])
+        whole = segment_reduce(vals, indptr)
+        parts = [
+            segment_reduce(vals[indptr[i]:indptr[j]],
+                           indptr[i:j + 1] - indptr[i])
+            for i, j in [(0, 2), (2, 3), (3, 5)]
+        ]
+        assert np.array_equal(np.concatenate(parts), whole)
+
+
+class TestResolveChunk:
+    def test_explicit_passthrough(self):
+        assert resolve_chunk(123, m_out=8) == 123
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_chunk(0, m_out=8)
+        with pytest.raises(ValueError):
+            resolve_chunk(-5, m_out=8)
+
+    def test_auto_is_cache_default(self):
+        from repro.perf.machine import (
+            MAX_KERNEL_CHUNK,
+            MIN_KERNEL_CHUNK,
+            default_kernel_chunk,
+        )
+        auto = resolve_chunk(None, m_out=8, itemsize=8)
+        assert auto == default_kernel_chunk(8, itemsize=8)
+        assert MIN_KERNEL_CHUNK <= auto <= MAX_KERNEL_CHUNK
+
+    def test_auto_smaller_itemsize_allows_longer_chunks(self):
+        assert (resolve_chunk(None, m_out=64, itemsize=4)
+                >= resolve_chunk(None, m_out=64, itemsize=8))
 
 
 class TestFusedForward:
@@ -184,3 +273,143 @@ class TestFusedBackward:
         out = fused_backward_packed(table, dt, s, rows, indptr, n_m,
                                     chunk=chunk)
         assert np.allclose(out, ref, atol=1e-14)
+
+
+def _packed_inputs(table, padded_inputs, dtype=np.float64):
+    descrpt, nlist = padded_inputs
+    n, n_m, _ = descrpt.shape
+    mask = nlist >= 0
+    _, indptr = pack_nlist(nlist)
+    s = descrpt[..., 0][mask].astype(dtype, copy=False)
+    rows = descrpt[mask].astype(dtype, copy=False)
+    dt = np.random.default_rng(12).normal(
+        size=(n, 4, table.m_out)).astype(dtype, copy=False)
+    return s, rows, indptr, dt, n_m
+
+
+class TestBitwiseChunkInvariance:
+    """The chunk length is a pure blocking knob: per dtype, the packed
+    kernels must return bit-identical arrays for every chunk choice."""
+
+    CHUNKS = [1, 3, 17, 100, 10**6]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32],
+                             ids=["f64", "f32"])
+    def test_forward_bitwise(self, table, padded_inputs, dtype):
+        tab = (table if dtype == np.float64
+               else SoAEmbeddingTable(table).astype(dtype))
+        s, rows, indptr, _, n_m = _packed_inputs(table, padded_inputs, dtype)
+        ref = fused_contract_packed(tab, s, rows, indptr, n_m)
+        assert ref.dtype == dtype
+        for chunk in self.CHUNKS:
+            out = fused_contract_packed(tab, s, rows, indptr, n_m,
+                                        chunk=chunk)
+            assert np.array_equal(out, ref), f"chunk={chunk}"
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32],
+                             ids=["f64", "f32"])
+    def test_backward_bitwise(self, table, padded_inputs, dtype):
+        tab = (table if dtype == np.float64
+               else SoAEmbeddingTable(table).astype(dtype))
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs,
+                                                  dtype)
+        ref = fused_backward_packed(tab, dt, s, rows, indptr, n_m)
+        assert ref.dtype == dtype
+        for chunk in self.CHUNKS:
+            out = fused_backward_packed(tab, dt, s, rows, indptr, n_m,
+                                        chunk=chunk)
+            assert np.array_equal(out, ref), f"chunk={chunk}"
+
+    def test_forward_soa_matches_aos_bitwise(self, table, padded_inputs):
+        s, rows, indptr, _, n_m = _packed_inputs(table, padded_inputs)
+        aos = fused_contract_packed(table, s, rows, indptr, n_m)
+        soa = fused_contract_packed(SoAEmbeddingTable(table), s, rows,
+                                    indptr, n_m)
+        assert np.array_equal(aos, soa)
+
+    def test_backward_soa_matches_aos_bitwise(self, table, padded_inputs):
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs)
+        aos = fused_backward_packed(table, dt, s, rows, indptr, n_m)
+        soa = fused_backward_packed(SoAEmbeddingTable(table), dt, s, rows,
+                                    indptr, n_m)
+        assert np.array_equal(aos, soa)
+
+    def test_forward_accum_dtype_changes_f32_sums(self, table,
+                                                  padded_inputs):
+        tab32 = SoAEmbeddingTable(table).astype(np.float32)
+        s, rows, indptr, _, n_m = _packed_inputs(table, padded_inputs,
+                                                 np.float32)
+        native = fused_contract_packed(tab32, s, rows, indptr, n_m)
+        mixed = fused_contract_packed(tab32, s, rows, indptr, n_m,
+                                      accum_dtype=np.float64)
+        assert native.dtype == mixed.dtype == np.float32
+        assert np.allclose(native, mixed, atol=1e-5)
+
+
+class TestShapeTiedCounters:
+    """Counter totals asserted against the exact array shapes the kernel
+    touches — the audit the padded forward and backward passes needed."""
+
+    def test_packed_forward_bytes_written_is_twice_output(
+            self, table, padded_inputs):
+        s, rows, indptr, _, n_m = _packed_inputs(table, padded_inputs)
+        c = KernelCounters()
+        t = fused_contract_packed(table, s, rows, indptr, n_m,
+                                  counters=c, chunk=50)
+        # every chunk writes its disjoint T slab once, the final 1/Nm
+        # scale rewrites all of T
+        assert c.bytes_written == 2 * t.nbytes
+        assert c.bytes_read == rows.nbytes + s.nbytes + t.nbytes
+
+    def test_padded_forward_bytes_written_is_twice_output(
+            self, table, padded_inputs):
+        descrpt, _ = padded_inputs
+        n, n_m, _ = descrpt.shape
+        c = KernelCounters()
+        t = fused_contract_padded(table, descrpt, n_m, counters=c, chunk=64)
+        assert c.bytes_written == 2 * t.nbytes
+        assert c.bytes_read == descrpt.nbytes \
+            + descrpt[..., 0].reshape(-1).nbytes + t.nbytes
+
+    def test_backward_flops_follow_formula(self, table, padded_inputs):
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs)
+        nnz = s.shape[0]
+        c = KernelCounters()
+        fused_backward_packed(table, dt, s, rows, indptr, n_m, counters=c)
+        # dual-Horner re-evaluation + the three contractions (8M+8M+2M)
+        expect = (2 * table.flops_per_input() + 18 * table.m_out) * nnz
+        assert c.flops == expect
+        assert c.processed_pairs == nnz
+
+    def test_backward_bytes_written_is_output(self, table, padded_inputs):
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs)
+        c = KernelCounters()
+        d_rows = fused_backward_packed(table, dt, s, rows, indptr, n_m,
+                                       counters=c, chunk=37)
+        assert c.bytes_written == d_rows.nbytes
+
+    @pytest.mark.parametrize("kernel", ["forward", "backward"])
+    def test_totals_invariant_under_chunk(self, table, padded_inputs,
+                                          kernel):
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs)
+        totals = []
+        for chunk in (13, 10**6):
+            c = KernelCounters()
+            if kernel == "forward":
+                fused_contract_packed(table, s, rows, indptr, n_m,
+                                      counters=c, chunk=chunk)
+            else:
+                fused_backward_packed(table, dt, s, rows, indptr, n_m,
+                                      counters=c, chunk=chunk)
+            totals.append((c.flops, c.bytes_read, c.bytes_written,
+                           c.skipped_pairs, c.processed_pairs))
+        assert totals[0] == totals[1]
+
+    def test_backward_scratch_is_chunk_bounded(self, table, padded_inputs):
+        s, rows, indptr, dt, n_m = _packed_inputs(table, padded_inputs)
+        small, large = KernelCounters(), KernelCounters()
+        fused_backward_packed(table, dt, s, rows, indptr, n_m,
+                              counters=small, chunk=8)
+        fused_backward_packed(table, dt, s, rows, indptr, n_m,
+                              counters=large, chunk=10**6)
+        assert small.peak_buffer_bytes < large.peak_buffer_bytes

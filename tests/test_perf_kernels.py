@@ -1,0 +1,210 @@
+"""Tests for the cache model, chunk sweep, and compiled backend.
+
+Covers the perf-layer half of the cache-blocked kernel work: sysfs
+cache detection, the L2-sized default chunk, the U-curve sweep helper,
+and the optional numba backend (whose pure-Python fallback loops must
+stay bitwise-correct even when numba is absent).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressedDPModel,
+    DPModel,
+    EvalRequest,
+    ModelSpec,
+    backend_for,
+)
+from repro.core.embedding import EmbeddingNet
+from repro.core.network import init_rng
+from repro.core.table_layout import SoAEmbeddingTable
+from repro.core.tabulation import EmbeddingTable
+from repro.md import NeighborSearch, copper_system
+from repro.perf.compiled import (
+    HAVE_NUMBA,
+    CompiledEmbeddingTable,
+    CompiledPackedBackend,
+    disable_compiled_backend,
+    enable_compiled_backend,
+)
+from repro.perf.machine import (
+    MAX_KERNEL_CHUNK,
+    MIN_KERNEL_CHUNK,
+    HostCacheInfo,
+    _parse_cache_size,
+    default_kernel_chunk,
+    detect_host_cache,
+)
+from repro.perf.tuning import DEFAULT_SWEEP_CHUNKS, sweep_kernel_chunk
+
+
+@pytest.fixture(scope="module")
+def table():
+    net = EmbeddingNet(d1=8, rng=init_rng(31))
+    return EmbeddingTable.from_net(net, 0.0, 2.0, 0.01)
+
+
+class TestCacheModel:
+    def test_parse_cache_size_suffixes(self):
+        assert _parse_cache_size("48K") == 48 * 1024
+        assert _parse_cache_size("2M\n") == 2 * 1024 * 1024
+        assert _parse_cache_size("1024") == 1024
+
+    def test_detect_host_cache_is_cached_and_sane(self):
+        a = detect_host_cache()
+        assert a is detect_host_cache()
+        assert a.source in ("sysfs", "default")
+        assert a.l1d_bytes > 0
+        assert a.l2_bytes >= a.l1d_bytes
+
+    def test_default_chunk_bounds_and_alignment(self):
+        for m_out in (1, 8, 64, 1024):
+            c = default_kernel_chunk(m_out)
+            assert MIN_KERNEL_CHUNK <= c <= MAX_KERNEL_CHUNK
+            assert c == MIN_KERNEL_CHUNK or c % 64 == 0
+
+    def test_default_chunk_shrinks_with_table_width(self):
+        cache = HostCacheInfo(l2_bytes=4 * 1024 * 1024)
+        narrow = default_kernel_chunk(4, cache=cache)
+        wide = default_kernel_chunk(256, cache=cache)
+        assert narrow >= wide
+
+    def test_default_chunk_scales_with_l2(self):
+        small = default_kernel_chunk(
+            8, cache=HostCacheInfo(l2_bytes=256 * 1024))
+        big = default_kernel_chunk(
+            8, cache=HostCacheInfo(l2_bytes=16 * 1024 * 1024))
+        assert big > small
+
+    def test_default_chunk_working_set_fits_budget(self):
+        cache = HostCacheInfo(l2_bytes=2 * 1024 * 1024)
+        m_out, itemsize = 16, 8
+        c = default_kernel_chunk(m_out, itemsize=itemsize, cache=cache)
+        bytes_per_pair = (5 + 5 * m_out) * itemsize + 4 * m_out * 8
+        assert c * bytes_per_pair <= cache.l2_bytes * 0.5
+
+    def test_rejects_bad_m_out(self):
+        with pytest.raises(ValueError):
+            default_kernel_chunk(0)
+
+
+class TestChunkSweep:
+    def test_sweep_returns_curve_and_picks(self, table):
+        rng = np.random.default_rng(2)
+        nnz, n = 600, 40
+        s = rng.uniform(0.05, 1.9, nnz)
+        rows = rng.normal(size=(nnz, 4))
+        indptr = np.linspace(0, nnz, n + 1).astype(np.intp)
+        dt = rng.normal(size=(n, 4, table.m_out))
+        out = sweep_kernel_chunk(table, s, rows, indptr, 48,
+                                 chunks=(64, 256), repeats=1, dt=dt)
+        assert [p["chunk"] for p in out["points"]] == [64, 256]
+        for p in out["points"]:
+            assert p["forward_s"] > 0
+            assert p["backward_s"] > 0
+            assert p["total_s"] >= p["forward_s"]
+        assert out["best_chunk"] in (64, 256)
+        assert out["default_chunk"] == default_kernel_chunk(
+            table.m_out, itemsize=8)
+        assert out["pairs"] == nnz
+
+    def test_sweep_forward_only(self, table):
+        rng = np.random.default_rng(3)
+        s = rng.uniform(0.05, 1.9, 200)
+        rows = rng.normal(size=(200, 4))
+        indptr = np.array([0, 100, 200], dtype=np.intp)
+        out = sweep_kernel_chunk(table, s, rows, indptr, 48,
+                                 chunks=(128,), repeats=1)
+        assert out["points"][0]["backward_s"] == 0.0
+        assert len(DEFAULT_SWEEP_CHUNKS) >= 5
+
+
+class TestCompiledTable:
+    """The fallback loops must match the vectorized evaluators bitwise
+    in float64 whether or not numba is present."""
+
+    def test_evaluate_bitwise(self, table):
+        ct = CompiledEmbeddingTable(table)
+        x = np.random.default_rng(4).uniform(-0.1, 2.1, 400)
+        assert np.array_equal(ct.evaluate(x), table.evaluate(x))
+
+    def test_evaluate_with_deriv_bitwise(self, table):
+        ct = CompiledEmbeddingTable(table)
+        x = np.random.default_rng(5).uniform(0.0, 2.0, 300)
+        v_ref, d_ref = table.evaluate_with_deriv(x)
+        v, d = ct.evaluate_with_deriv(x)
+        assert np.array_equal(v, v_ref)
+        assert np.array_equal(d, d_ref)
+
+    def test_accepts_soa_source(self, table):
+        ct = CompiledEmbeddingTable(SoAEmbeddingTable(table))
+        x = np.random.default_rng(6).uniform(0.0, 2.0, 100)
+        assert np.array_equal(ct.evaluate(x), table.evaluate(x))
+
+    def test_f32_stays_f32(self, table):
+        ct32 = CompiledEmbeddingTable(
+            SoAEmbeddingTable(table).astype(np.float32))
+        x = np.random.default_rng(7).uniform(0.0, 2.0, 100)
+        v, d = ct32.evaluate_with_deriv(x)
+        assert v.dtype == np.float32 and d.dtype == np.float32
+
+    def test_accounting_surface(self, table):
+        ct = CompiledEmbeddingTable(table)
+        assert ct.flops_per_input() == table.flops_per_input()
+        assert ct.size_bytes == table.coeffs.nbytes
+        assert ct.m_out == table.m_out
+
+
+def _copper_request():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=40)
+    comp = CompressedDPModel.compress(DPModel(spec), interval=1e-3,
+                                     x_max=2.2)
+    coords, types, box = copper_system((2, 2, 2))
+    rng = np.random.default_rng(8)
+    coords = coords + rng.normal(0, 0.05, coords.shape)
+    nd = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel).build(
+        coords, types, box)
+    return comp, EvalRequest.from_neighbors(nd)
+
+
+class TestCompiledBackend:
+    def test_enable_without_numba_raises(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed; refusal path not reachable")
+        with pytest.raises(RuntimeError, match="numba"):
+            enable_compiled_backend()
+        # nothing was registered, so disabling reports False
+        assert disable_compiled_backend() is False
+
+    def test_backend_evaluates_bitwise(self):
+        comp, req = _copper_request()
+        ref = backend_for(comp).evaluate(req)
+        res = CompiledPackedBackend(comp).evaluate(req)
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+
+    def test_backend_clone_preserves_model_knobs(self):
+        comp, _ = _copper_request()
+        comp.chunk = 777
+        backend = CompiledPackedBackend(comp)
+        assert backend.name == "compiled"
+        assert backend.source_model is comp
+        assert backend.model.chunk == 777
+        assert backend.model.accumulate == comp.accumulate
+        assert all(isinstance(t, CompiledEmbeddingTable)
+                   for t in backend.model.tables)
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_registration_resolves_compiled(self):
+        comp, req = _copper_request()
+        enable_compiled_backend()
+        try:
+            backend = backend_for(comp)
+            assert isinstance(backend, CompiledPackedBackend)
+            res = backend.evaluate(req)
+            assert np.isfinite(res.energy)
+        finally:
+            assert disable_compiled_backend() is True
+        assert not isinstance(backend_for(comp), CompiledPackedBackend)

@@ -94,3 +94,99 @@ class TestSoAEmbeddingTable:
         assert soa.interval == aos.interval
         assert soa.n_intervals == aos.n_intervals
         assert soa.m_out == aos.m_out
+
+    def test_copy_construction_from_soa(self, tables):
+        _, soa = tables
+        again = SoAEmbeddingTable(soa)
+        assert np.array_equal(again.coeffs, soa.coeffs)
+        x = np.random.default_rng(5).uniform(0.0, 2.0, 64)
+        assert np.array_equal(again.evaluate(x), soa.evaluate(x))
+
+    def test_rejects_malformed_coefficients(self):
+        bad = type("T", (), dict(x_min=0.0, interval=0.1, n_intervals=4,
+                                 m_out=3, coeffs=np.zeros((4, 3))))()
+        with pytest.raises(ValueError):
+            SoAEmbeddingTable(bad)
+
+    def test_accounting_matches_aos(self, tables):
+        aos, soa = tables
+        assert soa.flops_per_input() == aos.flops_per_input()
+        assert soa.size_bytes == aos.coeffs.nbytes
+        assert soa.dtype == np.float64
+
+    def test_astype_f32_evaluates_in_single(self, tables):
+        _, soa = tables
+        soa32 = soa.astype(np.float32)
+        assert soa32.dtype == np.float32
+        x = np.random.default_rng(6).uniform(0.0, 2.0, 128)
+        v, d = soa32.evaluate_with_deriv(x)
+        assert v.dtype == np.float32 and d.dtype == np.float32
+        v64, d64 = soa.evaluate_with_deriv(x)
+        assert np.allclose(v, v64, atol=1e-4)
+        assert np.allclose(d, d64, atol=1e-3)
+
+    def test_blocked_image_round_trips(self, tables):
+        aos, soa = tables
+        img = soa.blocked_image(block=16)
+        n = soa.n_intervals
+        assert img.shape == (-(-n // 16), 6 * soa.m_out, 16)
+        flat = soa_blocked_to_aos(img, n)
+        expect = np.ascontiguousarray(
+            soa.coeffs.transpose(1, 2, 0)).reshape(n, -1)
+        assert np.array_equal(flat, expect)
+        # the flattened records are the AoS table's interval records
+        assert np.array_equal(
+            flat.reshape(n, soa.m_out, 6), aos.coeffs)
+
+
+class TestLayoutProperties:
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=64),
+           st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_round_trip_any_block(self, n, k, block):
+        rng = np.random.default_rng(n * 1000 + k)
+        aos = rng.normal(size=(n, k))
+        soa = aos_to_soa_blocked(aos, block=block)
+        assert soa.shape == (-(-n // block), k, block)
+        assert np.array_equal(soa_blocked_to_aos(soa, n), aos)
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_padding_is_zero(self, n):
+        aos = np.ones((n, 3))
+        soa = aos_to_soa_blocked(aos, block=16)
+        flat = soa.transpose(0, 2, 1).reshape(-1, 3)
+        assert np.all(flat[:n] == 1.0)
+        assert np.all(flat[n:] == 0.0)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_deriv_round_trip(self, n):
+        rng = np.random.default_rng(n + 1)
+        deriv = rng.normal(size=(n, 4, 3))
+        soa = deriv_aos_to_soa(deriv)
+        assert soa.shape == (12, n)
+        assert np.array_equal(deriv_soa_to_aos(soa), deriv)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.sampled_from(["f4", "f8"]))
+    @settings(max_examples=30, deadline=None)
+    def test_soa_evaluate_matches_aos_per_dtype(self, n_points, dtype_code):
+        net = EmbeddingNet(d1=4, rng=init_rng(7))
+        aos = EmbeddingTable.from_net(net, 0.0, 2.0, 0.05)
+        soa = SoAEmbeddingTable(aos)
+        x = np.random.default_rng(n_points).uniform(-0.1, 2.1, n_points)
+        if dtype_code == "f8":
+            # float64: bitwise equal to the AoS evaluator, including the
+            # out-of-range clamp
+            va, da = aos.evaluate_with_deriv(x)
+            vs, ds = soa.evaluate_with_deriv(x)
+            assert np.array_equal(va, vs) and np.array_equal(da, ds)
+        else:
+            # float32: single precision end-to-end, close to the double
+            soa32 = soa.astype(np.float32)
+            vs, ds = soa32.evaluate_with_deriv(x)
+            va, da = aos.evaluate_with_deriv(x)
+            assert vs.dtype == np.float32
+            assert np.allclose(vs, va, atol=1e-4)

@@ -432,6 +432,43 @@ class TestSimulationThreads:
         assert np.isfinite(sim.energy)
         sim.engine.close()
 
+    def test_quick_simulation_layout_and_chunk_flags(self):
+        import repro
+        from repro.core.table_layout import SoAEmbeddingTable
+
+        base = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                      d1=4, fit_width=16)
+        tuned = repro.quick_simulation("copper", n_cells=(2, 2, 2),
+                                       d1=4, fit_width=16,
+                                       layout="soa", kernel_chunk=128)
+        model = tuned.forcefield.model
+        assert model.layout == "soa"
+        assert all(isinstance(t, SoAEmbeddingTable) for t in model.tables)
+        assert model.chunk == 128
+        assert tuned.forcefield.chunk == 128
+        base.run(2)
+        tuned.run(2)
+        # layout and chunk are pure performance knobs in float64
+        assert tuned.energy == base.energy
+        assert np.array_equal(tuned.coords, base.coords)
+
+    def test_engine_chunk_is_bitwise_neutral(self, cu_compressed,
+                                             cu_neighbors):
+        nd = cu_neighbors
+
+        def run(engine):
+            return cu_compressed.evaluate_packed(
+                nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                nd.indptr, engine=engine, pair_atom=nd.pair_atom)
+
+        with ThreadedEngine(2) as eng:
+            ref = run(eng)
+        with ThreadedEngine(2, chunk=23) as eng:
+            assert eng.chunk == 23
+            res = run(eng)
+        assert res.energy == ref.energy
+        assert np.array_equal(res.forces, ref.forces)
+
     def test_serial_simulation_has_no_engine(self):
         sim = self._run(1)
         assert sim.engine is None

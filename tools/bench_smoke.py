@@ -7,6 +7,13 @@ and writes ``BENCH_threads.json`` (threads, wall_s, speedup, efficiency)
 next to the repo root — the quick-look counterpart of
 ``benchmarks/bench_threads_ladder.py``.
 
+On a single-CPU host the threads are pure overhead, so the ladder
+**refuses to claim a speedup**: wall times and agreement checks are
+still recorded, but the ``speedup``/``efficiency``/``serial_fraction``
+fields are omitted and the payload carries
+``speedup_claim: false`` with the reason — a 1-core machine cannot
+substantiate a scaling number.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_smoke.py [--out BENCH_threads.json]
@@ -66,8 +73,12 @@ def main(argv=None) -> int:
     comp, nd = build_workload()
     nnz = int(nd.indptr[-1])
     host_cpus = os.cpu_count() or 1
+    claim_speedup = host_cpus > 1
     print(f"copper {nd.n_local} atoms, {nnz} pairs, "
           f"{host_cpus}-core host")
+    if not claim_speedup:
+        print("  single-CPU host: recording wall times and agreement "
+              "only, no speedup claim")
 
     entries = []
     ref = None
@@ -95,11 +106,15 @@ def main(argv=None) -> int:
         entry = {
             "threads": n_threads,
             "wall_s": round(best, 6),
-            "speedup": round(speedup, 3),
-            "efficiency": round(parallel_efficiency(speedup, n_threads), 3),
-            "serial_fraction": round(
-                fitted_serial_fraction(speedup, n_threads), 3),
         }
+        if claim_speedup:
+            entry.update({
+                "speedup": round(speedup, 3),
+                "efficiency": round(
+                    parallel_efficiency(speedup, n_threads), 3),
+                "serial_fraction": round(
+                    fitted_serial_fraction(speedup, n_threads), 3),
+            })
         if n_threads > 1:
             # Measured phase split: one timed pass with the engine's
             # section timer, giving the direct serial fraction plus the
@@ -123,12 +138,15 @@ def main(argv=None) -> int:
                 k: round(v / phase_wall, 4)
                 for k, v in sorted(timer.totals.items())}
         entries.append(entry)
-        print(f"  {n_threads} thread{'s' if n_threads > 1 else ' '}: "
-              f"{best * 1e3:7.1f} ms  speedup {speedup:.2f}x  "
-              f"efficiency {entries[-1]['efficiency'] * 100:.0f}%"
-              + (f"  measured f {entry['measured_serial_fraction']:.2f}"
-                 f" (unsharded {entry['unsharded_serial_fraction']:.2f})"
-                 if n_threads > 1 else ""))
+        line = (f"  {n_threads} thread{'s' if n_threads > 1 else ' '}: "
+                f"{best * 1e3:7.1f} ms")
+        if claim_speedup:
+            line += (f"  speedup {speedup:.2f}x  "
+                     f"efficiency {entry['efficiency'] * 100:.0f}%")
+        if n_threads > 1:
+            line += (f"  measured f {entry['measured_serial_fraction']:.2f}"
+                     f" (unsharded {entry['unsharded_serial_fraction']:.2f})")
+        print(line)
 
     payload = {
         "source": "tools/bench_smoke.py",
@@ -138,8 +156,13 @@ def main(argv=None) -> int:
         "host_cpus": host_cpus,
         "repeats": REPEATS,
         "agreement_ok": ok,
+        "speedup_claim": claim_speedup,
         "ladder": entries,
     }
+    if not claim_speedup:
+        payload["speedup_claim_reason"] = (
+            "host_cpus == 1: threads are pure overhead on this machine, "
+            "so no speedup/efficiency numbers are recorded")
     out = os.path.abspath(args.out)
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2)
