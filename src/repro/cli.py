@@ -83,15 +83,51 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inject-fault", action="append", default=None,
                      metavar="SPEC",
                      help="deterministic fault injection, repeatable: "
-                          "KIND[@STEP[:TARGET]] with KIND one of "
-                          "nan-forces, inf-energy, truncate-checkpoint, "
-                          "kill-worker, drop-ghost, kill-rank "
-                          "(e.g. nan-forces@10, kill-rank@5:1)")
+                          "KIND[@STEP[:TARGET]][~DURATION][%%P] with KIND "
+                          "one of nan-forces, inf-energy, "
+                          "truncate-checkpoint, kill-worker, drop-ghost, "
+                          "kill-rank, stall-shard, slow-io, stall-ghost, "
+                          "flaky-forces (e.g. nan-forces@10, "
+                          "kill-rank@5:1, stall-shard@10:0~0.5)")
+    run.add_argument("--chaos-profile", type=str, default=None,
+                     metavar="NAME",
+                     help="arm a seeded stochastic fault storm instead of "
+                          "(or on top of) --inject-fault: calm, crashes, "
+                          "stalls, soak, or storm; the schedule is a pure "
+                          "function of --chaos-seed and the run topology")
+    run.add_argument("--chaos-seed", type=int, default=None,
+                     help="seed for --chaos-profile (default: --seed)")
     run.add_argument("--max-retries", type=int, default=3,
                      help="rollback budget before a health violation "
-                          "aborts the run")
+                          "aborts the run (or starts climbing the "
+                          "escalation ladder with --escalate)")
     run.add_argument("--halve-dt", action="store_true",
                      help="halve the timestep on each rollback")
+    run.add_argument("--escalate", action="store_true",
+                     help="after --max-retries, climb the escalation "
+                          "ladder (halve dt, degrade threads, deep "
+                          "rollback) instead of aborting immediately")
+    run.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget for the run; checked at the "
+                          "top of every MD step, raises a typed "
+                          "DeadlineExceededError when spent")
+    run.add_argument("--heartbeat-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="with --ranks: per-phase heartbeat on ghost "
+                          "exchange / force reduction; a stalled peer is "
+                          "detected and the world re-spawned from shard "
+                          "checkpoints")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-shard soft deadline in the threaded "
+                          "engine; hung shards are quarantined and "
+                          "re-executed serially")
+    run.add_argument("--write-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-checkpoint-write budget; writes that "
+                          "exceed it are skipped (checkpoint_skipped "
+                          "metric) instead of stalling the step loop")
     run.add_argument("--trace", type=str, default=None, metavar="FILE",
                      help="write a Chrome trace-event JSON of the run "
                           "(open in Perfetto or chrome://tracing; one "
@@ -122,6 +158,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print package and paper summary")
     return p
+
+
+def _make_injector(args, n_ranks: int = 1, n_shards: int = 1,
+                   rebuild_every: int = 50):
+    """Build the fault injector the --inject-fault/--chaos-profile flags
+    ask for (None when neither is given).  Chaos faults are appended to
+    any explicitly armed ones; the schedule is printed so a soak run's
+    storm is visible up front."""
+    injector = None
+    if args.inject_fault:
+        from repro.robust import FaultInjector
+
+        injector = FaultInjector.from_specs(args.inject_fault,
+                                            seed=args.seed)
+    if args.chaos_profile:
+        from repro.robust import ChaosSchedule
+
+        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        schedule = ChaosSchedule(
+            args.steps, seed=seed, profile=args.chaos_profile,
+            n_ranks=n_ranks, n_shards=n_shards,
+            checkpoint_every=args.checkpoint_every,
+            rebuild_every=rebuild_every)
+        print(schedule.describe())
+        if injector is None:
+            injector = schedule.injector()
+        else:
+            injector.faults.extend(schedule.build())
+    return injector
 
 
 def _make_obs(args):
@@ -183,12 +248,9 @@ def _cmd_run_distributed(args) -> int:
         layout=args.layout, kernel_chunk=args.kernel_chunk,
     )
     workload = COPPER if args.system == "copper" else WATER
-    injector = None
-    if args.inject_fault:
-        from repro.robust import FaultInjector
-
-        injector = FaultInjector.from_specs(args.inject_fault,
-                                            seed=args.seed)
+    injector = _make_injector(args, n_ranks=scheme.n_ranks,
+                              n_shards=scheme.threads_per_rank,
+                              rebuild_every=sim.rebuild_every)
     print(f"{args.system}: {len(sim.coords)} atoms, "
           f"{'baseline' if args.baseline else 'compressed'} model, "
           f"{scheme}")
@@ -208,6 +270,10 @@ def _cmd_run_distributed(args) -> int:
         max_rank_restarts=args.max_rank_restarts,
         tracer=tracer,
         metrics=metrics,
+        heartbeat_timeout=args.heartbeat_timeout,
+        deadline=args.deadline,
+        shard_timeout=args.shard_timeout,
+        write_deadline=args.write_deadline,
     )
     wall = _time.perf_counter() - start
     if injector is not None and injector.log:
@@ -269,12 +335,16 @@ def _cmd_run(args) -> int:
           f"{'baseline' if args.baseline else 'compressed'} model, "
           f"{args.threads} thread{'s' if args.threads != 1 else ''}")
 
+    if args.shard_timeout is not None and sim.engine is not None:
+        sim.engine.shard_timeout = args.shard_timeout
+        sim.engine.metrics = metrics
     robust_run = (args.checkpoint_every or args.inject_fault
-                  or args.guard_tolerances)
+                  or args.guard_tolerances or args.chaos_profile
+                  or args.escalate)
     if robust_run:
         from repro.robust import (
+            DEFAULT_LADDER,
             CheckpointManager,
-            FaultInjector,
             GuardTolerances,
             HealthMonitor,
             RecoveryPolicy,
@@ -283,33 +353,41 @@ def _cmd_run(args) -> int:
 
         sim.monitor = HealthMonitor(
             GuardTolerances.from_spec(args.guard_tolerances))
-        if args.inject_fault:
-            sim.attach_injector(
-                FaultInjector.from_specs(args.inject_fault,
-                                         seed=args.seed))
+        injector = _make_injector(args, n_shards=args.threads,
+                                  rebuild_every=sim.rebuild_every)
+        if injector is not None:
+            sim.attach_injector(injector)
         manager = CheckpointManager(args.checkpoint_dir,
                                     keep_last=args.keep_last,
-                                    metrics=metrics)
+                                    metrics=metrics,
+                                    write_deadline=args.write_deadline)
         checkpoint_every = args.checkpoint_every or 10
         sim, report = run_with_recovery(
             sim, args.steps, manager=manager,
             checkpoint_every=checkpoint_every,
             thermo_every=args.thermo_every,
-            policy=RecoveryPolicy(max_retries=args.max_retries,
-                                  halve_dt=args.halve_dt),
+            policy=RecoveryPolicy(
+                max_retries=args.max_retries,
+                halve_dt=args.halve_dt,
+                ladder=DEFAULT_LADDER if args.escalate else None),
+            deadline=args.deadline,
         )
+        manager.flush()
         if sim.injector is not None and sim.injector.log:
             for fired in sim.injector.log:
                 print(f"injected fault: {fired}")
         for event in report.events:
             print(f"health violation at step {event.step}: {event.error}")
             print(f"  rolled back to step {event.rollback_step} "
-                  f"(dt = {event.dt_fs} fs)")
+                  f"(dt = {event.dt_fs} fs, rung = {event.rung})")
+        if report.escalations:
+            print(f"escalations taken: {', '.join(report.escalations)}")
         print(f"completed step {report.final_step} with "
               f"{report.retries} rollback(s); checkpoints in "
               f"{args.checkpoint_dir}")
     else:
-        sim.run(args.steps, thermo_every=args.thermo_every)
+        sim.run(args.steps, thermo_every=args.thermo_every,
+                deadline=args.deadline)
     if writer is not None:
         writer.write(sim.coords, sim.box, sim.step, sim.energy)
         writer.close()

@@ -33,10 +33,10 @@ import numpy as np
 from ..md.box import Box
 from ..md.simulation import Simulation
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restart_simulation",
-           "write_state_checkpoint", "read_state_checkpoint",
-           "save_shard_checkpoint", "load_shard_checkpoint",
-           "CHECKPOINT_FORMAT"]
+__all__ = ["save_checkpoint", "checkpoint_payload", "load_checkpoint",
+           "restart_simulation", "write_state_checkpoint",
+           "read_state_checkpoint", "save_shard_checkpoint",
+           "load_shard_checkpoint", "CHECKPOINT_FORMAT"]
 
 #: Format 2 adds CRC32 payload checksums, build-phase arrays, and the
 #: full stats/threads metadata.  Format-1 files (no ``format`` key) are
@@ -181,6 +181,18 @@ def save_checkpoint(path: str, sim: Simulation, metrics=None) -> str:
 
     Returns the path actually written (``.npz`` appended when missing).
     """
+    arrays, meta = checkpoint_payload(sim)
+    return write_state_checkpoint(path, arrays, meta, metrics=metrics)
+
+
+def checkpoint_payload(sim: Simulation) -> tuple[dict, dict]:
+    """Snapshot a simulation's restartable state as ``(arrays, meta)``.
+
+    Split out of :func:`save_checkpoint` so the checkpoint manager's
+    write-deadline path can capture the state *synchronously* (cheap)
+    and hand the blocking disk write to a background worker without
+    racing the advancing step loop.
+    """
     arrays = {
         "coords": np.asarray(sim.coords, dtype=np.float64),
         "velocities": np.asarray(sim.velocities, dtype=np.float64),
@@ -205,7 +217,7 @@ def save_checkpoint(path: str, sim: Simulation, metrics=None) -> str:
         "n_neighbor_builds": sim.stats.n_neighbor_builds,
         "threads": sim.engine.n_threads if sim.engine is not None else 1,
     }
-    return write_state_checkpoint(path, arrays, meta, metrics=metrics)
+    return arrays, meta
 
 
 def load_checkpoint(path: str, validate: bool = True) -> dict:

@@ -250,7 +250,8 @@ class Simulation:
             thermo_every: int = PAPER_REBUILD_EVERY, *,
             checkpoint_every: int = 0,
             checkpoint_manager=None,
-            guard_every: int | None = None) -> list[ThermoState]:
+            guard_every: int | None = None,
+            deadline=None) -> list[ThermoState]:
         """Advance ``n_steps``; returns the thermo samples collected.
 
         ``checkpoint_every``/``checkpoint_manager`` save a restart file
@@ -269,11 +270,21 @@ class Simulation:
         step; the final step is always guarded.  Checkpoints at
         unguarded steps are suppressed so a not-yet-validated state is
         never persisted.
+
+        ``deadline`` (seconds, or a :class:`repro.robust.Deadline`)
+        bounds the run on the wall clock: it is checked at the top of
+        every step, so a run never starts a step it has no budget for.
+        Expiry raises :class:`~repro.robust.errors.DeadlineExceededError`
+        — the completed steps (and their checkpoints) remain valid.
         """
         import time as _time
 
         monitor, injector = self.monitor, self.injector
         tracer, metrics = self.tracer, self.metrics
+        if deadline is not None:
+            from ..robust.deadline import Deadline
+
+            deadline = Deadline.of(deadline)
         if monitor is not None:
             monitor.attach(self)
         last_step = self.step + int(n_steps)
@@ -281,6 +292,8 @@ class Simulation:
         try:
             self._record_thermo(thermo_every, force=True)
             for _ in range(n_steps):
+                if deadline:
+                    deadline.check("run", step=self.step, metrics=metrics)
                 t_step = _time.perf_counter() if metrics is not None else 0.0
                 rebuilt = False
                 guard_seconds = 0.0

@@ -67,9 +67,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary: count, sum, min, max."""
+    """Streaming distribution summary: count, sum, min, max, quantiles.
 
-    __slots__ = ("name", "count", "total", "vmin", "vmax", "_lock")
+    Quantiles come from a deterministic stride-doubling reservoir: every
+    ``stride``-th observation is kept; when the reservoir fills, every
+    second sample is dropped and the stride doubles.  Memory is bounded
+    (``_SAMPLE_CAP`` floats) and the retained subsample is a *fixed*
+    function of the observation sequence — no RNG — so two identical
+    runs report identical p99s.
+    """
+
+    #: Reservoir capacity; at cap the stride doubles and half are kept.
+    _SAMPLE_CAP = 2048
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "_lock",
+                 "_samples", "_stride", "_seen")
 
     def __init__(self, name: str, lock: threading.Lock):
         self.name = name
@@ -78,6 +90,9 @@ class Histogram:
         self.vmin = None
         self.vmax = None
         self._lock = lock
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -86,14 +101,38 @@ class Histogram:
             self.total += value
             self.vmin = value if self.vmin is None else min(self.vmin, value)
             self.vmax = value if self.vmax is None else max(self.vmax, value)
+            if self._seen % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self._SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+            self._seen += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict:
-        return {"count": self.count, "sum": self.total, "mean": self.mean,
-                "min": self.vmin, "max": self.vmax}
+    def quantile(self, q: float) -> float | None:
+        """Approximate ``q``-quantile (0..1) from the retained reservoir;
+        exact while fewer than ``_SAMPLE_CAP`` values have been seen.
+        ``None`` before any observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        # No lock: list() under the GIL is a consistent copy, and this
+        # may run while the registry lock (shared with observe) is held.
+        ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def summary(self, quantiles: bool = False) -> dict:
+        out = {"count": self.count, "sum": self.total, "mean": self.mean,
+               "min": self.vmin, "max": self.vmax}
+        if quantiles:
+            out["p50"] = self.quantile(0.5)
+            out["p99"] = self.quantile(0.99)
+        return out
 
 
 class MetricsRegistry:
@@ -166,13 +205,18 @@ class MetricsRegistry:
         self.emit({"type": "step", "step": int(step), **fields})
 
     # -------------------------------------------------------------- snapshot
-    def snapshot(self) -> dict:
-        """Point-in-time copy of every metric (plain dicts, JSON-safe)."""
+    def snapshot(self, quantiles: bool = False) -> dict:
+        """Point-in-time copy of every metric (plain dicts, JSON-safe).
+
+        ``quantiles=True`` adds ``p50``/``p99`` to each histogram (from
+        the deterministic sample reservoir); the default stays the
+        original five-field summary.
+        """
         with self._lock:
             counters = {n: c.value for n, c in self._counters.items()}
             gauges = {n: g.value for n, g in self._gauges.items()
                       if g.value is not None}
-            histograms = {n: h.summary()
+            histograms = {n: h.summary(quantiles=quantiles)
                           for n, h in self._histograms.items()}
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
@@ -187,7 +231,7 @@ class MetricsRegistry:
     def summary_table(self) -> str:
         """Aligned text rendering of the snapshot (the CLI's end-of-run
         summary)."""
-        snap = self.snapshot()
+        snap = self.snapshot(quantiles=True)
         rows: list[tuple[str, str]] = []
         for name in sorted(snap["counters"]):
             rows.append((name, f"{snap['counters'][name]}"))
@@ -198,6 +242,7 @@ class MetricsRegistry:
             if h["count"]:
                 rows.append((name,
                              f"n={h['count']}  mean={h['mean']:.6g}  "
+                             f"p99={h['p99']:.6g}  "
                              f"min={h['min']:.6g}  max={h['max']:.6g}"))
             else:
                 rows.append((name, "n=0"))

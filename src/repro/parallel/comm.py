@@ -18,9 +18,13 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..robust.errors import BarrierTimeoutError, RankStallError
 
 __all__ = ["SimWorld", "SimComm", "CommStats"]
 
@@ -64,6 +68,19 @@ class CommStats:
         self.messages_received += 1
 
 
+@dataclass
+class _Phase:
+    """An active heartbeat scope on one rank (see :meth:`SimComm.phase`)."""
+
+    name: str
+    timeout: float
+    start: float
+    step: int | None = None
+
+    def remaining(self, now: float) -> float:
+        return self.timeout - (now - self.start)
+
+
 class SimComm:
     """One rank's communicator handle."""
 
@@ -72,6 +89,43 @@ class SimComm:
         self.rank = rank
         self.size = world.size
         self.stats = CommStats()
+        self._phase: _Phase | None = None
+
+    # ----------------------------------------------------------- heartbeats
+    @contextmanager
+    def phase(self, name: str, timeout: float | None = None,
+              step: int | None = None):
+        """Heartbeat scope: blocking calls inside it must complete within
+        ``timeout`` seconds (default: the world timeout).
+
+        A receive or barrier that misses the heartbeat raises a typed
+        :class:`~repro.robust.errors.RankStallError` /
+        :class:`~repro.robust.errors.BarrierTimeoutError` carrying the
+        rank, phase name, and elapsed seconds — the detection port of
+        the stall-recovery path (a hung *peer* produces no exception of
+        its own; its partners' heartbeats are what notice).  Scopes
+        nest; the innermost wins.
+        """
+        prev = self._phase
+        self._phase = _Phase(
+            name,
+            self._world.timeout if timeout is None else float(timeout),
+            time.monotonic(), step)
+        try:
+            yield self._phase
+        finally:
+            self._phase = prev
+
+    def _stall(self, detail: str) -> RankStallError:
+        ph = self._phase
+        now = time.monotonic()
+        if ph is not None:
+            return RankStallError(
+                f"heartbeat missed: {detail}", rank=self.rank,
+                phase=ph.name, elapsed=now - ph.start, step=ph.step)
+        return RankStallError(f"receive timed out: {detail}",
+                              rank=self.rank, phase="recv",
+                              elapsed=self._world.timeout)
 
     # --------------------------------------------------------- point-to-point
     def send(self, obj, dest: int, tag: int = 0) -> None:
@@ -85,7 +139,9 @@ class SimComm:
 
         Out-of-order arrivals (other sources/tags) are buffered, so any
         deterministic exchange pattern completes regardless of thread
-        scheduling.
+        scheduling.  Inside a :meth:`phase` scope the wait is bounded by
+        the phase heartbeat; expiry raises
+        :class:`~repro.robust.errors.RankStallError`.
         """
         key = (source, tag)
         buf = self._world.pending[self.rank]
@@ -94,9 +150,21 @@ class SimComm:
                 obj = buf[key].pop(0)
                 self.stats.record_recv(_payload_bytes(obj))
                 return obj
-            src, t, obj = self._world.mailbox[self.rank].get(
-                timeout=self._world.timeout
-            )
+            wait = self._world.timeout
+            ph = self._phase
+            if ph is not None:
+                rem = ph.remaining(time.monotonic())
+                if rem <= 0:
+                    raise self._stall(
+                        f"no message from rank {source} (tag {tag})")
+                wait = min(wait, rem)
+            try:
+                src, t, obj = self._world.mailbox[self.rank].get(
+                    timeout=wait
+                )
+            except queue.Empty:
+                raise self._stall(
+                    f"no message from rank {source} (tag {tag})") from None
             if src == _ABORT_RANK:
                 raise RuntimeError("world aborted: another rank failed")
             buf.setdefault((src, t), []).append(obj)
@@ -107,7 +175,30 @@ class SimComm:
 
     # ------------------------------------------------------------ collectives
     def barrier(self) -> None:
-        self._world.barrier.wait(timeout=self._world.timeout)
+        """Block until every rank arrives.
+
+        A barrier broken by a world abort re-raises the abort marker; a
+        genuine timeout (some rank never arrived) raises a typed
+        :class:`~repro.robust.errors.BarrierTimeoutError` with rank,
+        phase, and elapsed-seconds context.
+        """
+        ph = self._phase
+        wait = self._world.timeout if ph is None \
+            else min(self._world.timeout,
+                     max(1e-3, ph.remaining(time.monotonic())))
+        start = time.monotonic()
+        try:
+            self._world.barrier.wait(timeout=wait)
+        except threading.BrokenBarrierError:
+            if self._world.aborted:
+                raise RuntimeError(
+                    "world aborted: another rank failed") from None
+            raise BarrierTimeoutError(
+                "collective barrier timed out: some rank never arrived",
+                rank=self.rank,
+                phase=ph.name if ph is not None else "barrier",
+                elapsed=time.monotonic() - start,
+                step=ph.step if ph is not None else None) from None
 
     def bcast(self, obj, root: int = 0):
         if self.rank == root:
@@ -177,6 +268,9 @@ class SimWorld:
         self.pending = [dict() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self.comms = [SimComm(self, r) for r in range(size)]
+        #: True once any rank has failed — lets barrier waiters tell a
+        #: world abort apart from a genuine stall timeout.
+        self.aborted = False
 
     def run(self, fn, *args, **kwargs) -> list:
         results = [None] * self.size
@@ -187,6 +281,7 @@ class SimWorld:
                 results[rank] = fn(self.comms[rank], *args, **kwargs)
             except BaseException as exc:  # surface in the caller
                 errors.append((rank, exc))
+                self.aborted = True
                 self.barrier.abort()
                 # Unblock peers waiting on receives.
                 for q in self.mailbox:

@@ -112,6 +112,9 @@ def _rank_main(
     resume_step: int = 0,
     tracer=None,
     metrics=None,
+    heartbeat_timeout: float | None = None,
+    deadline=None,
+    shard_timeout: float | None = None,
 ):
     """Per-rank SPMD body.
 
@@ -124,7 +127,8 @@ def _rank_main(
                           masses_per_type, backend, dt_fs, n_steps,
                           rebuild_every, skin, sel, thermo_every, injector,
                           threads_per_rank, managers, checkpoint_every,
-                          resume_step, tracer, metrics)
+                          resume_step, tracer, metrics, heartbeat_timeout,
+                          deadline, shard_timeout)
     except _StepContext as ctx:
         from ..robust.errors import RankFailureError
 
@@ -179,6 +183,9 @@ def _rank_body(
     resume_step: int = 0,
     tracer=None,
     metrics=None,
+    heartbeat_timeout: float | None = None,
+    deadline=None,
+    shard_timeout: float | None = None,
 ):
     box = grid.box
     rhalo = backend.spec.rcut + skin
@@ -192,7 +199,9 @@ def _rank_body(
         # Fig. 6 (c): this rank's OpenMP team over its sub-region.
         engine = ThreadedEngine(int(threads_per_rank),
                                 name=f"rank{comm.rank}-engine",
-                                tracer=tracer if tracer else None)
+                                tracer=tracer if tracer else None,
+                                shard_timeout=shard_timeout,
+                                metrics=metrics)
         if injector is not None:
             engine.fault_hook = injector.worker_fault
     try:
@@ -200,7 +209,7 @@ def _rank_body(
                            masses_per_type, backend, dt_fs, n_steps,
                            rebuild_every, skin, sel, thermo_every, injector,
                            engine, managers, checkpoint_every, resume_step,
-                           tracer, metrics)
+                           tracer, metrics, heartbeat_timeout, deadline)
     finally:
         if engine is not None:
             engine.close()
@@ -210,8 +219,10 @@ def _rank_steps(
     comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, backend,
     dt_fs, n_steps, rebuild_every, skin, sel, thermo_every, injector,
     engine, managers, checkpoint_every, resume_step, tracer=None, metrics=None,
+    heartbeat_timeout=None, deadline=None,
 ):
     import time as _time
+    from contextlib import nullcontext
 
     tracer = NULL_TRACER if tracer is None else tracer
     search = NeighborSearch(backend.spec.rcut, skin=skin, sel=sel,
@@ -220,6 +231,21 @@ def _rank_steps(
     n_global = len(coords0)
     volume = box.volume
     dt = dt_fs / FS_PER_PS
+    # Rank 0 reports the per-step JSONL rows and phase-latency
+    # histograms for the whole world.
+    report = metrics is not None and comm.rank == 0
+
+    def hb(name):
+        """Heartbeat scope for one communication phase (no-op without a
+        ``heartbeat_timeout`` — the world timeout still backstops)."""
+        if heartbeat_timeout is None:
+            return nullcontext()
+        return comm.phase(name, heartbeat_timeout, step=step)
+
+    def observe_phase(name, t0):
+        if report:
+            metrics.observe(f"phase_seconds.{name}",
+                            _time.perf_counter() - t0)
 
     if resume_step and ckpt is not None:
         # Resume this rank from its shard: the phase-space slice plus
@@ -253,12 +279,17 @@ def _rank_steps(
         # ``step`` reads the enclosing loop variable at call time, so the
         # compute/reduction spans carry the MD step they belong to.
         with tracer.span("compute", step=step, backend=backend.name):
+            t0 = _time.perf_counter()
             pe, f_local, f_ghost, virial = _evaluate(
                 backend, search, coords, state["types"], region,
                 engine=engine,
             )
+            observe_phase("compute", t0)
         with tracer.span("reduction", step=step):
-            return_ghost_forces(comm, region, f_ghost, f_local)
+            t0 = _time.perf_counter()
+            with hb("reduction"):
+                return_ghost_forces(comm, region, f_ghost, f_local)
+            observe_phase("reduction", t0)
         return pe, f_local, virial
 
     def record(step):
@@ -296,8 +327,10 @@ def _rank_steps(
                 meta={"rank": comm.rank}, metrics=metrics)
 
         with tracer.span("checkpoint_write", step=int(step)):
+            t0 = _time.perf_counter()
             ckpt.save_arrays(int(step), arrays, writer=writer,
                              injector=injector, target=comm.rank)
+            observe_phase("checkpoint_write", t0)
 
     step = resume_step
     try:
@@ -317,14 +350,24 @@ def _rank_steps(
             pe, forces, virial = forces_step(region)
             record(0)
         inv_m = 1.0 / (masses() * MVV_TO_EV)
-        # Rank 0 reports the per-step JSONL rows for the whole world;
-        # byte meters are read as deltas of this rank's cumulative stats.
-        report = metrics is not None and comm.rank == 0
+        # Byte meters are read as deltas of rank 0's cumulative stats.
         sent0 = comm.stats.bytes_sent if report else 0
         for step in range(resume_step + 1, n_steps + 1):
+            if deadline is not None and deadline:
+                # Checked on every rank: time is global, so whichever
+                # rank notices first aborts the world; rank 0's check
+                # also records the miss in the metrics.
+                deadline.check("step", step=step,
+                               metrics=metrics if comm.rank == 0 else None)
             t_step = _time.perf_counter() if report else 0.0
             with tracer.span("step", step=step):
                 if injector is not None:
+                    # Ranks advance in near-lockstep (each step's halo
+                    # exchange synchronizes them), so the shared
+                    # injector's step marker lets step-armed engine
+                    # faults (stall-shard, kill-worker) fire in hybrid
+                    # runs too.
+                    injector.begin_step(step)
                     injector.rank_fault(step, comm.rank)
                 state["vel"] = (state["vel"]
                                 + 0.5 * dt * forces * inv_m[:, None])
@@ -333,23 +376,30 @@ def _rank_steps(
                 if step % rebuild_every == 0:
                     with tracer.span("ghost_exchange", step=step,
                                      rebuild=True):
-                        coords, moved = migrate_atoms(
-                            comm, grid, coords,
-                            {"vel": state["vel"], "types": state["types"],
-                             "ids": state["ids"]},
-                        )
-                        state.update(moved)
-                        inv_m = 1.0 / (masses() * MVV_TO_EV)
-                        region = exchange_ghosts(
-                            comm, grid, coords, state["types"], rhalo
-                        )
+                        t0 = _time.perf_counter()
+                        with hb("ghost_exchange"):
+                            coords, moved = migrate_atoms(
+                                comm, grid, coords,
+                                {"vel": state["vel"],
+                                 "types": state["types"],
+                                 "ids": state["ids"]},
+                            )
+                            state.update(moved)
+                            inv_m = 1.0 / (masses() * MVV_TO_EV)
+                            region = exchange_ghosts(
+                                comm, grid, coords, state["types"], rhalo
+                            )
                         build_coords = coords
+                        observe_phase("ghost_exchange", t0)
                     if metrics is not None and comm.rank == 0:
                         metrics.inc("neighbor_rebuilds")
                 else:
                     with tracer.span("ghost_exchange", step=step):
-                        refresh_ghosts(comm, region, coords,
-                                       injector=injector, step=step)
+                        t0 = _time.perf_counter()
+                        with hb("ghost_exchange"):
+                            refresh_ghosts(comm, region, coords,
+                                           injector=injector, step=step)
+                        observe_phase("ghost_exchange", t0)
 
                 pe, forces, virial = forces_step(region)
                 state["vel"] = (state["vel"]
@@ -440,6 +490,10 @@ def run_distributed_md(
     max_rank_restarts: int = 2,
     tracer=None,
     metrics=None,
+    heartbeat_timeout: float | None = None,
+    deadline=None,
+    shard_timeout: float | None = None,
+    write_deadline: float | None = None,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
@@ -478,6 +532,26 @@ def run_distributed_md(
     the registry accumulates ghost/checkpoint byte counters plus
     ``rank_restarts`` and replay cost — the registry lives here in the
     driver, outside the re-spawn loop, so counters survive restarts.
+
+    The time-domain watchdogs (this PR's deadline layer):
+
+    * ``heartbeat_timeout`` — per-phase heartbeat (seconds) on the
+      ghost-exchange and force-reduction communication phases; a rank
+      whose peer stalls raises a typed
+      :class:`~repro.robust.errors.RankStallError`, which the driver
+      treats exactly like a rank death — re-spawn from the newest
+      globally consistent shard step (plus a ``stall_detections``
+      count).
+    * ``deadline`` — wall-clock budget (seconds or a
+      :class:`~repro.robust.Deadline`) for the whole run, checked at
+      the top of every step on every rank.  Expiry propagates as
+      :class:`~repro.robust.errors.DeadlineExceededError` — never
+      re-spawned, because time exhaustion is global.
+    * ``shard_timeout`` — per-shard soft deadline inside each rank's
+      :class:`~repro.parallel.engine.ThreadedEngine` (hung shards are
+      quarantined and re-executed serially).
+    * ``write_deadline`` — per-checkpoint-write budget on each rank's
+      manager (slow writes are skipped, not waited on).
     """
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
@@ -491,8 +565,14 @@ def run_distributed_md(
             masses_per_type[types], temperature, seed
         )
 
-    from ..robust.errors import RankFailureError
+    from ..robust.deadline import Deadline
+    from ..robust.errors import (
+        DeadlineExceededError,
+        RankFailureError,
+        RankStallError,
+    )
 
+    deadline = Deadline.of(deadline)
     managers = None
     if checkpoint_dir is not None and checkpoint_every:
         from ..io.checkpoint import load_shard_checkpoint
@@ -502,7 +582,8 @@ def run_distributed_md(
             CheckpointManager(checkpoint_dir, prefix=f"rank{r:03d}",
                               keep_last=keep_last,
                               loader=load_shard_checkpoint,
-                              metrics=metrics)
+                              metrics=metrics,
+                              write_deadline=write_deadline)
             for r in range(n_ranks)
         ]
 
@@ -521,6 +602,7 @@ def run_distributed_md(
                 masses_per_type, backend, dt_fs, n_steps, rebuild_every,
                 skin, sel, thermo_every, injector, threads_per_rank,
                 managers, checkpoint_every, resume_step, tracer, metrics,
+                heartbeat_timeout, deadline, shard_timeout,
             )
             break
         except RuntimeError as err:
@@ -529,6 +611,22 @@ def run_distributed_md(
             fail = err.__cause__
             if not isinstance(fail, RankFailureError):
                 raise
+            if isinstance(fail.cause, DeadlineExceededError):
+                # Time exhaustion is global — re-spawning would burn the
+                # remaining budget replaying steps; surface it.
+                raise fail.cause
+            if isinstance(fail.cause, RankStallError):
+                if metrics is not None:
+                    metrics.inc("stall_detections")
+                    metrics.emit({
+                        "type": "rank_stall",
+                        "detected_by": fail.cause.rank,
+                        "phase": fail.cause.phase,
+                        "step": fail.step,
+                    })
+                if tracer is not None and tracer:
+                    tracer.instant("rank_stall", rank=fail.cause.rank,
+                                   phase=fail.cause.phase, step=fail.step)
             fw, rv, mg = _world_bytes(world)
             forward += fw
             reverse += rv
@@ -560,6 +658,12 @@ def run_distributed_md(
             if tracer is not None and tracer:
                 tracer.instant("rank_restart", rank=fail.rank,
                                step=fail.step, restart_step=resume_step)
+    if managers is not None:
+        # Let any deadline-skipped write land before the caller tears
+        # down the checkpoint directory, then drop the writer pools.
+        for mgr in managers:
+            mgr.flush()
+            mgr.close()
     root = results[0]
     fw, rv, mg = _world_bytes(world)
     forward += fw

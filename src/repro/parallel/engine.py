@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from contextlib import nullcontext
 from dataclasses import dataclass
 
@@ -92,11 +93,25 @@ class ThreadedEngine:
         caller does not pass one; ``None`` (the default) defers to the
         cache-aware automatic (:func:`repro.core.fused.resolve_chunk`).
         Kernel results are bitwise invariant under this knob.
+    shard_timeout:
+        Per-shard soft deadline (seconds) for pooled work.  A shard that
+        does not finish inside it is declared *stalled*: re-executed
+        serially in the calling thread (every shard writes its full,
+        disjoint output slab, so the re-run simply overwrites — and a
+        late-landing worker writes bitwise-identical data) and
+        **quarantined** — later :meth:`map` calls run it inline instead
+        of trusting the pool until :meth:`parole` clears it.  ``None``
+        (default) waits forever, the original behavior.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; stall detections
+        are counted (``stall_detections``) and emitted as
+        ``shard_stall`` rows.  Settable after construction.
     """
 
     def __init__(self, n_threads: int | None = None, timer=None,
                  name: str | None = None, tracer=None,
-                 chunk: int | None = None):
+                 chunk: int | None = None,
+                 shard_timeout: float | None = None, metrics=None):
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if int(n_threads) < 1:
@@ -106,6 +121,9 @@ class ThreadedEngine:
         self.tracer = tracer
         self.name = name or "repro-engine"
         self.chunk = int(chunk) if chunk is not None else None
+        self.shard_timeout = None if shard_timeout is None \
+            else float(shard_timeout)
+        self.metrics = metrics
         self._pool: ThreadPoolExecutor | None = None
         #: Optional per-shard hook (``hook(shard_index)``), called before
         #: each pooled item — the fault injector's worker-death port.
@@ -113,6 +131,11 @@ class ThreadedEngine:
         #: Recovered shard failures (see :meth:`map`); production
         #: telemetry + the fault-injection tests read this.
         self.events: list[ShardEvent] = []
+        #: Stall detections only (subset of :attr:`events`).
+        self.stall_events: list[ShardEvent] = []
+        #: Shard indices currently bypassing the pool (see
+        #: ``shard_timeout``); cleared by :meth:`parole`.
+        self.quarantined: set[int] = set()
 
     # ---------------------------------------------------------------- pool
     @property
@@ -153,6 +176,11 @@ class ThreadedEngine:
         slab, so a re-run fully overwrites any partial state).  Only a
         shard that *also* fails serially propagates — a deterministic
         error cannot be retried away.
+
+        With a :attr:`shard_timeout`, a worker that fails to finish in
+        time is treated the same way — serial re-execution — plus the
+        shard index is quarantined so subsequent calls run it inline
+        rather than re-arming a wedged worker (see :meth:`parole`).
         """
         items = list(items)
         if self.n_threads == 1 or len(items) <= 1:
@@ -168,12 +196,31 @@ class ThreadedEngine:
                     return fn(item)
             return fn(item)
 
-        futures = [self.pool.submit(run_item, i, item)
-                   for i, item in enumerate(items)]
+        futures = {}
+        for i, item in enumerate(items):
+            if i not in self.quarantined:
+                futures[i] = self.pool.submit(run_item, i, item)
         results = []
-        for i, (future, item) in enumerate(zip(futures, items)):
+        for i, item in enumerate(items):
+            future = futures.get(i)
+            if future is None:
+                results.append(fn(item))  # quarantined: inline, no hook
+                continue
             try:
-                results.append(future.result())
+                results.append(future.result(timeout=self.shard_timeout))
+            except _FuturesTimeout:
+                self.quarantined.add(i)
+                event = ShardEvent(
+                    item=i,
+                    error=f"TimeoutError: shard exceeded "
+                          f"{self.shard_timeout:g}s soft deadline")
+                self.events.append(event)
+                self.stall_events.append(event)
+                if self.metrics is not None:
+                    self.metrics.inc("stall_detections")
+                    self.metrics.emit({"type": "shard_stall", "shard": i,
+                                       "timeout": self.shard_timeout})
+                results.append(fn(item))  # serial re-execution
             except Exception as exc:
                 self.events.append(
                     ShardEvent(item=i,
@@ -181,6 +228,10 @@ class ThreadedEngine:
                 )
                 results.append(fn(item))  # serial retry, no hook
         return results
+
+    def parole(self) -> None:
+        """Clear the stall quarantine (e.g. after a recovery restart)."""
+        self.quarantined.clear()
 
     # ------------------------------------------------------------ sharding
     def shard_ranges(self, indptr, pair_weights=None):

@@ -106,8 +106,13 @@ def refresh_ghosts(comm: SimComm, region: GhostRegion,
     exchange time: a dropped or truncated halo message raises a typed
     :class:`~repro.robust.errors.GhostExchangeError` instead of silently
     corrupting the ghost region.  ``injector``/``step`` let the fault
-    harness drop this rank's next outgoing message deterministically.
+    harness drop this rank's next outgoing message deterministically, or
+    stall it (``stall-ghost`` sleeps *before* the sends, so peers whose
+    phase heartbeat expires first raise
+    :class:`~repro.robust.errors.RankStallError`).
     """
+    if injector is not None:
+        injector.ghost_stall(step, comm.rank)
     for d_idx, nbr, shift in region.plan:
         idx = region.sent_indices[d_idx]
         payload = coords_local[idx] + shift

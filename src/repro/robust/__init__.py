@@ -10,30 +10,57 @@ package supplies the guardrails, wired through every execution layer:
   and NVE energy-drift guards (:class:`HealthMonitor`);
 * :mod:`~repro.robust.checkpoints` — rotating, integrity-validated
   checkpoint store (:class:`CheckpointManager`) over the atomic + CRC32
-  writer in :mod:`repro.io.checkpoint`;
+  writer in :mod:`repro.io.checkpoint`, with an optional per-write
+  deadline (slow writes skip instead of stalling the step loop);
+* :mod:`~repro.robust.deadline` — the time-domain substrate:
+  monotonic-clock :class:`Deadline` budgets, seeded-jitter
+  :class:`RetryPolicy` backoff, and the recovery
+  :class:`EscalationLadder` / :class:`FailureReport`;
 * :mod:`~repro.robust.recovery` — the rollback/retry driver
-  (:func:`run_with_recovery`);
+  (:func:`run_with_recovery`), now escalation-aware;
 * :mod:`~repro.robust.faults` — deterministic one-shot fault injection
-  (:class:`FaultInjector`) proving each recovery path fires.
+  (:class:`FaultInjector`) proving each recovery path fires, including
+  the hang family (``stall-shard`` / ``slow-io`` / ``stall-ghost``);
+* :mod:`~repro.robust.chaos` — seeded stochastic fault storms
+  (:class:`ChaosSchedule`) for the ``make chaossoak`` harness.
 
 See DESIGN.md "Fault model" for what is detected, what is recovered,
 and what aborts.
 """
 
+from .chaos import CHAOS_PROFILES, ChaosProfile, ChaosSchedule
 from .checkpoints import CheckpointManager
+from .deadline import (
+    DEFAULT_LADDER,
+    ESCALATION_RUNGS,
+    Deadline,
+    EscalationLadder,
+    FailureReport,
+    RetryPolicy,
+)
 from .errors import (
+    BarrierTimeoutError,
     CheckpointIntegrityError,
+    DeadlineExceededError,
     DisplacementBlowupError,
     EnergyDriftError,
+    EscalationExhaustedError,
     GhostExchangeError,
     InjectedFault,
     NeighborOverflowError,
     NonFiniteStateError,
     RankFailureError,
+    RankStallError,
     RobustnessError,
     SimulationHealthError,
 )
-from .faults import FAULT_KINDS, Fault, FaultInjector
+from .faults import (
+    DEFAULT_STALL_SECONDS,
+    FAULT_KINDS,
+    STALL_FAULT_KINDS,
+    Fault,
+    FaultInjector,
+)
 from .health import GuardTolerances, HealthMonitor
 from .recovery import (
     RecoveryEvent,
@@ -43,11 +70,23 @@ from .recovery import (
 )
 
 __all__ = [
+    "BarrierTimeoutError",
+    "CHAOS_PROFILES",
+    "ChaosProfile",
+    "ChaosSchedule",
     "CheckpointIntegrityError",
     "CheckpointManager",
+    "DEFAULT_LADDER",
+    "DEFAULT_STALL_SECONDS",
+    "Deadline",
+    "DeadlineExceededError",
     "DisplacementBlowupError",
+    "ESCALATION_RUNGS",
     "EnergyDriftError",
+    "EscalationExhaustedError",
+    "EscalationLadder",
     "FAULT_KINDS",
+    "FailureReport",
     "Fault",
     "FaultInjector",
     "GhostExchangeError",
@@ -57,10 +96,13 @@ __all__ = [
     "NeighborOverflowError",
     "NonFiniteStateError",
     "RankFailureError",
+    "RankStallError",
     "RecoveryEvent",
     "RecoveryPolicy",
     "RecoveryReport",
+    "RetryPolicy",
     "RobustnessError",
+    "STALL_FAULT_KINDS",
     "SimulationHealthError",
     "run_with_recovery",
 ]

@@ -1,0 +1,208 @@
+"""Seeded stochastic fault schedules — composed, overlapping fault storms.
+
+The one-shot :class:`~repro.robust.faults.FaultInjector` proves each
+recovery path fires; a week-long production run sees something harsher:
+many faults of different kinds, at random steps, overlapping in time.
+:class:`ChaosSchedule` generates exactly that — a *deterministic*
+function of ``(seed, n_steps, profile, topology)``, so a chaos-soak run
+is as reproducible as a unit test: the same seed always produces the
+same storm, and the property suite asserts the generated fault times
+are bitwise identical across builds.
+
+A schedule knows the run's topology (rank count, engine shard count,
+checkpoint cadence) so every fault draws a *valid* target:
+
+* ``kill-rank`` / ``stall-ghost`` / ``drop-ghost`` target a rank;
+* ``stall-shard`` / ``kill-worker`` target an engine shard;
+* ``slow-io`` / ``truncate-checkpoint`` snap to checkpoint steps
+  (they can only fire when a write actually happens);
+* ``stall-ghost`` avoids neighbor-rebuild steps (the cached-plan
+  refresh it stalls only runs between rebuilds).
+
+Profiles bundle rates for the standard storms; ``tools/chaos_soak.py``
+runs the workload matrix under them and asserts the standing
+invariants (bitwise f64 restart, no NaN escape, bounded wall-clock,
+monotone step progress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .faults import FAULT_KINDS, Fault, FaultInjector
+
+__all__ = ["ChaosProfile", "ChaosSchedule", "CHAOS_PROFILES"]
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Named bundle of fault counts for one storm.
+
+    ``counts`` maps fault kind -> how many of that kind to arm over the
+    run.  ``stall_seconds`` sizes the hang family; ``flaky_p`` is the
+    per-try probability of ``flaky-forces``.
+    """
+
+    name: str
+    counts: dict = field(default_factory=dict)
+    stall_seconds: float = 0.4
+    flaky_p: float = 0.5
+
+    def __post_init__(self):
+        for kind in self.counts:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"profile {self.name!r}: unknown fault kind {kind!r}")
+
+
+#: The standard storms.  ``soak`` is the acceptance profile — every
+#: family the deadline/watchdog layer must survive, sized so the short
+#: ``make chaossoak`` drill finishes in well under a minute.
+CHAOS_PROFILES = {
+    "calm": ChaosProfile("calm", {}),
+    "crashes": ChaosProfile("crashes", {
+        "nan-forces": 2, "kill-worker": 1, "truncate-checkpoint": 1,
+    }),
+    "stalls": ChaosProfile("stalls", {
+        "stall-shard": 1, "slow-io": 1, "stall-ghost": 1,
+    }),
+    "soak": ChaosProfile("soak", {
+        "stall-shard": 1, "stall-ghost": 1, "slow-io": 1, "kill-rank": 1,
+    }),
+    "storm": ChaosProfile("storm", {
+        "nan-forces": 2, "flaky-forces": 1, "kill-worker": 1,
+        "truncate-checkpoint": 1, "stall-shard": 2, "slow-io": 1,
+        "stall-ghost": 1, "kill-rank": 2,
+    }),
+}
+
+#: Domain-separation salt so a chaos stream never collides with any
+#: other ``default_rng(seed)`` user in the codebase.
+_CHAOS_SALT = 0xC4A05
+
+#: Kinds whose target is a rank index / an engine shard index.
+_RANK_TARGETED = ("kill-rank", "stall-ghost", "drop-ghost",
+                  "truncate-checkpoint")
+_SHARD_TARGETED = ("stall-shard", "kill-worker")
+#: Kinds that only fire at a checkpoint write.
+_CHECKPOINT_BOUND = ("slow-io", "truncate-checkpoint")
+
+
+class ChaosSchedule:
+    """Deterministic multi-fault schedule for one run.
+
+    Parameters
+    ----------
+    n_steps:
+        Length of the run the storm is scheduled over.
+    seed:
+        Everything is drawn from a salted ``default_rng`` stream —
+        same seed, same storm, bitwise.
+    profile:
+        A :class:`ChaosProfile`, a name from :data:`CHAOS_PROFILES`, or
+        ``None`` for ``"soak"``.
+    n_ranks, n_shards:
+        Topology for target draws (1 = serial / no engine).
+    checkpoint_every:
+        Cadence checkpoint-bound faults snap to (0 disables them).
+    rebuild_every:
+        Neighbor-rebuild cadence ``stall-ghost`` steps must avoid.
+    """
+
+    def __init__(self, n_steps: int, seed: int = 0, profile=None,
+                 n_ranks: int = 1, n_shards: int = 1,
+                 checkpoint_every: int = 0, rebuild_every: int = 0):
+        if isinstance(profile, str):
+            try:
+                profile = CHAOS_PROFILES[profile]
+            except KeyError:
+                raise ValueError(
+                    f"unknown chaos profile {profile!r}; choose from "
+                    f"{sorted(CHAOS_PROFILES)}") from None
+        self.profile = profile if profile is not None \
+            else CHAOS_PROFILES["soak"]
+        self.n_steps = int(n_steps)
+        self.seed = int(seed)
+        self.n_ranks = max(1, int(n_ranks))
+        self.n_shards = max(1, int(n_shards))
+        self.checkpoint_every = int(checkpoint_every)
+        self.rebuild_every = int(rebuild_every)
+
+    # ------------------------------------------------------------------ draws
+    def _draw_step(self, rng, kind: str) -> int | None:
+        """A valid firing step for ``kind`` (None = no valid step)."""
+        if kind in _CHECKPOINT_BOUND:
+            if not self.checkpoint_every:
+                return None
+            slots = self.n_steps // self.checkpoint_every
+            if slots < 1:
+                return None
+            return int(rng.integers(1, slots + 1)) * self.checkpoint_every
+        # Steps 2..n-1: step 1 can precede the first checkpoint of a
+        # bare run and the final step gains nothing from a late fault.
+        lo, hi = 2, max(3, self.n_steps)
+        step = int(rng.integers(lo, hi))
+        if kind == "stall-ghost" and self.rebuild_every > 1 \
+                and any(s % self.rebuild_every for s in range(lo, hi)):
+            # The cached-plan refresh only runs off-rebuild steps.
+            # (Guarded: with rebuild_every<=1 or a range of nothing but
+            # rebuild steps the redraw could never terminate — there the
+            # fault lands on a rebuild step and is simply inert.)
+            while step % self.rebuild_every == 0:
+                step = int(rng.integers(lo, hi))
+        return step
+
+    def _draw_target(self, rng, kind: str) -> int | None:
+        if kind in _RANK_TARGETED:
+            return int(rng.integers(self.n_ranks))
+        if kind in _SHARD_TARGETED:
+            return int(rng.integers(self.n_shards))
+        return None
+
+    def build(self) -> list[Fault]:
+        """The storm: a list of armed faults, sorted by (step, kind).
+
+        Pure function of the schedule parameters — calling twice gives
+        bitwise-identical steps, targets, and durations.
+        """
+        rng = np.random.default_rng((_CHAOS_SALT, self.seed))
+        faults: list[Fault] = []
+        # Iterate kinds in FAULT_KINDS order (not dict order) so the
+        # draw sequence is independent of how the profile was written.
+        for kind in FAULT_KINDS:
+            for _ in range(int(self.profile.counts.get(kind, 0))):
+                step = self._draw_step(rng, kind)
+                if step is None:
+                    continue
+                duration = self.profile.stall_seconds * \
+                    (0.5 + float(rng.random()))
+                faults.append(Fault(
+                    kind, step=step, target=self._draw_target(rng, kind),
+                    duration=duration,
+                    p=self.profile.flaky_p if kind == "flaky-forces"
+                    else 1.0,
+                ))
+        faults.sort(key=lambda f: (f.step if f.step is not None else -1,
+                                   f.kind))
+        return faults
+
+    def injector(self) -> FaultInjector:
+        """A :class:`FaultInjector` armed with this storm (its RNG is
+        seeded from the same root, so atom picks are reproducible)."""
+        return FaultInjector(self.build(), seed=self.seed)
+
+    def describe(self) -> str:
+        """One line per scheduled fault (the soak harness prints it)."""
+        lines = [f"chaos schedule: profile={self.profile.name} "
+                 f"seed={self.seed} steps={self.n_steps} "
+                 f"ranks={self.n_ranks} shards={self.n_shards}"]
+        for f in self.build():
+            extra = f" target={f.target}" if f.target is not None else ""
+            if f.kind in ("stall-shard", "slow-io", "stall-ghost"):
+                extra += f" duration={f.duration:.2f}s"
+            if f.kind == "flaky-forces":
+                extra += f" p={f.p}"
+            lines.append(f"  step {f.step:>4}: {f.kind}{extra}")
+        return "\n".join(lines)

@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import os
 import re
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+
+import numpy as np
 
 from ..io.checkpoint import (
+    checkpoint_payload,
     load_checkpoint,
     restart_simulation,
-    save_checkpoint,
     write_state_checkpoint,
 )
 from .errors import CheckpointIntegrityError
@@ -55,17 +59,36 @@ class CheckpointManager:
         its measured bytes + write/fsync latency through it, and each
         newly rejected (corrupt) checkpoint increments
         ``checkpoints_rejected``.
+    write_deadline:
+        Optional wall-clock budget (seconds) for one checkpoint write.
+        When set, the blocking disk write runs on a single background
+        worker; a write that misses the deadline — or is still in
+        flight when the next save arrives — is **skipped** (recorded in
+        :attr:`skipped`, counted as ``checkpoint_skipped`` +
+        ``deadline_misses``) instead of stalling the step loop, which
+        is exactly what a slow or blocked fsync used to do.  The state
+        is snapshotted synchronously before handoff, so a late-landing
+        write still produces a *valid* file of the step it was taken
+        at.  ``None`` (default) keeps the synchronous write path.
     """
 
     def __init__(self, directory: str, prefix: str = "ckpt",
-                 keep_last: int = 3, loader=None, metrics=None):
+                 keep_last: int = 3, loader=None, metrics=None,
+                 write_deadline: float | None = None):
         self.directory = os.fspath(directory)
         self.prefix = prefix
         self.keep_last = keep_last
         self.loader = load_checkpoint if loader is None else loader
         self.metrics = metrics
+        self.write_deadline = None if write_deadline is None \
+            else float(write_deadline)
         #: Paths that failed validation during fallback (post-mortem).
         self.rejected: list[str] = []
+        #: Steps whose checkpoint write was skipped (deadline missed or
+        #: a previous write still in flight).
+        self.skipped: list[int] = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._pending = None
 
     # ----------------------------------------------------------------- paths
     def path_for_step(self, step: int) -> str:
@@ -87,26 +110,42 @@ class CheckpointManager:
         return int(m.group(1)) if m else -1
 
     # ------------------------------------------------------------------ save
-    def save(self, sim) -> str:
+    def save(self, sim) -> str | None:
         """Checkpoint ``sim`` at its current step, then rotate.
 
         A fault injector attached to the simulation gets its
         ``after_checkpoint`` shot here (crash-mid-flush model) *before*
         rotation, so the fallback path sees the damaged file exactly as
-        a restart after a real crash would.
+        a restart after a real crash would.  With a :attr:`write_deadline`
+        armed, a write that would stall the step loop is skipped instead
+        (returns ``None``); the state snapshot is always taken
+        synchronously, so a late-landing write stays internally
+        consistent.
         """
         os.makedirs(self.directory, exist_ok=True)
-        path = save_checkpoint(self.path_for_step(sim.step), sim,
-                               metrics=self.metrics)
+        step = int(sim.step)
+        arrays, meta = checkpoint_payload(sim)
         injector = getattr(sim, "injector", None)
-        if injector is not None:
-            injector.after_checkpoint(path, sim.step)
-        self._rotate()
-        return path
+        if self.write_deadline is not None:
+            # The background worker must not race the advancing step
+            # loop over live position/velocity buffers.
+            arrays = {k: np.array(v, copy=True) for k, v in arrays.items()}
+        path = self.path_for_step(step)
+
+        def job() -> str:
+            if injector is not None:
+                injector.checkpoint_delay(step)
+            out = write_state_checkpoint(path, arrays, meta,
+                                         metrics=self.metrics)
+            if injector is not None:
+                injector.after_checkpoint(out, step)
+            return out
+
+        return self._run_write(step, job)
 
     def save_arrays(self, step: int, arrays: dict, meta: dict | None = None,
                     writer=None, injector=None, target: int | None = None
-                    ) -> str:
+                    ) -> str | None:
         """Checkpoint an arbitrary array payload at ``step``, then rotate.
 
         ``writer`` defaults to the generic
@@ -114,19 +153,85 @@ class CheckpointManager:
         distributed driver passes a shard writer.  ``injector``/
         ``target`` give the fault plan its crash-mid-flush shot on this
         specific file (``target`` selects the rank) before rotation,
-        mirroring :meth:`save`.
+        mirroring :meth:`save`.  Honors :attr:`write_deadline` the same
+        way (returns ``None`` on a skipped write).
         """
         os.makedirs(self.directory, exist_ok=True)
-        path = self.path_for_step(int(step))
-        if writer is None:
-            path = write_state_checkpoint(path, arrays, meta,
-                                          metrics=self.metrics)
-        else:
-            path = writer(path, arrays, meta)
-        if injector is not None:
-            injector.after_checkpoint(path, int(step), target=target)
+        step = int(step)
+        if self.write_deadline is not None:
+            arrays = {k: np.array(v, copy=True) for k, v in arrays.items()}
+        path = self.path_for_step(step)
+
+        def job() -> str:
+            if injector is not None:
+                injector.checkpoint_delay(step, target=target)
+            if writer is None:
+                out = write_state_checkpoint(path, arrays, meta,
+                                             metrics=self.metrics)
+            else:
+                out = writer(path, arrays, meta)
+            if injector is not None:
+                injector.after_checkpoint(out, step, target=target)
+            return out
+
+        return self._run_write(step, job)
+
+    def _run_write(self, step: int, job) -> str | None:
+        """Run one write job, honoring the write deadline.
+
+        Without a deadline the job runs inline (the original blocking
+        behavior).  With one, it runs on a single background worker:
+        if a *previous* write is still in flight the new one is skipped
+        outright (backpressure — queueing would let a wedged disk build
+        an unbounded payload backlog), and a job that misses the
+        deadline is left to finish in the background while the step
+        loop moves on.
+        """
+        if self.write_deadline is None:
+            path = job()
+            self._rotate()
+            return path
+        if self._pending is not None and not self._pending.done():
+            self._skip(step, "previous checkpoint write still in flight")
+            return None
+        self._pending = None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="ckpt-write")
+        fut = self._pool.submit(job)
+        try:
+            path = fut.result(timeout=self.write_deadline)
+        except _FuturesTimeout:
+            self._pending = fut
+            self._skip(step,
+                       f"write exceeded {self.write_deadline:g}s deadline")
+            return None
         self._rotate()
         return path
+
+    def _skip(self, step: int, reason: str) -> None:
+        self.skipped.append(step)
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint_skipped")
+            self.metrics.inc("deadline_misses")
+            self.metrics.emit({"type": "checkpoint_skipped", "step": step,
+                               "reason": reason})
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Wait for any in-flight background write (test/shutdown aid)."""
+        if self._pending is not None:
+            try:
+                self._pending.result(timeout=timeout)
+            except Exception:
+                pass
+            self._pending = None
+
+    def close(self) -> None:
+        """Shut down the background writer without waiting on a stall."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self._pending = None
 
     def _rotate(self) -> None:
         if not self.keep_last:
@@ -155,6 +260,18 @@ class CheckpointManager:
         :attr:`rejected`) — the graceful-degradation path.
         """
         for path in reversed(self.paths()):
+            try:
+                self.loader(path)
+                return path
+            except CheckpointIntegrityError:
+                self._reject(path)
+        return None
+
+    def oldest_valid(self) -> str | None:
+        """Oldest checkpoint that passes integrity validation — the
+        deep-rollback target of the recovery escalation ladder (when
+        newer checkpoints may already hold subtly poisoned state)."""
+        for path in self.paths():
             try:
                 self.loader(path)
                 return path

@@ -1,0 +1,265 @@
+"""Deadlines, seeded backoff, and the recovery escalation ladder.
+
+The crash-recovery machinery of :mod:`repro.robust` (PRs 2-3) has no
+notion of *time*: a hung engine shard, a stalled ghost exchange, or a
+pathologically slow checkpoint write wedges a run forever without ever
+raising.  At the paper's scale (27k+ GPUs, Sec. 5) a slow component is
+far more common than a crashed one, so this module supplies the timing
+substrate every driver threads through:
+
+* :class:`Deadline` — a monotonic-clock budget.  Cheap to check
+  (``expired()`` is one clock read), composable (``sub()`` carves a
+  phase budget out of the run budget), and injectable (``clock=`` for
+  deterministic tests).  ``check()`` raises a typed
+  :class:`~repro.robust.errors.DeadlineExceededError`.
+* :class:`RetryPolicy` — exponential backoff with **deterministic
+  jitter**: the jitter for attempt *k* is drawn from a generator seeded
+  by ``(seed, k)``, so a backoff sequence is a pure function of the
+  policy — bitwise reproducible across runs, processes, and replays
+  (the property suite in ``tests/test_chaos_determinism.py`` pins
+  this).
+* :class:`EscalationLadder` / :data:`ESCALATION_RUNGS` — what to do
+  when plain retries are exhausted: halve the timestep, degrade the
+  thread count (N -> N/2 -> serial), roll back to the *oldest* valid
+  checkpoint, give up.  :func:`repro.robust.recovery.run_with_recovery`
+  walks the ladder.
+* :class:`FailureReport` — the structured give-up artifact: every
+  retry, backoff second, and escalation rung taken, so a dead run
+  explains itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import DeadlineExceededError
+
+__all__ = ["Deadline", "RetryPolicy", "EscalationLadder",
+           "ESCALATION_RUNGS", "DEFAULT_LADDER", "FailureReport"]
+
+
+class Deadline:
+    """A wall-clock budget anchored to a monotonic clock.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; ``None`` means unlimited (every check
+        passes, ``remaining()`` is ``None``).
+    clock:
+        Clock function (defaults to :func:`time.monotonic`).  Tests
+        inject a fake clock for deterministic expiry.
+
+    A ``Deadline`` is truthy when it is bounded, so hot paths can guard
+    with ``if deadline: deadline.check(...)`` and pay nothing for the
+    unlimited default.
+    """
+
+    __slots__ = ("seconds", "_clock", "_start")
+
+    def __init__(self, seconds: float | None = None, clock=time.monotonic):
+        if seconds is not None and float(seconds) <= 0:
+            raise ValueError(f"deadline budget must be positive, "
+                             f"got {seconds}")
+        self.seconds = None if seconds is None else float(seconds)
+        self._clock = clock
+        self._start = clock()
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @classmethod
+    def of(cls, value) -> "Deadline | None":
+        """Coerce ``None`` / seconds / an existing deadline uniformly."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(float(value))
+
+    # --------------------------------------------------------------- queries
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0.0); ``None`` when unlimited."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def __bool__(self) -> bool:
+        return self.seconds is not None
+
+    def __repr__(self) -> str:
+        if self.seconds is None:
+            return "Deadline(unlimited)"
+        return (f"Deadline({self.seconds:g}s, "
+                f"remaining={self.remaining():.3f}s)")
+
+    # ---------------------------------------------------------------- checks
+    def check(self, phase: str = "run", step: int | None = None,
+              metrics=None) -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent.
+
+        ``metrics`` (a :class:`repro.obs.MetricsRegistry`) records the
+        miss — the ``deadline_misses`` counter feeds the chaos-soak
+        invariants.
+        """
+        if not self.expired():
+            return
+        if metrics is not None:
+            metrics.inc("deadline_misses")
+            metrics.emit({"type": "deadline_miss", "phase": phase,
+                          "step": step, "budget": self.seconds})
+        raise DeadlineExceededError(
+            f"wall-clock deadline exceeded in phase {phase!r}",
+            step=step, phase=phase, elapsed=self.elapsed(),
+            budget=self.seconds)
+
+    def sub(self, seconds: float) -> "Deadline":
+        """A child deadline: ``min(seconds, remaining)`` from now.
+
+        Scopes a phase budget (e.g. one checkpoint write) inside the run
+        budget so a phase can never outlive the run.
+        """
+        rem = self.remaining()
+        budget = float(seconds) if rem is None else min(float(seconds), rem)
+        # A fully spent parent still yields a *bounded* child: expiry is
+        # reported by check(), not by construction.
+        return Deadline(max(budget, 1e-9), clock=self._clock)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``delay(k)`` for attempt ``k`` (1-based) is::
+
+        min(max_seconds, base_seconds * multiplier**(k-1)) * (1 + jitter * u_k)
+
+    where ``u_k`` is the first uniform draw of a generator seeded with
+    ``(seed, k)``.  Because each attempt owns its own generator, the
+    delay for attempt *k* does not depend on how many attempts preceded
+    it or on any other consumer of randomness — the whole sequence is
+    bitwise reproducible given ``seed`` (pinned by the hypothesis
+    property suite).
+    """
+
+    base_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_seconds: float = 2.0
+    #: Jitter fraction: attempt delays are stretched by up to this
+    #: fraction (de-synchronizes retry storms across ranks/clients).
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base_seconds < 0 or self.max_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(self.max_seconds,
+                   self.base_seconds * self.multiplier ** (attempt - 1))
+        if not self.jitter:
+            return base
+        u = float(np.random.default_rng((self.seed, attempt)).random())
+        return base * (1.0 + self.jitter * u)
+
+    def backoff_sequence(self, n: int) -> list[float]:
+        """The first ``n`` delays — a pure function of the policy."""
+        return [self.delay(k) for k in range(1, n + 1)]
+
+
+#: The escalation rungs :func:`~repro.robust.recovery.run_with_recovery`
+#: knows how to execute, in conventional order.  ``retry`` is implicit
+#: (the plain ``max_retries`` budget precedes the ladder).
+ESCALATION_RUNGS = ("halve-dt", "degrade-threads", "deep-rollback",
+                    "give-up")
+
+#: Default ladder walked after the plain-retry budget is exhausted:
+#: halve the timestep, then halve threads twice (N -> N/2 -> serial for
+#: N = 4), then roll back to the oldest valid checkpoint, then give up.
+DEFAULT_LADDER = ("halve-dt", "degrade-threads", "degrade-threads",
+                  "deep-rollback", "give-up")
+
+
+class EscalationLadder:
+    """Walks a sequence of escalation rungs, one per post-budget failure.
+
+    ``rungs`` is a tuple drawn from :data:`ESCALATION_RUNGS`; entries
+    may repeat (``degrade-threads`` twice to reach serial from four
+    workers).  The ladder is a pure cursor — the recovery driver owns
+    executing each rung's action.
+    """
+
+    def __init__(self, rungs=DEFAULT_LADDER):
+        rungs = tuple(rungs)
+        for rung in rungs:
+            if rung not in ESCALATION_RUNGS:
+                raise ValueError(
+                    f"unknown escalation rung {rung!r}; "
+                    f"choose from {ESCALATION_RUNGS}")
+        self.rungs = rungs
+        self.position = 0
+        #: Rungs actually taken, in order (feeds the FailureReport).
+        self.taken: list[str] = []
+
+    def next_rung(self) -> str:
+        """Advance and return the next rung (``give-up`` past the end)."""
+        if self.position >= len(self.rungs):
+            rung = "give-up"
+        else:
+            rung = self.rungs[self.position]
+            self.position += 1
+        self.taken.append(rung)
+        return rung
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.rungs)
+
+
+@dataclass
+class FailureReport:
+    """Structured give-up artifact of an escalated recovery run.
+
+    Everything a post-mortem needs without re-reading logs: where the
+    run died, what the final error was, how many retries and which
+    escalation rungs were burned on the way, and the terminal dt/thread
+    configuration.
+    """
+
+    step: int                    #: step of the final, fatal violation
+    error: str                   #: repr of the final error
+    retries: int                 #: total rollbacks attempted
+    escalations: list = field(default_factory=list)  #: rungs taken
+    backoff_seconds: float = 0.0  #: cumulative backoff slept
+    dt_fs: float = 0.0           #: timestep at give-up
+    threads: int = 1             #: thread count at give-up
+    events: list = field(default_factory=list)  #: RecoveryEvents
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (events collapsed to their reprs)."""
+        return {
+            "step": self.step,
+            "error": self.error,
+            "retries": self.retries,
+            "escalations": list(self.escalations),
+            "backoff_seconds": self.backoff_seconds,
+            "dt_fs": self.dt_fs,
+            "threads": self.threads,
+            "events": [repr(e) for e in self.events],
+        }

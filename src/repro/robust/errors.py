@@ -26,6 +26,10 @@ __all__ = [
     "CheckpointIntegrityError",
     "RankFailureError",
     "InjectedFault",
+    "DeadlineExceededError",
+    "RankStallError",
+    "BarrierTimeoutError",
+    "EscalationExhaustedError",
 ]
 
 
@@ -97,6 +101,82 @@ class RankFailureError(RobustnessError):
             f"rank {rank} failed: {type(cause).__name__}: {cause}",
             step=step, rank=rank,
         )
+
+
+class DeadlineExceededError(RobustnessError):
+    """A wall-clock deadline expired.
+
+    Raised by :class:`repro.robust.deadline.Deadline` checks — the run
+    budget in :meth:`repro.md.Simulation.run`, the per-rank step loop in
+    the distributed driver, or any phase a caller scoped a deadline to.
+    Deliberately *not* a :class:`SimulationHealthError`: time exhaustion
+    is global, so rolling back and replaying cannot fix it — the
+    recovery driver lets it propagate instead of burning retries.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None,
+                 phase: str | None = None, elapsed: float | None = None,
+                 budget: float | None = None, **detail):
+        self.phase = phase
+        self.elapsed = elapsed
+        self.budget = budget
+        if phase is not None:
+            detail.setdefault("phase", phase)
+        if elapsed is not None:
+            detail.setdefault("elapsed", round(float(elapsed), 3))
+        if budget is not None:
+            detail.setdefault("budget", budget)
+        super().__init__(message, step=step, **detail)
+
+
+class RankStallError(RobustnessError):
+    """A rank stopped making progress: a per-phase heartbeat was missed.
+
+    Unlike a crash, a stall produces no exception on the stuck rank —
+    it is *detected* by a peer (or the watchdog) when a communication
+    phase exceeds its heartbeat timeout.  The distributed driver treats
+    it exactly like a rank death: the world is re-spawned from the
+    newest globally consistent shard checkpoint.
+    """
+
+    def __init__(self, message: str, *, rank: int | None = None,
+                 phase: str | None = None, elapsed: float | None = None,
+                 step: int | None = None, **detail):
+        self.rank = rank
+        self.phase = phase
+        self.elapsed = elapsed
+        if rank is not None:
+            detail.setdefault("rank", rank)
+        if phase is not None:
+            detail.setdefault("phase", phase)
+        if elapsed is not None:
+            detail.setdefault("elapsed", round(float(elapsed), 3))
+        super().__init__(message, step=step, **detail)
+
+
+class BarrierTimeoutError(RankStallError):
+    """A collective barrier timed out — some rank never arrived.
+
+    The typed replacement for the raw ``threading.BrokenBarrierError``
+    the simulated communicator used to surface: carries the waiting
+    rank, the phase it was in, and how long it waited, so both the stall
+    path and post-mortems get actionable context.
+    """
+
+
+class EscalationExhaustedError(RobustnessError):
+    """The recovery escalation ladder ran out of rungs.
+
+    Carries the structured :class:`repro.robust.deadline.FailureReport`
+    (as ``.report``) summarizing every retry, backoff, and escalation
+    taken before giving up, plus the final underlying error as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None,
+                 report=None, **detail):
+        self.report = report
+        super().__init__(message, step=step, **detail)
 
 
 class InjectedFault(RuntimeError):

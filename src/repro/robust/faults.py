@@ -23,28 +23,50 @@ fault kind             where it strikes
 ``kill-rank``          the target distributed rank dies (raises) at the
                        top of the target step — the port for rank-level
                        shard-checkpoint restart
+``stall-shard``        the target engine shard *hangs* (sleeps) at the
+                       target step — exercises the per-shard soft
+                       deadline + quarantine path
+``slow-io``            the checkpoint write at the target step blocks
+                       for ``duration`` seconds — exercises the
+                       checkpoint write deadline (skip-and-warn)
+``stall-ghost``        the target rank sleeps before sending its halo
+                       refresh — a peer's missed heartbeat raises
+                       ``RankStallError`` and re-spawns the world
+``flaky-forces``       at each matching step, with probability ``p``
+                       (seeded), one atom's force row becomes NaN —
+                       the stochastic cousin of ``nan-forces``
 =====================  ==================================================
 
 Faults are **one-shot**: each fires exactly once and is then spent.
 That models transient faults (bit flips, dropped packets) and makes
 retry-after-rollback terminate — replaying the same step after recovery
-does not re-trigger the fault.  Determinism: firing depends only on
-``(kind, step, target)`` plus the seeded RNG for the corrupted-atom
-choice, never on wall-clock or scheduling; multi-threaded call sites
-are serialized through a lock.
+does not re-trigger the fault.  (``flaky-forces`` adds one stochastic
+wrinkle: armed without a step it *tries* every step until its seeded
+coin lands, then is spent like any other fault.)  Determinism: firing
+depends only on ``(kind, step, target)`` plus the seeded RNG for the
+corrupted-atom choice and the flaky coin, never on wall-clock or
+scheduling; multi-threaded call sites are serialized through a lock.
+
+The stall/slow kinds carry a ``duration`` (seconds); detection is the
+job of the deadline/watchdog layer (:mod:`repro.robust.deadline`), so
+these faults deliberately *succeed eventually* — a stalled component
+that is never detected simply wedges the run, which is exactly the
+regression the chaos soak guards against.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from .errors import InjectedFault
 
-__all__ = ["Fault", "FaultInjector", "FAULT_KINDS"]
+__all__ = ["Fault", "FaultInjector", "FAULT_KINDS", "STALL_FAULT_KINDS",
+           "DEFAULT_STALL_SECONDS"]
 
 FAULT_KINDS = (
     "nan-forces",
@@ -53,18 +75,37 @@ FAULT_KINDS = (
     "kill-worker",
     "drop-ghost",
     "kill-rank",
+    "stall-shard",
+    "slow-io",
+    "stall-ghost",
+    "flaky-forces",
 )
+
+#: The hang-family kinds (carry a ``duration``); the crash family is
+#: everything else.  ``tools/fault_smoke.py`` exercises one of each.
+STALL_FAULT_KINDS = ("stall-shard", "slow-io", "stall-ghost")
+
+#: Default sleep for the stall family when a plan gives no duration —
+#: long enough to trip the small watchdog timeouts the tests arm, short
+#: enough that an *undetected* stall only slows a test, never hangs it.
+DEFAULT_STALL_SECONDS = 0.25
 
 
 @dataclass
 class Fault:
     """One planned fault.  ``step=None`` fires at the first opportunity;
-    ``target`` selects the atom/shard/rank, depending on the kind."""
+    ``target`` selects the atom/shard/rank, depending on the kind.
+
+    ``duration`` (seconds) sizes the stall/slow kinds; ``p`` is the
+    per-try firing probability of ``flaky-forces`` (1.0 = certain).
+    """
 
     kind: str
     step: int | None = None
     target: int | None = None
     fired: bool = False
+    duration: float = DEFAULT_STALL_SECONDS
+    p: float = 1.0
 
     def matches(self, kind: str, step: int | None,
                 target: int | None) -> bool:
@@ -98,10 +139,13 @@ class FaultInjector:
     # -------------------------------------------------------------- planning
     @classmethod
     def from_specs(cls, specs, seed: int = 0) -> "FaultInjector":
-        """Build from CLI-style specs: ``KIND[@STEP[:TARGET]]``.
+        """Build from CLI-style specs:
+        ``KIND[@STEP[:TARGET]][~DURATION][%P]``.
 
         Examples: ``nan-forces@10``, ``kill-worker@5:1``,
-        ``truncate-checkpoint``, ``drop-ghost@3:0``.
+        ``truncate-checkpoint``, ``drop-ghost@3:0``,
+        ``stall-shard@10:0~0.5`` (hang shard 0 for 0.5 s at step 10),
+        ``slow-io@20~1.0``, ``flaky-forces%0.25``.
         """
         if isinstance(specs, str):
             specs = [specs]
@@ -111,6 +155,8 @@ class FaultInjector:
         return inj
 
     def arm_spec(self, spec: str) -> Fault:
+        spec, _, p_s = spec.partition("%")
+        spec, _, dur_s = spec.partition("~")
         kind, _, where = spec.partition("@")
         kind = kind.strip()
         if kind not in FAULT_KINDS:
@@ -121,11 +167,19 @@ class FaultInjector:
             step_s, _, target_s = where.partition(":")
             step = int(step_s) if step_s else None
             target = int(target_s) if target_s else None
-        return self.arm(kind, step=step, target=target)
+        kwargs = {}
+        if dur_s:
+            kwargs["duration"] = float(dur_s)
+        if p_s:
+            kwargs["p"] = float(p_s)
+        return self.arm(kind, step=step, target=target, **kwargs)
 
     def arm(self, kind: str, step: int | None = None,
-            target: int | None = None) -> Fault:
-        fault = Fault(kind, step=step, target=target)
+            target: int | None = None,
+            duration: float = DEFAULT_STALL_SECONDS,
+            p: float = 1.0) -> Fault:
+        fault = Fault(kind, step=step, target=target, duration=duration,
+                      p=p)
         self.faults.append(fault)
         return fault
 
@@ -151,9 +205,33 @@ class FaultInjector:
         cannot see the step (engine workers) still fire deterministically."""
         self.current_step = int(step)
 
+    def _take_flaky(self, step: int) -> Fault | None:
+        """Flip the seeded coin on each armed ``flaky-forces`` fault.
+
+        A step-armed fault gets exactly one try (spent whether or not
+        the coin lands); a step-less fault keeps trying every step until
+        it fires.  Coin draws come from the injector RNG, so the firing
+        step is a deterministic function of the seed and the call
+        sequence.
+        """
+        with self._lock:
+            for fault in self.faults:
+                if not fault.matches("flaky-forces", step, None):
+                    continue
+                hit = float(self.rng.random()) < fault.p
+                if hit or fault.step is not None:
+                    fault.fired = True
+                if hit:
+                    self.log.append({"kind": "flaky-forces", "step": step,
+                                     "target": fault.target, "p": fault.p})
+                    return fault
+        return None
+
     def corrupt_state(self, step: int, energy, forces):
         """Possibly corrupt the freshly evaluated energy/forces."""
         fault = self._take("nan-forces", step)
+        if fault is None:
+            fault = self._take_flaky(step)
         if fault is not None:
             atom = fault.target
             if atom is None:
@@ -182,11 +260,44 @@ class FaultInjector:
         self.log[-1]["path"] = path
 
     def worker_fault(self, shard: int) -> None:
-        """ThreadedEngine per-shard hook; raises to poison the shard."""
+        """ThreadedEngine per-shard hook: raises to poison the shard
+        (``kill-worker``) or sleeps to hang it (``stall-shard`` — the
+        engine's per-shard soft deadline must detect and quarantine)."""
         if self._take("kill-worker", self.current_step, target=shard):
             raise InjectedFault(
                 f"injected worker death on shard {shard} at step "
                 f"{self.current_step}")
+        stall = self._take("stall-shard", self.current_step, target=shard)
+        if stall is not None:
+            time.sleep(stall.duration)
+
+    def checkpoint_delay(self, step: int | None = None,
+                         target: int | None = None) -> float:
+        """Block the calling checkpoint writer (``slow-io`` model).
+
+        Called *inside* the write job, so with a write deadline armed
+        the step loop skips the slow checkpoint instead of stalling;
+        without one, the write genuinely blocks — the regression the
+        deadline exists to fix.  Returns the seconds slept.
+        """
+        fault = self._take("slow-io", step, target=target)
+        if fault is None:
+            return 0.0
+        time.sleep(fault.duration)
+        return fault.duration
+
+    def ghost_stall(self, step: int, rank: int) -> None:
+        """Sleep before this rank's halo send (``stall-ghost`` model).
+
+        The stalled rank *does* eventually send — the fault is a hang,
+        not a drop — so detection belongs to the receiving peers' phase
+        heartbeats, which raise
+        :class:`~repro.robust.errors.RankStallError` and trigger the
+        world re-spawn path.
+        """
+        fault = self._take("stall-ghost", step, target=rank)
+        if fault is not None:
+            time.sleep(fault.duration)
 
     def rank_fault(self, step: int, rank: int) -> None:
         """Distributed per-step hook; raises to kill the calling rank.

@@ -1,4 +1,4 @@
-"""Rollback-and-retry recovery driver.
+"""Rollback-and-retry recovery driver with backoff-driven escalation.
 
 The loop production MD runs on: advance, checkpoint periodically, and
 when a health guard fires, roll back to the newest *valid* checkpoint
@@ -9,19 +9,43 @@ newest checkpoint degrades gracefully to the previous one via
 
 Because the :class:`~repro.robust.faults.FaultInjector`'s faults are
 one-shot (transient-fault model), replaying the same steps after a
-rollback converges instead of re-tripping forever; a *persistent*
+rollback converges instead of re-tripping forever.  A *persistent*
 condition (a genuinely unstable configuration) exhausts the retry
-budget and re-raises the typed error with full step context.
+budget; what happens next depends on the policy:
+
+* no ladder (the legacy default): the typed health error re-raises with
+  full step context, exactly as before;
+* with an :class:`~repro.robust.deadline.EscalationLadder`, the driver
+  climbs it one rung per further failure — ``halve-dt`` →
+  ``degrade-threads`` (N → N/2 → … → serial) → ``deep-rollback`` (the
+  *oldest* valid checkpoint, for when newer ones may hold subtly
+  poisoned state) → ``give-up``, which raises
+  :class:`~repro.robust.errors.EscalationExhaustedError` carrying a
+  structured :class:`~repro.robust.deadline.FailureReport`.
+
+Every rollback (retry or escalation) sleeps a
+:class:`~repro.robust.deadline.RetryPolicy` backoff first — exponential
+with deterministic seeded jitter, so two same-seed runs back off for
+bitwise-identical durations and a thundering herd of restarting ranks
+decorrelates without sacrificing reproducibility.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from ..io.checkpoint import restart_simulation
 from ..md.simulation import PAPER_PROTOCOL_STEPS, PAPER_REBUILD_EVERY
 from .checkpoints import CheckpointManager
-from .errors import SimulationHealthError
+from .deadline import (
+    Deadline,
+    EscalationLadder,
+    FailureReport,
+    RetryPolicy,
+)
+from .errors import EscalationExhaustedError, SimulationHealthError
 from .health import HealthMonitor
 
 __all__ = ["RecoveryPolicy", "RecoveryEvent", "RecoveryReport",
@@ -32,12 +56,20 @@ __all__ = ["RecoveryPolicy", "RecoveryEvent", "RecoveryReport",
 class RecoveryPolicy:
     """What to do when a health guard fires."""
 
-    #: Total rollback budget; exceeding it re-raises the health error.
+    #: Rollback budget at the plain-retry rung; exceeding it re-raises
+    #: the health error (no ladder) or starts climbing the ladder.
     max_retries: int = 3
     #: Halve the timestep on each rollback (bounded by ``min_dt_fs``) —
     #: changes the trajectory, so off by default.
     halve_dt: bool = False
     min_dt_fs: float = 0.05
+    #: Backoff schedule slept before each rollback.  ``None`` disables
+    #: sleeping entirely (unit tests); the default is small enough that
+    #: a full retry budget costs well under a second.
+    backoff: RetryPolicy | None = field(default_factory=RetryPolicy)
+    #: Escalation rungs climbed after ``max_retries`` plain retries;
+    #: ``None`` keeps the legacy raise-after-budget behavior.
+    ladder: tuple | None = None
 
 
 @dataclass
@@ -48,6 +80,8 @@ class RecoveryEvent:
     error: str          #: repr of the health error
     rollback_step: int  #: checkpointed step the run resumed from
     dt_fs: float        #: timestep after applying the policy
+    rung: str = "retry"         #: ladder rung this rollback ran under
+    backoff_seconds: float = 0.0  #: backoff slept before resuming
 
 
 @dataclass
@@ -56,6 +90,10 @@ class RecoveryReport:
     retries: int = 0
     completed: bool = False
     final_step: int = 0
+    #: Ladder rungs actually climbed, in order (empty = plain retries).
+    escalations: list = field(default_factory=list)
+    #: Total seconds slept in backoff across all rollbacks.
+    backoff_seconds: float = 0.0
 
     @property
     def rolled_back(self) -> bool:
@@ -67,15 +105,24 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
                       checkpoint_every: int = 10,
                       thermo_every: int = PAPER_REBUILD_EVERY,
                       policy: RecoveryPolicy | None = None,
-                      monitor: HealthMonitor | None = None):
+                      monitor: HealthMonitor | None = None,
+                      deadline=None, sleep=time.sleep):
     """Advance ``sim`` by ``n_steps`` with checkpointed rollback-retry.
 
     Returns ``(sim, report)`` — rollback replaces the Simulation object
     (state is rebuilt from the checkpoint), so callers must use the
     returned one.  The monitor/injector attached to the failed
     simulation carry over to the restarted one.
+
+    ``deadline`` bounds the whole recovery loop (seconds or a
+    :class:`~repro.robust.deadline.Deadline`); a
+    :class:`~repro.robust.errors.DeadlineExceededError` is *not* a
+    health error, so it propagates instead of burning retries.
+    ``sleep`` is injectable so tests can run backoff without waiting.
     """
     policy = policy or RecoveryPolicy()
+    deadline = Deadline.of(deadline)
+    ladder = EscalationLadder(policy.ladder) if policy.ladder else None
     if monitor is not None:
         sim.monitor = monitor
     elif sim.monitor is None:
@@ -89,41 +136,100 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
         try:
             sim.run(target - sim.step, thermo_every=thermo_every,
                     checkpoint_every=checkpoint_every,
-                    checkpoint_manager=manager)
+                    checkpoint_manager=manager, deadline=deadline)
         except SimulationHealthError as err:
             report.retries += 1
+            rung = "retry"
             if report.retries > policy.max_retries:
-                raise
-            path = manager.latest_valid()
+                if ladder is None:
+                    raise
+                rung = ladder.next_rung()
+                report.escalations.append(rung)
+                if sim.metrics is not None:
+                    sim.metrics.inc("escalations")
+                    sim.metrics.emit({"type": "escalation", "rung": rung,
+                                      "retries": report.retries,
+                                      "step": sim.step})
+            if rung == "give-up":
+                failure = FailureReport(
+                    step=err.step if err.step is not None else sim.step,
+                    error=repr(err),
+                    retries=report.retries,
+                    escalations=list(report.escalations),
+                    backoff_seconds=report.backoff_seconds,
+                    dt_fs=sim.dt_fs,
+                    threads=(sim.engine.n_threads
+                             if sim.engine is not None else 1),
+                    events=[vars(e) for e in report.events],
+                )
+                if sim.metrics is not None:
+                    sim.metrics.emit({"type": "failure_report",
+                                      **failure.to_dict()})
+                raise EscalationExhaustedError(
+                    "recovery escalation ladder exhausted",
+                    step=failure.step, report=failure) from err
+
+            path = manager.oldest_valid() if rung == "deep-rollback" \
+                else manager.latest_valid()
             if path is None:
                 raise
             dt_fs = sim.dt_fs
-            if policy.halve_dt:
+            if policy.halve_dt or rung == "halve-dt":
                 dt_fs = max(policy.min_dt_fs, dt_fs / 2.0)
             threads = sim.engine.n_threads if sim.engine is not None else 1
+            engine = sim.engine
+            if rung == "degrade-threads":
+                # Shrink the parallel region: close the (possibly
+                # wedged) pool and let the restart build a fresh one at
+                # half width.  The hybrid decomposition is bitwise
+                # across thread counts, so the trajectory is preserved.
+                if engine is not None:
+                    engine.close()
+                    if getattr(sim.forcefield, "engine", None) is engine:
+                        sim.forcefield.engine = None
+                engine = None
+                threads = max(1, threads // 2)
             restarted = restart_simulation(
                 path, sim.forcefield, thermostat=sim.thermostat,
-                threads=threads, engine=sim.engine, dt_fs=dt_fs,
+                threads=threads, engine=engine, dt_fs=dt_fs,
             )
             restarted.monitor = sim.monitor
             restarted.attach_injector(sim.injector)
             restarted.tracer = sim.tracer
             restarted.metrics = sim.metrics
             fired_at = err.step if err.step is not None else sim.step
+            delay = 0.0
+            if policy.backoff is not None:
+                delay = policy.backoff.delay(report.retries)
             if sim.metrics is not None:
                 sim.metrics.inc("rollbacks")
+                sim.metrics.inc("restart_steps_replayed",
+                                max(0, fired_at - restarted.step))
+                try:
+                    sim.metrics.inc("restart_bytes_replayed",
+                                    os.path.getsize(path))
+                except OSError:
+                    pass
+                if delay:
+                    sim.metrics.observe("backoff_seconds", delay)
                 sim.metrics.emit({"type": "rollback", "step": fired_at,
                                   "rollback_step": restarted.step,
-                                  "dt_fs": dt_fs})
+                                  "dt_fs": dt_fs, "rung": rung,
+                                  "backoff_seconds": delay})
             if sim.tracer:
                 sim.tracer.instant("rollback", step=fired_at,
-                                   rollback_step=restarted.step)
+                                   rollback_step=restarted.step, rung=rung)
             report.events.append(RecoveryEvent(
                 step=fired_at,
                 error=repr(err),
                 rollback_step=restarted.step,
                 dt_fs=dt_fs,
+                rung=rung,
+                backoff_seconds=delay,
             ))
+            if delay:
+                report.backoff_seconds += delay
+                sleep(delay)
             sim = restarted
     report.completed = True
     report.final_step = sim.step

@@ -1,0 +1,447 @@
+"""Chaos schedules, watchdog integration points, and determinism laws.
+
+Three layers:
+
+* property suite (hypothesis) — backoff sequences and chaos schedules
+  are bitwise-reproducible pure functions of their seeds, and every
+  scheduled fault draws a valid step/target for the run topology;
+* unit drills — each watchdog in isolation: engine shard quarantine,
+  checkpoint write-deadline skip, comm phase heartbeats and barrier
+  timeouts, the recovery escalation ladder, Simulation.run deadlines;
+* determinism — two same-seed chaos runs produce identical thermo logs
+  and final state (the invariant the chaos-soak harness scales up).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import LennardJones, Simulation, copper_system
+from repro.obs import MetricsRegistry
+from repro.parallel import run_distributed_md
+from repro.parallel.comm import SimWorld
+from repro.parallel.engine import ThreadedEngine
+from repro.robust import (
+    CHAOS_PROFILES,
+    BarrierTimeoutError,
+    ChaosSchedule,
+    CheckpointManager,
+    Deadline,
+    DeadlineExceededError,
+    EscalationExhaustedError,
+    FaultInjector,
+    HealthMonitor,
+    RankStallError,
+    RecoveryPolicy,
+    RetryPolicy,
+    run_with_recovery,
+)
+from repro.robust.chaos import _CHECKPOINT_BOUND
+from repro.units import MASS_AMU
+
+
+def make_lj_sim(seed=11, threads=1, **kwargs):
+    coords, types, box = copper_system((3, 3, 3))
+    ff = LennardJones(epsilon=0.15, sigma=2.3, rcut=5.0)
+    return Simulation(coords, types, box, [MASS_AMU["Cu"]], ff,
+                      dt_fs=1.0, seed=seed, skin=1.0, rebuild_every=25,
+                      threads=threads, **kwargs)
+
+
+# --------------------------------------------------------------- properties
+class TestChaosProperties:
+    @given(seed=st.integers(0, 2**32 - 1),
+           base=st.floats(0.001, 1.0),
+           mult=st.floats(1.0, 4.0),
+           jitter=st.floats(0.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_backoff_sequence_reproducible(self, seed, base, mult, jitter):
+        make = lambda: RetryPolicy(base_seconds=base, multiplier=mult,
+                                   max_seconds=10.0, jitter=jitter,
+                                   seed=seed)
+        seq = make().backoff_sequence(8)
+        assert make().backoff_sequence(8) == seq  # bitwise
+        for k, d in enumerate(seq, start=1):
+            cap = min(10.0, base * mult ** (k - 1))
+            assert cap <= d <= cap * (1.0 + jitter)
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           n_steps=st.integers(5, 200),
+           profile=st.sampled_from(sorted(CHAOS_PROFILES)),
+           n_ranks=st.integers(1, 4),
+           n_shards=st.integers(1, 4),
+           ckpt=st.integers(0, 20),
+           rebuild=st.integers(0, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_reproducible_and_valid(self, seed, n_steps, profile,
+                                             n_ranks, n_shards, ckpt,
+                                             rebuild):
+        sched = ChaosSchedule(n_steps, seed=seed, profile=profile,
+                              n_ranks=n_ranks, n_shards=n_shards,
+                              checkpoint_every=ckpt, rebuild_every=rebuild)
+        faults = sched.build()
+        key = [(f.kind, f.step, f.target, f.duration, f.p) for f in faults]
+        assert [(f.kind, f.step, f.target, f.duration, f.p)
+                for f in sched.build()] == key  # bitwise across calls
+        for f in faults:
+            assert f.duration > 0
+            if f.kind in _CHECKPOINT_BOUND:
+                assert ckpt and f.step % ckpt == 0 and f.step <= n_steps
+            else:
+                assert 2 <= f.step < max(3, n_steps)
+            if f.kind == "stall-ghost":
+                if rebuild > 1 and any(s % rebuild
+                                       for s in range(2, max(3, n_steps))):
+                    assert f.step % rebuild != 0
+                assert 0 <= f.target < n_ranks
+            if f.kind in ("kill-rank", "drop-ghost", "truncate-checkpoint"):
+                assert 0 <= f.target < n_ranks
+            if f.kind in ("stall-shard", "kill-worker"):
+                assert 0 <= f.target < n_shards
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            ChaosSchedule(10, profile="tornado")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            from repro.robust import ChaosProfile
+
+            ChaosProfile("bad", {"melt-cpu": 1})
+
+    def test_injector_arms_the_built_storm(self):
+        sched = ChaosSchedule(50, seed=3, profile="soak", n_ranks=2,
+                              n_shards=2, checkpoint_every=10,
+                              rebuild_every=25)
+        inj = sched.injector()
+        assert [(f.kind, f.step, f.target) for f in inj.pending] == \
+            [(f.kind, f.step, f.target) for f in sched.build()]
+        assert "profile=soak" in sched.describe()
+
+
+# ------------------------------------------------------------- fault specs
+class TestStallFaultSpecs:
+    def test_duration_and_probability_grammar(self):
+        inj = FaultInjector.from_specs(
+            ["stall-shard@10:0~0.5", "slow-io@20~1.5", "flaky-forces%0.25"])
+        by_kind = {f.kind: f for f in inj.faults}
+        assert by_kind["stall-shard"].duration == 0.5
+        assert by_kind["stall-shard"].step == 10
+        assert by_kind["stall-shard"].target == 0
+        assert by_kind["slow-io"].duration == 1.5
+        assert by_kind["flaky-forces"].p == 0.25
+
+    def test_flaky_forces_deterministic_given_seed(self):
+        def firing_step(seed):
+            inj = FaultInjector.from_specs("flaky-forces%0.3", seed=seed)
+            for step in range(1, 200):
+                e, f = inj.corrupt_state(step, 0.0, np.zeros((4, 3)))
+                if not np.all(np.isfinite(f)):
+                    return step
+            return None
+
+        step = firing_step(5)
+        assert step is not None
+        assert firing_step(5) == step
+
+
+# -------------------------------------------------------- engine quarantine
+class TestShardQuarantine:
+    def test_stalled_shard_quarantined_and_reexecuted(self):
+        metrics = MetricsRegistry()
+        with ThreadedEngine(2, shard_timeout=0.05,
+                            metrics=metrics) as engine:
+            slept = []
+
+            def hook(shard):
+                if shard == 1 and not slept:
+                    slept.append(shard)
+                    time.sleep(0.4)
+
+            engine.fault_hook = hook
+            out = engine.map(lambda x: x * x, [2, 3])
+            assert out == [4, 9]
+            assert engine.quarantined == {1}
+            assert len(engine.stall_events) == 1
+            assert metrics.counter("stall_detections").value == 1
+            # Quarantined shard runs inline (no hook, no pool) and the
+            # map result is unchanged.
+            out2 = engine.map(lambda x: x + 1, [5, 6])
+            assert out2 == [6, 7]
+            engine.parole()
+            assert engine.quarantined == set()
+
+    def test_no_timeout_keeps_original_behavior(self):
+        with ThreadedEngine(2) as engine:
+            assert engine.shard_timeout is None
+            assert engine.map(lambda x: -x, [1, 2]) == [-1, -2]
+
+
+# ------------------------------------------------- checkpoint write deadline
+class TestCheckpointWriteDeadline:
+    def test_slow_write_skipped_not_waited(self, tmp_path):
+        metrics = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, metrics=metrics,
+                                    write_deadline=0.05)
+        sim = make_lj_sim()
+        sim.attach_injector(FaultInjector.from_specs("slow-io~0.4"))
+        t0 = time.perf_counter()
+        assert manager.save(sim) is None  # skipped
+        assert time.perf_counter() - t0 < 0.3  # did not block for 0.4s
+        assert manager.skipped == [0]
+        assert metrics.counter("checkpoint_skipped").value == 1
+        assert metrics.counter("deadline_misses").value == 1
+        # The late-landing write is still a *valid* file of the step it
+        # snapshotted.
+        manager.flush()
+        assert manager.latest_valid() is not None
+        manager.close()
+
+    def test_backpressure_skips_while_write_in_flight(self, tmp_path):
+        manager = CheckpointManager(tmp_path, write_deadline=0.02)
+        sim = make_lj_sim()
+        sim.attach_injector(FaultInjector.from_specs("slow-io~0.5"))
+        assert manager.save(sim) is None       # deadline miss
+        sim.step += 1
+        assert manager.save(sim) is None       # previous still in flight
+        assert len(manager.skipped) == 2
+        manager.flush()
+        manager.close()
+
+    def test_fast_write_unaffected(self, tmp_path):
+        manager = CheckpointManager(tmp_path, write_deadline=30.0)
+        sim = make_lj_sim()
+        path = manager.save(sim)
+        assert path is not None
+        assert manager.skipped == []
+        assert manager.latest_valid() == path
+        manager.close()
+
+
+# ------------------------------------------------------------ comm watchdogs
+class TestCommWatchdogs:
+    def test_phase_heartbeat_detects_stalled_peer(self):
+        world = SimWorld(2)
+
+        def body(comm):
+            if comm.rank == 1:
+                time.sleep(0.5)
+                comm.send("late", 0)
+                return "sent"
+            with comm.phase("ghost_exchange", timeout=0.05, step=7):
+                comm.recv(1)
+
+        with pytest.raises(RuntimeError) as ei:
+            world.run(body)
+        stall = ei.value.__cause__
+        assert isinstance(stall, RankStallError)
+        assert stall.rank == 0          # the *detector*, not the staller
+        assert stall.phase == "ghost_exchange"
+        assert stall.step == 7
+        assert stall.elapsed >= 0.05
+
+    def test_barrier_timeout_is_typed(self):
+        world = SimWorld(2)
+        hit = []
+
+        def body(comm):
+            if comm.rank == 1:
+                time.sleep(0.4)
+                return None
+            with comm.phase("reduction", timeout=0.05):
+                try:
+                    comm.barrier()
+                except BarrierTimeoutError as err:
+                    hit.append(err)
+                    raise
+
+        with pytest.raises(RuntimeError):
+            world.run(body)
+        assert len(hit) == 1
+        err = hit[0]
+        assert isinstance(err, RankStallError)  # subclass relation
+        assert err.rank == 0
+        assert err.phase == "reduction"
+        assert err.elapsed > 0
+
+    def test_abort_wins_over_barrier_timeout(self):
+        world = SimWorld(2)
+
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 genuinely failed")
+            time.sleep(0.05)  # let rank 1 fail and abort first
+            with comm.phase("reduction", timeout=0.2):
+                comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            world.run(body)
+
+    def test_phase_scopes_nest_and_restore(self):
+        world = SimWorld(1)
+
+        def body(comm):
+            assert comm._phase is None
+            with comm.phase("outer", timeout=5.0):
+                assert comm._phase.name == "outer"
+                with comm.phase("inner", timeout=1.0):
+                    assert comm._phase.name == "inner"
+                assert comm._phase.name == "outer"
+            assert comm._phase is None
+            return True
+
+        assert world.run(body) == [True]
+
+
+# ------------------------------------------------------- run-loop deadlines
+class TickingClock:
+    """Fake monotonic clock advancing a fixed amount per reading."""
+
+    def __init__(self, tick):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+class TestRunDeadline:
+    def test_simulation_run_checks_deadline(self):
+        sim = make_lj_sim()
+        deadline = Deadline(5.0, clock=TickingClock(4.0))
+        metrics = MetricsRegistry()
+        sim.metrics = metrics
+        with pytest.raises(DeadlineExceededError) as ei:
+            sim.run(10, deadline=deadline)
+        assert ei.value.phase == "run"
+        assert sim.step < 10
+
+    def test_recovery_propagates_deadline_error(self, tmp_path):
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        deadline = Deadline(5.0, clock=TickingClock(4.0))
+        with pytest.raises(DeadlineExceededError):
+            run_with_recovery(sim, 10,
+                              manager=CheckpointManager(tmp_path),
+                              policy=RecoveryPolicy(backoff=None),
+                              deadline=deadline)
+
+    def test_distributed_deadline_not_respawned(self, tmp_path,
+                                                cu_compressed):
+        coords, types, box = copper_system((4, 4, 4))
+        with pytest.raises(DeadlineExceededError):
+            run_distributed_md(
+                2, (2, 1, 1), coords, types, box,
+                np.array([MASS_AMU["Cu"]]), cu_compressed, dt_fs=1.0,
+                n_steps=6, rebuild_every=5, skin=1.0,
+                sel=cu_compressed.spec.sel, thermo_every=0,
+                checkpoint_dir=tmp_path, checkpoint_every=2,
+                deadline=Deadline(5.0, clock=TickingClock(4.0)))
+
+
+# ------------------------------------------------------- escalation ladder
+class TestEscalationRecovery:
+    def test_degrade_threads_completes_and_halves(self, tmp_path):
+        clean = make_lj_sim(threads=2)
+        clean.run(30, thermo_every=10)
+
+        sim = make_lj_sim(threads=2)
+        sim.monitor = HealthMonitor()
+        sim.metrics = metrics = MetricsRegistry()
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@5"))
+        policy = RecoveryPolicy(max_retries=0,
+                                ladder=("degrade-threads",),
+                                backoff=RetryPolicy(jitter=0.0,
+                                                    base_seconds=0.0))
+        sim, report = run_with_recovery(
+            sim, 30, manager=CheckpointManager(tmp_path),
+            checkpoint_every=10, thermo_every=10, policy=policy)
+        assert report.completed
+        assert report.escalations == ["degrade-threads"]
+        assert sim.engine is None  # 2 -> 1 threads = no engine
+        assert metrics.counter("escalations").value == 1
+        assert metrics.counter("restart_steps_replayed").value > 0
+        assert metrics.counter("restart_bytes_replayed").value > 0
+        assert np.array_equal(sim.coords, clean.coords)
+
+    def test_ladder_exhaustion_raises_structured_report(self, tmp_path):
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs(
+            ["nan-forces@5", "nan-forces@7", "nan-forces@9"]))
+        policy = RecoveryPolicy(max_retries=0, ladder=("deep-rollback",),
+                                backoff=None)
+        with pytest.raises(EscalationExhaustedError) as ei:
+            run_with_recovery(sim, 30,
+                              manager=CheckpointManager(tmp_path),
+                              checkpoint_every=10, policy=policy)
+        report = ei.value.report
+        assert report is not None
+        assert report.retries == 2
+        assert report.escalations == ["deep-rollback", "give-up"]
+        assert len(report.events) == 1  # give-up never rolls back
+        assert report.to_dict()["error"]
+        # The underlying health error is chained for post-mortems.
+        assert ei.value.__cause__ is not None
+
+    def test_legacy_no_ladder_reraises_after_budget(self, tmp_path):
+        from repro.robust.errors import NonFiniteStateError
+
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs(
+            ["nan-forces@5", "nan-forces@6"]))
+        policy = RecoveryPolicy(max_retries=1, backoff=None)
+        with pytest.raises(NonFiniteStateError):
+            run_with_recovery(sim, 30,
+                              manager=CheckpointManager(tmp_path),
+                              checkpoint_every=10, policy=policy)
+
+    def test_backoff_recorded_and_injectable_sleep(self, tmp_path):
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@5"))
+        slept = []
+        policy = RecoveryPolicy(backoff=RetryPolicy(seed=4))
+        sim, report = run_with_recovery(
+            sim, 20, manager=CheckpointManager(tmp_path),
+            checkpoint_every=10, policy=policy, sleep=slept.append)
+        assert report.completed
+        assert slept == [policy.backoff.delay(1)]
+        assert report.backoff_seconds == slept[0]
+        assert report.events[0].backoff_seconds == slept[0]
+
+
+# ------------------------------------------------------------- determinism
+class TestSameSeedDeterminism:
+    def chaos_run(self, seed):
+        sched = ChaosSchedule(30, seed=seed, profile="crashes",
+                              n_shards=2, checkpoint_every=8,
+                              rebuild_every=25)
+        sim = make_lj_sim(threads=2)
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(sched.injector())
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as ckdir:
+            sim, report = run_with_recovery(
+                sim, 30, manager=CheckpointManager(ckdir),
+                checkpoint_every=8, thermo_every=10,
+                policy=RecoveryPolicy(max_retries=10, backoff=None))
+        return sim, report
+
+    def test_same_seed_same_storm_same_thermo(self):
+        sim_a, rep_a = self.chaos_run(21)
+        sim_b, rep_b = self.chaos_run(21)
+        assert rep_a.retries == rep_b.retries
+        assert [vars(e) for e in rep_a.events] == \
+            [vars(e) for e in rep_b.events]
+        assert sim_a.thermo_log == sim_b.thermo_log
+        assert np.array_equal(sim_a.coords, sim_b.coords)
+        assert np.array_equal(sim_a.velocities, sim_b.velocities)
+        assert np.all(np.isfinite(sim_a.coords))

@@ -1,0 +1,184 @@
+"""The time-domain substrate: Deadline, RetryPolicy, EscalationLadder.
+
+Everything here runs on fake clocks or pure functions — no sleeping, no
+wall-clock flakiness.  The integration of these pieces into the engines
+is covered by test_chaos.py and the chaos-soak harness.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.robust import (
+    DEFAULT_LADDER,
+    ESCALATION_RUNGS,
+    Deadline,
+    DeadlineExceededError,
+    EscalationExhaustedError,
+    EscalationLadder,
+    FailureReport,
+    RetryPolicy,
+    SimulationHealthError,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = float(t)
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline.unlimited()
+        assert not d
+        assert d.remaining() is None
+        assert not d.expired()
+        d.check("run", step=10**9)  # never raises
+
+    def test_of_coercion(self):
+        assert Deadline.of(None) is None
+        d = Deadline(5.0)
+        assert Deadline.of(d) is d
+        assert Deadline.of(2.5).seconds == 2.5
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_expiry_on_fake_clock(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        assert d and not d.expired()
+        assert d.remaining() == 10.0
+        clock.advance(9.999)
+        assert not d.expired()
+        clock.advance(0.001)
+        assert d.expired()
+        assert d.remaining() == 0.0
+        assert d.elapsed() == 10.0
+
+    def test_check_raises_typed_error_with_context(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check("run")  # fine
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError) as ei:
+            d.check("ghost_exchange", step=42)
+        err = ei.value
+        assert err.step == 42
+        assert err.phase == "ghost_exchange"
+        assert err.elapsed == 2.0
+        assert err.budget == 1.0
+        # Not a health error: recovery must let it propagate, not retry.
+        assert not isinstance(err, SimulationHealthError)
+
+    def test_check_records_deadline_miss(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(1.5)
+        metrics = MetricsRegistry()
+        with pytest.raises(DeadlineExceededError):
+            d.check("step", step=7, metrics=metrics)
+        assert metrics.counter("deadline_misses").value == 1
+
+    def test_sub_clamps_to_remaining(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        clock.advance(8.0)
+        child = d.sub(5.0)
+        assert child.seconds == pytest.approx(2.0)
+        # A spent parent still yields a bounded (immediately expiring)
+        # child rather than raising at construction.
+        clock.advance(5.0)
+        tiny = d.sub(1.0)
+        assert tiny.seconds > 0
+        assert tiny.expired() or tiny.seconds <= 1e-9 * 10
+
+    def test_sub_of_unlimited_uses_requested_budget(self):
+        clock = FakeClock()
+        d = Deadline(None, clock=clock)
+        child = d.sub(3.0)
+        assert child.seconds == 3.0
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_seconds=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_no_jitter_is_exact_exponential(self):
+        p = RetryPolicy(base_seconds=0.1, multiplier=2.0, max_seconds=0.5,
+                        jitter=0.0)
+        assert p.backoff_sequence(4) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_bounded_and_deterministic(self):
+        p = RetryPolicy(base_seconds=0.1, multiplier=2.0, max_seconds=10.0,
+                        jitter=0.5, seed=123)
+        seq = p.backoff_sequence(6)
+        for k, delay in enumerate(seq, start=1):
+            base = min(10.0, 0.1 * 2.0 ** (k - 1))
+            assert base <= delay <= base * 1.5
+        # Same policy, fresh object: bitwise identical.
+        assert RetryPolicy(base_seconds=0.1, multiplier=2.0,
+                           max_seconds=10.0, jitter=0.5,
+                           seed=123).backoff_sequence(6) == seq
+
+    def test_delay_independent_of_call_order(self):
+        p = RetryPolicy(seed=9)
+        d3 = p.delay(3)
+        p.backoff_sequence(5)
+        assert p.delay(3) == d3
+
+
+class TestEscalationLadder:
+    def test_default_ladder_rungs_are_known(self):
+        for rung in DEFAULT_LADDER:
+            assert rung in ESCALATION_RUNGS
+
+    def test_walk_and_give_up_past_end(self):
+        ladder = EscalationLadder(("halve-dt", "degrade-threads"))
+        assert not ladder.exhausted
+        assert ladder.next_rung() == "halve-dt"
+        assert ladder.next_rung() == "degrade-threads"
+        assert ladder.exhausted
+        assert ladder.next_rung() == "give-up"
+        assert ladder.next_rung() == "give-up"
+        assert ladder.taken == ["halve-dt", "degrade-threads",
+                                "give-up", "give-up"]
+
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError):
+            EscalationLadder(("reboot-universe",))
+
+
+class TestFailureReport:
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        report = FailureReport(step=40, error="NonFiniteStateError(...)",
+                               retries=5,
+                               escalations=["halve-dt", "give-up"],
+                               backoff_seconds=1.25, dt_fs=0.5, threads=2)
+        d = report.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["step"] == 40
+        assert d["escalations"] == ["halve-dt", "give-up"]
+
+    def test_exhausted_error_carries_report(self):
+        report = FailureReport(step=1, error="x", retries=1)
+        err = EscalationExhaustedError("done", step=1, report=report)
+        assert err.report is report
+        assert err.step == 1

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Stochastic chaos-soak harness (< 60 s) for the deadline/watchdog layer.
+
+Two legs, both against the seeded :class:`repro.robust.ChaosSchedule`:
+
+**Leg A — distributed soak.**  A hybrid run (2 ranks x 2 threads,
+jittered 256-atom copper cell, compressed model) under the ``soak``
+profile — one fault from every family the watchdogs must survive:
+``stall-shard`` (per-shard soft deadline + quarantine), ``stall-ghost``
+(phase heartbeat -> ``RankStallError`` -> world re-spawn), ``slow-io``
+(checkpoint write deadline -> skip-and-warn), ``kill-rank`` (shard
+restart).  Standing invariants asserted:
+
+  1. *bounded wall-clock* — the storm run finishes inside its
+     :class:`~repro.robust.Deadline` (a stall that is never detected
+     would wedge it);
+  2. *bitwise f64 restart* — final coordinates and velocities equal the
+     fault-free same-seed run exactly (stalls, skipped writes, and
+     replays must not perturb arithmetic);
+  3. *no NaN escape* — every float in the final state is finite;
+  4. *monotone progress* — per-step metric rows advance strictly within
+     each world incarnation and reach the final step;
+  5. *detection counters* — ``stall_detections``, ``checkpoint_skipped``,
+     and ``rank_restarts`` are all non-zero (a storm nobody noticed is a
+     broken watchdog).
+
+**Leg B — serial escalation.**  Repeated ``nan-forces`` faults exhaust
+the plain-retry budget of :func:`~repro.robust.run_with_recovery`, and
+the escalation ladder must climb ``degrade-threads`` (2 -> 1 threads,
+bitwise-invariant) and finish: non-zero ``escalations``, seeded
+backoff recorded (bitwise-reproducible per the RetryPolicy contract),
+replay cost counters populated, final coordinates bitwise equal to a
+clean 2-thread run.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_soak.py [SEED]
+
+Exit status is non-zero on any violated invariant.  Run as the
+``chaossoak`` stage of ``make verify``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec  # noqa: E402
+from repro.md import DPForceField, Simulation, copper_system  # noqa: E402
+from repro.md.velocity import maxwell_boltzmann  # noqa: E402
+from repro.obs import MetricsRegistry, read_metrics_jsonl  # noqa: E402
+from repro.parallel import run_distributed_md  # noqa: E402
+from repro.robust import (  # noqa: E402
+    ChaosSchedule,
+    CheckpointManager,
+    FaultInjector,
+    HealthMonitor,
+    RecoveryPolicy,
+    RetryPolicy,
+    run_with_recovery,
+)
+from repro.units import MASS_AMU  # noqa: E402
+
+SEED = 7
+N_STEPS = 60
+REBUILD_EVERY = 25
+THERMO_EVERY = 10
+CHECKPOINT_EVERY = 10
+HEARTBEAT_TIMEOUT = 0.2
+SHARD_TIMEOUT = 0.1
+WRITE_DEADLINE = 0.2
+WALL_BUDGET = 55.0          # Deadline handed to the storm run
+SERIAL_STEPS = 40
+
+
+def fail(msg: str) -> int:
+    print(f"CHAOS SOAK FAILED: {msg}")
+    return 1
+
+
+def make_model():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=42)
+    return spec, CompressedDPModel.compress(DPModel(spec), interval=1e-3,
+                                            x_max=2.2)
+
+
+def monotone_segments(rows) -> bool:
+    """Step rows must advance strictly within each world incarnation;
+    a ``rank_restart``/``rank_stall`` row legitimately rewinds them."""
+    last = None
+    for row in rows:
+        if row["type"] in ("rank_restart", "rank_stall"):
+            last = None
+            continue
+        if row["type"] != "step":
+            continue
+        if last is not None and row["step"] <= last:
+            return False
+        last = row["step"]
+    return True
+
+
+def distributed_leg(seed: int) -> int:
+    spec, model = make_model()
+    coords, types, box = copper_system((4, 4, 4))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    masses = np.array([MASS_AMU["Cu"]])
+    v0 = maxwell_boltzmann(masses[types], 330.0, 3)
+    common = dict(coords=coords, types=types, box=box,
+                  masses_per_type=masses, model=model, dt_fs=1.0,
+                  n_steps=N_STEPS, rebuild_every=REBUILD_EVERY, skin=1.0,
+                  sel=spec.sel, velocities=v0, thermo_every=THERMO_EVERY,
+                  threads_per_rank=2)
+
+    clean = run_distributed_md(2, (2, 1, 1), **common)
+
+    schedule = ChaosSchedule(N_STEPS, seed=seed, profile="soak",
+                             n_ranks=2, n_shards=2,
+                             checkpoint_every=CHECKPOINT_EVERY,
+                             rebuild_every=REBUILD_EVERY)
+    print(schedule.describe())
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="chaossoak-") as ckdir:
+        sink = os.path.join(ckdir, "metrics.jsonl")
+        with MetricsRegistry(sink) as metrics:
+            storm = run_distributed_md(
+                2, (2, 1, 1), injector=schedule.injector(),
+                checkpoint_dir=os.path.join(ckdir, "shards"),
+                checkpoint_every=CHECKPOINT_EVERY,
+                heartbeat_timeout=HEARTBEAT_TIMEOUT,
+                shard_timeout=SHARD_TIMEOUT,
+                write_deadline=WRITE_DEADLINE,
+                deadline=WALL_BUDGET, metrics=metrics, **common)
+            metrics.write_summary()
+            snap = metrics.snapshot(quantiles=True)
+        rows = read_metrics_jsonl(sink)
+    wall = time.perf_counter() - t0
+
+    counters = snap["counters"]
+    print(f"  storm survived in {wall:.1f} s: "
+          f"{counters.get('stall_detections', 0)} stall detection(s), "
+          f"{counters.get('checkpoint_skipped', 0)} checkpoint skip(s), "
+          f"{counters.get('rank_restarts', 0)} rank restart(s)")
+    for name in sorted(snap["histograms"]):
+        if name.startswith("phase_seconds."):
+            h = snap["histograms"][name]
+            if h["count"]:
+                print(f"    {name}: n={h['count']} mean={h['mean']:.4g}s "
+                      f"p99={h['p99']:.4g}s")
+
+    if wall > WALL_BUDGET:
+        return fail(f"storm run took {wall:.1f}s > {WALL_BUDGET}s budget")
+    if not np.all(np.isfinite(storm.coords)) \
+            or not np.all(np.isfinite(storm.velocities)):
+        return fail("NaN/Inf escaped into the final state")
+    if not np.array_equal(storm.coords, clean.coords):
+        return fail("storm coords deviate from the fault-free same-seed "
+                    "run (must be bitwise f64)")
+    if not np.array_equal(storm.velocities, clean.velocities):
+        return fail("storm velocities deviate from the fault-free run")
+    if not counters.get("stall_detections"):
+        return fail("no stall was ever detected (stall-shard/stall-ghost "
+                    "were scheduled)")
+    if not counters.get("checkpoint_skipped"):
+        return fail("slow-io never tripped the checkpoint write deadline")
+    if not counters.get("rank_restarts"):
+        return fail("no rank restart happened (kill-rank was scheduled)")
+    if not monotone_segments(rows):
+        return fail("per-step metric rows are not monotone within a "
+                    "world incarnation")
+    final_steps = [r["step"] for r in rows if r["type"] == "step"]
+    if not final_steps or final_steps[-1] != N_STEPS:
+        return fail(f"storm run did not reach step {N_STEPS}")
+    return 0
+
+
+def serial_leg() -> int:
+    spec, model = make_model()
+    coords, types, box = copper_system((3, 3, 3))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    masses = [MASS_AMU["Cu"]]
+    v0 = maxwell_boltzmann(np.array(masses)[types], 330.0, 3)
+
+    def make_sim():
+        return Simulation(coords, types, box, masses, DPForceField(model),
+                          dt_fs=1.0, skin=1.0, sel=spec.sel,
+                          rebuild_every=REBUILD_EVERY, threads=2,
+                          velocities=v0)
+
+    clean = make_sim()
+    clean.run(SERIAL_STEPS, thermo_every=THERMO_EVERY)
+
+    sim = make_sim()
+    sim.monitor = HealthMonitor()
+    sim.metrics = metrics = MetricsRegistry()
+    sim.attach_injector(FaultInjector.from_specs(
+        ["nan-forces@12", "nan-forces@20"]))
+    # max_retries=1 so the second fault climbs the ladder; the ladder
+    # deliberately omits halve-dt (it changes the trajectory) so the
+    # bitwise assert below stays meaningful.
+    policy = RecoveryPolicy(
+        max_retries=1, ladder=("degrade-threads", "deep-rollback"),
+        backoff=RetryPolicy(base_seconds=0.01, max_seconds=0.05, seed=3))
+    with tempfile.TemporaryDirectory(prefix="chaossoak-serial-") as ckdir:
+        manager = CheckpointManager(ckdir, metrics=metrics)
+        sim, report = run_with_recovery(
+            sim, SERIAL_STEPS, manager=manager, checkpoint_every=8,
+            thermo_every=THERMO_EVERY, policy=policy)
+
+    print(f"  escalation leg: retries={report.retries} "
+          f"escalations={report.escalations} "
+          f"backoff={report.backoff_seconds:.3f}s")
+    for ev in report.events:
+        print(f"    step {ev.step} [{ev.rung}]: rollback to "
+              f"{ev.rollback_step}, backoff {ev.backoff_seconds:.3f}s")
+
+    if not report.completed or sim.step != SERIAL_STEPS:
+        return fail("escalation leg did not complete the protocol")
+    if report.escalations != ["degrade-threads"]:
+        return fail(f"expected one degrade-threads escalation, got "
+                    f"{report.escalations}")
+    if report.backoff_seconds <= 0.0:
+        return fail("no backoff was slept across the rollbacks")
+    expected = [policy.backoff.delay(k + 1)
+                for k in range(len(report.events))]
+    if [e.backoff_seconds for e in report.events] != expected:
+        return fail("backoff durations deviate from the seeded schedule "
+                    "(must be bitwise-reproducible)")
+    snap = metrics.snapshot()
+    counters = snap["counters"]
+    if not counters.get("escalations"):
+        return fail("escalations counter did not increment")
+    if counters.get("rollbacks") != 2:
+        return fail(f"expected 2 rollbacks, got {counters.get('rollbacks')}")
+    if not counters.get("restart_steps_replayed") \
+            or not counters.get("restart_bytes_replayed"):
+        return fail("replay cost counters (restart_steps_replayed / "
+                    "restart_bytes_replayed) were not recorded")
+    if snap["histograms"].get("backoff_seconds", {}).get("count") != 2:
+        return fail("backoff_seconds histogram did not record both sleeps")
+    if not np.all(np.isfinite(sim.coords)):
+        return fail("NaN/Inf escaped the escalation leg")
+    if not np.array_equal(sim.coords, clean.coords):
+        return fail("post-escalation coords deviate from the clean "
+                    "2-thread run (degrade-threads must be bitwise)")
+    if not np.array_equal(sim.velocities, clean.velocities):
+        return fail("post-escalation velocities deviate from the clean run")
+    return 0
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else SEED
+    t0 = time.perf_counter()
+    rc = distributed_leg(seed)
+    if rc:
+        return rc
+    rc = serial_leg()
+    if rc:
+        return rc
+    print(f"chaos soak: every invariant held "
+          f"({time.perf_counter() - t0:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,11 @@
 #!/usr/bin/env python
 """Fault-injection smoke check (< 30 s) for the robustness subsystem.
 
-Injects NaN forces at step 10 of the paper's 99-step copper protocol,
-with guards armed and a rotating checkpoint every 10 steps, and asserts:
+Two drills, one per fault family:
+
+**Crash family** — NaN forces injected at step 10 of the paper's
+99-step copper protocol, with guards armed and a rotating checkpoint
+every 10 steps:
 
   1. the guard detects the corruption at exactly step 10,
   2. the driver rolls back to the last valid checkpoint (the run-start
@@ -11,6 +14,17 @@ with guards armed and a rotating checkpoint every 10 steps, and asserts:
   3. the recovered trajectory and thermo log are bitwise identical to
      an uninjected reference run (the fault is transient, so the replay
      must be exact).
+
+**Hang family** — a ``stall-shard`` fault hangs one engine shard of a
+2-thread compressed-model run mid-protocol, with the per-shard soft
+deadline armed:
+
+  1. the engine detects the stall (``stall_detections`` counter, a
+     recorded stall event) instead of wedging,
+  2. the shard is quarantined and re-executed serially,
+  3. the run completes with coordinates bitwise identical to a clean
+     2-thread run (every shard writes its full disjoint output slab, so
+     serial re-execution is exact).
 
 Usage::
 
@@ -31,8 +45,16 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro.md import LennardJones, Simulation, copper_system  # noqa: E402
+from repro.core import CompressedDPModel, DPModel, ModelSpec  # noqa: E402
+from repro.md import (  # noqa: E402
+    DPForceField,
+    LennardJones,
+    Simulation,
+    copper_system,
+)
 from repro.md.simulation import PAPER_PROTOCOL_STEPS  # noqa: E402
+from repro.md.velocity import maxwell_boltzmann  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 from repro.robust import (  # noqa: E402
     CheckpointManager,
     FaultInjector,
@@ -43,6 +65,10 @@ from repro.units import MASS_AMU  # noqa: E402
 
 FAULT_STEP = 10
 CHECKPOINT_EVERY = 10
+STALL_STEP = 15
+STALL_STEPS_TOTAL = 30
+STALL_SPEC = f"stall-shard@{STALL_STEP}:0~0.4"
+SHARD_TIMEOUT = 0.05
 
 
 def make_sim(seed: int = 11) -> Simulation:
@@ -52,9 +78,62 @@ def make_sim(seed: int = 11) -> Simulation:
                       dt_fs=1.0, seed=seed, skin=1.0, rebuild_every=25)
 
 
+def make_dp_sim(velocities) -> Simulation:
+    """2-thread compressed-model sim for the hang-family drill (built
+    fresh per run so engines and neighbor state never alias)."""
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(96,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=42)
+    model = CompressedDPModel.compress(DPModel(spec), interval=1e-3,
+                                       x_max=2.2)
+    coords, types, box = copper_system((3, 3, 3))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    return Simulation(coords, types, box, [MASS_AMU["Cu"]],
+                      DPForceField(model), dt_fs=1.0, skin=1.0,
+                      sel=spec.sel, rebuild_every=25, threads=2,
+                      velocities=velocities)
+
+
 def fail(msg: str) -> int:
     print(f"FAULT SMOKE FAILED: {msg}")
     return 1
+
+
+def stall_drill() -> int:
+    """Hang family: stall-shard + per-shard soft deadline + quarantine."""
+    coords, types, _box = copper_system((3, 3, 3))
+    v0 = maxwell_boltzmann(
+        np.array([MASS_AMU["Cu"]])[types], 330.0, 3)
+
+    clean = make_dp_sim(v0)
+    clean.run(STALL_STEPS_TOTAL, thermo_every=10)
+
+    stalled = make_dp_sim(v0)
+    stalled.engine.shard_timeout = SHARD_TIMEOUT
+    stalled.engine.metrics = metrics = MetricsRegistry()
+    stalled.attach_injector(FaultInjector.from_specs(STALL_SPEC))
+    stalled.run(STALL_STEPS_TOTAL, thermo_every=10)
+
+    detections = metrics.counter("stall_detections").value
+    print(f"  {STALL_SPEC} vs {SHARD_TIMEOUT}s soft deadline: "
+          f"{detections} stall detection(s), "
+          f"quarantined shards {sorted(stalled.engine.quarantined)}")
+    if not stalled.engine.stall_events:
+        return fail("shard stall was never detected")
+    if detections < 1:
+        return fail("stall_detections counter did not increment")
+    if 0 not in stalled.engine.quarantined:
+        return fail("stalled shard 0 was not quarantined")
+    if stalled.step != STALL_STEPS_TOTAL:
+        return fail(f"stalled run stopped at step {stalled.step}")
+    if not np.array_equal(stalled.coords, clean.coords):
+        return fail("post-stall coords deviate from the clean 2-thread run")
+    if not np.array_equal(stalled.velocities, clean.velocities):
+        return fail("post-stall velocities deviate from the clean run")
+    stalled.engine.parole()
+    if stalled.engine.quarantined:
+        return fail("parole() did not clear the quarantine")
+    return 0
 
 
 def main() -> int:
@@ -96,7 +175,13 @@ def main() -> int:
             return fail(f"thermo sample at step {t.step} deviates")
 
     print(f"recovered run matches the clean {PAPER_PROTOCOL_STEPS}-step "
-          f"protocol bitwise ({time.perf_counter() - t0:.1f} s)")
+          f"protocol bitwise")
+
+    rc = stall_drill()
+    if rc:
+        return rc
+    print(f"stalled run matches the clean 2-thread run bitwise "
+          f"({time.perf_counter() - t0:.1f} s)")
     return 0
 
 
