@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,10 @@ backendsmoke:    ## <30 s force-backend drill: every model family serial vs 1-th
 
 kernelsmoke:     ## <30 s kernel-variant drill: aos vs soa vs chunked (bitwise), f32 (tolerance), compiled leg skips without numba
 	$(PYTHON) tools/kernel_smoke.py
+	$(PYTHON) -m pytest -q -m compiled tests
+
+servesmoke:      ## <60 s evaluation-service drill: batched f64 bitwise vs sequential, queue/occupancy/latency in BENCH_serve.json
+	$(PYTHON) tools/serve_smoke.py
 
 chaossoak:       ## <60 s chaos drill: seeded fault storm (stalls + slow-io + kill-rank) under the watchdogs; bitwise f64 vs fault-free run
 	$(PYTHON) tools/chaos_soak.py
@@ -33,4 +37,4 @@ chaossoak:       ## <60 s chaos drill: seeded fault storm (stalls + slow-io + ki
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak
+verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke

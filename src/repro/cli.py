@@ -156,6 +156,39 @@ def build_parser() -> argparse.ArgumentParser:
     proj.add_argument("--system", choices=["copper", "water"],
                       default="copper")
 
+    srv = sub.add_parser(
+        "serve",
+        help="drive the batched evaluation service on synthetic traffic")
+    srv.add_argument("--system", choices=["copper", "water"],
+                     default="copper")
+    srv.add_argument("--cells", type=int, nargs=3, default=[3, 3, 3],
+                     help="unit cells of the per-job configuration")
+    srv.add_argument("--jobs", type=int, default=16,
+                     help="total jobs submitted")
+    srv.add_argument("--clients", type=int, default=3,
+                     help="jobs are spread round-robin over this many "
+                          "clients")
+    srv.add_argument("--max-batch", type=int, default=8,
+                     help="most same-shaped jobs packed per dispatch")
+    srv.add_argument("--threads", type=int, default=1,
+                     help="engine threads; batches run concurrently, "
+                          "results stay bitwise")
+    srv.add_argument("--capacity", type=int, default=64,
+                     help="queue bound (backpressure past it)")
+    srv.add_argument("--deadline", type=float, default=None,
+                     help="per-job budget in seconds")
+    srv.add_argument("--md-every", type=int, default=0,
+                     help="every Nth job is a short MD segment instead "
+                          "of a single-point evaluation (0 = never)")
+    srv.add_argument("--interval", type=float, default=0.05)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--metrics", type=str, default=None,
+                     help="write metrics JSONL here")
+    srv.add_argument("--chaos-profile", type=str, default=None,
+                     help="arm a chaos storm (e.g. 'serve') over the "
+                          "job sequence")
+    srv.add_argument("--chaos-seed", type=int, default=None)
+
     sub.add_parser("info", help="print package and paper summary")
     return p
 
@@ -478,6 +511,95 @@ def _cmd_project(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """``serve``: synthetic mixed-traffic demo of the evaluation service.
+
+    Builds one compressed model, spreads --jobs jittered single-point
+    evaluations (plus optional MD segments) over --clients lanes,
+    drains the queue, and prints the service's own metrics — queue
+    depth, batch occupancy, p50/p99 latency.  With --chaos-profile the
+    job sequence runs under an armed fault storm (slow-job/flaky-job).
+    """
+    import numpy as np
+
+    from repro.core import CompressedDPModel, DPModel
+    from repro.md import copper_system, water_system
+    from repro.obs import MetricsRegistry
+    from repro.serve import EvalJob, EvalService, MDJob
+    from repro.workloads import COPPER, WATER
+
+    w = COPPER if args.system == "copper" else WATER
+    spec = w.model_spec(d1=8, m_sub=4, fit_width=32, seed=args.seed)
+    model = CompressedDPModel.compress(DPModel(spec),
+                                       interval=args.interval)
+    if args.system == "copper":
+        coords, types, box = copper_system(tuple(args.cells))
+    else:
+        coords, types, box = water_system(tuple(args.cells),
+                                          seed=args.seed)
+    engine = None
+    if args.threads > 1:
+        from repro.parallel import ThreadedEngine
+
+        engine = ThreadedEngine(args.threads)
+    injector = None
+    if args.chaos_profile:
+        from repro.robust import ChaosSchedule
+
+        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        schedule = ChaosSchedule(args.jobs, seed=seed,
+                                 profile=args.chaos_profile)
+        print(schedule.describe())
+        injector = schedule.injector()
+    metrics = MetricsRegistry(sink=args.metrics) if args.metrics else None
+    service = EvalService(model, capacity=args.capacity,
+                          max_batch=args.max_batch, engine=engine,
+                          metrics=metrics,
+                          default_deadline=args.deadline,
+                          injector=injector)
+    rng = np.random.default_rng(args.seed)
+    masses = np.asarray(w.masses)
+    tickets = []
+    for i in range(args.jobs):
+        jitter = rng.normal(0.0, 0.05, coords.shape)
+        if args.md_every and (i + 1) % args.md_every == 0:
+            job = MDJob(coords + jitter, types, box, masses,
+                        n_steps=5, seed=args.seed + i)
+        else:
+            job = EvalJob(coords + jitter, types, box)
+        tickets.append(service.submit(job,
+                                      client=f"client{i % args.clients}"))
+    print(f"{args.system}: {len(coords)} atoms/job, {args.jobs} jobs "
+          f"over {args.clients} clients, max_batch={args.max_batch}, "
+          f"threads={args.threads}")
+    rounds = service.drain()
+    by_status: dict[str, int] = {}
+    for t in tickets:
+        by_status[t.status] = by_status.get(t.status, 0) + 1
+        if t.failure is not None:
+            print(f"  job {t.job_id} [{t.status}] "
+                  f"{t.failure.phase}: {t.failure.error}")
+    snap = service.stats()
+    occ = snap["histograms"].get("serve_batch_occupancy", {})
+    lat = snap["histograms"].get("serve_latency_seconds", {})
+    print(f"drained in {rounds} rounds: " +
+          ", ".join(f"{k}={v}" for k, v in sorted(by_status.items())))
+    if occ.get("count"):
+        print(f"batch occupancy: mean {occ['mean']:.2f} "
+              f"max {occ['max']:.0f} over {occ['count']} dispatches")
+    if lat.get("count"):
+        print(f"latency: p50 {lat['p50'] * 1e3:.2f} ms, "
+              f"p99 {lat['p99'] * 1e3:.2f} ms")
+    if metrics is not None:
+        metrics.write_summary()
+        metrics.close()
+        print(f"metrics written to {args.metrics}")
+    if engine is not None:
+        engine.close()
+    failed = by_status.get("failed", 0) + by_status.get("timed-out", 0)
+    return 1 if (failed and not args.chaos_profile) else 0
+
+
 def _cmd_info(_args) -> int:
     import repro
 
@@ -492,6 +614,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "compress": _cmd_compress,
         "project": _cmd_project,
+        "serve": _cmd_serve,
         "info": _cmd_info,
     }[args.command](args)
 

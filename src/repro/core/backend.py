@@ -84,6 +84,12 @@ class EvalRequest:
     tracer: Any = None            #: optional Tracer (span attribution)
     precision: Any = None         #: optional dtype the coords are cast to
     chunk: int | None = None      #: optional fused-kernel chunk override
+    #: Optional batch boundaries: ``(atom_lo, atom_hi)`` ranges
+    #: partitioning ``centers`` into independent member systems whose
+    #: CSR arrays were concatenated (the serving layer's batch packing).
+    #: Only models advertising ``supports_splits`` can serve such a
+    #: request; per-member energy/virial land in ``extras["splits"]``.
+    splits: Any = None
 
     @classmethod
     def from_neighbors(cls, neighbors, *, engine=None, counters=None,
@@ -182,6 +188,12 @@ class PackedBackend(_BackendBase):
                 "PackedBackend needs the CSR neighbor arrays "
                 "(indices/indptr) on the request")
         coords = request.resolve_coords()
+        if request.splits is not None and not getattr(
+                self.model, "supports_splits", False):
+            raise ValueError(
+                f"{type(self.model).__name__} cannot serve a batched "
+                f"(splits) request; the serving layer must fall back to "
+                f"single-point evaluation for this model family")
         if self.accepts_engine:
             kwargs = dict(
                 counters=request.counters, engine=request.engine,
@@ -191,10 +203,17 @@ class PackedBackend(_BackendBase):
             # solely when set so models predating the knob keep working.
             if request.chunk is not None:
                 kwargs["chunk"] = request.chunk
+            if request.splits is not None:
+                kwargs["splits"] = request.splits
             return self.model.evaluate_packed(
                 coords, request.types, request.centers,
                 request.indices, request.indptr, **kwargs,
             )
+        if request.splits is not None:
+            raise ValueError(
+                f"backend {self.name!r} cannot serve a batched (splits) "
+                f"request: the serial packed signature takes no batch "
+                f"boundaries")
         return self.model.evaluate_packed(
             coords, request.types, request.centers,
             request.indices, request.indptr,
@@ -212,6 +231,11 @@ class PaddedFallbackBackend(_BackendBase):
     name = "padded"
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
+        if request.splits is not None:
+            raise ValueError(
+                "the padded fallback cannot serve a batched (splits) "
+                "request; the serving layer must fall back to "
+                "single-point evaluation for this model family")
         if request.nlist is None:
             raise ValueError(
                 "PaddedFallbackBackend needs the padded nlist on the "

@@ -74,6 +74,12 @@ class CompressedDPModel:
     #: forwards the threaded engine).
     supports_engine = True
 
+    #: The packed evaluation accepts ``splits=`` — a batch of independent
+    #: systems concatenated along the atom/pair axes, evaluated in one
+    #: pass with per-member results bitwise identical to standalone
+    #: evaluation (the serving layer's batched-GEMM contract).
+    supports_splits = True
+
     def __init__(self, spec: ModelSpec, tables, fittings, energy_bias,
                  chunk: int | None = None, use_soa: bool = False,
                  type_weights=None, layout: str | None = None,
@@ -191,6 +197,7 @@ class CompressedDPModel:
         engine=None,
         pair_atom: np.ndarray | None = None,
         chunk: int | None = None,
+        splits=None,
     ) -> EvalResult:
         """Energy/forces/virial from packed (CSR) neighbor lists.
 
@@ -201,6 +208,24 @@ class CompressedDPModel:
             length; defaults to the model's :attr:`chunk` (itself
             ``None`` for the cache-aware automatic).  Results are
             bitwise invariant under this knob.
+        splits:
+            Optional batch boundaries: a sequence of ``(atom_lo,
+            atom_hi)`` ranges partitioning ``centers`` into independent
+            member systems whose CSR arrays were concatenated (the
+            serving layer's batch packing).  The pair-domain stages
+            (env-matrix, fused forward/backward, force scatter) run as
+            one fused pass over the whole batch — results there are
+            bitwise invariant under concatenation because
+            :func:`~repro.core.fused.segment_reduce` never sums across
+            an atom segment — while the fitting-net forward/backward
+            (whose BLAS GEMMs are *not* row-count invariant) runs once
+            per member, so every member's energies and forces are
+            bitwise identical to evaluating it alone.  Per-member
+            ``{"energy", "virial"}`` dicts land in
+            ``extras["splits"]``.  Mutually exclusive with ``engine``
+            (batched requests are parallelized *across* batches by the
+            serving layer, never by intra-batch sharding, whose force
+            merge order would depend on batch composition).
         engine:
             Optional :class:`repro.parallel.engine.ThreadedEngine`.  When
             given (with more than one thread) every pipeline stage runs
@@ -224,6 +249,25 @@ class CompressedDPModel:
         indptr = np.asarray(indptr, dtype=np.intp)
         chunk = chunk if chunk is not None else self.chunk
         threaded = engine is not None and engine.n_threads > 1
+        if splits is not None:
+            if threaded:
+                raise ValueError(
+                    "splits= (batched evaluation) cannot be combined with "
+                    "a multi-thread engine: intra-batch shard cuts would "
+                    "make the force merge order depend on batch "
+                    "composition; parallelize across batches instead")
+            splits = [(int(lo), int(hi)) for lo, hi in splits]
+            expect = 0
+            for lo, hi in splits:
+                if lo != expect or hi < lo:
+                    raise ValueError(
+                        f"splits must partition [0, {n}) contiguously; "
+                        f"got range ({lo}, {hi}) after {expect}")
+                expect = hi
+            if expect != n:
+                raise ValueError(
+                    f"splits must cover all {n} center atoms, "
+                    f"covered {expect}")
         if pair_atom is None:
             pair_atom = np.repeat(np.arange(n, dtype=np.intp),
                                   np.diff(indptr))
@@ -279,6 +323,18 @@ class CompressedDPModel:
             energies, d_descr = engine.fit_packed(
                 self.fittings, self.energy_bias, descr, center_types)
             dt = engine.dt_packed(d_descr, t_mat, spec.m_sub)
+        elif splits is not None:
+            descr = descriptor_from_t(t_mat, spec.m_sub)
+            # Per-member fitting pass: the dense GEMMs see exactly the
+            # rows a standalone evaluation would, so the batch changes
+            # nothing downstream of this point for any member.
+            energies = np.empty(n, dtype=descr.dtype)
+            d_descr = np.empty_like(descr)
+            for lo, hi in splits:
+                e_s, dd_s = self._fit(descr[lo:hi], center_types[lo:hi])
+                energies[lo:hi] = e_s
+                d_descr[lo:hi] = dd_s
+            dt = dt_from_ddescr(d_descr, t_mat, spec.m_sub)
         else:
             descr = descriptor_from_t(t_mat, spec.m_sub)
             energies, d_descr = self._fit(descr, center_types)
@@ -314,11 +370,30 @@ class CompressedDPModel:
             total_energy = float(energies.sum(dtype=self.accum_dtype))
         else:
             total_energy = float(energies.sum())
+        extras = {}
+        if splits is not None:
+            # Per-member scalars: the energy sum runs over exactly the
+            # member's atom slice (same pairwise-summation tree as a
+            # standalone evaluation) and the virial einsum over exactly
+            # its pair slice, so both are bitwise standalone-identical.
+            per_member = []
+            for lo, hi in splits:
+                e_s = energies[lo:hi]
+                if self.accum_dtype is not None:
+                    e_m = float(e_s.sum(dtype=self.accum_dtype))
+                else:
+                    e_m = float(e_s.sum())
+                plo, phi = int(indptr[lo]), int(indptr[hi])
+                v_m = prod_virial_se_a_packed(
+                    net_deriv[plo:phi], deriv[plo:phi], rij[plo:phi])
+                per_member.append({"energy": e_m, "virial": v_m})
+            extras["splits"] = per_member
         return EvalResult(
             energy=total_energy,
             atomic_energies=energies,
             forces=forces,
             virial=virial,
+            extras=extras,
         )
 
     def evaluate(

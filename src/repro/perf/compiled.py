@@ -32,11 +32,22 @@ from ..core.compressed import CompressedDPModel
 
 __all__ = [
     "HAVE_NUMBA",
+    "NUMBA_SKIP_REASON",
     "CompiledEmbeddingTable",
     "CompiledPackedBackend",
     "enable_compiled_backend",
     "disable_compiled_backend",
 ]
+
+#: The one canonical explanation for skipping compiled-backend work on
+#: a numba-less host — shared by :func:`enable_compiled_backend`'s
+#: error and every ``@pytest.mark.compiled`` skip, so a skipped CI run
+#: says *why* in the same words everywhere (and a test can assert the
+#: exact string).
+NUMBA_SKIP_REASON = (
+    "numba is not installed; the compiled backend would fall back "
+    "to interpreted per-pair loops. Install numba or stay on the "
+    "default vectorized backend.")
 
 try:
     from numba import njit
@@ -190,10 +201,7 @@ def enable_compiled_backend():
     wins; use :func:`disable_compiled_backend` to undo).
     """
     if not HAVE_NUMBA:
-        raise RuntimeError(
-            "numba is not installed; the compiled backend would fall back "
-            "to interpreted per-pair loops. Install numba or stay on the "
-            "default vectorized backend.")
+        raise RuntimeError(NUMBA_SKIP_REASON)
     return register_backend(_matches, CompiledPackedBackend)
 
 

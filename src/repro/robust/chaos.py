@@ -76,6 +76,13 @@ CHAOS_PROFILES = {
         "truncate-checkpoint": 1, "stall-shard": 2, "slow-io": 1,
         "stall-ghost": 1, "kill-rank": 2,
     }),
+    # Serving-layer storm (repro.serve): "steps" are job sequence
+    # numbers.  slow-job stalls the dispatcher long enough to blow a
+    # tight per-job deadline; flaky-job exercises the retry/backoff
+    # path.  Sized for the service chaos tests and `make servesmoke`.
+    "serve": ChaosProfile("serve", {
+        "slow-job": 2, "flaky-job": 2,
+    }),
 }
 
 #: Domain-separation salt so a chaos stream never collides with any

@@ -79,6 +79,12 @@ FAULT_KINDS = (
     "slow-io",
     "stall-ghost",
     "flaky-forces",
+    # Serving-layer kinds (repro.serve): the fault "step" is the job's
+    # submission sequence number, not an MD step.  Appended last so the
+    # chaos schedule's draw order — iterated in FAULT_KINDS order — is
+    # bitwise unchanged for every pre-existing profile.
+    "slow-job",
+    "flaky-job",
 )
 
 #: The hang-family kinds (carry a ``duration``); the crash family is
@@ -270,6 +276,46 @@ class FaultInjector:
         stall = self._take("stall-shard", self.current_step, target=shard)
         if stall is not None:
             time.sleep(stall.duration)
+
+    def job_delay(self, seq: int) -> float:
+        """Serving-layer ``slow-job`` hook: seconds the dispatching
+        service should stall before executing job ``seq`` (a slow
+        client / pathological request model).
+
+        Returns the duration instead of sleeping so the service can
+        burn the time through its own injectable sleep function — the
+        deterministic fake-clock tests advance a virtual clock, real
+        deployments actually sleep.
+        """
+        fault = self._take("slow-job", seq)
+        return fault.duration if fault is not None else 0.0
+
+    def job_fault(self, seq: int) -> None:
+        """Serving-layer ``flaky-job`` hook: raise on job ``seq``.
+
+        One-shot like every crash-family fault, so a retry of the same
+        job succeeds — the transient-failure model the service's
+        :class:`~repro.robust.deadline.RetryPolicy` integration exists
+        for.  ``p < 1`` flips the injector's seeded coin per try (the
+        stochastic cousin, mirroring ``flaky-forces``).
+        """
+        with self._lock:
+            fault = None
+            for f in self.faults:
+                if not f.matches("flaky-job", seq, None):
+                    continue
+                if f.p >= 1.0 or float(self.rng.random()) < f.p:
+                    fault = f
+                    f.fired = True
+                    self.log.append({"kind": "flaky-job", "step": seq,
+                                     "target": f.target})
+                elif f.step is not None:
+                    # A seq-armed stochastic fault gets exactly one try.
+                    f.fired = True
+                break
+        if fault is not None:
+            raise InjectedFault(
+                f"injected flaky-job failure on job {seq}")
 
     def checkpoint_delay(self, step: int | None = None,
                          target: int | None = None) -> float:

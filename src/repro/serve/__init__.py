@@ -1,0 +1,28 @@
+"""Batched evaluation service (PR 8).
+
+The serving layer the paper's surrounding workflows (DP-GEN active
+learning, committee sampling, property scans) need: clients submit
+single-point evaluations, short MD segments, and committee queries;
+the service admits them through a bounded fair queue, packs
+same-shaped requests into one fused batched evaluation per backend —
+with per-member results **bitwise identical** to sequential
+single-point evaluation — and spreads batches over a shared thread
+pool.  See DESIGN.md Sec. 11.
+"""
+
+from .batch import (PackedBatch, evaluate_batch, pack_neighbors,
+                    supports_batching)
+from .jobs import (DONE, FAILED, PENDING, TERMINAL_STATES, TIMED_OUT,
+                   CommitteeJob, EvalJob, EvalOutput, JobFailure, MDJob,
+                   MDOutput, TaskJob, Ticket)
+from .queue import FairQueue, QueueFullError
+from .service import EvalService
+
+__all__ = [
+    "EvalService",
+    "FairQueue", "QueueFullError",
+    "EvalJob", "MDJob", "CommitteeJob", "TaskJob",
+    "EvalOutput", "MDOutput", "JobFailure", "Ticket",
+    "PackedBatch", "pack_neighbors", "evaluate_batch", "supports_batching",
+    "PENDING", "DONE", "FAILED", "TIMED_OUT", "TERMINAL_STATES",
+]

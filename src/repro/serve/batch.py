@@ -1,0 +1,130 @@
+"""Batch packing: concatenate same-shaped requests into one fused pass.
+
+The 86-PFLOPS DPMD work (Lu et al., 2020) gets its hardware headroom
+from running *one big GEMM* instead of many small ones.  The packed
+(CSR) layout makes that trivial for this codebase: B independent
+systems evaluated against the same model are, after index offsetting,
+indistinguishable from one system with B connected components — no
+padding waste, one fused forward/backward over the concatenated pair
+list, one table lookup stream, one force scatter.
+
+Bitwise contract (the serving layer's headline invariant): for every
+member, the batched result equals standalone evaluation **bit for
+bit**, per dtype.  The pair-domain stages are concatenation-invariant
+because :func:`repro.core.fused.segment_reduce` never sums across an
+atom segment and every per-pair operation is elementwise; the one
+stage that is *not* row-count invariant — the fitting-net BLAS GEMMs,
+whose k-blocking changes with the row count — runs per member inside
+:meth:`repro.core.compressed.CompressedDPModel.evaluate_packed` when
+``splits=`` is given (see DESIGN.md Sec. 11 for the argument, and
+``tests/test_serve_batch.py`` for the {f64, f32} x {aos, soa} x
+{1, 2 threads} pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.backend import EvalRequest, ForceBackend
+from .jobs import EvalOutput
+
+__all__ = ["PackedBatch", "pack_neighbors", "evaluate_batch",
+           "supports_batching"]
+
+
+def supports_batching(backend: ForceBackend) -> bool:
+    """True when ``backend`` can serve a concatenated (splits) request."""
+    return bool(getattr(backend.model, "supports_splits", False))
+
+
+@dataclass
+class PackedBatch:
+    """B member systems concatenated into one packed evaluation."""
+
+    request: EvalRequest            #: the concatenated request
+    #: Per-member ``(atom_lo, atom_hi)`` ranges into ``centers`` rows.
+    splits: list
+    #: Per-member ``(ext_lo, ext_hi)`` ranges into the extended
+    #: (local + ghost) coordinate rows — the force slices.
+    ext_ranges: list
+    #: The member neighbor structures (ghost folding happens per member).
+    members: list
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def pack_neighbors(neighbors, *, precision=None,
+                   chunk: int | None = None) -> PackedBatch:
+    """Concatenate built neighbor structures into one packed request.
+
+    Every member's CSR arrays are offset into a shared index space:
+    ``indices``/``centers`` by the running extended-row count,
+    ``indptr`` by the running pair count, ``pair_atom`` by the running
+    local-atom count.  Atom segments never straddle members, which is
+    what makes the fused pass bitwise concatenation-invariant.
+    """
+    neighbors = list(neighbors)
+    if not neighbors:
+        raise ValueError("cannot pack an empty batch")
+    ext_off = pair_off = loc_off = 0
+    coords, types, centers, indices, pair_atom = [], [], [], [], []
+    indptr = [np.zeros(1, dtype=np.intp)]
+    splits, ext_ranges = [], []
+    for nd in neighbors:
+        coords.append(nd.ext_coords)
+        types.append(nd.ext_types)
+        centers.append(nd.centers + ext_off)
+        indices.append(nd.indices + ext_off)
+        indptr.append(np.asarray(nd.indptr[1:], dtype=np.intp) + pair_off)
+        # nd.pair_atom maps pairs to *local row* indices; offset by the
+        # running local count, not the extended count.
+        pair_atom.append(np.asarray(nd.pair_atom, dtype=np.intp) + loc_off)
+        splits.append((loc_off, loc_off + nd.n_local))
+        ext_ranges.append((ext_off, ext_off + len(nd.ext_coords)))
+        ext_off += len(nd.ext_coords)
+        pair_off += len(nd.indices)
+        loc_off += nd.n_local
+    request = EvalRequest(
+        coords=np.concatenate(coords),
+        types=np.concatenate(types),
+        centers=np.concatenate(centers),
+        indices=np.concatenate(indices),
+        indptr=np.concatenate(indptr),
+        pair_atom=np.concatenate(pair_atom),
+        precision=None if precision is None else np.dtype(precision),
+        chunk=chunk,
+        splits=splits,
+    )
+    return PackedBatch(request=request, splits=splits,
+                       ext_ranges=ext_ranges, members=neighbors)
+
+
+def evaluate_batch(backend: ForceBackend,
+                   batch: PackedBatch) -> list[EvalOutput]:
+    """One fused evaluation of the whole batch, split back per member.
+
+    Per-member energies and virials come from the model's
+    ``extras["splits"]`` (computed over exactly the member's atom/pair
+    slices); forces are sliced by extended-row range and ghost-folded
+    through the member's own neighbor structure — the identical fold a
+    standalone evaluation performs.
+    """
+    result = backend.evaluate(batch.request)
+    per_member = result.extras.get("splits")
+    if per_member is None or len(per_member) != len(batch):
+        raise RuntimeError(
+            f"backend {backend.name!r} returned no per-member results "
+            f"for a {len(batch)}-member batch")
+    outputs = []
+    for nd, (lo, hi), (elo, ehi), scalars in zip(
+            batch.members, batch.splits, batch.ext_ranges, per_member):
+        outputs.append(EvalOutput(
+            energy=scalars["energy"],
+            forces=nd.fold_forces(result.forces[elo:ehi]),
+            virial=scalars["virial"],
+            atomic_energies=result.atomic_energies[lo:hi],
+        ))
+    return outputs

@@ -1,0 +1,199 @@
+"""Job types, tickets, and structured failure reports for the service.
+
+A *job* is one unit of client work: a single-point energy/force
+evaluation (:class:`EvalJob` — the batchable bread-and-butter request),
+a short MD segment (:class:`MDJob`), a committee uncertainty query
+(:class:`CommitteeJob`), or an arbitrary callable (:class:`TaskJob`,
+used by the deterministic scheduler tests and for custom work units).
+
+Submitting a job yields a :class:`Ticket` — the client-side handle that
+carries the job's lifecycle (``pending -> done | failed | timed-out``),
+its result, and, on failure, a :class:`JobFailure` report modeled on
+:class:`repro.robust.deadline.FailureReport`: where the job died
+(queued vs. executing), the final error, attempts burned, and the
+clock readings a post-mortem needs.  All timestamps come from the
+service's injectable clock, so tests never touch the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "PENDING", "DONE", "FAILED", "TIMED_OUT", "TERMINAL_STATES",
+    "EvalJob", "MDJob", "CommitteeJob", "TaskJob",
+    "EvalOutput", "MDOutput", "JobFailure", "Ticket",
+]
+
+#: Ticket lifecycle states.  ``pending`` covers queued *and* executing
+#: (the scheduler is synchronous per round); the terminal states are
+#: mutually exclusive and final.
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+TIMED_OUT = "timed-out"
+TERMINAL_STATES = (DONE, FAILED, TIMED_OUT)
+
+
+@dataclass
+class EvalJob:
+    """One single-point energy/force/virial evaluation.
+
+    The service builds the neighbor structure (once, cached on the
+    ticket so retries do not rebuild) and evaluates through the model's
+    resolved :class:`~repro.core.backend.ForceBackend`.  Jobs naming
+    the same model with the same precision share a batch key, so the
+    scheduler packs them into one batched evaluation.
+    """
+
+    coords: np.ndarray
+    types: np.ndarray
+    box: Any
+    model: str = "default"      #: registered model name
+    precision: Any = None       #: optional dtype (f32 fast path)
+
+    kind = "eval"
+
+
+@dataclass
+class MDJob:
+    """A short MD segment: integrate ``n_steps`` and return the end state.
+
+    Never batched (the step loop is stateful); runs on the exact serial
+    :class:`~repro.md.simulation.Simulation` path.
+    """
+
+    coords: np.ndarray
+    types: np.ndarray
+    box: Any
+    masses: np.ndarray          #: per-type masses (amu)
+    n_steps: int = 10
+    dt_fs: float = 1.0
+    temperature: float = 330.0
+    seed: int = 0
+    model: str = "default"
+
+    kind = "md"
+
+
+@dataclass
+class CommitteeJob:
+    """A committee uncertainty query (DP-GEN's model-deviation metrics).
+
+    Evaluated through a registered :class:`~repro.core.committee.
+    ModelCommittee`; returns its :class:`DeviationRecord`.
+    """
+
+    coords: np.ndarray
+    types: np.ndarray
+    box: Any
+    committee: str = "default"  #: registered committee name
+
+    kind = "committee"
+
+
+@dataclass
+class TaskJob:
+    """An arbitrary callable work unit.
+
+    ``fn()`` is invoked at dispatch; its return value becomes the
+    ticket's result.  ``tag`` is the batch key — same-tag task jobs are
+    grouped into one dispatch round (occupancy accounting), though each
+    callable still runs individually.  The deterministic scheduler
+    tests are built on this type (zero numerical cost), and it doubles
+    as the extension point for custom job families.
+    """
+
+    fn: Callable[[], Any]
+    tag: str = "task"
+
+    kind = "task"
+
+
+@dataclass
+class EvalOutput:
+    """Result of one :class:`EvalJob` (ghost forces already folded)."""
+
+    energy: float
+    forces: np.ndarray          #: (n_local, 3), ghost rows folded back
+    virial: np.ndarray
+    atomic_energies: np.ndarray
+
+
+@dataclass
+class MDOutput:
+    """Result of one :class:`MDJob`."""
+
+    coords: np.ndarray
+    velocities: np.ndarray
+    energy: float               #: final potential energy
+    n_steps: int
+
+
+@dataclass
+class JobFailure:
+    """Structured failure report (the serving analogue of
+    :class:`repro.robust.deadline.FailureReport`)."""
+
+    job_id: int
+    client: str
+    phase: str                  #: ``"queued"`` or ``"execute"``
+    error: str                  #: repr of the final error / miss
+    attempts: int = 0           #: execution attempts burned
+    submitted_at: float = 0.0   #: service-clock reading at submit
+    failed_at: float = 0.0      #: service-clock reading at failure
+    deadline_seconds: float | None = None  #: the job's budget, if any
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "job_id": self.job_id,
+            "client": self.client,
+            "phase": self.phase,
+            "error": self.error,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "failed_at": self.failed_at,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+
+@dataclass
+class Ticket:
+    """Client-side handle for one submitted job."""
+
+    job_id: int
+    client: str
+    job: Any
+    submitted_at: float
+    deadline: Any = None        #: optional repro.robust Deadline
+    status: str = PENDING
+    result: Any = None
+    failure: JobFailure | None = None
+    attempts: int = 0
+    finished_at: float | None = None
+    #: Earliest service-clock time a retried job may be re-dispatched
+    #: (the RetryPolicy backoff, enforced without sleeping the queue).
+    not_before: float = 0.0
+    #: Neighbor structure cache: built once on first dispatch so a
+    #: retry never redoes the binning.
+    _neighbors: Any = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-terminal seconds on the service clock."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (f"Ticket(id={self.job_id}, client={self.client!r}, "
+                f"kind={getattr(self.job, 'kind', '?')}, "
+                f"status={self.status!r})")

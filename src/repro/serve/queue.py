@@ -1,0 +1,162 @@
+"""Bounded request queue with per-client round-robin fairness.
+
+The serving layer's admission control: every client owns a FIFO lane,
+lanes are drained round-robin, and total depth is capped — a full queue
+*rejects* new work (:class:`QueueFullError`, the backpressure signal a
+client can retry on) instead of growing without bound.
+
+Fairness here is the scheduling-theory kind, not a vague promise: a
+client's next item is served after at most one item from every other
+client with pending work (round-robin over lanes in first-arrival
+order).  An adversarial client flooding the queue fills *its own lane*
+— it can exhaust the shared capacity (that is what backpressure is
+for) but never reorder another client's items or starve them once
+admitted.  The property suite in ``tests/test_serve_queue.py`` pins
+both guarantees.
+
+The queue is deterministic and clock-free: pop order is a pure
+function of the push sequence.  It is also lock-free by design — the
+scheduler (:class:`repro.serve.service.EvalService`) is the only
+consumer, and it serializes queue access on its own dispatch thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["FairQueue", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure: the queue is at capacity, the job was rejected."""
+
+    def __init__(self, client: str, depth: int, capacity: int):
+        super().__init__(
+            f"queue full ({depth}/{capacity}); job from client "
+            f"{client!r} rejected — retry after the backlog drains")
+        self.client = client
+        self.depth = depth
+        self.capacity = capacity
+
+
+class FairQueue:
+    """Bounded multi-client queue, drained round-robin across clients.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum total queued items across all clients; ``None`` means
+        unbounded.  :meth:`push` raises :class:`QueueFullError` at the
+        cap — admission control is the *caller's* signal, the queue
+        never blocks.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and int(capacity) < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = None if capacity is None else int(capacity)
+        self._lanes: dict[str, deque] = {}
+        #: Round-robin ring: clients with pending items, in service
+        #: order.  The front client is served next; after a pop it
+        #: moves to the back (or leaves the ring when drained).
+        self._ring: deque[str] = deque()
+        self._depth = 0
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return self._depth
+
+    def __bool__(self) -> bool:
+        return self._depth > 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def clients(self) -> list[str]:
+        """Clients with pending items, in current round-robin order."""
+        return list(self._ring)
+
+    def lane_depth(self, client: str) -> int:
+        lane = self._lanes.get(client)
+        return len(lane) if lane else 0
+
+    # -------------------------------------------------------------- mutation
+    def push(self, client: str, item: Any) -> None:
+        """Enqueue ``item`` on ``client``'s lane.
+
+        Raises :class:`QueueFullError` at capacity (backpressure); the
+        item is *not* admitted.
+        """
+        if self.capacity is not None and self._depth >= self.capacity:
+            raise QueueFullError(client, self._depth, self.capacity)
+        lane = self._lanes.get(client)
+        if lane is None:
+            lane = self._lanes[client] = deque()
+        if not lane:
+            self._ring.append(client)
+        lane.append(item)
+        self._depth += 1
+
+    def pop(self) -> tuple[str, Any]:
+        """Dequeue the next item in round-robin fairness order.
+
+        Returns ``(client, item)``; raises :class:`IndexError` on an
+        empty queue.  The served client rotates to the back of the
+        ring, so K clients with pending work each get every K-th slot.
+        """
+        if not self._ring:
+            raise IndexError("pop from an empty FairQueue")
+        client = self._ring.popleft()
+        lane = self._lanes[client]
+        item = lane.popleft()
+        self._depth -= 1
+        if lane:
+            self._ring.append(client)
+        return client, item
+
+    def take_matching(self, pred: Callable[[Any], bool],
+                      limit: int) -> list[tuple[str, Any]]:
+        """Remove up to ``limit`` items satisfying ``pred``, scanning in
+        fairness order (ring order, FIFO within each lane).
+
+        This is the batch-packing hook: after :meth:`pop` fixes the
+        round's batch key, the scheduler collects that key's shape-mates
+        across all lanes.  Taking a later same-key item ahead of a
+        client's earlier other-key items is deliberate — it delays no
+        other item (the batch occupies one dispatch slot) and raises
+        occupancy.  The ring is not rotated: only :meth:`pop` advances
+        the fairness cursor.
+        """
+        if limit <= 0:
+            return []
+        taken: list[tuple[str, Any]] = []
+        for client in list(self._ring):
+            lane = self._lanes[client]
+            kept = deque()
+            while lane:
+                item = lane.popleft()
+                if len(taken) < limit and pred(item):
+                    taken.append((client, item))
+                    self._depth -= 1
+                else:
+                    kept.append(item)
+            self._lanes[client] = kept
+            if not kept:
+                self._ring.remove(client)
+            if len(taken) >= limit:
+                break
+        return taken
+
+    def drain_lane(self, client: str) -> list[Any]:
+        """Remove and return every pending item of one client."""
+        lane = self._lanes.get(client)
+        if not lane:
+            return []
+        items = list(lane)
+        lane.clear()
+        self._depth -= len(items)
+        if client in self._ring:
+            self._ring.remove(client)
+        return items

@@ -1,0 +1,454 @@
+"""The batched evaluation service: queue -> scheduler -> worker pool.
+
+:class:`EvalService` is the serving loop the DP-GEN-style workflows in
+the paper's ecosystem sit on top of: many clients (active-learning
+drivers, committee samplers, analysis notebooks) submit single-point
+evaluations, short MD segments, and committee queries against shared
+models; the service admits them through a bounded
+:class:`~repro.serve.queue.FairQueue` (backpressure + per-client
+round-robin fairness), packs same-shaped evaluation requests into one
+batched fused pass per backend (:mod:`repro.serve.batch`), and runs
+batches on a shared :class:`~repro.parallel.engine.ThreadedEngine`.
+
+Design invariants, each pinned by ``tests/test_serve_*``:
+
+* **Determinism** — the scheduler is single-threaded and clock-free at
+  its core: pop order is a pure function of the submit sequence, and
+  every timestamp comes from the injectable ``clock``.  Tests drive
+  the whole lifecycle — deadlines, backoff, latency histograms — with
+  a fake clock and never call ``time.sleep``.
+* **Bitwise results** — a batched evaluation returns, per member,
+  exactly the bits sequential evaluation would (the ``splits=``
+  contract of :meth:`~repro.core.compressed.CompressedDPModel.
+  evaluate_packed`).  Parallelism is *across* batches: each batch is
+  evaluated with serial kernels, batches are distributed over the
+  engine pool as pure functions, results are applied on the scheduler
+  thread.
+* **No head-of-line blocking** — queued jobs whose deadline expires
+  are swept out *before* the round's dispatch, each with a structured
+  :class:`~repro.serve.jobs.JobFailure`, so one doomed job never
+  delays the jobs behind it.
+* **Bounded failure** — a failing job burns ``max_retries`` attempts
+  with :class:`~repro.robust.deadline.RetryPolicy` backoff (enforced
+  via ``not_before``, not by sleeping the queue), then lands in
+  ``failed`` with a full report.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.backend import EvalRequest, backend_for
+from ..md.neighbor import NeighborSearch
+from ..obs.metrics import MetricsRegistry
+from ..robust.deadline import Deadline, RetryPolicy
+from .batch import evaluate_batch, pack_neighbors, supports_batching
+from .jobs import (DONE, FAILED, PENDING, TIMED_OUT, EvalOutput, JobFailure,
+                   MDOutput, Ticket)
+from .queue import FairQueue, QueueFullError
+
+__all__ = ["EvalService"]
+
+
+class EvalService:
+    """Batched, fair, deadline-aware evaluation service.
+
+    Parameters
+    ----------
+    model:
+        Convenience: registered under the name ``"default"``.
+    models:
+        Mapping of name -> model; each model's
+        :class:`~repro.core.backend.ForceBackend` is resolved once at
+        registration, and a :class:`~repro.md.neighbor.NeighborSearch`
+        is cached per model.
+    committees:
+        Mapping of name -> :class:`~repro.core.committee.ModelCommittee`
+        for :class:`~repro.serve.jobs.CommitteeJob` queries.
+    capacity:
+        Queue bound; :meth:`submit` raises
+        :class:`~repro.serve.queue.QueueFullError` past it.
+    max_batch:
+        Most same-keyed jobs packed into one dispatch round.
+    engine:
+        Optional :class:`~repro.parallel.engine.ThreadedEngine`;
+        batches within a round are distributed over its pool (each
+        evaluated with serial kernels, preserving bitwise results).
+    clock, sleep:
+        Injectable time sources (tests use a fake clock; the scheduler
+        itself never reads the wall clock directly).
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry`; a private
+        one is created otherwise.  The service records
+        ``serve_queue_depth`` (gauge), ``serve_batch_occupancy`` and
+        ``serve_latency_seconds`` (histograms — p50/p99 via the
+        deterministic reservoir), and counters for
+        submitted/served/rejected/retries/timeouts/failures.
+    default_deadline:
+        Per-job budget in seconds applied when :meth:`submit` gets no
+        explicit deadline (``None`` = unlimited).
+    retry, max_retries:
+        Failure policy: a job may burn ``max_retries`` *retry* attempts
+        (so ``max_retries + 1`` executions total) with
+        :class:`~repro.robust.deadline.RetryPolicy` backoff between
+        them.
+    injector:
+        Optional :class:`~repro.robust.faults.FaultInjector`; the
+        ``slow-job`` / ``flaky-job`` kinds key on the job sequence
+        number.
+    skin:
+        Verlet skin for the per-model neighbor builders (single-point
+        services have no motion to buffer, so it defaults small).
+    """
+
+    def __init__(self, model=None, *, models=None, committees=None,
+                 capacity: int | None = 256, max_batch: int = 8,
+                 engine=None, clock=time.monotonic, sleep=time.sleep,
+                 metrics=None, default_deadline: float | None = None,
+                 retry: RetryPolicy | None = None, max_retries: int = 2,
+                 injector=None, skin: float = 1.0):
+        if int(max_batch) < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+        self.engine = engine
+        self._clock = clock
+        self._sleep = sleep
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.default_deadline = default_deadline
+        self.retry = retry
+        self.max_retries = int(max_retries)
+        self.injector = injector
+        self.skin = float(skin)
+        self.queue = FairQueue(capacity)
+        self._models: dict[str, object] = {}
+        self._backends: dict[str, object] = {}
+        self._searchers: dict[str, NeighborSearch] = {}
+        self._committees: dict[str, object] = {}
+        self._seq = 0
+        self.tickets: dict[int, Ticket] = {}
+        #: Retried tickets waiting out their backoff (``not_before``).
+        self._backoff: list[Ticket] = []
+        if model is not None:
+            self.register_model("default", model)
+        for name, m in (models or {}).items():
+            self.register_model(name, m)
+        for name, c in (committees or {}).items():
+            self.register_committee(name, c)
+
+    # ---------------------------------------------------------- registration
+    def register_model(self, name: str, model) -> None:
+        """Register ``model`` under ``name``; resolves its backend and
+        neighbor builder once, so dispatch is lookup-only."""
+        spec = model.spec
+        self._models[name] = model
+        self._backends[name] = backend_for(model)
+        self._searchers[name] = NeighborSearch(spec.rcut, self.skin,
+                                               sel=spec.sel)
+
+    def register_committee(self, name: str, committee) -> None:
+        self._committees[name] = committee
+        spec = committee.spec
+        # Committee queries share the per-model builder namespace under
+        # a reserved prefix (a committee is not an eval target).
+        self._searchers[f"committee:{name}"] = NeighborSearch(
+            spec.rcut, self.skin, sel=spec.sel)
+
+    # --------------------------------------------------------------- submit
+    def submit(self, job, client: str = "default",
+               deadline: float | Deadline | None = None) -> Ticket:
+        """Admit ``job`` into ``client``'s lane; returns its ticket.
+
+        Raises :class:`QueueFullError` (backpressure) at capacity — the
+        job is *not* admitted and no ticket is issued.  ``deadline``
+        (seconds, or a prebuilt :class:`Deadline`) is anchored at
+        submit time on the service clock and covers queueing *and*
+        execution.
+        """
+        kind = getattr(job, "kind", None)
+        if kind == "eval" or kind == "md":
+            if job.model not in self._models:
+                raise ValueError(f"unknown model {job.model!r}; registered: "
+                                 f"{sorted(self._models)}")
+        elif kind == "committee":
+            if job.committee not in self._committees:
+                raise ValueError(
+                    f"unknown committee {job.committee!r}; registered: "
+                    f"{sorted(self._committees)}")
+        elif kind != "task":
+            raise TypeError(f"unsupported job type {type(job).__name__!r}")
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline), clock=self._clock)
+        self._seq += 1
+        ticket = Ticket(job_id=self._seq, client=client, job=job,
+                        submitted_at=self._clock(), deadline=deadline)
+        try:
+            self.queue.push(client, ticket)
+        except QueueFullError:
+            self.metrics.inc("serve_rejected")
+            self._seq -= 1
+            raise
+        self.tickets[ticket.job_id] = ticket
+        self.metrics.inc("serve_submitted")
+        self.metrics.gauge("serve_queue_depth").set(self.queue.depth)
+        return ticket
+
+    # ------------------------------------------------------------ batch keys
+    def _batch_key(self, ticket: Ticket):
+        """Jobs sharing a key are packed into one dispatch round.
+
+        Evaluations batch per (model, precision) when the backend
+        supports the bitwise ``splits=`` contract; task jobs batch per
+        tag (occupancy accounting — the callables still run one by
+        one); everything else is a singleton round.
+        """
+        job = ticket.job
+        kind = getattr(job, "kind", None)
+        if kind == "eval" and supports_batching(self._backends[job.model]):
+            prec = "f64" if job.precision is None \
+                else np.dtype(job.precision).name
+            return ("eval", job.model, prec)
+        if kind == "task":
+            return ("task", job.tag)
+        return (kind or "?", ticket.job_id)
+
+    # -------------------------------------------------------------- the loop
+    def run_once(self) -> list[Ticket]:
+        """One scheduler round; returns the tickets that went terminal.
+
+        Order of operations (each step matters for the invariants):
+        re-admit backoff tickets whose ``not_before`` has passed
+        (sleeping to the earliest one only when the queue is otherwise
+        idle); sweep expired *queued* deadlines out as structured
+        timeouts (no head-of-line blocking); pop the round's head in
+        fairness order; collect its shape-mates up to ``max_batch``;
+        dispatch.
+        """
+        finished: list[Ticket] = []
+        self._readmit_backoff(wait_if_idle=True)
+        finished.extend(self._expire_queued())
+        if not self.queue:
+            self.metrics.gauge("serve_queue_depth").set(self.queue.depth)
+            return finished
+        _, head = self.queue.pop()
+        key = self._batch_key(head)
+        mates = self.queue.take_matching(
+            lambda t: self._batch_key(t) == key, self.max_batch - 1)
+        batch = [head] + [t for _, t in mates]
+        self.metrics.gauge("serve_queue_depth").set(self.queue.depth)
+        finished.extend(self._dispatch(key, batch))
+        return finished
+
+    def drain(self, max_rounds: int | None = None) -> int:
+        """Run rounds until queue and backoff are empty; returns the
+        round count.  ``max_rounds`` bounds a misbehaving workload."""
+        rounds = 0
+        while self.queue or self._backoff:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            self.run_once()
+            rounds += 1
+        return rounds
+
+    def stats(self) -> dict:
+        """Metrics snapshot with deterministic p50/p99 latency."""
+        return self.metrics.snapshot(quantiles=True)
+
+    # ----------------------------------------------------------- round parts
+    def _readmit_backoff(self, wait_if_idle: bool) -> None:
+        now = self._clock()
+        if wait_if_idle and not self.queue and self._backoff:
+            earliest = min(t.not_before for t in self._backoff)
+            if earliest > now:
+                # Nothing else to serve: sleep (injectable) to the
+                # first retry slot instead of spinning.
+                self._sleep(earliest - now)
+                now = self._clock()
+        ready = [t for t in self._backoff if t.not_before <= now]
+        if not ready:
+            return
+        self._backoff = [t for t in self._backoff if t.not_before > now]
+        # Retries re-enter their own lane but bypass the admission cap:
+        # the job was already admitted once, and bouncing a retry off a
+        # momentarily full queue would turn backpressure into job loss.
+        cap, self.queue.capacity = self.queue.capacity, None
+        try:
+            for t in sorted(ready, key=lambda t: t.job_id):
+                self.queue.push(t.client, t)
+        finally:
+            self.queue.capacity = cap
+
+    def _expire_queued(self) -> list[Ticket]:
+        """Sweep queued tickets whose deadline already expired."""
+        if not self.queue:
+            return []
+        expired = self.queue.take_matching(
+            lambda t: t.deadline is not None and t.deadline.expired(),
+            self.queue.depth)
+        out = []
+        for _, t in expired:
+            self._fail(t, TIMED_OUT, phase="queued",
+                       error=f"deadline of {t.deadline.seconds:g}s expired "
+                             f"before dispatch")
+            out.append(t)
+        return out
+
+    def _dispatch(self, key, batch: list[Ticket]) -> list[Ticket]:
+        live: list[Ticket] = []
+        finished: list[Ticket] = []
+        for t in sorted(batch, key=lambda t: t.job_id):
+            if self.injector is not None:
+                delay = self.injector.job_delay(t.job_id)
+                if delay:
+                    self._sleep(delay)
+            t.attempts += 1
+            if self.injector is not None:
+                try:
+                    self.injector.job_fault(t.job_id)
+                except Exception as exc:
+                    finished.extend(self._retry_or_fail(t, exc))
+                    continue
+            live.append(t)
+        if live:
+            self.metrics.observe("serve_batch_occupancy", len(live))
+        if key[0] == "eval" and len(key) == 3 and live:
+            finished.extend(self._run_eval_batches(live))
+        else:
+            for t in live:
+                try:
+                    result = self._execute_one(t)
+                except Exception as exc:
+                    finished.extend(self._retry_or_fail(t, exc))
+                else:
+                    finished.extend(self._finish(t, result))
+        return finished
+
+    # ------------------------------------------------------------- execution
+    def _neighbors_for(self, t: Ticket):
+        if t._neighbors is None:
+            job = t.job
+            searcher = self._searchers[
+                f"committee:{job.committee}" if job.kind == "committee"
+                else job.model]
+            t._neighbors = searcher.build(job.coords, job.types, job.box)
+        return t._neighbors
+
+    def _run_eval_batches(self, live: list[Ticket]) -> list[Ticket]:
+        """Evaluate same-keyed eval jobs as packed batches.
+
+        With a multi-thread engine the round's jobs are split into up
+        to ``n_threads`` contiguous sub-batches evaluated concurrently;
+        each sub-batch runs serial kernels, so every member's bits
+        match sequential evaluation regardless of the thread count.
+        """
+        for t in live:
+            self._neighbors_for(t)
+        backend = self._backends[live[0].job.model]
+        precision = live[0].job.precision
+        n_groups = 1
+        if self.engine is not None and self.engine.n_threads > 1:
+            n_groups = min(self.engine.n_threads, len(live))
+        bounds = np.linspace(0, len(live), n_groups + 1).astype(int)
+        groups = [live[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])
+                  if hi > lo]
+
+        def run_group(group):
+            packed = pack_neighbors((t._neighbors for t in group),
+                                    precision=precision)
+            return evaluate_batch(backend, packed)
+
+        finished: list[Ticket] = []
+        try:
+            if self.engine is not None and len(groups) > 1:
+                outputs = self.engine.map(run_group, groups,
+                                          trace_name="serve_batch")
+            else:
+                outputs = [run_group(g) for g in groups]
+        except Exception as exc:
+            for t in live:
+                finished.extend(self._retry_or_fail(t, exc))
+            return finished
+        for group, outs in zip(groups, outputs):
+            for t, out in zip(group, outs):
+                finished.extend(self._finish(t, out))
+        return finished
+
+    def _execute_one(self, t: Ticket):
+        job = t.job
+        kind = job.kind
+        if kind == "task":
+            return job.fn()
+        if kind == "eval":
+            # Solo path: backend without the splits contract (e.g. the
+            # padded fallback) — still the exact sequential evaluation.
+            nd = self._neighbors_for(t)
+            request = EvalRequest.from_neighbors(
+                nd, precision=job.precision)
+            result = self._backends[job.model].evaluate(request)
+            return EvalOutput(energy=result.energy,
+                              forces=nd.fold_forces(result.forces),
+                              virial=result.virial,
+                              atomic_energies=result.atomic_energies)
+        if kind == "md":
+            from ..md.simulation import DPForceField, Simulation
+
+            sim = Simulation(job.coords, job.types, job.box, job.masses,
+                             DPForceField(self._models[job.model]),
+                             dt_fs=job.dt_fs, temperature=job.temperature,
+                             seed=job.seed)
+            sim.run(job.n_steps, thermo_every=0)
+            return MDOutput(coords=sim.coords.copy(),
+                            velocities=sim.velocities.copy(),
+                            energy=float(sim.energy), n_steps=job.n_steps)
+        if kind == "committee":
+            nd = self._neighbors_for(t)
+            return self._committees[job.committee].deviation(nd)
+        raise TypeError(f"unsupported job kind {kind!r}")
+
+    # ------------------------------------------------------------- lifecycle
+    def _finish(self, t: Ticket, result) -> list[Ticket]:
+        if t.deadline is not None and t.deadline.expired():
+            self._fail(t, TIMED_OUT, phase="execute",
+                       error=f"deadline of {t.deadline.seconds:g}s expired "
+                             f"during execution")
+            return [t]
+        t.status = DONE
+        t.result = result
+        t.finished_at = self._clock()
+        self.metrics.inc("serve_served")
+        self.metrics.observe("serve_latency_seconds", t.latency)
+        return [t]
+
+    def _retry_or_fail(self, t: Ticket, exc: Exception) -> list[Ticket]:
+        """Burn one attempt: schedule a backoff retry, or go terminal."""
+        if t.deadline is not None and t.deadline.expired():
+            self._fail(t, TIMED_OUT, phase="execute",
+                       error=f"deadline expired after {t.attempts} "
+                             f"attempt(s); last error: {exc!r}")
+            return [t]
+        if t.attempts <= self.max_retries:
+            delay = self.retry.delay(t.attempts) if self.retry else 0.0
+            t.not_before = self._clock() + delay
+            self._backoff.append(t)
+            self.metrics.inc("serve_retries")
+            if delay:
+                self.metrics.observe("serve_backoff_seconds", delay)
+            return []
+        self._fail(t, FAILED, phase="execute", error=repr(exc))
+        return [t]
+
+    def _fail(self, t: Ticket, status: str, phase: str, error: str) -> None:
+        t.status = status
+        t.finished_at = self._clock()
+        t.failure = JobFailure(
+            job_id=t.job_id, client=t.client, phase=phase, error=error,
+            attempts=t.attempts, submitted_at=t.submitted_at,
+            failed_at=t.finished_at,
+            deadline_seconds=None if t.deadline is None
+            else t.deadline.seconds)
+        self.metrics.inc("serve_timeouts" if status == TIMED_OUT
+                         else "serve_failures")
+        self.metrics.emit({"type": "job_failure", **t.failure.to_dict()})

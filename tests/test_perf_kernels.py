@@ -23,6 +23,7 @@ from repro.core.tabulation import EmbeddingTable
 from repro.md import NeighborSearch, copper_system
 from repro.perf.compiled import (
     HAVE_NUMBA,
+    NUMBA_SKIP_REASON,
     CompiledEmbeddingTable,
     CompiledPackedBackend,
     disable_compiled_backend,
@@ -196,7 +197,8 @@ class TestCompiledBackend:
         assert all(isinstance(t, CompiledEmbeddingTable)
                    for t in backend.model.tables)
 
-    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    @pytest.mark.compiled
+    @pytest.mark.skipif(not HAVE_NUMBA, reason=NUMBA_SKIP_REASON)
     def test_registration_resolves_compiled(self):
         comp, req = _copper_request()
         enable_compiled_backend()

@@ -1,0 +1,230 @@
+"""Batched evaluation: bitwise equivalence with sequential evaluation.
+
+The serving layer's headline contract, pinned as a matrix mirroring
+``tests/test_hybrid_matrix.py``: for every member of a packed batch,
+the batched result equals standalone sequential evaluation **bit for
+bit**, across {f64, f32} x {aos, soa} x {1, 2 threads}.  The engine
+legs parallelize *across* sub-batches (each evaluated with serial
+kernels), which is why the thread count can never perturb a bit.
+
+Also covers the packing mechanics (index offsetting, empty batches)
+and the ``splits=`` validation in the model/backend layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.core.backend import EvalRequest, PaddedFallbackBackend, backend_for
+from repro.md import NeighborSearch, copper_system
+from repro.parallel import ThreadedEngine
+from repro.serve import (EvalJob, EvalService, evaluate_batch, pack_neighbors,
+                         supports_batching)
+
+N_MEMBERS = 5
+SKIN = 1.0
+
+
+@pytest.fixture(scope="module")
+def serve_spec() -> ModelSpec:
+    return ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(64,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=17)
+
+
+@pytest.fixture(scope="module")
+def models(serve_spec):
+    """One compressed model per coefficient-table layout."""
+    base = DPModel(serve_spec)
+    return {layout: CompressedDPModel.compress(base, interval=1e-2,
+                                               x_max=2.2, layout=layout)
+            for layout in ("aos", "soa")}
+
+
+@pytest.fixture(scope="module")
+def configs(serve_spec):
+    """Jittered member configurations sharing types and box."""
+    coords, types, box = copper_system((2, 2, 2))
+    rng = np.random.default_rng(23)
+    members = [coords + rng.normal(0, 0.08, coords.shape)
+               for _ in range(N_MEMBERS)]
+    return members, types, box
+
+
+@pytest.fixture(scope="module")
+def neighbor_lists(serve_spec, configs):
+    members, types, box = configs
+    search = NeighborSearch(serve_spec.rcut, skin=SKIN, sel=serve_spec.sel)
+    return [search.build(coords, types, box) for coords in members]
+
+
+def sequential_outputs(model, nds, precision):
+    """The ground truth: one request at a time, no batching, no engine."""
+    backend = backend_for(model)
+    out = []
+    for nd in nds:
+        res = backend.evaluate(
+            EvalRequest.from_neighbors(nd, precision=precision))
+        out.append((res.energy, nd.fold_forces(res.forces), res.virial,
+                    res.atomic_energies))
+    return out
+
+
+@pytest.mark.parametrize("layout", ["aos", "soa"])
+@pytest.mark.parametrize("precision", [None, np.float32],
+                         ids=["f64", "f32"])
+@pytest.mark.parametrize("threads", [1, 2])
+def test_batched_matches_sequential_bitwise(models, neighbor_lists,
+                                            configs, layout, precision,
+                                            threads):
+    model = models[layout]
+    expected = sequential_outputs(model, neighbor_lists, precision)
+
+    members, types, box = configs
+    engine = ThreadedEngine(threads) if threads > 1 else None
+    try:
+        service = EvalService(model, max_batch=N_MEMBERS, engine=engine)
+        tickets = [service.submit(
+            EvalJob(coords, types, box, precision=precision),
+            client=f"c{i % 2}") for i, coords in enumerate(members)]
+        service.drain()
+    finally:
+        if engine is not None:
+            engine.close()
+
+    occ = service.stats()["histograms"]["serve_batch_occupancy"]
+    assert occ["max"] == N_MEMBERS  # one fused round served everyone
+    for t, (energy, forces, virial, atomic_e) in zip(tickets, expected):
+        assert t.status == "done", t.failure
+        out = t.result
+        assert out.energy == energy
+        assert np.array_equal(out.forces, forces)
+        assert np.array_equal(out.virial, virial)
+        assert np.array_equal(out.atomic_energies, atomic_e)
+        assert out.forces.dtype == forces.dtype
+
+
+def test_direct_pack_evaluate_matches_sequential(models, neighbor_lists):
+    """The batch primitives, without the service on top."""
+    model = models["aos"]
+    backend = backend_for(model)
+    assert supports_batching(backend)
+    batch = pack_neighbors(neighbor_lists)
+    assert len(batch) == N_MEMBERS
+    outputs = evaluate_batch(backend, batch)
+    for out, (energy, forces, virial, atomic_e) in zip(
+            outputs, sequential_outputs(model, neighbor_lists, None)):
+        assert out.energy == energy
+        assert np.array_equal(out.forces, forces)
+        assert np.array_equal(out.virial, virial)
+        assert np.array_equal(out.atomic_energies, atomic_e)
+
+
+def test_batched_result_independent_of_batch_composition(models,
+                                                         neighbor_lists):
+    """A member's bits do not depend on *who else* is in the batch —
+    the transitive consequence of standalone equivalence, asserted
+    directly on two different packings."""
+    model = models["soa"]
+    backend = backend_for(model)
+    pair = evaluate_batch(backend, pack_neighbors(neighbor_lists[:2]))
+    full = evaluate_batch(backend, pack_neighbors(neighbor_lists))
+    for a, b in zip(pair, full[:2]):
+        assert a.energy == b.energy
+        assert np.array_equal(a.forces, b.forces)
+        assert np.array_equal(a.virial, b.virial)
+
+
+class TestPacking:
+    def test_offsets(self, neighbor_lists):
+        batch = pack_neighbors(neighbor_lists[:3])
+        req = batch.request
+        n_ext = sum(len(nd.ext_coords) for nd in neighbor_lists[:3])
+        n_pairs = sum(len(nd.indices) for nd in neighbor_lists[:3])
+        n_local = sum(nd.n_local for nd in neighbor_lists[:3])
+        assert len(req.coords) == n_ext
+        assert len(req.indices) == n_pairs
+        assert len(req.centers) == n_local
+        assert req.indptr[-1] == n_pairs
+        assert batch.splits[-1][1] == n_local
+        assert batch.ext_ranges[-1][1] == n_ext
+        # indptr stays monotone across member boundaries.
+        assert np.all(np.diff(req.indptr) >= 0)
+        # pair_atom references local rows within the member's split.
+        for (lo, hi), nd in zip(batch.splits, batch.members):
+            seg = req.pair_atom[req.indptr[lo]:req.indptr[hi]]
+            assert seg.min() >= lo and seg.max() < hi
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            pack_neighbors([])
+
+
+class TestSplitsValidation:
+    def test_threaded_engine_rejected_with_splits(self, models,
+                                                  neighbor_lists):
+        """Intra-batch engine sharding would make the force merge order
+        depend on batch composition — the model refuses the combination
+        outright rather than silently breaking the bitwise contract."""
+        batch = pack_neighbors(neighbor_lists[:2])
+        backend = backend_for(models["aos"])
+        with ThreadedEngine(2) as engine:
+            request = batch.request.__class__(
+                **{**batch.request.__dict__, "engine": engine})
+            with pytest.raises(ValueError, match="splits"):
+                backend.evaluate(request)
+
+    def test_gapped_splits_rejected(self, models, neighbor_lists):
+        nd = neighbor_lists[0]
+        model = models["aos"]
+        with pytest.raises(ValueError, match="contiguous"):
+            model.evaluate_packed(
+                nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                nd.indptr, pair_atom=nd.pair_atom,
+                splits=[(0, 1), (2, nd.n_local)])
+
+    def test_short_splits_rejected(self, models, neighbor_lists):
+        nd = neighbor_lists[0]
+        model = models["aos"]
+        with pytest.raises(ValueError, match="cover"):
+            model.evaluate_packed(
+                nd.ext_coords, nd.ext_types, nd.centers, nd.indices,
+                nd.indptr, pair_atom=nd.pair_atom,
+                splits=[(0, nd.n_local - 1)])
+
+    def test_unsupporting_model_rejected(self, serve_spec, neighbor_lists):
+        """A backend whose model lacks the splits contract refuses a
+        batched request instead of returning non-bitwise results."""
+        base = DPModel(serve_spec)
+        backend = backend_for(base)
+        assert not supports_batching(backend)
+        batch = pack_neighbors(neighbor_lists[:2])
+        with pytest.raises(ValueError, match="splits"):
+            backend.evaluate(batch.request)
+
+    def test_padded_fallback_rejected(self, models, neighbor_lists):
+        backend = PaddedFallbackBackend(models["aos"])
+        batch = pack_neighbors(neighbor_lists[:2])
+        with pytest.raises(ValueError, match="splits"):
+            backend.evaluate(batch.request)
+
+
+def test_service_solo_path_for_unsupporting_model(serve_spec, configs):
+    """A model without the splits contract still serves correctly —
+    jobs just run one per round instead of batched."""
+    members, types, box = configs
+    model = DPModel(serve_spec)
+    service = EvalService(model, max_batch=4)
+    tickets = [service.submit(EvalJob(c, types, box)) for c in members[:3]]
+    service.drain()
+    search = NeighborSearch(serve_spec.rcut, skin=SKIN, sel=serve_spec.sel)
+    backend = backend_for(model)
+    for t, coords in zip(tickets, members[:3]):
+        assert t.status == "done", t.failure
+        nd = search.build(coords, types, box)
+        res = backend.evaluate(EvalRequest.from_neighbors(nd))
+        assert t.result.energy == res.energy
+        assert np.array_equal(t.result.forces, nd.fold_forces(res.forces))
+    occ = service.stats()["histograms"]["serve_batch_occupancy"]
+    assert occ["max"] == 1  # solo rounds only

@@ -1,0 +1,141 @@
+"""Serving-layer chaos: slow-job / flaky-job storms under deadlines.
+
+Extends the chaos machinery of PRs 6-7 to the evaluation service: the
+``slow-job`` fault stalls the dispatcher before a job's execution (on
+the *injected* clock — nothing here sleeps for real) and ``flaky-job``
+raises a transient :class:`InjectedFault`.  The invariants mirror the
+MD chaos suite: storms are bitwise-reproducible functions of the seed,
+a blown deadline yields a structured :class:`JobFailure` while the
+queue keeps draining, and transient faults are retried to success
+within the retry budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust import ChaosSchedule, FaultInjector
+from repro.robust.chaos import CHAOS_PROFILES
+from repro.robust.faults import FAULT_KINDS, Fault
+from repro.serve import DONE, TIMED_OUT, EvalService, TaskJob
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, seconds):
+        self.t += float(seconds)
+
+
+def make_service(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    kwargs.setdefault("sleep", clock.sleep)
+    return EvalService(**kwargs), clock
+
+
+class TestScheduleDeterminism:
+    def test_serve_profile_registered(self):
+        assert "serve" in CHAOS_PROFILES
+        counts = CHAOS_PROFILES["serve"].counts
+        assert counts.get("slow-job") and counts.get("flaky-job")
+
+    def test_new_kinds_appended_not_inserted(self):
+        """slow-job/flaky-job must sit at the END of FAULT_KINDS: the
+        schedule RNG draws in FAULT_KINDS order, so inserting earlier
+        would silently reshuffle every existing profile's storm."""
+        assert FAULT_KINDS[-2:] == ("slow-job", "flaky-job")
+
+    def test_serve_schedule_bitwise_reproducible(self):
+        a = ChaosSchedule(40, seed=9, profile="serve").build()
+        b = ChaosSchedule(40, seed=9, profile="serve").build()
+        assert [(f.kind, f.step, f.target, f.duration) for f in a] == \
+            [(f.kind, f.step, f.target, f.duration) for f in b]
+        assert {f.kind for f in a} == {"slow-job", "flaky-job"}
+
+    def test_legacy_profiles_unperturbed(self):
+        """Adding the serve kinds must not move any existing profile's
+        draws (they iterate FAULT_KINDS order, and the new kinds draw
+        nothing unless the profile requests them)."""
+        storm = ChaosSchedule(50, seed=3, profile="storm").build()
+        assert all(f.kind not in ("slow-job", "flaky-job") for f in storm)
+
+
+class TestSlowJob:
+    def test_slow_job_blows_deadline_queue_keeps_draining(self):
+        """The headline invariant: a job stalled past its deadline
+        lands in ``timed-out`` with a structured report — and every
+        other queued job still completes (no head-of-line blocking)."""
+        injector = FaultInjector([Fault("slow-job", step=1, duration=5.0)],
+                                 seed=0)
+        svc, clock = make_service(injector=injector)
+        doomed = svc.submit(TaskJob(lambda: "never"), client="a",
+                            deadline=1.0)
+        rest = [svc.submit(TaskJob(lambda i=i: i), client="b")
+                for i in range(4)]
+        svc.drain()
+        assert doomed.status == TIMED_OUT
+        f = doomed.failure
+        assert f.phase == "execute"
+        assert f.job_id == doomed.job_id and f.client == "a"
+        assert f.deadline_seconds == 1.0
+        assert f.failed_at >= 5.0  # the stall happened on the fake clock
+        assert [t.status for t in rest] == [DONE] * 4
+        assert [t.result for t in rest] == [0, 1, 2, 3]
+
+    def test_slow_job_within_budget_still_completes(self):
+        injector = FaultInjector([Fault("slow-job", step=1, duration=0.5)],
+                                 seed=0)
+        svc, clock = make_service(injector=injector)
+        t = svc.submit(TaskJob(lambda: "ok"), deadline=10.0)
+        svc.drain()
+        assert t.status == DONE and t.result == "ok"
+        assert t.latency == pytest.approx(0.5)
+
+
+class TestFlakyJob:
+    def test_flaky_job_retried_to_success(self):
+        injector = FaultInjector([Fault("flaky-job", step=1)], seed=0)
+        svc, _ = make_service(injector=injector, max_retries=2)
+        t = svc.submit(TaskJob(lambda: "recovered"))
+        svc.drain()
+        assert t.status == DONE and t.result == "recovered"
+        assert t.attempts == 2
+        assert svc.stats()["counters"]["serve_retries"] == 1
+
+    def test_flaky_job_fault_is_one_shot(self):
+        """A fired fault never re-arms: only the targeted job sequence
+        number is hit, later jobs run clean."""
+        injector = FaultInjector([Fault("flaky-job", step=2)], seed=0)
+        svc, _ = make_service(injector=injector, max_batch=1)
+        tickets = [svc.submit(TaskJob(lambda i=i: i)) for i in range(4)]
+        svc.drain()
+        assert all(t.status == DONE for t in tickets)
+        assert [t.attempts for t in tickets] == [1, 2, 1, 1]
+
+
+class TestStorm:
+    def test_serve_storm_all_jobs_terminal(self):
+        """A full seeded serve-profile storm over a job burst: every
+        job reaches a terminal state, transient faults are absorbed by
+        retries (no deadline armed), and the storm leaves a log."""
+        n_jobs = 20
+        schedule = ChaosSchedule(n_jobs, seed=4, profile="serve")
+        injector = schedule.injector()
+        svc, _ = make_service(injector=injector, max_retries=2,
+                              max_batch=4)
+        tickets = [svc.submit(TaskJob(lambda i=i: i), client=f"c{i % 3}")
+                   for i in range(n_jobs)]
+        svc.drain(max_rounds=20 * n_jobs)
+        assert all(t.done for t in tickets)
+        assert all(t.status == DONE for t in tickets), \
+            [(t.job_id, t.status) for t in tickets if t.status != DONE]
+        # The storm actually fired (flaky-job logs on hit).
+        fired = {e["kind"] for e in injector.log}
+        assert "flaky-job" in fired
+        retried = [t for t in tickets if t.attempts > 1]
+        assert retried

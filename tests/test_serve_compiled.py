@@ -1,0 +1,113 @@
+"""Serving through the numba-compiled backend (`pytest -m compiled`).
+
+The ``compiled``-marked tests exercise the evaluation service with
+:func:`repro.perf.compiled.enable_compiled_backend` active; they run
+for real whenever numba is importable (``make kernelsmoke`` invokes
+them explicitly via ``pytest -m compiled``) and skip with the single
+canonical reason string — :data:`NUMBA_SKIP_REASON` — when it is not.
+The unmarked test at the bottom runs everywhere and pins that string,
+so a numba-less CI log says exactly why the compiled legs were
+skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec
+from repro.core.backend import EvalRequest, backend_for
+from repro.md import NeighborSearch, copper_system
+from repro.perf.compiled import (HAVE_NUMBA, NUMBA_SKIP_REASON,
+                                 disable_compiled_backend,
+                                 enable_compiled_backend)
+from repro.serve import EvalJob, EvalService, supports_batching
+
+SKIN = 1.0
+
+
+@pytest.fixture()
+def compiled_registration():
+    enable_compiled_backend()
+    try:
+        yield
+    finally:
+        disable_compiled_backend()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(64,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=31)
+    model = CompressedDPModel.compress(DPModel(spec), interval=1e-2,
+                                       x_max=2.2)
+    coords, types, box = copper_system((2, 2, 2))
+    rng = np.random.default_rng(5)
+    configs = [coords + rng.normal(0, 0.08, coords.shape)
+               for _ in range(4)]
+    return spec, model, configs, types, box
+
+
+@pytest.mark.compiled
+@pytest.mark.skipif(not HAVE_NUMBA, reason=NUMBA_SKIP_REASON)
+class TestCompiledServe:
+    def test_service_resolves_compiled_backend(self, workload,
+                                               compiled_registration):
+        _, model, configs, types, box = workload
+        service = EvalService(model)
+        backend = service._backends["default"]
+        assert backend.name == "compiled"
+        assert supports_batching(backend)
+
+    def test_batched_serve_bitwise_vs_sequential_compiled(
+            self, workload, compiled_registration):
+        """The bitwise batching contract holds through the compiled
+        backend too: its tables only change the per-pair lookup stage,
+        which is elementwise and therefore concatenation-invariant."""
+        spec, model, configs, types, box = workload
+        backend = backend_for(model)
+        assert backend.name == "compiled"
+        search = NeighborSearch(spec.rcut, skin=SKIN, sel=spec.sel)
+        expected = []
+        for coords in configs:
+            nd = search.build(coords, types, box)
+            res = backend.evaluate(EvalRequest.from_neighbors(nd))
+            expected.append((res.energy, nd.fold_forces(res.forces)))
+
+        service = EvalService(model, max_batch=len(configs))
+        tickets = [service.submit(EvalJob(c, types, box)) for c in configs]
+        service.drain()
+        for t, (energy, forces) in zip(tickets, expected):
+            assert t.status == "done", t.failure
+            assert t.result.energy == energy
+            assert np.array_equal(t.result.forces, forces)
+
+
+def test_skip_reason_is_canonical():
+    """Runs on every host.  Without numba, enabling the compiled
+    backend must fail with *exactly* the string the compiled-marked
+    tests skip with — one message across the error, the skip line, and
+    the kernel-smoke output.  With numba, enabling must succeed."""
+    if HAVE_NUMBA:
+        try:
+            assert enable_compiled_backend() is not None
+        finally:
+            disable_compiled_backend()
+    else:
+        with pytest.raises(RuntimeError) as exc_info:
+            enable_compiled_backend()
+        assert str(exc_info.value) == NUMBA_SKIP_REASON
+        assert "numba is not installed" in NUMBA_SKIP_REASON
+
+
+def test_compiled_marker_registered():
+    """The marker must stay declared in pyproject (unknown markers are
+    a silent way to lose an entire test family)."""
+    import tomllib
+
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    cfg = tomllib.loads(pyproject.read_text())
+    markers = cfg["tool"]["pytest"]["ini_options"]["markers"]
+    assert any(m.startswith("compiled:") for m in markers)

@@ -1,0 +1,151 @@
+"""FairQueue: FIFO lanes, round-robin fairness, backpressure.
+
+Deterministic and clock-free — pop order is a pure function of the
+push sequence, so every property here is exact, not statistical.  No
+test in this file (or any ``test_serve_*`` file) touches the wall
+clock or ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import FairQueue, QueueFullError
+
+
+class TestBasics:
+    def test_empty(self):
+        q = FairQueue()
+        assert len(q) == 0 and not q
+        assert q.clients() == []
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_single_client_fifo(self):
+        q = FairQueue()
+        for i in range(5):
+            q.push("a", i)
+        assert [q.pop() for _ in range(5)] == \
+            [("a", i) for i in range(5)]
+
+    def test_round_robin_two_clients(self):
+        q = FairQueue()
+        for i in range(3):
+            q.push("a", f"a{i}")
+        for i in range(3):
+            q.push("b", f"b{i}")
+        order = [q.pop()[1] for _ in range(6)]
+        assert order == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FairQueue(0)
+
+    def test_backpressure(self):
+        q = FairQueue(capacity=2)
+        q.push("a", 1)
+        q.push("b", 2)
+        with pytest.raises(QueueFullError) as exc_info:
+            q.push("c", 3)
+        err = exc_info.value
+        assert err.client == "c" and err.depth == 2 and err.capacity == 2
+        # The rejected item was not admitted.
+        assert q.depth == 2 and q.lane_depth("c") == 0
+        # Draining frees capacity again.
+        q.pop()
+        q.push("c", 3)
+        assert q.depth == 2
+
+    def test_take_matching_preserves_ring(self):
+        q = FairQueue()
+        q.push("a", ("x", 1))
+        q.push("a", ("y", 2))
+        q.push("b", ("x", 3))
+        taken = q.take_matching(lambda item: item[0] == "x", limit=10)
+        assert taken == [("a", ("x", 1)), ("b", ("x", 3))]
+        assert q.depth == 1
+        # The untouched item is still poppable and fairness holds.
+        assert q.pop() == ("a", ("y", 2))
+
+    def test_take_matching_limit(self):
+        q = FairQueue()
+        for i in range(5):
+            q.push("a", i)
+        taken = q.take_matching(lambda item: True, limit=2)
+        assert [item for _, item in taken] == [0, 1]
+        assert q.depth == 3
+
+    def test_drain_lane(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("b", 2)
+        q.push("a", 3)
+        assert q.drain_lane("a") == [1, 3]
+        assert q.depth == 1 and q.clients() == ["b"]
+        assert q.drain_lane("missing") == []
+
+
+# Client mixes: sequences of (client, payload) pushes.  Adversarial by
+# construction — hypothesis shrinks over heavily skewed mixes.
+pushes = st.lists(
+    st.tuples(st.sampled_from("abcd"), st.integers(0, 999)),
+    min_size=0, max_size=60)
+
+
+class TestProperties:
+    @given(pushes)
+    @settings(max_examples=60, deadline=None)
+    def test_every_item_served_exactly_once(self, items):
+        q = FairQueue()
+        for i, (client, _) in enumerate(items):
+            q.push(client, i)
+        served = [q.pop()[1] for _ in range(len(items))]
+        assert sorted(served) == list(range(len(items)))
+        assert not q
+
+    @given(pushes)
+    @settings(max_examples=60, deadline=None)
+    def test_per_client_fifo(self, items):
+        q = FairQueue()
+        for i, (client, _) in enumerate(items):
+            q.push(client, i)
+        seen: dict[str, list[int]] = {}
+        while q:
+            client, idx = q.pop()
+            seen.setdefault(client, []).append(idx)
+        for client, order in seen.items():
+            expect = [i for i, (c, _) in enumerate(items) if c == client]
+            assert order == expect
+
+    @given(pushes)
+    @settings(max_examples=60, deadline=None)
+    def test_fairness_bound(self, items):
+        """Between two consecutive serves of one client, every *other*
+        client is served at most once (the round-robin guarantee: a
+        flood from one client cannot starve or delay another's turn
+        beyond one full rotation)."""
+        q = FairQueue()
+        for i, (client, _) in enumerate(items):
+            q.push(client, i)
+        order = [q.pop()[0] for _ in range(len(items))]
+        last_seen: dict[str, int] = {}
+        for pos, client in enumerate(order):
+            if client in last_seen:
+                gap = order[last_seen[client] + 1:pos]
+                assert all(gap.count(other) <= 1 for other in set(gap))
+            last_seen[client] = pos
+
+    @given(pushes, st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, items, cap):
+        q = FairQueue(capacity=cap)
+        admitted = 0
+        for i, (client, _) in enumerate(items):
+            try:
+                q.push(client, i)
+                admitted += 1
+            except QueueFullError:
+                assert q.depth == cap
+        assert q.depth == admitted <= cap

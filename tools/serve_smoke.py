@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Evaluation-service smoke check (< 60 s).
+
+Submits a burst of jittered single-point copper evaluations from three
+synthetic clients to :class:`repro.serve.EvalService`, drains the
+queue, and verifies the serving layer's headline contract: every
+batched f64 result is **bitwise identical** to evaluating the same
+configuration sequentially through the same backend.  Writes
+``BENCH_serve.json`` (sequential vs service wall time, queue depth,
+batch occupancy, p50/p99 latency) next to the repo root.
+
+On a single-CPU host batching still amortizes kernel launches, but a
+1-core machine cannot substantiate a *throughput* number, so — like
+``tools/bench_smoke.py`` — the payload carries ``speedup_claim: false``
+with the reason and omits the ``speedup`` field; the bitwise checks
+still gate the exit status.  On a multi-core host the service must
+clear ``MIN_SPEEDUP`` over the sequential loop.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--out BENCH_serve.json]
+
+Exit status is non-zero if any batched result deviates from sequential
+evaluation (or, multi-core only, if the speedup floor is missed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core import CompressedDPModel, DPModel, ModelSpec  # noqa: E402
+from repro.core.backend import EvalRequest, backend_for  # noqa: E402
+from repro.md import NeighborSearch, copper_system  # noqa: E402
+from repro.parallel import ThreadedEngine  # noqa: E402
+from repro.serve import EvalJob, EvalService  # noqa: E402
+
+N_JOBS = 12
+N_CLIENTS = 3
+MAX_BATCH = 4
+#: Required service-over-sequential throughput on a multi-core host.
+MIN_SPEEDUP = 1.5
+
+
+def build_workload():
+    spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(128,), n_types=1,
+                     d1=8, m_sub=4, fit_width=32, seed=7)
+    comp = CompressedDPModel.compress(DPModel(spec), interval=0.01,
+                                      x_max=2.2)
+    coords, types, box = copper_system((3, 3, 3))
+    rng = np.random.default_rng(11)
+    configs = [coords + rng.normal(0, 0.05, coords.shape)
+               for _ in range(N_JOBS)]
+    return comp, spec, configs, types, box
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), os.pardir,
+                             "BENCH_serve.json"),
+        help="output JSON path (default: repo-root BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    t_start = time.perf_counter()
+    comp, spec, configs, types, box = build_workload()
+    host_cpus = os.cpu_count() or 1
+    claim_speedup = host_cpus > 1
+    print(f"copper {len(configs[0])} atoms/job, {N_JOBS} jobs over "
+          f"{N_CLIENTS} clients, {host_cpus}-core host")
+    if not claim_speedup:
+        print("  single-CPU host: recording wall times and bitwise "
+              "agreement only, no throughput claim")
+
+    # Sequential baseline: one request at a time through the same
+    # backend and the same neighbor parameters the service uses.
+    backend = backend_for(comp)
+    search = NeighborSearch(spec.rcut, skin=1.0, sel=spec.sel)
+    t0 = time.perf_counter()
+    baseline = []
+    for coords in configs:
+        nd = search.build(coords, types, box)
+        res = backend.evaluate(EvalRequest.from_neighbors(nd))
+        baseline.append((res.energy, nd.fold_forces(res.forces),
+                         res.virial, res.atomic_energies))
+    seq_wall = time.perf_counter() - t0
+
+    # The service: same jobs, batched dispatch, engine-parallel across
+    # sub-batches on a multi-core host.
+    engine = ThreadedEngine(min(host_cpus, 4)) if host_cpus > 1 else None
+    service = EvalService(comp, capacity=2 * N_JOBS, max_batch=MAX_BATCH,
+                          engine=engine)
+    t0 = time.perf_counter()
+    tickets = [service.submit(EvalJob(coords, types, box),
+                              client=f"client{i % N_CLIENTS}")
+               for i, coords in enumerate(configs)]
+    queue_depth_peak = service.queue.depth
+    service.drain()
+    serve_wall = time.perf_counter() - t0
+    if engine is not None:
+        engine.close()
+
+    bitwise_ok = True
+    for t, (energy, forces, virial, atomic_e) in zip(tickets, baseline):
+        if t.status != "done":
+            print(f"  !! job {t.job_id} ended {t.status}: {t.failure}")
+            bitwise_ok = False
+            continue
+        out = t.result
+        bitwise = (out.energy == energy
+                   and np.array_equal(out.forces, forces)
+                   and np.array_equal(out.virial, virial)
+                   and np.array_equal(out.atomic_energies, atomic_e))
+        if not bitwise:
+            print(f"  !! job {t.job_id} deviates from sequential "
+                  f"evaluation (f64 bitwise check failed)")
+            bitwise_ok = False
+    ok = bitwise_ok
+    if ok:
+        print(f"  all {N_JOBS} batched results bitwise-identical to "
+              f"sequential f64 evaluation")
+
+    snap = service.stats()
+    occ = snap["histograms"]["serve_batch_occupancy"]
+    lat = snap["histograms"]["serve_latency_seconds"]
+    speedup = seq_wall / serve_wall if serve_wall > 0 else float("inf")
+    print(f"  sequential {seq_wall * 1e3:7.1f} ms, service "
+          f"{serve_wall * 1e3:7.1f} ms"
+          + (f"  speedup {speedup:.2f}x" if claim_speedup else ""))
+    print(f"  occupancy mean {occ['mean']:.2f} (max {occ['max']:.0f}), "
+          f"latency p50 {lat['p50'] * 1e3:.1f} ms "
+          f"p99 {lat['p99'] * 1e3:.1f} ms")
+    if claim_speedup and ok and speedup < MIN_SPEEDUP:
+        print(f"  !! service throughput {speedup:.2f}x below the "
+              f"{MIN_SPEEDUP:.1f}x floor on a {host_cpus}-core host")
+        ok = False
+
+    payload = {
+        "source": "tools/serve_smoke.py",
+        "system": "copper",
+        "atoms": int(len(configs[0])),
+        "jobs": N_JOBS,
+        "clients": N_CLIENTS,
+        "max_batch": MAX_BATCH,
+        "host_cpus": host_cpus,
+        "bitwise_f64_ok": bitwise_ok,
+        "sequential_wall_s": round(seq_wall, 6),
+        "service_wall_s": round(serve_wall, 6),
+        "queue_depth_peak": queue_depth_peak,
+        "batch_occupancy": {
+            "mean": round(occ["mean"], 3),
+            "max": occ["max"],
+            "dispatches": occ["count"],
+        },
+        "latency_seconds": {
+            "p50": lat["p50"],
+            "p99": lat["p99"],
+        },
+        "speedup_claim": claim_speedup,
+    }
+    if claim_speedup:
+        payload["speedup"] = round(speedup, 3)
+        payload["min_speedup"] = MIN_SPEEDUP
+    else:
+        payload["speedup_claim_reason"] = (
+            "host_cpus == 1: engine threads are pure overhead on this "
+            "machine, so no throughput/speedup numbers are recorded")
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path} ({time.perf_counter() - t_start:.1f} s total)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
