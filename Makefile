@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -34,7 +34,10 @@ servesmoke:      ## <60 s evaluation-service drill: batched f64 bitwise vs seque
 chaossoak:       ## <60 s chaos drill: seeded fault storm (stalls + slow-io + kill-rank) under the watchdogs; bitwise f64 vs fault-free run
 	$(PYTHON) tools/chaos_soak.py
 
+benchregress:    ## <60 s perf-regression gate: fresh run report vs committed BENCH_runreport.json (refuses, exit 0, across differing host_cpus)
+	$(PYTHON) tools/bench_regress.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke
+verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress

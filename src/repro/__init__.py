@@ -68,7 +68,7 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
                      reps=(2, 2, 2), compressed: bool = True,
                      interval: float = 0.01, seed: int = 0,
                      threads: int = 1, tracer=None, metrics=None,
-                     layout: str | None = None,
+                     flight=None, layout: str | None = None,
                      kernel_chunk: int | None = None,
                      **model_kwargs) -> Simulation:
     """One-call MD setup on a paper workload at laptop scale.
@@ -94,6 +94,10 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
     tracer / metrics:
         Optional :class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`
         instrumenting the run (span trace + JSONL metrics).
+    flight:
+        Flight-recorder convention: ``None`` (default) arms a fresh
+        always-on :class:`repro.obs.FlightRecorder`, ``False`` disables
+        recording, a recorder instance is used as-is.
     layout:
         Coefficient-table memory layout for the compressed model:
         ``"aos"`` (the operator-native default) or ``"soa"`` (the
@@ -148,4 +152,5 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
         threads=threads,
         tracer=tracer,
         metrics=metrics,
+        flight=flight,
     )

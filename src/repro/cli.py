@@ -136,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream per-step and per-event metrics to this "
                           "JSONL file and print an end-of-run summary "
                           "table")
+    run.add_argument("--report", type=str, default=None, metavar="FILE",
+                     help="write a schema-versioned run report (host "
+                          "info, config, phase shares, metrics) as JSON "
+                          "plus a rendered .md sibling; the input of "
+                          "tools/bench_regress.py")
+    run.add_argument("--flight-dir", type=str, default=None, metavar="DIR",
+                     help="directory for flight-recorder failure dumps "
+                          "(default: the checkpoint directory when "
+                          "checkpointing is on; recording itself is "
+                          "always on)")
 
     comp = sub.add_parser("compress",
                           help="build and save a compressed model")
@@ -184,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--metrics", type=str, default=None,
                      help="write metrics JSONL here")
+    srv.add_argument("--trace", type=str, default=None, metavar="FILE",
+                     help="write a Chrome trace-event JSON of the serve "
+                          "run (queue wait / batch pack / packed eval "
+                          "spans)")
+    srv.add_argument("--report", type=str, default=None, metavar="FILE",
+                     help="write a schema-versioned run report (host "
+                          "info, config, serve SLOs) as JSON plus a "
+                          "rendered .md sibling")
     srv.add_argument("--chaos-profile", type=str, default=None,
                      help="arm a chaos storm (e.g. 'serve') over the "
                           "job sequence")
@@ -225,9 +243,12 @@ def _make_injector(args, n_ranks: int = 1, n_shards: int = 1,
 def _make_obs(args):
     """Build the (tracer, metrics) pair the --trace/--metrics flags ask
     for; (None, None) when neither is given, so the hot path keeps its
-    zero-overhead NULL_TRACER wiring."""
+    zero-overhead NULL_TRACER wiring.  ``--report`` also arms a tracer
+    (phase shares are part of the report) and a registry (counters and
+    histograms are too) even when no trace/metrics file was asked for.
+    """
     tracer = metrics = None
-    if args.trace:
+    if args.trace or getattr(args, "report", None):
         from repro.obs import Tracer
 
         tracer = Tracer()
@@ -235,20 +256,38 @@ def _make_obs(args):
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry(sink=args.metrics)
+    elif getattr(args, "report", None):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     return tracer, metrics
 
 
 def _finish_obs(args, tracer, metrics) -> None:
     """Flush observability outputs and print the summary table."""
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.export(args.trace)
         print(f"trace written to {args.trace} "
               f"({len(tracer.finished())} spans)")
-    if metrics is not None:
+    if metrics is not None and args.metrics:
         metrics.write_summary()
         metrics.close()
         print(metrics.summary_table())
         print(f"metrics written to {args.metrics}")
+
+
+def _write_run_report(args, kind, config, tracer=None, metrics=None,
+                      flight=None, wall=None, slo=None) -> None:
+    """Write the ``--report`` JSON + markdown pair (no-op without it)."""
+    if not getattr(args, "report", None):
+        return
+    from repro.obs import build_run_report, write_report
+
+    report = build_run_report(kind, config=config, tracer=tracer,
+                              metrics=metrics, wall_seconds=wall, slo=slo,
+                              flight=flight)
+    path = write_report(report, args.report)
+    print(f"run report written to {path} (+ .md)")
 
 
 def _cmd_run_distributed(args) -> int:
@@ -288,6 +327,11 @@ def _cmd_run_distributed(args) -> int:
           f"{'baseline' if args.baseline else 'compressed'} model, "
           f"{scheme}")
     tracer, metrics = _make_obs(args)
+    from repro.obs import FlightRecorder
+
+    # Built here (not defaulted inside run_distributed_md) so the run
+    # report below can reference the same recorder.
+    flight = FlightRecorder(dump_dir=args.flight_dir)
     start = _time.perf_counter()
     result = run_distributed_md(
         scheme.n_ranks, scheme.grid_dims, sim.coords, sim.types, sim.box,
@@ -307,6 +351,7 @@ def _cmd_run_distributed(args) -> int:
         deadline=args.deadline,
         shard_timeout=args.shard_timeout,
         write_deadline=args.write_deadline,
+        flight=flight,
     )
     wall = _time.perf_counter() - start
     if injector is not None and injector.log:
@@ -322,6 +367,16 @@ def _cmd_run_distributed(args) -> int:
           f"max {result.max_ghost_atoms} ghosts/rank")
     ns = args.steps * sim.dt_fs * 1e-6
     print(f"throughput: {ns / (wall / 86400.0):.3f} ns/day")
+    _write_run_report(
+        args, "run-distributed",
+        {"system": args.system, "cells": list(args.cells),
+         "steps": args.steps, "atoms": len(sim.coords),
+         "model": "baseline" if args.baseline else "compressed",
+         "ranks": args.ranks, "threads": args.threads,
+         "seed": args.seed, "dt_fs": sim.dt_fs,
+         "checkpoint_every": args.checkpoint_every,
+         "chaos_profile": args.chaos_profile},
+        tracer=tracer, metrics=metrics, flight=flight, wall=wall)
     _finish_obs(args, tracer, metrics)
     return 0
 
@@ -356,6 +411,8 @@ def _cmd_run(args) -> int:
         if metrics is not None:
             sim.metrics = metrics
         print(f"restarted from {args.restart} at step {sim.step}")
+    if args.flight_dir:
+        sim.flight.dump_dir = args.flight_dir
     writer = None
     if args.xyz:
         from repro.io.trajectory import XYZTrajectoryWriter
@@ -371,9 +428,12 @@ def _cmd_run(args) -> int:
     if args.shard_timeout is not None and sim.engine is not None:
         sim.engine.shard_timeout = args.shard_timeout
         sim.engine.metrics = metrics
+    import time as _time
+
     robust_run = (args.checkpoint_every or args.inject_fault
                   or args.guard_tolerances or args.chaos_profile
                   or args.escalate)
+    start = _time.perf_counter()
     if robust_run:
         from repro.robust import (
             DEFAULT_LADDER,
@@ -427,6 +487,17 @@ def _cmd_run(args) -> int:
         print(f"trajectory written to {args.xyz}")
     print(format_thermo_table(sim.thermo_log))
     print(f"throughput: {sim.ns_per_day():.3f} ns/day")
+    _write_run_report(
+        args, "run",
+        {"system": args.system, "cells": list(args.cells),
+         "steps": args.steps, "atoms": len(sim.coords),
+         "model": "baseline" if args.baseline else "compressed",
+         "threads": args.threads, "seed": args.seed,
+         "dt_fs": sim.dt_fs, "layout": args.layout,
+         "checkpoint_every": args.checkpoint_every,
+         "chaos_profile": args.chaos_profile},
+        tracer=tracer, metrics=metrics, flight=sim.flight,
+        wall=_time.perf_counter() - start)
     _finish_obs(args, tracer, metrics)
     return 0
 
@@ -552,11 +623,16 @@ def _cmd_serve(args) -> int:
         print(schedule.describe())
         injector = schedule.injector()
     metrics = MetricsRegistry(sink=args.metrics) if args.metrics else None
+    tracer = None
+    if args.trace or args.report:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     service = EvalService(model, capacity=args.capacity,
                           max_batch=args.max_batch, engine=engine,
                           metrics=metrics,
                           default_deadline=args.deadline,
-                          injector=injector)
+                          injector=injector, tracer=tracer)
     rng = np.random.default_rng(args.seed)
     masses = np.asarray(w.masses)
     tickets = []
@@ -572,7 +648,11 @@ def _cmd_serve(args) -> int:
     print(f"{args.system}: {len(coords)} atoms/job, {args.jobs} jobs "
           f"over {args.clients} clients, max_batch={args.max_batch}, "
           f"threads={args.threads}")
+    import time as _time
+
+    start = _time.perf_counter()
     rounds = service.drain()
+    wall = _time.perf_counter() - start
     by_status: dict[str, int] = {}
     for t in tickets:
         by_status[t.status] = by_status.get(t.status, 0) + 1
@@ -590,6 +670,30 @@ def _cmd_serve(args) -> int:
     if lat.get("count"):
         print(f"latency: p50 {lat['p50'] * 1e3:.2f} ms, "
               f"p99 {lat['p99'] * 1e3:.2f} ms")
+    if tracer is not None and args.trace:
+        tracer.export(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(tracer.finished())} spans)")
+    if args.report:
+        slo = {
+            "jobs": args.jobs,
+            "drain_rounds": rounds,
+            "by_status": dict(sorted(by_status.items())),
+            "batch_occupancy_mean": occ.get("mean"),
+            "batch_occupancy_max": occ.get("max"),
+            "latency_p50_s": lat.get("p50"),
+            "latency_p99_s": lat.get("p99"),
+        }
+        _write_run_report(
+            args, "serve",
+            {"system": args.system, "cells": list(args.cells),
+             "jobs": args.jobs, "clients": args.clients,
+             "max_batch": args.max_batch, "threads": args.threads,
+             "capacity": args.capacity, "seed": args.seed,
+             "md_every": args.md_every,
+             "chaos_profile": args.chaos_profile},
+            tracer=tracer, metrics=snap, flight=service.flight,
+            wall=wall, slo=slo)
     if metrics is not None:
         metrics.write_summary()
         metrics.close()

@@ -144,6 +144,17 @@ class Simulation:
         streams one JSONL row per step (wall seconds, rebuild flag) and
         accumulates ``md_steps`` / ``neighbor_rebuilds`` counters and
         ``step_seconds`` / ``guard_seconds`` histograms.
+    flight:
+        The always-on :class:`repro.obs.FlightRecorder` black box.
+        ``None`` (default) creates a fresh bounded recorder; ``False``
+        disables recording entirely; an existing recorder is shared
+        (recovery/distributed drivers pass one so the black box spans
+        rollbacks and re-spawns).  The step loop records ``step`` /
+        ``neighbor_rebuild`` / ``checkpoint`` events, mirrors fired
+        faults, keeps the last-N thermo rows, and on a
+        ``SimulationHealthError`` / ``DeadlineExceededError`` escaping
+        :meth:`run` records the terminal event (dumping to disk when
+        ``flight.dump_dir`` is set).
     velocities:
         Explicit initial velocities (Å/ps).  When given, the
         Maxwell–Boltzmann draw is skipped entirely — used by restart,
@@ -162,10 +173,16 @@ class Simulation:
                  rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
                  thermostat=None, threads: int = 1, engine=None,
                  monitor=None, injector=None, tracer=None, metrics=None,
-                 velocities=None, defer_init: bool = False):
+                 flight=None, velocities=None, defer_init: bool = False):
+        from ..obs.flight import ensure_flight
+
         self.box = box
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        self.flight = ensure_flight(flight)
+        if self.flight is not None and metrics is not None \
+                and self.flight.metrics is None:
+            self.flight.metrics = metrics
         coords = np.asarray(coords, dtype=np.float64)
         # A restart must keep the checkpointed (possibly drifted-out-of-
         # box) positions bit-for-bit; fresh runs normalize into the box.
@@ -183,6 +200,9 @@ class Simulation:
         self.engine = engine
         if engine is not None and getattr(forcefield, "engine", None) is None:
             forcefield.engine = engine
+        if engine is not None and self.flight is not None \
+                and getattr(engine, "flight", None) is None:
+            engine.flight = self.flight
         if self.tracer:
             # Wire the span lanes: the force field's fused_forward span
             # and the engine's per-shard lanes share this run's tracer.
@@ -279,8 +299,13 @@ class Simulation:
         """
         import time as _time
 
+        from ..robust.errors import (DeadlineExceededError,
+                                     SimulationHealthError)
+
         monitor, injector = self.monitor, self.injector
         tracer, metrics = self.tracer, self.metrics
+        flight = self.flight
+        fault_seen = len(injector.log) if injector is not None else 0
         if deadline is not None:
             from ..robust.deadline import Deadline
 
@@ -315,6 +340,9 @@ class Simulation:
                         rebuilt = True
                         if metrics is not None:
                             metrics.inc("neighbor_rebuilds")
+                        if flight is not None:
+                            flight.record("neighbor_rebuild",
+                                          step=self.step)
                     else:
                         self._refresh_neighbor_coords()
                     self.energy, self.forces, self.virial = self._evaluate()
@@ -353,6 +381,18 @@ class Simulation:
                         with tracer.span("checkpoint_write",
                                          step=self.step):
                             checkpoint_manager.save(self)
+                        if flight is not None:
+                            flight.record("checkpoint", step=self.step)
+                if flight is not None:
+                    flight.record("step", step=self.step)
+                    if injector is not None \
+                            and len(injector.log) > fault_seen:
+                        for entry in injector.log[fault_seen:]:
+                            flight.record(
+                                "fault", fault=entry.get("kind"),
+                                **{k: v for k, v in entry.items()
+                                   if k != "kind"})
+                        fault_seen = len(injector.log)
                 if metrics is not None:
                     wall = _time.perf_counter() - t_step
                     metrics.inc("md_steps")
@@ -361,6 +401,19 @@ class Simulation:
                         metrics.observe("guard_seconds", guard_seconds)
                     metrics.emit_step(self.step, wall_seconds=wall,
                                       rebuild=rebuilt)
+        except (SimulationHealthError, DeadlineExceededError) as err:
+            if flight is not None:
+                # Mirror faults that fired on the dying step before the
+                # terminal event, then dump the black box (disk write
+                # only when a dump_dir is configured).
+                if injector is not None and len(injector.log) > fault_seen:
+                    for entry in injector.log[fault_seen:]:
+                        flight.record(
+                            "fault", fault=entry.get("kind"),
+                            **{k: v for k, v in entry.items()
+                               if k != "kind"})
+                flight.failure(err, step=self.step)
+            raise
         finally:
             self.stats.wall_seconds += _time.perf_counter() - start
         return self.thermo_log
@@ -372,12 +425,20 @@ class Simulation:
 
     def _record_thermo(self, every: int, force: bool = False) -> None:
         if force or (every and self.step % every == 0):
-            self.thermo_log.append(
-                compute_thermo(
-                    self.step, self.time_ps, self.masses, self.velocities,
-                    self.energy, self.virial, self.box.volume,
-                )
+            state = compute_thermo(
+                self.step, self.time_ps, self.masses, self.velocities,
+                self.energy, self.virial, self.box.volume,
             )
+            self.thermo_log.append(state)
+            if self.flight is not None:
+                self.flight.record_thermo({
+                    "step": state.step,
+                    "time_ps": state.time_ps,
+                    "potential_ev": state.potential_ev,
+                    "kinetic_ev": state.kinetic_ev,
+                    "temperature_k": state.temperature_k,
+                    "pressure_bar": state.pressure_bar,
+                })
 
     def current_thermo(self) -> ThermoState:
         return compute_thermo(

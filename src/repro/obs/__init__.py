@@ -2,24 +2,32 @@
 
 The first subsystem that makes the *behaviour* of the whole stack
 visible rather than only its final numbers (the gap ROADMAP names:
-"surface shard-restart telemetry ... in the perf layer").  Two halves:
+"surface shard-restart telemetry ... in the perf layer").  Four parts:
 
 * :mod:`~repro.obs.trace` — :class:`Tracer`, a span tracer exporting
   Chrome trace-event JSON (Perfetto-loadable) with ranks as processes
   and engine shards as threads, instrumenting the serial pipeline, the
   :class:`~repro.parallel.engine.ThreadedEngine`, the distributed
-  driver's phases, and the robustness paths;
+  driver's phases, the robustness paths, and the serve scheduler;
 * :mod:`~repro.obs.metrics` — :class:`MetricsRegistry`, counters /
   gauges / histograms with a JSONL sink (per-step rows plus a final
-  summary), cumulative across rank re-spawns.
+  summary), cumulative across rank re-spawns;
+* :mod:`~repro.obs.flight` — :class:`FlightRecorder`, the always-on
+  bounded black box dumped to disk and attached to ``FailureReport``
+  when a run dies;
+* :mod:`~repro.obs.report` — the :func:`build_run_report` /
+  :func:`write_report` schema-versioned per-run JSON + markdown record
+  that ``tools/bench_regress.py`` gates against.
 
-Wired through ``Simulation(tracer=, metrics=)``,
-``run_distributed_md(tracer=, metrics=)``, and the CLI's
-``--trace FILE`` / ``--metrics FILE`` flags.  Both default to
-off with zero overhead (:data:`NULL_TRACER` no-op spans, ``None``
-registry checks).
+Wired through ``Simulation(tracer=, metrics=, flight=)``,
+``run_distributed_md(tracer=, metrics=, flight=)``, the serve
+scheduler, and the CLI's ``--trace`` / ``--metrics`` / ``--report``
+flags.  Tracer and metrics default to off with zero overhead
+(:data:`NULL_TRACER` no-op spans, ``None`` registry checks); the flight
+recorder defaults to *on* — bounded rings, no I/O until a failure.
 """
 
+from .flight import FLIGHT_SCHEMA, FlightRecorder, ensure_flight
 from .metrics import (
     Counter,
     Gauge,
@@ -27,17 +35,38 @@ from .metrics import (
     MetricsRegistry,
     read_metrics_jsonl,
 )
+from .report import (
+    REPORT_SCHEMA,
+    build_run_report,
+    host_info,
+    load_report,
+    phase_shares,
+    render_markdown,
+    validate_report,
+    write_report,
+)
 from .trace import NULL_TRACER, BoundTracer, NullTracer, SpanRecord, Tracer
 
 __all__ = [
     "BoundTracer",
     "Counter",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "REPORT_SCHEMA",
     "SpanRecord",
     "Tracer",
+    "build_run_report",
+    "ensure_flight",
+    "host_info",
+    "load_report",
+    "phase_shares",
     "read_metrics_jsonl",
+    "render_markdown",
+    "validate_report",
+    "write_report",
 ]

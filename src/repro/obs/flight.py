@@ -1,0 +1,219 @@
+"""Always-on bounded flight recorder — the run's black box.
+
+The tracer and metrics registry (PR 4) answer "how did the run behave"
+*when someone asked in advance* (``--trace``/``--metrics``).  The
+failure taxonomy (PR 7) answers "how did the run die" — but by the time
+an :class:`~repro.robust.errors.EscalationExhaustedError` surfaces, the
+telemetry that explains *why* is gone.  :class:`FlightRecorder` closes
+that gap the way an aircraft recorder does: it is **always on**, it
+remembers only a bounded recent window, and its contents only matter
+when something goes wrong.
+
+Design constraints, in order:
+
+1. **Near-zero steady-state overhead.**  One ``record()`` is a clock
+   read, a dict build, and a ``deque.append`` under a lock — no I/O, no
+   allocation growth (``deque(maxlen=)`` drops the oldest event).  The
+   acceptance bar is <= 0.5% on the 99-step smoke with no flags.
+2. **Bounded everything.**  Events and thermo rows live in fixed-size
+   rings; disk dumps rotate through ``keep_last`` filenames so a
+   crash-looping run cannot fill a filesystem.
+3. **Deterministic when asked.**  The clock is injectable; with a fake
+   clock, two identical runs (same seed, same chaos profile) produce
+   bitwise-identical dumps — the property the chaos hypothesis suite
+   asserts.
+4. **Dump only at a configured site.**  ``record()`` always records,
+   but :meth:`failure` only writes to disk when ``dump_dir`` is set —
+   the many tests that *intentionally* raise health errors must not
+   scatter ``flight-*.json`` files into the working directory.
+
+Event families (see DESIGN.md Sec. 12 for the mapping to the paper's
+Fig. 5/6 phases and the PR 7 failure taxonomy):
+
+=================  ====================================================
+kind               recorded by
+=================  ====================================================
+``step``           ``Simulation.run`` at the end of each MD step
+``neighbor_rebuild``  the step loop, when the Verlet list rebuilds
+``checkpoint``     the step loop, after a checkpoint write
+``thermo``         (separate ring) last-N thermo rows
+``fault``          the step loop, mirroring ``FaultInjector.log``
+``guard``          health-guard context when a check fails
+``stall``/``shard_failure``  ``ThreadedEngine.map`` quarantine path
+``rollback``/``escalation``  ``run_with_recovery`` ladder walk
+``rank_restart``/``rank_stall``  the distributed driver's re-spawn loop
+``serve_*``        the ``repro.serve`` scheduler (retries, failures)
+``metrics``        snapshot deltas folded in at dump time
+``error``          :meth:`failure` — the terminal event
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["FlightRecorder", "FLIGHT_SCHEMA", "ensure_flight"]
+
+#: Bump when the snapshot layout changes incompatibly.
+FLIGHT_SCHEMA = 1
+
+
+class FlightRecorder:
+    """Bounded ring-buffer event recorder with rotation-capped dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (oldest dropped first).
+    thermo_capacity:
+        Maximum retained thermo rows (a separate ring, so a chatty
+        event stream cannot evict the thermodynamic context).
+    clock:
+        Monotonic clock; injectable so determinism tests can compare
+        whole dumps bitwise.
+    dump_dir:
+        Directory for failure dumps.  ``None`` (the default) records in
+        memory only — :meth:`failure` still attaches the snapshot to
+        the failure report, it just skips the disk write.
+    keep_last:
+        Number of rotating dump files (``flight-0.json`` ..
+        ``flight-{keep_last-1}.json``); bounds disk use under crash
+        loops.
+    """
+
+    def __init__(self, capacity: int = 1024, thermo_capacity: int = 32,
+                 clock=time.monotonic, dump_dir: str | None = None,
+                 keep_last: int = 3):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if thermo_capacity < 1:
+            raise ValueError(
+                f"thermo_capacity must be >= 1, got {thermo_capacity}")
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.capacity = int(capacity)
+        self.thermo_capacity = int(thermo_capacity)
+        self.dump_dir = os.fspath(dump_dir) if dump_dir is not None else None
+        self.keep_last = int(keep_last)
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=self.capacity)
+        self._thermo: deque[dict] = deque(maxlen=self.thermo_capacity)
+        self._seen = 0
+        self._dumps = 0
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        #: attached, dumps embed its snapshot (the "metric deltas" of
+        #: the black box).
+        self.metrics = None
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------- recording
+    def record(self, kind: str, **fields) -> None:
+        """Append one event to the ring.  ``fields`` must be JSON-safe."""
+        t = self._clock() - self._epoch
+        with self._lock:
+            self._events.append(
+                {"seq": self._seen, "t": round(t, 6), "kind": kind,
+                 **fields})
+            self._seen += 1
+
+    def record_thermo(self, row: dict) -> None:
+        """Append one thermo row to the thermo ring (JSON-safe dict)."""
+        with self._lock:
+            self._thermo.append(dict(row))
+
+    # ---------------------------------------------------------------- access
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Retained events (oldest first), optionally filtered by kind."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        return out
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including dropped ones)."""
+        with self._lock:
+            return self._seen
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of the black box (plain dicts, JSON-safe)."""
+        with self._lock:
+            events = [dict(e) for e in self._events]
+            thermo = [dict(r) for r in self._thermo]
+            seen = self._seen
+        snap = {
+            "schema": FLIGHT_SCHEMA,
+            "capacity": self.capacity,
+            "recorded": seen,
+            "dropped": max(0, seen - len(events)),
+            "events": events,
+            "thermo": thermo,
+        }
+        if self.metrics is not None:
+            snap["metrics"] = self.metrics.snapshot()
+        return snap
+
+    # ----------------------------------------------------------------- dumps
+    def dump(self, path: str | None = None, reason: str | None = None) -> str:
+        """Write the snapshot as JSON; returns the written path.
+
+        With no ``path``, rotates through ``dump_dir`` (or the current
+        directory) as ``flight-{i}.json`` with ``i`` cycling modulo
+        ``keep_last``.
+        """
+        if path is None:
+            directory = self.dump_dir or "."
+            os.makedirs(directory, exist_ok=True)
+            with self._lock:
+                slot = self._dumps % self.keep_last
+                self._dumps += 1
+            path = os.path.join(directory, f"flight-{slot}.json")
+        snap = self.snapshot()
+        if reason is not None:
+            snap["reason"] = reason
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(snap, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def failure(self, err: BaseException, step: int | None = None) -> dict:
+        """Record the terminal error; dump to disk when ``dump_dir`` is
+        set.  Returns the JSON-safe attachment for ``FailureReport``
+        (``path`` is ``None`` when no dump directory was configured).
+        """
+        self.record("error", error_type=type(err).__name__,
+                    error=str(err), step=step)
+        path = None
+        if self.dump_dir is not None:
+            reason = f"{type(err).__name__} at step {step}"
+            path = self.dump(reason=reason)
+        snap = self.snapshot()
+        return {
+            "schema": snap["schema"],
+            "path": path,
+            "recorded": snap["recorded"],
+            "dropped": snap["dropped"],
+            "snapshot": snap,
+        }
+
+
+def ensure_flight(flight) -> "FlightRecorder | None":
+    """Normalize the ``flight=`` convention shared by every driver:
+    ``None`` -> a fresh always-on recorder, ``False`` -> disabled
+    (``None`` returned), a recorder -> itself."""
+    if flight is None:
+        return FlightRecorder()
+    if flight is False:
+        return None
+    return flight

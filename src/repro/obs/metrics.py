@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "read_metrics_jsonl"]
@@ -115,7 +116,13 @@ class Histogram:
     def quantile(self, q: float) -> float | None:
         """Approximate ``q``-quantile (0..1) from the retained reservoir;
         exact while fewer than ``_SAMPLE_CAP`` values have been seen.
-        ``None`` before any observation."""
+
+        Edge cases are pinned down (the consumers are reports and the
+        regression gate, which must not trip over short runs): an empty
+        histogram returns the documented sentinel ``None`` for *every*
+        ``q``, and a single-sample reservoir returns that sample for
+        every ``q`` — including ``q=0.0`` and ``q=1.0``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         # No lock: list() under the GIL is a consistent copy, and this
@@ -272,11 +279,29 @@ class MetricsRegistry:
 
 
 def read_metrics_jsonl(path: str) -> list[dict]:
-    """Parse a metrics JSONL file back into a list of records."""
+    """Parse a metrics JSONL file back into a list of records.
+
+    Crash-tolerant: a process killed mid-append leaves a torn final
+    line; that line is skipped with a warning rather than raising, so
+    post-mortem tooling (flight dumps, run reports, the regression
+    gate) can still read everything the writer completed.  A torn line
+    *before* the last one means real corruption and still raises.
+    """
     records = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = fh.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                warnings.warn(
+                    f"skipping truncated final line of {path!r} "
+                    "(writer killed mid-append?)",
+                    RuntimeWarning, stacklevel=2)
+                break
+            raise
     return records

@@ -1,0 +1,244 @@
+"""Structured, schema-versioned run reports.
+
+The paper's evidence is a set of tables and stacked-bar breakdowns
+(Fig. 5/6, Table 2); each of this reproduction's runs should leave the
+same kind of evidence behind in machine-readable form.  A
+:class:`RunReport` (a plain dict with a fixed schema) merges, per run:
+
+* **host info** — ``os.cpu_count()``, platform, interpreter, NumPy
+  version, and the sysfs cache model from
+  :func:`~repro.perf.machine.detect_host_cache`.  Downstream consumers
+  (``tools/bench_regress.py``) refuse to compare reports from hosts
+  with different ``host_cpus`` — the PR 6/8 honesty rule, promoted to
+  the report layer;
+* **resolved config** — the knobs the run actually used (threads,
+  layout, kernel chunk, dt, chaos profile, ...), as the caller resolved
+  them;
+* **phase shares** — the tracer's :class:`~repro.perf.profiler.
+  SectionTimer` totals, normalized (the Fig. 5/6 decomposition);
+* **metrics** — the :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot with deterministic p50/p99 quantiles;
+* **serve SLOs** — the serving layer's latency/occupancy payload, when
+  the run was a ``serve`` drill;
+* **flight summary** — how much the black box recorded (never the full
+  event stream; that lives in the flight dump).
+
+``write_report`` writes the JSON plus a rendered-markdown sibling, so
+every run produces both the machine record and the human one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+__all__ = ["REPORT_SCHEMA", "host_info", "phase_shares",
+           "build_run_report", "render_markdown", "write_report",
+           "load_report", "validate_report"]
+
+#: Bump when the report layout changes incompatibly.
+REPORT_SCHEMA = 1
+
+#: Keys every valid report must carry (``validate_report``).
+_REQUIRED_KEYS = ("schema", "kind", "host", "config", "phases", "metrics")
+
+#: Keys every valid host block must carry — ``host_cpus`` is the one
+#: the regression gate's refusal rule hangs on.
+_REQUIRED_HOST_KEYS = ("host_cpus", "platform", "python")
+
+
+def host_info() -> dict:
+    """The host identity block (JSON-safe)."""
+    import numpy as np
+
+    from ..perf.machine import detect_host_cache
+
+    cache = detect_host_cache()
+    return {
+        "host_cpus": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cache": {
+            "l1d_bytes": cache.l1d_bytes,
+            "l2_bytes": cache.l2_bytes,
+            "l3_bytes": cache.l3_bytes,
+            "source": cache.source,
+        },
+    }
+
+
+def phase_shares(timer) -> dict:
+    """Normalize a :class:`~repro.perf.profiler.SectionTimer` into
+    ``{name: {seconds, share, calls}}`` (empty dict when no timer or no
+    recorded sections)."""
+    if timer is None or not timer.totals:
+        return {}
+    total = timer.total
+    return {
+        name: {
+            "seconds": seconds,
+            "share": seconds / total if total else 0.0,
+            "calls": timer.calls.get(name, 0),
+        }
+        for name, seconds in sorted(timer.totals.items())
+    }
+
+
+def build_run_report(kind: str, *, config=None, timer=None, tracer=None,
+                     metrics=None, wall_seconds: float | None = None,
+                     slo=None, flight=None, host=None) -> dict:
+    """Assemble one run's report dict.
+
+    Parameters
+    ----------
+    kind:
+        The run family: ``"run"``, ``"run-distributed"``, ``"serve"``,
+        or a tool name (``"obs_smoke"``, ...).
+    config:
+        The resolved knob mapping the run actually used.
+    timer / tracer:
+        Phase-share source; an explicit ``timer`` wins, else the
+        tracer's fold-in timer is used.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` (snapshotted with
+        quantiles) or an already-snapshotted dict.
+    slo:
+        Optional serving-layer SLO payload, passed through verbatim.
+    flight:
+        A :class:`~repro.obs.flight.FlightRecorder`; summarized as
+        counts, not contents.
+    host:
+        Override the host block (tests); defaults to :func:`host_info`.
+    """
+    if timer is None and tracer is not None:
+        timer = getattr(tracer, "timer", None)
+    if metrics is None:
+        metrics_snap = {"counters": {}, "gauges": {}, "histograms": {}}
+    elif isinstance(metrics, dict):
+        metrics_snap = metrics
+    else:
+        metrics_snap = metrics.snapshot(quantiles=True)
+    report = {
+        "schema": REPORT_SCHEMA,
+        "kind": str(kind),
+        "host": dict(host) if host is not None else host_info(),
+        "config": dict(config or {}),
+        "wall_seconds": wall_seconds,
+        "phases": phase_shares(timer),
+        "metrics": metrics_snap,
+    }
+    if slo is not None:
+        report["slo"] = dict(slo)
+    if flight is not None:
+        snap = flight.snapshot()
+        report["flight"] = {"recorded": snap["recorded"],
+                           "dropped": snap["dropped"],
+                           "thermo_rows": len(snap["thermo"])}
+    return report
+
+
+def validate_report(report: dict) -> dict:
+    """Check schema version and required keys; returns the report.
+
+    Raises ``ValueError`` with a precise message on any problem, so the
+    regression gate and the round-trip tests get actionable failures.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(
+            f"run report must be a dict, got {type(report).__name__}")
+    missing = [k for k in _REQUIRED_KEYS if k not in report]
+    if missing:
+        raise ValueError(f"run report missing keys: {missing}")
+    if report["schema"] != REPORT_SCHEMA:
+        raise ValueError(
+            f"run report schema {report['schema']!r} != "
+            f"supported {REPORT_SCHEMA}")
+    host = report["host"]
+    if not isinstance(host, dict):
+        raise ValueError("run report 'host' must be a dict")
+    missing = [k for k in _REQUIRED_HOST_KEYS if k not in host]
+    if missing:
+        raise ValueError(f"run report host block missing keys: {missing}")
+    for key in ("config", "phases", "metrics"):
+        if not isinstance(report[key], dict):
+            raise ValueError(f"run report {key!r} must be a dict")
+    return report
+
+
+def render_markdown(report: dict) -> str:
+    """Human-readable markdown rendering of a report."""
+    host = report["host"]
+    lines = [f"# Run report — {report['kind']}", ""]
+    lines.append(f"- host: {host.get('platform', '?')} "
+                 f"({host.get('host_cpus', '?')} cpus, "
+                 f"python {host.get('python', '?')}, "
+                 f"numpy {host.get('numpy', '?')})")
+    if report.get("wall_seconds") is not None:
+        lines.append(f"- wall: {report['wall_seconds']:.3f} s")
+    flight = report.get("flight")
+    if flight:
+        lines.append(f"- flight recorder: {flight['recorded']} events "
+                     f"({flight['dropped']} dropped, "
+                     f"{flight['thermo_rows']} thermo rows retained)")
+    if report["config"]:
+        lines += ["", "## Config", ""]
+        for key in sorted(report["config"]):
+            lines.append(f"- `{key}` = `{report['config'][key]}`")
+    if report["phases"]:
+        lines += ["", "## Phase shares", "",
+                  "| phase | share | seconds | calls |",
+                  "| --- | ---: | ---: | ---: |"]
+        ordered = sorted(report["phases"].items(),
+                         key=lambda kv: -kv[1]["seconds"])
+        for name, row in ordered:
+            lines.append(f"| {name} | {row['share'] * 100:.1f}% "
+                         f"| {row['seconds']:.4f} | {row['calls']} |")
+    metrics = report["metrics"]
+    if metrics.get("counters"):
+        lines += ["", "## Counters", "",
+                  "| counter | value |", "| --- | ---: |"]
+        for name in sorted(metrics["counters"]):
+            lines.append(f"| {name} | {metrics['counters'][name]} |")
+    hists = {n: h for n, h in metrics.get("histograms", {}).items()
+             if h.get("count")}
+    if hists:
+        lines += ["", "## Histograms", "",
+                  "| metric | n | mean | p50 | p99 |",
+                  "| --- | ---: | ---: | ---: | ---: |"]
+        for name in sorted(hists):
+            h = hists[name]
+            p50 = h.get("p50")
+            p99 = h.get("p99")
+            lines.append(
+                f"| {name} | {h['count']} | {h['mean']:.6g} "
+                f"| {'' if p50 is None else format(p50, '.6g')} "
+                f"| {'' if p99 is None else format(p99, '.6g')} |")
+    if report.get("slo"):
+        lines += ["", "## Serve SLOs", ""]
+        for key in sorted(report["slo"]):
+            lines.append(f"- `{key}` = `{report['slo'][key]}`")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(report: dict, path: str) -> str:
+    """Validate and write ``path`` (JSON) plus a ``.md`` sibling;
+    returns the JSON path."""
+    validate_report(report)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    base, ext = os.path.splitext(path)
+    md_path = (base if ext.lower() == ".json" else path) + ".md"
+    with open(md_path, "w") as fh:
+        fh.write(render_markdown(report))
+    return path
+
+
+def load_report(path: str) -> dict:
+    """Read and validate a report written by :func:`write_report`."""
+    with open(path) as fh:
+        report = json.load(fh)
+    return validate_report(report)

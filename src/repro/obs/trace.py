@@ -127,6 +127,9 @@ class NullTracer:
     def instant(self, name, **attrs) -> None:
         pass
 
+    def complete(self, name, dur_s, **attrs) -> None:
+        pass
+
     def bind(self, **defaults) -> "NullTracer":
         return self
 
@@ -164,6 +167,9 @@ class BoundTracer:
 
     def instant(self, name, **attrs) -> None:
         self._tracer.instant(name, **{**self._defaults, **attrs})
+
+    def complete(self, name, dur_s, **attrs) -> None:
+        self._tracer.complete(name, dur_s, **{**self._defaults, **attrs})
 
     def bind(self, **defaults) -> "BoundTracer":
         return BoundTracer(self._tracer, {**self._defaults, **defaults})
@@ -222,6 +228,24 @@ class Tracer:
             self.spans.append(SpanRecord(name, ts, None, int(rank or 0),
                                          int(thread or 0), attrs, self._seq))
             self._seq += 1
+
+    def complete(self, name: str, dur_s: float, *, rank: int | None = None,
+                 thread: int | None = None, **attrs) -> None:
+        """Record an already-measured span ending *now* on the tracer's
+        clock (``ts = now - dur``).  For durations measured against a
+        different clock — e.g. the serve scheduler's injectable fake
+        clock measuring queue wait — where wrapping the interval in a
+        ``span()`` context manager is impossible."""
+        t1 = self._clock()
+        dur = max(0.0, float(dur_s))
+        t0 = t1 - dur
+        with self._lock:
+            self.spans.append(SpanRecord(
+                name, (t0 - self._epoch) * 1e6, dur * 1e6,
+                int(rank or 0), int(thread or 0), attrs, self._seq))
+            self._seq += 1
+        if self.timer is not None:
+            self.timer.add(name, dur)
 
     def _finish(self, name, pid, tid, args, t0) -> None:
         t1 = self._clock()

@@ -115,6 +115,7 @@ def _rank_main(
     heartbeat_timeout: float | None = None,
     deadline=None,
     shard_timeout: float | None = None,
+    flight=None,
 ):
     """Per-rank SPMD body.
 
@@ -128,7 +129,7 @@ def _rank_main(
                           rebuild_every, skin, sel, thermo_every, injector,
                           threads_per_rank, managers, checkpoint_every,
                           resume_step, tracer, metrics, heartbeat_timeout,
-                          deadline, shard_timeout)
+                          deadline, shard_timeout, flight)
     except _StepContext as ctx:
         from ..robust.errors import RankFailureError
 
@@ -186,6 +187,7 @@ def _rank_body(
     heartbeat_timeout: float | None = None,
     deadline=None,
     shard_timeout: float | None = None,
+    flight=None,
 ):
     box = grid.box
     rhalo = backend.spec.rcut + skin
@@ -204,12 +206,15 @@ def _rank_body(
                                 metrics=metrics)
         if injector is not None:
             engine.fault_hook = injector.worker_fault
+        if flight is not None:
+            engine.flight = flight
     try:
         return _rank_steps(comm, grid, box, rhalo, coords0, types0, vel0,
                            masses_per_type, backend, dt_fs, n_steps,
                            rebuild_every, skin, sel, thermo_every, injector,
                            engine, managers, checkpoint_every, resume_step,
-                           tracer, metrics, heartbeat_timeout, deadline)
+                           tracer, metrics, heartbeat_timeout, deadline,
+                           flight)
     finally:
         if engine is not None:
             engine.close()
@@ -219,7 +224,7 @@ def _rank_steps(
     comm, grid, box, rhalo, coords0, types0, vel0, masses_per_type, backend,
     dt_fs, n_steps, rebuild_every, skin, sel, thermo_every, injector,
     engine, managers, checkpoint_every, resume_step, tracer=None, metrics=None,
-    heartbeat_timeout=None, deadline=None,
+    heartbeat_timeout=None, deadline=None, flight=None,
 ):
     import time as _time
     from contextlib import nullcontext
@@ -232,8 +237,11 @@ def _rank_steps(
     volume = box.volume
     dt = dt_fs / FS_PER_PS
     # Rank 0 reports the per-step JSONL rows and phase-latency
-    # histograms for the whole world.
+    # histograms for the whole world; same convention for the black box
+    # (the recorder is shared across ranks, so one rank writing the
+    # per-step trail keeps it readable).
     report = metrics is not None and comm.rank == 0
+    box_flight = flight if flight is not None and comm.rank == 0 else None
 
     def hb(name):
         """Heartbeat scope for one communication phase (no-op without a
@@ -306,6 +314,13 @@ def _rank_steps(
         temp = 2.0 * ke_g / (dof * BOLTZMANN_EV_K)
         pressure = (2.0 * ke_g + w_g) / (3.0 * volume) * EV_A3_TO_BAR
         thermo.append(ThermoState(step, step * dt, pe_g, ke_g, temp, pressure))
+        if box_flight is not None:
+            box_flight.record_thermo({
+                "step": int(step), "time_ps": float(step * dt),
+                "potential_ev": float(pe_g), "kinetic_ev": float(ke_g),
+                "temperature_k": float(temp),
+                "pressure_bar": float(pressure),
+            })
 
     def write_shard(step):
         """Persist this rank's restartable slice (then rotate)."""
@@ -393,6 +408,8 @@ def _rank_steps(
                         observe_phase("ghost_exchange", t0)
                     if metrics is not None and comm.rank == 0:
                         metrics.inc("neighbor_rebuilds")
+                    if box_flight is not None:
+                        box_flight.record("neighbor_rebuild", step=step)
                 else:
                     with tracer.span("ghost_exchange", step=step):
                         t0 = _time.perf_counter()
@@ -409,6 +426,10 @@ def _rank_steps(
                 if ckpt is not None and checkpoint_every \
                         and step % checkpoint_every == 0:
                     write_shard(step)
+                    if box_flight is not None:
+                        box_flight.record("checkpoint", step=step)
+            if box_flight is not None:
+                box_flight.record("step", step=step)
             if report:
                 wall = _time.perf_counter() - t_step
                 sent1 = comm.stats.bytes_sent
@@ -494,6 +515,7 @@ def run_distributed_md(
     deadline=None,
     shard_timeout: float | None = None,
     write_deadline: float | None = None,
+    flight=None,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
@@ -552,6 +574,15 @@ def run_distributed_md(
       quarantined and re-executed serially).
     * ``write_deadline`` — per-checkpoint-write budget on each rank's
       manager (slow writes are skipped, not waited on).
+
+    ``flight`` is the always-on :class:`~repro.obs.FlightRecorder`
+    black box (``None`` creates one, ``False`` disables): rank 0
+    records the per-step / rebuild / checkpoint / thermo trail, every
+    rank's engine records shard stalls, the driver records
+    ``rank_restart`` / ``rank_stall`` events, and a *fatal* escape
+    (restart budget exhausted, or a
+    :class:`~repro.robust.errors.DeadlineExceededError`) dumps the
+    recorder — into ``checkpoint_dir`` when one is configured.
     """
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
@@ -565,6 +596,7 @@ def run_distributed_md(
             masses_per_type[types], temperature, seed
         )
 
+    from ..obs.flight import ensure_flight
     from ..robust.deadline import Deadline
     from ..robust.errors import (
         DeadlineExceededError,
@@ -573,6 +605,12 @@ def run_distributed_md(
     )
 
     deadline = Deadline.of(deadline)
+    flight = ensure_flight(flight)
+    if flight is not None:
+        if flight.dump_dir is None and checkpoint_dir is not None:
+            flight.dump_dir = checkpoint_dir
+        if flight.metrics is None and metrics is not None:
+            flight.metrics = metrics
     managers = None
     if checkpoint_dir is not None and checkpoint_every:
         from ..io.checkpoint import load_shard_checkpoint
@@ -602,7 +640,7 @@ def run_distributed_md(
                 masses_per_type, backend, dt_fs, n_steps, rebuild_every,
                 skin, sel, thermo_every, injector, threads_per_rank,
                 managers, checkpoint_every, resume_step, tracer, metrics,
-                heartbeat_timeout, deadline, shard_timeout,
+                heartbeat_timeout, deadline, shard_timeout, flight,
             )
             break
         except RuntimeError as err:
@@ -614,6 +652,8 @@ def run_distributed_md(
             if isinstance(fail.cause, DeadlineExceededError):
                 # Time exhaustion is global — re-spawning would burn the
                 # remaining budget replaying steps; surface it.
+                if flight is not None:
+                    flight.failure(fail.cause, step=fail.step)
                 raise fail.cause
             if isinstance(fail.cause, RankStallError):
                 if metrics is not None:
@@ -627,11 +667,17 @@ def run_distributed_md(
                 if tracer is not None and tracer:
                     tracer.instant("rank_stall", rank=fail.cause.rank,
                                    phase=fail.cause.phase, step=fail.step)
+                if flight is not None:
+                    flight.record("rank_stall",
+                                  detected_by=fail.cause.rank,
+                                  phase=fail.cause.phase, step=fail.step)
             fw, rv, mg = _world_bytes(world)
             forward += fw
             reverse += rv
             migrate += mg
             if managers is None or len(rank_restarts) >= max_rank_restarts:
+                if flight is not None:
+                    flight.failure(fail, step=fail.step)
                 raise fail from fail.cause
             resume_step = _common_restart_step(managers)
             rank_restarts.append(RankRestartEvent(
@@ -658,6 +704,11 @@ def run_distributed_md(
             if tracer is not None and tracer:
                 tracer.instant("rank_restart", rank=fail.rank,
                                step=fail.step, restart_step=resume_step)
+            if flight is not None:
+                flight.record(
+                    "rank_restart", rank=fail.rank, step=fail.step,
+                    restart_step=resume_step,
+                    error=f"{type(fail.cause).__name__}: {fail.cause}")
     if managers is not None:
         # Let any deadline-skipped write land before the caller tears
         # down the checkpoint directory, then drop the writer pools.

@@ -106,6 +106,11 @@ class ThreadedEngine:
         Optional :class:`repro.obs.MetricsRegistry`; stall detections
         are counted (``stall_detections``) and emitted as
         ``shard_stall`` rows.  Settable after construction.
+
+    A :class:`repro.obs.FlightRecorder` can also be attached after
+    construction (``engine.flight = ...``; the simulation does this
+    automatically) — shard stalls and recovered shard failures then
+    land in the black box as ``stall`` / ``shard_failure`` events.
     """
 
     def __init__(self, n_threads: int | None = None, timer=None,
@@ -124,6 +129,9 @@ class ThreadedEngine:
         self.shard_timeout = None if shard_timeout is None \
             else float(shard_timeout)
         self.metrics = metrics
+        #: Optional :class:`repro.obs.FlightRecorder` (black box);
+        #: settable after construction like :attr:`metrics`.
+        self.flight = None
         self._pool: ThreadPoolExecutor | None = None
         #: Optional per-shard hook (``hook(shard_index)``), called before
         #: each pooled item — the fault injector's worker-death port.
@@ -220,12 +228,19 @@ class ThreadedEngine:
                     self.metrics.inc("stall_detections")
                     self.metrics.emit({"type": "shard_stall", "shard": i,
                                        "timeout": self.shard_timeout})
+                if self.flight is not None:
+                    self.flight.record("stall", shard=i,
+                                       timeout=self.shard_timeout)
                 results.append(fn(item))  # serial re-execution
             except Exception as exc:
                 self.events.append(
                     ShardEvent(item=i,
                                error=f"{type(exc).__name__}: {exc}")
                 )
+                if self.flight is not None:
+                    self.flight.record(
+                        "shard_failure", shard=i,
+                        error=f"{type(exc).__name__}: {exc}")
                 results.append(fn(item))  # serial retry, no hook
         return results
 

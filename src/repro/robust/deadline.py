@@ -250,6 +250,11 @@ class FailureReport:
     dt_fs: float = 0.0           #: timestep at give-up
     threads: int = 1             #: thread count at give-up
     events: list = field(default_factory=list)  #: RecoveryEvents
+    #: Flight-recorder attachment (``FlightRecorder.failure()``):
+    #: ``{"schema", "path", "recorded", "dropped", "snapshot"}`` — the
+    #: black box that explains the give-up.  ``None`` when the failing
+    #: driver had no recorder.
+    flight: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (events collapsed to their reprs)."""
@@ -262,4 +267,5 @@ class FailureReport:
             "dt_fs": self.dt_fs,
             "threads": self.threads,
             "events": [repr(e) for e in self.events],
+            "flight": self.flight,
         }

@@ -127,6 +127,10 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
         sim.monitor = monitor
     elif sim.monitor is None:
         sim.monitor = HealthMonitor()
+    flight = getattr(sim, "flight", None)
+    if flight is not None and flight.dump_dir is None:
+        # Failure dumps land next to the checkpoints they complement.
+        flight.dump_dir = manager.directory
     target = sim.step + int(n_steps)
     report = RecoveryReport()
     if manager.latest_valid() is None:
@@ -150,7 +154,13 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
                     sim.metrics.emit({"type": "escalation", "rung": rung,
                                       "retries": report.retries,
                                       "step": sim.step})
+                if flight is not None:
+                    flight.record("escalation", rung=rung,
+                                  retries=report.retries, step=sim.step)
             if rung == "give-up":
+                flight_info = None
+                if flight is not None:
+                    flight_info = flight.failure(err, step=sim.step)
                 failure = FailureReport(
                     step=err.step if err.step is not None else sim.step,
                     error=repr(err),
@@ -161,6 +171,7 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
                     threads=(sim.engine.n_threads
                              if sim.engine is not None else 1),
                     events=[vars(e) for e in report.events],
+                    flight=flight_info,
                 )
                 if sim.metrics is not None:
                     sim.metrics.emit({"type": "failure_report",
@@ -197,6 +208,12 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
             restarted.attach_injector(sim.injector)
             restarted.tracer = sim.tracer
             restarted.metrics = sim.metrics
+            # One black box spans all rollbacks: the restart built a
+            # fresh recorder; replace it (and the engine's reference)
+            # with the run's original so the event trail is continuous.
+            restarted.flight = flight
+            if restarted.engine is not None:
+                restarted.engine.flight = flight
             fired_at = err.step if err.step is not None else sim.step
             delay = 0.0
             if policy.backoff is not None:
@@ -219,6 +236,10 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
             if sim.tracer:
                 sim.tracer.instant("rollback", step=fired_at,
                                    rollback_step=restarted.step, rung=rung)
+            if flight is not None:
+                flight.record("rollback", step=fired_at,
+                              rollback_step=restarted.step, rung=rung,
+                              dt_fs=dt_fs, backoff_seconds=delay)
             report.events.append(RecoveryEvent(
                 step=fired_at,
                 error=repr(err),

@@ -42,7 +42,9 @@ import numpy as np
 
 from ..core.backend import EvalRequest, backend_for
 from ..md.neighbor import NeighborSearch
+from ..obs.flight import ensure_flight
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..robust.deadline import Deadline, RetryPolicy
 from .batch import evaluate_batch, pack_neighbors, supports_batching
 from .jobs import (DONE, FAILED, PENDING, TIMED_OUT, EvalOutput, JobFailure,
@@ -101,6 +103,16 @@ class EvalService:
     skin:
         Verlet skin for the per-model neighbor builders (single-point
         services have no motion to buffer, so it defaults small).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; the scheduler records
+        ``serve_queue_wait`` (back-dated, measured on the service
+        clock), ``serve_batch_pack`` / ``serve_packed_eval`` spans per
+        batch group, and ``serve_retry`` instants, so serve runs render
+        in Perfetto like every other layer.
+    flight:
+        The always-on :class:`~repro.obs.FlightRecorder` (``None``
+        creates one, ``False`` disables); job retries, failures, and
+        timeouts land in the black box.
     """
 
     def __init__(self, model=None, *, models=None, committees=None,
@@ -108,7 +120,8 @@ class EvalService:
                  engine=None, clock=time.monotonic, sleep=time.sleep,
                  metrics=None, default_deadline: float | None = None,
                  retry: RetryPolicy | None = None, max_retries: int = 2,
-                 injector=None, skin: float = 1.0):
+                 injector=None, skin: float = 1.0, tracer=None,
+                 flight=None):
         if int(max_batch) < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.max_batch = int(max_batch)
@@ -116,6 +129,10 @@ class EvalService:
         self._clock = clock
         self._sleep = sleep
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.flight = ensure_flight(flight)
+        if self.flight is not None and self.flight.metrics is None:
+            self.flight.metrics = self.metrics
         self.default_deadline = default_deadline
         self.retry = retry
         self.max_retries = int(max_retries)
@@ -299,6 +316,14 @@ class EvalService:
     def _dispatch(self, key, batch: list[Ticket]) -> list[Ticket]:
         live: list[Ticket] = []
         finished: list[Ticket] = []
+        if self.tracer:
+            # Queue wait is measured on the (possibly fake) service
+            # clock, so it is recorded back-dated rather than spanned.
+            now = self._clock()
+            for t in batch:
+                self.tracer.complete("serve_queue_wait",
+                                     now - t.submitted_at,
+                                     job=t.job_id, client=t.client)
         for t in sorted(batch, key=lambda t: t.job_id):
             if self.injector is not None:
                 delay = self.injector.job_delay(t.job_id)
@@ -355,10 +380,15 @@ class EvalService:
         groups = [live[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])
                   if hi > lo]
 
+        tracer = self.tracer
+
         def run_group(group):
-            packed = pack_neighbors((t._neighbors for t in group),
-                                    precision=precision)
-            return evaluate_batch(backend, packed)
+            with tracer.span("serve_batch_pack", jobs=len(group)):
+                packed = pack_neighbors((t._neighbors for t in group),
+                                        precision=precision)
+            with tracer.span("serve_packed_eval", jobs=len(group),
+                             backend=backend.name):
+                return evaluate_batch(backend, packed)
 
         finished: list[Ticket] = []
         try:
@@ -434,6 +464,12 @@ class EvalService:
             t.not_before = self._clock() + delay
             self._backoff.append(t)
             self.metrics.inc("serve_retries")
+            if self.tracer:
+                self.tracer.instant("serve_retry", job=t.job_id,
+                                    attempt=t.attempts)
+            if self.flight is not None:
+                self.flight.record("serve_retry", job=t.job_id,
+                                   attempt=t.attempts, error=repr(exc))
             if delay:
                 self.metrics.observe("serve_backoff_seconds", delay)
             return []
@@ -452,3 +488,8 @@ class EvalService:
         self.metrics.inc("serve_timeouts" if status == TIMED_OUT
                          else "serve_failures")
         self.metrics.emit({"type": "job_failure", **t.failure.to_dict()})
+        if self.flight is not None:
+            self.flight.record(
+                "serve_timeout" if status == TIMED_OUT else "serve_failure",
+                job=t.job_id, client=t.client, phase=phase, error=error,
+                attempts=t.attempts)

@@ -1,0 +1,196 @@
+"""The perf-regression gate: pass, fail, and refusal paths."""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, "tools",
+                     "bench_regress.py")
+_spec = importlib.util.spec_from_file_location("bench_regress", _TOOL)
+bench_regress = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_regress)
+
+
+def make_report(**over):
+    report = {
+        "schema": 1,
+        "kind": "run",
+        "host": {"host_cpus": 4, "platform": "test", "python": "3.11"},
+        "config": {"system": "copper", "steps": 99, "seed": 0},
+        "wall_seconds": 1.0,
+        "phases": {"compute": {"seconds": 0.8, "share": 0.8, "calls": 99}},
+        "metrics": {
+            "counters": {"md_steps": 99, "neighbor_rebuilds": 2},
+            "gauges": {},
+            "histograms": {"step_seconds": {"count": 99, "mean": 0.01,
+                                            "p50": 0.009, "p99": 0.02,
+                                            "min": 0.008, "max": 0.03,
+                                            "sum": 0.99}},
+        },
+    }
+    report.update(over)
+    return report
+
+
+def gate(baseline, fresh, **kw):
+    kw.setdefault("tolerance", 0.6)
+    kw.setdefault("floor_seconds", 0.005)
+    return bench_regress.compare_reports(baseline, fresh, **kw)
+
+
+# ------------------------------------------------------------------- pass
+
+def test_identical_reports_pass():
+    result = gate(make_report(), make_report())
+    assert result["verdict"] == "pass"
+    assert result["violations"] == []
+    assert result["checked"] > 0
+
+
+def test_faster_fresh_passes():
+    fresh = make_report(wall_seconds=0.5)
+    assert gate(make_report(), fresh)["verdict"] == "pass"
+
+
+def test_within_tolerance_passes():
+    fresh = make_report(wall_seconds=1.5)  # +50% < +60%
+    assert gate(make_report(), fresh)["verdict"] == "pass"
+
+
+# ------------------------------------------------------------------- fail
+
+def test_counter_drift_fails_exactly():
+    fresh = make_report()
+    fresh["metrics"]["counters"]["md_steps"] = 98
+    result = gate(make_report(), fresh)
+    assert result["verdict"] == "fail"
+    assert result["violations"][0]["family"] == "counter"
+    assert result["violations"][0]["metric"] == "md_steps"
+
+
+def test_timing_regression_fails():
+    fresh = make_report(wall_seconds=2.0)  # +100% > +60%
+    result = gate(make_report(), fresh)
+    assert result["verdict"] == "fail"
+    metrics = [v["metric"] for v in result["violations"]]
+    assert "wall_seconds" in metrics
+
+
+def test_phase_and_histogram_regressions_are_gated():
+    fresh = make_report()
+    fresh["phases"]["compute"]["seconds"] = 2.0
+    fresh["metrics"]["histograms"]["step_seconds"]["p99"] = 0.2
+    result = gate(make_report(), fresh)
+    metrics = [v["metric"] for v in result["violations"]]
+    assert "phase:compute" in metrics
+    assert "hist:step_seconds.p99" in metrics
+
+
+def test_sub_floor_timings_are_noise_and_skipped():
+    baseline = make_report(wall_seconds=0.001)
+    fresh = make_report(wall_seconds=0.004)  # 4x slower but under floor
+    result = gate(baseline, fresh)
+    assert result["verdict"] == "pass"
+    assert any("floor" in n for n in result["notes"])
+
+
+# ---------------------------------------------------------------- refusal
+
+def test_host_cpus_mismatch_refused():
+    fresh = make_report()
+    fresh["host"]["host_cpus"] = 64
+    result = gate(make_report(), fresh)
+    assert result["verdict"] == "refused"
+    assert "host_cpus" in result["reason"]
+    assert result["violations"] == []
+
+
+def test_kind_mismatch_refused():
+    result = gate(make_report(), make_report(kind="serve"))
+    assert result["verdict"] == "refused"
+
+
+def test_refusal_exits_zero(tmp_path, capsys):
+    baseline = make_report()
+    fresh = make_report()
+    fresh["host"]["host_cpus"] = 64
+    b = tmp_path / "baseline.json"
+    f = tmp_path / "fresh.json"
+    b.write_text(json.dumps(baseline))
+    f.write_text(json.dumps(fresh))
+    rc = bench_regress.main(["--baseline", str(b), "--fresh", str(f)])
+    assert rc == 0
+    assert "comparison refused" in capsys.readouterr().out
+
+
+def test_regression_exits_one(tmp_path):
+    baseline = make_report()
+    fresh = make_report(wall_seconds=5.0)
+    b = tmp_path / "baseline.json"
+    f = tmp_path / "fresh.json"
+    b.write_text(json.dumps(baseline))
+    f.write_text(json.dumps(fresh))
+    assert bench_regress.main(["--baseline", str(b),
+                               "--fresh", str(f)]) == 1
+
+
+def test_missing_baseline_refused(tmp_path, capsys):
+    rc = bench_regress.main(["--baseline", str(tmp_path / "nope.json"),
+                             "--fresh", str(tmp_path / "nope.json")])
+    assert rc == 0
+    assert "comparison refused" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------- BENCH mode
+
+def test_bench_mode_speedup_claim_pass_through():
+    baseline = {"host_cpus": 1, "jobs": 12, "service_wall_s": 0.35,
+                "speedup_claim": False}
+    fresh = copy.deepcopy(baseline)
+    fresh["service_wall_s"] = 0.4
+    result = bench_regress.compare_bench(baseline, fresh, tolerance=0.6,
+                                         floor_seconds=0.005)
+    assert result["verdict"] == "pass"
+    assert any("speedup_claim refused" in n for n in result["notes"])
+
+
+def test_bench_mode_gates_integer_drift_and_timing():
+    baseline = {"host_cpus": 2, "jobs": 12, "service_wall_s": 0.35,
+                "soa_speedup": 1.4}
+    fresh = {"host_cpus": 2, "jobs": 13, "service_wall_s": 1.0,
+             "soa_speedup": 0.3}
+    result = bench_regress.compare_bench(baseline, fresh, tolerance=0.6,
+                                         floor_seconds=0.005)
+    assert result["verdict"] == "fail"
+    families = {v["family"] for v in result["violations"]}
+    assert families == {"counter", "timing", "speedup"}
+
+
+# -------------------------------------------------------- update-baseline
+
+def test_update_baseline_writes_fresh(tmp_path):
+    fresh = make_report()
+    f = tmp_path / "fresh.json"
+    f.write_text(json.dumps(fresh))
+    b = tmp_path / "baseline.json"
+    b.write_text(json.dumps(make_report(wall_seconds=9.0)))
+    rc = bench_regress.main(["--baseline", str(b), "--fresh", str(f),
+                             "--update-baseline"])
+    assert rc == 0
+    assert json.loads(b.read_text())["wall_seconds"] == 1.0
+
+
+def test_json_and_out_flags(tmp_path, capsys):
+    b = tmp_path / "baseline.json"
+    f = tmp_path / "fresh.json"
+    b.write_text(json.dumps(make_report()))
+    f.write_text(json.dumps(make_report()))
+    out = tmp_path / "verdict.json"
+    rc = bench_regress.main(["--baseline", str(b), "--fresh", str(f),
+                             "--json", "--out", str(out)])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["verdict"] == "pass"
+    assert json.loads(out.read_text())["verdict"] == "pass"

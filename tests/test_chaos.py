@@ -445,3 +445,139 @@ class TestSameSeedDeterminism:
         assert np.array_equal(sim_a.coords, sim_b.coords)
         assert np.array_equal(sim_a.velocities, sim_b.velocities)
         assert np.all(np.isfinite(sim_a.coords))
+
+
+# ------------------------------------------------------- flight recorder
+class TickClock:
+    """Each read advances a fixed tick — flight dumps become a pure
+    function of the event sequence, hence bitwise comparable."""
+
+    def __init__(self, tick=0.001):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+class TestFlightDeterminism:
+    def chaos_flight_run(self, seed, profile, ckdir):
+        """One recovered chaos run; returns the dump bytes.  ``ckdir``
+        must be identical across compared runs — fault events mirror
+        ``injector.log``, which records checkpoint *paths*."""
+        import os
+        import shutil
+
+        from repro.obs import FlightRecorder
+
+        if os.path.isdir(ckdir):
+            shutil.rmtree(ckdir)
+        sched = ChaosSchedule(30, seed=seed, profile=profile,
+                              checkpoint_every=8, rebuild_every=25)
+        sim = make_lj_sim(flight=FlightRecorder(clock=TickClock()))
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(sched.injector())
+        sim, _ = run_with_recovery(
+            sim, 30, manager=CheckpointManager(ckdir),
+            checkpoint_every=8, thermo_every=10,
+            policy=RecoveryPolicy(max_retries=10, backoff=None))
+        path = sim.flight.dump(os.path.join(ckdir, "flight.json"))
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           profile=st.sampled_from(["calm", "crashes"]))
+    @settings(max_examples=4, deadline=None)
+    def test_same_seed_same_profile_bitwise_identical_dump(self, seed,
+                                                           profile):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            ck = td + "/ck"
+            assert self.chaos_flight_run(seed, profile, ck) == \
+                self.chaos_flight_run(seed, profile, ck)
+
+    def test_crash_storm_leaves_fault_trail_in_dump(self, tmp_path):
+        import json
+
+        dump = json.loads(self.chaos_flight_run(21, "crashes",
+                                                str(tmp_path / "ck")))
+        kinds = {e["kind"] for e in dump["events"]}
+        assert "step" in kinds and "fault" in kinds
+        assert dump["recorded"] >= len(dump["events"])
+        assert dump["schema"] == 1
+
+
+class TestFlightOnFailure:
+    def test_ladder_exhaustion_attaches_flight_with_fault_trail(
+            self, tmp_path):
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs(
+            ["nan-forces@5", "nan-forces@7", "nan-forces@9"]))
+        policy = RecoveryPolicy(max_retries=0, ladder=("deep-rollback",),
+                                backoff=None)
+        with pytest.raises(EscalationExhaustedError) as ei:
+            run_with_recovery(sim, 30,
+                              manager=CheckpointManager(tmp_path),
+                              checkpoint_every=10, policy=policy)
+        flight = ei.value.report.flight
+        assert flight is not None
+        assert flight["path"] is not None  # dumped next to checkpoints
+        assert str(tmp_path) in flight["path"]
+        events = flight["snapshot"]["events"]
+        kinds = [e["kind"] for e in events]
+        # The black box explains the death: the injected faults, the
+        # ladder walk, and the terminal error are all on the tape.
+        assert "fault" in kinds and "escalation" in kinds
+        assert kinds[-1] == "error"
+        assert events[-1]["error_type"] == type(ei.value.__cause__).__name__
+        import json
+
+        with open(flight["path"]) as fh:
+            on_disk = json.load(fh)
+        assert [e["kind"] for e in on_disk["events"]] == kinds
+        # And the FailureReport serializes with the attachment intact.
+        as_dict = ei.value.report.to_dict()
+        assert as_dict["flight"]["path"] == flight["path"]
+
+    def test_recovered_run_dumps_are_rotation_bounded(self, tmp_path):
+        """Every health error dumps (the ISSUE contract), but rotation
+        caps the files — a crash-looping run cannot fill the disk."""
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs(
+            ["nan-forces@5", "nan-forces@8", "nan-forces@11",
+             "nan-forces@14", "nan-forces@17"]))
+        sim, report = run_with_recovery(
+            sim, 30, manager=CheckpointManager(tmp_path),
+            checkpoint_every=10,
+            policy=RecoveryPolicy(max_retries=10, backoff=None))
+        assert report.completed and report.retries == 5
+        import os
+
+        dumps = [f for f in os.listdir(tmp_path)
+                 if f.startswith("flight-")]
+        assert 0 < len(dumps) <= sim.flight.keep_last
+        # The recorder saw the whole story across all rollbacks.
+        assert sim.flight.events("fault")
+        assert sim.flight.events("rollback")
+
+    def test_no_dump_without_recovery_driver(self, tmp_path, monkeypatch):
+        """A bare Simulation (no dump_dir configured) must not scatter
+        flight files into the working directory on a health error."""
+        import os
+
+        monkeypatch.chdir(tmp_path)
+        from repro.robust.errors import SimulationHealthError
+
+        sim = make_lj_sim()
+        sim.monitor = HealthMonitor()
+        sim.attach_injector(FaultInjector.from_specs("nan-forces@3"))
+        with pytest.raises(SimulationHealthError):
+            sim.run(10)
+        assert not [f for f in os.listdir(tmp_path)
+                    if f.startswith("flight-")]
+        # Recorded in memory regardless.
+        assert sim.flight.events("error")

@@ -1,0 +1,151 @@
+"""Flight-recorder mechanics: rings, dumps, rotation, failure wiring."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import FLIGHT_SCHEMA, FlightRecorder, ensure_flight
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``tick``."""
+
+    def __init__(self, tick=0.001):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+# ---------------------------------------------------------------- recording
+
+def test_record_assigns_monotonic_seq_and_relative_time():
+    fr = FlightRecorder(clock=FakeClock())
+    fr.record("step", step=0)
+    fr.record("fault", fault="nan-forces")
+    events = fr.events()
+    assert [e["seq"] for e in events] == [0, 1]
+    assert all(e["t"] >= 0.0 for e in events)
+    assert events[1]["fault"] == "nan-forces"
+
+
+def test_capacity_bounds_ring_and_counts_drops():
+    fr = FlightRecorder(capacity=4)
+    for i in range(10):
+        fr.record("step", step=i)
+    assert fr.recorded == 10
+    events = fr.events()
+    assert len(events) == 4
+    assert [e["step"] for e in events] == [6, 7, 8, 9]  # oldest dropped
+    snap = fr.snapshot()
+    assert snap["dropped"] == 6
+
+
+def test_thermo_ring_is_independent_of_event_ring():
+    fr = FlightRecorder(capacity=2, thermo_capacity=3)
+    for i in range(5):
+        fr.record("step", step=i)
+        fr.record_thermo({"step": i, "temperature_k": 330.0 + i})
+    snap = fr.snapshot()
+    assert len(snap["events"]) == 2
+    assert [r["step"] for r in snap["thermo"]] == [2, 3, 4]
+
+
+def test_events_filter_by_kind():
+    fr = FlightRecorder()
+    fr.record("step", step=0)
+    fr.record("fault", fault="kill-worker")
+    fr.record("step", step=1)
+    assert len(fr.events("step")) == 2
+    assert len(fr.events("fault")) == 1
+    assert fr.events("nope") == []
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"capacity": 0}, {"thermo_capacity": 0}, {"keep_last": 0},
+])
+def test_invalid_bounds_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FlightRecorder(**kwargs)
+
+
+# ------------------------------------------------------------ determinism
+
+def test_fake_clock_makes_dumps_bitwise_identical(tmp_path):
+    def run(out):
+        fr = FlightRecorder(clock=FakeClock(), dump_dir=str(out))
+        for i in range(7):
+            fr.record("step", step=i)
+            if i == 3:
+                fr.record("fault", fault="nan-forces", step=i)
+        fr.record_thermo({"step": 6, "temperature_k": 331.5})
+        return fr.dump(reason="test")
+
+    a = run(tmp_path / "a")
+    b = run(tmp_path / "b")
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+# ----------------------------------------------------------------- dumping
+
+def test_dump_rotates_modulo_keep_last(tmp_path):
+    fr = FlightRecorder(dump_dir=str(tmp_path), keep_last=2)
+    paths = [fr.dump() for _ in range(5)]
+    names = [os.path.basename(p) for p in paths]
+    assert names == ["flight-0.json", "flight-1.json", "flight-0.json",
+                     "flight-1.json", "flight-0.json"]
+    assert sorted(os.listdir(tmp_path)) == ["flight-0.json",
+                                            "flight-1.json"]
+
+
+def test_dump_creates_missing_directory(tmp_path):
+    fr = FlightRecorder(dump_dir=str(tmp_path / "deep" / "dir"))
+    path = fr.dump()
+    assert os.path.exists(path)
+
+
+def test_dump_embeds_metrics_snapshot(tmp_path):
+    fr = FlightRecorder(dump_dir=str(tmp_path))
+    fr.metrics = MetricsRegistry()
+    fr.metrics.inc("md_steps", 42)
+    snap = json.load(open(fr.dump()))
+    assert snap["metrics"]["counters"]["md_steps"] == 42
+    assert snap["schema"] == FLIGHT_SCHEMA
+
+
+# ----------------------------------------------------------------- failure
+
+def test_failure_records_terminal_event_and_dumps(tmp_path):
+    fr = FlightRecorder(dump_dir=str(tmp_path))
+    fr.record("step", step=5)
+    info = fr.failure(ValueError("boom"), step=5)
+    assert info["schema"] == FLIGHT_SCHEMA
+    assert info["path"] is not None and os.path.exists(info["path"])
+    last = info["snapshot"]["events"][-1]
+    assert last["kind"] == "error"
+    assert last["error_type"] == "ValueError"
+    assert last["step"] == 5
+    on_disk = json.load(open(info["path"]))
+    assert on_disk["reason"] == "ValueError at step 5"
+
+
+def test_failure_without_dump_dir_skips_disk(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # any stray write would land here
+    fr = FlightRecorder()
+    info = fr.failure(RuntimeError("quiet"), step=1)
+    assert info["path"] is None
+    assert info["snapshot"]["events"][-1]["error_type"] == "RuntimeError"
+    assert os.listdir(tmp_path) == []
+
+
+# ------------------------------------------------------------ ensure_flight
+
+def test_ensure_flight_convention():
+    assert isinstance(ensure_flight(None), FlightRecorder)
+    assert ensure_flight(False) is None
+    fr = FlightRecorder()
+    assert ensure_flight(fr) is fr

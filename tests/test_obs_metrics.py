@@ -140,3 +140,56 @@ class TestThreadSafety:
         mr.close()
         rows = read_metrics_jsonl(path)  # every line parses
         assert len(rows) == n * per
+
+
+class TestQuantileEdges:
+    def test_empty_histogram_quantile_is_none(self):
+        mr = MetricsRegistry()
+        h = mr.histogram("empty")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) is None
+
+    def test_single_sample_quantile_is_that_sample(self):
+        mr = MetricsRegistry()
+        h = mr.histogram("one")
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.125
+
+    def test_summary_with_quantiles_on_empty_registry(self):
+        snap = MetricsRegistry().snapshot(quantiles=True)
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_summary_with_quantiles_on_empty_histogram(self):
+        mr = MetricsRegistry()
+        mr.histogram("never")
+        snap = mr.snapshot(quantiles=True)
+        hist = snap["histograms"]["never"]
+        assert hist["count"] == 0
+        assert hist.get("p50") is None and hist.get("p99") is None
+
+
+class TestCrashTolerantReader:
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "row", "i": 0}) + "\n")
+            fh.write(json.dumps({"type": "row", "i": 1}) + "\n")
+            fh.write('{"type": "row", "i": 2, "val')  # writer killed here
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            rows = read_metrics_jsonl(path)
+        assert [r["i"] for r in rows] == [0, 1]
+
+    def test_corrupt_interior_line_still_raises(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"type": "row"}) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_metrics_jsonl(path)
+
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "blank.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "row"}) + "\n\n\n")
+        assert len(read_metrics_jsonl(path)) == 1

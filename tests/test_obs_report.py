@@ -1,0 +1,156 @@
+"""Run-report building, validation, rendering, and round-trip."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    REPORT_SCHEMA,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    host_info,
+    load_report,
+    phase_shares,
+    render_markdown,
+    validate_report,
+    write_report,
+)
+from repro.perf.profiler import SectionTimer
+
+
+def _fake_clock():
+    t = [0.0]
+
+    def clock():
+        t[0] += 0.5
+        return t[0]
+
+    return clock
+
+
+# ------------------------------------------------------------------- host
+
+def test_host_info_carries_refusal_keys():
+    host = host_info()
+    assert host["host_cpus"] >= 1
+    assert host["platform"] and host["python"]
+    assert set(host["cache"]) == {"l1d_bytes", "l2_bytes", "l3_bytes",
+                                  "source"}
+
+
+# ----------------------------------------------------------------- phases
+
+def test_phase_shares_normalizes_timer():
+    timer = SectionTimer()
+    timer.add("compute", 3.0)
+    timer.add("ghost_exchange", 1.0)
+    shares = phase_shares(timer)
+    assert shares["compute"]["share"] == pytest.approx(0.75)
+    assert shares["ghost_exchange"]["seconds"] == pytest.approx(1.0)
+
+
+def test_phase_shares_empty_without_timer():
+    assert phase_shares(None) == {}
+    assert phase_shares(SectionTimer()) == {}
+
+
+# ------------------------------------------------------------------ build
+
+def test_build_report_merges_all_sections():
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("compute"):
+        pass
+    metrics = MetricsRegistry()
+    metrics.inc("md_steps", 99)
+    metrics.observe("step_seconds", 0.01)
+    flight = FlightRecorder()
+    flight.record("step", step=0)
+    report = build_run_report(
+        "run", config={"system": "copper", "steps": 99},
+        tracer=tracer, metrics=metrics, wall_seconds=1.25,
+        slo={"latency_p99_s": 0.5}, flight=flight)
+    validate_report(report)
+    assert report["kind"] == "run"
+    assert report["config"]["steps"] == 99
+    assert report["metrics"]["counters"]["md_steps"] == 99
+    assert "p99" in report["metrics"]["histograms"]["step_seconds"]
+    assert "compute" in report["phases"]
+    assert report["flight"] == {"recorded": 1, "dropped": 0,
+                                "thermo_rows": 0}
+    assert report["slo"]["latency_p99_s"] == 0.5
+
+
+def test_build_report_accepts_snapshot_dict():
+    snap = {"counters": {"jobs": 3}, "gauges": {}, "histograms": {}}
+    report = build_run_report("serve", metrics=snap)
+    assert report["metrics"] is snap
+
+
+# -------------------------------------------------------------- validation
+
+def test_validate_rejects_missing_keys():
+    report = build_run_report("run")
+    del report["phases"]
+    with pytest.raises(ValueError, match="missing keys.*phases"):
+        validate_report(report)
+
+
+def test_validate_rejects_wrong_schema():
+    report = build_run_report("run")
+    report["schema"] = REPORT_SCHEMA + 1
+    with pytest.raises(ValueError, match="schema"):
+        validate_report(report)
+
+
+def test_validate_rejects_bad_host_block():
+    report = build_run_report("run")
+    del report["host"]["host_cpus"]
+    with pytest.raises(ValueError, match="host block missing"):
+        validate_report(report)
+
+
+def test_validate_rejects_non_dict():
+    with pytest.raises(ValueError, match="must be a dict"):
+        validate_report([1, 2, 3])
+
+
+# -------------------------------------------------------------- round-trip
+
+def test_write_load_round_trip(tmp_path):
+    metrics = MetricsRegistry()
+    metrics.inc("md_steps", 10)
+    report = build_run_report("run", config={"seed": 0}, metrics=metrics,
+                              wall_seconds=0.5)
+    path = write_report(report, str(tmp_path / "report.json"))
+    loaded = load_report(path)
+    assert loaded == json.loads(json.dumps(report))
+    assert os.path.exists(str(tmp_path / "report.md"))
+
+
+def test_write_report_refuses_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_report({"schema": REPORT_SCHEMA}, str(tmp_path / "bad.json"))
+    assert not os.path.exists(str(tmp_path / "bad.json"))
+
+
+def test_markdown_renders_all_sections(tmp_path):
+    timer = SectionTimer()
+    timer.add("compute", 2.0)
+    metrics = MetricsRegistry()
+    metrics.inc("md_steps", 5)
+    metrics.observe("step_seconds", 0.25)
+    flight = FlightRecorder()
+    flight.record("step", step=0)
+    report = build_run_report("run", config={"system": "copper"},
+                              timer=timer, metrics=metrics,
+                              wall_seconds=2.5, slo={"jobs": 4},
+                              flight=flight)
+    md = render_markdown(report)
+    for heading in ("# Run report — run", "## Config", "## Phase shares",
+                    "## Counters", "## Histograms", "## Serve SLOs"):
+        assert heading in md
+    assert "flight recorder: 1 events" in md
+    assert "| compute | 100.0% | 2.0000 | 1 |" in md

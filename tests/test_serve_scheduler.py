@@ -324,3 +324,92 @@ class TestMetrics:
         # latency grows monotonically; p99 reflects the tail.
         assert lat["p99"] >= lat["p50"] > 0
         assert lat["max"] == tickets[-1].latency
+
+
+class TestObservability:
+    """Spans and flight events under the PR 9 instrumentation."""
+
+    def make_traced(self, **kwargs):
+        from repro.obs import FlightRecorder, Tracer
+
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        flight = FlightRecorder(clock=clock)
+        svc = EvalService(clock=clock, sleep=clock.sleep, tracer=tracer,
+                          flight=flight, **kwargs)
+        return svc, clock, tracer, flight
+
+    def test_queue_wait_span_per_job(self):
+        svc, clock, tracer, _ = self.make_traced()
+        svc.submit(TaskJob(lambda: 1))
+        svc.submit(TaskJob(lambda: 2))
+        clock.advance(2.0)
+        svc.drain()
+        waits = tracer.finished("serve_queue_wait")
+        assert len(waits) == 2
+        assert all(s.dur_us == pytest.approx(2e6) for s in waits)
+
+    def test_retry_emits_span_instant_and_flight_event(self):
+        svc, _, tracer, flight = self.make_traced(max_retries=1)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+            return "ok"
+
+        t = svc.submit(TaskJob(flaky))
+        svc.drain()
+        assert t.status == DONE
+        assert len(tracer.instants("serve_retry")) == 1
+        events = flight.events("serve_retry")
+        assert len(events) == 1
+        assert events[0]["job"] == t.job_id
+        assert "transient" in events[0]["error"]
+
+    def test_failure_and_timeout_land_in_flight(self):
+        svc, clock, _, flight = self.make_traced(max_retries=0)
+
+        def broken():
+            raise RuntimeError("permanent")
+
+        dead = svc.submit(TaskJob(broken))
+        late = svc.submit(TaskJob(lambda: 1), deadline=1.0)
+        clock.advance(2.0)
+        svc.drain()
+        assert dead.status == FAILED and late.status == TIMED_OUT
+        fails = flight.events("serve_failure")
+        touts = flight.events("serve_timeout")
+        assert [e["job"] for e in fails] == [dead.job_id]
+        assert [e["job"] for e in touts] == [late.job_id]
+        assert "permanent" in fails[0]["error"]
+
+    def test_eval_batches_emit_pack_and_eval_spans(self):
+        from repro.core import CompressedDPModel, DPModel, ModelSpec
+        from repro.md import copper_system
+        from repro.obs import Tracer
+        from repro.serve import EvalJob
+
+        spec = ModelSpec(rcut=4.5, rcut_smth=3.5, sel=(64,), n_types=1,
+                         d1=8, m_sub=4, fit_width=32, seed=17)
+        model = CompressedDPModel.compress(DPModel(spec), interval=1e-2,
+                                           x_max=2.2)
+        coords, types, box = copper_system((2, 2, 2))
+        tracer = Tracer()
+        svc = EvalService(model, max_batch=4, tracer=tracer)
+        for _ in range(3):
+            svc.submit(EvalJob(coords, types, box))
+        svc.drain()
+        packs = tracer.finished("serve_batch_pack")
+        evals = tracer.finished("serve_packed_eval")
+        assert len(packs) == 1 and len(evals) == 1
+        assert packs[0].args["jobs"] == 3
+        assert evals[0].args["backend"]
+
+    def test_no_tracer_no_flight_stays_silent(self):
+        svc, _ = make_service(flight=False)
+        t = svc.submit(TaskJob(lambda: 7))
+        svc.drain()
+        assert t.status == DONE
+        assert svc.flight is None

@@ -1,0 +1,351 @@
+#!/usr/bin/env python
+"""Noise-aware cross-run performance-regression gate.
+
+Compares a *fresh* run report (``repro.cli run --report``) — or any
+``BENCH_*.json`` payload — against a committed baseline, with different
+rules per metric family:
+
+* **counters** (``md_steps``, ``neighbor_rebuilds``, ...) are
+  deterministic for a fixed seed and workload, so they must match
+  **exactly**; a drift here is a correctness bug wearing a perf costume.
+* **timings** (wall seconds, phase totals, ``*_seconds`` histogram
+  stats) are noisy on a shared box, so they gate on a **relative
+  threshold** (default: fresh may be up to 60% slower) and entries
+  whose baseline is below an absolute floor (default 5 ms) are ignored
+  entirely — they are pure jitter.
+* **speedup/efficiency claims** in BENCH payloads are bigger-is-better
+  with the same relative threshold, and a ``speedup_claim: false`` on
+  either side (the PR 6/8 honesty rule: a 1-core host cannot
+  substantiate a scaling number) passes the whole family through with a
+  note instead of failing.
+
+The gate **refuses to compare across hosts**: when ``host_cpus``
+differs between baseline and fresh, the numbers are incommensurable and
+the tool prints ``comparison refused`` and exits **0** — a refusal is
+not a regression.  Exit 1 is reserved for genuine violations.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_regress.py
+        # re-runs the baseline's workload, compares, gates
+    ... --baseline BENCH_runreport.json --fresh my_report.json
+    ... --update-baseline     # regenerate and overwrite the baseline
+    ... --json                # machine-readable verdict
+    ... --tolerance 0.6 --floor-seconds 0.005
+
+Wired into ``make verify`` as ``make benchregress``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_runreport.json")
+
+#: Histogram stats gated as timings (the rest — count/sum — are either
+#: counters or redundant with mean).
+_HIST_TIMING_STATS = ("mean", "p50", "p99")
+
+
+def _is_report(payload: dict) -> bool:
+    return "schema" in payload and "host" in payload and "kind" in payload
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# --------------------------------------------------------------------------
+# fresh-report regeneration
+# --------------------------------------------------------------------------
+
+def regenerate(baseline: dict, out_path: str) -> dict:
+    """Re-run the baseline's workload and return the fresh report.
+
+    The command line is reconstructed from the baseline's resolved
+    ``config`` block, so gate and baseline always measure the same
+    workload.
+    """
+    from repro.cli import main as cli_main
+
+    cfg = baseline.get("config", {})
+    argv = ["run",
+            "--system", str(cfg.get("system", "copper")),
+            "--steps", str(cfg.get("steps", 99)),
+            "--seed", str(cfg.get("seed", 0)),
+            "--threads", str(cfg.get("threads", 1)),
+            "--report", out_path]
+    cells = cfg.get("cells")
+    if cells:
+        argv += ["--cells"] + [str(c) for c in cells]
+    if cfg.get("model") == "baseline":
+        argv.append("--baseline")
+    if cfg.get("layout"):
+        argv += ["--layout", str(cfg["layout"])]
+    print(f"regenerating fresh report: repro.cli {' '.join(argv)}")
+    rc = cli_main(argv)
+    if rc != 0:
+        raise RuntimeError(f"fresh run failed with exit status {rc}")
+    return _load(out_path)
+
+
+# --------------------------------------------------------------------------
+# comparison
+# --------------------------------------------------------------------------
+
+def _refusal(reason: str) -> dict:
+    return {"verdict": "refused", "reason": reason,
+            "violations": [], "checked": 0, "notes": []}
+
+
+def _check_host(baseline: dict, fresh: dict) -> str | None:
+    b = baseline.get("host", baseline).get("host_cpus")
+    f = fresh.get("host", fresh).get("host_cpus")
+    if b is None or f is None:
+        return None  # BENCH payloads without host info: nothing to refuse on
+    if b != f:
+        return (f"host_cpus differs (baseline {b}, fresh {f}); "
+                f"timings across different hosts are incommensurable")
+    return None
+
+
+def compare_reports(baseline: dict, fresh: dict, *, tolerance: float,
+                    floor_seconds: float) -> dict:
+    """Gate a fresh run report against a baseline one."""
+    reason = _check_host(baseline, fresh)
+    if reason:
+        return _refusal(reason)
+    if baseline.get("kind") != fresh.get("kind"):
+        return _refusal(f"report kinds differ (baseline "
+                        f"{baseline.get('kind')!r}, fresh "
+                        f"{fresh.get('kind')!r})")
+
+    violations, notes = [], []
+    checked = 0
+
+    # counters: exact
+    b_counters = baseline.get("metrics", {}).get("counters", {})
+    f_counters = fresh.get("metrics", {}).get("counters", {})
+    for name in sorted(set(b_counters) & set(f_counters)):
+        checked += 1
+        if b_counters[name] != f_counters[name]:
+            violations.append({
+                "family": "counter", "metric": name,
+                "baseline": b_counters[name], "fresh": f_counters[name],
+                "detail": "deterministic counter drifted (exact match "
+                          "required)"})
+    for name in sorted(set(b_counters) - set(f_counters)):
+        notes.append(f"counter {name!r} present only in baseline")
+
+    # wall + phase seconds + timing histograms: relative threshold
+    def gate_timing(metric, b, f):
+        nonlocal checked
+        if b is None or f is None:
+            return
+        if b < floor_seconds:
+            notes.append(f"{metric}: baseline {b:.4f}s below "
+                         f"{floor_seconds}s floor, skipped")
+            return
+        checked += 1
+        if f > b * (1.0 + tolerance):
+            violations.append({
+                "family": "timing", "metric": metric,
+                "baseline": b, "fresh": f,
+                "detail": f"{(f / b - 1) * 100:.0f}% slower (threshold "
+                          f"+{tolerance * 100:.0f}%)"})
+
+    gate_timing("wall_seconds", baseline.get("wall_seconds"),
+                fresh.get("wall_seconds"))
+    b_phases = baseline.get("phases", {})
+    f_phases = fresh.get("phases", {})
+    for name in sorted(set(b_phases) & set(f_phases)):
+        gate_timing(f"phase:{name}", b_phases[name].get("seconds"),
+                    f_phases[name].get("seconds"))
+    b_hists = baseline.get("metrics", {}).get("histograms", {})
+    f_hists = fresh.get("metrics", {}).get("histograms", {})
+    for name in sorted(set(b_hists) & set(f_hists)):
+        if not name.endswith(("_s", "_seconds")):
+            continue
+        for stat in _HIST_TIMING_STATS:
+            gate_timing(f"hist:{name}.{stat}", b_hists[name].get(stat),
+                        f_hists[name].get(stat))
+
+    return {"verdict": "fail" if violations else "pass",
+            "reason": None, "violations": violations, "checked": checked,
+            "notes": notes}
+
+
+def compare_bench(baseline: dict, fresh: dict, *, tolerance: float,
+                  floor_seconds: float) -> dict:
+    """Gate a generic ``BENCH_*.json`` payload against its baseline.
+
+    Walks the numeric leaves shared by both payloads: integers must
+    match exactly, ``*_s``/``*seconds``/``p50``/``p99``/``wall*`` floats
+    gate smaller-is-better, ``speedup``/``efficiency`` floats gate
+    bigger-is-better.  A ``speedup_claim: false`` on either side passes
+    the speedup family through untouched.
+    """
+    reason = _check_host(baseline, fresh)
+    if reason:
+        return _refusal(reason)
+
+    violations, notes = [], []
+    checked = 0
+    claim_ok = (baseline.get("speedup_claim", True)
+                and fresh.get("speedup_claim", True))
+    if not claim_ok:
+        notes.append("speedup_claim refused on at least one side; "
+                     "speedup/efficiency family passed through")
+
+    def walk(b, f, prefix=""):
+        nonlocal checked
+        if isinstance(b, dict) and isinstance(f, dict):
+            for key in sorted(set(b) & set(f)):
+                walk(b[key], f[key], f"{prefix}{key}.")
+            return
+        metric = prefix.rstrip(".")
+        leaf = metric.rsplit(".", 1)[-1]
+        timing = (leaf.endswith(("_s", "seconds")) or
+                  leaf in ("p50", "p99") or leaf.startswith("wall"))
+        gain = "speedup" in leaf or "efficiency" in leaf
+        if isinstance(b, bool) or isinstance(f, bool):
+            return  # flags are informational, not gated
+        if isinstance(b, int) and isinstance(f, int) and not timing:
+            checked += 1
+            if b != f:
+                violations.append({
+                    "family": "counter", "metric": metric,
+                    "baseline": b, "fresh": f,
+                    "detail": "integer field drifted (exact match "
+                              "required)"})
+        elif isinstance(b, (int, float)) and isinstance(f, (int, float)):
+            if gain:
+                if not claim_ok:
+                    return
+                checked += 1
+                if f < b * (1.0 - tolerance):
+                    violations.append({
+                        "family": "speedup", "metric": metric,
+                        "baseline": b, "fresh": f,
+                        "detail": f"{(1 - f / b) * 100:.0f}% less "
+                                  f"speedup (threshold "
+                                  f"-{tolerance * 100:.0f}%)"})
+            elif timing:
+                if b < floor_seconds:
+                    notes.append(f"{metric}: baseline {b:.4f}s below "
+                                 f"{floor_seconds}s floor, skipped")
+                    return
+                checked += 1
+                if f > b * (1.0 + tolerance):
+                    violations.append({
+                        "family": "timing", "metric": metric,
+                        "baseline": b, "fresh": f,
+                        "detail": f"{(f / b - 1) * 100:.0f}% slower "
+                                  f"(threshold "
+                                  f"+{tolerance * 100:.0f}%)"})
+
+    walk(baseline, fresh)
+    return {"verdict": "fail" if violations else "pass",
+            "reason": None, "violations": violations, "checked": checked,
+            "notes": notes}
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def render(result: dict) -> str:
+    lines = []
+    if result["verdict"] == "refused":
+        lines.append(f"comparison refused: {result['reason']}")
+        lines.append("(a refusal is not a regression; exit 0)")
+        return "\n".join(lines)
+    lines.append(f"{result['checked']} metric(s) gated, "
+                 f"{len(result['violations'])} violation(s)")
+    for v in result["violations"]:
+        lines.append(f"  REGRESSION [{v['family']}] {v['metric']}: "
+                     f"baseline {v['baseline']} -> fresh {v['fresh']} "
+                     f"({v['detail']})")
+    for note in result["notes"]:
+        lines.append(f"  note: {note}")
+    lines.append(f"verdict: {result['verdict'].upper()}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline report or BENCH payload "
+                        "(default: BENCH_runreport.json at the repo root)")
+    parser.add_argument("--fresh", default=None,
+                        help="fresh report to gate; omitted = re-run the "
+                        "baseline's workload and compare that")
+    parser.add_argument("--tolerance", type=float, default=0.60,
+                        help="relative slack for timing/speedup families "
+                        "(default 0.60 = 60%%)")
+    parser.add_argument("--floor-seconds", type=float, default=0.005,
+                        help="timings whose baseline is below this are "
+                        "jitter and skipped (default 5 ms)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the fresh report over the baseline "
+                        "instead of gating")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the verdict as JSON")
+    parser.add_argument("--out", default=None,
+                        help="also write the verdict JSON here")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        if args.update_baseline and args.fresh is None:
+            # Bootstrapping: no baseline yet — generate one from the
+            # default smoke workload and commit it.
+            baseline = {"config": {}}
+        else:
+            print(f"comparison refused: baseline {args.baseline!r} does "
+                  f"not exist (run --update-baseline to create it)")
+            return 0
+    else:
+        baseline = _load(args.baseline)
+
+    if args.fresh is not None:
+        fresh = _load(args.fresh)
+    else:
+        if not _is_report(baseline) and os.path.exists(args.baseline):
+            print("comparison refused: cannot regenerate a fresh run for "
+                  "a generic BENCH payload; pass --fresh")
+            return 0
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = regenerate(baseline,
+                               os.path.join(tmp, "fresh_report.json"))
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump(fresh, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    compare = compare_reports if (_is_report(baseline)
+                                  and _is_report(fresh)) else compare_bench
+    result = compare(baseline, fresh, tolerance=args.tolerance,
+                     floor_seconds=args.floor_seconds)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(render(result))
+    return 1 if result["verdict"] == "fail" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

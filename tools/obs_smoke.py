@@ -14,7 +14,13 @@ attached, and asserts the instrumented run's outputs:
      its restart/checkpoint counters are non-zero (the fault actually
      fired and was survived);
   3. the recovered trajectory still matches an uninstrumented clean run
-     bitwise — observability must not perturb the dynamics.
+     bitwise — observability must not perturb the dynamics;
+  4. a serial run crashed under the ``crashes`` chaos profile with a
+     zero-retry give-up ladder raises ``EscalationExhaustedError``
+     whose ``FailureReport`` carries a flight-recorder attachment: the
+     dump file exists, parses, and contains the triggering fault's
+     event trail; and a ``RunReport`` built from the crashed run
+     round-trips through ``write_report``/``load_report``.
 
 Usage::
 
@@ -150,7 +156,80 @@ def main() -> int:
         return fail("instrumented recovered velocities deviate")
     print(f"  recovered trajectory bitwise identical to the clean run")
 
+    # 4. Crash drill: a chaos storm that exhausts a zero-retry ladder
+    #    must leave a flight dump behind that explains the failure, and
+    #    the crashed run must still produce a valid RunReport.
+    rc = crash_leg()
+    if rc:
+        return rc
+
     print(f"observability smoke passed ({time.perf_counter() - t0:.1f} s)")
+    return 0
+
+
+def crash_leg() -> int:
+    import repro
+    from repro.obs import build_run_report, load_report, write_report
+    from repro.robust import (
+        CheckpointManager,
+        ChaosSchedule,
+        EscalationExhaustedError,
+        RecoveryPolicy,
+        run_with_recovery,
+    )
+
+    steps = 30
+    sim = repro.quick_simulation("copper", n_cells=(2, 2, 2), seed=3)
+    schedule = ChaosSchedule(steps, seed=7, profile="crashes",
+                             checkpoint_every=5)
+    sim.attach_injector(schedule.injector())
+    with tempfile.TemporaryDirectory(prefix="obssmoke-crash-") as tmp:
+        manager = CheckpointManager(os.path.join(tmp, "ck"), keep_last=2)
+        err = None
+        try:
+            run_with_recovery(sim, steps, manager=manager,
+                              checkpoint_every=5, thermo_every=steps,
+                              policy=RecoveryPolicy(max_retries=0,
+                                                    ladder=("give-up",)))
+        except EscalationExhaustedError as exc:
+            err = exc
+        if err is None:
+            return fail("crashes profile did not crash the zero-retry "
+                        "ladder")
+        flight = err.report.flight
+        if not flight or not flight.get("path"):
+            return fail("FailureReport carries no flight attachment")
+        if not os.path.exists(flight["path"]):
+            return fail(f"flight dump {flight['path']} missing on disk")
+        with open(flight["path"]) as fh:
+            dump = json.load(fh)
+        kinds = [e["kind"] for e in dump["events"]]
+        if "fault" not in kinds:
+            return fail(f"no fault event in the flight dump: {kinds}")
+        if kinds[-1] != "error":
+            return fail(f"flight dump does not end in the terminal "
+                        f"error event: {kinds[-1]}")
+        last = dump["events"][-1]
+        if last.get("error_type") != type(err.__cause__).__name__:
+            return fail(f"terminal flight event names "
+                        f"{last.get('error_type')!r}, not the "
+                        f"triggering {type(err.__cause__).__name__!r}")
+        print(f"  crash drill: give-up at step {err.report.step}, flight "
+              f"dump {len(dump['events'])} events ending in "
+              f"{last['error_type']}")
+
+        report = build_run_report(
+            "run", config={"system": "copper", "steps": steps,
+                           "chaos_profile": "crashes"},
+            metrics=sim.metrics, flight=sim.flight)
+        path = write_report(report, os.path.join(tmp, "crash_report.json"))
+        loaded = load_report(path)
+        if loaded != json.loads(json.dumps(report)):
+            return fail("RunReport did not round-trip through "
+                        "write_report/load_report")
+        if not os.path.exists(path[:-len(".json")] + ".md"):
+            return fail("write_report did not render the .md sibling")
+        print(f"  crash drill: RunReport round-trip OK")
     return 0
 
 

@@ -12,8 +12,11 @@ Usage::
     PYTHONPATH=src python tools/trace_diff.py before.json after.json
     ... --sort delta          # largest absolute time delta first
     ... --top 12              # limit the table to 12 rows
+    ... --json                # machine-readable output instead of a table
 
-Exit status is always 0; the output is the table.
+Exit status is always 0; the output is the table (or, with ``--json``,
+a ``{"wall_before", "wall_after", "phases": [...]}`` object whose rows
+are the same dicts the table renders).
 """
 
 from __future__ import annotations
@@ -111,6 +114,9 @@ def main(argv=None) -> int:
                         "(default), or |share delta|")
     parser.add_argument("--top", type=int, default=None,
                         help="show only the first N rows after sorting")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON object instead of the table "
+                        "(for scripting, e.g. the regression gate)")
     args = parser.parse_args(argv)
 
     before = load_phases(args.before)
@@ -124,7 +130,11 @@ def main(argv=None) -> int:
         rows.sort(key=lambda r: -abs(r["delta_share"]))
     if args.top is not None:
         rows = rows[:args.top]
-    print(format_table(rows, wall_b, wall_a))
+    if args.json:
+        print(json.dumps({"wall_before": wall_b, "wall_after": wall_a,
+                          "phases": rows}, indent=2))
+    else:
+        print(format_table(rows, wall_b, wall_a))
     return 0
 
 
