@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress bench verify
+.PHONY: test slowtest smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress tunesmoke bench verify
 
 test:            ## tier-1 test suite (slow-marked legs deselected)
 	$(PYTHON) -m pytest -x -q
@@ -37,7 +37,10 @@ chaossoak:       ## <60 s chaos drill: seeded fault storm (stalls + slow-io + ki
 benchregress:    ## <60 s perf-regression gate: fresh run report vs committed BENCH_runreport.json (refuses, exit 0, across differing host_cpus)
 	$(PYTHON) tools/bench_regress.py
 
+tunesmoke:       ## <60 s config-spine drill: micro autotune -> cached config resolves with 'tuned' provenance, CLI flag overrides, bitwise f64
+	$(PYTHON) tools/tune_smoke.py
+
 bench:           ## full paper-table benchmark harness
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress
+verify: test smoke faultsmoke hybridsmoke obssmoke backendsmoke kernelsmoke chaossoak servesmoke benchregress tunesmoke

@@ -59,23 +59,34 @@ __all__ = [
     "build_copper",
     "build_water",
     "quick_simulation",
+    "simulation_from_config",
     "units",
     "__version__",
 ]
 
 
-def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
-                     reps=(2, 2, 2), compressed: bool = True,
-                     interval: float = 0.01, seed: int = 0,
-                     threads: int = 1, tracer=None, metrics=None,
+def quick_simulation(system: str | None = None, n_cells=None,
+                     reps=None, compressed: bool | None = None,
+                     interval: float | None = None, seed: int | None = None,
+                     threads: int | None = None, tracer=None, metrics=None,
                      flight=None, layout: str | None = None,
                      kernel_chunk: int | None = None,
-                     **model_kwargs) -> Simulation:
+                     precision: str | None = None,
+                     accumulate: str | None = None,
+                     config=None, **model_kwargs) -> Simulation:
     """One-call MD setup on a paper workload at laptop scale.
 
     Builds the configuration, a (downsized) Deep Potential model, and —
     by default — its compressed form, wired into a serial
     :class:`Simulation` with the paper's protocol defaults.
+
+    Every knob resolves through the :mod:`repro.config` spine: an
+    explicit keyword is the ``cli`` layer on top of ``config`` (or, when
+    no config is given, on top of the library defaults + host layer).
+    Library calls stay hermetic — the cached tuned-config layer is
+    *not* consulted here; pass a fully resolved config (the CLI does)
+    to opt in.  The resolved config rides on the returned simulation as
+    ``sim.config`` (persisted into checkpoints, shown in run reports).
 
     Parameters
     ----------
@@ -107,10 +118,63 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
         Neighbor-chunk length for the fused kernels; ``None`` sizes it
         to the host's L2 cache.  Bitwise invariant — a pure performance
         knob.  Ignored for the baseline model.
+    precision / accumulate:
+        ``"f32"`` recasts the compressed model to the end-to-end
+        single-precision fast path (:func:`repro.core.precision.
+        to_single_precision`); ``accumulate="f64"`` keeps its
+        reductions in double (the mixed scheme).  ``"f64"`` (default)
+        is the bitwise reference path.  Ignored for the baseline model.
+    config:
+        A resolved :class:`repro.config.RunConfig`; explicit keywords
+        override it field-by-field.
     model_kwargs:
         Overrides for :meth:`repro.workloads.Workload.model_spec`, e.g.
         ``d1=8, fit_width=32`` to shrink the nets.
     """
+    from .config import resolve_run_config
+
+    overrides: dict = {}
+
+    def _set(section, name, value):
+        if value is not None:
+            overrides.setdefault(section, {})[name] = value
+
+    _set("model", "system", system)
+    _set("model", "interval", interval)
+    _set("model", "seed", seed)
+    if compressed is not None:
+        _set("model", "baseline", not compressed)
+    _set("parallel", "threads", threads)
+    _set("kernel", "layout", layout)
+    _set("kernel", "kernel_chunk", kernel_chunk)
+    _set("kernel", "precision", precision)
+    _set("kernel", "accumulate", accumulate)
+    if n_cells is not None:
+        _set("model", "cells", tuple(n_cells))
+    elif reps is not None:
+        _set("model", "cells", tuple(reps))
+    if config is None:
+        config = resolve_run_config("run", overrides=overrides,
+                                    use_tuned=False)
+    else:
+        config = config.copy()
+        config.apply(overrides, layer="cli")
+
+    system = config.model.system
+    seed = config.model.seed
+    interval = config.model.interval
+    compressed = not config.model.baseline
+    threads = config.parallel.threads
+    layout = config.kernel.layout
+    kernel_chunk = config.kernel.kernel_chunk
+    # The two size kwargs keep their historical library defaults when
+    # nothing above the default layer set ``model.cells``.
+    cells_set = config.provenance.get("model.cells", "default") != "default"
+    if n_cells is None:
+        n_cells = tuple(config.model.cells) if cells_set else (3, 3, 3)
+    if reps is None:
+        reps = tuple(config.model.cells) if cells_set else (2, 2, 2)
+
     if system == "copper":
         workload = COPPER
         coords, types, box = build_copper(n_cells)
@@ -141,16 +205,33 @@ def quick_simulation(system: str = "copper", n_cells=(3, 3, 3),
     model = DPModel(spec)
     if compressed:
         model = CompressedDPModel.compress(
-            model, interval=interval, layout=layout, chunk=kernel_chunk)
+            model, interval=interval, layout=layout, chunk=kernel_chunk,
+            accumulate=config.kernel.accumulate)
+        if config.kernel.precision == "f32":
+            from .core.precision import to_single_precision
+
+            model = to_single_precision(model)
     return Simulation(
         coords, types, box,
         masses=workload.masses,
         forcefield=DPForceField(model, chunk=kernel_chunk),
         dt_fs=workload.dt_fs,
+        temperature=config.model.temperature,
         sel=spec.sel,
         seed=seed,
         threads=threads,
         tracer=tracer,
         metrics=metrics,
         flight=flight,
+        config=config,
     )
+
+
+def simulation_from_config(config, *, tracer=None, metrics=None,
+                           flight=None, **model_kwargs) -> Simulation:
+    """Build a :class:`Simulation` purely from a resolved
+    :class:`repro.config.RunConfig` — the config-spine entry point the
+    CLI and the autotuner drive (:func:`quick_simulation` with no
+    keyword overrides)."""
+    return quick_simulation(config=config, tracer=tracer, metrics=metrics,
+                            flight=flight, **model_kwargs)

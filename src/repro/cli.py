@@ -6,6 +6,13 @@ Subcommands mirror how a user actually drives the system::
     python -m repro.cli compress --interval 0.01 --out model.npz
     python -m repro.cli project --experiment strong --machine Summit
     python -m repro.cli info
+
+The ``run``/``serve`` flag groups are *generated* from the config
+schema (:mod:`repro.config`): every knob is declared once, resolves
+through the layered config spine (defaults -> host -> cached tuned
+config -> restart checkpoint -> ``--config`` file -> explicit flags),
+and the resolved values — with per-field layer provenance — ride into
+checkpoints and run reports.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .config import add_config_flags
+
     p = argparse.ArgumentParser(
         prog="repro",
         description=("Reproduction of 'Extending the limit of MD with ab "
@@ -25,127 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run an MD simulation")
-    run.add_argument("--system", choices=["copper", "water"],
-                     default="copper")
-    run.add_argument("--cells", type=int, nargs=3, default=[3, 3, 3],
-                     help="FCC cells (copper) or 192-atom replications "
-                          "(water)")
-    run.add_argument("--steps", type=int, default=99)
-    run.add_argument("--baseline", action="store_true",
-                     help="use the uncompressed model")
-    run.add_argument("--interval", type=float, default=0.01,
-                     help="tabulation interval")
-    run.add_argument("--temperature", type=float, default=330.0)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--layout", choices=["aos", "soa"], default=None,
-                     help="coefficient-table memory layout for the "
-                          "compressed model: 'aos' (operator-native) or "
-                          "'soa' (the paper's transposed fast path; "
-                          "bitwise identical in float64)")
-    run.add_argument("--kernel-chunk", type=int, default=None,
-                     metavar="PAIRS",
-                     help="neighbor-chunk length for the fused kernels "
-                          "(default: sized to the host L2 cache; results "
-                          "are bitwise invariant under this knob)")
-    run.add_argument("--threads", type=int, default=1,
-                     help="shared-memory workers for the fused inference "
-                          "path — the 'threads' factor of the paper's "
-                          "ranks x threads schemes (1 = exact serial path)")
-    run.add_argument("--ranks", type=str, default=None, metavar="RxSxT",
-                     help="simulated-MPI rank grid for a distributed run "
-                          "(e.g. 2x1x1); combined with --threads K this "
-                          "is the paper's hybrid ranks x threads scheme "
-                          "(Fig. 6c): every rank drives K engine workers")
-    run.add_argument("--max-rank-restarts", type=int, default=2,
-                     help="with --ranks and --checkpoint-every: rank "
-                          "failures survived by re-spawning from shard "
-                          "checkpoints before the run aborts")
-    run.add_argument("--xyz", type=str, default=None,
-                     help="write the trajectory to this extended-XYZ file")
-    run.add_argument("--thermo-every", type=int, default=50)
-    run.add_argument("--checkpoint-every", type=int, default=0,
-                     help="save a restart file every N steps (0 = off); "
-                          "enables rollback-and-retry on health "
-                          "violations")
-    run.add_argument("--checkpoint-dir", type=str, default="checkpoints",
-                     help="directory for rotating restart files")
-    run.add_argument("--keep-last", type=int, default=3,
-                     help="checkpoints retained after rotation")
-    run.add_argument("--restart", type=str, default=None, metavar="CKPT",
-                     help="continue from this checkpoint file (the model "
-                          "is rebuilt from --system/--seed as usual; the "
-                          "state comes from the file)")
-    run.add_argument("--guard-tolerances", type=str, default=None,
-                     metavar="SPEC",
-                     help="enable per-step health guards; 'default' or "
-                          "e.g. 'disp=1.0,drift=0.05' "
-                          "(Å/step, eV/atom)")
-    run.add_argument("--inject-fault", action="append", default=None,
-                     metavar="SPEC",
-                     help="deterministic fault injection, repeatable: "
-                          "KIND[@STEP[:TARGET]][~DURATION][%%P] with KIND "
-                          "one of nan-forces, inf-energy, "
-                          "truncate-checkpoint, kill-worker, drop-ghost, "
-                          "kill-rank, stall-shard, slow-io, stall-ghost, "
-                          "flaky-forces (e.g. nan-forces@10, "
-                          "kill-rank@5:1, stall-shard@10:0~0.5)")
-    run.add_argument("--chaos-profile", type=str, default=None,
-                     metavar="NAME",
-                     help="arm a seeded stochastic fault storm instead of "
-                          "(or on top of) --inject-fault: calm, crashes, "
-                          "stalls, soak, or storm; the schedule is a pure "
-                          "function of --chaos-seed and the run topology")
-    run.add_argument("--chaos-seed", type=int, default=None,
-                     help="seed for --chaos-profile (default: --seed)")
-    run.add_argument("--max-retries", type=int, default=3,
-                     help="rollback budget before a health violation "
-                          "aborts the run (or starts climbing the "
-                          "escalation ladder with --escalate)")
-    run.add_argument("--halve-dt", action="store_true",
-                     help="halve the timestep on each rollback")
-    run.add_argument("--escalate", action="store_true",
-                     help="after --max-retries, climb the escalation "
-                          "ladder (halve dt, degrade threads, deep "
-                          "rollback) instead of aborting immediately")
-    run.add_argument("--deadline", type=float, default=None,
-                     metavar="SECONDS",
-                     help="wall-clock budget for the run; checked at the "
-                          "top of every MD step, raises a typed "
-                          "DeadlineExceededError when spent")
-    run.add_argument("--heartbeat-timeout", type=float, default=None,
-                     metavar="SECONDS",
-                     help="with --ranks: per-phase heartbeat on ghost "
-                          "exchange / force reduction; a stalled peer is "
-                          "detected and the world re-spawned from shard "
-                          "checkpoints")
-    run.add_argument("--shard-timeout", type=float, default=None,
-                     metavar="SECONDS",
-                     help="per-shard soft deadline in the threaded "
-                          "engine; hung shards are quarantined and "
-                          "re-executed serially")
-    run.add_argument("--write-deadline", type=float, default=None,
-                     metavar="SECONDS",
-                     help="per-checkpoint-write budget; writes that "
-                          "exceed it are skipped (checkpoint_skipped "
-                          "metric) instead of stalling the step loop")
-    run.add_argument("--trace", type=str, default=None, metavar="FILE",
-                     help="write a Chrome trace-event JSON of the run "
-                          "(open in Perfetto or chrome://tracing; one "
-                          "lane per rank/engine thread)")
-    run.add_argument("--metrics", type=str, default=None, metavar="FILE",
-                     help="stream per-step and per-event metrics to this "
-                          "JSONL file and print an end-of-run summary "
-                          "table")
-    run.add_argument("--report", type=str, default=None, metavar="FILE",
-                     help="write a schema-versioned run report (host "
-                          "info, config, phase shares, metrics) as JSON "
-                          "plus a rendered .md sibling; the input of "
-                          "tools/bench_regress.py")
-    run.add_argument("--flight-dir", type=str, default=None, metavar="DIR",
-                     help="directory for flight-recorder failure dumps "
-                          "(default: the checkpoint directory when "
-                          "checkpointing is on; recording itself is "
-                          "always on)")
+    add_config_flags(run, "run")
 
     comp = sub.add_parser("compress",
                           help="build and save a compressed model")
@@ -169,68 +58,35 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="drive the batched evaluation service on synthetic traffic")
-    srv.add_argument("--system", choices=["copper", "water"],
-                     default="copper")
-    srv.add_argument("--cells", type=int, nargs=3, default=[3, 3, 3],
-                     help="unit cells of the per-job configuration")
-    srv.add_argument("--jobs", type=int, default=16,
-                     help="total jobs submitted")
-    srv.add_argument("--clients", type=int, default=3,
-                     help="jobs are spread round-robin over this many "
-                          "clients")
-    srv.add_argument("--max-batch", type=int, default=8,
-                     help="most same-shaped jobs packed per dispatch")
-    srv.add_argument("--threads", type=int, default=1,
-                     help="engine threads; batches run concurrently, "
-                          "results stay bitwise")
-    srv.add_argument("--capacity", type=int, default=64,
-                     help="queue bound (backpressure past it)")
-    srv.add_argument("--deadline", type=float, default=None,
-                     help="per-job budget in seconds")
-    srv.add_argument("--md-every", type=int, default=0,
-                     help="every Nth job is a short MD segment instead "
-                          "of a single-point evaluation (0 = never)")
-    srv.add_argument("--interval", type=float, default=0.05)
-    srv.add_argument("--seed", type=int, default=0)
-    srv.add_argument("--metrics", type=str, default=None,
-                     help="write metrics JSONL here")
-    srv.add_argument("--trace", type=str, default=None, metavar="FILE",
-                     help="write a Chrome trace-event JSON of the serve "
-                          "run (queue wait / batch pack / packed eval "
-                          "spans)")
-    srv.add_argument("--report", type=str, default=None, metavar="FILE",
-                     help="write a schema-versioned run report (host "
-                          "info, config, serve SLOs) as JSON plus a "
-                          "rendered .md sibling")
-    srv.add_argument("--chaos-profile", type=str, default=None,
-                     help="arm a chaos storm (e.g. 'serve') over the "
-                          "job sequence")
-    srv.add_argument("--chaos-seed", type=int, default=None)
+    add_config_flags(srv, "serve")
 
     sub.add_parser("info", help="print package and paper summary")
     return p
 
 
-def _make_injector(args, n_ranks: int = 1, n_shards: int = 1,
-                   rebuild_every: int = 50):
-    """Build the fault injector the --inject-fault/--chaos-profile flags
-    ask for (None when neither is given).  Chaos faults are appended to
-    any explicitly armed ones; the schedule is printed so a soak run's
-    storm is visible up front."""
+def _make_injector(cfg, n_ranks: int = 1, n_shards: int = 1,
+                   rebuild_every: int = 0, n_steps: int | None = None):
+    """Build the fault injector the inject-fault/chaos-profile knobs ask
+    for (None when neither is set).  Chaos faults are appended to any
+    explicitly armed ones; the schedule is printed so a soak run's storm
+    is visible up front."""
+    robust = cfg.robust
     injector = None
-    if args.inject_fault:
+    if robust.inject_fault:
         from repro.robust import FaultInjector
 
-        injector = FaultInjector.from_specs(args.inject_fault,
-                                            seed=args.seed)
-    if args.chaos_profile:
+        injector = FaultInjector.from_specs(robust.inject_fault,
+                                            seed=cfg.model.seed)
+    if robust.chaos_profile:
         from repro.robust import ChaosSchedule
 
-        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        seed = robust.chaos_seed if robust.chaos_seed is not None \
+            else cfg.model.seed
         schedule = ChaosSchedule(
-            args.steps, seed=seed, profile=args.chaos_profile,
+            cfg.model.steps if n_steps is None else n_steps, seed=seed,
+            profile=robust.chaos_profile,
             n_ranks=n_ranks, n_shards=n_shards,
-            checkpoint_every=args.checkpoint_every,
+            checkpoint_every=robust.checkpoint_every,
             rebuild_every=rebuild_every)
         print(schedule.describe())
         if injector is None:
@@ -240,57 +96,66 @@ def _make_injector(args, n_ranks: int = 1, n_shards: int = 1,
     return injector
 
 
-def _make_obs(args):
-    """Build the (tracer, metrics) pair the --trace/--metrics flags ask
-    for; (None, None) when neither is given, so the hot path keeps its
-    zero-overhead NULL_TRACER wiring.  ``--report`` also arms a tracer
-    (phase shares are part of the report) and a registry (counters and
-    histograms are too) even when no trace/metrics file was asked for.
-    """
+def _make_obs(cfg):
+    """Build the (tracer, metrics) pair the trace/metrics knobs ask for;
+    (None, None) when neither is set, so the hot path keeps its
+    zero-overhead NULL_TRACER wiring.  A requested report also arms a
+    tracer (phase shares are part of the report) and a registry
+    (counters and histograms are too) even when no trace/metrics file
+    was asked for."""
+    obs = cfg.obs
     tracer = metrics = None
-    if args.trace or getattr(args, "report", None):
+    if obs.trace or obs.report:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    if args.metrics:
+    if obs.metrics:
         from repro.obs import MetricsRegistry
 
-        metrics = MetricsRegistry(sink=args.metrics)
-    elif getattr(args, "report", None):
+        metrics = MetricsRegistry(sink=obs.metrics)
+    elif obs.report:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
     return tracer, metrics
 
 
-def _finish_obs(args, tracer, metrics) -> None:
+def _finish_obs(cfg, tracer, metrics) -> None:
     """Flush observability outputs and print the summary table."""
-    if tracer is not None and args.trace:
-        tracer.export(args.trace)
-        print(f"trace written to {args.trace} "
+    if tracer is not None and cfg.obs.trace:
+        tracer.export(cfg.obs.trace)
+        print(f"trace written to {cfg.obs.trace} "
               f"({len(tracer.finished())} spans)")
-    if metrics is not None and args.metrics:
+    if metrics is not None and cfg.obs.metrics:
         metrics.write_summary()
         metrics.close()
         print(metrics.summary_table())
-        print(f"metrics written to {args.metrics}")
+        print(f"metrics written to {cfg.obs.metrics}")
 
 
-def _write_run_report(args, kind, config, tracer=None, metrics=None,
+def _write_run_report(cfg, kind, runtime, tracer=None, metrics=None,
                       flight=None, wall=None, slo=None) -> None:
-    """Write the ``--report`` JSON + markdown pair (no-op without it)."""
-    if not getattr(args, "report", None):
+    """Write the report JSON + markdown pair (no-op without --report).
+
+    The report's resolved-config block is the serialized
+    :class:`~repro.config.RunConfig` with per-field layer provenance;
+    run-derived facts (atom count, dt, ...) ride in a ``runtime``
+    sub-block so config and measurement stay distinguishable.
+    """
+    if not cfg.obs.report:
         return
     from repro.obs import build_run_report, write_report
 
-    report = build_run_report(kind, config=config, tracer=tracer,
+    config_block = cfg.to_dict(provenance=True)
+    config_block["runtime"] = dict(runtime or {})
+    report = build_run_report(kind, config=config_block, tracer=tracer,
                               metrics=metrics, wall_seconds=wall, slo=slo,
                               flight=flight)
-    path = write_report(report, args.report)
+    path = write_report(report, cfg.obs.report)
     print(f"run report written to {path} (+ .md)")
 
 
-def _cmd_run_distributed(args) -> int:
+def _cmd_run_distributed(cfg) -> int:
     """``run --ranks RxSxT [--threads K]``: the hybrid distributed path.
 
     The serial :func:`repro.quick_simulation` setup is reused verbatim
@@ -305,53 +170,41 @@ def _cmd_run_distributed(args) -> int:
     from repro.parallel import SimulationScheme, run_distributed_md
     from repro.workloads import COPPER, WATER
 
-    for flag, name in ((args.restart, "--restart"),
-                       (args.guard_tolerances, "--guard-tolerances"),
-                       (args.xyz, "--xyz")):
+    for flag, name in ((cfg.robust.restart, "--restart"),
+                       (cfg.robust.guard_tolerances, "--guard-tolerances"),
+                       (cfg.obs.xyz, "--xyz")):
         if flag:
             print(f"error: {name} is not supported with --ranks",
                   file=sys.stderr)
             return 2
-    scheme = SimulationScheme.parse(args.ranks, threads=args.threads)
-    sim = repro.quick_simulation(
-        args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
-        compressed=not args.baseline, interval=args.interval,
-        seed=args.seed,
-        layout=args.layout, kernel_chunk=args.kernel_chunk,
-    )
-    workload = COPPER if args.system == "copper" else WATER
-    injector = _make_injector(args, n_ranks=scheme.n_ranks,
+    scheme = SimulationScheme.parse(cfg.parallel.ranks,
+                                    threads=cfg.parallel.threads)
+    sim = repro.simulation_from_config(cfg)
+    workload = COPPER if cfg.model.system == "copper" else WATER
+    injector = _make_injector(cfg, n_ranks=scheme.n_ranks,
                               n_shards=scheme.threads_per_rank,
                               rebuild_every=sim.rebuild_every)
-    print(f"{args.system}: {len(sim.coords)} atoms, "
-          f"{'baseline' if args.baseline else 'compressed'} model, "
+    print(f"{cfg.model.system}: {len(sim.coords)} atoms, "
+          f"{'baseline' if cfg.model.baseline else 'compressed'} model, "
           f"{scheme}")
-    tracer, metrics = _make_obs(args)
+    tracer, metrics = _make_obs(cfg)
     from repro.obs import FlightRecorder
 
     # Built here (not defaulted inside run_distributed_md) so the run
     # report below can reference the same recorder.
-    flight = FlightRecorder(dump_dir=args.flight_dir)
+    flight = FlightRecorder(dump_dir=cfg.obs.flight_dir)
     start = _time.perf_counter()
     result = run_distributed_md(
         scheme.n_ranks, scheme.grid_dims, sim.coords, sim.types, sim.box,
         workload.masses, sim.forcefield.model, dt_fs=sim.dt_fs,
-        n_steps=args.steps, rebuild_every=sim.rebuild_every,
+        n_steps=cfg.model.steps, rebuild_every=sim.rebuild_every,
         skin=sim.search.skin, sel=sim.search.sel,
-        velocities=sim.velocities, thermo_every=args.thermo_every,
-        injector=injector, threads_per_rank=scheme.threads_per_rank,
-        checkpoint_dir=args.checkpoint_dir if args.checkpoint_every
-        else None,
-        checkpoint_every=args.checkpoint_every,
-        keep_last=args.keep_last,
-        max_rank_restarts=args.max_rank_restarts,
+        velocities=sim.velocities, thermo_every=cfg.obs.thermo_every,
+        injector=injector,
         tracer=tracer,
         metrics=metrics,
-        heartbeat_timeout=args.heartbeat_timeout,
-        deadline=args.deadline,
-        shard_timeout=args.shard_timeout,
-        write_deadline=args.write_deadline,
         flight=flight,
+        config=cfg,
     )
     wall = _time.perf_counter() - start
     if injector is not None and injector.log:
@@ -365,105 +218,97 @@ def _cmd_run_distributed(args) -> int:
           f"{result.reverse_bytes} B reverse, "
           f"{result.migrate_bytes} B migrate, "
           f"max {result.max_ghost_atoms} ghosts/rank")
-    ns = args.steps * sim.dt_fs * 1e-6
+    ns = cfg.model.steps * sim.dt_fs * 1e-6
     print(f"throughput: {ns / (wall / 86400.0):.3f} ns/day")
     _write_run_report(
-        args, "run-distributed",
-        {"system": args.system, "cells": list(args.cells),
-         "steps": args.steps, "atoms": len(sim.coords),
-         "model": "baseline" if args.baseline else "compressed",
-         "ranks": args.ranks, "threads": args.threads,
-         "seed": args.seed, "dt_fs": sim.dt_fs,
-         "checkpoint_every": args.checkpoint_every,
-         "chaos_profile": args.chaos_profile},
+        cfg, "run-distributed",
+        {"atoms": len(sim.coords), "dt_fs": sim.dt_fs},
         tracer=tracer, metrics=metrics, flight=flight, wall=wall)
-    _finish_obs(args, tracer, metrics)
+    _finish_obs(cfg, tracer, metrics)
     return 0
 
 
 def _cmd_run(args) -> int:
     import repro
+    from repro.config import config_from_args
     from repro.io import format_thermo_table
 
-    if args.ranks:
-        return _cmd_run_distributed(args)
-    tracer, metrics = _make_obs(args)
-    sim = repro.quick_simulation(
-        args.system, n_cells=tuple(args.cells), reps=tuple(args.cells),
-        compressed=not args.baseline, interval=args.interval,
-        seed=args.seed, threads=args.threads,
-        tracer=tracer, metrics=metrics,
-        layout=args.layout, kernel_chunk=args.kernel_chunk,
-    )
-    if args.restart:
+    cfg = config_from_args(args, "run")
+    if cfg.parallel.ranks:
+        return _cmd_run_distributed(cfg)
+    tracer, metrics = _make_obs(cfg)
+    sim = repro.simulation_from_config(cfg, tracer=tracer, metrics=metrics)
+    if cfg.robust.restart:
         from repro.io import restart_simulation
 
         # The model is deterministic in --system/--seed; reuse the one
-        # quick_simulation just built and restore the state on top.
-        # threads=None lets the checkpoint's own thread count win when
-        # the user did not ask for an explicit --threads.
+        # simulation_from_config just built and restore the state on
+        # top.  The thread count resolves through the config spine: the
+        # checkpoint's persisted config supplies the original run's
+        # threads (and layout/chunk/guards, already applied to the
+        # model above) unless an explicit flag overrode it.  For
+        # pre-spine checkpoints (no persisted config) the provenance
+        # stays "default" and threads=None lets the checkpoint's own
+        # metadata thread count win, exactly as before.
+        threads_set = cfg.provenance.get("parallel.threads",
+                                         "default") != "default"
         sim = restart_simulation(
-            args.restart, sim.forcefield,
-            threads=args.threads if args.threads != 1 else None,
-            engine=sim.engine)
+            cfg.robust.restart, sim.forcefield,
+            threads=cfg.parallel.threads if threads_set else None,
+            engine=sim.engine, config=cfg)
         if tracer is not None:
             sim.tracer = tracer
         if metrics is not None:
             sim.metrics = metrics
-        print(f"restarted from {args.restart} at step {sim.step}")
-    if args.flight_dir:
-        sim.flight.dump_dir = args.flight_dir
+        print(f"restarted from {cfg.robust.restart} at step {sim.step}")
+    if cfg.obs.flight_dir:
+        sim.flight.dump_dir = cfg.obs.flight_dir
     writer = None
-    if args.xyz:
+    if cfg.obs.xyz:
         from repro.io.trajectory import XYZTrajectoryWriter
 
-        names = (["Cu"] if args.system == "copper" else ["O", "H"])
+        names = (["Cu"] if cfg.model.system == "copper" else ["O", "H"])
         symbols = [names[t] for t in sim.types]
-        writer = XYZTrajectoryWriter(args.xyz, symbols)
+        writer = XYZTrajectoryWriter(cfg.obs.xyz, symbols)
         writer.write(sim.coords, sim.box, 0, sim.energy)
-    print(f"{args.system}: {len(sim.coords)} atoms, "
-          f"{'baseline' if args.baseline else 'compressed'} model, "
-          f"{args.threads} thread{'s' if args.threads != 1 else ''}")
+    threads = cfg.parallel.threads
+    print(f"{cfg.model.system}: {len(sim.coords)} atoms, "
+          f"{'baseline' if cfg.model.baseline else 'compressed'} model, "
+          f"{threads} thread{'s' if threads != 1 else ''}")
 
-    if args.shard_timeout is not None and sim.engine is not None:
-        sim.engine.shard_timeout = args.shard_timeout
+    if cfg.robust.shard_timeout is not None and sim.engine is not None:
+        sim.engine.shard_timeout = cfg.robust.shard_timeout
         sim.engine.metrics = metrics
     import time as _time
 
-    robust_run = (args.checkpoint_every or args.inject_fault
-                  or args.guard_tolerances or args.chaos_profile
-                  or args.escalate)
+    robust_run = (cfg.robust.checkpoint_every or cfg.robust.inject_fault
+                  or cfg.robust.guard_tolerances
+                  or cfg.robust.chaos_profile or cfg.robust.escalate)
     start = _time.perf_counter()
     if robust_run:
         from repro.robust import (
-            DEFAULT_LADDER,
             CheckpointManager,
             GuardTolerances,
             HealthMonitor,
-            RecoveryPolicy,
             run_with_recovery,
         )
 
-        sim.monitor = HealthMonitor(
-            GuardTolerances.from_spec(args.guard_tolerances))
-        injector = _make_injector(args, n_shards=args.threads,
+        tolerances = GuardTolerances.from_spec(cfg.robust.guard_tolerances)
+        if cfg.robust.guard_every > 1:
+            tolerances.guard_every = cfg.robust.guard_every
+        sim.monitor = HealthMonitor(tolerances)
+        injector = _make_injector(cfg, n_shards=threads,
                                   rebuild_every=sim.rebuild_every)
         if injector is not None:
             sim.attach_injector(injector)
-        manager = CheckpointManager(args.checkpoint_dir,
-                                    keep_last=args.keep_last,
+        manager = CheckpointManager(cfg.robust.checkpoint_dir,
+                                    keep_last=cfg.robust.keep_last,
                                     metrics=metrics,
-                                    write_deadline=args.write_deadline)
-        checkpoint_every = args.checkpoint_every or 10
+                                    write_deadline=cfg.robust.write_deadline)
         sim, report = run_with_recovery(
-            sim, args.steps, manager=manager,
-            checkpoint_every=checkpoint_every,
-            thermo_every=args.thermo_every,
-            policy=RecoveryPolicy(
-                max_retries=args.max_retries,
-                halve_dt=args.halve_dt,
-                ladder=DEFAULT_LADDER if args.escalate else None),
-            deadline=args.deadline,
+            sim, cfg.model.steps, manager=manager,
+            thermo_every=cfg.obs.thermo_every,
+            config=cfg,
         )
         manager.flush()
         if sim.injector is not None and sim.injector.log:
@@ -477,28 +322,23 @@ def _cmd_run(args) -> int:
             print(f"escalations taken: {', '.join(report.escalations)}")
         print(f"completed step {report.final_step} with "
               f"{report.retries} rollback(s); checkpoints in "
-              f"{args.checkpoint_dir}")
+              f"{cfg.robust.checkpoint_dir}")
     else:
-        sim.run(args.steps, thermo_every=args.thermo_every,
-                deadline=args.deadline)
+        sim.run(cfg.model.steps, thermo_every=cfg.obs.thermo_every,
+                deadline=cfg.robust.deadline,
+                guard_every=cfg.robust.guard_every)
     if writer is not None:
         writer.write(sim.coords, sim.box, sim.step, sim.energy)
         writer.close()
-        print(f"trajectory written to {args.xyz}")
+        print(f"trajectory written to {cfg.obs.xyz}")
     print(format_thermo_table(sim.thermo_log))
     print(f"throughput: {sim.ns_per_day():.3f} ns/day")
     _write_run_report(
-        args, "run",
-        {"system": args.system, "cells": list(args.cells),
-         "steps": args.steps, "atoms": len(sim.coords),
-         "model": "baseline" if args.baseline else "compressed",
-         "threads": args.threads, "seed": args.seed,
-         "dt_fs": sim.dt_fs, "layout": args.layout,
-         "checkpoint_every": args.checkpoint_every,
-         "chaos_profile": args.chaos_profile},
+        cfg, "run",
+        {"atoms": len(sim.coords), "dt_fs": sim.dt_fs},
         tracer=tracer, metrics=metrics, flight=sim.flight,
         wall=_time.perf_counter() - start)
-    _finish_obs(args, tracer, metrics)
+    _finish_obs(cfg, tracer, metrics)
     return 0
 
 
@@ -585,69 +425,59 @@ def _cmd_project(args) -> int:
 def _cmd_serve(args) -> int:
     """``serve``: synthetic mixed-traffic demo of the evaluation service.
 
-    Builds one compressed model, spreads --jobs jittered single-point
-    evaluations (plus optional MD segments) over --clients lanes,
-    drains the queue, and prints the service's own metrics — queue
-    depth, batch occupancy, p50/p99 latency.  With --chaos-profile the
-    job sequence runs under an armed fault storm (slow-job/flaky-job).
+    Builds one compressed model, spreads the configured jobs (jittered
+    single-point evaluations, plus optional MD segments) over the
+    client lanes, drains the queue, and prints the service's own
+    metrics — queue depth, batch occupancy, p50/p99 latency.  With a
+    chaos profile the job sequence runs under an armed fault storm
+    (slow-job/flaky-job).
     """
     import numpy as np
 
+    from repro.config import config_from_args
     from repro.core import CompressedDPModel, DPModel
     from repro.md import copper_system, water_system
-    from repro.obs import MetricsRegistry
     from repro.serve import EvalJob, EvalService, MDJob
     from repro.workloads import COPPER, WATER
 
-    w = COPPER if args.system == "copper" else WATER
-    spec = w.model_spec(d1=8, m_sub=4, fit_width=32, seed=args.seed)
+    cfg = config_from_args(args, "serve")
+    srv = cfg.serve
+    w = COPPER if cfg.model.system == "copper" else WATER
+    spec = w.model_spec(d1=8, m_sub=4, fit_width=32, seed=cfg.model.seed)
     model = CompressedDPModel.compress(DPModel(spec),
-                                       interval=args.interval)
-    if args.system == "copper":
-        coords, types, box = copper_system(tuple(args.cells))
+                                       interval=cfg.model.interval,
+                                       layout=cfg.kernel.layout,
+                                       chunk=cfg.kernel.kernel_chunk,
+                                       accumulate=cfg.kernel.accumulate)
+    if cfg.kernel.precision == "f32":
+        from repro.core.precision import to_single_precision
+
+        model = to_single_precision(model)
+    if cfg.model.system == "copper":
+        coords, types, box = copper_system(tuple(cfg.model.cells))
     else:
-        coords, types, box = water_system(tuple(args.cells),
-                                          seed=args.seed)
-    engine = None
-    if args.threads > 1:
-        from repro.parallel import ThreadedEngine
-
-        engine = ThreadedEngine(args.threads)
-    injector = None
-    if args.chaos_profile:
-        from repro.robust import ChaosSchedule
-
-        seed = args.chaos_seed if args.chaos_seed is not None else args.seed
-        schedule = ChaosSchedule(args.jobs, seed=seed,
-                                 profile=args.chaos_profile)
-        print(schedule.describe())
-        injector = schedule.injector()
-    metrics = MetricsRegistry(sink=args.metrics) if args.metrics else None
-    tracer = None
-    if args.trace or args.report:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
-    service = EvalService(model, capacity=args.capacity,
-                          max_batch=args.max_batch, engine=engine,
-                          metrics=metrics,
-                          default_deadline=args.deadline,
-                          injector=injector, tracer=tracer)
-    rng = np.random.default_rng(args.seed)
+        coords, types, box = water_system(tuple(cfg.model.cells),
+                                          seed=cfg.model.seed)
+    injector = _make_injector(cfg, n_steps=srv.jobs, n_ranks=1, n_shards=1)
+    tracer, metrics = _make_obs(cfg)
+    service = EvalService.from_config(model, cfg, metrics=metrics,
+                                      injector=injector, tracer=tracer)
+    engine = service.engine
+    rng = np.random.default_rng(cfg.model.seed)
     masses = np.asarray(w.masses)
     tickets = []
-    for i in range(args.jobs):
+    for i in range(srv.jobs):
         jitter = rng.normal(0.0, 0.05, coords.shape)
-        if args.md_every and (i + 1) % args.md_every == 0:
+        if srv.md_every and (i + 1) % srv.md_every == 0:
             job = MDJob(coords + jitter, types, box, masses,
-                        n_steps=5, seed=args.seed + i)
+                        n_steps=5, seed=cfg.model.seed + i)
         else:
             job = EvalJob(coords + jitter, types, box)
         tickets.append(service.submit(job,
-                                      client=f"client{i % args.clients}"))
-    print(f"{args.system}: {len(coords)} atoms/job, {args.jobs} jobs "
-          f"over {args.clients} clients, max_batch={args.max_batch}, "
-          f"threads={args.threads}")
+                                      client=f"client{i % srv.clients}"))
+    print(f"{cfg.model.system}: {len(coords)} atoms/job, {srv.jobs} jobs "
+          f"over {srv.clients} clients, max_batch={srv.max_batch}, "
+          f"threads={cfg.parallel.threads}")
     import time as _time
 
     start = _time.perf_counter()
@@ -670,13 +500,13 @@ def _cmd_serve(args) -> int:
     if lat.get("count"):
         print(f"latency: p50 {lat['p50'] * 1e3:.2f} ms, "
               f"p99 {lat['p99'] * 1e3:.2f} ms")
-    if tracer is not None and args.trace:
-        tracer.export(args.trace)
-        print(f"trace written to {args.trace} "
+    if tracer is not None and cfg.obs.trace:
+        tracer.export(cfg.obs.trace)
+        print(f"trace written to {cfg.obs.trace} "
               f"({len(tracer.finished())} spans)")
-    if args.report:
+    if cfg.obs.report:
         slo = {
-            "jobs": args.jobs,
+            "jobs": srv.jobs,
             "drain_rounds": rounds,
             "by_status": dict(sorted(by_status.items())),
             "batch_occupancy_mean": occ.get("mean"),
@@ -685,23 +515,18 @@ def _cmd_serve(args) -> int:
             "latency_p99_s": lat.get("p99"),
         }
         _write_run_report(
-            args, "serve",
-            {"system": args.system, "cells": list(args.cells),
-             "jobs": args.jobs, "clients": args.clients,
-             "max_batch": args.max_batch, "threads": args.threads,
-             "capacity": args.capacity, "seed": args.seed,
-             "md_every": args.md_every,
-             "chaos_profile": args.chaos_profile},
+            cfg, "serve",
+            {"atoms_per_job": len(coords)},
             tracer=tracer, metrics=snap, flight=service.flight,
             wall=wall, slo=slo)
-    if metrics is not None:
+    if metrics is not None and cfg.obs.metrics:
         metrics.write_summary()
         metrics.close()
-        print(f"metrics written to {args.metrics}")
+        print(f"metrics written to {cfg.obs.metrics}")
     if engine is not None:
         engine.close()
     failed = by_status.get("failed", 0) + by_status.get("timed-out", 0)
-    return 1 if (failed and not args.chaos_profile) else 0
+    return 1 if (failed and not cfg.robust.chaos_profile) else 0
 
 
 def _cmd_info(_args) -> int:

@@ -1,0 +1,75 @@
+"""repro.config — the typed config spine.
+
+One schema-versioned, sectioned :class:`RunConfig` describes a run's
+every knob; values resolve through explicit layers (library defaults ->
+host detection -> cached tuned config -> restart checkpoint -> user
+config file -> CLI/kwargs) and each field remembers which layer set it.
+``tools/autotune.py`` writes the tuned layer; the CLI, the drivers, the
+serving layer, and the run reports all consume the resolved tree.
+
+See DESIGN.md §12 for the precedence/provenance contract.
+"""
+
+from .cligen import (
+    add_config_flags,
+    check_cli_schema_drift,
+    config_from_args,
+    overrides_from_args,
+    peek_checkpoint_config,
+)
+from .resolve import (
+    checkpoint_layer_fields,
+    host_key,
+    host_layer,
+    load_tuned,
+    resolve_run_config,
+    save_tuned,
+    tuned_dir,
+    tuned_path,
+)
+from .schema import (
+    CONFIG_SCHEMA,
+    LAYERS,
+    SECTIONS,
+    ConfigWarning,
+    FieldSpec,
+    KernelSection,
+    ModelSection,
+    ObsSection,
+    ParallelSection,
+    RobustSection,
+    RunConfig,
+    ServeSection,
+    field_specs,
+    tunable_fields,
+)
+
+__all__ = [
+    "CONFIG_SCHEMA",
+    "LAYERS",
+    "SECTIONS",
+    "ConfigWarning",
+    "FieldSpec",
+    "KernelSection",
+    "ModelSection",
+    "ObsSection",
+    "ParallelSection",
+    "RobustSection",
+    "RunConfig",
+    "ServeSection",
+    "add_config_flags",
+    "check_cli_schema_drift",
+    "checkpoint_layer_fields",
+    "config_from_args",
+    "field_specs",
+    "host_key",
+    "host_layer",
+    "load_tuned",
+    "overrides_from_args",
+    "peek_checkpoint_config",
+    "resolve_run_config",
+    "save_tuned",
+    "tunable_fields",
+    "tuned_dir",
+    "tuned_path",
+]

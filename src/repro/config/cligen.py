@@ -1,0 +1,173 @@
+"""CLI flag groups generated from the config schema.
+
+One declaration per knob (:mod:`repro.config.schema`) feeds both the
+argparse surface and the resolver: :func:`add_config_flags` emits each
+field's flag into a per-section argument group on the subcommands that
+declare it, and :func:`config_from_args` turns a parsed namespace back
+into the ``cli`` layer of a resolved :class:`RunConfig`.
+
+Generated flags always parse with ``default=None`` — "flag absent"
+must be distinguishable from "flag at its default value", or an
+untyped ``--threads 1`` could not shadow a tuned ``threads=2``.  The
+schema default is applied by the resolver's ``default`` layer instead.
+"""
+
+from __future__ import annotations
+
+from .resolve import resolve_run_config
+from .schema import SECTIONS, RunConfig, field_specs
+
+__all__ = ["add_config_flags", "overrides_from_args", "config_from_args",
+           "GENERATED_DESTS"]
+
+_SECTION_TITLES = {
+    "model": "workload / model",
+    "kernel": "fused-kernel tunables",
+    "parallel": "ranks x threads shape",
+    "robust": "checkpoints, guards, deadlines, chaos",
+    "obs": "observability",
+    "serve": "evaluation service",
+}
+
+#: argparse dests produced by the generator, plus the resolver's own
+#: structural flags (consumed by :func:`config_from_args`, not mapped
+#: to a schema field).
+STRUCTURAL_DESTS = ("config", "no_tuned")
+
+GENERATED_DESTS = tuple(s.name for s in field_specs())
+
+
+def add_config_flags(parser, command: str) -> None:
+    """Generate this subcommand's flag groups from the schema."""
+    groups = {}
+    for spec in field_specs():
+        if command not in spec.commands:
+            continue
+        group = groups.get(spec.section)
+        if group is None:
+            group = parser.add_argument_group(
+                _SECTION_TITLES.get(spec.section, spec.section))
+            groups[spec.section] = group
+        help_text = spec.help
+        if spec.command_defaults.get(command, spec.default) is not None \
+                and spec.kind not in ("bool", "strlist"):
+            default = spec.command_defaults.get(command, spec.default)
+            help_text = f"{help_text} (default: {default})" \
+                if help_text else f"default: {default}"
+        kwargs = {"default": None, "help": help_text}
+        if spec.action == "store_true":
+            kwargs["action"] = "store_true"
+        elif spec.action == "append":
+            kwargs["action"] = "append"
+            if spec.metavar:
+                kwargs["metavar"] = spec.metavar
+        else:
+            if spec.kind == "int3":
+                kwargs.update(type=int, nargs=3)
+            else:
+                kwargs["type"] = {"int": int, "float": float,
+                                  "str": str}[spec.kind]
+            if spec.choices:
+                kwargs["choices"] = list(spec.choices)
+            if spec.metavar:
+                kwargs["metavar"] = spec.metavar
+        group.add_argument(spec.flag, **kwargs)
+    resolver = parser.add_argument_group("config resolution")
+    resolver.add_argument(
+        "--config", type=str, default=None, metavar="FILE",
+        help="JSON config file (the 'file' layer: above cached tuned "
+             "configs, below explicit flags)")
+    resolver.add_argument(
+        "--no-tuned", action="store_true", default=False,
+        help="skip the cached tuned-config layer for this run")
+
+
+def overrides_from_args(args, command: str) -> dict:
+    """The ``cli`` layer: every generated flag the user actually passed.
+
+    Flags left at the ``None`` sentinel fall through to lower layers;
+    ``store_true`` flags contribute only when present on the line.
+    """
+    overrides: dict = {}
+    for spec in field_specs():
+        if command not in spec.commands:
+            continue
+        value = getattr(args, spec.name, None)
+        if value is None:
+            continue
+        if spec.kind == "int3":
+            value = tuple(value)
+        overrides.setdefault(spec.section, {})[spec.name] = value
+    return overrides
+
+
+def config_from_args(args, command: str) -> RunConfig:
+    """Resolve the full config for a parsed CLI namespace.
+
+    Applies every layer: schema defaults, host detection, the tuned
+    cache (unless ``--no-tuned``), the restart checkpoint's persisted
+    config (when ``--restart`` names one that carries it), the
+    ``--config`` file, and the explicit flags.
+    """
+    overrides = overrides_from_args(args, command)
+    checkpoint = None
+    restart = getattr(args, "restart", None)
+    if restart:
+        checkpoint = peek_checkpoint_config(restart)
+    return resolve_run_config(
+        command,
+        config_file=getattr(args, "config", None),
+        checkpoint=checkpoint,
+        overrides=overrides,
+        use_tuned=not getattr(args, "no_tuned", False),
+    )
+
+
+def peek_checkpoint_config(path: str) -> dict | None:
+    """Read the config persisted inside a checkpoint's metadata.
+
+    Returns ``None`` for pre-spine checkpoints (no ``config`` key) —
+    they restart exactly as before, with only ``meta['threads']``
+    restored by :func:`repro.io.checkpoint.restart_simulation`.
+    """
+    from ..io.checkpoint import read_state_checkpoint
+
+    meta = read_state_checkpoint(path, validate=False)["meta"]
+    persisted = meta.get("config")
+    return persisted if isinstance(persisted, dict) else None
+
+
+def check_cli_schema_drift(build_parser) -> list[str]:
+    """Assert the generated CLI and the schema agree (the drift test).
+
+    Returns a list of human-readable problems (empty = no drift):
+    every schema flag must exist on each subcommand that declares it,
+    every tunable field must have a flag, and every run/serve flag must
+    map back to a schema field (or be a structural resolver flag).
+    """
+    problems = []
+    parser = build_parser()
+    sub = next(a for a in parser._actions
+               if a.__class__.__name__ == "_SubParsersAction")
+    for command in ("run", "serve"):
+        cmd_parser = sub.choices[command]
+        dests = {a.dest for a in cmd_parser._actions} - {"help"}
+        for spec in field_specs():
+            if command in spec.commands and spec.name not in dests:
+                problems.append(
+                    f"schema field {spec.path} declares {spec.flag} on "
+                    f"{command!r} but the parser lacks it")
+        known = set(GENERATED_DESTS) | set(STRUCTURAL_DESTS)
+        for dest in sorted(dests):
+            if dest not in known:
+                problems.append(
+                    f"{command!r} flag dest {dest!r} maps to no schema "
+                    f"field (add it to the schema or STRUCTURAL_DESTS)")
+    for spec in field_specs():
+        if spec.tunable and spec.flag is None:
+            problems.append(
+                f"tunable field {spec.path} has no CLI flag")
+        if spec.tunable and "run" not in spec.commands:
+            problems.append(
+                f"tunable field {spec.path} is not exposed on 'run'")
+    return problems

@@ -1,0 +1,250 @@
+"""Layered resolution of a :class:`~repro.config.schema.RunConfig`.
+
+The precedence ladder (lowest first) mirrors how the paper's record
+runs were actually configured — a portable default, refined by what the
+host looks like, refined by what a tuning sweep measured *on this host
+for this workload*, refined by what the user wrote down, refined by
+what the user typed:
+
+1. **default** — the library defaults declared in the schema;
+2. **host** — values detected from :mod:`repro.perf.machine` (today:
+   the cache-model kernel-chunk pick for the laptop-scale default
+   model width);
+3. **tuned** — the cached winning config written by
+   ``tools/autotune.py`` for this exact (workload, host-fingerprint)
+   pair, picked up automatically on the next run;
+4. **checkpoint** — on ``--restart``, the config persisted inside the
+   checkpoint (a restart reproduces the original run's
+   threads/layout/chunk/guard settings without re-specifying flags);
+5. **file** — a user-supplied JSON config file (``--config``);
+6. **cli** — explicit CLI flags / driver kwargs.
+
+The tuned cache lives under ``$REPRO_TUNED_DIR`` (default
+``~/.cache/repro/tuned``), one JSON file per (workload, host key); the
+host key fingerprints cpu count, L2 size, and ISA so a cache copied to
+a different machine is simply never matched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import warnings
+
+from .schema import CONFIG_SCHEMA, ConfigWarning, RunConfig
+
+__all__ = [
+    "DEFAULT_M_OUT", "host_key", "tuned_dir", "tuned_path", "save_tuned",
+    "load_tuned", "host_layer", "checkpoint_layer_fields",
+    "resolve_run_config",
+]
+
+#: ``m_out = 4 * d1`` of the laptop-scale default model built by
+#: :func:`repro.quick_simulation` (``d1=8``); the host layer sizes its
+#: kernel-chunk pick for this width.  Models with other widths re-derive
+#: their own automatic chunk at the kernel level when the field is left
+#: unset, so this is a default, not a constraint.
+DEFAULT_M_OUT = 32
+
+#: Fields a checkpoint's persisted config is allowed to re-apply on
+#: restart: the knobs that shaped the original trajectory and its model
+#: — never the old run's fault injection, chaos storm, step count, or
+#: observability sinks (re-arming those silently would be surprising).
+_CHECKPOINT_FIELDS = (
+    "model.system", "model.cells", "model.baseline", "model.interval",
+    "model.temperature", "model.seed",
+    "kernel.layout", "kernel.kernel_chunk", "kernel.precision",
+    "kernel.accumulate",
+    "parallel.threads",
+    "robust.checkpoint_every", "robust.checkpoint_dir", "robust.keep_last",
+    "robust.guard_tolerances", "robust.guard_every", "robust.max_retries",
+    "robust.halve_dt", "robust.escalate",
+)
+
+
+def checkpoint_layer_fields() -> tuple:
+    """Dotted paths the checkpoint layer may set (restart whitelist)."""
+    return _CHECKPOINT_FIELDS
+
+
+def host_key() -> str:
+    """Stable fingerprint of this host for the tuned-config cache."""
+    from ..perf.machine import detect_host_cache
+
+    cache = detect_host_cache()
+    return (f"cpu{os.cpu_count() or 1}"
+            f"-l2_{cache.l2_bytes // 1024}k"
+            f"-{platform.machine() or 'unknown'}")
+
+
+def tuned_dir() -> str:
+    """The tuned-config cache directory (``$REPRO_TUNED_DIR`` wins)."""
+    env = os.environ.get("REPRO_TUNED_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "tuned")
+
+
+def tuned_path(workload: str, host: str | None = None) -> str:
+    """Cache file for one (workload, host) pair."""
+    return os.path.join(tuned_dir(),
+                        f"{workload}-{host or host_key()}.json")
+
+
+def save_tuned(workload: str, partial: dict, *, bench: dict | None = None,
+               host: str | None = None, source: str = "tools/autotune.py"
+               ) -> str:
+    """Persist a winning partial config for automatic pickup.
+
+    ``partial`` is a nested ``{section: {field: value}}`` mapping
+    holding only the tuned fields; it is validated by applying it to a
+    fresh :class:`RunConfig` before writing, so a cache file can never
+    contain a key the resolver would reject.  ``bench`` is an optional
+    evidence payload (the sweep summary) stored alongside.
+    """
+    RunConfig().apply(partial, layer="tuned")  # validate before persist
+    path = tuned_path(workload, host)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {
+        "schema": CONFIG_SCHEMA,
+        "workload": workload,
+        "host_key": host or host_key(),
+        "source": source,
+        "config": partial,
+    }
+    if bench is not None:
+        payload["bench"] = bench
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_tuned(workload: str, host: str | None = None) -> dict | None:
+    """The cached tuned partial for this (workload, host), or ``None``.
+
+    A cache written for a different host key, an unreadable file, or a
+    newer schema all degrade to "no tuned layer" with a
+    :class:`ConfigWarning` — a stale cache must never break a run.
+    """
+    path = tuned_path(workload, host)
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        warnings.warn(f"ignoring unreadable tuned config {path!r}: {exc}",
+                      ConfigWarning, stacklevel=2)
+        return None
+    if payload.get("host_key") != (host or host_key()):
+        warnings.warn(
+            f"ignoring tuned config {path!r}: host key "
+            f"{payload.get('host_key')!r} != {host or host_key()!r}",
+            ConfigWarning, stacklevel=2)
+        return None
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        warnings.warn(f"ignoring malformed tuned config {path!r}",
+                      ConfigWarning, stacklevel=2)
+        return None
+    return config
+
+
+def host_layer(m_out: int = DEFAULT_M_OUT) -> dict:
+    """Host-detected values from :mod:`repro.perf.machine`.
+
+    Today this is the cache-model kernel-chunk pick — the same number
+    the fused kernels would auto-derive for the default model width, so
+    resolving it here is behavior-neutral but makes the choice visible
+    (and overridable) in the config spine.
+    """
+    from ..perf.machine import default_kernel_chunk
+
+    return {"kernel": {"kernel_chunk": default_kernel_chunk(m_out)}}
+
+
+def _apply_checkpoint_layer(config: RunConfig, persisted: dict) -> None:
+    """Apply a checkpoint's persisted config through the whitelist."""
+    for path in _CHECKPOINT_FIELDS:
+        section, name = path.split(".", 1)
+        block = persisted.get(section)
+        if isinstance(block, dict) and name in block:
+            config.set(path, block[name], layer="checkpoint")
+
+
+def resolve_run_config(command: str = "run", *, workload: str | None = None,
+                       config_file: str | None = None,
+                       checkpoint: dict | None = None,
+                       overrides: dict | None = None,
+                       use_host: bool = True,
+                       use_tuned: bool = True) -> RunConfig:
+    """Resolve a full :class:`RunConfig` through every layer.
+
+    Parameters
+    ----------
+    command:
+        ``"run"`` / ``"serve"`` — selects per-command schema defaults.
+    workload:
+        Workload name keying the tuned cache; ``None`` derives it from
+        the layered ``model.system`` (overrides and config file applied
+        first in a scouting pass, so ``--system water`` finds the water
+        cache).
+    config_file:
+        Optional path to a user JSON config (the ``file`` layer).
+    checkpoint:
+        A checkpoint's persisted config dict (the ``checkpoint`` layer,
+        filtered through the restart whitelist).
+    overrides:
+        Nested ``{section: {field: value}}`` partial for the ``cli``
+        layer (explicit flags / kwargs).
+    use_host / use_tuned:
+        Disable the host / tuned layers (library callers that need
+        hermetic defaults, ``--no-tuned``).
+    """
+    file_partial = None
+    if config_file:
+        with open(config_file) as fh:
+            file_partial = json.load(fh)
+        if not isinstance(file_partial, dict):
+            raise ValueError(
+                f"config file {config_file!r} must hold a JSON object")
+
+    def build(tuned_partial):
+        config = RunConfig()
+        for spec in _command_defaults(command):
+            config.set(spec[0], spec[1], layer="default")
+        if use_host:
+            config.apply(host_layer(), layer="host")
+        if tuned_partial:
+            config.apply(tuned_partial, layer="tuned")
+        if checkpoint:
+            _apply_checkpoint_layer(config, checkpoint)
+        if file_partial:
+            config.apply(file_partial, layer="file")
+        if overrides:
+            config.apply(overrides, layer="cli")
+        return config
+
+    if not use_tuned:
+        return build(None)
+    if workload is None:
+        # Scouting pass: the tuned cache is keyed by workload, but the
+        # workload itself may come from a higher layer.
+        workload = build(None).model.system
+    return build(load_tuned(workload))
+
+
+def _command_defaults(command: str):
+    """(path, value) pairs for per-command default overrides."""
+    from .schema import field_specs
+
+    out = []
+    for spec in field_specs():
+        if command in spec.command_defaults:
+            out.append((spec.path, spec.command_defaults[command]))
+    return out

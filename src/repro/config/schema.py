@@ -1,0 +1,549 @@
+"""The typed, schema-versioned ``RunConfig`` tree.
+
+Every machine-dependent knob this reproduction has grown — MPI x thread
+shape, kernel blocking, precision mode, guard cadence, checkpoint
+cadence, deadlines, chaos, observability sinks — lives in exactly one
+place: a sectioned dataclass tree (``model`` / ``kernel`` / ``parallel``
+/ ``robust`` / ``obs`` / ``serve``), mirroring how the paper's record
+runs are won by tuning the same knobs per (workload, host) and how
+DeePMD-kit ships them as one declarative input file.
+
+Three properties make the tree a *spine* rather than a bag of fields:
+
+* **one source of truth** — each field is declared once, with its CLI
+  flag, type, help text, choices, and which subcommands expose it
+  (:func:`cfg`); the CLI flag groups, the JSON round-trip, and the
+  schema<->CLI drift test are all generated from the same declarations
+  (:func:`field_specs`);
+* **layered resolution with provenance** — values are applied in
+  layers (:data:`LAYERS`: library defaults -> host-detected -> cached
+  tuned config -> checkpoint -> user config file -> CLI/kwargs) and
+  every field remembers which layer set it
+  (:attr:`RunConfig.provenance`), so a run report can show *why* the
+  run used ``threads=2``;
+* **stable serialization** — ``to_dict``/``from_dict``/JSON round-trips
+  are bitwise stable, unknown keys warn (:class:`ConfigWarning`)
+  instead of failing, so configs written by a newer schema degrade
+  gracefully (forward compatibility).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CONFIG_SCHEMA", "LAYERS", "ConfigWarning", "FieldSpec", "cfg",
+    "ModelSection", "KernelSection", "ParallelSection", "RobustSection",
+    "ObsSection", "ServeSection", "RunConfig", "SECTIONS", "field_specs",
+    "tunable_fields",
+]
+
+#: Bump when the config layout changes incompatibly.
+CONFIG_SCHEMA = 1
+
+#: Resolution layers, lowest to highest precedence.
+LAYERS = ("default", "host", "tuned", "checkpoint", "file", "cli")
+
+
+class ConfigWarning(UserWarning):
+    """Unknown config keys (forward compatibility) and suspect values."""
+
+
+def cfg(default, *, kind, flag=None, help="", choices=None, nargs=None,
+        action=None, metavar=None, commands=("run",), tunable=False,
+        command_defaults=None):
+    """Declare one config field (a :func:`dataclasses.field` wrapper).
+
+    Parameters
+    ----------
+    default:
+        The library-default value (the ``"default"`` layer).
+    kind:
+        Coercion/validation family: ``"str"``, ``"int"``, ``"float"``,
+        ``"bool"``, ``"int3"`` (a 3-tuple of ints, e.g. ``cells``), or
+        ``"strlist"`` (repeatable string flag, e.g. ``inject_fault``).
+    flag:
+        The CLI flag spelled exactly (``"--kernel-chunk"``); ``None``
+        keeps the field off the CLI (config-file/kwargs only).
+    commands:
+        Subcommands that expose the flag (``("run", "serve")``); the
+        flag-group generator and the drift test both read this.
+    tunable:
+        Marks the field as an autotuner axis; the drift test asserts
+        every tunable field has a flag.
+    command_defaults:
+        Per-subcommand default overrides applied at the ``"default"``
+        layer (e.g. the ``serve`` demo's coarser tabulation interval).
+    """
+    return field(default=default, metadata={
+        "kind": kind, "flag": flag, "help": help, "choices": choices,
+        "nargs": nargs, "action": action, "metavar": metavar,
+        "commands": tuple(commands), "tunable": bool(tunable),
+        "command_defaults": dict(command_defaults or {}),
+    })
+
+
+@dataclass
+class ModelSection:
+    """What is simulated: the workload, its size, and the model build."""
+
+    system: str = cfg(
+        "copper", kind="str", flag="--system",
+        choices=("copper", "water"), commands=("run", "serve"),
+        help="paper workload")
+    cells: tuple = cfg(
+        (3, 3, 3), kind="int3", flag="--cells", nargs=3,
+        commands=("run", "serve"),
+        help="FCC cells (copper) or 192-atom replications (water)")
+    steps: int = cfg(
+        99, kind="int", flag="--steps",
+        help="MD steps (99 = the paper protocol)")
+    baseline: bool = cfg(
+        False, kind="bool", flag="--baseline", action="store_true",
+        help="use the uncompressed model")
+    interval: float = cfg(
+        0.01, kind="float", flag="--interval", commands=("run", "serve"),
+        command_defaults={"serve": 0.05},
+        help="tabulation interval")
+    temperature: float = cfg(
+        330.0, kind="float", flag="--temperature",
+        help="initial-velocity draw temperature (K)")
+    seed: int = cfg(
+        0, kind="int", flag="--seed", commands=("run", "serve"),
+        help="deterministic seed (velocities, model init, chaos default)")
+
+
+@dataclass
+class KernelSection:
+    """The fused-kernel knobs of PR 6 — all bitwise-safe but one."""
+
+    layout: str | None = cfg(
+        None, kind="str", flag="--layout", choices=("aos", "soa"),
+        commands=("run", "serve"), tunable=True,
+        help="coefficient-table memory layout: 'aos' (operator-native) "
+             "or 'soa' (the paper's transposed fast path; bitwise "
+             "identical in float64)")
+    kernel_chunk: int | None = cfg(
+        None, kind="int", flag="--kernel-chunk", metavar="PAIRS",
+        commands=("run", "serve"), tunable=True,
+        help="neighbor-chunk length for the fused kernels (default: "
+             "sized to the host L2 cache; bitwise invariant)")
+    precision: str = cfg(
+        "f64", kind="str", flag="--precision", choices=("f64", "f32"),
+        tunable=True,
+        help="evaluate the compressed model in double or single "
+             "precision ('f32' is the end-to-end fast path — it "
+             "changes numerics, see --accumulate)")
+    accumulate: str = cfg(
+        "native", kind="str", flag="--accumulate",
+        choices=("native", "f64"), tunable=True,
+        help="reduction scheme for --precision f32: 'native' sums in "
+             "f32 end-to-end, 'f64' keeps reductions in double (the "
+             "mixed scheme); ignored for f64 runs")
+
+
+@dataclass
+class ParallelSection:
+    """The ranks x threads shape (the paper's Fig. 6 (c) schemes)."""
+
+    threads: int = cfg(
+        1, kind="int", flag="--threads", commands=("run", "serve"),
+        tunable=True,
+        help="shared-memory workers for the fused inference path "
+             "(1 = exact serial path)")
+    ranks: str | None = cfg(
+        None, kind="str", flag="--ranks", metavar="RxSxT",
+        help="simulated-MPI rank grid for a distributed run (e.g. "
+             "2x1x1); with --threads K this is the paper's hybrid "
+             "ranks x threads scheme")
+    max_rank_restarts: int = cfg(
+        2, kind="int", flag="--max-rank-restarts",
+        help="with --ranks and --checkpoint-every: rank failures "
+             "survived by re-spawning from shard checkpoints")
+
+
+@dataclass
+class RobustSection:
+    """Checkpoints, guards, deadlines, recovery, and chaos."""
+
+    checkpoint_every: int = cfg(
+        0, kind="int", flag="--checkpoint-every",
+        help="save a restart file every N steps (0 = off); enables "
+             "rollback-and-retry on health violations")
+    checkpoint_dir: str = cfg(
+        "checkpoints", kind="str", flag="--checkpoint-dir",
+        help="directory for rotating restart files")
+    keep_last: int = cfg(
+        3, kind="int", flag="--keep-last",
+        help="checkpoints retained after rotation")
+    restart: str | None = cfg(
+        None, kind="str", flag="--restart", metavar="CKPT",
+        help="continue from this checkpoint file (state from the file; "
+             "threads/layout/chunk/guard settings are restored from the "
+             "checkpoint's persisted config unless overridden)")
+    guard_tolerances: str | None = cfg(
+        None, kind="str", flag="--guard-tolerances", metavar="SPEC",
+        help="enable per-step health guards; 'default' or e.g. "
+             "'disp=1.0,drift=0.05' (Å/step, eV/atom)")
+    guard_every: int = cfg(
+        1, kind="int", flag="--guard-every", tunable=True,
+        help="amortize the health guards: check every K steps (the "
+             "final step is always guarded)")
+    inject_fault: list | None = cfg(
+        None, kind="strlist", flag="--inject-fault", action="append",
+        metavar="SPEC",
+        help="deterministic fault injection, repeatable: "
+             "KIND[@STEP[:TARGET]][~DURATION][%%P]")
+    chaos_profile: str | None = cfg(
+        None, kind="str", flag="--chaos-profile", metavar="NAME",
+        commands=("run", "serve"),
+        help="arm a seeded stochastic fault storm: calm, crashes, "
+             "stalls, soak, storm (or 'serve')")
+    chaos_seed: int | None = cfg(
+        None, kind="int", flag="--chaos-seed", commands=("run", "serve"),
+        help="seed for --chaos-profile (default: --seed)")
+    max_retries: int = cfg(
+        3, kind="int", flag="--max-retries",
+        help="rollback budget before a health violation aborts the run "
+             "(or starts the escalation ladder with --escalate)")
+    halve_dt: bool = cfg(
+        False, kind="bool", flag="--halve-dt", action="store_true",
+        help="halve the timestep on each rollback")
+    escalate: bool = cfg(
+        False, kind="bool", flag="--escalate", action="store_true",
+        help="after --max-retries, climb the escalation ladder instead "
+             "of aborting")
+    deadline: float | None = cfg(
+        None, kind="float", flag="--deadline", metavar="SECONDS",
+        commands=("run", "serve"),
+        help="wall-clock budget (whole run, or per job for serve)")
+    heartbeat_timeout: float | None = cfg(
+        None, kind="float", flag="--heartbeat-timeout", metavar="SECONDS",
+        help="with --ranks: per-phase peer heartbeat on ghost exchange "
+             "/ force reduction")
+    shard_timeout: float | None = cfg(
+        None, kind="float", flag="--shard-timeout", metavar="SECONDS",
+        help="per-shard soft deadline in the threaded engine")
+    write_deadline: float | None = cfg(
+        None, kind="float", flag="--write-deadline", metavar="SECONDS",
+        help="per-checkpoint-write budget; writes exceeding it are "
+             "skipped instead of stalling the step loop")
+
+
+@dataclass
+class ObsSection:
+    """Observability sinks and output cadence."""
+
+    trace: str | None = cfg(
+        None, kind="str", flag="--trace", metavar="FILE",
+        commands=("run", "serve"),
+        help="write a Chrome trace-event JSON of the run")
+    metrics: str | None = cfg(
+        None, kind="str", flag="--metrics", metavar="FILE",
+        commands=("run", "serve"),
+        help="stream metrics to this JSONL file and print a summary")
+    report: str | None = cfg(
+        None, kind="str", flag="--report", metavar="FILE",
+        commands=("run", "serve"),
+        help="write a schema-versioned run report (JSON + .md sibling) "
+             "whose resolved-config block carries layer provenance")
+    flight_dir: str | None = cfg(
+        None, kind="str", flag="--flight-dir", metavar="DIR",
+        help="directory for flight-recorder failure dumps (default: "
+             "the checkpoint directory when checkpointing is on)")
+    xyz: str | None = cfg(
+        None, kind="str", flag="--xyz",
+        help="write the trajectory to this extended-XYZ file")
+    thermo_every: int = cfg(
+        50, kind="int", flag="--thermo-every",
+        help="thermo sampling cadence (steps)")
+
+
+@dataclass
+class ServeSection:
+    """The batched evaluation service's traffic and queue shape."""
+
+    jobs: int = cfg(
+        16, kind="int", flag="--jobs", commands=("serve",),
+        help="total jobs submitted")
+    clients: int = cfg(
+        3, kind="int", flag="--clients", commands=("serve",),
+        help="jobs are spread round-robin over this many clients")
+    max_batch: int = cfg(
+        8, kind="int", flag="--max-batch", commands=("serve",),
+        help="most same-shaped jobs packed per dispatch")
+    capacity: int = cfg(
+        64, kind="int", flag="--capacity", commands=("serve",),
+        help="queue bound (backpressure past it)")
+    md_every: int = cfg(
+        0, kind="int", flag="--md-every", commands=("serve",),
+        help="every Nth job is a short MD segment (0 = never)")
+
+
+#: Section name -> dataclass, in canonical order.
+SECTIONS = {
+    "model": ModelSection,
+    "kernel": KernelSection,
+    "parallel": ParallelSection,
+    "robust": RobustSection,
+    "obs": ObsSection,
+    "serve": ServeSection,
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field's full declaration, flattened for generators."""
+
+    section: str
+    name: str
+    kind: str
+    default: object
+    flag: str | None
+    help: str
+    choices: tuple | None
+    nargs: int | None
+    action: str | None
+    metavar: str | None
+    commands: tuple
+    tunable: bool
+    command_defaults: dict
+
+    @property
+    def path(self) -> str:
+        """Dotted ``section.field`` key (the provenance key)."""
+        return f"{self.section}.{self.name}"
+
+
+def field_specs() -> list[FieldSpec]:
+    """Every config field as a :class:`FieldSpec`, in schema order."""
+    specs = []
+    for section, cls in SECTIONS.items():
+        for f in dataclasses.fields(cls):
+            md = f.metadata
+            specs.append(FieldSpec(
+                section=section, name=f.name, kind=md["kind"],
+                default=f.default, flag=md["flag"], help=md["help"],
+                choices=tuple(md["choices"]) if md["choices"] else None,
+                nargs=md["nargs"], action=md["action"],
+                metavar=md["metavar"], commands=md["commands"],
+                tunable=md["tunable"],
+                command_defaults=md["command_defaults"]))
+    return specs
+
+
+def tunable_fields() -> list[FieldSpec]:
+    """The autotuner axes (fields declared ``tunable=True``)."""
+    return [s for s in field_specs() if s.tunable]
+
+
+def _check_schema_consistency() -> None:
+    """Field names and flags must be globally unique: argparse dests are
+    derived from field names, so a collision would silently alias two
+    knobs."""
+    names: dict[str, str] = {}
+    flags: dict[str, str] = {}
+    for spec in field_specs():
+        if spec.name in names:
+            raise AssertionError(
+                f"config field name {spec.name!r} appears in both "
+                f"{names[spec.name]} and {spec.section}")
+        names[spec.name] = spec.section
+        if spec.flag is not None:
+            if spec.flag in flags:
+                raise AssertionError(
+                    f"config flag {spec.flag!r} declared twice "
+                    f"({flags[spec.flag]} and {spec.path})")
+            flags[spec.flag] = spec.path
+            expect = "--" + spec.name.replace("_", "-")
+            if spec.flag != expect:
+                raise AssertionError(
+                    f"config flag {spec.flag!r} must be spelled "
+                    f"{expect!r} so the argparse dest round-trips")
+
+
+_check_schema_consistency()
+
+_SPEC_BY_PATH = {s.path: s for s in field_specs()}
+
+
+def _coerce(spec: FieldSpec, value):
+    """Coerce a JSON-decoded value back to the field's python type."""
+    if value is None:
+        return None
+    try:
+        if spec.kind == "int":
+            return int(value)
+        if spec.kind == "float":
+            return float(value)
+        if spec.kind == "bool":
+            return bool(value)
+        if spec.kind == "str":
+            value = str(value)
+            if spec.choices and value not in spec.choices:
+                raise ValueError(
+                    f"{spec.path} must be one of {spec.choices}, "
+                    f"got {value!r}")
+            return value
+        if spec.kind == "int3":
+            out = tuple(int(v) for v in value)
+            if len(out) != 3:
+                raise ValueError(
+                    f"{spec.path} needs exactly 3 ints, got {value!r}")
+            return out
+        if spec.kind == "strlist":
+            return [str(v) for v in value]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"bad value for config field {spec.path}: {exc}") from exc
+    raise AssertionError(f"unknown kind {spec.kind!r} for {spec.path}")
+
+
+@dataclass
+class RunConfig:
+    """The resolved configuration of one run, with provenance.
+
+    Build one through :func:`repro.config.resolve_run_config` (layered
+    resolution) rather than by hand; hand-built instances carry
+    ``"default"`` provenance on every field.
+    """
+
+    model: ModelSection = field(default_factory=ModelSection)
+    kernel: KernelSection = field(default_factory=KernelSection)
+    parallel: ParallelSection = field(default_factory=ParallelSection)
+    robust: RobustSection = field(default_factory=RobustSection)
+    obs: ObsSection = field(default_factory=ObsSection)
+    serve: ServeSection = field(default_factory=ServeSection)
+    schema: int = CONFIG_SCHEMA
+    #: ``"section.field" -> layer`` for every field (see :data:`LAYERS`).
+    provenance: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for spec in field_specs():
+            self.provenance.setdefault(spec.path, "default")
+
+    # ------------------------------------------------------------ access
+    def get(self, path: str):
+        """Read a field by dotted path (``"kernel.layout"``)."""
+        section, name = path.split(".", 1)
+        return getattr(getattr(self, section), name)
+
+    def set(self, path: str, value, layer: str = "cli") -> None:
+        """Set one field, recording which layer set it."""
+        if layer not in LAYERS:
+            raise ValueError(f"unknown config layer {layer!r}; "
+                             f"expected one of {LAYERS}")
+        spec = _SPEC_BY_PATH.get(path)
+        if spec is None:
+            raise KeyError(f"unknown config field {path!r}")
+        section, name = path.split(".", 1)
+        setattr(getattr(self, section), name, _coerce(spec, value))
+        self.provenance[path] = layer
+
+    def apply(self, partial: dict, layer: str) -> "RunConfig":
+        """Apply a nested partial mapping ``{section: {field: value}}``.
+
+        Unknown sections/fields warn (:class:`ConfigWarning`) and are
+        skipped — a config written by a newer schema still applies its
+        known fields.  Returns ``self`` for chaining.
+        """
+        for section, values in (partial or {}).items():
+            if section in ("schema", "provenance"):
+                continue
+            if section not in SECTIONS:
+                warnings.warn(
+                    f"ignoring unknown config section {section!r} "
+                    f"(written by a newer schema?)", ConfigWarning,
+                    stacklevel=2)
+                continue
+            if not isinstance(values, dict):
+                raise ValueError(
+                    f"config section {section!r} must be a mapping, "
+                    f"got {type(values).__name__}")
+            for name, value in values.items():
+                path = f"{section}.{name}"
+                if path not in _SPEC_BY_PATH:
+                    warnings.warn(
+                        f"ignoring unknown config field {path!r} "
+                        f"(written by a newer schema?)", ConfigWarning,
+                        stacklevel=2)
+                    continue
+                self.set(path, value, layer)
+        return self
+
+    # ----------------------------------------------------- serialization
+    def to_dict(self, provenance: bool = False) -> dict:
+        """A plain nested dict (JSON-safe; tuples become lists)."""
+        out = {"schema": self.schema}
+        for section in SECTIONS:
+            block = {}
+            for f in dataclasses.fields(SECTIONS[section]):
+                value = getattr(getattr(self, section), f.name)
+                if isinstance(value, tuple):
+                    value = list(value)
+                block[f.name] = value
+            out[section] = block
+        if provenance:
+            out["provenance"] = dict(sorted(self.provenance.items()))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Rebuild from :meth:`to_dict` output (round-trip stable).
+
+        Unknown keys warn instead of failing; a saved ``provenance``
+        block is restored verbatim for known fields.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"config must be a dict, got {type(data).__name__}")
+        schema = data.get("schema", CONFIG_SCHEMA)
+        if schema > CONFIG_SCHEMA:
+            warnings.warn(
+                f"config schema {schema} is newer than supported "
+                f"{CONFIG_SCHEMA}; unknown fields will be ignored",
+                ConfigWarning, stacklevel=2)
+        config = cls()
+        config.apply({k: v for k, v in data.items()
+                      if k not in ("schema", "provenance")}, layer="file")
+        saved = data.get("provenance")
+        if saved:
+            for path, layer in saved.items():
+                if path in config.provenance and layer in LAYERS:
+                    config.provenance[path] = layer
+        else:
+            # A bare value dump carries no layer info; everything it
+            # set is attributed to the file layer (done above), and
+            # untouched fields stay "default".
+            pass
+        return config
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys — byte-stable round trips)."""
+        return json.dumps(self.to_dict(provenance=True), indent=2,
+                          sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        return cls.from_dict(json.loads(text))
+
+    def copy(self) -> "RunConfig":
+        """An independent deep copy (provenance preserved)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConfigWarning)
+            return type(self).from_dict(self.to_dict(provenance=True))
+
+    # ----------------------------------------------------------- display
+    def describe(self, only_non_default: bool = True) -> str:
+        """Human-readable ``field = value  (layer)`` listing."""
+        lines = []
+        for spec in field_specs():
+            layer = self.provenance.get(spec.path, "default")
+            if only_non_default and layer == "default":
+                continue
+            lines.append(f"{spec.path} = {self.get(spec.path)!r}  "
+                         f"({layer})")
+        return "\n".join(lines) if lines else "(all defaults)"

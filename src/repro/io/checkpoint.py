@@ -217,6 +217,11 @@ def checkpoint_payload(sim: Simulation) -> tuple[dict, dict]:
         "n_neighbor_builds": sim.stats.n_neighbor_builds,
         "threads": sim.engine.n_threads if sim.engine is not None else 1,
     }
+    # Persist the resolved config spine so --restart reproduces the
+    # run's threads/layout/chunk/guard settings without re-specifying
+    # flags (the resolver's "checkpoint" layer reads this back).
+    if getattr(sim, "config", None) is not None:
+        meta["config"] = sim.config.to_dict(provenance=True)
     return arrays, meta
 
 
@@ -284,7 +289,8 @@ def load_shard_checkpoint(path: str, validate: bool = True) -> dict:
 
 def restart_simulation(path: str, forcefield, thermostat=None,
                        threads: int | None = None, engine=None,
-                       dt_fs: float | None = None) -> Simulation:
+                       dt_fs: float | None = None,
+                       config=None) -> Simulation:
     """Rebuild a :class:`Simulation` from a checkpoint.
 
     The force field (model) is supplied by the caller — checkpoints
@@ -300,9 +306,18 @@ def restart_simulation(path: str, forcefield, thermostat=None,
     checkpointed thread count is restored.  ``dt_fs`` overrides the
     checkpointed timestep (used by the recovery driver's
     timestep-halving policy).
+
+    ``config`` attaches a resolved :class:`repro.config.RunConfig` to
+    the restarted simulation; when omitted, the config persisted inside
+    the checkpoint (format >= 2 with a config spine) is rebuilt so the
+    restarted run keeps carrying — and re-persisting — its settings.
     """
     state = load_checkpoint(path)
     meta = state["meta"]
+    if config is None and isinstance(meta.get("config"), dict):
+        from ..config import RunConfig
+
+        config = RunConfig.from_dict(meta["config"])
     # per-type masses: recover the unique per-type values
     types = state["types"]
     masses_per_type = np.zeros(int(types.max()) + 1)
@@ -327,6 +342,7 @@ def restart_simulation(path: str, forcefield, thermostat=None,
         threads=1 if threads is None else int(threads),
         engine=engine,
         velocities=state["velocities"],
+        config=config,
         defer_init=True,
     )
     sim.step = meta["step"]

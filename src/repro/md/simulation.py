@@ -173,9 +173,15 @@ class Simulation:
                  rebuild_every: int = PAPER_REBUILD_EVERY, seed: int = 0,
                  thermostat=None, threads: int = 1, engine=None,
                  monitor=None, injector=None, tracer=None, metrics=None,
-                 flight=None, velocities=None, defer_init: bool = False):
+                 flight=None, velocities=None, config=None,
+                 defer_init: bool = False):
         from ..obs.flight import ensure_flight
 
+        #: Optional resolved :class:`repro.config.RunConfig` this run
+        #: was built from.  Carried so checkpoints persist it (restart
+        #: reproduces threads/layout/chunk/guard settings) and run
+        #: reports can show the resolved values with layer provenance.
+        self.config = config
         self.box = box
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics

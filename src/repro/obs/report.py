@@ -113,6 +113,11 @@ def build_run_report(kind: str, *, config=None, timer=None, tracer=None,
     host:
         Override the host block (tests); defaults to :func:`host_info`.
     """
+    if config is not None and hasattr(config, "to_dict"):
+        # A resolved repro.config.RunConfig — serialize it with layer
+        # provenance so the report records *why* each knob held its
+        # value, not just what it was.
+        config = config.to_dict(provenance=True)
     if timer is None and tracer is not None:
         timer = getattr(tracer, "timer", None)
     if metrics is None:
@@ -184,9 +189,31 @@ def render_markdown(report: dict) -> str:
                      f"({flight['dropped']} dropped, "
                      f"{flight['thermo_rows']} thermo rows retained)")
     if report["config"]:
+        cfg = report["config"]
         lines += ["", "## Config", ""]
-        for key in sorted(report["config"]):
-            lines.append(f"- `{key}` = `{report['config'][key]}`")
+        prov = cfg.get("provenance")
+        if isinstance(prov, dict):
+            # A config-spine block: nested sections plus per-field layer
+            # provenance.  Render one line per field with the layer that
+            # set it; run-derived facts follow under "Runtime".
+            for section in sorted(cfg):
+                block = cfg[section]
+                if section in ("schema", "provenance", "runtime") \
+                        or not isinstance(block, dict):
+                    continue
+                for name in sorted(block):
+                    path = f"{section}.{name}"
+                    layer = prov.get(path, "default")
+                    lines.append(f"- `{path}` = `{block[name]}`  "
+                                 f"({layer})")
+            runtime = cfg.get("runtime")
+            if isinstance(runtime, dict) and runtime:
+                lines += ["", "## Runtime", ""]
+                for key in sorted(runtime):
+                    lines.append(f"- `{key}` = `{runtime[key]}`")
+        else:
+            for key in sorted(cfg):
+                lines.append(f"- `{key}` = `{cfg[key]}`")
     if report["phases"]:
         lines += ["", "## Phase shares", "",
                   "| phase | share | seconds | calls |",

@@ -504,11 +504,11 @@ def run_distributed_md(
     velocities: np.ndarray | None = None,
     thermo_every: int = PAPER_REBUILD_EVERY,
     injector=None,
-    threads_per_rank: int = 1,
+    threads_per_rank: int | None = None,
     checkpoint_dir=None,
-    checkpoint_every: int = 0,
-    keep_last: int = 3,
-    max_rank_restarts: int = 2,
+    checkpoint_every: int | None = None,
+    keep_last: int | None = None,
+    max_rank_restarts: int | None = None,
     tracer=None,
     metrics=None,
     heartbeat_timeout: float | None = None,
@@ -516,6 +516,7 @@ def run_distributed_md(
     shard_timeout: float | None = None,
     write_deadline: float | None = None,
     flight=None,
+    config=None,
 ) -> DistributedMDResult:
     """Drive a complete distributed MD run and gather the results.
 
@@ -583,7 +584,40 @@ def run_distributed_md(
     (restart budget exhausted, or a
     :class:`~repro.robust.errors.DeadlineExceededError`) dumps the
     recorder — into ``checkpoint_dir`` when one is configured.
+
+    ``config`` (a resolved :class:`repro.config.RunConfig`) fills every
+    robustness/parallel knob an explicit keyword leaves at ``None`` —
+    threads per rank, checkpoint cadence/dir/rotation, rank-restart
+    budget, and the four deadline knobs.  Explicit keywords always win,
+    so existing callers are unaffected.
     """
+    if config is not None:
+        robust = config.robust
+        if threads_per_rank is None:
+            threads_per_rank = config.parallel.threads
+        if checkpoint_every is None:
+            checkpoint_every = robust.checkpoint_every
+        if checkpoint_dir is None and checkpoint_every:
+            checkpoint_dir = robust.checkpoint_dir
+        if keep_last is None:
+            keep_last = robust.keep_last
+        if max_rank_restarts is None:
+            max_rank_restarts = config.parallel.max_rank_restarts
+        if heartbeat_timeout is None:
+            heartbeat_timeout = robust.heartbeat_timeout
+        if deadline is None:
+            deadline = robust.deadline
+        if shard_timeout is None:
+            shard_timeout = robust.shard_timeout
+        if write_deadline is None:
+            write_deadline = robust.write_deadline
+    threads_per_rank = 1 if threads_per_rank is None \
+        else int(threads_per_rank)
+    checkpoint_every = 0 if checkpoint_every is None \
+        else int(checkpoint_every)
+    keep_last = 3 if keep_last is None else int(keep_last)
+    max_rank_restarts = 2 if max_rank_restarts is None \
+        else int(max_rank_restarts)
     grid = DomainGrid(box, grid_dims)
     if grid.n_ranks != n_ranks:
         raise ValueError("grid dims inconsistent with rank count")

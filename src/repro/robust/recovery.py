@@ -40,6 +40,7 @@ from ..io.checkpoint import restart_simulation
 from ..md.simulation import PAPER_PROTOCOL_STEPS, PAPER_REBUILD_EVERY
 from .checkpoints import CheckpointManager
 from .deadline import (
+    DEFAULT_LADDER,
     Deadline,
     EscalationLadder,
     FailureReport,
@@ -102,11 +103,11 @@ class RecoveryReport:
 
 def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
                       manager: CheckpointManager,
-                      checkpoint_every: int = 10,
+                      checkpoint_every: int | None = None,
                       thermo_every: int = PAPER_REBUILD_EVERY,
                       policy: RecoveryPolicy | None = None,
                       monitor: HealthMonitor | None = None,
-                      deadline=None, sleep=time.sleep):
+                      deadline=None, sleep=time.sleep, config=None):
     """Advance ``sim`` by ``n_steps`` with checkpointed rollback-retry.
 
     Returns ``(sim, report)`` — rollback replaces the Simulation object
@@ -119,7 +120,26 @@ def run_with_recovery(sim, n_steps: int = PAPER_PROTOCOL_STEPS, *,
     :class:`~repro.robust.errors.DeadlineExceededError` is *not* a
     health error, so it propagates instead of burning retries.
     ``sleep`` is injectable so tests can run backoff without waiting.
+
+    ``config`` (a resolved :class:`repro.config.RunConfig`) fills every
+    knob an explicit keyword leaves unset: ``checkpoint_every`` (its
+    ``robust.checkpoint_every``, 10 when that is 0 — a rollback target
+    must exist), ``deadline``, and a :class:`RecoveryPolicy` built from
+    ``robust.max_retries`` / ``robust.halve_dt`` / ``robust.escalate``.
+    Explicit keywords always win.
     """
+    if config is not None:
+        if checkpoint_every is None:
+            checkpoint_every = config.robust.checkpoint_every or 10
+        if deadline is None:
+            deadline = config.robust.deadline
+        if policy is None:
+            policy = RecoveryPolicy(
+                max_retries=config.robust.max_retries,
+                halve_dt=config.robust.halve_dt,
+                ladder=DEFAULT_LADDER if config.robust.escalate else None)
+    if checkpoint_every is None:
+        checkpoint_every = 10
     policy = policy or RecoveryPolicy()
     deadline = Deadline.of(deadline)
     ladder = EscalationLadder(policy.ladder) if policy.ladder else None

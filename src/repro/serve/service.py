@@ -154,6 +154,36 @@ class EvalService:
         for name, c in (committees or {}).items():
             self.register_committee(name, c)
 
+    @classmethod
+    def from_config(cls, model, config, *, metrics=None, injector=None,
+                    tracer=None, **kwargs):
+        """Build a service from a resolved :class:`repro.config.RunConfig`.
+
+        Maps the config spine onto the service surface: the ``serve``
+        section sizes the queue (``capacity``/``max_batch``),
+        ``robust.deadline`` becomes the per-job default budget, and
+        ``parallel.threads > 1`` builds a
+        :class:`~repro.parallel.engine.ThreadedEngine` (with
+        ``robust.shard_timeout`` applied when set).  Further keyword
+        arguments pass through to the constructor.
+        """
+        engine = None
+        if config.parallel.threads > 1:
+            from ..parallel import ThreadedEngine
+
+            engine = ThreadedEngine(config.parallel.threads)
+            if config.robust.shard_timeout is not None:
+                engine.shard_timeout = config.robust.shard_timeout
+        return cls(model,
+                   capacity=config.serve.capacity,
+                   max_batch=config.serve.max_batch,
+                   engine=engine,
+                   metrics=metrics,
+                   default_deadline=config.robust.deadline,
+                   injector=injector,
+                   tracer=tracer,
+                   **kwargs)
+
     # ---------------------------------------------------------- registration
     def register_model(self, name: str, model) -> None:
         """Register ``model`` under ``name``; resolves its backend and

@@ -14,6 +14,24 @@ from repro.core import CompressedDPModel, DPModel, ModelSpec
 from repro.md import Box, NeighborSearch, copper_system, water_system
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_tuned_cache(tmp_path_factory):
+    """Pin the tuned-config cache to a fresh directory for the whole
+    session: a developer's real ``~/.cache/repro/tuned`` must never leak
+    a tuned layer into test resolution (and tests that write tuned
+    configs must not pollute the real cache)."""
+    import os
+
+    old = os.environ.get("REPRO_TUNED_DIR")
+    os.environ["REPRO_TUNED_DIR"] = str(
+        tmp_path_factory.mktemp("tuned-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TUNED_DIR", None)
+    else:
+        os.environ["REPRO_TUNED_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def cu_spec() -> ModelSpec:
     """Laptop-scale single-type spec (copper-like)."""

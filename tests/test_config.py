@@ -1,0 +1,448 @@
+"""The config spine: schema, round-trips, layering, and the tuned cache.
+
+Property-based coverage (hypothesis) of the serialization contract —
+``to_dict``/``from_dict``/JSON must be bitwise-stable and provenance-
+preserving for *any* valid partial at *any* layer — plus directed tests
+of the precedence ladder, the restart whitelist, the tuned-config cache
+degradation rules, and the schema<->CLI drift check.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CONFIG_SCHEMA,
+    LAYERS,
+    SECTIONS,
+    ConfigWarning,
+    RunConfig,
+    check_cli_schema_drift,
+    checkpoint_layer_fields,
+    field_specs,
+    host_key,
+    host_layer,
+    load_tuned,
+    overrides_from_args,
+    resolve_run_config,
+    save_tuned,
+    tunable_fields,
+    tuned_path,
+)
+
+SPECS = field_specs()
+SPEC_BY_PATH = {s.path: s for s in SPECS}
+
+
+# --------------------------------------------------------------- strategies
+
+def value_strategy(spec):
+    """A strategy of valid values for one field (never the None sentinel,
+    so applying the value always marks the field's provenance)."""
+    if spec.kind == "int":
+        return st.integers(0, 9999)
+    if spec.kind == "float":
+        return st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+    if spec.kind == "bool":
+        return st.booleans()
+    if spec.kind == "str":
+        if spec.choices:
+            return st.sampled_from(spec.choices)
+        return st.text(alphabet="abcdefgh-_/.", min_size=1, max_size=12)
+    if spec.kind == "int3":
+        return st.tuples(st.integers(1, 6), st.integers(1, 6),
+                         st.integers(1, 6))
+    if spec.kind == "strlist":
+        return st.lists(st.text(alphabet="abcnan@:", min_size=1,
+                                max_size=8), min_size=1, max_size=3)
+    raise AssertionError(f"unhandled kind {spec.kind!r}")
+
+
+@st.composite
+def partial_configs(draw):
+    """A random valid nested partial: {section: {field: value}}."""
+    chosen = draw(st.lists(st.sampled_from(SPECS), max_size=10,
+                           unique_by=lambda s: s.path))
+    partial: dict = {}
+    for spec in chosen:
+        value = draw(value_strategy(spec))
+        partial.setdefault(spec.section, {})[spec.name] = value
+    return partial
+
+
+# ----------------------------------------------------- round-trip properties
+
+class TestRoundTripProperties:
+
+    @given(partial_configs(), st.sampled_from(LAYERS))
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip_is_stable(self, partial, layer):
+        cfg = RunConfig().apply(partial, layer)
+        dumped = cfg.to_dict(provenance=True)
+        rebuilt = RunConfig.from_dict(dumped)
+        assert rebuilt.to_dict(provenance=True) == dumped
+
+    @given(partial_configs(), st.sampled_from(LAYERS))
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_is_byte_stable(self, partial, layer):
+        cfg = RunConfig().apply(partial, layer)
+        text = cfg.to_json()
+        assert RunConfig.from_json(text).to_json() == text
+
+    @given(partial_configs(), st.sampled_from(LAYERS))
+    @settings(max_examples=60, deadline=None)
+    def test_provenance_survives_round_trip(self, partial, layer):
+        cfg = RunConfig().apply(partial, layer)
+        rebuilt = RunConfig.from_dict(cfg.to_dict(provenance=True))
+        for section, block in partial.items():
+            for name in block:
+                assert rebuilt.provenance[f"{section}.{name}"] == layer
+        # Untouched fields stay at the default layer.
+        touched = {f"{s}.{n}" for s, b in partial.items() for n in b}
+        for spec in SPECS:
+            if spec.path not in touched:
+                assert rebuilt.provenance[spec.path] == "default"
+
+    @given(partial_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_is_independent(self, partial):
+        cfg = RunConfig().apply(partial, "file")
+        before = cfg.to_dict(provenance=True)
+        dup = cfg.copy()
+        assert dup.to_dict(provenance=True) == before
+        dup.set("parallel.threads", cfg.parallel.threads + 1, "cli")
+        assert dup.parallel.threads == cfg.parallel.threads + 1
+        assert cfg.to_dict(provenance=True) == before
+
+    @given(partial_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_applied_values_read_back(self, partial):
+        cfg = RunConfig().apply(partial, "cli")
+        for section, block in partial.items():
+            for name, value in block.items():
+                got = cfg.get(f"{section}.{name}")
+                spec = SPEC_BY_PATH[f"{section}.{name}"]
+                if spec.kind == "int3":
+                    assert got == tuple(value)
+                else:
+                    assert got == value
+
+
+# --------------------------------------------------- forward compatibility
+
+class TestForwardCompatibility:
+
+    def test_unknown_section_warns_and_is_skipped(self):
+        with pytest.warns(ConfigWarning, match="unknown config section"):
+            cfg = RunConfig().apply(
+                {"quantum": {"qubits": 3},
+                 "kernel": {"layout": "soa"}}, "file")
+        assert cfg.kernel.layout == "soa"
+
+    def test_unknown_field_warns_and_is_skipped(self):
+        with pytest.warns(ConfigWarning, match="unknown config field"):
+            cfg = RunConfig().apply(
+                {"kernel": {"warp_speed": 9, "kernel_chunk": 128}}, "file")
+        assert cfg.kernel.kernel_chunk == 128
+
+    def test_newer_schema_warns_but_loads(self):
+        data = RunConfig().to_dict()
+        data["schema"] = CONFIG_SCHEMA + 1
+        with pytest.warns(ConfigWarning, match="newer than supported"):
+            RunConfig.from_dict(data)
+
+    def test_bogus_provenance_layers_are_dropped(self):
+        # An invented layer name in a saved provenance block is ignored;
+        # the field keeps the 'file' attribution its value arrived with.
+        data = RunConfig().to_dict(provenance=True)
+        data["provenance"]["parallel.threads"] = "astrology"
+        assert RunConfig.from_dict(data).provenance[
+            "parallel.threads"] == "file"
+
+
+# --------------------------------------------------------------- validation
+
+class TestValidation:
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(KeyError, match="unknown config field"):
+            RunConfig().set("kernel.nope", 1)
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(ValueError, match="unknown config layer"):
+            RunConfig().set("parallel.threads", 2, layer="vibes")
+
+    def test_bad_choice_raises(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            RunConfig().set("kernel.layout", "zigzag")
+
+    def test_bad_int3_raises(self):
+        with pytest.raises(ValueError, match="exactly 3 ints"):
+            RunConfig().set("model.cells", (1, 2))
+
+    def test_uncoercible_int_raises(self):
+        with pytest.raises(ValueError, match="bad value"):
+            RunConfig().set("parallel.threads", "many")
+
+    def test_non_mapping_section_raises(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            RunConfig().apply({"kernel": ["soa"]}, "file")
+
+    def test_schema_has_no_duplicate_names_or_flags(self):
+        names = [s.name for s in SPECS]
+        flags = [s.flag for s in SPECS if s.flag]
+        assert len(names) == len(set(names))
+        assert len(flags) == len(set(flags))
+
+    def test_every_tunable_field_has_a_flag(self):
+        assert tunable_fields()
+        for spec in tunable_fields():
+            assert spec.flag is not None
+
+
+# ----------------------------------------------------------------- layering
+
+class TestLayering:
+
+    def test_higher_layer_wins_and_provenance_tracks(self):
+        cfg = RunConfig()
+        cfg.apply({"kernel": {"kernel_chunk": 100}}, "host")
+        cfg.apply({"kernel": {"kernel_chunk": 200}}, "tuned")
+        assert cfg.kernel.kernel_chunk == 200
+        assert cfg.provenance["kernel.kernel_chunk"] == "tuned"
+        cfg.apply({"kernel": {"kernel_chunk": 300}}, "cli")
+        assert cfg.kernel.kernel_chunk == 300
+        assert cfg.provenance["kernel.kernel_chunk"] == "cli"
+
+    def test_resolve_defaults_are_hermetic_without_host_and_tuned(self):
+        cfg = resolve_run_config("run", use_host=False, use_tuned=False)
+        assert cfg.to_dict() == RunConfig().to_dict()
+
+    def test_host_layer_sets_kernel_chunk(self):
+        cfg = resolve_run_config("run", use_tuned=False)
+        assert cfg.kernel.kernel_chunk == \
+            host_layer()["kernel"]["kernel_chunk"]
+        assert cfg.provenance["kernel.kernel_chunk"] == "host"
+
+    def test_command_defaults_stay_on_default_layer(self):
+        run = resolve_run_config("run", use_tuned=False)
+        serve = resolve_run_config("serve", use_tuned=False)
+        assert run.model.interval == 0.01
+        assert serve.model.interval == 0.05
+        assert serve.provenance["model.interval"] == "default"
+
+    def test_cli_overrides_file_layer(self, tmp_path):
+        path = tmp_path / "user.json"
+        path.write_text(json.dumps(
+            {"parallel": {"threads": 4}, "model": {"steps": 7}}))
+        cfg = resolve_run_config(
+            "run", config_file=str(path), use_tuned=False,
+            overrides={"parallel": {"threads": 2}})
+        assert cfg.parallel.threads == 2
+        assert cfg.provenance["parallel.threads"] == "cli"
+        assert cfg.model.steps == 7
+        assert cfg.provenance["model.steps"] == "file"
+
+
+# -------------------------------------------------------------- tuned cache
+
+class TestTunedCache:
+
+    def test_save_load_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        partial = {"kernel": {"kernel_chunk": 512, "layout": "soa"},
+                   "robust": {"guard_every": 5}}
+        save_tuned("copper", partial, bench={"speedup": 1.1})
+        assert load_tuned("copper") == partial
+        payload = json.loads(open(tuned_path("copper")).read())
+        assert payload["schema"] == CONFIG_SCHEMA
+        assert payload["host_key"] == host_key()
+        assert payload["bench"] == {"speedup": 1.1}
+
+    def test_resolution_picks_up_tuned_layer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        save_tuned("copper", {"kernel": {"kernel_chunk": 640}})
+        cfg = resolve_run_config("run")
+        assert cfg.kernel.kernel_chunk == 640
+        assert cfg.provenance["kernel.kernel_chunk"] == "tuned"
+        # An explicit override still wins.
+        cfg = resolve_run_config(
+            "run", overrides={"kernel": {"kernel_chunk": 128}})
+        assert cfg.kernel.kernel_chunk == 128
+        assert cfg.provenance["kernel.kernel_chunk"] == "cli"
+
+    def test_workload_scouting_uses_higher_layers(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        save_tuned("water", {"robust": {"guard_every": 25}})
+        cfg = resolve_run_config(
+            "run", overrides={"model": {"system": "water"}})
+        assert cfg.robust.guard_every == 25
+        assert cfg.provenance["robust.guard_every"] == "tuned"
+        # The copper default finds no cache and keeps the default.
+        cfg = resolve_run_config("run")
+        assert cfg.provenance["robust.guard_every"] == "default"
+
+    def test_invalid_partial_is_rejected_before_write(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        with pytest.raises(ValueError):
+            save_tuned("copper", {"kernel": {"layout": "zigzag"}})
+        assert load_tuned("copper") is None
+
+    def test_host_mismatch_degrades_with_warning(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        other = "cpu64-l2_32768k-sparc"
+        save_tuned("copper", {"parallel": {"threads": 8}}, host=other)
+        # The cache was keyed to the other host's filename; this host
+        # sees no file at all.
+        assert load_tuned("copper") is None
+        # A cache copied under this host's filename but carrying the
+        # foreign host_key is refused with a warning, not applied.
+        payload = json.loads(open(tuned_path("copper", host=other)).read())
+        open(tuned_path("copper"), "w").write(json.dumps(payload))
+        with pytest.warns(ConfigWarning, match="host key"):
+            assert load_tuned("copper") is None
+
+    def test_corrupt_cache_degrades_with_warning(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        save_tuned("copper", {"parallel": {"threads": 2}})
+        open(tuned_path("copper"), "w").write("{definitely not json")
+        with pytest.warns(ConfigWarning, match="unreadable"):
+            assert load_tuned("copper") is None
+        # Resolution survives the broken cache too.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConfigWarning)
+            cfg = resolve_run_config("run")
+        assert cfg.parallel.threads == 1
+
+    def test_malformed_payload_degrades_with_warning(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        save_tuned("copper", {"parallel": {"threads": 2}})
+        path = tuned_path("copper")
+        payload = json.loads(open(path).read())
+        payload["config"] = "threads=2"
+        open(path, "w").write(json.dumps(payload))
+        with pytest.warns(ConfigWarning, match="malformed"):
+            assert load_tuned("copper") is None
+
+    def test_missing_cache_is_silent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_tuned("copper") is None
+
+    def test_host_key_shape(self):
+        key = host_key()
+        assert key.startswith("cpu")
+        assert "-l2_" in key
+        assert len(key.split("-")) >= 3
+
+
+# --------------------------------------------------------- checkpoint layer
+
+class TestCheckpointLayer:
+
+    def test_whitelisted_fields_apply(self):
+        persisted = RunConfig().apply(
+            {"parallel": {"threads": 3},
+             "kernel": {"layout": "soa", "kernel_chunk": 256},
+             "robust": {"guard_every": 5}}, "cli").to_dict()
+        cfg = resolve_run_config("run", checkpoint=persisted,
+                                 use_host=False, use_tuned=False)
+        assert cfg.parallel.threads == 3
+        assert cfg.kernel.layout == "soa"
+        assert cfg.robust.guard_every == 5
+        for path in ("parallel.threads", "kernel.layout",
+                     "kernel.kernel_chunk", "robust.guard_every"):
+            assert cfg.provenance[path] == "checkpoint"
+
+    def test_non_whitelisted_fields_never_resurrect(self):
+        persisted = RunConfig().apply(
+            {"model": {"steps": 5},
+             "robust": {"inject_fault": ["nan@10"],
+                        "chaos_profile": "storm"},
+             "obs": {"trace": "old.json"},
+             "parallel": {"ranks": "2x1x1"}}, "cli").to_dict()
+        cfg = resolve_run_config("run", checkpoint=persisted,
+                                 use_host=False, use_tuned=False)
+        # The old run's step count, faults, chaos, sinks, and rank grid
+        # must not silently re-arm on restart.
+        assert cfg.model.steps == 99
+        assert cfg.robust.inject_fault is None
+        assert cfg.robust.chaos_profile is None
+        assert cfg.obs.trace is None
+        assert cfg.parallel.ranks is None
+
+    def test_cli_still_overrides_checkpoint(self):
+        persisted = RunConfig().apply(
+            {"parallel": {"threads": 3}}, "cli").to_dict()
+        cfg = resolve_run_config(
+            "run", checkpoint=persisted, use_host=False, use_tuned=False,
+            overrides={"parallel": {"threads": 1}})
+        assert cfg.parallel.threads == 1
+        assert cfg.provenance["parallel.threads"] == "cli"
+
+    def test_whitelist_paths_are_all_real_fields(self):
+        for path in checkpoint_layer_fields():
+            assert path in SPEC_BY_PATH
+        # And the dangerous ones are provably absent.
+        for path in ("model.steps", "robust.inject_fault",
+                     "robust.chaos_profile", "robust.restart",
+                     "parallel.ranks", "obs.trace", "obs.report"):
+            assert path not in checkpoint_layer_fields()
+
+
+# ------------------------------------------------------------ CLI generation
+
+class TestCliSchema:
+
+    def test_no_schema_cli_drift(self):
+        from repro.cli import build_parser
+
+        assert check_cli_schema_drift(build_parser) == []
+
+    def test_absent_flags_contribute_nothing(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run"])
+        assert overrides_from_args(args, "run") == {}
+
+    def test_explicit_flag_at_default_value_is_still_cli(self):
+        # `--threads 1` must shadow a tuned threads=2: the override dict
+        # carries it even though 1 equals the schema default.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--threads", "1"])
+        assert overrides_from_args(args, "run") == {
+            "parallel": {"threads": 1}}
+
+    def test_int3_and_append_flags_round_trip(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--cells", "4", "4", "4",
+             "--inject-fault", "nan@10", "--inject-fault", "stall@20"])
+        got = overrides_from_args(args, "run")
+        assert got["model"]["cells"] == (4, 4, 4)
+        assert got["robust"]["inject_fault"] == ["nan@10", "stall@20"]
+
+    def test_serve_only_flags_stay_off_run(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--jobs", "4"])
+        args = parser.parse_args(["serve", "--jobs", "4"])
+        assert overrides_from_args(args, "serve")["serve"]["jobs"] == 4
+
+    def test_sections_cover_every_spec(self):
+        assert {s.section for s in SPECS} == set(SECTIONS)

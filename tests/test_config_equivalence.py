@@ -1,0 +1,226 @@
+"""The config-spine equivalence gate.
+
+The spine is a *re-plumbing*, not a behavior change: a default-resolved
+:class:`~repro.config.RunConfig` must drive every driver — the serial
+run path, the distributed engine, and the evaluation service — to
+results bitwise identical (f64) to the pre-refactor explicit-kwargs
+call shapes.  Plus the checkpoint side of the contract: the resolved
+config rides inside checkpoints, restarts rebuild it, and the restart
+layer reproduces the original run's settings through the whitelist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import quick_simulation, simulation_from_config
+from repro.config import peek_checkpoint_config, resolve_run_config
+from repro.io.checkpoint import restart_simulation, save_checkpoint
+from repro.md import DPForceField, Simulation, copper_system
+from repro.md.velocity import maxwell_boltzmann
+from repro.parallel import run_distributed_md
+from repro.serve import EvalJob, EvalService
+from repro.units import MASS_AMU
+
+N_STEPS = 12
+THERMO_EVERY = 4
+
+
+def thermo_rows(log):
+    return [(t.step, t.potential_ev, t.kinetic_ev, t.temperature_k,
+             t.pressure_bar) for t in log]
+
+
+def assert_bitwise(sim_a, sim_b):
+    assert np.array_equal(sim_a.coords, sim_b.coords)
+    assert np.array_equal(sim_a.velocities, sim_b.velocities)
+    assert thermo_rows(sim_a.thermo_log) == thermo_rows(sim_b.thermo_log)
+
+
+# ------------------------------------------------------------------ run leg
+
+class TestRunLeg:
+
+    def test_config_constructed_run_matches_kwargs_run(self):
+        """simulation_from_config(default resolution) == the historical
+        quick_simulation kwargs call, bit for bit."""
+        kwargs_sim = quick_simulation("copper", n_cells=(3, 3, 3),
+                                      seed=0, threads=1, flight=False)
+        kwargs_sim.run(N_STEPS, thermo_every=THERMO_EVERY)
+
+        cfg = resolve_run_config("run", use_tuned=False)
+        config_sim = simulation_from_config(cfg, flight=False)
+        config_sim.run(N_STEPS, thermo_every=THERMO_EVERY)
+
+        assert_bitwise(config_sim, kwargs_sim)
+
+    def test_tuned_style_knobs_are_bitwise_neutral(self):
+        """A config carrying everything the autotuner may cache in f64
+        (layout / chunk / guard cadence) cannot move a single bit."""
+        cfg = resolve_run_config(
+            "run", use_tuned=False,
+            overrides={"kernel": {"layout": "soa", "kernel_chunk": 512},
+                       "robust": {"guard_every": 5}})
+        tuned_sim = simulation_from_config(cfg, flight=False)
+        tuned_sim.run(N_STEPS, thermo_every=THERMO_EVERY)
+
+        ref_sim = quick_simulation("copper", flight=False)
+        ref_sim.run(N_STEPS, thermo_every=THERMO_EVERY)
+
+        assert_bitwise(tuned_sim, ref_sim)
+
+
+# ---------------------------------------------------------- distributed leg
+
+@pytest.fixture(scope="module")
+def dist_system():
+    """256-atom jittered copper cell (subdomain > rcut + skin for a
+    2-rank split)."""
+    coords, types, box = copper_system((4, 4, 4))
+    rng = np.random.default_rng(9)
+    coords = box.wrap(coords + rng.standard_normal(coords.shape) * 0.05)
+    masses = np.array([MASS_AMU["Cu"]])
+    v0 = maxwell_boltzmann(masses[types], 330.0, 3)
+    return coords, types, box, masses, v0
+
+
+class TestDistributedLeg:
+
+    def test_config_fills_match_explicit_kwargs(self, dist_system,
+                                                cu_compressed):
+        coords, types, box, masses, v0 = dist_system
+        common = dict(dt_fs=1.0, n_steps=N_STEPS, rebuild_every=6,
+                      skin=1.0, sel=cu_compressed.spec.sel, velocities=v0,
+                      thermo_every=THERMO_EVERY)
+
+        explicit = run_distributed_md(
+            2, (2, 1, 1), coords, types, box, masses, cu_compressed,
+            threads_per_rank=2, **common)
+
+        cfg = resolve_run_config("run", use_tuned=False,
+                                 overrides={"parallel": {"threads": 2}})
+        via_config = run_distributed_md(
+            2, (2, 1, 1), coords, types, box, masses, cu_compressed,
+            config=cfg, **common)
+
+        assert np.array_equal(via_config.coords, explicit.coords)
+        assert np.array_equal(via_config.velocities, explicit.velocities)
+        assert thermo_rows(via_config.thermo) == thermo_rows(explicit.thermo)
+
+
+# ----------------------------------------------------------------- serve leg
+
+class TestServeLeg:
+
+    def test_from_config_matches_explicit_constructor(self, cu_compressed):
+        coords0, types, box = copper_system((2, 2, 2))
+        rng = np.random.default_rng(23)
+        members = [coords0 + rng.normal(0, 0.08, coords0.shape)
+                   for _ in range(5)]
+
+        def serve_all(service):
+            tickets = [service.submit(EvalJob(c, types, box),
+                                      client=f"c{i % 2}")
+                       for i, c in enumerate(members)]
+            service.drain()
+            for t in tickets:
+                assert t.status == "done", t.failure
+            return [(t.result.energy, t.result.forces, t.result.virial)
+                    for t in tickets]
+
+        explicit = serve_all(EvalService(cu_compressed, capacity=64,
+                                         max_batch=8))
+        cfg = resolve_run_config("serve", use_tuned=False)
+        via_config = serve_all(EvalService.from_config(cu_compressed, cfg))
+
+        for (e_a, f_a, v_a), (e_b, f_b, v_b) in zip(via_config, explicit):
+            assert e_a == e_b
+            assert np.array_equal(f_a, f_b)
+            assert np.array_equal(v_a, v_b)
+
+    def test_from_config_maps_queue_and_engine_shape(self, cu_compressed):
+        cfg = resolve_run_config(
+            "serve", use_tuned=False,
+            overrides={"serve": {"capacity": 7, "max_batch": 3},
+                       "parallel": {"threads": 2},
+                       "robust": {"deadline": 9.5}})
+        service = EvalService.from_config(cu_compressed, cfg)
+        try:
+            assert service.queue.capacity == 7
+            assert service.max_batch == 3
+            assert service.default_deadline == 9.5
+            assert service.engine is not None
+            assert service.engine.n_threads == 2
+        finally:
+            if service.engine is not None:
+                service.engine.close()
+
+
+# ------------------------------------------------------------ checkpoint leg
+
+class TestCheckpointLeg:
+
+    def test_checkpoint_persists_and_restart_reproduces_settings(
+            self, tmp_path):
+        cfg = resolve_run_config(
+            "run", use_tuned=False,
+            overrides={"kernel": {"layout": "soa", "kernel_chunk": 256},
+                       "parallel": {"threads": 2},
+                       "robust": {"guard_every": 5}})
+        sim = simulation_from_config(cfg, flight=False)
+        sim.run(4)
+        path = save_checkpoint(str(tmp_path / "ck"), sim)
+
+        # The persisted config is readable without loading the arrays.
+        persisted = peek_checkpoint_config(path)
+        assert persisted["kernel"]["layout"] == "soa"
+        assert persisted["parallel"]["threads"] == 2
+
+        # The resolver's checkpoint layer restores the whitelisted knobs
+        # with 'checkpoint' provenance.
+        restored = resolve_run_config("run", checkpoint=persisted,
+                                      use_host=False, use_tuned=False)
+        assert restored.kernel.layout == "soa"
+        assert restored.kernel.kernel_chunk == 256
+        assert restored.parallel.threads == 2
+        assert restored.robust.guard_every == 5
+        for p in ("kernel.layout", "kernel.kernel_chunk",
+                  "parallel.threads", "robust.guard_every"):
+            assert restored.provenance[p] == "checkpoint"
+
+        # restart_simulation rebuilds the config from the checkpoint and
+        # restores the thread shape without any flags.
+        sim2 = restart_simulation(path, sim.forcefield)
+        assert sim2.config is not None
+        assert sim2.config.kernel.layout == "soa"
+        assert sim2.engine is not None and sim2.engine.n_threads == 2
+
+        # ... and the restarted trajectory continues the original one
+        # bit for bit.
+        ref = simulation_from_config(cfg, flight=False)
+        ref.run(10)
+        sim2.run(6)
+        assert np.array_equal(sim2.coords, ref.coords)
+        assert np.array_equal(sim2.velocities, ref.velocities)
+
+    def test_pre_spine_checkpoint_has_no_config_layer(self, tmp_path,
+                                                      cu_compressed,
+                                                      cu_config):
+        """Checkpoints written by config-less simulations peek to None
+        and restart exactly as before the spine existed."""
+        coords, types, box = cu_config
+        masses = np.array([MASS_AMU["Cu"]])
+        sim = Simulation(coords, types, box, masses,
+                         DPForceField(cu_compressed), dt_fs=1.0,
+                         sel=cu_compressed.spec.sel, seed=1)
+        sim.run(2)
+        path = save_checkpoint(str(tmp_path / "old"), sim)
+        assert peek_checkpoint_config(path) is None
+        cfg = resolve_run_config("run", checkpoint=None, use_host=False,
+                                 use_tuned=False)
+        assert cfg.to_dict() == resolve_run_config(
+            "run", use_host=False, use_tuned=False).to_dict()
+        sim2 = restart_simulation(path, sim.forcefield)
+        assert sim2.config is None
+        assert sim2.step == sim.step

@@ -130,6 +130,24 @@ class TestEquivalenceMatrixF64:
         assert_equivalent(res.coords, res.velocities, res.thermo,
                           serial_run)
 
+    def test_config_constructed_hybrid_leg(self, protocol_system,
+                                           cu_compressed, serial_run):
+        """The same hybrid leg with the ranks x threads shape arriving
+        through a resolved RunConfig instead of explicit kwargs — the
+        config spine must be a pure re-plumbing of the matrix."""
+        from repro.config import resolve_run_config
+
+        cfg = resolve_run_config("run", use_tuned=False,
+                                 overrides={"parallel": {"threads": 2}})
+        coords, types, box, masses, v0 = protocol_system
+        res = run_distributed_md(
+            2, (2, 1, 1), coords, types, box, masses, cu_compressed,
+            dt_fs=DT_FS, n_steps=N_STEPS, rebuild_every=REBUILD_EVERY,
+            skin=SKIN, sel=cu_compressed.spec.sel, velocities=v0,
+            thermo_every=THERMO_EVERY, config=cfg)
+        assert_equivalent(res.coords, res.velocities, res.thermo,
+                          serial_run)
+
 
 @pytest.mark.slow
 class TestEquivalenceMatrixF32:

@@ -67,6 +67,54 @@ def _load(path: str) -> dict:
 # fresh-report regeneration
 # --------------------------------------------------------------------------
 
+def _argv_from_config(cfg: dict, out_path: str) -> list[str]:
+    """Reconstruct a ``repro.cli run`` argv from a report config block.
+
+    Handles both formats: the config-spine block (nested sections with
+    provenance, ``cfg["model"]`` is a dict) and the legacy flat block
+    (``cfg["model"]`` is ``"baseline"``/``"compressed"``).  Either way
+    the regenerated run gets ``--no-tuned``: the gate must measure the
+    committed baseline's exact knobs, not whatever tuned cache the host
+    happens to carry.
+    """
+    if isinstance(cfg.get("model"), dict):
+        model = cfg["model"]
+        kernel = cfg.get("kernel", {})
+        parallel = cfg.get("parallel", {})
+        argv = ["run",
+                "--system", str(model.get("system", "copper")),
+                "--steps", str(model.get("steps", 99)),
+                "--seed", str(model.get("seed", 0)),
+                "--threads", str(parallel.get("threads", 1)),
+                "--no-tuned",
+                "--report", out_path]
+        cells = model.get("cells")
+        if cells:
+            argv += ["--cells"] + [str(c) for c in cells]
+        if model.get("baseline"):
+            argv.append("--baseline")
+        if kernel.get("layout"):
+            argv += ["--layout", str(kernel["layout"])]
+        if kernel.get("kernel_chunk"):
+            argv += ["--kernel-chunk", str(kernel["kernel_chunk"])]
+        return argv
+    argv = ["run",
+            "--system", str(cfg.get("system", "copper")),
+            "--steps", str(cfg.get("steps", 99)),
+            "--seed", str(cfg.get("seed", 0)),
+            "--threads", str(cfg.get("threads", 1)),
+            "--no-tuned",
+            "--report", out_path]
+    cells = cfg.get("cells")
+    if cells:
+        argv += ["--cells"] + [str(c) for c in cells]
+    if cfg.get("model") == "baseline":
+        argv.append("--baseline")
+    if cfg.get("layout"):
+        argv += ["--layout", str(cfg["layout"])]
+    return argv
+
+
 def regenerate(baseline: dict, out_path: str) -> dict:
     """Re-run the baseline's workload and return the fresh report.
 
@@ -76,20 +124,7 @@ def regenerate(baseline: dict, out_path: str) -> dict:
     """
     from repro.cli import main as cli_main
 
-    cfg = baseline.get("config", {})
-    argv = ["run",
-            "--system", str(cfg.get("system", "copper")),
-            "--steps", str(cfg.get("steps", 99)),
-            "--seed", str(cfg.get("seed", 0)),
-            "--threads", str(cfg.get("threads", 1)),
-            "--report", out_path]
-    cells = cfg.get("cells")
-    if cells:
-        argv += ["--cells"] + [str(c) for c in cells]
-    if cfg.get("model") == "baseline":
-        argv.append("--baseline")
-    if cfg.get("layout"):
-        argv += ["--layout", str(cfg["layout"])]
+    argv = _argv_from_config(baseline.get("config", {}), out_path)
     print(f"regenerating fresh report: repro.cli {' '.join(argv)}")
     rc = cli_main(argv)
     if rc != 0:

@@ -131,6 +131,11 @@ def distributed_leg(seed: int) -> int:
     with tempfile.TemporaryDirectory(prefix="chaossoak-") as ckdir:
         sink = os.path.join(ckdir, "metrics.jsonl")
         with MetricsRegistry(sink) as metrics:
+            # Restart budget: on a loaded host a shard stall can outlast
+            # the peer heartbeat and burn a *world* restart on top of
+            # the engine-level quarantine, so the storm can need one
+            # re-spawn per stall plus one for the kill-rank — the
+            # default budget of 2 made this leg timing-flaky.
             storm = run_distributed_md(
                 2, (2, 1, 1), injector=schedule.injector(),
                 checkpoint_dir=os.path.join(ckdir, "shards"),
@@ -138,6 +143,7 @@ def distributed_leg(seed: int) -> int:
                 heartbeat_timeout=HEARTBEAT_TIMEOUT,
                 shard_timeout=SHARD_TIMEOUT,
                 write_deadline=WRITE_DEADLINE,
+                max_rank_restarts=4,
                 deadline=WALL_BUDGET, metrics=metrics, **common)
             metrics.write_summary()
             snap = metrics.snapshot(quantiles=True)

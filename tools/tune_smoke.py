@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Config-spine + autotuner smoke check (< 60 s).
+
+Drives the full tuned-config life cycle in an isolated cache directory
+(``REPRO_TUNED_DIR`` is pointed at a temp dir — the real user cache is
+never read or written):
+
+  1. a micro autotune sweep (``tools/autotune.py`` with a trimmed chunk
+     ladder) runs and caches a winning config for (copper, this host);
+  2. the cache file round-trips: ``load_tuned`` returns exactly the
+     winner the sweep saved, and a corrupted copy degrades to "no tuned
+     layer" with a warning instead of breaking resolution;
+  3. a subsequent ``repro.cli run --report`` resolves the tuned layer
+     automatically — the report's resolved-config block shows ``tuned``
+     provenance on the swept fields;
+  4. an explicit ``--kernel-chunk`` flag still overrides the tuned
+     value (``cli`` provenance beats ``tuned``);
+  5. the tuned config is bitwise-neutral in f64: a driver run under the
+     tuned config reproduces the default-config trajectory exactly
+     (layout/chunk/guard cadence are pure perf knobs).
+
+Usage::
+
+    PYTHONPATH=src python tools/tune_smoke.py
+
+Exit status is non-zero on any deviation.  Run as the ``tunesmoke``
+stage of ``make verify``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+N_STEPS = 10
+
+
+def fail(msg: str) -> int:
+    print(f"TUNE SMOKE FAILED: {msg}")
+    return 1
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_TUNED_DIR"] = os.path.join(tmp, "tuned")
+        # Import after the env pin so every resolver call in this
+        # process sees the isolated cache.
+        import autotune
+
+        from repro import quick_simulation
+        from repro.cli import main as cli_main
+        from repro.config import load_tuned, resolve_run_config, tuned_path
+
+        # 1. micro sweep -> cached winner ------------------------------
+        bench_path = os.path.join(tmp, "BENCH_autotune.json")
+        rc = autotune.main(["--steps", str(N_STEPS), "--repeats", "1",
+                            "--chunks", "256", "1024",
+                            "--guard-every", "1", "5",
+                            "--out", bench_path])
+        if rc != 0:
+            return fail(f"autotune exited {rc}")
+        with open(bench_path) as fh:
+            bench = json.load(fh)
+        cache_file = tuned_path("copper")
+        if not os.path.exists(cache_file):
+            return fail(f"autotune did not write {cache_file}")
+        if not os.path.exists(os.path.splitext(bench_path)[0] + ".md"):
+            return fail("autotune did not write the markdown sibling")
+
+        # 2. cache round-trip + corruption tolerance -------------------
+        tuned = load_tuned("copper")
+        if tuned != bench["winner"]:
+            return fail(f"load_tuned returned {tuned}, sweep winner was "
+                        f"{bench['winner']}")
+        broken = cache_file + ".broken"
+        os.rename(cache_file, broken)
+        with open(cache_file, "w") as fh:
+            fh.write("{not json")
+        import warnings
+
+        from repro.config import ConfigWarning
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            if load_tuned("copper") is not None:
+                return fail("corrupt tuned cache did not degrade to None")
+        if not any(issubclass(w.category, ConfigWarning) for w in caught):
+            return fail("corrupt tuned cache degraded without a "
+                        "ConfigWarning")
+        os.replace(broken, cache_file)
+
+        # 3. automatic pickup, visible as provenance -------------------
+        report_path = os.path.join(tmp, "report.json")
+        rc = cli_main(["run", "--steps", str(N_STEPS),
+                       "--thermo-every", str(N_STEPS),
+                       "--report", report_path])
+        if rc != 0:
+            return fail(f"tuned run exited {rc}")
+        with open(report_path) as fh:
+            report = json.load(fh)
+        prov = report["config"]["provenance"]
+        for section, block in bench["winner"].items():
+            for name in block:
+                path = f"{section}.{name}"
+                if prov.get(path) != "tuned":
+                    return fail(f"report provenance for {path} is "
+                                f"{prov.get(path)!r}, expected 'tuned'")
+                got = report["config"][section][name]
+                if got != block[name]:
+                    return fail(f"report {path} = {got!r} != cached "
+                                f"{block[name]!r}")
+        print(f"tuned pickup ok: {sum(len(b) for b in bench['winner'].values())} "
+              f"field(s) resolved at layer 'tuned'")
+
+        # 4. explicit flag beats the tuned layer -----------------------
+        override_path = os.path.join(tmp, "override.json")
+        rc = cli_main(["run", "--steps", str(N_STEPS),
+                       "--thermo-every", str(N_STEPS),
+                       "--kernel-chunk", "512",
+                       "--report", override_path])
+        if rc != 0:
+            return fail(f"override run exited {rc}")
+        with open(override_path) as fh:
+            override = json.load(fh)
+        if override["config"]["kernel"]["kernel_chunk"] != 512:
+            return fail("explicit --kernel-chunk did not override the "
+                        "tuned value")
+        if override["config"]["provenance"]["kernel.kernel_chunk"] != "cli":
+            return fail("override provenance is not 'cli'")
+        print("explicit flag override ok (cli beats tuned)")
+
+        # 5. tuned config is bitwise-neutral in f64 --------------------
+        cfg = resolve_run_config("run", use_tuned=True)
+        if cfg.kernel.precision != "f64":
+            return fail("tuned cache set a non-f64 precision without "
+                        "--allow-f32")
+        tuned_sim = quick_simulation(config=cfg, flight=False)
+        tuned_sim.run(N_STEPS, thermo_every=N_STEPS)
+        ref_sim = quick_simulation("copper", flight=False)
+        ref_sim.run(N_STEPS, thermo_every=N_STEPS)
+        if not np.array_equal(tuned_sim.coords, ref_sim.coords):
+            return fail("tuned-config trajectory diverged from the "
+                        "default-config trajectory (f64 must be bitwise)")
+        for a, b in zip(tuned_sim.thermo_log, ref_sim.thermo_log):
+            if (a.potential_ev != b.potential_ev
+                    or a.kinetic_ev != b.kinetic_ev
+                    or a.temperature_k != b.temperature_k):
+                return fail("tuned-config thermo diverged from the "
+                            "default-config thermo")
+        print("tuned config bitwise-neutral in f64 "
+              f"({N_STEPS} steps, {len(tuned_sim.coords)} atoms)")
+
+    print(f"TUNE SMOKE PASSED in {time.perf_counter() - t0:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
